@@ -1,0 +1,84 @@
+// Command bbperftest mimics ucx_perftest for the simulated system: the
+// put_bw injection-rate test and the am_lat ping-pong latency test the paper
+// drives its §4 analysis with.
+//
+// Usage:
+//
+//	bbperftest [flags] put_bw|am_lat|multi
+//
+// Examples:
+//
+//	bbperftest put_bw                 # single-core RDMA-write injection
+//	bbperftest -iters 5000 am_lat     # send-receive latency
+//	bbperftest -mode doorbell-gather am_lat
+//	bbperftest -cores 16 multi        # concurrent injectors, one QP each
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/perftest"
+	"breakband/internal/uct"
+)
+
+var (
+	flagIters  = flag.Int("iters", 2000, "measured iterations")
+	flagWarmup = flag.Int("warmup", 200, "warmup iterations")
+	flagSize   = flag.Int("size", 8, "message size in bytes")
+	flagMode   = flag.String("mode", "pio-inline", "descriptor path: pio-inline, doorbell-inline, doorbell-gather")
+	flagNoise  = flag.Bool("noise", false, "enable the stochastic timing model")
+	flagSeed   = flag.Uint64("seed", 1, "random seed")
+	flagDirect = flag.Bool("direct", false, "no switch between the NICs")
+	flagCores  = flag.Int("cores", 4, "injecting cores for the multi test")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	var mode uct.PostMode
+	switch *flagMode {
+	case "pio-inline":
+		mode = uct.PIOInline
+	case "doorbell-inline":
+		mode = uct.DoorbellInline
+	case "doorbell-gather":
+		mode = uct.DoorbellGather
+	default:
+		fmt.Fprintf(os.Stderr, "bbperftest: unknown mode %q\n", *flagMode)
+		os.Exit(2)
+	}
+	noise := config.NoiseOff
+	if *flagNoise {
+		noise = config.NoiseOn
+	}
+	sys := node.NewSystem(config.TX2CX4(noise, *flagSeed, !*flagDirect), 2)
+	defer sys.Shutdown()
+	opt := perftest.Options{Iters: *flagIters, Warmup: *flagWarmup, MsgSize: *flagSize, Mode: mode}
+
+	switch flag.Arg(0) {
+	case "put_bw":
+		res := perftest.PutBw(sys, opt)
+		fmt.Println(res)
+		fmt.Printf("paper model (Equation 1): %.2f ns between messages\n", config.TabLLPInjModel)
+	case "am_lat":
+		res := perftest.AmLat(sys, opt)
+		fmt.Println(res)
+		s := res.RTTs.Summarize()
+		fmt.Printf("round trips: %s\n", s)
+		fmt.Printf("paper model (§4.3): %.2f ns one-way\n", config.TabLLPLatencyModel)
+	case "multi":
+		res := perftest.MultiPutBw(sys, *flagCores, opt)
+		fmt.Println(res)
+	default:
+		fmt.Fprintf(os.Stderr, "bbperftest: unknown test %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}

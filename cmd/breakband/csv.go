@@ -1,0 +1,98 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"breakband"
+	"breakband/internal/core/whatif"
+	"breakband/internal/report"
+)
+
+var flagOut = flag.String("out", "figures", "output directory for the csv command")
+
+// exportCSV writes every figure's data as CSV for external plotting.
+func exportCSV() {
+	if err := os.MkdirAll(*flagOut, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "breakband: %v\n", err)
+		os.Exit(1)
+	}
+	res := breakband.Reproduce(opts())
+	c := res.Components()
+
+	write := func(name, content string) {
+		path := filepath.Join(*flagOut, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "breakband: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	// Breakdown figures: one row per labelled part, in figure order.
+	bds := res.Breakdowns()
+	for _, name := range []string{"fig4", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"} {
+		t := &report.Table{Headers: []string{"bar", "label", "ns", "pct"}}
+		for _, b := range bds[name] {
+			for _, p := range b.Parts {
+				t.AddRow(b.Title, p.Label,
+					fmt.Sprintf("%.4f", p.Ns), fmt.Sprintf("%.4f", p.Pct))
+			}
+		}
+		write(name+".csv", t.CSV())
+	}
+
+	// What-if curves: reduction vs speedup per series.
+	for _, fig := range []struct {
+		name   string
+		series []whatif.Series
+	}{
+		{"fig17a", whatif.Fig17aCPUInjection(c)},
+		{"fig17b", whatif.Fig17bCPULatency(c)},
+		{"fig17c", whatif.Fig17cIOLatency(c)},
+		{"fig17d", whatif.Fig17dNetworkLatency(c)},
+	} {
+		write(fig.name+".csv", report.SeriesTable("", fig.series).CSV())
+	}
+
+	// Table 1 as measured-vs-paper rows.
+	t1 := &report.Table{Headers: []string{"component", "measured_ns", "paper_ns"}}
+	paper := breakband.PaperComponents()
+	for _, row := range []struct {
+		name         string
+		ours, theirs float64
+	}{
+		{"md_setup", c.MDSetup, paper.MDSetup},
+		{"barrier_md", c.BarrierMD, paper.BarrierMD},
+		{"barrier_dbc", c.BarrierDBC, paper.BarrierDBC},
+		{"pio_copy", c.PIOCopy, paper.PIOCopy},
+		{"llp_post_misc", c.LLPPostMisc(), paper.LLPPostMisc()},
+		{"llp_post", c.LLPPost, paper.LLPPost},
+		{"llp_prog", c.LLPProg, paper.LLPProg},
+		{"busy_post", c.BusyPost, paper.BusyPost},
+		{"meas_update", c.MeasUpdate, paper.MeasUpdate},
+		{"pcie", c.PCIe, paper.PCIe},
+		{"wire", c.Wire, paper.Wire},
+		{"switch", c.Switch, paper.Switch},
+		{"rc_to_mem_8b", c.RCToMem8, paper.RCToMem8},
+		{"mpi_isend_mpich", c.HLPPostMPICH, paper.HLPPostMPICH},
+		{"mpi_isend_ucp", c.HLPPostUCP, paper.HLPPostUCP},
+		{"mpich_recv_cb", c.MPICHRecvCB, paper.MPICHRecvCB},
+		{"mpi_wait_mpich", c.WaitMPICH, paper.WaitMPICH},
+		{"ucp_recv_cb", c.UCPRecvCB, paper.UCPRecvCB},
+		{"mpi_wait_ucp", c.WaitUCP, paper.WaitUCP},
+	} {
+		t1.AddRow(row.name, fmt.Sprintf("%.4f", row.ours), fmt.Sprintf("%.4f", row.theirs))
+	}
+	write("table1.csv", t1.CSV())
+
+	// Validations.
+	tv := &report.Table{Headers: []string{"quantity", "modeled_ns", "observed_ns", "err_pct"}}
+	for _, v := range res.Validations() {
+		tv.AddRow(v.Name, fmt.Sprintf("%.4f", v.ModeledNs),
+			fmt.Sprintf("%.4f", v.ObservedNs), fmt.Sprintf("%.4f", v.ErrPct))
+	}
+	write("validations.csv", tv.CSV())
+}

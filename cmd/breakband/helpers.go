@@ -1,0 +1,29 @@
+package main
+
+import (
+	"breakband"
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/pcie"
+)
+
+func pcieDown() pcie.Dir    { return pcie.Down }
+func pcieMWr() pcie.TLPType { return pcie.MWr }
+
+func noiseLevel(o breakband.Options) config.NoiseLevel {
+	if o.Noise {
+		return config.NoiseOn
+	}
+	return config.NoiseOff
+}
+
+func seedOf(o breakband.Options) uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func systemOf(cfg *config.Config) *node.System {
+	return node.NewSystem(cfg, 2)
+}

@@ -1,0 +1,41 @@
+// Quickstart: reproduce the paper's headline results in one run.
+//
+// Builds the calibrated ThunderX2 + ConnectX-4 system, re-runs the
+// measurement methodology, validates the injection and latency models
+// against the observed benchmarks, and prints the end-to-end latency
+// breakdown (the paper's Figure 13).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"breakband"
+)
+
+func main() {
+	// Deterministic mode: every cost is its calibrated mean, so the
+	// numbers below are exactly reproducible.
+	res := breakband.Reproduce(breakband.Options{})
+
+	fmt.Println("== Measured component table (Table 1) ==")
+	fmt.Println(res.Table1())
+
+	fmt.Println("== Model validation ==")
+	fmt.Println(res.RenderValidations())
+
+	fmt.Println("== Where does an 8-byte message spend its time? (Figure 13) ==")
+	fmt.Println(res.Figure("fig13"))
+
+	fmt.Println("== High-level split (Figure 15) ==")
+	fmt.Println(res.Figure("fig15"))
+
+	c := res.Components()
+	fmt.Printf("Insight 2 (paper §6): CPU+I/O account for %.1f%% of the latency;\n",
+		100-breakdownPct(c.Network(), c.E2ELatency()))
+	fmt.Printf("the network fabric is only %.1f%% — most of the overhead is on the node.\n",
+		breakdownPct(c.Network(), c.E2ELatency()))
+}
+
+func breakdownPct(part, total float64) float64 { return part / total * 100 }

@@ -1,0 +1,44 @@
+// What-if analysis: "if we optimize component X by Y%, what is the
+// corresponding reduction in injection overhead and latency?" (paper §7).
+//
+// The example sweeps the paper's Figure-17 scenarios analytically and then
+// verifies two of them by actually applying the optimization inside the
+// simulator and re-running the benchmarks.
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+
+	"breakband"
+)
+
+func main() {
+	res := breakband.Reproduce(breakband.Options{})
+
+	fmt.Println("== Figure 17: analytical speedup curves ==")
+	fmt.Println(res.Figure("fig17a"))
+	fmt.Println(res.Figure("fig17c"))
+
+	fmt.Println("== Scenario discussion (§7) ==")
+	for _, o := range res.WhatIf() {
+		fmt.Printf("- %s [%s], likelihood: %s\n  %s\n", o.Name, o.Target, o.Likelihood, o.Discussion)
+	}
+
+	fmt.Println("\n== Verify predictions against the live simulator ==")
+	opts := breakband.Options{}
+	// The paper's PIO projection: reducing the 64-byte device-memory copy
+	// to ~15 ns (84% reduction) should improve injection by >25% and
+	// latency by >5%.
+	for _, check := range []breakband.WhatIfCheck{
+		breakband.SimulateOptimization(opts, breakband.CompPIO, breakband.Injection, 84),
+		breakband.SimulateOptimization(opts, breakband.CompPIO, breakband.Latency, 84),
+		// The SoC-integrated NIC at a modest 50% I/O reduction: >15%.
+		breakband.SimulateOptimization(opts, breakband.CompIO, breakband.Latency, 50),
+		// GenZ-style 30 ns switch (~70% reduction): ~5.45%.
+		breakband.SimulateOptimization(opts, breakband.CompSwitch, breakband.Latency, 70),
+	} {
+		fmt.Println("  " + check.String())
+	}
+}

@@ -1,0 +1,36 @@
+package breakband
+
+import (
+	"breakband/internal/analyzer"
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/pcie"
+	"breakband/internal/stats"
+	"breakband/internal/units"
+)
+
+// Thin aliases keeping internal identifiers out of the exported files'
+// logic while staying in one module.
+const (
+	pcieDown = pcie.Down
+	pcieUp   = pcie.Up
+	pcieMWr  = pcie.MWr
+)
+
+// record aliases the analyzer's trace record for tests.
+type record = analyzer.Record
+
+func deltasSample(recs []analyzer.Record) *stats.Sample {
+	return analyzer.Deltas(recs)
+}
+
+// scaleTime applies a (1-r) factor to a fixed hardware latency.
+func scaleTime(t units.Time, r float64) units.Time {
+	return units.Time(float64(t) * (1 - r))
+}
+
+// systemFromConfig builds a two-node system from an explicit config (used by
+// the simulation-backed what-if checks).
+func systemFromConfig(cfg *config.Config) *node.System {
+	return node.NewSystem(cfg, 2)
+}

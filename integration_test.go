@@ -1,0 +1,137 @@
+package breakband
+
+import (
+	"math"
+	"testing"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/perftest"
+	"breakband/internal/sim"
+	"breakband/internal/units"
+	"breakband/internal/verbs"
+)
+
+// TestAnalyzerPassivity asserts the DESIGN.md promise behind the paper's §3
+// claim ("the overhead of the PCIe analyzer is negligible... a passive
+// instrument"): enabling or disabling the trace tap changes nothing about
+// simulated timing.
+func TestAnalyzerPassivity(t *testing.T) {
+	run := func(tapEnabled bool) (float64, float64) {
+		sys := node.NewSystem(config.TX2CX4(config.NoiseOff, 1, true), 2)
+		defer sys.Shutdown()
+		sys.Nodes[0].Tap.SetEnabled(tapEnabled)
+		sys.Nodes[1].Tap.SetEnabled(tapEnabled)
+		pb := perftest.PutBw(sys, perftest.Options{Iters: 500})
+		sysL := node.NewSystem(config.TX2CX4(config.NoiseOff, 1, true), 2)
+		defer sysL.Shutdown()
+		sysL.Nodes[0].Tap.SetEnabled(tapEnabled)
+		lat := perftest.AmLat(sysL, perftest.Options{Iters: 200})
+		return pb.MeanInjNs, lat.ReportedNs
+	}
+	injOn, latOn := run(true)
+	injOff, latOff := run(false)
+	if injOn != injOff || latOn != latOff {
+		t.Errorf("analyzer perturbed timing: inj %v vs %v, lat %v vs %v",
+			injOn, injOff, latOn, latOff)
+	}
+}
+
+// TestVerbsMatchesUCTTiming drives the same ping-pong through the verbs API
+// and through uct: two LLP front-ends over identical hardware and calibrated
+// costs must produce near-identical latency (the verbs path posts inline +
+// signaled, the uct am path adds only its receive dispatch).
+func TestVerbsMatchesUCTTiming(t *testing.T) {
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+
+	// --- verbs ping-pong ---
+	sysV := node.NewSystem(cfg, 2)
+	c0 := verbs.Open(sysV.Nodes[0], cfg)
+	c1 := verbs.Open(sysV.Nodes[1], cfg)
+	q0 := c0.CreateQP(128, 1024)
+	q1 := c1.CreateQP(128, 1024)
+	verbs.Connect(q0, q1)
+	rx0 := sysV.Nodes[0].Mem.Alloc("rx0", 4096, 64)
+	rx1 := sysV.Nodes[1].Mem.Alloc("rx1", 4096, 64)
+
+	const iters = 200
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	var verbsOneWay float64
+
+	sysV.K.Spawn("verbs.responder", func(p *sim.Proc) {
+		wcs := make([]verbs.WC, 1)
+		q1.PostRecv(p, &verbs.RecvWR{SGE: verbs.SGE{Addr: rx1.Base, Length: 4096}})
+		for i := 0; i < iters; i++ {
+			for q1.PollRecvCQ(p, wcs) == 0 {
+			}
+			q1.PostRecv(p, &verbs.RecvWR{SGE: verbs.SGE{Addr: rx1.Base, Length: 4096}})
+			q1.PostSend(p, &verbs.SendWR{
+				Opcode: verbs.WROpSend, Flags: verbs.SendSignaled | verbs.SendInline,
+				InlineData: payload,
+			})
+			// Drain the pong's send completion while idle.
+			for q1.Outstanding() > 0 && q1.PollSendCQ(p, wcs) > 0 {
+			}
+		}
+	})
+	sysV.K.Spawn("verbs.initiator", func(p *sim.Proc) {
+		wcs := make([]verbs.WC, 1)
+		q0.PostRecv(p, &verbs.RecvWR{SGE: verbs.SGE{Addr: rx0.Base, Length: 4096}})
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			q0.PostSend(p, &verbs.SendWR{
+				Opcode: verbs.WROpSend, Flags: verbs.SendSignaled | verbs.SendInline,
+				InlineData: payload,
+			})
+			for q0.PollRecvCQ(p, wcs) == 0 {
+			}
+			q0.PostRecv(p, &verbs.RecvWR{SGE: verbs.SGE{Addr: rx0.Base, Length: 4096}})
+			for q0.Outstanding() > 0 && q0.PollSendCQ(p, wcs) > 0 {
+			}
+		}
+		verbsOneWay = (p.Now() - start).Ns() / float64(2*iters)
+	})
+	sysV.Run()
+	sysV.Shutdown()
+
+	// --- uct reference ---
+	sysU := node.NewSystem(cfg, 2)
+	uctLat := perftest.AmLat(sysU, perftest.Options{Iters: iters}).ReportedNs
+	sysU.Shutdown()
+
+	// Same hardware, same calibrated post/poll costs: within a handful of
+	// per-iteration bookkeeping nanoseconds of each other.
+	if math.Abs(verbsOneWay-uctLat) > 120 {
+		t.Errorf("verbs one-way %.2f ns vs uct %.2f ns: LLP front-ends diverge", verbsOneWay, uctLat)
+	}
+	if verbsOneWay < 900 || verbsOneWay > 1400 {
+		t.Errorf("verbs one-way %.2f ns implausible", verbsOneWay)
+	}
+}
+
+// TestGenCompletionEmergent measures the §4.2 gen_completion quantity
+// directly in the simulator — from a post's arrival at the NIC to its
+// completion commit — and checks the model formula against it.
+func TestGenCompletionEmergent(t *testing.T) {
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	sys := node.NewSystem(cfg, 2)
+	defer sys.Shutdown()
+	res := perftest.AmLat(sys, perftest.Options{Iters: 50, ClearTrace: true})
+	_ = res
+	// On the trace: downstream ping (observed arriving at the NIC) to the
+	// upstream completion CQE (observed leaving the NIC) spans exactly
+	// the two Network traversals of gen_completion — the PCIe legs and
+	// the RC-to-MEM commit lie outside the tap window. This is the same
+	// geometry the paper's Network measurement exploits.
+	tap := sys.Nodes[0].Tap
+	deltas := tap.PairDeltas(
+		func(r record) bool { return r.IsTLP && r.Dir == pcieDown && r.TLPType == pcieMWr && r.Payload == 64 },
+		func(r record) bool { return r.IsTLP && r.Dir == pcieUp && r.TLPType == pcieMWr && r.Payload == 64 },
+	)
+	got := deltas.Mean()
+	want := 2 * config.TabNetwork
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("network share of gen_completion = %.2f ns, model %.2f", got, want)
+	}
+	_ = units.Nanosecond
+}

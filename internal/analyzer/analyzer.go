@@ -1,0 +1,203 @@
+// Package analyzer models the Lecroy PCIe protocol analyzer from the paper's
+// evaluation setup (its Figure 3): a passive instrument sitting on the link
+// just before the NIC, timestamping every TLP and DLLP that passes.
+//
+// All of the paper's hardware-side measurements are derived from trace
+// queries implemented here: downstream deltas (injection overhead, Figure 7),
+// TLP-to-ACK round trips (the PCIe component), downstream-to-upstream deltas
+// (the Network component) and inbound-pong to outbound-ping deltas (the
+// RC-to-MEM component, Figure 9).
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+
+	"breakband/internal/pcie"
+	"breakband/internal/stats"
+	"breakband/internal/units"
+)
+
+// Record is one captured packet.
+type Record struct {
+	At  units.Time
+	Dir pcie.Dir
+	// TLP fields; Kind=="TLP" when TLPType is meaningful.
+	IsTLP   bool
+	TLPType pcie.TLPType
+	Addr    uint64
+	Payload int
+	Seq     uint64
+	// DLLP fields.
+	DLLPType pcie.DLLPType
+	AckSeq   uint64
+}
+
+// Kind renders "MWr", "Ack", etc.
+func (r Record) Kind() string {
+	if r.IsTLP {
+		return r.TLPType.String()
+	}
+	return r.DLLPType.String()
+}
+
+// Analyzer is a passive trace recorder implementing pcie.Tap.
+type Analyzer struct {
+	name    string
+	records []Record
+	enabled bool
+	// Limit bounds capture size; 0 means unlimited.
+	Limit int
+}
+
+var _ pcie.Tap = (*Analyzer)(nil)
+
+// New returns an enabled analyzer.
+func New(name string) *Analyzer {
+	return &Analyzer{name: name, enabled: true}
+}
+
+// Name reports the analyzer's label.
+func (a *Analyzer) Name() string { return a.name }
+
+// SetEnabled starts or stops capture. A disabled analyzer records nothing,
+// and — because taps are passive — has zero effect on timing either way
+// (asserted by test).
+func (a *Analyzer) SetEnabled(on bool) { a.enabled = on }
+
+// Clear discards the captured trace.
+func (a *Analyzer) Clear() { a.records = a.records[:0] }
+
+// ObserveTLP implements pcie.Tap.
+func (a *Analyzer) ObserveTLP(at units.Time, dir pcie.Dir, t *pcie.TLP) {
+	if !a.enabled || (a.Limit > 0 && len(a.records) >= a.Limit) {
+		return
+	}
+	a.records = append(a.records, Record{
+		At: at, Dir: dir, IsTLP: true,
+		TLPType: t.Type, Addr: t.Addr, Payload: t.PayloadBytes(), Seq: t.Seq,
+	})
+}
+
+// ObserveDLLP implements pcie.Tap.
+func (a *Analyzer) ObserveDLLP(at units.Time, dir pcie.Dir, d *pcie.DLLP) {
+	if !a.enabled || (a.Limit > 0 && len(a.records) >= a.Limit) {
+		return
+	}
+	a.records = append(a.records, Record{
+		At: at, Dir: dir, IsTLP: false,
+		DLLPType: d.Type, AckSeq: d.AckSeq,
+	})
+}
+
+// Records returns the captured trace in time order (capture order).
+func (a *Analyzer) Records() []Record { return a.records }
+
+// Filter returns the records matching keep.
+func (a *Analyzer) Filter(keep func(Record) bool) []Record {
+	var out []Record
+	for _, r := range a.records {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TLPs returns captured TLPs of the given direction and type, with payload
+// size in [minPayload, maxPayload] (maxPayload<=0 means unbounded).
+func (a *Analyzer) TLPs(dir pcie.Dir, typ pcie.TLPType, minPayload, maxPayload int) []Record {
+	return a.Filter(func(r Record) bool {
+		if !r.IsTLP || r.Dir != dir || r.TLPType != typ {
+			return false
+		}
+		if r.Payload < minPayload {
+			return false
+		}
+		if maxPayload > 0 && r.Payload > maxPayload {
+			return false
+		}
+		return true
+	})
+}
+
+// Deltas computes successive timestamp differences (ns) over records. This is
+// the paper's injection-overhead derivation: deltas of consecutive
+// downstream 64-byte MWr transactions (Figures 6 and 7).
+func Deltas(recs []Record) *stats.Sample {
+	var s stats.Sample
+	for i := 1; i < len(recs); i++ {
+		s.Add((recs[i].At - recs[i-1].At).Ns())
+	}
+	return &s
+}
+
+// AckRoundTrips matches each TLP in recsDir against the first subsequent ACK
+// DLLP in the opposite direction with the same sequence number, and returns
+// half the deltas in nanoseconds — the paper's measurement of the PCIe
+// component (one-way wire time between analyzer and RC).
+func (a *Analyzer) AckRoundTrips(dir pcie.Dir, typ pcie.TLPType) *stats.Sample {
+	ackDir := pcie.Down
+	if dir == pcie.Down {
+		ackDir = pcie.Up
+	}
+	var s stats.Sample
+	pending := map[uint64]units.Time{}
+	for _, r := range a.records {
+		switch {
+		case r.IsTLP && r.Dir == dir && r.TLPType == typ:
+			pending[r.Seq] = r.At
+		case !r.IsTLP && r.Dir == ackDir && r.DLLPType == pcie.Ack:
+			if t0, ok := pending[r.AckSeq]; ok {
+				s.Add((r.At - t0).Ns() / 2)
+				delete(pending, r.AckSeq)
+			}
+		}
+	}
+	return &s
+}
+
+// PairDeltas walks the trace matching each record satisfying first with the
+// next later record satisfying second, returning the deltas (ns). It
+// implements both the Network measurement (downstream 64B ping -> next
+// upstream 64B completion) and the RC-to-MEM methodology of Figure 9
+// (inbound pong -> outbound ping).
+func (a *Analyzer) PairDeltas(first, second func(Record) bool) *stats.Sample {
+	var s stats.Sample
+	var t0 units.Time
+	armed := false
+	for _, r := range a.records {
+		if !armed {
+			if first(r) {
+				t0 = r.At
+				armed = true
+			}
+			continue
+		}
+		if second(r) {
+			s.Add((r.At - t0).Ns())
+			armed = false
+		}
+	}
+	return &s
+}
+
+// FormatTrace renders up to n records as an aligned text table in the style
+// of the paper's Figure 6.
+func (a *Analyzer) FormatTrace(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-6s %-6s %-8s %-16s %s\n", "TIME", "DIR", "KIND", "PAYLOAD", "ADDR", "SEQ")
+	for i, r := range a.records {
+		if n > 0 && i >= n {
+			fmt.Fprintf(&b, "... (%d more records)\n", len(a.records)-n)
+			break
+		}
+		addr := ""
+		if r.IsTLP {
+			addr = fmt.Sprintf("%#x", r.Addr)
+		}
+		fmt.Fprintf(&b, "%-14s %-6s %-6s %-8d %-16s %d\n",
+			r.At.String(), r.Dir.String(), r.Kind(), r.Payload, addr, r.Seq)
+	}
+	return b.String()
+}

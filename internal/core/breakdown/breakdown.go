@@ -1,0 +1,214 @@
+// Package breakdown derives every breakdown figure of the paper (Figures 4,
+// 8, 10, 11, 12, 13, 14, 15 and 16) from a measured Components table.
+package breakdown
+
+import (
+	"fmt"
+	"strings"
+
+	"breakband/internal/core/model"
+)
+
+// Part is one labelled share of a breakdown.
+type Part struct {
+	Label string
+	Ns    float64
+	Pct   float64
+}
+
+// Breakdown is one stacked bar: labelled parts summing to a total.
+type Breakdown struct {
+	Title   string
+	Parts   []Part
+	TotalNs float64
+}
+
+// New builds a breakdown, computing the total and percentages.
+func New(title string, parts ...Part) Breakdown {
+	b := Breakdown{Title: title}
+	for _, p := range parts {
+		b.TotalNs += p.Ns
+	}
+	for _, p := range parts {
+		if b.TotalNs > 0 {
+			p.Pct = p.Ns / b.TotalNs * 100
+		}
+		b.Parts = append(b.Parts, p)
+	}
+	return b
+}
+
+// Part returns the named part, panicking if absent (a typo in a figure
+// definition is a programming error).
+func (b Breakdown) Part(label string) Part {
+	for _, p := range b.Parts {
+		if p.Label == label {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("breakdown: no part %q in %q", label, b.Title))
+}
+
+// String renders the breakdown on one line, e.g. for logs.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%.2f ns):", b.Title, b.TotalNs)
+	for _, p := range b.Parts {
+		fmt.Fprintf(&sb, " %s=%.2f%%", p.Label, p.Pct)
+	}
+	return sb.String()
+}
+
+// Fig4LLPPost is the breakdown of time in an LLP_post (paper Figure 4):
+// MD setup, barrier for MD, barrier for DBC, PIO copy, and Other.
+func Fig4LLPPost(c model.Components) Breakdown {
+	return New("LLP_post",
+		Part{Label: "MD setup", Ns: c.MDSetup},
+		Part{Label: "Barrier for MD", Ns: c.BarrierMD},
+		Part{Label: "Barrier for DBC", Ns: c.BarrierDBC},
+		Part{Label: "PIO copy", Ns: c.PIOCopy},
+		Part{Label: "Other", Ns: c.LLPPostMisc()},
+	)
+}
+
+// Fig8Injection is the breakdown of the LLP injection overhead (Figure 8):
+// LLP_post, LLP_prog, Misc.
+func Fig8Injection(c model.Components) Breakdown {
+	return New("Injection overhead (LLP)",
+		Part{Label: "LLP_post", Ns: c.LLPPost},
+		Part{Label: "LLP_prog", Ns: c.LLPProg},
+		Part{Label: "Misc", Ns: c.LLPMisc()},
+	)
+}
+
+// Fig10Latency is the breakdown of the LLP-level latency (Figure 10).
+func Fig10Latency(c model.Components) Breakdown {
+	return New("Latency (LLP)",
+		Part{Label: "LLP_post", Ns: c.LLPPost},
+		Part{Label: "TX PCIe", Ns: c.PCIe},
+		Part{Label: "Wire", Ns: c.Wire},
+		Part{Label: "Switch", Ns: c.Switch},
+		Part{Label: "RX PCIe", Ns: c.PCIe},
+		Part{Label: "RC-to-MEM(8B)", Ns: c.RCToMem8},
+	)
+}
+
+// Fig10WithProg extends Figure 10 with the receive-side LLP_prog term the
+// §4.3 model includes (the paper's figure omits it from the bar).
+func Fig10WithProg(c model.Components) Breakdown {
+	b := Fig10Latency(c)
+	return New("Latency (LLP, incl. LLP_prog)",
+		append(append([]Part{}, b.Parts...), Part{Label: "LLP_prog", Ns: c.LLPProg})...)
+}
+
+// Fig11HLP is the HLP-internal breakdown (Figure 11): where MPI_Isend and a
+// successful receive-side MPI_Wait spend their time between UCP and MPICH.
+func Fig11HLP(c model.Components) []Breakdown {
+	return []Breakdown{
+		New("MPI_Isend (HLP)",
+			Part{Label: "UCP", Ns: c.HLPPostUCP},
+			Part{Label: "MPICH", Ns: c.HLPPostMPICH},
+		),
+		New("RX MPI_Wait (HLP)",
+			Part{Label: "UCP", Ns: c.WaitUCP},
+			Part{Label: "MPICH", Ns: c.WaitMPICH},
+		),
+	}
+}
+
+// Fig12OverallInjection is the overall injection breakdown (Figure 12):
+// Misc, Post_prog, Post.
+func Fig12OverallInjection(c model.Components) Breakdown {
+	return New("Overall injection overhead",
+		Part{Label: "Misc", Ns: c.MiscPerOp},
+		Part{Label: "Post_prog", Ns: c.PostProg()},
+		Part{Label: "Post", Ns: c.Post()},
+	)
+}
+
+// Fig13E2ELatency is the end-to-end latency breakdown (Figure 13), nine
+// components in path order.
+func Fig13E2ELatency(c model.Components) Breakdown {
+	return New("End-to-end latency",
+		Part{Label: "HLP_post", Ns: c.HLPPost()},
+		Part{Label: "LLP_post", Ns: c.LLPPost},
+		Part{Label: "TX PCIe", Ns: c.PCIe},
+		Part{Label: "Wire", Ns: c.Wire},
+		Part{Label: "Switch", Ns: c.Switch},
+		Part{Label: "RX PCIe", Ns: c.PCIe},
+		Part{Label: "RC-to-MEM(8B)", Ns: c.RCToMem8},
+		Part{Label: "LLP_prog", Ns: c.LLPProg},
+		Part{Label: "HLP_rx_prog", Ns: c.HLPRxProg()},
+	)
+}
+
+// Fig14HLPvsLLP splits initiation, send progress and receive progress
+// between the two protocol levels (Figure 14).
+func Fig14HLPvsLLP(c model.Components) []Breakdown {
+	return []Breakdown{
+		New("Initiation",
+			Part{Label: "LLP", Ns: c.LLPPost},
+			Part{Label: "HLP", Ns: c.HLPPost()},
+		),
+		New("TX Progress",
+			Part{Label: "LLP", Ns: c.LLPTxProg},
+			Part{Label: "HLP", Ns: c.HLPTxProg},
+		),
+		New("RX Progress",
+			Part{Label: "LLP", Ns: c.LLPProg},
+			Part{Label: "HLP", Ns: c.HLPRxProg()},
+		),
+	}
+}
+
+// Fig15HighLevel is the CPU / I/O / Network split of the end-to-end latency
+// with each category's internal composition (Figure 15). The first
+// breakdown is the top-level split; the rest decompose each category.
+func Fig15HighLevel(c model.Components) []Breakdown {
+	cpu := c.HLPPost() + c.LLPPost + c.LLPProg + c.HLPRxProg()
+	io := 2*c.PCIe + c.RCToMem8
+	return []Breakdown{
+		New("End-to-end latency",
+			Part{Label: "Network", Ns: c.Network()},
+			Part{Label: "I/O", Ns: io},
+			Part{Label: "CPU", Ns: cpu},
+		),
+		New("CPU",
+			Part{Label: "LLP", Ns: c.LLPPost + c.LLPProg},
+			Part{Label: "HLP", Ns: c.HLPPost() + c.HLPRxProg()},
+		),
+		New("I/O",
+			Part{Label: "RC-to-MEM", Ns: c.RCToMem8},
+			Part{Label: "PCIe", Ns: 2 * c.PCIe},
+		),
+		New("Network",
+			Part{Label: "Wire", Ns: c.Wire},
+			Part{Label: "Switch", Ns: c.Switch},
+		),
+	}
+}
+
+// Fig16OnNode is the on-node time split between initiator and target with
+// each node's CPU/I-O composition (Figure 16).
+func Fig16OnNode(c model.Components) []Breakdown {
+	initiator := c.HLPPost() + c.LLPPost + c.PCIe
+	target := c.PCIe + c.RCToMem8 + c.LLPProg + c.HLPRxProg()
+	return []Breakdown{
+		New("On-node",
+			Part{Label: "Target", Ns: target},
+			Part{Label: "Initiator", Ns: initiator},
+		),
+		New("Initiator",
+			Part{Label: "I/O", Ns: c.PCIe},
+			Part{Label: "CPU", Ns: c.HLPPost() + c.LLPPost},
+		),
+		New("Target",
+			Part{Label: "I/O", Ns: c.PCIe + c.RCToMem8},
+			Part{Label: "CPU", Ns: c.LLPProg + c.HLPRxProg()},
+		),
+		New("Target I/O",
+			Part{Label: "RC-to-MEM", Ns: c.RCToMem8},
+			Part{Label: "PCIe", Ns: c.PCIe},
+		),
+	}
+}

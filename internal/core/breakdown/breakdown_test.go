@@ -1,0 +1,203 @@
+package breakdown
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"breakband/internal/core/model"
+)
+
+// pctClose allows 0.05 percentage points — the paper's figures print two
+// decimals from the same arithmetic.
+func pctClose(got, want float64) bool { return math.Abs(got-want) < 0.05 }
+
+func checkParts(t *testing.T, b Breakdown, want map[string]float64) {
+	t.Helper()
+	for label, pct := range want {
+		if got := b.Part(label).Pct; !pctClose(got, pct) {
+			t.Errorf("%s: %s = %.2f%%, paper says %.2f%%", b.Title, label, got, pct)
+		}
+	}
+	sum := 0.0
+	for _, p := range b.Parts {
+		sum += p.Pct
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("%s: percentages sum to %v", b.Title, sum)
+	}
+}
+
+func TestFig4(t *testing.T) {
+	// The paper's printed Figure 4 says PIO copy 53.79% / Other 8.49%,
+	// but its own Table 1 gives 94.25/175.42 = 53.73% and 14.99/175.42 =
+	// 8.55%. We follow Table 1 (documented in EXPERIMENTS.md).
+	checkParts(t, Fig4LLPPost(model.Paper()), map[string]float64{
+		"MD setup":        15.84,
+		"Barrier for MD":  9.88,
+		"Barrier for DBC": 12.01,
+		"PIO copy":        53.73,
+		"Other":           8.55,
+	})
+}
+
+func TestFig8(t *testing.T) {
+	// The paper's printed Figure 8 (61.18/21.49/17.33) back-solves to a
+	// 286.74 ns total — i.e. Misc as the measurement update only,
+	// omitting the busy post its own Equation 1 includes (total 295.73).
+	// We follow Equation 1 (documented in EXPERIMENTS.md).
+	checkParts(t, Fig8Injection(model.Paper()), map[string]float64{
+		"LLP_post": 59.32,
+		"LLP_prog": 20.84,
+		"Misc":     19.84,
+	})
+}
+
+func TestFig8PaperPrintDiscrepancy(t *testing.T) {
+	// Pin the reverse-engineering of the printed figure so the
+	// documentation claim stays verified: the printed percentages match
+	// a Misc of MeasUpdate alone.
+	c := model.Paper()
+	printedTotal := c.LLPPost + c.LLPProg + c.MeasUpdate
+	for _, chk := range []struct {
+		ns, printedPct float64
+	}{
+		{c.LLPPost, 61.18}, {c.LLPProg, 21.49}, {c.MeasUpdate, 17.33},
+	} {
+		if got := chk.ns / printedTotal * 100; math.Abs(got-chk.printedPct) > 0.05 {
+			t.Errorf("printed-figure hypothesis broken: %v%% vs %v%%", got, chk.printedPct)
+		}
+	}
+}
+
+func TestFig10(t *testing.T) {
+	checkParts(t, Fig10Latency(model.Paper()), map[string]float64{
+		"LLP_post":      16.33,
+		"TX PCIe":       12.80,
+		"Wire":          25.58,
+		"Switch":        10.05,
+		"RX PCIe":       12.80,
+		"RC-to-MEM(8B)": 22.43,
+	})
+}
+
+func TestFig10WithProg(t *testing.T) {
+	b := Fig10WithProg(model.Paper())
+	if math.Abs(b.TotalNs-1135.8) > 0.005 {
+		t.Errorf("full LLP latency total = %v", b.TotalNs)
+	}
+}
+
+func TestFig11(t *testing.T) {
+	bars := Fig11HLP(model.Paper())
+	checkParts(t, bars[0], map[string]float64{"UCP": 8.24, "MPICH": 91.76})
+	checkParts(t, bars[1], map[string]float64{"UCP": 33.91, "MPICH": 66.09})
+}
+
+func TestFig12(t *testing.T) {
+	checkParts(t, Fig12OverallInjection(model.Paper()), map[string]float64{
+		"Misc":      1.20,
+		"Post_prog": 22.58,
+		"Post":      76.23,
+	})
+}
+
+func TestFig13(t *testing.T) {
+	b := Fig13E2ELatency(model.Paper())
+	checkParts(t, b, map[string]float64{
+		"HLP_post":      1.91,
+		"LLP_post":      12.65,
+		"TX PCIe":       9.91,
+		"Wire":          19.81,
+		"Switch":        7.79,
+		"RX PCIe":       9.91,
+		"RC-to-MEM(8B)": 17.37,
+		"LLP_prog":      4.44,
+		"HLP_rx_prog":   16.20,
+	})
+	if math.Abs(b.TotalNs-1387.02) > 0.005 {
+		t.Errorf("E2E total = %v", b.TotalNs)
+	}
+}
+
+func TestFig14(t *testing.T) {
+	bars := Fig14HLPvsLLP(model.Paper())
+	checkParts(t, bars[0], map[string]float64{"LLP": 86.85, "HLP": 13.15})
+	checkParts(t, bars[1], map[string]float64{"LLP": 1.61, "HLP": 98.39})
+	checkParts(t, bars[2], map[string]float64{"LLP": 21.53, "HLP": 78.47})
+}
+
+func TestFig15(t *testing.T) {
+	bars := Fig15HighLevel(model.Paper())
+	checkParts(t, bars[0], map[string]float64{"Network": 27.60, "I/O": 37.20, "CPU": 35.20})
+	checkParts(t, bars[1], map[string]float64{"LLP": 48.55, "HLP": 51.45})
+	checkParts(t, bars[2], map[string]float64{"RC-to-MEM": 46.70, "PCIe": 53.30})
+	checkParts(t, bars[3], map[string]float64{"Wire": 71.79, "Switch": 28.21})
+}
+
+func TestFig15Insight2(t *testing.T) {
+	// Insight 2: CPU and I/O together contribute 72.4% of the latency.
+	bars := Fig15HighLevel(model.Paper())
+	onNode := bars[0].Part("I/O").Pct + bars[0].Part("CPU").Pct
+	if math.Abs(onNode-72.4) > 0.05 {
+		t.Errorf("on-node share = %.2f%%, want 72.40%%", onNode)
+	}
+}
+
+func TestFig16(t *testing.T) {
+	bars := Fig16OnNode(model.Paper())
+	checkParts(t, bars[0], map[string]float64{"Target": 66.20, "Initiator": 33.80})
+	checkParts(t, bars[1], map[string]float64{"I/O": 40.50, "CPU": 59.50})
+	checkParts(t, bars[2], map[string]float64{"I/O": 56.93, "CPU": 43.07})
+	checkParts(t, bars[3], map[string]float64{"RC-to-MEM": 63.67, "PCIe": 36.33})
+}
+
+func TestPartLookupPanics(t *testing.T) {
+	b := New("x", Part{Label: "a", Ns: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown part lookup did not panic")
+		}
+	}()
+	b.Part("missing")
+}
+
+func TestString(t *testing.T) {
+	b := New("title", Part{Label: "a", Ns: 30}, Part{Label: "b", Ns: 70})
+	s := b.String()
+	if !strings.Contains(s, "title") || !strings.Contains(s, "a=30.00%") {
+		t.Errorf("string = %q", s)
+	}
+}
+
+func TestQuickPercentagesSumTo100(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		parts := make([]Part, 0, len(vals))
+		total := 0.0
+		for i, v := range vals {
+			ns := float64(v) + 1
+			total += ns
+			parts = append(parts, Part{Label: string(rune('a' + i%26)), Ns: ns})
+		}
+		b := New("q", parts...)
+		sum := 0.0
+		for _, p := range b.Parts {
+			sum += p.Pct
+		}
+		return math.Abs(sum-100) < 1e-6 && math.Abs(b.TotalNs-total) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroTotal(t *testing.T) {
+	b := New("empty", Part{Label: "a", Ns: 0})
+	if b.Parts[0].Pct != 0 {
+		t.Error("zero-total breakdown produced NaN percentages")
+	}
+}

@@ -1,0 +1,6 @@
+// Package core groups the paper's analytical contribution: the component
+// models (core/model), the breakdown figures (core/breakdown) and the
+// what-if optimization analysis (core/whatif). It deliberately contains no
+// simulator code — the models are pure arithmetic over measured component
+// tables, exactly as in the paper.
+package core

@@ -1,0 +1,195 @@
+// Package model implements the paper's primary contribution: the analytical
+// models of injection overhead (§4.2, Equation 1; §6, Equation 2) and
+// end-to-end latency (§4.3, §6), assembled from measured component times.
+//
+// The models are pure arithmetic over a Components table. Feeding them the
+// paper's Table 1 reproduces the paper's numbers exactly (golden tests);
+// feeding them the table measured inside the simulator (internal/measure)
+// validates the full methodology against observed benchmark performance.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"breakband/internal/config"
+)
+
+// Components holds measured mean component times in nanoseconds — the
+// reproduction of the paper's Table 1 plus the §6 progress quantities.
+type Components struct {
+	// --- LLP (§4.1) ---
+	MDSetup    float64 // message descriptor setup
+	BarrierMD  float64 // store barrier after the MD
+	BarrierDBC float64 // store barrier after the DoorBell counter
+	PIOCopy    float64 // 64-byte PIO copy to device memory
+	LLPPost    float64 // total uct_ep_put_short
+	LLPProg    float64 // dequeuing one CQ entry
+	BusyPost   float64 // failed post against a full TxQ
+	MeasUpdate float64 // benchmark measurement update
+
+	// --- I/O and network (§4.2, §4.3) ---
+	PCIe     float64 // one-way RC<->NIC for a 64-byte payload
+	Wire     float64 // interconnect cable, one way
+	Switch   float64 // switch forwarding overhead
+	RCToMem8 float64 // RC committing an 8-byte payload to memory
+	// RCToMem64 is the 64-byte completion's commit time. The paper does
+	// not report it separately; the cache-line argument (both writes
+	// touch one line) sets it equal to RCToMem8 by default.
+	RCToMem64 float64
+
+	// --- HLP (§5, §6) ---
+	HLPPostMPICH float64 // MPI_Isend time spent in MPICH
+	HLPPostUCP   float64 // MPI_Isend time spent in UCP
+	MPICHRecvCB  float64 // registered MPICH callback for a completed MPI_Irecv
+	UCPRecvCB    float64 // registered UCP callback (own work, excl. nested MPICH cb)
+	MPICHAfterPr float64 // MPICH work after a successful ucp_worker_progress
+	WaitMPICH    float64 // successful MPI_Wait time attributed to MPICH
+	WaitUCP      float64 // successful MPI_Wait time attributed to UCP
+
+	HLPTxProg float64 // per-op HLP share of send progress (§6)
+	LLPTxProg float64 // per-op LLP share (LLP_prog amortized over c ops)
+	MiscPerOp float64 // busy posts amortized per op (§6)
+
+	// SignalPeriod is the unsignaled-completion period c.
+	SignalPeriod int
+}
+
+// Paper returns the Components table populated from the paper's Table 1 —
+// the golden reference.
+func Paper() Components {
+	return Components{
+		MDSetup:    config.TabMDSetup,
+		BarrierMD:  config.TabBarrierMD,
+		BarrierDBC: config.TabBarrierDBC,
+		PIOCopy:    config.TabPIOCopy,
+		LLPPost:    config.TabLLPPost,
+		LLPProg:    config.TabLLPProg,
+		BusyPost:   config.TabBusyPost,
+		MeasUpdate: config.TabMeasUpdate,
+
+		PCIe:      config.TabPCIe,
+		Wire:      config.TabWire,
+		Switch:    config.TabSwitch,
+		RCToMem8:  config.TabRCToMem8,
+		RCToMem64: config.TabRCToMem8,
+
+		HLPPostMPICH: config.TabMPIIsendMPICH,
+		HLPPostUCP:   config.TabMPIIsendUCP,
+		MPICHRecvCB:  config.TabMPICHRecvCB,
+		UCPRecvCB:    config.TabUCPRecvCB,
+		MPICHAfterPr: config.TabMPICHAfterProg,
+		WaitMPICH:    config.TabMPIWaitMPICH,
+		WaitUCP:      config.TabMPIWaitUCP,
+
+		HLPTxProg: config.TabHLPTxProgPerOp,
+		LLPTxProg: config.TabLLPProg / 64,
+		MiscPerOp: 3.17,
+
+		SignalPeriod: 64,
+	}
+}
+
+// LLPPostMisc is the §4.1 residual: the function-call overhead and branching
+// not covered by the four named categories (Table 1: "Miscellaneous in
+// LLP_post").
+func (c Components) LLPPostMisc() float64 {
+	return c.LLPPost - c.MDSetup - c.BarrierMD - c.BarrierDBC - c.PIOCopy
+}
+
+// Network is the total one-way interconnect time (Wire + Switch).
+func (c Components) Network() float64 { return c.Wire + c.Switch }
+
+// LLPMisc is the §4.2 per-message miscellaneous overhead of the put_bw loop:
+// one busy post plus the measurement update.
+func (c Components) LLPMisc() float64 { return c.BusyPost + c.MeasUpdate }
+
+// GenCompletion models the time from a post reaching the NIC to its
+// completion being visible in memory (§4.2): two PCIe and two Network
+// traversals (message out, ACK back) plus the 64-byte completion write.
+func (c Components) GenCompletion() float64 {
+	return 2*(c.PCIe+c.Network()) + c.RCToMem64
+}
+
+// MinPollPeriod is the §4.2 lower bound on p, the number of posts between
+// polls, for completions to be ready when polled: p >= gen_completion /
+// LLP_post.
+func (c Components) MinPollPeriod() int {
+	return int(math.Ceil(c.GenCompletion() / c.LLPPost))
+}
+
+// LLPInjection is Equation 1: the injection overhead observed by the NIC
+// when a single core posts continuously through the LLP,
+// LLP_post + LLP_prog + Misc.
+func (c Components) LLPInjection() float64 {
+	return c.LLPPost + c.LLPProg + c.LLPMisc()
+}
+
+// LLPLatency is the §4.3 latency model for an x-byte message with
+// send-receive semantics and minimal software:
+// LLP_post + 2*PCIe + Network + RC-to-MEM(x) + LLP_prog.
+// Only x = 8 is calibrated; other sizes reuse RCToMem8 (one cache line).
+func (c Components) LLPLatency() float64 {
+	return c.LLPPost + 2*c.PCIe + c.Network() + c.RCToMem8 + c.LLPProg
+}
+
+// HLPPost is the HLP's share of initiating a message (MPI_Isend above the
+// LLP): MPICH + UCP.
+func (c Components) HLPPost() float64 { return c.HLPPostMPICH + c.HLPPostUCP }
+
+// Post is the total initiation time, HLP_post + LLP_post (§6).
+func (c Components) Post() float64 { return c.HLPPost() + c.LLPPost }
+
+// PostProg is the per-operation progress overhead of a send (§6),
+// HLP_tx_prog + the amortized LLP share.
+func (c Components) PostProg() float64 { return c.HLPTxProg + c.LLPTxProg }
+
+// OverallInjection is Equation 2: Post + Post_prog + Misc.
+func (c Components) OverallInjection() float64 {
+	return c.Post() + c.PostProg() + c.MiscPerOp
+}
+
+// HLPRxProg is the §6 receive-progress overhead of the HLP: both registered
+// callbacks plus the MPICH work after a successful progress.
+func (c Components) HLPRxProg() float64 {
+	return c.MPICHRecvCB + c.UCPRecvCB + c.MPICHAfterPr
+}
+
+// E2ELatency is the §6 end-to-end latency model:
+// HLP_post + LLP_post + 2*PCIe + Network + RC-to-MEM + LLP_prog +
+// HLP_rx_prog. (MPI_Irecv initiation overlaps and is excluded.)
+func (c Components) E2ELatency() float64 {
+	return c.HLPPost() + c.LLPLatency() + c.HLPRxProg()
+}
+
+// RxProg is the total receive-progress time, LLP + HLP (Figure 14's "RX
+// Progress" bar).
+func (c Components) RxProg() float64 { return c.LLPProg + c.HLPRxProg() }
+
+// Validation compares a modeled quantity with an observed one.
+type Validation struct {
+	Name       string
+	ModeledNs  float64
+	ObservedNs float64
+	// ErrPct is signed: positive when the model overestimates.
+	ErrPct float64
+}
+
+// Validate builds a Validation record.
+func Validate(name string, modeled, observed float64) Validation {
+	return Validation{
+		Name:       name,
+		ModeledNs:  modeled,
+		ObservedNs: observed,
+		ErrPct:     (modeled - observed) / observed * 100,
+	}
+}
+
+// Within reports whether the model error is within pct percent.
+func (v Validation) Within(pct float64) bool { return math.Abs(v.ErrPct) <= pct }
+
+// String implements fmt.Stringer.
+func (v Validation) String() string {
+	return fmt.Sprintf("%-22s modeled %8.2f ns, observed %8.2f ns, error %+5.2f%%",
+		v.Name, v.ModeledNs, v.ObservedNs, v.ErrPct)
+}

@@ -1,0 +1,147 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func close2(got, want float64) bool { return math.Abs(got-want) < 0.005 }
+
+// TestPaperGoldenValues pins every §4/§6 model quantity against the numbers
+// printed in the paper.
+func TestPaperGoldenValues(t *testing.T) {
+	c := Paper()
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"LLP_post misc", c.LLPPostMisc(), 14.99},
+		{"Network", c.Network(), 382.81},
+		{"LLP Misc", c.LLPMisc(), 58.68},
+		{"Equation 1 (LLP injection)", c.LLPInjection(), 295.73},
+		{"LLP latency model", c.LLPLatency(), 1135.80},
+		{"HLP_post", c.HLPPost(), 26.56},
+		{"Post", c.Post(), 201.98},
+		{"Post_prog", c.PostProg(), 59.82},
+		{"Equation 2 (overall injection)", c.OverallInjection(), 264.97},
+		{"HLP_rx_prog", c.HLPRxProg(), 224.66},
+		{"E2E latency model", c.E2ELatency(), 1387.02},
+		{"RX progress", c.RxProg(), 286.29},
+	}
+	for _, cse := range cases {
+		if !close2(cse.got, cse.want) {
+			t.Errorf("%s = %.4f, want %.2f", cse.name, cse.got, cse.want)
+		}
+	}
+}
+
+func TestPostProgSplit(t *testing.T) {
+	c := Paper()
+	// "Less than a nanosecond of Post_prog occurs in the LLP" (§6).
+	if c.LLPTxProg >= 1 {
+		t.Errorf("LLP share of Post_prog = %v, want < 1 ns", c.LLPTxProg)
+	}
+	if !close2(c.LLPTxProg, 61.63/64) {
+		t.Errorf("LLP share = %v, want 61.63/64", c.LLPTxProg)
+	}
+}
+
+func TestRxProgRatio(t *testing.T) {
+	c := Paper()
+	// Insight 4: receive progress is 4.78x the send progress.
+	ratio := c.RxProg() / c.PostProg()
+	if math.Abs(ratio-4.78) > 0.02 {
+		t.Errorf("RX/TX progress ratio = %.3f, want ~4.78", ratio)
+	}
+}
+
+func TestGenCompletionAndPollBound(t *testing.T) {
+	c := Paper()
+	// gen_completion = 2*(PCIe + Network) + RC-to-MEM(64B).
+	want := 2*(137.49+382.81) + 240.96
+	if !close2(c.GenCompletion(), want) {
+		t.Errorf("gen_completion = %v, want %v", c.GenCompletion(), want)
+	}
+	// p >= gen_completion / LLP_post = 7.47 -> 8; the benchmark's
+	// poll-every-16 satisfies it (paper §4.2).
+	if c.MinPollPeriod() != 8 {
+		t.Errorf("p_min = %d, want 8", c.MinPollPeriod())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	v := Validate("x", 295.73, 282.33)
+	if math.Abs(v.ErrPct-4.746) > 0.01 {
+		t.Errorf("error pct = %v", v.ErrPct)
+	}
+	if !v.Within(5) || v.Within(4) {
+		t.Errorf("Within thresholds wrong for %v", v.ErrPct)
+	}
+	if !strings.Contains(v.String(), "295.73") {
+		t.Error("validation string missing values")
+	}
+	// Negative direction.
+	v2 := Validate("y", 1135.8, 1190.25)
+	if v2.ErrPct >= 0 {
+		t.Error("underestimate should give negative error")
+	}
+}
+
+func TestPaperValidationsWithinFivePercent(t *testing.T) {
+	c := Paper()
+	checks := []struct {
+		name     string
+		modeled  float64
+		observed float64
+	}{
+		{"LLP injection", c.LLPInjection(), 282.33},
+		{"LLP latency", c.LLPLatency(), 1190.25},
+		{"overall injection", c.OverallInjection(), 263.91},
+		{"E2E latency", c.E2ELatency(), 1336},
+	}
+	for _, ch := range checks {
+		if !Validate(ch.name, ch.modeled, ch.observed).Within(5) {
+			t.Errorf("%s: paper's own validation exceeds 5%%?!", ch.name)
+		}
+	}
+}
+
+func TestQuickModelAdditivity(t *testing.T) {
+	// Property: the E2E model is exactly the LLP model plus the HLP
+	// terms, for any component values.
+	f := func(raw [8]uint16) bool {
+		c := Paper()
+		c.LLPPost = float64(raw[0]%2000) + 1
+		c.LLPProg = float64(raw[1]%2000) + 1
+		c.PCIe = float64(raw[2]%2000) + 1
+		c.Wire = float64(raw[3]%2000) + 1
+		c.Switch = float64(raw[4] % 2000)
+		c.RCToMem8 = float64(raw[5]%2000) + 1
+		c.HLPPostMPICH = float64(raw[6]%500) + 1
+		c.MPICHRecvCB = float64(raw[7]%500) + 1
+		lhs := c.E2ELatency()
+		rhs := c.HLPPost() + c.LLPLatency() + c.HLPRxProg()
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInjectionMonotone(t *testing.T) {
+	// Property: increasing any CPU component never decreases the
+	// injection model.
+	f := func(extraRaw uint16) bool {
+		base := Paper()
+		c := base
+		c.LLPPost += float64(extraRaw % 1000)
+		return c.LLPInjection() >= base.LLPInjection() &&
+			c.OverallInjection() >= base.OverallInjection()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

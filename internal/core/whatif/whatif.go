@@ -1,0 +1,208 @@
+// Package whatif implements the paper's §7 simulated-optimizations analysis
+// (Figure 17): if component X is made Y% faster, how much does the overall
+// injection overhead or end-to-end latency improve?
+//
+// Cross-checking the paper's quoted numbers against its Table-1 arithmetic
+// fixes the speedup metric as the percentage reduction of the overall time:
+// speedup(X, r) = r * T_X / T_total (a 20% HLP reduction gives 0.20 *
+// 85.42 / 264.97 = 6.44%, the paper's exact value; the switch-to-30ns case
+// read at the 70% grid point gives 0.70 * 108 / 1387.02 = 5.45%, also the
+// paper's value). Because the model's components do not execute
+// concurrently, the curves are linear in r — and §7 notes a distributed-
+// system simulator yields exactly the same speedups, which our
+// SimulatedCheck verifies against the actual event-driven simulation.
+package whatif
+
+import (
+	"fmt"
+
+	"breakband/internal/core/model"
+)
+
+// DefaultReductions is the paper's x axis: 10% to 90% in five steps.
+var DefaultReductions = []float64{0.10, 0.30, 0.50, 0.70, 0.90}
+
+// Series is one curve of Figure 17.
+type Series struct {
+	Name string
+	// ComponentNs is T_X, the optimizable time; TotalNs is the model
+	// total it is part of.
+	ComponentNs float64
+	TotalNs     float64
+	Reductions  []float64
+	// SpeedupPct[i] is the percentage reduction of the total when the
+	// component is reduced by Reductions[i].
+	SpeedupPct []float64
+}
+
+// Speedup computes one point: the percentage reduction of total time when
+// componentNs is reduced by the fraction r.
+func Speedup(componentNs, totalNs, r float64) float64 {
+	return r * componentNs / totalNs * 100
+}
+
+// Ratio converts a percentage-reduction speedup into the equivalent
+// T_old/T_new ratio.
+func Ratio(speedupPct float64) float64 {
+	return 1 / (1 - speedupPct/100)
+}
+
+// Sweep builds a series over the given reductions (DefaultReductions if
+// nil).
+func Sweep(name string, componentNs, totalNs float64, reductions []float64) Series {
+	if reductions == nil {
+		reductions = DefaultReductions
+	}
+	s := Series{Name: name, ComponentNs: componentNs, TotalNs: totalNs, Reductions: reductions}
+	for _, r := range reductions {
+		s.SpeedupPct = append(s.SpeedupPct, Speedup(componentNs, totalNs, r))
+	}
+	return s
+}
+
+// At evaluates the series' speedup at an arbitrary reduction.
+func (s Series) At(r float64) float64 { return Speedup(s.ComponentNs, s.TotalNs, r) }
+
+// String implements fmt.Stringer.
+func (s Series) String() string {
+	return fmt.Sprintf("%s: T_X=%.2f ns of %.2f ns, max speedup %.2f%%",
+		s.Name, s.ComponentNs, s.TotalNs, s.At(1))
+}
+
+// Fig17aCPUInjection: CPU-component reductions vs overall injection speedup.
+func Fig17aCPUInjection(c model.Components) []Series {
+	total := c.OverallInjection()
+	return []Series{
+		Sweep("HLP", c.HLPPost()+c.HLPTxProg, total, nil),
+		Sweep("LLP", c.LLPPost+c.LLPTxProg, total, nil),
+		Sweep("LLP_post", c.LLPPost, total, nil),
+		Sweep("PIO", c.PIOCopy, total, nil),
+		Sweep("HLP_tx_prog", c.HLPTxProg, total, nil),
+		Sweep("HLP_post", c.HLPPost(), total, nil),
+		Sweep("LLP_tx_prog", c.LLPTxProg, total, nil),
+	}
+}
+
+// Fig17bCPULatency: CPU-component reductions vs end-to-end latency speedup.
+func Fig17bCPULatency(c model.Components) []Series {
+	total := c.E2ELatency()
+	return []Series{
+		Sweep("HLP", c.HLPPost()+c.HLPRxProg(), total, nil),
+		Sweep("LLP", c.LLPPost+c.LLPProg, total, nil),
+		Sweep("HLP_rx_prog", c.HLPRxProg(), total, nil),
+		Sweep("LLP_post", c.LLPPost, total, nil),
+		Sweep("PIO", c.PIOCopy, total, nil),
+		Sweep("HLP_post", c.HLPPost(), total, nil),
+		Sweep("LLP_prog", c.LLPProg, total, nil),
+	}
+}
+
+// Fig17cIOLatency: I/O-component reductions vs end-to-end latency speedup.
+// "Integrated NIC" collapses the whole I/O subsystem (both PCIe crossings
+// plus the RC's memory write), the §7.1 SoC-integration scenario.
+func Fig17cIOLatency(c model.Components) []Series {
+	total := c.E2ELatency()
+	return []Series{
+		Sweep("Integrated NIC", 2*c.PCIe+c.RCToMem8, total, nil),
+		Sweep("PCIe", 2*c.PCIe, total, nil),
+		Sweep("RC-to-MEM", c.RCToMem8, total, nil),
+	}
+}
+
+// Fig17dNetworkLatency: network-component reductions vs end-to-end latency
+// speedup.
+func Fig17dNetworkLatency(c model.Components) []Series {
+	total := c.E2ELatency()
+	return []Series{
+		Sweep("Wire", c.Wire, total, nil),
+		Sweep("Switch", c.Switch, total, nil),
+	}
+}
+
+// Combined evaluates several simultaneous reductions (an extension beyond
+// Figure 17's one-at-a-time curves: because the model components are
+// non-overlapping, combined speedups add). Each entry pairs a component time
+// T_X with its reduction fraction.
+func Combined(total float64, parts map[string]struct {
+	ComponentNs float64
+	Reduction   float64
+}) float64 {
+	sum := 0.0
+	for _, p := range parts {
+		sum += Speedup(p.ComponentNs, total, p.Reduction)
+	}
+	return sum
+}
+
+// FutureSystem is the combined projection the §7 discussion gestures at: an
+// SoC-integrated NIC (90% I/O reduction), fast device-memory writes (84% of
+// the PIO copy) and a 20% leaner software stack, applied to the end-to-end
+// latency model.
+func FutureSystem(c model.Components) (speedupPct float64, newLatencyNs float64) {
+	total := c.E2ELatency()
+	s := Combined(total, map[string]struct {
+		ComponentNs float64
+		Reduction   float64
+	}{
+		"io":  {2*c.PCIe + c.RCToMem8, 0.90},
+		"pio": {c.PIOCopy, 0.84},
+		"sw":  {c.HLPPost() + c.HLPRxProg() + (c.LLPPost - c.PIOCopy) + c.LLPProg, 0.20},
+	})
+	return s, total * (1 - s/100)
+}
+
+// Optimization pairs a Figure-17 curve with the paper's qualitative
+// discussion of its likelihood (§7), for the experiment report.
+type Optimization struct {
+	Name       string
+	Target     string // CPU, I/O or Network
+	Likelihood string
+	Discussion string
+	Series     Series
+}
+
+// Optimizations lists the §7 scenario set with the paper's likelihood
+// assessments.
+func Optimizations(c model.Components) []Optimization {
+	io := Fig17cIOLatency(c)
+	cpuInj := Fig17aCPUInjection(c)
+	cpuLat := Fig17bCPULatency(c)
+	net := Fig17dNetworkLatency(c)
+	return []Optimization{
+		{
+			Name:       "NIC integrated into an SoC",
+			Target:     "I/O",
+			Likelihood: "more than likely (Tofu-D already ships it)",
+			Discussion: "Connecting the NIC to the network-on-chip removes most of the I/O subsystem; even a modest 50% I/O reduction improves latency by more than 15%.",
+			Series:     io[0],
+		},
+		{
+			Name:       "Faster device-memory writes (PIO)",
+			Target:     "CPU",
+			Likelihood: "likely (Normal-vs-Device write gap exceeds 90%)",
+			Discussion: "Reducing the 64-byte PIO copy to ~15 ns (84%) improves injection by more than 25% and latency by more than 5%.",
+			Series:     cpuInj[3],
+		},
+		{
+			Name:       "Software engineering in the HLP",
+			Target:     "CPU",
+			Likelihood: "unlikely beyond ~20% (MPICH is already heavily optimized)",
+			Discussion: "A 20% HLP reduction speeds injection up by at most 6.44%; the same reduction in the LLP reaches 13.33%.",
+			Series:     cpuLat[0],
+		},
+		{
+			Name:       "Faster interconnect wire",
+			Target:     "Network",
+			Likelihood: "less than likely (PAM/FEC trends may increase latency)",
+			Discussion: "SerDes and forward-error-correction complexity for >100 Gb/s signalling can add hundreds of nanoseconds rather than remove them.",
+			Series:     net[0],
+		},
+		{
+			Name:       "Lower-latency switch",
+			Target:     "Network",
+			Likelihood: "unproven (GenZ forecasts 30-50 ns, undemonstrated)",
+			Discussion: "Only an optimistic reduction to 30 ns (~72%) yields a substantial speedup (5.45% at the 70% grid point).",
+			Series:     net[1],
+		},
+	}
+}

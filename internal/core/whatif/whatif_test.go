@@ -1,0 +1,203 @@
+package whatif
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"breakband/internal/core/model"
+)
+
+func TestPaperQuotedSpeedups(t *testing.T) {
+	c := model.Paper()
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		// §7.1: "a 20% reduction in overhead in the HLP can speedup
+		// injection by up to 6.44%".
+		{"HLP -20% injection", Speedup(c.HLPPost()+c.HLPTxProg, c.OverallInjection(), 0.20), 6.44, 0.01},
+		// "...while that in the LLP can do so by up to 13.33%".
+		{"LLP -20% injection", Speedup(c.LLPPost+c.LLPTxProg, c.OverallInjection(), 0.20), 13.33, 0.05},
+		// §7.2: switch to 30 ns read at the 70% grid point: 5.45%.
+		{"Switch -70% latency", Speedup(c.Switch, c.E2ELatency(), 0.70), 5.45, 0.01},
+		// §7.1 PIO: 84% reduction -> injection improves by more than 25%.
+		{"PIO -84% injection", Speedup(c.PIOCopy, c.OverallInjection(), 0.84), 29.88, 0.05},
+		// and latency by more than 5%.
+		{"PIO -84% latency", Speedup(c.PIOCopy, c.E2ELatency(), 0.84), 5.71, 0.05},
+		// §7.1 integrated NIC: 50% I/O reduction -> over 15%.
+		{"IO -50% latency", Speedup(2*c.PCIe+c.RCToMem8, c.E2ELatency(), 0.50), 18.60, 0.05},
+	}
+	for _, cs := range cases {
+		if math.Abs(cs.got-cs.want) > cs.tol {
+			t.Errorf("%s = %.3f%%, want %.2f%%", cs.name, cs.got, cs.want)
+		}
+	}
+}
+
+func TestPaperThresholdClaims(t *testing.T) {
+	c := model.Paper()
+	// "over a 15% improvement ... with a modest 50% reduction in I/O".
+	if s := Speedup(2*c.PCIe+c.RCToMem8, c.E2ELatency(), 0.50); s <= 15 {
+		t.Errorf("integrated NIC at 50%% = %.2f%%, paper claims >15%%", s)
+	}
+	// PIO to 15 ns: injection > 25%, latency > 5%.
+	if s := Speedup(c.PIOCopy, c.OverallInjection(), 0.84); s <= 25 {
+		t.Errorf("PIO injection speedup = %.2f%%", s)
+	}
+	if s := Speedup(c.PIOCopy, c.E2ELatency(), 0.84); s <= 5 {
+		t.Errorf("PIO latency speedup = %.2f%%", s)
+	}
+	// 20% software reductions keep latency speedup under 5% (the paper's
+	// pessimism about software engineering).
+	if s := Speedup(c.HLPPost()+c.HLPRxProg(), c.E2ELatency(), 0.20); s >= 5 {
+		t.Errorf("HLP -20%% latency = %.2f%%, paper says <5%%", s)
+	}
+}
+
+func TestFig17Assemblies(t *testing.T) {
+	c := model.Paper()
+	a := Fig17aCPUInjection(c)
+	if len(a) != 7 || a[0].Name != "HLP" || a[1].Name != "LLP" {
+		t.Errorf("fig17a series: %+v", names(a))
+	}
+	b := Fig17bCPULatency(c)
+	if len(b) != 7 || b[2].Name != "HLP_rx_prog" {
+		t.Errorf("fig17b series: %+v", names(b))
+	}
+	io := Fig17cIOLatency(c)
+	if len(io) != 3 || io[0].Name != "Integrated NIC" {
+		t.Errorf("fig17c series: %+v", names(io))
+	}
+	n := Fig17dNetworkLatency(c)
+	if len(n) != 2 {
+		t.Errorf("fig17d series: %+v", names(n))
+	}
+	// Every series uses the paper's five-step x axis by default.
+	for _, s := range a {
+		if len(s.Reductions) != 5 || s.Reductions[0] != 0.10 || s.Reductions[4] != 0.90 {
+			t.Errorf("series %s reductions = %v", s.Name, s.Reductions)
+		}
+	}
+	// Fig17a's top curve at 90% reaches ~60% (the paper's y-axis limit).
+	if top := a[1].SpeedupPct[4]; math.Abs(top-59.9) > 0.5 {
+		t.Errorf("LLP at 90%% = %.2f%%, want ~59.9%%", top)
+	}
+}
+
+func names(ss []Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func TestRatio(t *testing.T) {
+	if math.Abs(Ratio(50)-2) > 1e-12 {
+		t.Errorf("Ratio(50%%) = %v, want 2x", Ratio(50))
+	}
+	if math.Abs(Ratio(0)-1) > 1e-12 {
+		t.Error("Ratio(0) != 1")
+	}
+}
+
+func TestQuickLinearity(t *testing.T) {
+	// Property: speedup is linear in the reduction (the paper's §7
+	// observation that the curves are linear).
+	f := func(compRaw, totRaw uint16, aRaw, bRaw uint8) bool {
+		comp := float64(compRaw%1000) + 1
+		tot := comp + float64(totRaw%2000) + 1
+		a := float64(aRaw%50) / 100
+		b := float64(bRaw%50) / 100
+		lhs := Speedup(comp, tot, a+b)
+		rhs := Speedup(comp, tot, a) + Speedup(comp, tot, b)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMonotoneAndBounded(t *testing.T) {
+	// Property: more reduction -> more speedup, and never beyond the
+	// component's share of the total.
+	f := func(compRaw, totRaw uint16, rRaw uint8) bool {
+		comp := float64(compRaw%1000) + 1
+		tot := comp + float64(totRaw%2000) + 1
+		r := float64(rRaw%100) / 100
+		s := Sweep("x", comp, tot, nil)
+		prev := -1.0
+		for _, v := range s.SpeedupPct {
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return Speedup(comp, tot, r) <= comp/tot*100+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizations(t *testing.T) {
+	opts := Optimizations(model.Paper())
+	if len(opts) != 5 {
+		t.Fatalf("optimizations = %d", len(opts))
+	}
+	for _, o := range opts {
+		if o.Name == "" || o.Likelihood == "" || o.Discussion == "" || o.Series.Name == "" {
+			t.Errorf("incomplete optimization %+v", o)
+		}
+	}
+	// The integrated-NIC scenario must cover the whole I/O subsystem.
+	c := model.Paper()
+	if math.Abs(opts[0].Series.ComponentNs-(2*c.PCIe+c.RCToMem8)) > 0.005 {
+		t.Errorf("integrated NIC T_X = %v", opts[0].Series.ComponentNs)
+	}
+}
+
+func TestCombinedAdds(t *testing.T) {
+	c := model.Paper()
+	total := c.E2ELatency()
+	single := Speedup(c.Switch, total, 0.70)
+	combined := Combined(total, map[string]struct {
+		ComponentNs float64
+		Reduction   float64
+	}{
+		"switch": {c.Switch, 0.70},
+		"wire":   {c.Wire, 0.50},
+	})
+	if math.Abs(combined-(single+Speedup(c.Wire, total, 0.50))) > 1e-9 {
+		t.Error("combined speedups do not add")
+	}
+}
+
+func TestFutureSystem(t *testing.T) {
+	s, lat := FutureSystem(model.Paper())
+	if s <= 30 || s >= 60 {
+		t.Errorf("future-system speedup = %.2f%%, expected a 30-60%% gain", s)
+	}
+	want := model.Paper().E2ELatency() * (1 - s/100)
+	if math.Abs(lat-want) > 1e-9 {
+		t.Error("future latency inconsistent with speedup")
+	}
+	// Sub-microsecond MPI latency: the §7 optimizations together get
+	// there.
+	if lat >= 1000 {
+		t.Errorf("future latency = %.2f ns, expected sub-microsecond", lat)
+	}
+}
+
+func TestSeriesAtAndString(t *testing.T) {
+	s := Sweep("x", 100, 1000, nil)
+	if math.Abs(s.At(0.5)-5) > 1e-12 {
+		t.Errorf("At(0.5) = %v", s.At(0.5))
+	}
+	if s.String() == "" {
+		t.Error("series string empty")
+	}
+}

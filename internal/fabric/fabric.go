@@ -1,0 +1,157 @@
+// Package fabric models the interconnect between NICs: the physical wire and
+// an optional store-and-forward switch (the paper's Network = Wire + Switch
+// decomposition), plus the transport-level acknowledgement that drives
+// completion generation on the initiator (paper §2 step 4).
+package fabric
+
+import (
+	"fmt"
+
+	"breakband/internal/sim"
+	"breakband/internal/units"
+)
+
+// FrameKind distinguishes payload-carrying frames from transport ACKs.
+type FrameKind uint8
+
+// Frame kinds.
+const (
+	Data FrameKind = iota
+	TransportAck
+)
+
+// String implements fmt.Stringer.
+func (k FrameKind) String() string {
+	if k == Data {
+		return "data"
+	}
+	return "ack"
+}
+
+// Frame is a link-layer unit travelling between NICs.
+type Frame struct {
+	Kind FrameKind
+	Src  int // source NIC id
+	Dst  int // destination NIC id
+	// Op describes the transport operation for Data frames (opaque to the
+	// fabric; interpreted by the NICs).
+	Op any
+	// AckOf carries the initiator-side cookie being acknowledged.
+	AckOf any
+	// Bytes is the on-wire payload size used for serialization.
+	Bytes int
+}
+
+// Port receives frames delivered by the network.
+type Port interface {
+	RxFrame(f *Frame)
+}
+
+// Config parameterizes the fabric.
+type Config struct {
+	// WireProp is the one-way propagation time of one cable hop
+	// (calibrated so the paper's trace methodology measures its Wire
+	// value).
+	WireProp units.Time
+	// WirePerByte is the serialization cost per byte (~80 ps/B at
+	// 100 Gb/s).
+	WirePerByte units.Time
+	// FrameOverhead is per-frame header bytes (LRH/BTH-style).
+	FrameOverhead int
+	// SwitchLatency is the added forwarding latency of the switch.
+	SwitchLatency units.Time
+	// UseSwitch selects the two-hop switched topology; otherwise NICs are
+	// cabled back to back (the paper measures both to isolate Switch).
+	UseSwitch bool
+	// AckTurnaround is the target NIC's delay before emitting the
+	// transport ACK.
+	AckTurnaround units.Time
+}
+
+// DefaultConfig returns an EDR-flavoured configuration.
+func DefaultConfig() Config {
+	return Config{
+		WireProp:      units.Nanoseconds(270),
+		WirePerByte:   units.Time(80),
+		FrameOverhead: 30,
+		SwitchLatency: units.Nanoseconds(108),
+		UseSwitch:     true,
+	}
+}
+
+// Network connects NIC ports. With a switch, each endpoint has its own cable
+// to the switch; the modelled WireProp is the *total* cable flight time
+// end-to-end (the paper's Wire), so each of the two hops contributes half.
+type Network struct {
+	k     *sim.Kernel
+	cfg   Config
+	ports map[int]Port
+	// busyUntil serializes each endpoint's egress.
+	busyUntil map[int]units.Time
+	// Delivered counts frames by kind, a test hook.
+	Delivered map[FrameKind]uint64
+}
+
+// New builds an empty network.
+func New(k *sim.Kernel, cfg Config) *Network {
+	return &Network{
+		k:         k,
+		cfg:       cfg,
+		ports:     make(map[int]Port),
+		busyUntil: make(map[int]units.Time),
+		Delivered: make(map[FrameKind]uint64),
+	}
+}
+
+// Config reports the fabric configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Attach registers port under NIC id.
+func (n *Network) Attach(id int, p Port) {
+	if _, dup := n.ports[id]; dup {
+		panic(fmt.Sprintf("fabric: duplicate port id %d", id))
+	}
+	n.ports[id] = p
+}
+
+// OneWay reports the modelled one-way latency for a frame of b payload
+// bytes, including switch forwarding when configured. Exposed for tests and
+// calibration solvers.
+func (n *Network) OneWay(b int) units.Time {
+	d := n.cfg.WireProp + units.Time(b+n.cfg.FrameOverhead)*n.cfg.WirePerByte
+	if n.cfg.UseSwitch {
+		d += n.cfg.SwitchLatency
+	}
+	return d
+}
+
+// Send transmits f from its Src towards its Dst.
+func (n *Network) Send(f *Frame) {
+	dst, ok := n.ports[f.Dst]
+	if !ok {
+		panic(fmt.Sprintf("fabric: no port %d", f.Dst))
+	}
+	// Egress serialization at the source NIC.
+	start := units.Max(n.k.Now(), n.busyUntil[f.Src])
+	txDone := start + units.Time(f.Bytes+n.cfg.FrameOverhead)*n.cfg.WirePerByte
+	n.busyUntil[f.Src] = txDone
+	arrival := txDone + n.cfg.WireProp
+	if n.cfg.UseSwitch {
+		arrival += n.cfg.SwitchLatency
+	}
+	n.k.At(arrival, func() {
+		n.Delivered[f.Kind]++
+		dst.RxFrame(f)
+	})
+}
+
+// Ack emits the transport-level acknowledgement for a received Data frame
+// back to its source.
+func (n *Network) Ack(f *Frame, cookie any) {
+	ack := &Frame{Kind: TransportAck, Src: f.Dst, Dst: f.Src, AckOf: cookie, Bytes: 0}
+	if n.cfg.AckTurnaround > 0 {
+		n.k.After(n.cfg.AckTurnaround, func() { n.Send(ack) })
+		return
+	}
+	n.Send(ack)
+}

@@ -1,0 +1,162 @@
+package fabric
+
+import (
+	"testing"
+
+	"breakband/internal/sim"
+	"breakband/internal/units"
+)
+
+type port struct {
+	k   *sim.Kernel
+	got []*Frame
+	at  []units.Time
+	net *Network
+	ack bool // auto-ack data frames
+}
+
+func (p *port) RxFrame(f *Frame) {
+	p.got = append(p.got, f)
+	p.at = append(p.at, p.k.Now())
+	if p.ack && f.Kind == Data {
+		p.net.Ack(f, f.Op)
+	}
+}
+
+func build(cfg Config) (*sim.Kernel, *Network, *port, *port) {
+	k := sim.NewKernel()
+	n := New(k, cfg)
+	a := &port{k: k, net: n}
+	b := &port{k: k, net: n}
+	n.Attach(0, a)
+	n.Attach(1, b)
+	return k, n, a, b
+}
+
+func cfgDirect() Config {
+	return Config{
+		WireProp:      units.Nanoseconds(270),
+		WirePerByte:   units.Time(80),
+		FrameOverhead: 30,
+		SwitchLatency: units.Nanoseconds(108),
+		UseSwitch:     false,
+	}
+}
+
+func TestDirectDelivery(t *testing.T) {
+	k, n, _, b := build(cfgDirect())
+	k.At(0, func() {
+		n.Send(&Frame{Kind: Data, Src: 0, Dst: 1, Bytes: 8, Op: "x"})
+	})
+	k.Run()
+	if len(b.got) != 1 {
+		t.Fatal("no delivery")
+	}
+	// serialize (8+30)*80ps = 3.04ns + 270 prop.
+	want := units.Nanoseconds(273.04)
+	if b.at[0] != want {
+		t.Errorf("arrival %v, want %v", b.at[0], want)
+	}
+	if n.OneWay(8) != want {
+		t.Errorf("OneWay(8) = %v, want %v", n.OneWay(8), want)
+	}
+}
+
+func TestSwitchAddsLatency(t *testing.T) {
+	cfg := cfgDirect()
+	cfg.UseSwitch = true
+	k, n, _, b := build(cfg)
+	k.At(0, func() {
+		n.Send(&Frame{Kind: Data, Src: 0, Dst: 1, Bytes: 8})
+	})
+	k.Run()
+	want := units.Nanoseconds(273.04 + 108)
+	if b.at[0] != want {
+		t.Errorf("switched arrival %v, want %v", b.at[0], want)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	k, n, a, b := build(cfgDirect())
+	b.ack = true
+	k.At(0, func() {
+		n.Send(&Frame{Kind: Data, Src: 0, Dst: 1, Bytes: 8, Op: "cookie"})
+	})
+	k.Run()
+	if len(a.got) != 1 || a.got[0].Kind != TransportAck {
+		t.Fatalf("no transport ack: %+v", a.got)
+	}
+	if a.got[0].AckOf != "cookie" {
+		t.Error("ack cookie lost")
+	}
+	if n.Delivered[Data] != 1 || n.Delivered[TransportAck] != 1 {
+		t.Errorf("delivered counts: %v", n.Delivered)
+	}
+}
+
+func TestAckTurnaround(t *testing.T) {
+	cfg := cfgDirect()
+	cfg.AckTurnaround = units.Nanoseconds(50)
+	k, n, a, b := build(cfg)
+	b.ack = true
+	k.At(0, func() {
+		n.Send(&Frame{Kind: Data, Src: 0, Dst: 1, Bytes: 0})
+	})
+	k.Run()
+	// data: 2.4 ser + 270 = 272.4; +50 turnaround; ack: 2.4 + 270.
+	want := units.Nanoseconds(272.4 + 50 + 272.4)
+	if a.at[0] != want {
+		t.Errorf("ack at %v, want %v", a.at[0], want)
+	}
+}
+
+func TestEgressSerialization(t *testing.T) {
+	k, n, _, b := build(cfgDirect())
+	k.At(0, func() {
+		n.Send(&Frame{Kind: Data, Src: 0, Dst: 1, Bytes: 8})
+		n.Send(&Frame{Kind: Data, Src: 0, Dst: 1, Bytes: 8})
+	})
+	k.Run()
+	if len(b.got) != 2 {
+		t.Fatal("missing frames")
+	}
+	if b.at[1]-b.at[0] != units.Nanoseconds(3.04) {
+		t.Errorf("spacing %v, want one serialization", b.at[1]-b.at[0])
+	}
+}
+
+func TestUnknownPortPanics(t *testing.T) {
+	k, n, _, _ := build(cfgDirect())
+	defer func() {
+		if recover() == nil {
+			t.Error("send to unknown port did not panic")
+		}
+	}()
+	k.At(0, func() { n.Send(&Frame{Kind: Data, Src: 0, Dst: 9}) })
+	k.Run()
+}
+
+func TestDuplicateAttachPanics(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, cfgDirect())
+	n.Attach(0, &port{k: k})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate attach did not panic")
+		}
+	}()
+	n.Attach(0, &port{k: k})
+}
+
+func TestFrameKindString(t *testing.T) {
+	if Data.String() != "data" || TransportAck.String() != "ack" {
+		t.Error("frame kind strings")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if !cfg.UseSwitch || cfg.WireProp <= 0 || cfg.SwitchLatency <= 0 {
+		t.Error("default config implausible")
+	}
+}

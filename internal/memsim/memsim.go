@@ -1,0 +1,101 @@
+// Package memsim models the host memory system of a node.
+//
+// Memory is a flat byte-addressable space carved into named regions (queue
+// rings, doorbell records, receive buffers). Because the simulation kernel
+// serializes all activity on the virtual clock, write *timing* is owned by
+// whoever performs the write (the Root Complex schedules its commit after the
+// RC-to-MEM latency; CPU stores commit at the executing proc's current time),
+// and a read simply observes the bytes committed so far — which is exactly
+// the memory-consistency behaviour a single coherent host memory provides.
+package memsim
+
+import (
+	"fmt"
+)
+
+// Region is a named allocation inside a Memory.
+type Region struct {
+	Name string
+	Base uint64
+	Size uint64
+}
+
+// End reports the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// Contains reports whether [addr, addr+n) lies inside the region.
+func (r Region) Contains(addr uint64, n int) bool {
+	return addr >= r.Base && addr+uint64(n) <= r.End()
+}
+
+// Memory is one node's DRAM plus its allocation bookkeeping.
+type Memory struct {
+	buf     []byte
+	next    uint64
+	regions []Region
+	// writes counts committed store operations, a cheap invariant hook for
+	// tests.
+	writes uint64
+}
+
+// New creates a memory of the given size in bytes.
+func New(size uint64) *Memory {
+	return &Memory{buf: make([]byte, size)}
+}
+
+// Size reports the memory size in bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.buf)) }
+
+// Writes reports the number of committed store operations.
+func (m *Memory) Writes() uint64 { return m.writes }
+
+// Alloc carves out a region of n bytes aligned to align (a power of two).
+func (m *Memory) Alloc(name string, n, align uint64) Region {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("memsim: bad alignment %d", align))
+	}
+	base := (m.next + align - 1) &^ (align - 1)
+	if base+n > uint64(len(m.buf)) {
+		panic(fmt.Sprintf("memsim: out of memory allocating %q (%d bytes)", name, n))
+	}
+	r := Region{Name: name, Base: base, Size: n}
+	m.next = base + n
+	m.regions = append(m.regions, r)
+	return r
+}
+
+// Regions lists allocations in order.
+func (m *Memory) Regions() []Region {
+	out := make([]Region, len(m.regions))
+	copy(out, m.regions)
+	return out
+}
+
+func (m *Memory) check(addr uint64, n int, op string) {
+	if n < 0 || addr+uint64(n) > uint64(len(m.buf)) {
+		panic(fmt.Sprintf("memsim: %s out of range addr=%#x len=%d size=%d", op, addr, n, len(m.buf)))
+	}
+}
+
+// Write commits data at addr immediately (at the caller's current virtual
+// time).
+func (m *Memory) Write(addr uint64, data []byte) {
+	m.check(addr, len(data), "write")
+	copy(m.buf[addr:], data)
+	m.writes++
+}
+
+// Read copies n bytes at addr into a fresh slice.
+func (m *Memory) Read(addr uint64, n int) []byte {
+	m.check(addr, n, "read")
+	out := make([]byte, n)
+	copy(out, m.buf[addr:])
+	return out
+}
+
+// ReadInto copies len(dst) bytes at addr into dst, avoiding allocation on hot
+// polling paths.
+func (m *Memory) ReadInto(addr uint64, dst []byte) {
+	m.check(addr, len(dst), "read")
+	copy(dst, m.buf[addr:])
+}

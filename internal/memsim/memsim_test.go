@@ -1,0 +1,127 @@
+package memsim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	m := New(1 << 20)
+	a := m.Alloc("a", 10, 64)
+	b := m.Alloc("b", 100, 64)
+	if a.Base%64 != 0 || b.Base%64 != 0 {
+		t.Errorf("misaligned: %#x %#x", a.Base, b.Base)
+	}
+	if b.Base < a.End() {
+		t.Error("regions overlap")
+	}
+	if len(m.Regions()) != 2 {
+		t.Error("regions not tracked")
+	}
+}
+
+func TestAllocBadAlignmentPanics(t *testing.T) {
+	m := New(1024)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two alignment did not panic")
+		}
+	}()
+	m.Alloc("x", 8, 3)
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	m := New(128)
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted alloc did not panic")
+		}
+	}()
+	m.Alloc("big", 256, 8)
+}
+
+func TestWriteRead(t *testing.T) {
+	m := New(1024)
+	r := m.Alloc("buf", 64, 8)
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	m.Write(r.Base, data)
+	if got := m.Read(r.Base, 8); !bytes.Equal(got, data) {
+		t.Errorf("read back %v", got)
+	}
+	if m.Writes() != 1 {
+		t.Errorf("write count = %d", m.Writes())
+	}
+	var dst [4]byte
+	m.ReadInto(r.Base+2, dst[:])
+	if !bytes.Equal(dst[:], []byte{3, 4, 5, 6}) {
+		t.Errorf("ReadInto = %v", dst)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(16)
+	for _, f := range []func(){
+		func() { m.Write(10, make([]byte, 8)) },
+		func() { m.Read(0, 17) },
+		func() { m.ReadInto(16, make([]byte, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 100, Size: 64}
+	if !r.Contains(100, 64) || !r.Contains(163, 1) {
+		t.Error("Contains false negative")
+	}
+	if r.Contains(99, 1) || r.Contains(164, 1) || r.Contains(160, 8) {
+		t.Error("Contains false positive")
+	}
+}
+
+func TestQuickWriteReadRoundTrip(t *testing.T) {
+	m := New(1 << 16)
+	r := m.Alloc("q", 4096, 64)
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 || len(data) > 256 {
+			return true
+		}
+		o := uint64(off) % (4096 - 256)
+		m.Write(r.Base+o, data)
+		return bytes.Equal(m.Read(r.Base+o, len(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAllocDisjoint(t *testing.T) {
+	// Property: sequential allocations never overlap.
+	f := func(sizes []uint8) bool {
+		m := New(1 << 20)
+		var regs []Region
+		for i, s := range sizes {
+			if i >= 32 {
+				break
+			}
+			regs = append(regs, m.Alloc("r", uint64(s)+1, 8))
+		}
+		for i := 1; i < len(regs); i++ {
+			if regs[i].Base < regs[i-1].End() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

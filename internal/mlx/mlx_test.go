@@ -1,0 +1,228 @@
+package mlx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"breakband/internal/memsim"
+)
+
+func TestWQERoundTrip(t *testing.T) {
+	w := &WQE{
+		Opcode:     OpSend,
+		Signaled:   true,
+		Inline:     true,
+		WQEIdx:     0xBEEF,
+		QPN:        7,
+		AmID:       3,
+		Payload:    []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		RemoteAddr: 0xDEAD0000,
+	}
+	enc, err := w.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWQE(enc[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Opcode != w.Opcode || got.Signaled != w.Signaled || got.Inline != w.Inline ||
+		got.WQEIdx != w.WQEIdx || got.QPN != w.QPN || got.AmID != w.AmID ||
+		got.RemoteAddr != w.RemoteAddr || !bytes.Equal(got.Payload, w.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, w)
+	}
+}
+
+func TestWQEGatherRoundTrip(t *testing.T) {
+	w := &WQE{
+		Opcode:     OpRDMAWrite,
+		Inline:     false,
+		WQEIdx:     1,
+		QPN:        2,
+		GatherAddr: 0x1000,
+		GatherLen:  4096,
+		RemoteAddr: 0x2000,
+	}
+	enc, err := w.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWQE(enc[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GatherAddr != w.GatherAddr || got.GatherLen != w.GatherLen || got.Inline {
+		t.Errorf("gather fields lost: %+v", got)
+	}
+}
+
+func TestWQEInlineTooLong(t *testing.T) {
+	w := &WQE{Opcode: OpSend, Inline: true, Payload: make([]byte, InlineMax+1)}
+	if _, err := w.Encode(); err == nil {
+		t.Error("oversized inline payload encoded without error")
+	}
+}
+
+func TestDecodeWQEErrors(t *testing.T) {
+	if _, err := DecodeWQE(make([]byte, 10)); err == nil {
+		t.Error("short buffer decoded")
+	}
+	var zero [WQESize]byte
+	if _, err := DecodeWQE(zero[:]); err == nil {
+		t.Error("NOP opcode decoded as valid work")
+	}
+	bad := zero
+	bad[0] = 200
+	if _, err := DecodeWQE(bad[:]); err == nil {
+		t.Error("garbage opcode decoded")
+	}
+}
+
+func TestQuickWQERoundTrip(t *testing.T) {
+	f := func(op bool, sig bool, idx uint16, qpn uint32, am uint8, payload []byte, raddr uint64) bool {
+		if len(payload) > InlineMax {
+			payload = payload[:InlineMax]
+		}
+		w := &WQE{
+			Opcode:     OpRDMAWrite,
+			Signaled:   sig,
+			Inline:     true,
+			WQEIdx:     idx,
+			QPN:        qpn,
+			AmID:       am,
+			Payload:    payload,
+			RemoteAddr: raddr,
+		}
+		if op {
+			w.Opcode = OpSend
+		}
+		enc, err := w.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeWQE(enc[:])
+		if err != nil {
+			return false
+		}
+		if len(payload) == 0 {
+			// nil and empty both decode to empty.
+			return len(got.Payload) == 0 && got.WQEIdx == idx && got.QPN == qpn
+		}
+		return bytes.Equal(got.Payload, payload) && got.Signaled == sig &&
+			got.WQEIdx == idx && got.QPN == qpn && got.AmID == am && got.RemoteAddr == raddr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCQERoundTrip(t *testing.T) {
+	c := &CQE{
+		Op:         CQERecv,
+		WQECounter: 900,
+		QPN:        5,
+		ByteCnt:    8,
+		AmID:       2,
+		Payload:    []byte{9, 8, 7, 6, 5, 4, 3, 2},
+		Gen:        17,
+	}
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCQE(enc[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != c.Op || got.WQECounter != c.WQECounter || got.QPN != c.QPN ||
+		got.ByteCnt != c.ByteCnt || got.AmID != c.AmID || got.Gen != c.Gen ||
+		!bytes.Equal(got.Payload, c.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, c)
+	}
+}
+
+func TestCQEScatterTooLong(t *testing.T) {
+	c := &CQE{Payload: make([]byte, ScatterMax+1)}
+	if _, err := c.Encode(); err == nil {
+		t.Error("oversized scatter encoded")
+	}
+}
+
+func TestQuickCQERoundTrip(t *testing.T) {
+	f := func(counter uint16, qpn uint32, am, gen uint8, payload []byte) bool {
+		if len(payload) > ScatterMax {
+			payload = payload[:ScatterMax]
+		}
+		c := &CQE{
+			Op:         CQEReq,
+			WQECounter: counter,
+			QPN:        qpn,
+			ByteCnt:    uint32(len(payload)),
+			AmID:       am,
+			Payload:    payload,
+			Gen:        gen,
+		}
+		enc, err := c.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeCQE(enc[:])
+		if err != nil {
+			return false
+		}
+		if len(payload) == 0 {
+			return len(got.Payload) == 0
+		}
+		return got.WQECounter == counter && bytes.Equal(got.Payload, payload) && got.Gen == gen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingGeometry(t *testing.T) {
+	mem := memsim.New(1 << 20)
+	r := NewRing(mem, "sq", 128, WQESize)
+	if r.Slot(0) != 0 || r.Slot(127) != 127 || r.Slot(128) != 0 || r.Slot(300) != 300%128 {
+		t.Error("slot math wrong")
+	}
+	if r.EntryAddr(1)-r.EntryAddr(0) != WQESize {
+		t.Error("entry stride wrong")
+	}
+	if r.EntryAddr(128) != r.EntryAddr(0) {
+		t.Error("ring does not wrap")
+	}
+}
+
+func TestRingGen(t *testing.T) {
+	mem := memsim.New(1 << 20)
+	r := NewRing(mem, "cq", 4, CQESize)
+	// Generation is never zero and consecutive passes over a slot always
+	// differ — including across the uint16 counter's full range.
+	for i := 0; i < 1<<16; i += 4 {
+		g := r.Gen(uint16(i))
+		if g == 0 {
+			t.Fatalf("generation 0 at counter %d", i)
+		}
+		if next := r.Gen(uint16(i + 4)); next == g && i+4 < 1<<16 {
+			t.Fatalf("consecutive passes share generation %d at counter %d", g, i)
+		}
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	mem := memsim.New(1 << 20)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two depth did not panic")
+		}
+	}()
+	NewRing(mem, "bad", 100, WQESize)
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	if OpRDMAWrite.String() != "RDMA_WRITE" || OpSend.String() != "SEND" || OpNop.String() != "NOP" {
+		t.Error("opcode strings wrong")
+	}
+}

@@ -1,0 +1,286 @@
+// Package mpi implements the top of the high-level protocol stack: an
+// MPICH-CH4-style MPI library over ucp, with nonblocking point-to-point
+// operations, a blocking progress engine, and the registered completion
+// callbacks whose costs the paper's §5 breakdown attributes.
+//
+// Call structure mirrors MPICH over UCX: MPI_Isend decides how to execute
+// the operation and calls ucp_tag_send_nb; MPI_Wait loops the progress
+// engine over ucp_worker_progress; completions bubble up through the UCT →
+// UCP → MPICH callback chain before the progress call returns (paper §5).
+package mpi
+
+import (
+	"fmt"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/profile"
+	"breakband/internal/sim"
+	"breakband/internal/ucp"
+	"breakband/internal/uct"
+)
+
+// Request is an MPI request handle.
+type Request struct {
+	rank   *Rank
+	ucpReq *ucp.Request
+	done   bool
+	isRecv bool
+}
+
+// Done reports completion (for test assertions; applications use Wait).
+func (r *Request) Done() bool { return r.done }
+
+// Data returns the payload of a completed receive.
+func (r *Request) Data() []byte {
+	if !r.done || !r.isRecv {
+		return nil
+	}
+	return r.ucpReq.Data()
+}
+
+// Stats counts MPI-level events.
+type Stats struct {
+	Isends, Irecvs uint64
+	Waits          uint64
+	WaitLoops      uint64
+	SendCallbacks  uint64
+	RecvCallbacks  uint64
+	// RecvWaits and RecvWaitLoops reconstruct per-wait progress totals
+	// (Sum = mean x loops/waits) in the §5 methodology.
+	RecvWaits     uint64
+	RecvWaitLoops uint64
+}
+
+// Rank is one MPI process (one simulated core).
+type Rank struct {
+	ID     int
+	Node   *node.Node
+	Cfg    *config.Config
+	Worker *ucp.Worker
+	eps    map[int]*ucp.Ep
+
+	Stats Stats
+
+	// Instrumentation knobs used by the measurement methodology: when
+	// set, the named regions are profiled with the node's profiler. The
+	// Wait-related scopes apply to receive waits only (the paper's §5
+	// receive-side analysis); ProfUcpProg and ProfUctInWait are gated to
+	// the interior of a receive wait so that per-wait totals can be
+	// reconstructed from means and loop counts.
+	ProfIsend     bool      // "mpi_isend" scope
+	ProfUcpSend   bool      // "ucp_tag_send_nb" scope
+	ProfWait      bool      // "mpi_wait_recv" scope
+	ProfUcpProg   bool      // "ucp_worker_progress" scope (inside recv waits)
+	ProfMpichCB   bool      // "mpich_recv_cb" scope
+	ProfAfterProg bool      // "mpich_after_progress" scope
+	ProfUctInWait uct.Stage // LLP stage profiled inside recv waits
+
+	inRecvWait bool
+}
+
+// Comm is a communicator over a set of ranks.
+type Comm struct {
+	Ranks []*Rank
+}
+
+// tagFor packs (src, tag) so matching is pairwise like MPI's
+// (communicator, source, tag) triple.
+func tagFor(src int, tag int) uint64 {
+	return uint64(src)<<32 | uint64(uint32(tag))
+}
+
+// NewComm builds one rank per node (rank i on nodes[i]) and fully connects
+// them with the given post mode. It mirrors MPI_Init plus connection setup.
+func NewComm(nodes []*node.Node, cfg *config.Config, mode uct.PostMode) *Comm {
+	c := &Comm{}
+	for i, n := range nodes {
+		u := uct.NewWorker(n, cfg)
+		w := ucp.NewWorker(u, cfg)
+		c.Ranks = append(c.Ranks, &Rank{ID: i, Node: n, Cfg: cfg, Worker: w, eps: make(map[int]*ucp.Ep)})
+	}
+	// Fully connect: one ep (and QP) per peer per rank.
+	for i, a := range c.Ranks {
+		for j, b := range c.Ranks {
+			if i >= j {
+				continue
+			}
+			ea := a.Worker.NewEp(mode)
+			eb := b.Worker.NewEp(mode)
+			uct.Connect(ea.UctEp, eb.UctEp)
+			a.eps[j] = ea
+			b.eps[i] = eb
+		}
+	}
+	return c
+}
+
+// PreparePostedRecvs posts n receive credits on every connection; call it
+// from a proc on each rank before traffic flows.
+func (r *Rank) PreparePostedRecvs(p *sim.Proc, n int) {
+	for _, ep := range r.eps {
+		ep.UctEp.PostRecvs(p, n)
+	}
+}
+
+// Isend starts a nonblocking standard send of data to rank dst.
+func (r *Rank) Isend(p *sim.Proc, dst int, tag int, data []byte) *Request {
+	ep, ok := r.eps[dst]
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d has no connection to %d", r.ID, dst))
+	}
+	r.Stats.Isends++
+	req := &Request{rank: r}
+
+	var isendTok, ucpTok profTok
+	if r.ProfIsend {
+		isendTok = r.profBegin(p)
+	}
+	// MPICH-side work: datatype/contiguity checks, choosing the path.
+	p.Sleep(r.Cfg.SW.MpiIsend.Sample(r.Node.Rand))
+	if r.ProfUcpSend {
+		ucpTok = r.profBegin(p)
+	}
+	ucpReq, err := ep.TagSendNB(p, tagFor(r.ID, tag), data, func(cp *sim.Proc) {
+		// MPICH send-completion callback.
+		cp.Sleep(r.Cfg.SW.MpichSendCB.Sample(r.Node.Rand))
+		r.Stats.SendCallbacks++
+		req.done = true
+	})
+	if err != nil {
+		panic(fmt.Sprintf("mpi: isend: %v", err))
+	}
+	req.ucpReq = ucpReq
+	r.profEndAs(p, ucpTok, r.ProfUcpSend, "ucp_tag_send_nb")
+	r.profEndAs(p, isendTok, r.ProfIsend, "mpi_isend")
+	return req
+}
+
+// Irecv starts a nonblocking receive matching (src, tag).
+func (r *Rank) Irecv(p *sim.Proc, src int, tag int) *Request {
+	r.Stats.Irecvs++
+	req := &Request{rank: r, isRecv: true}
+	p.Sleep(r.Cfg.SW.MpiIrecv.Sample(r.Node.Rand))
+	req.ucpReq = r.Worker.TagRecvNB(p, tagFor(src, tag), func(cp *sim.Proc) {
+		// MPICH receive callback (paper Table 1: 47.99 ns).
+		var tok profTok
+		if r.ProfMpichCB {
+			tok = r.profBegin(cp)
+		}
+		cp.Sleep(r.Cfg.SW.MpichRecvCB.Sample(r.Node.Rand))
+		r.Stats.RecvCallbacks++
+		req.done = true
+		r.profEndAs(cp, tok, r.ProfMpichCB, "mpich_recv_cb")
+	})
+	// An unexpected message may have completed it synchronously.
+	if req.ucpReq.Completed() {
+		req.done = true
+	}
+	return req
+}
+
+// Wait blocks until req completes, driving the progress engine (MPI_Wait).
+func (r *Rank) Wait(p *sim.Proc, req *Request) {
+	r.Stats.Waits++
+	measured := req.isRecv
+	if measured {
+		r.Stats.RecvWaits++
+		r.inRecvWait = true
+		if r.ProfUctInWait != uct.StNone {
+			r.Worker.Uct.ProfStage = r.ProfUctInWait
+		}
+	}
+	var waitTok profTok
+	if r.ProfWait && measured {
+		waitTok = r.profBegin(p)
+	}
+	// Entry/exit bookkeeping (request inspection, state machine).
+	p.Sleep(r.Cfg.SW.MpichWaitEnt.Sample(r.Node.Rand))
+	for !req.done {
+		r.Stats.WaitLoops++
+		if measured {
+			r.Stats.RecvWaitLoops++
+		}
+		p.Sleep(r.Cfg.SW.MpichWaitLoop.Sample(r.Node.Rand))
+		r.progressOnce(p)
+	}
+	// MPICH work after the successful ucp_worker_progress (paper §6:
+	// 36.89 ns).
+	var afterTok profTok
+	if r.ProfAfterProg && measured {
+		afterTok = r.profBegin(p)
+	}
+	p.Sleep(r.Cfg.SW.MpichAfterPrg.Sample(r.Node.Rand))
+	r.profEndAs(p, afterTok, r.ProfAfterProg && measured, "mpich_after_progress")
+	r.profEndAs(p, waitTok, r.ProfWait && measured, "mpi_wait_recv")
+	if measured {
+		r.inRecvWait = false
+		if r.ProfUctInWait != uct.StNone {
+			r.Worker.Uct.ProfStage = uct.StNone
+		}
+	}
+}
+
+// Waitall blocks until all requests complete (MPI_Waitall). MPICH executes
+// its progress engine until every listed operation completes.
+func (r *Rank) Waitall(p *sim.Proc, reqs []*Request) {
+	p.Sleep(r.Cfg.SW.MpichWaitEnt.Sample(r.Node.Rand))
+	remaining := func() int {
+		n := 0
+		for _, q := range reqs {
+			if !q.done {
+				n++
+			}
+		}
+		return n
+	}
+	for remaining() > 0 {
+		r.Stats.WaitLoops++
+		// Per-operation bookkeeping share of the waitall loop.
+		p.Sleep(r.Cfg.SW.MpichWaitallOp.Sample(r.Node.Rand))
+		r.progressOnce(p)
+	}
+}
+
+// progressOnce runs one ucp_worker_progress pass, optionally profiled
+// (inside receive waits only, so per-wait totals reconstruct cleanly).
+func (r *Rank) progressOnce(p *sim.Proc) int {
+	prof := r.ProfUcpProg && r.inRecvWait
+	var tok profTok
+	if prof {
+		tok = r.profBegin(p)
+	}
+	n := r.Worker.Progress(p)
+	r.profEndAs(p, tok, prof, "ucp_worker_progress")
+	return n
+}
+
+// Send is a blocking standard send (Isend + Wait), as used by the OSU
+// latency benchmark.
+func (r *Rank) Send(p *sim.Proc, dst int, tag int, data []byte) {
+	r.Wait(p, r.Isend(p, dst, tag, data))
+}
+
+// Recv is a blocking receive (Irecv + Wait).
+func (r *Rank) Recv(p *sim.Proc, src int, tag int) []byte {
+	req := r.Irecv(p, src, tag)
+	r.Wait(p, req)
+	return req.Data()
+}
+
+// --- profiling helpers ---
+
+type profTok struct {
+	tok  profile.Token
+	real bool
+}
+
+func (r *Rank) profBegin(p *sim.Proc) profTok {
+	return profTok{tok: r.Node.Prof.BeginAnon(p), real: true}
+}
+
+func (r *Rank) profEndAs(p *sim.Proc, t profTok, enabled bool, name string) {
+	if t.real && enabled {
+		r.Node.Prof.EndAs(p, t.tok, name)
+	}
+}

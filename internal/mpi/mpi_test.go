@@ -1,0 +1,220 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/sim"
+	"breakband/internal/uct"
+	"breakband/internal/units"
+)
+
+func harness(t *testing.T) (*node.System, *Comm) {
+	t.Helper()
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	cfg.Bench.SignalPeriod = 1 // blocking sends complete via per-message CQEs
+	sys := node.NewSystem(cfg, 2)
+	comm := NewComm(sys.Nodes[:2], cfg, uct.PIOInline)
+	return sys, comm
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	sys, comm := harness(t)
+	defer sys.Shutdown()
+	r0, r1 := comm.Ranks[0], comm.Ranks[1]
+	ping := []byte{1, 2, 3, 4}
+	pong := []byte{5, 6, 7, 8}
+	var got0, got1 []byte
+	sys.K.Spawn("rank1", func(p *sim.Proc) {
+		r1.PreparePostedRecvs(p, 16)
+		got1 = r1.Recv(p, 0, 1)
+		r1.Send(p, 0, 2, pong)
+	})
+	sys.K.Spawn("rank0", func(p *sim.Proc) {
+		r0.PreparePostedRecvs(p, 16)
+		p.Sleep(units.Microsecond)
+		r0.Send(p, 1, 1, ping)
+		got0 = r0.Recv(p, 1, 2)
+	})
+	sys.Run()
+	if !bytes.Equal(got1, ping) || !bytes.Equal(got0, pong) {
+		t.Errorf("ping=%v pong=%v", got1, got0)
+	}
+	if r0.Stats.Isends != 1 || r0.Stats.Irecvs != 1 || r0.Stats.Waits != 2 {
+		t.Errorf("rank0 stats: %+v", r0.Stats)
+	}
+}
+
+func TestIsendIrecvNonblocking(t *testing.T) {
+	sys, comm := harness(t)
+	defer sys.Shutdown()
+	r0, r1 := comm.Ranks[0], comm.Ranks[1]
+	const n = 8
+	sys.K.Spawn("rank1", func(p *sim.Proc) {
+		r1.PreparePostedRecvs(p, 64)
+		reqs := make([]*Request, n)
+		for i := range reqs {
+			reqs[i] = r1.Irecv(p, 0, i)
+		}
+		r1.Waitall(p, reqs)
+		for i, req := range reqs {
+			if !req.Done() {
+				t.Errorf("recv %d incomplete after waitall", i)
+			}
+			if want := byte(i); len(req.Data()) != 1 || req.Data()[0] != want {
+				t.Errorf("recv %d data = %v", i, req.Data())
+			}
+		}
+	})
+	sys.K.Spawn("rank0", func(p *sim.Proc) {
+		r0.PreparePostedRecvs(p, 64)
+		p.Sleep(units.Microsecond)
+		reqs := make([]*Request, n)
+		for i := range reqs {
+			reqs[i] = r0.Isend(p, 1, i, []byte{byte(i)})
+		}
+		r0.Waitall(p, reqs)
+	})
+	sys.Run()
+}
+
+func TestTagMatching(t *testing.T) {
+	sys, comm := harness(t)
+	defer sys.Shutdown()
+	r0, r1 := comm.Ranks[0], comm.Ranks[1]
+	// Two sends with distinct tags; receives posted in opposite order
+	// must match by tag, not arrival order.
+	sys.K.Spawn("rank1", func(p *sim.Proc) {
+		r1.PreparePostedRecvs(p, 16)
+		reqB := r1.Irecv(p, 0, 200)
+		reqA := r1.Irecv(p, 0, 100)
+		r1.Wait(p, reqB)
+		r1.Wait(p, reqA)
+		if reqA.Data()[0] != 100 || reqB.Data()[0] != 200 {
+			t.Errorf("tag matching broken: A=%v B=%v", reqA.Data(), reqB.Data())
+		}
+	})
+	sys.K.Spawn("rank0", func(p *sim.Proc) {
+		r0.PreparePostedRecvs(p, 16)
+		p.Sleep(units.Microsecond)
+		r0.Isend(p, 1, 100, []byte{100})
+		req := r0.Isend(p, 1, 200, []byte{200})
+		r0.Wait(p, req)
+	})
+	sys.Run()
+}
+
+func TestUnexpectedThenIrecv(t *testing.T) {
+	sys, comm := harness(t)
+	defer sys.Shutdown()
+	r0, r1 := comm.Ranks[0], comm.Ranks[1]
+	sys.K.Spawn("rank1", func(p *sim.Proc) {
+		r1.PreparePostedRecvs(p, 16)
+		// Progress until the eager message is sitting in the
+		// unexpected queue, then post the receive.
+		for r1.Worker.Stats.UnexpectedMsgs == 0 {
+			r1.Worker.Progress(p)
+		}
+		req := r1.Irecv(p, 0, 5)
+		r1.Wait(p, req)
+		if req.Data()[0] != 55 {
+			t.Errorf("unexpected-path data = %v", req.Data())
+		}
+	})
+	sys.K.Spawn("rank0", func(p *sim.Proc) {
+		r0.PreparePostedRecvs(p, 16)
+		p.Sleep(units.Microsecond)
+		r0.Send(p, 1, 5, []byte{55})
+	})
+	sys.Run()
+	if r1.Worker.Stats.UnexpectedMsgs != 1 {
+		t.Errorf("unexpected msgs = %d", r1.Worker.Stats.UnexpectedMsgs)
+	}
+}
+
+func TestWaitRecvCountsLoops(t *testing.T) {
+	sys, comm := harness(t)
+	defer sys.Shutdown()
+	r0, r1 := comm.Ranks[0], comm.Ranks[1]
+	sys.K.Spawn("rank1", func(p *sim.Proc) {
+		r1.PreparePostedRecvs(p, 16)
+		r1.Recv(p, 0, 1)
+	})
+	sys.K.Spawn("rank0", func(p *sim.Proc) {
+		r0.PreparePostedRecvs(p, 16)
+		p.Sleep(units.Microsecond)
+		r0.Send(p, 1, 1, []byte{1})
+	})
+	sys.Run()
+	if r1.Stats.RecvWaits != 1 {
+		t.Errorf("recv waits = %d", r1.Stats.RecvWaits)
+	}
+	if r1.Stats.RecvWaitLoops == 0 {
+		t.Error("recv wait loops not counted")
+	}
+}
+
+func TestIsendToUnknownRankPanics(t *testing.T) {
+	sys, comm := harness(t)
+	defer sys.Shutdown()
+	r0 := comm.Ranks[0]
+	sys.K.Spawn("rank0", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("isend to unconnected rank did not panic")
+			}
+		}()
+		r0.Isend(p, 99, 0, []byte{1})
+	})
+	sys.Run()
+}
+
+func TestCommFullyConnected(t *testing.T) {
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	sys := node.NewSystem(cfg, 3)
+	defer sys.Shutdown()
+	comm := NewComm(sys.Nodes, cfg, uct.PIOInline)
+	if len(comm.Ranks) != 3 {
+		t.Fatalf("ranks = %d", len(comm.Ranks))
+	}
+	for i, r := range comm.Ranks {
+		if len(r.eps) != 2 {
+			t.Errorf("rank %d has %d connections, want 2", i, len(r.eps))
+		}
+	}
+}
+
+func TestThreeRankRing(t *testing.T) {
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	cfg.Bench.SignalPeriod = 1
+	sys := node.NewSystem(cfg, 3)
+	defer sys.Shutdown()
+	comm := NewComm(sys.Nodes, cfg, uct.PIOInline)
+	var sums [3]byte
+	for i := range comm.Ranks {
+		i := i
+		r := comm.Ranks[i]
+		next := (i + 1) % 3
+		prev := (i + 2) % 3
+		sys.K.Spawn("rank", func(p *sim.Proc) {
+			r.PreparePostedRecvs(p, 16)
+			p.Sleep(units.Microsecond)
+			r.Isend(p, next, 7, []byte{byte(10 * (i + 1))})
+			data := r.Recv(p, prev, 7)
+			sums[i] = data[0]
+		})
+	}
+	sys.Run()
+	if sums != [3]byte{30, 10, 20} {
+		t.Errorf("ring results = %v", sums)
+	}
+}
+
+func TestRequestData(t *testing.T) {
+	req := &Request{}
+	if req.Data() != nil {
+		t.Error("incomplete request returned data")
+	}
+}

@@ -1,0 +1,312 @@
+package nic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"breakband/internal/fabric"
+	"breakband/internal/memsim"
+	"breakband/internal/mlx"
+	"breakband/internal/pcie"
+	"breakband/internal/sim"
+	"breakband/internal/units"
+)
+
+// rig is a two-node hardware harness without any software stack.
+type rig struct {
+	k          *sim.Kernel
+	mem0, mem1 *memsim.Memory
+	rc0        *pcie.RootComplex
+	nic0, nic1 *NIC
+	qp0, qp1   *QP
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	net := fabric.New(k, fabric.Config{
+		WireProp:      units.Nanoseconds(270),
+		WirePerByte:   units.Time(80),
+		FrameOverhead: 30,
+		SwitchLatency: units.Nanoseconds(108),
+		UseSwitch:     true,
+	})
+	linkCfg := pcie.DefaultLinkConfig()
+	rcCfg := pcie.RCConfig{
+		RCToMemBase:      units.Nanoseconds(240),
+		RCToMemBaseBytes: 64,
+		MemReadLatency:   units.Nanoseconds(150),
+	}
+	mem0 := memsim.New(1 << 20)
+	link0 := pcie.NewLink(k, linkCfg)
+	rc0 := pcie.NewRootComplex(k, mem0, link0, rcCfg)
+	nic0 := New(k, 0, mem0, link0, net, DefaultConfig())
+
+	mem1 := memsim.New(1 << 20)
+	link1 := pcie.NewLink(k, linkCfg)
+	pcie.NewRootComplex(k, mem1, link1, rcCfg)
+	nic1 := New(k, 1, mem1, link1, net, DefaultConfig())
+
+	qp0 := nic0.CreateQP(64, 256)
+	qp1 := nic1.CreateQP(64, 256)
+	Connect(qp0, qp1)
+	return &rig{k: k, mem0: mem0, mem1: mem1, rc0: rc0, nic0: nic0, nic1: nic1, qp0: qp0, qp1: qp1}
+}
+
+// pioPost PIO-writes a WQE to qp0's BlueFlame register via the RC.
+func (r *rig) pioPost(t *testing.T, w *mlx.WQE) {
+	t.Helper()
+	enc, err := w.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.rc0.MMIOWrite(r.qp0.BFAddr, enc[:])
+}
+
+func TestPIORDMAWrite(t *testing.T) {
+	r := newRig(t)
+	dst := r.mem1.Alloc("dst", 64, 8)
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	r.k.At(0, func() {
+		r.pioPost(t, &mlx.WQE{
+			Opcode: mlx.OpRDMAWrite, Inline: true, Signaled: true,
+			WQEIdx: 0, QPN: r.qp0.QPN, Payload: payload, RemoteAddr: dst.Base,
+		})
+	})
+	r.k.Run()
+	if got := r.mem1.Read(dst.Base, 8); !bytes.Equal(got, payload) {
+		t.Errorf("remote memory = %v", got)
+	}
+	// Signaled: one CQE DMA-written to the send CQ on node 0.
+	if r.qp0.CQEsWritten != 1 {
+		t.Errorf("CQEs written = %d", r.qp0.CQEsWritten)
+	}
+	cqe, err := mlx.DecodeCQE(r.mem0.Read(r.qp0.SendCQ.EntryAddr(0), mlx.CQESize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cqe.Op != mlx.CQEReq || cqe.WQECounter != 0 || cqe.Gen != r.qp0.SendCQ.Gen(0) {
+		t.Errorf("send CQE = %+v", cqe)
+	}
+}
+
+func TestUnsignaledBatch(t *testing.T) {
+	r := newRig(t)
+	dst := r.mem1.Alloc("dst", 64, 8)
+	r.k.At(0, func() {
+		for i := 0; i < 4; i++ {
+			r.pioPost(t, &mlx.WQE{
+				Opcode: mlx.OpRDMAWrite, Inline: true, Signaled: i == 3,
+				WQEIdx: uint16(i), QPN: r.qp0.QPN,
+				Payload: []byte{byte(i)}, RemoteAddr: dst.Base,
+			})
+		}
+	})
+	r.k.Run()
+	if r.qp0.CQEsWritten != 1 {
+		t.Errorf("unsignaled batch produced %d CQEs, want 1", r.qp0.CQEsWritten)
+	}
+	cqe, _ := mlx.DecodeCQE(r.mem0.Read(r.qp0.SendCQ.EntryAddr(0), mlx.CQESize))
+	if cqe.WQECounter != 3 {
+		t.Errorf("batch CQE counter = %d, want 3", cqe.WQECounter)
+	}
+}
+
+func TestSendWithInlineScatter(t *testing.T) {
+	r := newRig(t)
+	r.qp1.PostRecv(0)
+	payload := []byte{9, 9, 9, 9, 9, 9, 9, 9}
+	r.k.At(0, func() {
+		r.pioPost(t, &mlx.WQE{
+			Opcode: mlx.OpSend, Inline: true, Signaled: true,
+			WQEIdx: 0, QPN: r.qp0.QPN, AmID: 5, Payload: payload,
+		})
+	})
+	r.k.Run()
+	// One recv CQE on node 1 carrying the payload inline.
+	cqe, err := mlx.DecodeCQE(r.mem1.Read(r.qp1.RecvCQ.EntryAddr(0), mlx.CQESize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cqe.Op != mlx.CQERecv || cqe.AmID != 5 || !bytes.Equal(cqe.Payload, payload) {
+		t.Errorf("recv CQE = %+v", cqe)
+	}
+	if r.qp1.RecvPosted() != 0 {
+		t.Error("receive credit not consumed")
+	}
+}
+
+func TestSendLargePayloadUsesBuffer(t *testing.T) {
+	r := newRig(t)
+	buf := r.mem1.Alloc("rxbuf", 256, 8)
+	r.qp1.PostRecv(buf.Base)
+	payload := bytes.Repeat([]byte{7}, 64) // > ScatterMax
+	// Large sends arrive via the DoorBell+gather path in practice; here
+	// the frame payload is what matters, so use a gather WQE through the
+	// ring.
+	w := &mlx.WQE{
+		Opcode: mlx.OpSend, Inline: false, Signaled: true,
+		WQEIdx: 0, QPN: r.qp0.QPN, GatherAddr: 0, GatherLen: 64,
+	}
+	stage := r.mem0.Alloc("stage", 64, 8)
+	r.mem0.Write(stage.Base, payload)
+	w.GatherAddr = stage.Base
+	enc, _ := w.Encode()
+	r.mem0.Write(r.qp0.SQ.EntryAddr(0), enc[:])
+	r.k.At(0, func() {
+		var db [8]byte
+		binary.LittleEndian.PutUint16(db[:], 1)
+		r.rc0.MMIOWrite(r.qp0.DBAddr, db[:])
+	})
+	r.k.Run()
+	if got := r.mem1.Read(buf.Base, 64); !bytes.Equal(got, payload) {
+		t.Error("large payload not written to the posted buffer")
+	}
+	cqe, _ := mlx.DecodeCQE(r.mem1.Read(r.qp1.RecvCQ.EntryAddr(0), mlx.CQESize))
+	if cqe.ByteCnt != 64 {
+		t.Errorf("recv CQE byte count = %d", cqe.ByteCnt)
+	}
+}
+
+func TestRNRDrop(t *testing.T) {
+	r := newRig(t)
+	// No receive posted on qp1.
+	r.k.At(0, func() {
+		r.pioPost(t, &mlx.WQE{
+			Opcode: mlx.OpSend, Inline: true, Signaled: true,
+			WQEIdx: 0, QPN: r.qp0.QPN, Payload: []byte{1},
+		})
+	})
+	r.k.Run()
+	if r.qp1.RNRDrops != 1 {
+		t.Errorf("RNR drops = %d", r.qp1.RNRDrops)
+	}
+	// No ACK means the WQE stays outstanding and no CQE is written.
+	if r.qp0.CQEsWritten != 0 {
+		t.Error("dropped send still completed")
+	}
+}
+
+func TestDoorbellDMAFetch(t *testing.T) {
+	r := newRig(t)
+	dst := r.mem1.Alloc("dst", 64, 8)
+	payload := []byte{4, 4, 4, 4}
+	w := &mlx.WQE{
+		Opcode: mlx.OpRDMAWrite, Inline: true, Signaled: true,
+		WQEIdx: 0, QPN: r.qp0.QPN, Payload: payload, RemoteAddr: dst.Base,
+	}
+	enc, _ := w.Encode()
+	r.mem0.Write(r.qp0.SQ.EntryAddr(0), enc[:])
+	r.k.At(0, func() {
+		var db [8]byte
+		binary.LittleEndian.PutUint16(db[:], 1)
+		r.rc0.MMIOWrite(r.qp0.DBAddr, db[:])
+	})
+	r.k.Run()
+	if got := r.mem1.Read(dst.Base, 4); !bytes.Equal(got, payload) {
+		t.Errorf("doorbell path payload = %v", got)
+	}
+}
+
+func TestDoorbellMultipleWQEs(t *testing.T) {
+	r := newRig(t)
+	dst := r.mem1.Alloc("dst", 256, 8)
+	for i := 0; i < 3; i++ {
+		w := &mlx.WQE{
+			Opcode: mlx.OpRDMAWrite, Inline: true, Signaled: true,
+			WQEIdx: uint16(i), QPN: r.qp0.QPN,
+			Payload: []byte{byte(10 + i)}, RemoteAddr: dst.Base + uint64(i),
+		}
+		enc, _ := w.Encode()
+		r.mem0.Write(r.qp0.SQ.EntryAddr(uint16(i)), enc[:])
+	}
+	r.k.At(0, func() {
+		var db [8]byte
+		binary.LittleEndian.PutUint16(db[:], 3)
+		r.rc0.MMIOWrite(r.qp0.DBAddr, db[:])
+	})
+	r.k.Run()
+	if got := r.mem1.Read(dst.Base, 3); !bytes.Equal(got, []byte{10, 11, 12}) {
+		t.Errorf("multi-WQE doorbell: %v", got)
+	}
+	if r.qp0.CQEsWritten != 3 {
+		t.Errorf("CQEs = %d", r.qp0.CQEsWritten)
+	}
+}
+
+func TestPIOFasterThanDoorbell(t *testing.T) {
+	// The paper's core §2 point: PIO+inline eliminates the descriptor
+	// DMA read (a PCIe round trip plus a memory read).
+	arrival := func(useDoorbell bool) units.Time {
+		r := newRig(t)
+		dst := r.mem1.Alloc("dst", 64, 8)
+		var committed units.Time
+		// Observe the remote write commit time via memory contents.
+		w := &mlx.WQE{
+			Opcode: mlx.OpRDMAWrite, Inline: true, Signaled: false,
+			WQEIdx: 0, QPN: r.qp0.QPN, Payload: []byte{1}, RemoteAddr: dst.Base,
+		}
+		if useDoorbell {
+			enc, _ := w.Encode()
+			r.mem0.Write(r.qp0.SQ.EntryAddr(0), enc[:])
+			r.k.At(0, func() {
+				var db [8]byte
+				binary.LittleEndian.PutUint16(db[:], 1)
+				r.rc0.MMIOWrite(r.qp0.DBAddr, db[:])
+			})
+		} else {
+			r.k.At(0, func() { r.pioPost(t, w) })
+		}
+		r.k.Run()
+		if r.mem1.Read(dst.Base, 1)[0] != 1 {
+			t.Fatal("payload missing")
+		}
+		// Find the commit time from the fabric delivery counters via a
+		// rerun is overkill; approximate with final clock (last event is
+		// the UpdateFC after the commit chain — identical structure for
+		// both paths, so the comparison holds).
+		committed = r.k.Now()
+		return committed
+	}
+	pio := arrival(false)
+	db := arrival(true)
+	if db <= pio {
+		t.Errorf("doorbell path (%v) should be slower than PIO (%v)", db, pio)
+	}
+	// The difference must include at least one PCIe round trip (~2 x
+	// 137ns) plus the 150ns memory read.
+	if db-pio < units.Nanoseconds(300) {
+		t.Errorf("doorbell penalty only %v", db-pio)
+	}
+}
+
+func TestBadMMIOPanics(t *testing.T) {
+	r := newRig(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("unmapped BAR write did not panic")
+		}
+	}()
+	r.k.At(0, func() {
+		r.rc0.MMIOWrite(pcie.BARBase+0x500, []byte{1}) // unknown register offset
+	})
+	r.k.Run()
+}
+
+func TestQPAccounting(t *testing.T) {
+	r := newRig(t)
+	if r.qp0.QPN == r.qp1.QPN && r.nic0 == r.nic1 {
+		t.Error("QPNs collide")
+	}
+	if r.qp0.DBAddr == r.qp0.BFAddr {
+		t.Error("register offsets collide")
+	}
+	qpB := r.nic0.CreateQP(64, 256)
+	if qpB.QPN == r.qp0.QPN {
+		t.Error("second QP reuses QPN")
+	}
+	if qpB.BFAddr == r.qp0.BFAddr {
+		t.Error("second QP reuses BAR window")
+	}
+}

@@ -1,0 +1,87 @@
+// Package node composes the hardware substrates into complete nodes and
+// two-(or more-)node systems: per node a host memory, a PCIe link with its
+// Root Complex and NIC endpoint, a passive PCIe analyzer tap (the paper's
+// Figure 3 places one before node 1's NIC; we give every node one), a
+// virtual timer and a profiler; plus the shared network fabric.
+package node
+
+import (
+	"fmt"
+
+	"breakband/internal/analyzer"
+	"breakband/internal/config"
+	"breakband/internal/fabric"
+	"breakband/internal/memsim"
+	"breakband/internal/nic"
+	"breakband/internal/pcie"
+	"breakband/internal/profile"
+	"breakband/internal/rng"
+	"breakband/internal/sim"
+	"breakband/internal/vtimer"
+)
+
+// Node is one server: CPU-side facilities (timer, profiler, RNG stream for
+// software costs), host memory, and the I/O subsystem.
+type Node struct {
+	ID    int
+	Mem   *memsim.Memory
+	Link  *pcie.Link
+	RC    *pcie.RootComplex
+	NIC   *nic.NIC
+	Tap   *analyzer.Analyzer
+	Timer *vtimer.Timer
+	Prof  *profile.Profiler
+	Rand  *rng.Rand // software-cost noise stream (nil when noise is off)
+}
+
+// System is a set of nodes on a common fabric, driven by one simulation
+// kernel.
+type System struct {
+	K     *sim.Kernel
+	Cfg   *config.Config
+	Net   *fabric.Network
+	Nodes []*Node
+}
+
+// NewSystem builds n nodes per cfg. Node 0 plays the paper's "node 1"
+// initiator role in the benchmarks.
+func NewSystem(cfg *config.Config, n int) *System {
+	if n < 2 {
+		panic("node: a system needs at least two nodes")
+	}
+	k := sim.NewKernel()
+	sys := &System{K: k, Cfg: cfg, Net: fabric.New(k, cfg.Fabric)}
+	for i := 0; i < n; i++ {
+		sys.Nodes = append(sys.Nodes, newNode(k, sys.Net, cfg, i))
+	}
+	return sys
+}
+
+func newNode(k *sim.Kernel, net *fabric.Network, cfg *config.Config, id int) *Node {
+	mem := memsim.New(cfg.MemBytes)
+	link := pcie.NewLink(k, cfg.Link)
+	rc := pcie.NewRootComplex(k, mem, link, cfg.RC)
+	dev := nic.New(k, id, mem, link, net, cfg.NIC)
+	tap := analyzer.New(fmt.Sprintf("node%d", id))
+	link.AddTap(tap)
+	r := cfg.Rand(fmt.Sprintf("node%d", id))
+	tmr := vtimer.New(k, cfg.Prof.TimerHz, cfg.Prof.Isb, cfg.Prof.Read, r)
+	return &Node{
+		ID:    id,
+		Mem:   mem,
+		Link:  link,
+		RC:    rc,
+		NIC:   dev,
+		Tap:   tap,
+		Timer: tmr,
+		Prof:  profile.New(tmr),
+		Rand:  r,
+	}
+}
+
+// Run executes the simulation until the event queue drains.
+func (s *System) Run() uint64 { return s.K.Run() }
+
+// Shutdown terminates any leftover procs. Always call it when a simulation
+// is finished, especially from tests that build many systems.
+func (s *System) Shutdown() { s.K.Shutdown() }

@@ -1,0 +1,61 @@
+package node
+
+import (
+	"testing"
+
+	"breakband/internal/config"
+)
+
+func TestNewSystem(t *testing.T) {
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	sys := NewSystem(cfg, 2)
+	defer sys.Shutdown()
+	if len(sys.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(sys.Nodes))
+	}
+	for i, n := range sys.Nodes {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+		if n.Mem == nil || n.Link == nil || n.RC == nil || n.NIC == nil ||
+			n.Tap == nil || n.Timer == nil || n.Prof == nil {
+			t.Errorf("node %d incompletely wired", i)
+		}
+		if n.NIC.ID() != i {
+			t.Errorf("NIC id = %d", n.NIC.ID())
+		}
+		if n.Rand != nil {
+			t.Error("deterministic mode should have nil RNG")
+		}
+	}
+}
+
+func TestNoisyNodesGetDistinctStreams(t *testing.T) {
+	cfg := config.TX2CX4(config.NoiseOn, 5, true)
+	sys := NewSystem(cfg, 2)
+	defer sys.Shutdown()
+	r0, r1 := sys.Nodes[0].Rand, sys.Nodes[1].Rand
+	if r0 == nil || r1 == nil {
+		t.Fatal("noisy mode should provide generators")
+	}
+	if r0.Uint64() == r1.Uint64() {
+		t.Error("node streams identical")
+	}
+}
+
+func TestSystemRequiresTwoNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("1-node system did not panic")
+		}
+	}()
+	NewSystem(config.TX2CX4(config.NoiseOff, 1, true), 1)
+}
+
+func TestRunAndShutdownIdempotent(t *testing.T) {
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	sys := NewSystem(cfg, 2)
+	sys.Run()
+	sys.Shutdown()
+	sys.Shutdown() // second shutdown is harmless
+}

@@ -1,0 +1,205 @@
+// Package osu reimplements the two OSU microbenchmarks the paper validates
+// its full-stack models against (§6):
+//
+//   - MessageRate (osu_mbw_mr-style): windows of MPI_Isend followed by
+//     MPI_Waitall. Per the paper's footnote, the per-window send-receive
+//     synchronization is removed for clean analysis: the receiver only
+//     drives progress and sinks messages. The inverse of the measured rate
+//     is the observed overall injection overhead.
+//   - Latency (osu_latency-style): blocking MPI Send/Recv ping-pong;
+//     reports half the round trip, the observed end-to-end latency.
+package osu
+
+import (
+	"fmt"
+
+	"breakband/internal/config"
+	"breakband/internal/mpi"
+	"breakband/internal/node"
+	"breakband/internal/sim"
+	"breakband/internal/stats"
+	"breakband/internal/uct"
+	"breakband/internal/units"
+)
+
+// Options shapes an OSU run.
+type Options struct {
+	// Windows is the number of isend windows (message rate).
+	Windows int
+	// Window is the isends per window; defaults from config (chosen with
+	// the queue depth so a realistic share of posts go busy).
+	Window int
+	// Iters is the ping-pong count (latency).
+	Iters  int
+	Warmup int
+	// MsgSize is the user payload (8 bytes by default).
+	MsgSize int
+	// Setup, if set, runs after the communicator is built and before any
+	// proc starts — the measurement methodology uses it to arm exactly
+	// one profiling scope per run (paper §3).
+	Setup func(r0, r1 *mpi.Rank)
+	// Calibrate runs profiler overhead calibration on rank 0's node
+	// before the benchmark.
+	Calibrate bool
+}
+
+func (o *Options) defaults(cfg *config.Config) {
+	if o.Windows == 0 {
+		o.Windows = 20
+	}
+	if o.Window == 0 {
+		o.Window = cfg.Bench.Window
+	}
+	if o.Iters == 0 {
+		o.Iters = cfg.Bench.Iters
+	}
+	if o.Warmup == 0 {
+		o.Warmup = cfg.Bench.Warmup
+	}
+	if o.MsgSize == 0 {
+		o.MsgSize = 8
+	}
+}
+
+// MessageRateResult reports an osu_mbw_mr-style run.
+type MessageRateResult struct {
+	Messages int
+	Elapsed  units.Time
+	// MsgRate is messages/second; MeanInjNs its inverse — the observed
+	// overall injection overhead of §6.
+	MsgRate   float64
+	MeanInjNs float64
+	// BusyPosts and WaitallTimeNs feed the §6 methodology (Post_prog and
+	// Misc derivations).
+	BusyPosts      uint64
+	WaitallTotalNs float64
+	Sender         *mpi.Rank
+	Receiver       *mpi.Rank
+}
+
+// MessageRate runs the message-rate benchmark from rank 0 to rank 1.
+func MessageRate(sys *node.System, opt Options) *MessageRateResult {
+	opt.defaults(sys.Cfg)
+	cfg := sys.Cfg
+	comm := mpi.NewComm(sys.Nodes[:2], cfg, uct.PIOInline)
+	r0, r1 := comm.Ranks[0], comm.Ranks[1]
+	if opt.Setup != nil {
+		opt.Setup(r0, r1)
+	}
+	res := &MessageRateResult{Sender: r0, Receiver: r1}
+
+	totalMsgs := (opt.Windows + 1) * opt.Window // +1 warmup window
+	data := make([]byte, opt.MsgSize)
+
+	// Receiver: sink everything at the protocol level (no per-window
+	// sync, per the paper's footnote).
+	sys.K.Spawn("osu_mr.recv", func(p *sim.Proc) {
+		r1.PreparePostedRecvs(p, 512)
+		for int(r1.Worker.Stats.RecvCompletions+r1.Worker.Stats.UnexpectedMsgs) < totalMsgs {
+			r1.Worker.Progress(p)
+		}
+	})
+
+	sys.K.Spawn("osu_mr.send", func(p *sim.Proc) {
+		if opt.Calibrate {
+			r0.Node.Prof.Calibrate(p, cfg.Prof.CalibrationSamples)
+		}
+		r0.PreparePostedRecvs(p, 512)
+		window := func(tagBase int) {
+			reqs := make([]*mpi.Request, opt.Window)
+			for i := range reqs {
+				reqs[i] = r0.Isend(p, 1, tagBase+i, data)
+			}
+			t0 := p.Now()
+			r0.Waitall(p, reqs)
+			res.WaitallTotalNs += (p.Now() - t0).Ns()
+		}
+		window(0) // warmup
+		res.WaitallTotalNs = 0
+		busy0 := r0.Worker.Stats.BusyPosts
+		start := p.Now()
+		for wnd := 0; wnd < opt.Windows; wnd++ {
+			window((wnd + 1) * opt.Window)
+			p.Sleep(cfg.SW.BenchLoop.Sample(r0.Node.Rand))
+		}
+		res.Elapsed = p.Now() - start
+		res.BusyPosts = r0.Worker.Stats.BusyPosts - busy0
+	})
+	sys.Run()
+
+	res.Messages = opt.Windows * opt.Window
+	res.MeanInjNs = res.Elapsed.Ns() / float64(res.Messages)
+	res.MsgRate = float64(res.Messages) / res.Elapsed.Seconds()
+	return res
+}
+
+// LatencyResult reports an osu_latency-style run.
+type LatencyResult struct {
+	Iters int
+	// ReportedNs is half the mean round trip — the observed end-to-end
+	// latency of §6.
+	ReportedNs float64
+	RTTs       *stats.Sample
+	Rank0      *mpi.Rank
+	Rank1      *mpi.Rank
+}
+
+// Latency runs the blocking ping-pong between ranks 0 and 1. Sends are
+// signaled every message here (the latency path does not batch completions),
+// while the message-rate test keeps the configured unsignaled period.
+func Latency(sys *node.System, opt Options) *LatencyResult {
+	opt.defaults(sys.Cfg)
+	cfg := *sys.Cfg // shallow copy: per-run signal period tweak
+	cfg.Bench.SignalPeriod = 1
+	comm := mpi.NewComm(sys.Nodes[:2], &cfg, uct.PIOInline)
+	r0, r1 := comm.Ranks[0], comm.Ranks[1]
+	if opt.Setup != nil {
+		opt.Setup(r0, r1)
+	}
+	res := &LatencyResult{Iters: opt.Iters, RTTs: &stats.Sample{}, Rank0: r0, Rank1: r1}
+
+	total := opt.Warmup + opt.Iters
+	data := make([]byte, opt.MsgSize)
+
+	sys.K.Spawn("osu_lat.rank1", func(p *sim.Proc) {
+		r1.PreparePostedRecvs(p, 64)
+		for i := 0; i < total; i++ {
+			r1.Recv(p, 0, i)
+			r1.Send(p, 0, i, data)
+		}
+	})
+
+	sys.K.Spawn("osu_lat.rank0", func(p *sim.Proc) {
+		if opt.Calibrate {
+			r0.Node.Prof.Calibrate(p, cfg.Prof.CalibrationSamples)
+		}
+		r0.PreparePostedRecvs(p, 64)
+		var start units.Time
+		for i := 0; i < total; i++ {
+			if i == opt.Warmup {
+				start = p.Now()
+			}
+			t0 := p.Now()
+			r0.Send(p, 1, i, data)
+			r0.Recv(p, 1, i)
+			p.Sleep(cfg.SW.BenchLoop.Sample(r0.Node.Rand))
+			if i >= opt.Warmup {
+				res.RTTs.Add((p.Now() - t0).Ns())
+			}
+		}
+		res.ReportedNs = (p.Now() - start).Ns() / float64(2*opt.Iters)
+	})
+	sys.Run()
+	return res
+}
+
+// String renders the message-rate result.
+func (r *MessageRateResult) String() string {
+	return fmt.Sprintf("osu_mr: %d msgs in %v -> %.0f msg/s (%.2f ns/msg, %d busy posts)",
+		r.Messages, r.Elapsed, r.MsgRate, r.MeanInjNs, r.BusyPosts)
+}
+
+// String renders the latency result.
+func (r *LatencyResult) String() string {
+	return fmt.Sprintf("osu_latency: %d iters -> %.2f ns one-way", r.Iters, r.ReportedNs)
+}

@@ -1,0 +1,267 @@
+package pcie
+
+import (
+	"fmt"
+
+	"breakband/internal/sim"
+	"breakband/internal/units"
+)
+
+// LinkConfig parameterizes a PCIe link.
+type LinkConfig struct {
+	// Prop is the one-way propagation latency of the link (flight time
+	// through the slot, retimers and PHY).
+	Prop units.Time
+	// PerByte is the serialization cost per byte (e.g. ~63.5 ps/B for
+	// Gen3 x16).
+	PerByte units.Time
+	// TLPHeader is the per-TLP header+framing overhead in bytes.
+	TLPHeader int
+	// DLLPBytes is the on-wire size of a DLLP.
+	DLLPBytes int
+	// AckDelay is the receiver's ACK turnaround time.
+	AckDelay units.Time
+	// FlowControl enables credit accounting. When disabled the link is an
+	// infinite-credit ideal, useful for isolating effects in tests.
+	FlowControl bool
+	// PostedCredits and NonPostedCredits are the receiver-advertised
+	// pools per direction.
+	PostedCredits    Credits
+	NonPostedCredits Credits
+	// RxProcess is how long the receiver holds a TLP's credits before
+	// returning them via UpdateFC.
+	RxProcess units.Time
+}
+
+// DefaultLinkConfig returns a Gen3 x16-flavoured configuration. Credit pools
+// are sized so that one posting core never exhausts them (the paper's
+// observation) while a many-core burst can (our ablation X3).
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		Prop:             units.Nanoseconds(134),
+		PerByte:          units.Time(64), // 64 ps/B ~ 15.75 GB/s
+		TLPHeader:        24,
+		DLLPBytes:        8,
+		AckDelay:         units.Nanoseconds(2),
+		FlowControl:      true,
+		PostedCredits:    Credits{Hdr: 32, Data: 256},
+		NonPostedCredits: Credits{Hdr: 16},
+	}
+}
+
+// channel is one direction of the link.
+type channel struct {
+	link      *Link
+	dir       Dir
+	busyUntil units.Time
+	seq       uint64
+	// Sender-side credit view of the receiver's pools.
+	avail map[CreditKind]Credits
+	// pend holds TLPs blocked on credits, in order.
+	pend []*TLP
+	// stats
+	sentTLP, sentDLLP uint64
+	blocked           uint64
+}
+
+// Link is the full-duplex RC<->endpoint link.
+type Link struct {
+	k    *sim.Kernel
+	cfg  LinkConfig
+	down *channel // RC -> endpoint
+	up   *channel // endpoint -> RC
+	// receivers
+	rcSide Receiver // handles Up TLPs (the Root Complex)
+	epSide Receiver // handles Down TLPs (the NIC)
+	taps   []Tap
+}
+
+// NewLink builds a link; attach receivers with SetRCSide/SetEndpointSide
+// before sending.
+func NewLink(k *sim.Kernel, cfg LinkConfig) *Link {
+	l := &Link{k: k, cfg: cfg}
+	l.down = &channel{link: l, dir: Down, avail: map[CreditKind]Credits{
+		Posted: cfg.PostedCredits, NonPosted: cfg.NonPostedCredits,
+	}}
+	l.up = &channel{link: l, dir: Up, avail: map[CreditKind]Credits{
+		Posted: cfg.PostedCredits, NonPosted: cfg.NonPostedCredits,
+	}}
+	return l
+}
+
+// Config reports the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// SetRCSide attaches the upstream receiver (the Root Complex).
+func (l *Link) SetRCSide(r Receiver) { l.rcSide = r }
+
+// SetEndpointSide attaches the downstream receiver (the NIC).
+func (l *Link) SetEndpointSide(r Receiver) { l.epSide = r }
+
+// AddTap registers a passive observer positioned just before the endpoint.
+func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// SendDown transmits a TLP from the RC towards the endpoint.
+func (l *Link) SendDown(t *TLP) { l.down.send(t) }
+
+// SendUp transmits a TLP from the endpoint towards the RC.
+func (l *Link) SendUp(t *TLP) { l.up.send(t) }
+
+// Blocked reports how many TLP sends stalled on credits, per direction.
+func (l *Link) Blocked() (down, up uint64) { return l.down.blocked, l.up.blocked }
+
+// Sent reports TLPs transmitted per direction.
+func (l *Link) Sent() (down, up uint64) { return l.down.sentTLP, l.up.sentTLP }
+
+func (c *channel) serialize(bytes int) units.Time {
+	return units.Time(bytes) * c.link.cfg.PerByte
+}
+
+// send enqueues t for transmission, blocking it on credits if necessary.
+func (c *channel) send(t *TLP) {
+	if c.link.cfg.FlowControl {
+		kind, need := creditsFor(t)
+		if need.Hdr > 0 {
+			have := c.avail[kind]
+			if have.Hdr < need.Hdr || have.Data < need.Data {
+				c.pend = append(c.pend, t)
+				c.blocked++
+				return
+			}
+			have.Hdr -= need.Hdr
+			have.Data -= need.Data
+			c.avail[kind] = have
+		}
+	}
+	c.transmit(t)
+}
+
+// transmit serializes t onto the wire and schedules its arrival.
+func (c *channel) transmit(t *TLP) {
+	k := c.link.k
+	t.Seq = c.seq
+	c.seq++
+	c.sentTLP++
+	start := units.Max(k.Now(), c.busyUntil)
+	txDone := start + c.serialize(t.WireBytes(c.link.cfg.TLPHeader))
+	c.busyUntil = txDone
+	arrival := txDone + c.link.cfg.Prop
+
+	// The analyzer tap sits just before the endpoint: downstream packets
+	// pass it at arrival; upstream packets pass it as they leave the
+	// endpoint.
+	switch c.dir {
+	case Down:
+		k.At(arrival, func() {
+			for _, tap := range c.link.taps {
+				tap.ObserveTLP(k.Now(), Down, t)
+			}
+			c.deliver(t)
+		})
+	case Up:
+		k.At(txDone, func() {
+			for _, tap := range c.link.taps {
+				tap.ObserveTLP(k.Now(), Up, t)
+			}
+		})
+		k.At(arrival, func() { c.deliver(t) })
+	}
+}
+
+// deliver hands t to the receiving side, emits the ACK DLLP, and schedules
+// the credit return.
+func (c *channel) deliver(t *TLP) {
+	l := c.link
+	// Data-link ACK back to the sender after the turnaround delay.
+	ack := &DLLP{Type: Ack, AckSeq: t.Seq}
+	l.k.After(l.cfg.AckDelay, func() { c.reverse().sendDLLP(ack) })
+
+	// Credit return after the receiver has processed the TLP.
+	if l.cfg.FlowControl {
+		kind, need := creditsFor(t)
+		if need.Hdr > 0 {
+			upd := &DLLP{Type: UpdateFC, Kind: kind, Credit: need}
+			l.k.After(l.cfg.RxProcess+l.cfg.AckDelay, func() { c.reverse().sendDLLP(upd) })
+		}
+	}
+
+	var rx Receiver
+	if c.dir == Down {
+		rx = l.epSide
+	} else {
+		rx = l.rcSide
+	}
+	if rx == nil {
+		panic(fmt.Sprintf("pcie: no receiver attached for %v direction", c.dir))
+	}
+	rx.RxTLP(t)
+}
+
+func (c *channel) reverse() *channel {
+	if c.dir == Down {
+		return c.link.up
+	}
+	return c.link.down
+}
+
+// sendDLLP transmits a DLLP on this channel. DLLPs share the wire with TLPs
+// (they occupy the serializer) and pass the tap under the same placement
+// rules.
+func (c *channel) sendDLLP(d *DLLP) {
+	k := c.link.k
+	c.sentDLLP++
+	start := units.Max(k.Now(), c.busyUntil)
+	txDone := start + c.serialize(c.link.cfg.DLLPBytes)
+	c.busyUntil = txDone
+	arrival := txDone + c.link.cfg.Prop
+
+	switch c.dir {
+	case Down:
+		k.At(arrival, func() {
+			for _, tap := range c.link.taps {
+				tap.ObserveDLLP(k.Now(), Down, d)
+			}
+			c.deliverDLLP(d)
+		})
+	case Up:
+		k.At(txDone, func() {
+			for _, tap := range c.link.taps {
+				tap.ObserveDLLP(k.Now(), Up, d)
+			}
+		})
+		k.At(arrival, func() { c.deliverDLLP(d) })
+	}
+}
+
+// deliverDLLP applies a DLLP at the receiving side. ACKs retire the replay
+// buffer (not modelled beyond accounting); UpdateFC restores the *opposite*
+// channel's sender credits and unblocks pending TLPs.
+func (c *channel) deliverDLLP(d *DLLP) {
+	if d.Type != UpdateFC {
+		return
+	}
+	fwd := c.reverse() // credits apply to traffic flowing opposite the DLLP
+	have := fwd.avail[d.Kind]
+	have.Hdr += d.Credit.Hdr
+	have.Data += d.Credit.Data
+	fwd.avail[d.Kind] = have
+	fwd.retryPending()
+}
+
+// retryPending attempts to transmit credit-blocked TLPs in order. Ordering
+// is preserved: the scan stops at the first TLP that still lacks credits.
+func (c *channel) retryPending() {
+	for len(c.pend) > 0 {
+		t := c.pend[0]
+		kind, need := creditsFor(t)
+		have := c.avail[kind]
+		if have.Hdr < need.Hdr || have.Data < need.Data {
+			return
+		}
+		have.Hdr -= need.Hdr
+		have.Data -= need.Data
+		c.avail[kind] = have
+		c.pend = c.pend[1:]
+		c.transmit(t)
+	}
+}

@@ -1,0 +1,310 @@
+package pcie
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"breakband/internal/memsim"
+	"breakband/internal/sim"
+	"breakband/internal/units"
+)
+
+// collector is a scriptable endpoint.
+type collector struct {
+	k    *sim.Kernel
+	got  []*TLP
+	at   []units.Time
+	hook func(t *TLP)
+}
+
+func (c *collector) RxTLP(t *TLP) {
+	c.got = append(c.got, t)
+	c.at = append(c.at, c.k.Now())
+	if c.hook != nil {
+		c.hook(t)
+	}
+}
+
+func testLink(cfg LinkConfig) (*sim.Kernel, *Link, *collector, *collector) {
+	k := sim.NewKernel()
+	l := NewLink(k, cfg)
+	rc := &collector{k: k}
+	ep := &collector{k: k}
+	l.SetRCSide(rc)
+	l.SetEndpointSide(ep)
+	return k, l, rc, ep
+}
+
+func simpleCfg() LinkConfig {
+	return LinkConfig{
+		Prop:        units.Nanoseconds(100),
+		PerByte:     units.Time(64),
+		TLPHeader:   24,
+		DLLPBytes:   8,
+		AckDelay:    units.Nanoseconds(2),
+		FlowControl: false,
+	}
+}
+
+func TestMWrDeliveryLatency(t *testing.T) {
+	k, l, _, ep := testLink(simpleCfg())
+	k.At(0, func() {
+		l.SendDown(&TLP{Type: MWr, Addr: 1, Data: make([]byte, 64)})
+	})
+	k.Run()
+	if len(ep.got) != 1 {
+		t.Fatalf("delivered %d TLPs", len(ep.got))
+	}
+	// serialize (64+24)*64ps = 5.632ns, plus 100ns prop.
+	want := units.Nanoseconds(105.632)
+	if ep.at[0] != want {
+		t.Errorf("arrival at %v, want %v", ep.at[0], want)
+	}
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	k, l, _, ep := testLink(simpleCfg())
+	k.At(0, func() {
+		l.SendDown(&TLP{Type: MWr, Addr: 1, Data: make([]byte, 256)}) // big first
+		l.SendDown(&TLP{Type: MWr, Addr: 2, Data: make([]byte, 8)})   // small second
+	})
+	k.Run()
+	if len(ep.got) != 2 || ep.got[0].Addr != 1 || ep.got[1].Addr != 2 {
+		t.Fatalf("order broken: %+v", ep.got)
+	}
+	if ep.at[1] < ep.at[0] {
+		t.Error("second TLP arrived before first")
+	}
+}
+
+func TestSerializationContention(t *testing.T) {
+	// Two same-size TLPs sent at the same instant arrive one
+	// serialization apart: the link is a shared serial resource.
+	k, l, _, ep := testLink(simpleCfg())
+	k.At(0, func() {
+		l.SendDown(&TLP{Type: MWr, Addr: 1, Data: make([]byte, 64)})
+		l.SendDown(&TLP{Type: MWr, Addr: 2, Data: make([]byte, 64)})
+	})
+	k.Run()
+	ser := units.Time(88) * 64
+	if ep.at[1]-ep.at[0] != ser {
+		t.Errorf("spacing %v, want %v", ep.at[1]-ep.at[0], ser)
+	}
+}
+
+func TestSeqAssignedInOrder(t *testing.T) {
+	k, l, _, ep := testLink(simpleCfg())
+	k.At(0, func() {
+		for i := 0; i < 5; i++ {
+			l.SendDown(&TLP{Type: MWr, Addr: uint64(i), Data: make([]byte, 8)})
+		}
+	})
+	k.Run()
+	for i, tlp := range ep.got {
+		if tlp.Seq != uint64(i) {
+			t.Errorf("seq[%d] = %d", i, tlp.Seq)
+		}
+	}
+}
+
+func TestCreditBlockingAndUnblock(t *testing.T) {
+	cfg := simpleCfg()
+	cfg.FlowControl = true
+	cfg.PostedCredits = Credits{Hdr: 2, Data: 8}
+	cfg.NonPostedCredits = Credits{Hdr: 2}
+	k, l, _, ep := testLink(cfg)
+	k.At(0, func() {
+		for i := 0; i < 6; i++ {
+			l.SendDown(&TLP{Type: MWr, Addr: uint64(i), Data: make([]byte, 64)})
+		}
+	})
+	k.Run()
+	if len(ep.got) != 6 {
+		t.Fatalf("only %d of 6 TLPs delivered; credits never returned?", len(ep.got))
+	}
+	down, _ := l.Blocked()
+	if down == 0 {
+		t.Error("expected credit-blocked sends with tiny credit pool")
+	}
+	// Order must survive blocking.
+	for i, tlp := range ep.got {
+		if tlp.Addr != uint64(i) {
+			t.Fatalf("order broken after credit stall: %v", ep.got)
+		}
+	}
+}
+
+func TestQuickCreditConservation(t *testing.T) {
+	// Property: any number of MWr posts eventually all deliver (credits
+	// are always returned), in order.
+	f := func(nRaw uint8, sizeSel []uint8) bool {
+		n := int(nRaw%40) + 1
+		cfg := simpleCfg()
+		cfg.FlowControl = true
+		cfg.PostedCredits = Credits{Hdr: 3, Data: 12}
+		cfg.NonPostedCredits = Credits{Hdr: 2}
+		k, l, _, ep := testLink(cfg)
+		k.At(0, func() {
+			for i := 0; i < n; i++ {
+				size := 8
+				if len(sizeSel) > 0 && sizeSel[i%len(sizeSel)]%2 == 0 {
+					size = 64
+				}
+				l.SendDown(&TLP{Type: MWr, Addr: uint64(i), Data: make([]byte, size)})
+			}
+		})
+		k.SetEventLimit(100000)
+		k.Run()
+		if len(ep.got) != n {
+			return false
+		}
+		for i, tlp := range ep.got {
+			if tlp.Addr != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMRdGetsCplD(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := simpleCfg()
+	l := NewLink(k, cfg)
+	mem := memsim.New(4096)
+	reg := mem.Alloc("data", 64, 8)
+	mem.Write(reg.Base, []byte{0xAA, 0xBB, 0xCC, 0xDD})
+	rc := NewRootComplex(k, mem, l, RCConfig{
+		RCToMemBase: units.Nanoseconds(240), RCToMemBaseBytes: 64,
+		MemReadLatency: units.Nanoseconds(150),
+	})
+	_ = rc
+	ep := &collector{k: k}
+	l.SetEndpointSide(ep)
+	k.At(0, func() {
+		l.SendUp(&TLP{Type: MRd, Addr: reg.Base, ReadLen: 4, Tag: 9})
+	})
+	k.Run()
+	if len(ep.got) != 1 || ep.got[0].Type != CplD {
+		t.Fatalf("expected one CplD, got %+v", ep.got)
+	}
+	if ep.got[0].Tag != 9 || !bytes.Equal(ep.got[0].Data, []byte{0xAA, 0xBB, 0xCC, 0xDD}) {
+		t.Errorf("CplD content wrong: %+v", ep.got[0])
+	}
+}
+
+func TestRCCommitDelay(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, simpleCfg())
+	mem := memsim.New(4096)
+	buf := mem.Alloc("buf", 64, 8)
+	rc := NewRootComplex(k, mem, l, RCConfig{
+		RCToMemBase: units.Nanoseconds(240.96), RCToMemBaseBytes: 64,
+	})
+	var commitAt units.Time
+	rc.OnCommit(func(addr uint64, n int) { commitAt = k.Now() })
+	ep := &collector{k: k}
+	l.SetEndpointSide(ep)
+	k.At(0, func() {
+		l.SendUp(&TLP{Type: MWr, Addr: buf.Base, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	})
+	k.Run()
+	if rc.Commits != 1 {
+		t.Fatal("no commit")
+	}
+	// serialize (8+24)*64ps = 2.048 + prop 100 + RC-to-MEM 240.96.
+	want := units.Nanoseconds(343.008)
+	if commitAt != want {
+		t.Errorf("commit at %v, want %v", commitAt, want)
+	}
+	if !bytes.Equal(mem.Read(buf.Base, 8), []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Error("payload not in memory")
+	}
+}
+
+func TestMMIOWriteRequiresBAR(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, simpleCfg())
+	mem := memsim.New(4096)
+	rc := NewRootComplex(k, mem, l, RCConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Error("MMIO write to DRAM address did not panic")
+		}
+	}()
+	rc.MMIOWrite(0x1000, []byte{1})
+}
+
+func TestMMIOWriteCopiesData(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, simpleCfg())
+	mem := memsim.New(4096)
+	rc := NewRootComplex(k, mem, l, RCConfig{})
+	ep := &collector{k: k}
+	l.SetEndpointSide(ep)
+	buf := []byte{1, 2, 3}
+	k.At(0, func() {
+		rc.MMIOWrite(BARBase, buf)
+		buf[0] = 99 // caller reuses the buffer immediately
+	})
+	k.Run()
+	if ep.got[0].Data[0] != 1 {
+		t.Error("MMIO write aliased the caller's buffer")
+	}
+}
+
+func TestRCToMemSizing(t *testing.T) {
+	cfg := RCConfig{
+		RCToMemBase:      units.Nanoseconds(240),
+		RCToMemPerByte:   units.Time(500),
+		RCToMemBaseBytes: 64,
+	}
+	if cfg.RCToMem(8) != units.Nanoseconds(240) {
+		t.Error("sub-baseline write should cost the base")
+	}
+	if cfg.RCToMem(128) != units.Nanoseconds(240)+64*500 {
+		t.Error("per-byte slope not applied")
+	}
+}
+
+func TestCreditsFor(t *testing.T) {
+	kind, c := creditsFor(&TLP{Type: MWr, Data: make([]byte, 64)})
+	if kind != Posted || c.Hdr != 1 || c.Data != 4 {
+		t.Errorf("MWr credits = %v %+v", kind, c)
+	}
+	kind, c = creditsFor(&TLP{Type: MRd, ReadLen: 64})
+	if kind != NonPosted || c.Hdr != 1 || c.Data != 0 {
+		t.Errorf("MRd credits = %v %+v", kind, c)
+	}
+	_, c = creditsFor(&TLP{Type: CplD, Data: make([]byte, 64)})
+	if c.Hdr != 0 {
+		t.Error("CplD should not consume flow-controlled credits here")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if MWr.String() != "MWr" || MRd.String() != "MRd" || CplD.String() != "CplD" {
+		t.Error("TLP type strings")
+	}
+	if Ack.String() != "Ack" || UpdateFC.String() != "UpdateFC" || Nack.String() != "Nack" {
+		t.Error("DLLP type strings")
+	}
+	if Down.String() != "down" || Up.String() != "up" {
+		t.Error("direction strings")
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	tlp := &TLP{Type: MWr, Data: make([]byte, 64)}
+	if tlp.WireBytes(24) != 88 {
+		t.Errorf("WireBytes = %d", tlp.WireBytes(24))
+	}
+	rd := &TLP{Type: MRd, ReadLen: 64}
+	if rd.WireBytes(24) != 24 {
+		t.Errorf("MRd WireBytes = %d", rd.WireBytes(24))
+	}
+}

@@ -1,0 +1,120 @@
+package pcie
+
+import (
+	"fmt"
+
+	"breakband/internal/memsim"
+	"breakband/internal/sim"
+	"breakband/internal/units"
+)
+
+// BARBase is the bus address at which the endpoint's device memory (doorbell
+// registers, BlueFlame buffers) is mapped. Host DRAM occupies low addresses.
+const BARBase uint64 = 0xD000_0000_0000
+
+// IsBAR reports whether addr targets device memory.
+func IsBAR(addr uint64) bool { return addr >= BARBase }
+
+// RCConfig parameterizes the Root Complex.
+type RCConfig struct {
+	// RCToMemBase is the latency for the RC to commit an inbound write's
+	// first byte to memory (the paper's RC-to-MEM component, measured
+	// 240.96 ns for 8 bytes).
+	RCToMemBase units.Time
+	// RCToMemPerByte extends the commit latency for larger writes.
+	RCToMemPerByte units.Time
+	// RCToMemBaseBytes is the payload size RCToMemBase corresponds to.
+	RCToMemBaseBytes int
+	// MemReadLatency is the DRAM access time for servicing an MRd (DMA
+	// read) request.
+	MemReadLatency units.Time
+	// GenDelay is the hardware pipeline delay for the RC to turn an MMIO
+	// write into a TLP. The paper argues it is a few cycles and excludes
+	// it from the models; it defaults to zero but remains configurable so
+	// the assumption can be tested.
+	GenDelay units.Time
+}
+
+// RCToMem reports the commit latency for an n-byte inbound write.
+func (c RCConfig) RCToMem(n int) units.Time {
+	extra := n - c.RCToMemBaseBytes
+	if extra < 0 {
+		extra = 0
+	}
+	return c.RCToMemBase + units.Time(extra)*c.RCToMemPerByte
+}
+
+// RootComplex connects the processor and memory to the PCIe fabric
+// (paper §2). It turns CPU MMIO writes into downstream MWr TLPs, commits
+// inbound DMA writes to host memory after the RC-to-MEM latency, and
+// services inbound DMA reads from memory with CplD completions.
+type RootComplex struct {
+	k    *sim.Kernel
+	mem  *memsim.Memory
+	link *Link
+	cfg  RCConfig
+
+	// Commits counts inbound MWr commits, a test hook.
+	Commits uint64
+	// onCommit, if set, observes each committed inbound write. The NIC's
+	// host-memory doorbell records do not need it; tests do.
+	onCommit func(addr uint64, n int)
+}
+
+// NewRootComplex builds an RC bound to a kernel, host memory and link. It
+// registers itself as the link's RC-side receiver.
+func NewRootComplex(k *sim.Kernel, mem *memsim.Memory, link *Link, cfg RCConfig) *RootComplex {
+	rc := &RootComplex{k: k, mem: mem, link: link, cfg: cfg}
+	link.SetRCSide(rc)
+	return rc
+}
+
+// Config reports the RC configuration.
+func (rc *RootComplex) Config() RCConfig { return rc.cfg }
+
+// OnCommit registers an observer for inbound write commits.
+func (rc *RootComplex) OnCommit(fn func(addr uint64, n int)) { rc.onCommit = fn }
+
+// MMIOWrite issues a posted write from the CPU to device memory. The data is
+// copied, so callers may reuse their buffer. This is the hardware half of
+// both the 8-byte DoorBell ring and the 64-byte PIO copy (paper §2 steps 1
+// and the PIO fast path).
+func (rc *RootComplex) MMIOWrite(addr uint64, data []byte) {
+	if !IsBAR(addr) {
+		panic(fmt.Sprintf("pcie: MMIO write to non-BAR address %#x", addr))
+	}
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	tlp := &TLP{Type: MWr, Addr: addr, Data: payload}
+	if rc.cfg.GenDelay > 0 {
+		rc.k.After(rc.cfg.GenDelay, func() { rc.link.SendDown(tlp) })
+		return
+	}
+	rc.link.SendDown(tlp)
+}
+
+// RxTLP handles upstream traffic from the endpoint.
+func (rc *RootComplex) RxTLP(t *TLP) {
+	switch t.Type {
+	case MWr:
+		// DMA write to host memory: visible to the CPU after the
+		// RC-to-MEM latency.
+		addr, data := t.Addr, t.Data
+		rc.k.After(rc.cfg.RCToMem(len(data)), func() {
+			rc.mem.Write(addr, data)
+			rc.Commits++
+			if rc.onCommit != nil {
+				rc.onCommit(addr, len(data))
+			}
+		})
+	case MRd:
+		// DMA read: fetch from memory, then complete downstream.
+		addr, n, tag := t.Addr, t.ReadLen, t.Tag
+		rc.k.After(rc.cfg.MemReadLatency, func() {
+			data := rc.mem.Read(addr, n)
+			rc.link.SendDown(&TLP{Type: CplD, Addr: addr, Data: data, Tag: tag})
+		})
+	case CplD:
+		panic("pcie: RC received unexpected CplD (no outstanding host reads are modelled)")
+	}
+}

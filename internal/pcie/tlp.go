@@ -1,0 +1,170 @@
+// Package pcie models the PCI Express subsystem on the critical path of
+// communication: the Root Complex (RC), the point-to-point link to the NIC
+// endpoint, Transaction Layer Packets (MWr, MRd, CplD), Data Link Layer
+// Packets (ACK/NACK, UpdateFC) and the credit-based flow control that governs
+// how many transactions can be outstanding (paper §2).
+//
+// The link serializes packets (bandwidth contention is modelled, which the
+// multi-core ablation exercises) and preserves per-direction ordering, as
+// PCIe does. A passive tap interface lets internal/analyzer observe traffic
+// "just before the NIC", matching the paper's Lecroy analyzer placement.
+package pcie
+
+import (
+	"fmt"
+
+	"breakband/internal/units"
+)
+
+// TLPType enumerates the Transaction Layer Packet types relevant to the
+// paper: posted memory writes, non-posted memory reads, and completions with
+// data.
+type TLPType uint8
+
+// TLP types.
+const (
+	MWr  TLPType = iota // Memory Write (posted)
+	MRd                 // Memory Read (non-posted)
+	CplD                // Completion with Data
+)
+
+// String implements fmt.Stringer.
+func (t TLPType) String() string {
+	switch t {
+	case MWr:
+		return "MWr"
+	case MRd:
+		return "MRd"
+	case CplD:
+		return "CplD"
+	default:
+		return fmt.Sprintf("TLP(%d)", uint8(t))
+	}
+}
+
+// TLP is a transaction layer packet in flight on a link.
+type TLP struct {
+	// Seq is the link-level sequence number, assigned by the sending side
+	// and echoed in the ACK DLLP; the analyzer methodology matches a TLP
+	// to its ACK through it.
+	Seq uint64
+	// Type is the transaction type.
+	Type TLPType
+	// Addr is the target address (bus address for MWr/MRd).
+	Addr uint64
+	// Data is the payload for MWr and CplD.
+	Data []byte
+	// ReadLen is the requested byte count for MRd.
+	ReadLen int
+	// Tag matches an MRd to its CplD.
+	Tag uint8
+}
+
+// PayloadBytes reports the number of payload bytes carried.
+func (t *TLP) PayloadBytes() int {
+	switch t.Type {
+	case MWr, CplD:
+		return len(t.Data)
+	default:
+		return 0
+	}
+}
+
+// WireBytes reports the on-wire size given the configured TLP header size
+// (header + framing + payload).
+func (t *TLP) WireBytes(header int) int { return header + t.PayloadBytes() }
+
+// DLLPType enumerates Data Link Layer Packet types.
+type DLLPType uint8
+
+// DLLP types.
+const (
+	Ack DLLPType = iota
+	Nack
+	UpdateFC
+)
+
+// String implements fmt.Stringer.
+func (t DLLPType) String() string {
+	switch t {
+	case Ack:
+		return "Ack"
+	case Nack:
+		return "Nack"
+	case UpdateFC:
+		return "UpdateFC"
+	default:
+		return fmt.Sprintf("DLLP(%d)", uint8(t))
+	}
+}
+
+// CreditKind selects a flow-control credit pool.
+type CreditKind uint8
+
+// Credit pools. Completions are not flow controlled towards the RC (infinite
+// advertisement), which matches common root-port behaviour.
+const (
+	Posted CreditKind = iota
+	NonPosted
+)
+
+// Credits is a (header, data) credit amount. Data credits are in 16-byte
+// units per the PCIe specification.
+type Credits struct {
+	Hdr  int
+	Data int
+}
+
+// creditsFor computes the credits a TLP consumes.
+func creditsFor(t *TLP) (CreditKind, Credits) {
+	switch t.Type {
+	case MWr:
+		return Posted, Credits{Hdr: 1, Data: (len(t.Data) + 15) / 16}
+	case MRd:
+		return NonPosted, Credits{Hdr: 1}
+	default:
+		return NonPosted, Credits{} // CplD: not flow controlled here
+	}
+}
+
+// DLLP is a data link layer packet.
+type DLLP struct {
+	Type DLLPType
+	// AckSeq is the sequence being acknowledged (Ack/Nack).
+	AckSeq uint64
+	// Kind and Credit describe an UpdateFC return.
+	Kind   CreditKind
+	Credit Credits
+}
+
+// Dir is a link direction.
+type Dir uint8
+
+// Link directions. Down is RC towards the endpoint (NIC); Up is endpoint
+// towards the RC. This matches the paper's "downstream/upstream" trace
+// filtering.
+const (
+	Down Dir = iota
+	Up
+)
+
+// String implements fmt.Stringer.
+func (d Dir) String() string {
+	if d == Down {
+		return "down"
+	}
+	return "up"
+}
+
+// Tap observes packets passing a fixed point on the link (just before the
+// endpoint). Implementations must be passive: they may record but not
+// mutate.
+type Tap interface {
+	ObserveTLP(at units.Time, dir Dir, t *TLP)
+	ObserveDLLP(at units.Time, dir Dir, d *DLLP)
+}
+
+// Receiver consumes packets delivered by a link.
+type Receiver interface {
+	RxTLP(t *TLP)
+}

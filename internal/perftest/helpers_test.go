@@ -1,0 +1,6 @@
+package perftest
+
+import "breakband/internal/pcie"
+
+func pcieDown() pcie.Dir    { return pcie.Down }
+func pcieMWr() pcie.TLPType { return pcie.MWr }

@@ -1,0 +1,101 @@
+package perftest
+
+import (
+	"fmt"
+
+	"breakband/internal/node"
+	"breakband/internal/sim"
+	"breakband/internal/uct"
+	"breakband/internal/units"
+)
+
+// MultiPutBwResult reports the multi-core injection ablation: N cores on the
+// initiator node, each with its own worker, endpoint and QP ("each core
+// communicates independently of the others", paper §1), sharing one PCIe
+// link and NIC.
+type MultiPutBwResult struct {
+	Cores      int
+	Messages   int
+	Elapsed    units.Time
+	AggMsgRate float64
+	// PerMsgNs is the aggregate inter-injection time (lower than the
+	// single-core value while the PCIe link and credits keep up).
+	PerMsgNs float64
+	// LinkBlocked counts posts that stalled on PCIe posted credits —
+	// zero for a single core (the paper's §4.2 observation), nonzero
+	// once enough cores gang up on the link.
+	LinkBlocked uint64
+}
+
+// MultiPutBw runs the put_bw loop on cores simulated cores concurrently.
+func MultiPutBw(sys *node.System, cores int, opt Options) *MultiPutBwResult {
+	opt.Defaults(sys.Cfg)
+	cfg := sys.Cfg
+	n0, n1 := sys.Nodes[0], sys.Nodes[1]
+	res := &MultiPutBwResult{Cores: cores}
+
+	var start, end units.Time
+	done := 0
+
+	for c := 0; c < cores; c++ {
+		w0 := uct.NewWorker(n0, cfg)
+		w1 := uct.NewWorker(n1, cfg)
+		ep0 := w0.NewEp(opt.Mode, opt.SignalPeriod)
+		ep1 := w1.NewEp(opt.Mode, opt.SignalPeriod)
+		uct.Connect(ep0, ep1)
+		tgt := n1.Mem.Alloc(fmt.Sprintf("multiput.target%d", c), 4096, 64)
+		ep0.RemoteBuf = tgt.Base
+
+		msg := make([]byte, opt.MsgSize)
+		core := c
+		sys.K.Spawn(fmt.Sprintf("put_bw.core%d", core), func(p *sim.Proc) {
+			post := func() {
+				for ep0.PutShort(p, 0, msg) == uct.ErrNoResource {
+					w0.Progress(p)
+				}
+			}
+			for i := 0; i < opt.Warmup; i++ {
+				post()
+				if (i+1)%cfg.Bench.PollBatch == 0 {
+					w0.Progress(p)
+				}
+			}
+			if start == 0 || p.Now() > start {
+				start = p.Now() // measured window opens when the last core finishes warmup
+			}
+			for i := 0; i < opt.Iters; i++ {
+				post()
+				if (i+1)%cfg.Bench.PollBatch == 0 {
+					w0.Progress(p)
+				}
+				p.Sleep(cfg.SW.MeasUpdate.Sample(n0.Rand))
+				p.Sleep(cfg.SW.BenchLoop.Sample(n0.Rand))
+			}
+			if p.Now() > end {
+				end = p.Now()
+			}
+			for ep0.InFlight() > 0 {
+				w0.Progress(p)
+			}
+			done++
+		})
+	}
+	sys.Run()
+	if done != cores {
+		panic(fmt.Sprintf("perftest: only %d of %d cores finished", done, cores))
+	}
+
+	res.Messages = cores * opt.Iters
+	res.Elapsed = end - start
+	res.PerMsgNs = res.Elapsed.Ns() / float64(res.Messages)
+	res.AggMsgRate = float64(res.Messages) / res.Elapsed.Seconds()
+	blockedDown, _ := n0.Link.Blocked()
+	res.LinkBlocked = blockedDown
+	return res
+}
+
+// String renders the result.
+func (r *MultiPutBwResult) String() string {
+	return fmt.Sprintf("multi put_bw: %d cores, %d msgs in %v -> %.0f msg/s (%.2f ns/msg, %d credit stalls)",
+		r.Cores, r.Messages, r.Elapsed, r.AggMsgRate, r.PerMsgNs, r.LinkBlocked)
+}

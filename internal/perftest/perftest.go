@@ -1,0 +1,245 @@
+// Package perftest reimplements the two UCX perftest microbenchmarks the
+// paper drives its low-level analysis with (§4):
+//
+//   - put_bw: single-threaded RDMA-write injection-rate test. Every message
+//     generates a completion; the benchmark polls one completion every
+//     PollBatch (16) posts, so once the transmit queue's depth is exhausted
+//     each successful post is preceded by a busy post on average — the
+//     steady state the paper's injection model describes.
+//   - am_lat: ping-pong latency with send-receive (active message)
+//     semantics; the benchmark reports half the round-trip time and performs
+//     its measurement update inside the round trip.
+package perftest
+
+import (
+	"fmt"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/sim"
+	"breakband/internal/stats"
+	"breakband/internal/uct"
+	"breakband/internal/units"
+)
+
+// Options shapes a perftest run.
+type Options struct {
+	Iters   int
+	Warmup  int
+	MsgSize int
+	// Mode selects the descriptor path (PIO+inline by default).
+	Mode uct.PostMode
+	// SignalPeriod: 1 = every message signaled (the perftest behaviour).
+	SignalPeriod int
+	// ClearTrace, when true, clears the initiator's PCIe analyzer at the
+	// start of the measured phase so the captured trace covers steady
+	// state only.
+	ClearTrace bool
+	// ProfStage selects one LLP region to profile on the initiator
+	// (paper §3: one component at a time).
+	ProfStage uct.Stage
+	// Calibrate runs the profiler's overhead calibration before the
+	// benchmark (required when ProfStage is set).
+	Calibrate bool
+}
+
+// Defaults fills unset fields from cfg.
+func (o *Options) Defaults(cfg *config.Config) {
+	if o.Iters == 0 {
+		o.Iters = cfg.Bench.Iters
+	}
+	if o.Warmup == 0 {
+		o.Warmup = cfg.Bench.Warmup
+	}
+	if o.MsgSize == 0 {
+		o.MsgSize = 8 // "Each message is 8 bytes, the size of a double."
+	}
+	if o.SignalPeriod == 0 {
+		o.SignalPeriod = 1
+	}
+}
+
+// PutBwResult reports a put_bw run.
+type PutBwResult struct {
+	Messages int
+	Elapsed  units.Time
+	// MsgRate is messages per second as the benchmark reports it.
+	MsgRate float64
+	// MeanInjNs is the inverse rate: mean time between injected messages.
+	MeanInjNs float64
+	Stats     uct.Stats
+	Worker    *uct.Worker
+}
+
+// PutBw runs the RDMA-write injection benchmark from node 0 to node 1 of
+// sys. The target's CPU is not involved (one-sided writes).
+func PutBw(sys *node.System, opt Options) *PutBwResult {
+	opt.Defaults(sys.Cfg)
+	cfg := sys.Cfg
+	n0, n1 := sys.Nodes[0], sys.Nodes[1]
+
+	w0 := uct.NewWorker(n0, cfg)
+	w1 := uct.NewWorker(n1, cfg)
+	ep0 := w0.NewEp(opt.Mode, opt.SignalPeriod)
+	ep1 := w1.NewEp(opt.Mode, opt.SignalPeriod)
+	uct.Connect(ep0, ep1)
+	tgt := n1.Mem.Alloc("putbw.target", 4096, 64)
+	ep0.RemoteBuf = tgt.Base
+
+	res := &PutBwResult{Worker: w0}
+	msg := make([]byte, opt.MsgSize)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+
+	w0.ProfStage = opt.ProfStage
+	sys.K.Spawn("put_bw", func(p *sim.Proc) {
+		if opt.Calibrate {
+			n0.Prof.Calibrate(p, cfg.Prof.CalibrationSamples)
+		}
+		post := func() {
+			for ep0.PutShort(p, 0, msg) == uct.ErrNoResource {
+				w0.Progress(p)
+			}
+		}
+		for i := 0; i < opt.Warmup; i++ {
+			post()
+			if (i+1)%cfg.Bench.PollBatch == 0 {
+				w0.Progress(p)
+			}
+		}
+		if opt.ClearTrace {
+			n0.Tap.Clear()
+		}
+		start := p.Now()
+		for i := 0; i < opt.Iters; i++ {
+			post()
+			if (i+1)%cfg.Bench.PollBatch == 0 {
+				w0.Progress(p)
+			}
+			// Timestamp + injection-rate measurement update, then the
+			// residual loop logic.
+			p.Sleep(cfg.SW.MeasUpdate.Sample(n0.Rand))
+			p.Sleep(cfg.SW.BenchLoop.Sample(n0.Rand))
+		}
+		res.Elapsed = p.Now() - start
+		// Drain outside the measured window.
+		for ep0.InFlight() > 0 {
+			w0.Progress(p)
+		}
+	})
+	sys.Run()
+
+	res.Messages = opt.Iters
+	res.MeanInjNs = res.Elapsed.Ns() / float64(opt.Iters)
+	res.MsgRate = float64(opt.Iters) / res.Elapsed.Seconds()
+	res.Stats = w0.Stats
+	return res
+}
+
+// AmLatResult reports an am_lat run.
+type AmLatResult struct {
+	Iters int
+	// ReportedNs is what the benchmark prints: round trip / 2, including
+	// its own measurement update inside the loop.
+	ReportedNs float64
+	// AdjustedNs deducts half the measurement-update mean, the paper's
+	// §4.3 correction, for comparison against the latency model.
+	AdjustedNs float64
+	// RTTs holds per-iteration round-trip times (ns).
+	RTTs *stats.Sample
+	// Workers expose LLP stats (initiator, target).
+	W0, W1 *uct.Worker
+	// Ep0 and Ep1 expose the endpoints (trace queries filter by their
+	// ring addresses).
+	Ep0, Ep1 *uct.Ep
+}
+
+// AmLat runs the send-receive ping-pong between node 0 (initiator) and
+// node 1 (responder).
+func AmLat(sys *node.System, opt Options) *AmLatResult {
+	opt.Defaults(sys.Cfg)
+	cfg := sys.Cfg
+	n0, n1 := sys.Nodes[0], sys.Nodes[1]
+
+	w0 := uct.NewWorker(n0, cfg)
+	w1 := uct.NewWorker(n1, cfg)
+	ep0 := w0.NewEp(opt.Mode, opt.SignalPeriod)
+	ep1 := w1.NewEp(opt.Mode, opt.SignalPeriod)
+	uct.Connect(ep0, ep1)
+
+	const amPing, amPong = 2, 3
+	gotPong, gotPing := false, false
+	w0.SetAmHandler(amPong, func(p *sim.Proc, data []byte) { gotPong = true })
+	w1.SetAmHandler(amPing, func(p *sim.Proc, data []byte) { gotPing = true })
+
+	res := &AmLatResult{Iters: opt.Iters, RTTs: &stats.Sample{}, W0: w0, W1: w1, Ep0: ep0, Ep1: ep1}
+	msg := make([]byte, opt.MsgSize)
+	total := opt.Warmup + opt.Iters
+
+	// Responder: wait for each ping, answer with a pong.
+	sys.K.Spawn("am_lat.responder", func(p *sim.Proc) {
+		ep1.PostRecvs(p, 64)
+		for i := 0; i < total; i++ {
+			for !gotPing {
+				w1.Progress(p)
+			}
+			gotPing = false
+			for ep1.AmShort(p, amPong, msg) == uct.ErrNoResource {
+				w1.Progress(p)
+			}
+		}
+	})
+
+	// Initiator: ping, update measurement, spin for the pong.
+	w0.ProfStage = opt.ProfStage
+	sys.K.Spawn("am_lat.initiator", func(p *sim.Proc) {
+		if opt.Calibrate {
+			n0.Prof.Calibrate(p, cfg.Prof.CalibrationSamples)
+		}
+		ep0.PostRecvs(p, 64)
+		var start units.Time
+		for i := 0; i < total; i++ {
+			if i == opt.Warmup {
+				if opt.ClearTrace {
+					n0.Tap.Clear()
+				}
+				start = p.Now()
+			}
+			t0 := p.Now()
+			for ep0.AmShort(p, amPing, msg) == uct.ErrNoResource {
+				w0.Progress(p)
+			}
+			// The measurement update happens inside the round trip
+			// (paper §4.3: half of it is deducted when comparing to
+			// the model).
+			p.Sleep(cfg.SW.MeasUpdate.Sample(n0.Rand))
+			for !gotPong {
+				w0.Progress(p)
+			}
+			gotPong = false
+			p.Sleep(cfg.SW.BenchLoop.Sample(n0.Rand))
+			if i >= opt.Warmup {
+				res.RTTs.Add((p.Now() - t0).Ns())
+			}
+		}
+		elapsed := p.Now() - start
+		res.ReportedNs = elapsed.Ns() / float64(2*opt.Iters)
+	})
+	sys.Run()
+
+	res.AdjustedNs = res.ReportedNs - cfg.SW.MeasUpdate.Mean().Ns()/2
+	return res
+}
+
+// String renders a put_bw result like the ucx_perftest footer.
+func (r *PutBwResult) String() string {
+	return fmt.Sprintf("put_bw: %d msgs in %v -> %.0f msg/s (%.2f ns between messages; %d busy posts)",
+		r.Messages, r.Elapsed, r.MsgRate, r.MeanInjNs, r.Stats.BusyPosts)
+}
+
+// String renders an am_lat result.
+func (r *AmLatResult) String() string {
+	return fmt.Sprintf("am_lat: %d iters, reported %.2f ns (adjusted %.2f ns)",
+		r.Iters, r.ReportedNs, r.AdjustedNs)
+}

@@ -1,0 +1,185 @@
+package perftest
+
+import (
+	"fmt"
+
+	"breakband/internal/mlx"
+	"breakband/internal/node"
+	"breakband/internal/sim"
+	"breakband/internal/uct"
+	"breakband/internal/units"
+)
+
+// SizePoint is one message-size measurement of the latency sweep.
+type SizePoint struct {
+	Bytes int
+	// LatencyNs is the adjusted one-way latency.
+	LatencyNs float64
+	// SoftwareNs estimates the constant CPU share (the LLP post and
+	// progress means), so SoftwarePct shows the paper's §1 point: the
+	// software share of latency collapses as messages grow, which is why
+	// the paper focuses its software analysis on small messages.
+	SoftwareNs  float64
+	SoftwarePct float64
+}
+
+// LatencySizeSweep measures one-way latency across message sizes. Sizes at
+// or below the inline maximum use the PIO short path; larger ones the
+// buffered-copy path, as UCX selects by size.
+func LatencySizeSweep(mkSys func() *node.System, sizes []int, iters int) []SizePoint {
+	var out []SizePoint
+	for _, size := range sizes {
+		sys := mkSys()
+		res := amLatAuto(sys, size, iters)
+		sw := sys.Cfg.LLPPostMean() + sys.Cfg.LLPProgMean()
+		out = append(out, SizePoint{
+			Bytes:       size,
+			LatencyNs:   res,
+			SoftwareNs:  sw,
+			SoftwarePct: sw / res * 100,
+		})
+		sys.Shutdown()
+	}
+	return out
+}
+
+// amLatAuto is am_lat with automatic short/bcopy path selection by size.
+func amLatAuto(sys *node.System, size, iters int) float64 {
+	cfg := sys.Cfg
+	n0, n1 := sys.Nodes[0], sys.Nodes[1]
+	w0 := uct.NewWorker(n0, cfg)
+	w1 := uct.NewWorker(n1, cfg)
+	ep0 := w0.NewEp(uct.PIOInline, 1)
+	ep1 := w1.NewEp(uct.PIOInline, 1)
+	uct.Connect(ep0, ep1)
+
+	const amPing, amPong = 2, 3
+	gotPong, gotPing := false, false
+	w0.SetAmHandler(amPong, func(p *sim.Proc, data []byte) { gotPong = true })
+	w1.SetAmHandler(amPing, func(p *sim.Proc, data []byte) { gotPing = true })
+
+	post := func(p *sim.Proc, ep *uct.Ep, id uint8, msg []byte) {
+		var err error
+		for {
+			if len(msg) <= mlx.InlineMax {
+				err = ep.AmShort(p, id, msg)
+			} else {
+				err = ep.AmBcopy(p, id, msg)
+			}
+			if err != uct.ErrNoResource {
+				break
+			}
+			if ep == ep0 {
+				w0.Progress(p)
+			} else {
+				w1.Progress(p)
+			}
+		}
+		if err != nil {
+			panic(fmt.Sprintf("perftest: sweep post: %v", err))
+		}
+	}
+
+	msg := make([]byte, size)
+	warmup := 30
+	total := warmup + iters
+	var reported float64
+	sys.K.Spawn("sweep.responder", func(p *sim.Proc) {
+		ep1.PostRecvs(p, 64)
+		for i := 0; i < total; i++ {
+			for !gotPing {
+				w1.Progress(p)
+			}
+			gotPing = false
+			post(p, ep1, amPong, msg)
+		}
+	})
+	sys.K.Spawn("sweep.initiator", func(p *sim.Proc) {
+		ep0.PostRecvs(p, 64)
+		var start units.Time
+		for i := 0; i < total; i++ {
+			if i == warmup {
+				start = p.Now()
+			}
+			post(p, ep0, amPing, msg)
+			p.Sleep(cfg.SW.MeasUpdate.Sample(n0.Rand))
+			for !gotPong {
+				w0.Progress(p)
+			}
+			gotPong = false
+			p.Sleep(cfg.SW.BenchLoop.Sample(n0.Rand))
+		}
+		reported = (p.Now() - start).Ns() / float64(2*iters)
+	})
+	sys.Run()
+	return reported - cfg.SW.MeasUpdate.Mean().Ns()/2
+}
+
+// WindowedResult is one point of the poll-window ablation.
+type WindowedResult struct {
+	Window   int
+	PerMsgNs float64
+	// ModelMin is the paper's §4.2 lower bound on the window: below
+	// MinPollPeriod the sender stalls on completion generation.
+	ModelMin int
+}
+
+// WindowedPutBw posts p messages then polls p completions per window — the
+// access pattern behind the paper's §4.2 lower bound
+// p >= gen_completion / LLP_post. For windows below the bound the sender
+// waits on completion generation; above it the injection overhead flattens
+// to the CPU time.
+func WindowedPutBw(sys *node.System, window, iters int) *WindowedResult {
+	cfg := sys.Cfg
+	n0, n1 := sys.Nodes[0], sys.Nodes[1]
+	w0 := uct.NewWorker(n0, cfg)
+	w1 := uct.NewWorker(n1, cfg)
+	ep0 := w0.NewEp(uct.PIOInline, 1)
+	ep1 := w1.NewEp(uct.PIOInline, 1)
+	uct.Connect(ep0, ep1)
+	tgt := n1.Mem.Alloc("windowed.target", 4096, 64)
+	ep0.RemoteBuf = tgt.Base
+
+	msg := make([]byte, 8)
+	res := &WindowedResult{Window: window}
+	sys.K.Spawn("windowed_put_bw", func(p *sim.Proc) {
+		windows := iters / window
+		warmup := 2
+		var start units.Time
+		completed := 0
+		for wnd := 0; wnd < windows+warmup; wnd++ {
+			if wnd == warmup {
+				start = p.Now()
+				completed = 0
+			}
+			for i := 0; i < window; i++ {
+				for ep0.PutShort(p, 0, msg) == uct.ErrNoResource {
+					w0.Progress(p)
+				}
+			}
+			// Poll the window's completions before reusing it.
+			target := completed + window
+			for completed < target {
+				completed += w0.Progress(p)
+			}
+			p.Sleep(cfg.SW.MeasUpdate.Sample(n0.Rand))
+		}
+		res.PerMsgNs = (p.Now() - start).Ns() / float64(windows*window)
+	})
+	sys.Run()
+	_ = w1
+	res.ModelMin = minPollPeriod(cfg)
+	return res
+}
+
+// minPollPeriod evaluates the §4.2 bound from the configured means.
+func minPollPeriod(cfg interface {
+	LLPPostMean() float64
+	LLPProgMean() float64
+}) int {
+	// gen_completion from the calibration targets (the live config values
+	// measure to these through the methodology).
+	gen := 2*(137.49+382.81) + 240.96
+	p := int(gen/cfg.LLPPostMean()) + 1
+	return p
+}

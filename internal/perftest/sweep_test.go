@@ -1,0 +1,74 @@
+package perftest
+
+import (
+	"testing"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+)
+
+func mkDet() *node.System {
+	return node.NewSystem(config.TX2CX4(config.NoiseOff, 1, true), 2)
+}
+
+func TestLatencySizeSweepMonotone(t *testing.T) {
+	pts := LatencySizeSweep(mkDet, []int{8, 64, 512, 4096}, 150)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].LatencyNs <= pts[i-1].LatencyNs {
+			t.Errorf("latency not increasing with size: %v -> %v",
+				pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestLatencySizeSweepSoftwareShareFalls(t *testing.T) {
+	// The paper's §1 motivation: the software share matters for small
+	// messages and collapses for large ones.
+	pts := LatencySizeSweep(mkDet, []int{8, 4096}, 150)
+	small, large := pts[0], pts[1]
+	if small.SoftwarePct < 15 {
+		t.Errorf("8B software share = %.1f%%, expected substantial", small.SoftwarePct)
+	}
+	if large.SoftwarePct > small.SoftwarePct/2 {
+		t.Errorf("4KB software share = %.1f%% vs 8B %.1f%%: should collapse",
+			large.SoftwarePct, small.SoftwarePct)
+	}
+}
+
+func TestSizeSweepPathSwitch(t *testing.T) {
+	// Crossing the inline limit (32B) moves to the buffered-copy path,
+	// which pays the descriptor and payload DMA reads: a visible jump.
+	pts := LatencySizeSweep(mkDet, []int{32, 64}, 120)
+	jump := pts[1].LatencyNs - pts[0].LatencyNs
+	if jump < 300 {
+		t.Errorf("inline->bcopy jump = %.2f ns, expected the DMA round trips", jump)
+	}
+}
+
+func TestWindowedPutBwBound(t *testing.T) {
+	results := map[int]float64{}
+	for _, w := range []int{1, 8, 32} {
+		sys := mkDet()
+		res := WindowedPutBw(sys, w, 1024)
+		results[w] = res.PerMsgNs
+		if res.ModelMin != 8 {
+			t.Errorf("model min window = %d, want 8 (paper §4.2)", res.ModelMin)
+		}
+		sys.Shutdown()
+	}
+	// Window 1 is the synchronous post the paper warns about: dominated
+	// by completion generation (~1.3 us), several times slower.
+	if results[1] < 3*results[32] {
+		t.Errorf("window-1 = %.2f vs window-32 = %.2f: synchronous penalty missing",
+			results[1], results[32])
+	}
+	// Past the bound, most of the benefit is already realized: window 8
+	// is within 50% of window 32's steady state.
+	if results[8] > 1.5*results[32] {
+		t.Errorf("window-8 = %.2f vs window-32 = %.2f: bound not flattening",
+			results[8], results[32])
+	}
+}

@@ -1,0 +1,116 @@
+package rng
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"breakband/internal/units"
+)
+
+func TestFixed(t *testing.T) {
+	d := FixedNs(27.78)
+	if d.Sample(nil) != units.Nanoseconds(27.78) {
+		t.Error("Fixed sample != value")
+	}
+	if d.Mean() != units.Nanoseconds(27.78) {
+		t.Error("Fixed mean != value")
+	}
+	if !strings.Contains(d.String(), "fixed") {
+		t.Error("Fixed String missing kind")
+	}
+}
+
+func TestLogNormalDistNilRand(t *testing.T) {
+	d := LogNormalNs(100, 0.2)
+	// A nil generator collapses to the mean (deterministic mode).
+	if d.Sample(nil) != d.Mean() {
+		t.Error("nil rand should return the mean")
+	}
+}
+
+func TestLogNormalDistMean(t *testing.T) {
+	d := LogNormalNs(100, 0.2)
+	r := New(17)
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(r))
+	}
+	got := sum / float64(n)
+	want := float64(d.Mean())
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("sample mean %v, want ~%v", got, want)
+	}
+}
+
+func TestSpiked(t *testing.T) {
+	base := FixedNs(10)
+	d := Spiked{Base: base, P: 0.5, Extra: FixedNs(100)}
+	r := New(3)
+	spikes := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		switch v {
+		case units.Nanoseconds(10):
+		case units.Nanoseconds(110):
+			spikes++
+		default:
+			t.Fatalf("unexpected sample %v", v)
+		}
+	}
+	frac := float64(spikes) / float64(n)
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("spike fraction %v, want ~0.5", frac)
+	}
+	// Mean includes the expected spike contribution.
+	if d.Mean() != units.Nanoseconds(60) {
+		t.Errorf("Spiked mean = %v, want 60ns", d.Mean())
+	}
+}
+
+func TestSpikedNilRand(t *testing.T) {
+	d := Spiked{Base: FixedNs(10), P: 1, Extra: FixedNs(100)}
+	// Without a generator the spike cannot fire.
+	if d.Sample(nil) != units.Nanoseconds(10) {
+		t.Error("nil rand should bypass spikes")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	d := Scaled{Base: FixedNs(100), Factor: 0.16}
+	if d.Sample(nil) != units.Nanoseconds(16) {
+		t.Errorf("Scaled sample = %v", d.Sample(nil))
+	}
+	if d.Mean() != units.Nanoseconds(16) {
+		t.Errorf("Scaled mean = %v", d.Mean())
+	}
+}
+
+func TestQuickScaledMean(t *testing.T) {
+	// Property: scaling a Fixed dist scales its mean proportionally.
+	f := func(ns uint16, factPct uint8) bool {
+		base := FixedNs(float64(ns))
+		fct := float64(factPct%101) / 100
+		s := Scaled{Base: base, Factor: fct}
+		want := units.Time(float64(base.Mean()) * fct)
+		return s.Mean() == want && s.Sample(nil) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSpikedMeanMonotone(t *testing.T) {
+	// Property: adding a spike never lowers the mean.
+	f := func(baseNs, extraNs uint16, pPct uint8) bool {
+		base := FixedNs(float64(baseNs))
+		d := Spiked{Base: base, P: float64(pPct%101) / 100, Extra: FixedNs(float64(extraNs))}
+		return d.Mean() >= base.Mean()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package sim implements the discrete-event simulation kernel that the whole
+// breakband system runs on.
+//
+// The kernel owns a virtual clock (integer picoseconds) and a priority queue
+// of events. Hardware components (PCIe links, NICs, the network fabric) are
+// written in event-callback style; software stacks (UCT/UCP/MPI and the
+// benchmarks) are written in direct style as Procs — goroutines that advance
+// virtual time with Sleep and never run concurrently with each other or with
+// the kernel. At any instant exactly one goroutine is executing, so shared
+// simulation state needs no locking and runs are fully deterministic: events
+// at equal timestamps fire in scheduling order (a monotone sequence number
+// breaks ties).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"breakband/internal/units"
+)
+
+// Time aliases the repository-wide picosecond time type for convenience.
+type Time = units.Time
+
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// EventRef identifies a scheduled event so it can be cancelled.
+type EventRef struct{ e *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (r EventRef) Cancel() {
+	if r.e != nil {
+		r.e.dead = true
+	}
+}
+
+// Kernel is a discrete-event simulator instance.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	fired   uint64
+	procs   []*Proc
+	stopped bool
+	limit   uint64 // safety valve: max events per Run (0 = unlimited)
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired reports how many events have executed, a cheap progress/size metric
+// used by tests.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// SetEventLimit installs a safety valve: Run panics after n events. Tests use
+// it to convert accidental non-termination into a diagnosable failure.
+func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// it always indicates a causality bug in a component model.
+func (k *Kernel) At(at Time, fn func()) EventRef {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (now=%v at=%v)", k.now, at))
+	}
+	e := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return EventRef{e}
+}
+
+// After schedules fn to run d from now. Negative delays panic.
+func (k *Kernel) After(d Time, fn func()) EventRef {
+	return k.At(k.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue empties, Stop is called, or the event
+// limit trips. It returns the number of events fired during this call.
+func (k *Kernel) Run() uint64 {
+	return k.RunUntil(units.MaxTime)
+}
+
+// RunUntil executes events with timestamps <= deadline. The clock is left at
+// the last executed event's time (or the deadline if nothing remained).
+func (k *Kernel) RunUntil(deadline Time) uint64 {
+	k.stopped = false
+	var fired uint64
+	for len(k.events) > 0 && !k.stopped {
+		e := k.events[0]
+		if e.at > deadline {
+			break
+		}
+		heap.Pop(&k.events)
+		if e.dead {
+			continue
+		}
+		k.now = e.at
+		k.fired++
+		fired++
+		if k.limit > 0 && k.fired > k.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v (runaway simulation?)", k.limit, k.now))
+		}
+		e.fn()
+	}
+	return fired
+}
+
+// Pending reports the number of live events still queued.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.events {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

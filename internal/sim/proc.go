@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+)
+
+// procKilled is the panic payload used to unwind a Proc goroutine when the
+// kernel shuts down. It is recovered inside the proc wrapper and never
+// escapes to user code.
+type procKilled struct{ name string }
+
+// Proc is a simulated sequential thread of execution (one per software agent:
+// a CPU core running a benchmark, a progress loop, ...). Procs advance
+// virtual time with Sleep; between Sleeps their Go code executes atomically
+// with respect to the rest of the simulation.
+//
+// Concurrency model: the kernel and all procs form a single logical thread.
+// Control is handed to a proc via its resume channel and handed back via its
+// yield channel, so exactly one goroutine is ever running. This keeps all
+// simulation state lock-free and every run bit-for-bit deterministic.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	exited chan struct{}
+	done   bool
+	killed bool
+}
+
+// Name reports the name the proc was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports current virtual time.
+func (p *Proc) Now() Time { return p.k.Now() }
+
+// Done reports whether the proc's body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Spawn starts body as a simulated process at the current virtual time. The
+// body begins executing when the kernel reaches the spawn event; it runs
+// interleaved with other events, exclusively, until it Sleeps or returns.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		defer close(p.exited)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); ok {
+					p.done = true
+					return // kernel shutdown: exit silently
+				}
+				panic(r) // real bug: re-panic on the proc goroutine
+			}
+		}()
+		<-p.resume // wait for the start event
+		if p.killed {
+			panic(procKilled{p.name})
+		}
+		body(p)
+		p.done = true
+		p.yield <- struct{}{} // hand control back one final time
+	}()
+	k.After(0, func() { p.step() })
+	return p
+}
+
+// step transfers control to the proc and blocks until it yields again. It
+// runs in kernel (event) context.
+func (p *Proc) step() {
+	if p.done || p.killed {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// Sleep suspends the proc for d of virtual time. d must be >= 0; Sleep(0)
+// yields to co-timed events (useful to model "the rest of the system catches
+// up before the next instruction").
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v in proc %q", d, p.name))
+	}
+	p.k.After(d, func() { p.step() })
+	p.yield <- struct{}{} // give control back to the kernel
+	<-p.resume            // wait until the wake event fires
+	if p.killed {
+		panic(procKilled{p.name})
+	}
+}
+
+// Shutdown terminates all procs that have not finished. It must be called
+// outside Run (after the event loop returns); at that point every live proc
+// is parked on its resume channel, so waking it causes it to unwind via a
+// procKilled panic. Shutdown waits for each goroutine to exit, so no
+// goroutines leak across repeated simulation runs in tests and benchmarks.
+func (k *Kernel) Shutdown() {
+	for _, p := range k.procs {
+		p.killed = true
+		if p.done {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-p.exited
+	}
+	k.procs = nil
+}

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"breakband/internal/units"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if k.Now() != 30 {
+		t.Errorf("clock = %v, want 30", k.Now())
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	// Events scheduled for the same instant fire in scheduling order.
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Error("same-time events fired out of scheduling order")
+	}
+}
+
+func TestAfter(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.After(100, func() {
+		at = k.Now()
+		k.After(50, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 150 {
+		t.Errorf("nested After landed at %v, want 150", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(50, func() {})
+	})
+	k.Run()
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	ref := k.At(10, func() { fired = true })
+	ref.Cancel()
+	k.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling twice or after the run is a no-op.
+	ref.Cancel()
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	k.RunUntil(25)
+	if len(fired) != 2 {
+		t.Errorf("RunUntil(25) fired %v", fired)
+	}
+	k.Run()
+	if len(fired) != 4 {
+		t.Errorf("resumed run fired %v", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.At(10, func() { n++; k.Stop() })
+	k.At(20, func() { n++ })
+	k.Run()
+	if n != 1 {
+		t.Errorf("Stop did not halt the loop, n=%d", n)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	k := NewKernel()
+	k.SetEventLimit(10)
+	var reschedule func()
+	reschedule = func() { k.After(1, reschedule) }
+	k.After(1, reschedule)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway simulation did not trip the event limit")
+		}
+	}()
+	k.Run()
+}
+
+func TestPending(t *testing.T) {
+	k := NewKernel()
+	ref := k.At(10, func() {})
+	k.At(20, func() {})
+	if k.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", k.Pending())
+	}
+	ref.Cancel()
+	if k.Pending() != 1 {
+		t.Errorf("Pending after cancel = %d, want 1", k.Pending())
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	k.Spawn("worker", func(p *Proc) {
+		times = append(times, p.Now())
+		p.Sleep(100)
+		times = append(times, p.Now())
+		p.Sleep(0)
+		times = append(times, p.Now())
+	})
+	k.Run()
+	if len(times) != 3 || times[0] != 0 || times[1] != 100 || times[2] != 100 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestProcNegativeSleepPanics(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("bad", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative sleep did not panic")
+			}
+		}()
+		p.Sleep(-1)
+	})
+	k.Run()
+	k.Shutdown()
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			k.Spawn(name, func(p *Proc) {
+				for i := 0; i < 5; i++ {
+					log = append(log, name)
+					p.Sleep(10)
+				}
+			})
+		}
+		k.Run()
+		k.Shutdown()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("interleaving length changed between runs")
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("interleaving diverged at %d: %v vs %v", i, got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestProcEventInterleaving(t *testing.T) {
+	// A proc sleeping across an event sees the event's effects: events and
+	// procs share one timeline.
+	k := NewKernel()
+	value := 0
+	k.At(50, func() { value = 42 })
+	var seen int
+	k.Spawn("reader", func(p *Proc) {
+		p.Sleep(60)
+		seen = value
+	})
+	k.Run()
+	if seen != 42 {
+		t.Errorf("proc observed %d, want 42", seen)
+	}
+}
+
+func TestShutdownReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		k := NewKernel()
+		k.Spawn("sleeper", func(p *Proc) {
+			p.Sleep(units.Second) // would park ~forever
+		})
+		k.RunUntil(10) // stop long before the wake event
+		k.Shutdown()
+	}
+	// Allow the runtime to reap exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+5 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+5 {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestShutdownBeforeStart(t *testing.T) {
+	// A proc whose start event never fires must still terminate cleanly.
+	k := NewKernel()
+	k.Spawn("never", func(p *Proc) {
+		t.Error("body of never-started proc ran")
+	})
+	// Do not run the kernel at all.
+	k.Shutdown()
+}
+
+func TestProcDone(t *testing.T) {
+	k := NewKernel()
+	p := k.Spawn("quick", func(p *Proc) { p.Sleep(5) })
+	if p.Done() {
+		t.Error("proc done before running")
+	}
+	k.Run()
+	if !p.Done() {
+		t.Error("proc not done after run")
+	}
+	if p.Name() != "quick" {
+		t.Errorf("name = %q", p.Name())
+	}
+	k.Shutdown()
+}
+
+func TestQuickEventOrderInvariant(t *testing.T) {
+	// Property: for any set of delays, execution times are non-decreasing.
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		var times []Time
+		for _, d := range delays {
+			k.At(Time(d), func() { times = append(times, k.Now()) })
+		}
+		k.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package stats provides the summary statistics used by the measurement
+// methodology and the figure renderers: streaming moments (Welford),
+// quantiles, and fixed-width histograms in the style of the paper's Figure 7.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations and computes summary statistics.
+// The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	// Welford accumulators for numerically stable mean/variance.
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean reports the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Var reports the unbiased sample variance.
+func (s *Sample) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std reports the sample standard deviation.
+func (s *Sample) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min reports the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 { return s.min }
+
+// Max reports the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 { return s.max }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) using linear interpolation
+// between order statistics. It panics on an empty sample or out-of-range q.
+func (s *Sample) Quantile(q float64) float64 {
+	if s.n == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range", q))
+	}
+	s.ensureSorted()
+	if s.n == 1 {
+		return s.xs[0]
+	}
+	pos := q * float64(s.n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median reports the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Values returns a copy of the observations in insertion order is NOT
+// guaranteed (they may have been sorted); callers needing order must keep
+// their own slice.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Summary is a value snapshot of a Sample, convenient for reports.
+type Summary struct {
+	N                      int
+	Mean, Median           float64
+	Std                    float64
+	Min, Max               float64
+	P5, P25, P75, P95, P99 float64
+}
+
+// Summarize computes a Summary. An empty sample yields a zero Summary.
+func (s *Sample) Summarize() Summary {
+	if s.n == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      s.n,
+		Mean:   s.Mean(),
+		Median: s.Median(),
+		Std:    s.Std(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+		P5:     s.Quantile(0.05),
+		P25:    s.Quantile(0.25),
+		P75:    s.Quantile(0.75),
+		P95:    s.Quantile(0.95),
+		P99:    s.Quantile(0.99),
+	}
+}
+
+// String renders a Summary in one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f median=%.2f std=%.4f min=%.2f max=%.2f",
+		s.N, s.Mean, s.Median, s.Std, s.Min, s.Max)
+}
+
+// Histogram bins observations into fixed-width buckets over [Lo, Hi); values
+// outside the range are counted in Under/Over. This mirrors the probability-
+// density plot of the paper's Figure 7 (whose max is off-scale and noted in a
+// caption, exactly like our Over count).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	Total  int
+}
+
+// NewHistogram builds an empty histogram with nbins buckets across [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if hi <= lo || nbins <= 0 {
+		panic("stats: invalid histogram range")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+}
+
+// Add bins one observation.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // guard FP edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// BinWidth reports the bucket width.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// Density reports bucket i's probability density (share of total divided by
+// bin width), matching Figure 7's y axis.
+func (h *Histogram) Density(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total) / h.BinWidth()
+}
+
+// FromSample bins all observations of s.
+func (h *Histogram) FromSample(s *Sample) {
+	for _, x := range s.Values() {
+		h.Add(x)
+	}
+}

@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleOf(xs ...float64) *Sample {
+	s := &Sample{}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+func TestMoments(t *testing.T) {
+	s := sampleOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	// Unbiased sample variance of this classic dataset is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v, want %v", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("range [%v, %v]", s.Min(), s.Max())
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Error("empty sample should be all zeros")
+	}
+	if sum := s.Summarize(); sum.N != 0 {
+		t.Error("empty summary not zero")
+	}
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Var() != 0 || s.Median() != 3.5 {
+		t.Error("single-element stats wrong")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	s := sampleOf(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	if s.Median() != 5.5 {
+		t.Errorf("median = %v", s.Median())
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 10 {
+		t.Error("extreme quantiles wrong")
+	}
+	if q := s.Quantile(0.25); math.Abs(q-3.25) > 1e-12 {
+		t.Errorf("q25 = %v", q)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	s := sampleOf(1)
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("quantile %v did not panic", q)
+				}
+			}()
+			s.Quantile(q)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty quantile did not panic")
+			}
+		}()
+		(&Sample{}).Quantile(0.5)
+	}()
+}
+
+func TestAddAfterQuantile(t *testing.T) {
+	// Adding after a sorted read must keep statistics correct.
+	s := sampleOf(3, 1, 2)
+	_ = s.Median()
+	s.Add(100)
+	if s.Max() != 100 || s.N() != 4 {
+		t.Error("Add after Quantile lost data")
+	}
+	if s.Quantile(1) != 100 {
+		t.Error("quantile after re-add wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := sampleOf(10, 20, 30, 40, 50)
+	sum := s.Summarize()
+	if sum.N != 5 || sum.Mean != 30 || sum.Median != 30 || sum.Min != 10 || sum.Max != 50 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.String() == "" {
+		t.Error("summary string empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for _, v := range []float64{-5, 0, 5, 15, 95, 99.999, 100, 1000} {
+		h.Add(v)
+	}
+	if h.Under != 1 {
+		t.Errorf("Under = %d", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("Over = %d", h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 5
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[9] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total != 8 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	if h.BinWidth() != 10 {
+		t.Errorf("BinWidth = %v", h.BinWidth())
+	}
+}
+
+func TestHistogramDensityIntegratesToCoverage(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i % 10))
+	}
+	integral := 0.0
+	for i := range h.Counts {
+		integral += h.Density(i) * h.BinWidth()
+	}
+	if math.Abs(integral-1) > 1e-12 {
+		t.Errorf("density integral = %v, want 1", integral)
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(10, 0, 5)
+}
+
+func TestHistogramFromSample(t *testing.T) {
+	s := sampleOf(1, 2, 3)
+	h := NewHistogram(0, 4, 4)
+	h.FromSample(s)
+	if h.Total != 3 {
+		t.Errorf("FromSample total = %d", h.Total)
+	}
+}
+
+func TestQuickMomentInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		s := &Sample{}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			// Bound magnitudes to avoid float blowups irrelevant here.
+			if math.Abs(x) > 1e12 {
+				return true
+			}
+			s.Add(x)
+		}
+		return s.Min() <= s.Mean()+1e-6 && s.Mean() <= s.Max()+1e-6 &&
+			s.Var() >= -1e-9 && s.N() == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(xs []float64, aRaw, bRaw uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		s := &Sample{}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		a := float64(aRaw) / 255
+		b := float64(bRaw) / 255
+		if a > b {
+			a, b = b, a
+		}
+		return s.Quantile(a) <= s.Quantile(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package ucp implements the high-level communication protocols (the HLP's
+// lower half): a UCP-style layer on top of uct providing tagged,
+// request-based nonblocking sends and receives.
+//
+// It reproduces the protocol behaviours the paper's §6 analysis depends on:
+//
+//   - Unsignaled completions: only every c-th transport post is signaled;
+//     one CQE retires the whole batch, amortizing progress cost (c = 64).
+//   - Pending queue: a busy post (transmit queue full) is queued and its
+//     LLP_post is executed later, during progress — so initiation cost moves
+//     into the progress phase, which the paper's measurement methodology
+//     explicitly corrects for.
+//   - Registered callbacks: completions run upper-layer (MPICH) callbacks
+//     from inside the progress call chain, before uct_worker_progress
+//     returns.
+package ucp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"breakband/internal/config"
+	"breakband/internal/profile"
+	"breakband/internal/sim"
+	"breakband/internal/uct"
+)
+
+// amEager is the active-message id carrying eager tagged messages.
+const amEager uint8 = 1
+
+// tagHeaderBytes is the eager protocol header (the 8-byte tag).
+const tagHeaderBytes = 8
+
+// MaxEager is the largest payload an eager short send can carry.
+const MaxEager = 32 - tagHeaderBytes
+
+// MaxBcopy is the largest payload the eager buffered-copy path carries
+// (larger transfers would use a rendezvous protocol, out of scope for the
+// paper's small-message analysis).
+const MaxBcopy = uct.MaxBcopy - tagHeaderBytes
+
+// Callback is an upper-layer completion callback, invoked from inside
+// progress.
+type Callback func(p *sim.Proc)
+
+// Request is a nonblocking operation handle.
+type Request struct {
+	completed bool
+	cb        Callback
+	// recv-side fields
+	tag  uint64
+	data []byte
+}
+
+// Completed reports whether the operation has finished.
+func (r *Request) Completed() bool { return r.completed }
+
+// Data returns the received payload (valid once a receive completes).
+func (r *Request) Data() []byte { return r.data }
+
+type pendingPost struct {
+	ep      *Ep
+	payload []byte
+	req     *Request
+}
+
+type unexpMsg struct {
+	tag  uint64
+	data []byte
+}
+
+// Stats counts UCP-level events.
+type Stats struct {
+	Sends, Recvs    uint64
+	BusyPosts       uint64
+	PendingExecuted uint64
+	SendCompletions uint64
+	RecvCompletions uint64
+	UnexpectedMsgs  uint64
+}
+
+// Worker is the UCP progress context on one core.
+type Worker struct {
+	Uct *uct.Worker
+	Cfg *config.Config
+
+	// inflight tracks successfully posted, uncompleted sends in post
+	// order (the reliable connection completes in order).
+	inflight []*Request
+	pending  []pendingPost
+
+	expected   []*Request
+	unexpected []unexpMsg
+
+	// ProfRecvCB, when set, profiles the UCP receive callback (including
+	// the nested upper-layer callback, as real instrumentation wrapping
+	// the registered callback would) under scope "ucp_recv_cb".
+	ProfRecvCB bool
+
+	Stats Stats
+}
+
+// NewWorker wraps a uct worker. It registers the send-completion and
+// active-message callbacks with the LLP.
+func NewWorker(u *uct.Worker, cfg *config.Config) *Worker {
+	w := &Worker{Uct: u, Cfg: cfg}
+	u.SetSendCompletion(w.onSendComplete)
+	u.SetAmHandler(amEager, w.onEager)
+	return w
+}
+
+// Ep is a UCP endpoint bound to a uct endpoint.
+type Ep struct {
+	W     *Worker
+	UctEp *uct.Ep
+}
+
+// NewEp creates a UCP endpoint over a fresh uct endpoint using the
+// configured unsignaled-completion period.
+func (w *Worker) NewEp(mode uct.PostMode) *Ep {
+	return &Ep{W: w, UctEp: w.Uct.NewEp(mode, w.Cfg.Bench.SignalPeriod)}
+}
+
+// encodeEager builds the eager wire payload: 8-byte tag header + data.
+func encodeEager(tag uint64, data []byte) []byte {
+	buf := make([]byte, tagHeaderBytes+len(data))
+	binary.LittleEndian.PutUint64(buf, tag)
+	copy(buf[tagHeaderBytes:], data)
+	return buf
+}
+
+// TagSendNB initiates a nonblocking tagged send (ucp_tag_send_nb). cb runs
+// when the operation completes. A full transmit queue does not fail the
+// operation: it is queued as pending and posted during progress. Payloads up
+// to MaxEager go through the inline short path; larger ones (to MaxBcopy)
+// through the buffered-copy path, as UCX selects by size.
+func (e *Ep) TagSendNB(p *sim.Proc, tag uint64, data []byte, cb Callback) (*Request, error) {
+	w := e.W
+	if len(data) > MaxBcopy {
+		return nil, fmt.Errorf("ucp: eager send limited to %d bytes, got %d", MaxBcopy, len(data))
+	}
+	p.Sleep(w.Cfg.SW.UcpIsend.Sample(w.Uct.Node.Rand))
+	w.Stats.Sends++
+	req := &Request{cb: cb}
+	payload := encodeEager(tag, data)
+	var err error
+	if len(data) <= MaxEager {
+		err = e.UctEp.AmShort(p, amEager, payload)
+	} else {
+		err = e.UctEp.AmBcopy(p, amEager, payload)
+	}
+	switch err {
+	case nil:
+		w.inflight = append(w.inflight, req)
+	case uct.ErrNoResource:
+		// Busy post: schedule for execution during progress (paper §6
+		// caveat one).
+		w.Stats.BusyPosts++
+		p.Sleep(w.Cfg.SW.UcpPending.Sample(w.Uct.Node.Rand))
+		w.pending = append(w.pending, pendingPost{ep: e, payload: payload, req: req})
+	default:
+		return nil, err
+	}
+	return req, nil
+}
+
+// TagRecvNB posts a nonblocking tagged receive (matching is exact-tag; the
+// benchmarks and examples do not use wildcards).
+func (w *Worker) TagRecvNB(p *sim.Proc, tag uint64, cb Callback) *Request {
+	w.Stats.Recvs++
+	req := &Request{cb: cb, tag: tag}
+	// Check the unexpected queue first.
+	for i, m := range w.unexpected {
+		if m.tag == tag {
+			w.unexpected = append(w.unexpected[:i], w.unexpected[i+1:]...)
+			w.completeRecv(p, req, m.data)
+			return req
+		}
+	}
+	w.expected = append(w.expected, req)
+	return req
+}
+
+// Progress drives the pending queue and the LLP (ucp_worker_progress). It
+// returns the number of LLP operations retired.
+func (w *Worker) Progress(p *sim.Proc) int {
+	p.Sleep(w.Cfg.SW.UcpProgress.Sample(w.Uct.Node.Rand))
+	// Execute deferred LLP_posts for busy posts while slots are free.
+	for len(w.pending) > 0 && w.pending[0].ep.UctEp.FreeSlots() > 0 {
+		pp := w.pending[0]
+		post := pp.ep.UctEp.AmShort
+		if len(pp.payload) > tagHeaderBytes+MaxEager {
+			post = pp.ep.UctEp.AmBcopy
+		}
+		if err := post(p, amEager, pp.payload); err != nil {
+			break // raced with another consumer of the slot
+		}
+		w.pending = w.pending[1:]
+		w.inflight = append(w.inflight, pp.req)
+		w.Stats.PendingExecuted++
+	}
+	return w.Uct.Progress(p)
+}
+
+// onSendComplete retires the n oldest in-flight sends (one signaled CQE
+// covers a whole unsignaled batch).
+func (w *Worker) onSendComplete(p *sim.Proc, n int) {
+	if n > len(w.inflight) {
+		panic(fmt.Sprintf("ucp: completion for %d sends with only %d in flight", n, len(w.inflight)))
+	}
+	done := w.inflight[:n]
+	w.inflight = w.inflight[n:]
+	for _, req := range done {
+		p.Sleep(w.Cfg.SW.UcpSendCB.Sample(w.Uct.Node.Rand))
+		req.completed = true
+		w.Stats.SendCompletions++
+		if req.cb != nil {
+			req.cb(p)
+		}
+	}
+}
+
+// onEager handles an arriving eager message inside uct progress.
+func (w *Worker) onEager(p *sim.Proc, payload []byte) {
+	if len(payload) < tagHeaderBytes {
+		panic("ucp: short eager payload")
+	}
+	tag := binary.LittleEndian.Uint64(payload)
+	data := append([]byte(nil), payload[tagHeaderBytes:]...)
+	for i, req := range w.expected {
+		if req.tag == tag {
+			w.expected = append(w.expected[:i], w.expected[i+1:]...)
+			w.completeRecv(p, req, data)
+			return
+		}
+	}
+	w.Stats.UnexpectedMsgs++
+	w.unexpected = append(w.unexpected, unexpMsg{tag: tag, data: data})
+}
+
+// completeRecv runs the UCP receive callback (its cost is the paper's
+// "Callback for a completed MPI_Irecv in UCP") and then the registered
+// upper-layer callback.
+func (w *Worker) completeRecv(p *sim.Proc, req *Request, data []byte) {
+	var tok profile.Token
+	if w.ProfRecvCB {
+		tok = w.Uct.Node.Prof.BeginAnon(p)
+	}
+	p.Sleep(w.Cfg.SW.UcpRecvCB.Sample(w.Uct.Node.Rand))
+	req.data = data
+	req.completed = true
+	w.Stats.RecvCompletions++
+	if req.cb != nil {
+		req.cb(p)
+	}
+	if w.ProfRecvCB {
+		w.Uct.Node.Prof.EndAs(p, tok, "ucp_recv_cb")
+	}
+}

@@ -1,0 +1,210 @@
+package ucp
+
+import (
+	"bytes"
+	"testing"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/sim"
+	"breakband/internal/uct"
+	"breakband/internal/units"
+)
+
+func harness(t *testing.T, signalPeriod int) (*node.System, *Worker, *Worker, *Ep, *Ep) {
+	t.Helper()
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	cfg.Bench.SignalPeriod = signalPeriod
+	sys := node.NewSystem(cfg, 2)
+	u0 := uct.NewWorker(sys.Nodes[0], cfg)
+	u1 := uct.NewWorker(sys.Nodes[1], cfg)
+	w0 := NewWorker(u0, cfg)
+	w1 := NewWorker(u1, cfg)
+	e0 := w0.NewEp(uct.PIOInline)
+	e1 := w1.NewEp(uct.PIOInline)
+	uct.Connect(e0.UctEp, e1.UctEp)
+	return sys, w0, w1, e0, e1
+}
+
+func TestTagSendRecv(t *testing.T) {
+	sys, w0, w1, e0, e1 := harness(t, 1)
+	defer sys.Shutdown()
+	payload := []byte{1, 2, 3}
+	var sendDone, recvDone bool
+	sys.K.Spawn("rx", func(p *sim.Proc) {
+		e1.UctEp.PostRecvs(p, 8)
+		req := w1.TagRecvNB(p, 42, func(cp *sim.Proc) { recvDone = true })
+		for !req.Completed() {
+			w1.Progress(p)
+		}
+		if !bytes.Equal(req.Data(), payload) {
+			t.Errorf("received %v", req.Data())
+		}
+	})
+	sys.K.Spawn("tx", func(p *sim.Proc) {
+		p.Sleep(units.Microsecond)
+		req, err := e0.TagSendNB(p, 42, payload, func(cp *sim.Proc) { sendDone = true })
+		if err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		for !req.Completed() {
+			w0.Progress(p)
+		}
+	})
+	sys.Run()
+	if !sendDone || !recvDone {
+		t.Errorf("callbacks: send=%v recv=%v", sendDone, recvDone)
+	}
+}
+
+func TestUnexpectedMessage(t *testing.T) {
+	sys, w0, w1, e0, e1 := harness(t, 1)
+	defer sys.Shutdown()
+	sys.K.Spawn("rx", func(p *sim.Proc) {
+		e1.UctEp.PostRecvs(p, 8)
+		// Drive progress without a posted receive: the message must
+		// land in the unexpected queue.
+		for w1.Stats.UnexpectedMsgs == 0 {
+			w1.Progress(p)
+		}
+		// A matching receive posted afterwards completes immediately.
+		req := w1.TagRecvNB(p, 9, nil)
+		if !req.Completed() {
+			t.Error("late receive did not match the unexpected queue")
+		}
+		if !bytes.Equal(req.Data(), []byte{0xFF}) {
+			t.Errorf("unexpected payload = %v", req.Data())
+		}
+	})
+	sys.K.Spawn("tx", func(p *sim.Proc) {
+		p.Sleep(units.Microsecond)
+		if _, err := e0.TagSendNB(p, 9, []byte{0xFF}, nil); err != nil {
+			t.Fatal(err)
+		}
+		for w0.Uct.Stats.SendCQEs == 0 {
+			w0.Progress(p)
+		}
+	})
+	sys.Run()
+}
+
+func TestPendingBusyPosts(t *testing.T) {
+	sys, w0, w1, e0, e1 := harness(t, 64)
+	defer sys.Shutdown()
+	depth := e0.UctEp.QP().SQ.Depth
+	// A multiple of the unsignaled period past the queue depth, so the
+	// final batch is retired by a signaled CQE (real UCX would flush a
+	// ragged tail; the benchmarks always post aligned windows).
+	n := depth + 64
+	var completed int
+	sys.K.Spawn("rx", func(p *sim.Proc) {
+		e1.UctEp.PostRecvs(p, 512)
+		for int(w1.Stats.RecvCompletions+w1.Stats.UnexpectedMsgs) < n {
+			w1.Progress(p)
+		}
+	})
+	sys.K.Spawn("tx", func(p *sim.Proc) {
+		p.Sleep(units.Microsecond)
+		reqs := make([]*Request, 0, n)
+		for i := 0; i < n; i++ {
+			req, err := e0.TagSendNB(p, uint64(i), []byte{byte(i)}, func(cp *sim.Proc) { completed++ })
+			if err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+			reqs = append(reqs, req)
+		}
+		if w0.Stats.BusyPosts == 0 {
+			t.Error("expected busy posts beyond the queue depth")
+		}
+		for {
+			all := true
+			for _, r := range reqs {
+				if !r.Completed() {
+					all = false
+					break
+				}
+			}
+			if all {
+				break
+			}
+			w0.Progress(p)
+		}
+	})
+	sys.Run()
+	if completed != n {
+		t.Errorf("completed %d of %d", completed, n)
+	}
+	if w0.Stats.PendingExecuted != w0.Stats.BusyPosts {
+		t.Errorf("pending executed %d != busy posts %d", w0.Stats.PendingExecuted, w0.Stats.BusyPosts)
+	}
+}
+
+func TestUnsignaledBatchCompletion(t *testing.T) {
+	sys, w0, w1, e0, e1 := harness(t, 8)
+	defer sys.Shutdown()
+	const n = 16
+	var completions int
+	sys.K.Spawn("rx", func(p *sim.Proc) {
+		e1.UctEp.PostRecvs(p, 64)
+		for int(w1.Stats.RecvCompletions+w1.Stats.UnexpectedMsgs) < n {
+			w1.Progress(p)
+		}
+	})
+	sys.K.Spawn("tx", func(p *sim.Proc) {
+		p.Sleep(units.Microsecond)
+		for i := 0; i < n; i++ {
+			if _, err := e0.TagSendNB(p, uint64(i), []byte{1}, func(cp *sim.Proc) { completions++ }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for completions < n {
+			w0.Progress(p)
+		}
+	})
+	sys.Run()
+	// 16 sends at c=8 -> exactly 2 transport CQEs.
+	if got := w0.Uct.Stats.SendCQEs; got != 2 {
+		t.Errorf("send CQEs = %d, want 2", got)
+	}
+}
+
+func TestEagerSizeLimit(t *testing.T) {
+	sys, _, _, e0, _ := harness(t, 1)
+	defer sys.Shutdown()
+	sys.K.Spawn("tx", func(p *sim.Proc) {
+		if _, err := e0.TagSendNB(p, 1, make([]byte, MaxBcopy+1), nil); err == nil {
+			t.Error("oversized eager send accepted")
+		}
+	})
+	sys.Run()
+}
+
+func TestBcopyPathSendRecv(t *testing.T) {
+	sys, w0, w1, e0, e1 := harness(t, 1)
+	defer sys.Shutdown()
+	payload := make([]byte, 2048) // beyond MaxEager: buffered-copy path
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	sys.K.Spawn("rx", func(p *sim.Proc) {
+		e1.UctEp.PostRecvs(p, 8)
+		req := w1.TagRecvNB(p, 3, nil)
+		for !req.Completed() {
+			w1.Progress(p)
+		}
+		if !bytes.Equal(req.Data(), payload) {
+			t.Error("bcopy payload corrupted")
+		}
+	})
+	sys.K.Spawn("tx", func(p *sim.Proc) {
+		p.Sleep(units.Microsecond)
+		req, err := e0.TagSendNB(p, 3, payload, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !req.Completed() {
+			w0.Progress(p)
+		}
+	})
+	sys.Run()
+}

@@ -1,0 +1,572 @@
+// Package uct implements the low-level communication protocol (LLP): a
+// UCT-style transport layer that drives the NIC directly, mirroring UCX's
+// rc_mlx5 data path.
+//
+// An LLP_post executes the paper's §4.1 sequence: prepare the message
+// descriptor (with the payload memcpy'd inline), a store memory barrier, the
+// DoorBell-counter increment, a second store barrier, and the PIO copy of
+// the 64-byte descriptor to device memory. An LLP_prog reads one completion
+// queue entry behind a load memory barrier. Busy posts (attempts against a
+// full transmit queue) fail fast with ErrNoResource, exactly the semantic
+// the paper's injection model builds on.
+package uct
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"breakband/internal/config"
+	"breakband/internal/mlx"
+	"breakband/internal/nic"
+	"breakband/internal/node"
+	"breakband/internal/profile"
+	"breakband/internal/sim"
+	"breakband/internal/units"
+)
+
+// ErrNoResource is returned by a post against a full transmit queue — the
+// paper's "busy" post.
+var ErrNoResource = errors.New("uct: no resource (transmit queue full)")
+
+// PostMode selects the descriptor-delivery path (paper §2).
+type PostMode int
+
+// Post modes.
+const (
+	// PIOInline: the CPU PIO-copies the descriptor with the payload
+	// inline; no NIC DMA reads (the paper's fast path for small
+	// messages).
+	PIOInline PostMode = iota
+	// DoorbellInline: the descriptor (payload still inline) is written to
+	// the send queue in host memory and the 8-byte DoorBell is rung; the
+	// NIC DMA-reads the descriptor (one PCIe round trip).
+	DoorbellInline
+	// DoorbellGather: descriptor and payload are both fetched by the NIC
+	// (two PCIe round trips) — the paper's §2 steps (2) and (3).
+	DoorbellGather
+)
+
+// String implements fmt.Stringer.
+func (m PostMode) String() string {
+	switch m {
+	case PIOInline:
+		return "pio-inline"
+	case DoorbellInline:
+		return "doorbell-inline"
+	case DoorbellGather:
+		return "doorbell-gather"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Stage identifies an instrumentable region for the measurement methodology
+// (one stage is profiled at a time, per paper §3).
+type Stage int
+
+// Stages.
+const (
+	StNone Stage = iota
+	StMDSetup
+	StBarrierMD
+	StBarrierDBC
+	StPIOCopy
+	StLLPPost // the whole successful post
+	StLLPProg // a successful progress (one CQE dequeued)
+	StBusyPost
+)
+
+// Stage scope names as recorded in the profiler.
+var stageNames = map[Stage]string{
+	StMDSetup:    "md_setup",
+	StBarrierMD:  "barrier_md",
+	StBarrierDBC: "barrier_dbc",
+	StPIOCopy:    "pio_copy",
+	StLLPPost:    "llp_post",
+	StLLPProg:    "llp_prog",
+	StBusyPost:   "busy_post",
+}
+
+// Name reports the profiler scope name for a stage.
+func (s Stage) Name() string { return stageNames[s] }
+
+// AmHandler is an active-message receive callback, invoked during Progress
+// on the node that received the message.
+type AmHandler func(p *sim.Proc, data []byte)
+
+// SendCompletion is invoked during Progress for each completed send-side
+// operation (UCP registers it to drive its request machinery).
+type SendCompletion func(p *sim.Proc, count int)
+
+// Stats counts LLP events; the §6 methodology needs the busy-post count.
+type Stats struct {
+	Posts      uint64
+	BusyPosts  uint64
+	Progresses uint64
+	EmptyPolls uint64
+	SendCQEs   uint64
+	RecvCQEs   uint64
+	SendsFreed uint64 // send slots retired (>= SendCQEs with unsignaled batching)
+}
+
+// Worker is the LLP progress context for one core.
+type Worker struct {
+	Node *node.Node
+	Cfg  *config.Config
+	Eps  []*Ep
+
+	amHandlers map[uint8]AmHandler
+	onSend     SendCompletion
+
+	// Instrumentation: when ProfStage is set, the corresponding region is
+	// wrapped with the node's profiler.
+	ProfStage Stage
+
+	Stats Stats
+
+	scratch [mlx.CQESize]byte
+}
+
+// NewWorker builds an LLP worker on a node.
+func NewWorker(n *node.Node, cfg *config.Config) *Worker {
+	return &Worker{Node: n, Cfg: cfg, amHandlers: make(map[uint8]AmHandler)}
+}
+
+// SetAmHandler registers the receive callback for an active-message id.
+func (w *Worker) SetAmHandler(id uint8, h AmHandler) { w.amHandlers[id] = h }
+
+// SetSendCompletion registers the send-side completion callback.
+func (w *Worker) SetSendCompletion(cb SendCompletion) { w.onSend = cb }
+
+// Ep is a connected endpoint (its own QP, per UCX's RC transport).
+type Ep struct {
+	w  *Worker
+	qp *nic.QP
+
+	Mode PostMode
+	// SignalPeriod: every SignalPeriod-th post is signaled (1 = every
+	// post; the paper's c = 64 for the MPI path).
+	SignalPeriod int
+
+	// Software queue state.
+	pi        uint16 // next WQE counter
+	completed uint16 // count of WQEs known completed (from CQEs)
+	sendCI    uint16 // send CQ consumer counter
+	recvCI    uint16 // recv CQ consumer counter
+	sinceSig  int
+
+	// RemoteBuf is the peer buffer targeted by PutShort.
+	RemoteBuf uint64
+
+	// staging holds payloads for the DoorbellGather path.
+	staging uint64
+
+	// Receive buffer pool: posted receives rotate through fixed slots;
+	// recvOrder mirrors the NIC's FIFO consumption so large payloads
+	// (delivered to the buffer rather than scattered into the CQE) are
+	// read back from the right slot.
+	recvPool  uint64
+	recvSlot  int
+	recvOrder []uint64
+
+	// owedRecvCredits counts consumed receives not yet reposted.
+	// Replenishment is batched and runs on empty polls (idle time) or
+	// when the debt reaches replenishBatch, keeping the repost cost off
+	// the receive critical path, as UCX's batched receive posting does.
+	owedRecvCredits int
+}
+
+// Receive-pool geometry: slots sized for the largest bcopy message.
+const (
+	// MaxBcopy is the largest payload the buffered-copy path carries.
+	MaxBcopy      = 4096
+	recvPoolSlots = 64
+)
+
+// replenishBatch forces a repost even on a busy worker once this many
+// receive credits are owed.
+const replenishBatch = 64
+
+// NewEp creates an endpoint with its own QP.
+func (w *Worker) NewEp(mode PostMode, signalPeriod int) *Ep {
+	if signalPeriod < 1 {
+		signalPeriod = 1
+	}
+	qp := w.Node.NIC.CreateQP(w.Cfg.Bench.SQDepth, w.Cfg.Bench.CQDepth)
+	st := w.Node.Mem.Alloc(fmt.Sprintf("uct.ep%d.staging", qp.QPN), MaxBcopy, 64)
+	pool := w.Node.Mem.Alloc(fmt.Sprintf("uct.ep%d.rxpool", qp.QPN), MaxBcopy*recvPoolSlots, 64)
+	ep := &Ep{w: w, qp: qp, Mode: mode, SignalPeriod: signalPeriod, staging: st.Base, recvPool: pool.Base}
+	w.Eps = append(w.Eps, ep)
+	return ep
+}
+
+// QP exposes the underlying queue pair (tests, trace filtering).
+func (e *Ep) QP() *nic.QP { return e.qp }
+
+// Connect wires two endpoints' QPs into a reliable connection.
+func Connect(a, b *Ep) { nic.Connect(a.qp, b.qp) }
+
+// PostRecvs posts n receive credits, each with its own pool slot for
+// payloads too large for CQE inline scatter.
+func (e *Ep) PostRecvs(p *sim.Proc, n int) {
+	sw := &e.w.Cfg.SW
+	for i := 0; i < n; i++ {
+		p.Sleep(sw.PostRecv.Sample(e.w.Node.Rand))
+		e.postOneRecv()
+	}
+}
+
+func (e *Ep) postOneRecv() {
+	addr := e.recvPool + uint64(e.recvSlot%recvPoolSlots)*MaxBcopy
+	e.recvSlot++
+	e.recvOrder = append(e.recvOrder, addr)
+	e.qp.PostRecv(addr)
+}
+
+// InFlight reports send slots currently consumed.
+func (e *Ep) InFlight() int { return int(e.pi - e.completed) }
+
+// FreeSlots reports available send slots.
+func (e *Ep) FreeSlots() int { return e.qp.SQ.Depth - e.InFlight() }
+
+// PutShort performs an RDMA write of data (<= mlx.InlineMax bytes) to the
+// peer's RemoteBuf + off. It returns ErrNoResource on a full queue (a busy
+// post costing SW.BusyPost, per Table 1).
+func (e *Ep) PutShort(p *sim.Proc, off uint64, data []byte) error {
+	return e.post(p, mlx.OpRDMAWrite, 0, e.RemoteBuf+off, data)
+}
+
+// AmShort sends an active message (send-receive semantics).
+func (e *Ep) AmShort(p *sim.Proc, id uint8, data []byte) error {
+	return e.post(p, mlx.OpSend, id, 0, data)
+}
+
+// PutBcopy performs an RDMA write of a payload too large for the inline
+// path (up to MaxBcopy bytes): the payload is copied into registered staging
+// memory and the NIC gathers it by DMA — UCX's buffered-copy protocol.
+func (e *Ep) PutBcopy(p *sim.Proc, off uint64, data []byte) error {
+	return e.postGather(p, mlx.OpRDMAWrite, 0, e.RemoteBuf+off, data)
+}
+
+// AmBcopy sends a large active message through the buffered-copy path.
+func (e *Ep) AmBcopy(p *sim.Proc, id uint8, data []byte) error {
+	return e.postGather(p, mlx.OpSend, id, 0, data)
+}
+
+// postGather is the buffered-copy descriptor path: stage the payload, write
+// a gather WQE into the send queue ring, and ring the 8-byte DoorBell. The
+// NIC fetches the descriptor and the payload by DMA (paper §2 steps 2-3).
+func (e *Ep) postGather(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, data []byte) error {
+	w := e.w
+	sw := &w.Cfg.SW
+	r := w.Node.Rand
+
+	if len(data) > MaxBcopy {
+		return fmt.Errorf("uct: bcopy post limited to %d bytes, got %d", MaxBcopy, len(data))
+	}
+
+	var tok profTok
+	if w.ProfStage == StLLPPost || w.ProfStage == StBusyPost {
+		tok = w.profBegin(p)
+	}
+	if e.FreeSlots() == 0 {
+		p.Sleep(sw.BusyPost.Sample(r))
+		w.Stats.BusyPosts++
+		w.profEndAs(p, tok, StBusyPost.Name())
+		return ErrNoResource
+	}
+
+	p.Sleep(sw.LLPPostEntry.Sample(r))
+	// Stage the payload (the bcopy memcpy).
+	p.Sleep(units.Time(len(data)) * sw.MemcpyPerByte)
+	w.Node.Mem.Write(e.staging, data)
+	// Build and store the gather descriptor.
+	wqe := &mlx.WQE{
+		Opcode:     op,
+		Signaled:   e.nextSignaled(),
+		Inline:     false,
+		WQEIdx:     e.pi,
+		QPN:        e.qp.QPN,
+		AmID:       amID,
+		GatherAddr: e.staging,
+		GatherLen:  uint32(len(data)),
+		RemoteAddr: raddr,
+	}
+	enc, err := wqe.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("uct: WQE encode: %v", err))
+	}
+	p.Sleep(sw.MDSetup.Sample(r))
+	p.Sleep(sw.SQRingWrite.Sample(r))
+	w.Node.Mem.Write(e.qp.SQ.EntryAddr(e.pi), enc[:])
+	p.Sleep(sw.BarrierMD.Sample(r))
+	var dbr [8]byte
+	binary.LittleEndian.PutUint16(dbr[:], e.pi+1)
+	w.Node.Mem.Write(e.qp.DBRAddr, dbr[:])
+	p.Sleep(sw.DBCIncrement.Sample(r))
+	p.Sleep(sw.BarrierDBC.Sample(r))
+	p.Sleep(sw.DoorbellRing.Sample(r))
+	var db [8]byte
+	binary.LittleEndian.PutUint16(db[:], e.pi+1)
+	w.Node.RC.MMIOWrite(e.qp.DBAddr, db[:])
+	p.Sleep(sw.LLPPostExit.Sample(r))
+	e.pi++
+	w.Stats.Posts++
+	w.profEndAs(p, tok, StLLPPost.Name())
+	return nil
+}
+
+func (e *Ep) post(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, data []byte) error {
+	w := e.w
+	sw := &w.Cfg.SW
+	r := w.Node.Rand
+
+	if len(data) > mlx.InlineMax {
+		return fmt.Errorf("uct: short post limited to %d bytes, got %d", mlx.InlineMax, len(data))
+	}
+
+	var tok profTok
+	if w.ProfStage == StLLPPost || w.ProfStage == StBusyPost {
+		tok = w.profBegin(p)
+	}
+
+	if e.FreeSlots() == 0 {
+		// Busy post: fail fast; the caller must progress first.
+		p.Sleep(sw.BusyPost.Sample(r))
+		w.Stats.BusyPosts++
+		w.profEndAs(p, tok, StBusyPost.Name())
+		return ErrNoResource
+	}
+
+	// (0/1) Function-call entry, code-path branches.
+	p.Sleep(sw.LLPPostEntry.Sample(r))
+
+	// (1) Prepare the message descriptor (memcpy of the inline payload).
+	stTok := w.stageBegin(p, StMDSetup)
+	signaled := e.nextSignaled()
+	wqe := &mlx.WQE{
+		Opcode:     op,
+		Signaled:   signaled,
+		Inline:     true,
+		WQEIdx:     e.pi,
+		QPN:        e.qp.QPN,
+		AmID:       amID,
+		Payload:    data,
+		RemoteAddr: raddr,
+	}
+	enc, err := wqe.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("uct: WQE encode: %v", err))
+	}
+	p.Sleep(sw.MDSetup.Sample(r))
+	w.stageEnd(p, StMDSetup, stTok)
+
+	// (2) Store barrier: the MD must be fully written before signalling.
+	stTok = w.stageBegin(p, StBarrierMD)
+	p.Sleep(sw.BarrierMD.Sample(r))
+	w.stageEnd(p, StBarrierMD, stTok)
+
+	// (3) DoorBell-counter increment in host memory (enables the NIC's
+	// speculative reads).
+	var dbr [8]byte
+	binary.LittleEndian.PutUint16(dbr[:], e.pi+1)
+	w.Node.Mem.Write(e.qp.DBRAddr, dbr[:])
+	p.Sleep(sw.DBCIncrement.Sample(r))
+
+	// (4) Store barrier: the DBC update must be visible before the device
+	// write.
+	stTok = w.stageBegin(p, StBarrierDBC)
+	p.Sleep(sw.BarrierDBC.Sample(r))
+	w.stageEnd(p, StBarrierDBC, stTok)
+
+	// (5) Hand the descriptor to the NIC.
+	switch e.Mode {
+	case PIOInline:
+		// PIO copy to Device-GRE memory, in 64-byte chunks.
+		stTok = w.stageBegin(p, StPIOCopy)
+		p.Sleep(sw.PIOCopy.Sample(r))
+		w.stageEnd(p, StPIOCopy, stTok)
+		w.Node.RC.MMIOWrite(e.qp.BFAddr, enc[:])
+	case DoorbellInline, DoorbellGather:
+		if e.Mode == DoorbellGather {
+			// Stage the payload in registered memory for the NIC's
+			// second DMA read.
+			w.Node.Mem.Write(e.staging, data)
+			wqe.Inline = false
+			wqe.GatherAddr = e.staging
+			wqe.GatherLen = uint32(len(data))
+			wqe.Payload = nil
+			enc, err = wqe.Encode()
+			if err != nil {
+				panic(fmt.Sprintf("uct: WQE encode: %v", err))
+			}
+		}
+		// Regular store of the WQE into the ring, then the 8-byte
+		// DoorBell MMIO write.
+		p.Sleep(sw.SQRingWrite.Sample(r))
+		w.Node.Mem.Write(e.qp.SQ.EntryAddr(e.pi), enc[:])
+		p.Sleep(sw.DBRecUpdate.Sample(r))
+		p.Sleep(sw.DoorbellRing.Sample(r))
+		var db [8]byte
+		binary.LittleEndian.PutUint16(db[:], e.pi+1)
+		w.Node.RC.MMIOWrite(e.qp.DBAddr, db[:])
+	}
+
+	p.Sleep(sw.LLPPostExit.Sample(r))
+	e.pi++
+	w.Stats.Posts++
+	w.profEndAs(p, tok, StLLPPost.Name())
+	return nil
+}
+
+// nextSignaled applies the unsignaled-completion policy.
+func (e *Ep) nextSignaled() bool {
+	e.sinceSig++
+	if e.sinceSig >= e.SignalPeriod {
+		e.sinceSig = 0
+		return true
+	}
+	return false
+}
+
+// Progress polls the completion queues, dequeuing at most one entry (the
+// paper's LLP_prog is "dequeuing one entry of the completion queue"). It
+// returns the number of operations retired (one CQE can retire several with
+// unsignaled completions) or 0 for an empty poll.
+func (w *Worker) Progress(p *sim.Proc) int {
+	sw := &w.Cfg.SW
+	r := w.Node.Rand
+	w.Stats.Progresses++
+
+	var tok profTok
+	if w.ProfStage == StLLPProg {
+		tok = w.profBegin(p)
+	}
+
+	// Load barrier: the CQE read must not be reordered with subsequent
+	// data-structure updates (paper §4.1, aarch64 weak memory model).
+	p.Sleep(sw.LLPProgBarrier.Sample(r))
+
+	// Send completion queues first, then receive queues; one entry per
+	// call, scanning endpoints in creation order for determinism.
+	for _, e := range w.Eps {
+		if cqe := e.peekCQ(e.qp.SendCQ, e.sendCI); cqe != nil {
+			p.Sleep(sw.LLPProgCQERead.Sample(r))
+			e.sendCI++
+			n := int(cqe.WQECounter - e.completed + 1)
+			e.completed = cqe.WQECounter + 1
+			w.Stats.SendCQEs++
+			w.Stats.SendsFreed += uint64(n)
+			p.Sleep(sw.LLPProgMisc.Sample(r))
+			// Registered callbacks run before uct_worker_progress
+			// returns (paper §5), so the profiled scope includes them.
+			if w.onSend != nil {
+				w.onSend(p, n)
+			}
+			w.profEndAs(p, tok, StLLPProg.Name())
+			return n
+		}
+	}
+	for _, e := range w.Eps {
+		if cqe := e.peekCQ(e.qp.RecvCQ, e.recvCI); cqe != nil {
+			p.Sleep(sw.LLPProgCQERead.Sample(r))
+			e.recvCI++
+			w.Stats.RecvCQEs++
+			p.Sleep(sw.LLPProgMisc.Sample(r))
+			// Every inbound send consumed one posted receive; retire
+			// its pool slot in FIFO order.
+			if len(e.recvOrder) == 0 {
+				panic("uct: recv CQE with no posted receive tracked")
+			}
+			bufAddr := e.recvOrder[0]
+			e.recvOrder = e.recvOrder[1:]
+			data := cqe.Payload
+			if int(cqe.ByteCnt) > mlx.ScatterMax {
+				// Large payload: it was DMA-written to the pool
+				// slot, not scattered into the CQE.
+				p.Sleep(units.Time(cqe.ByteCnt) * sw.MemcpyPerByte)
+				data = w.Node.Mem.Read(bufAddr, int(cqe.ByteCnt))
+			}
+			// Dispatch the active-message handler (inside progress,
+			// as UCX does); the profiled scope includes it, like the
+			// send-side callbacks.
+			p.Sleep(sw.AmRxHandle.Sample(r))
+			if h := w.amHandlers[cqe.AmID]; h != nil {
+				h(p, data)
+			}
+			w.profEndAs(p, tok, StLLPProg.Name())
+			e.owedRecvCredits++
+			if e.owedRecvCredits >= replenishBatch {
+				e.replenish(p)
+			}
+			return 1
+		}
+	}
+
+	// Empty poll: pay the failed check and use the idle time to repost
+	// owed receive credits.
+	p.Sleep(sw.LLPProgFailChk.Sample(r))
+	w.Stats.EmptyPolls++
+	w.profEndAs(p, tok, "empty_poll")
+	for _, e := range w.Eps {
+		e.replenish(p)
+	}
+	return 0
+}
+
+// replenish reposts all owed receive credits.
+func (e *Ep) replenish(p *sim.Proc) {
+	for ; e.owedRecvCredits > 0; e.owedRecvCredits-- {
+		p.Sleep(e.w.Cfg.SW.PostRecv.Sample(e.w.Node.Rand))
+		e.postOneRecv()
+	}
+}
+
+// peekCQ reads the CQ slot for consumer counter ci and returns the decoded
+// CQE if its generation marks it valid.
+func (e *Ep) peekCQ(ring mlx.Ring, ci uint16) *mlx.CQE {
+	e.w.Node.Mem.ReadInto(ring.EntryAddr(ci), e.w.scratch[:])
+	if e.w.scratch[mlx.CQESize-1] != ring.Gen(ci) {
+		return nil
+	}
+	cqe, err := mlx.DecodeCQE(e.w.scratch[:])
+	if err != nil {
+		panic(fmt.Sprintf("uct: corrupt CQE at ci=%d: %v", ci, err))
+	}
+	return cqe
+}
+
+// --- profiling helpers ---
+
+// profTok wraps an open measurement. Instrumentation wraps whole calls and
+// names the scope by outcome (a post attempt records as llp_post on success
+// and busy_post on failure), so every begun scope is ended, as real UCS
+// instrumentation does.
+type profTok struct {
+	tok  profile.Token
+	real bool
+}
+
+func (w *Worker) profBegin(p *sim.Proc) profTok {
+	return profTok{tok: w.Node.Prof.BeginAnon(p), real: true}
+}
+
+func (w *Worker) profEndAs(p *sim.Proc, t profTok, name string) {
+	if t.real {
+		w.Node.Prof.EndAs(p, t.tok, name)
+	}
+}
+
+func (w *Worker) stageBegin(p *sim.Proc, st Stage) profTok {
+	if w.ProfStage != st {
+		return profTok{}
+	}
+	return w.profBegin(p)
+}
+
+func (w *Worker) stageEnd(p *sim.Proc, st Stage, t profTok) {
+	if w.ProfStage == st {
+		w.profEndAs(p, t, st.Name())
+	}
+}

@@ -1,0 +1,86 @@
+// Package units defines the simulated time base used throughout breakband.
+//
+// All simulation timestamps and durations are integer picoseconds. An int64
+// picosecond clock covers ~106 days of simulated time, far beyond any
+// experiment in this repository, while representing every calibration
+// constant from the paper (e.g. 27.78 ns) exactly.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a simulated instant or duration in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable instant. It is used as an "infinitely
+// far in the future" sentinel by schedulers.
+const MaxTime Time = math.MaxInt64
+
+// Nanoseconds converts a floating-point nanosecond quantity (the unit used by
+// the paper's Table 1) to a Time, rounding to the nearest picosecond.
+func Nanoseconds(ns float64) Time {
+	return Time(math.Round(ns * 1000))
+}
+
+// Microseconds converts a floating-point microsecond quantity to a Time.
+func Microseconds(us float64) Time {
+	return Time(math.Round(us * 1e6))
+}
+
+// Ns reports t in nanoseconds as a float64. This is the presentation unit for
+// every table and figure in the paper.
+func (t Time) Ns() float64 { return float64(t) / 1000 }
+
+// Us reports t in microseconds as a float64.
+func (t Time) Us() float64 { return float64(t) / 1e6 }
+
+// Seconds reports t in seconds as a float64.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time with an adaptive unit, e.g. "282.33ns" or "1.39us".
+func (t Time) String() string {
+	switch abs := t.abs(); {
+	case abs < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case abs < 10*Microsecond:
+		return fmt.Sprintf("%.2fns", t.Ns())
+	case abs < 10*Millisecond:
+		return fmt.Sprintf("%.3fus", t.Us())
+	default:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	}
+}
+
+func (t Time) abs() Time {
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNanoseconds(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Time
+	}{
+		{0, 0},
+		{1, 1000},
+		{27.78, 27780},
+		{94.25, 94250},
+		{0.0005, 1}, // rounds to nearest picosecond
+		{-1.5, -1500},
+	}
+	for _, c := range cases {
+		if got := Nanoseconds(c.ns); got != c.want {
+			t.Errorf("Nanoseconds(%v) = %v, want %v", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestNsRoundTrip(t *testing.T) {
+	// Table-1 style values must survive the ns -> Time -> ns round trip
+	// exactly (they have at most 2 decimal places).
+	vals := []float64{27.78, 17.33, 21.07, 94.25, 14.99, 175.42, 61.63, 8.99,
+		49.69, 137.49, 274.81, 108, 240.96, 24.37, 2.19, 47.99, 293.29, 139.78, 150.51}
+	for _, v := range vals {
+		if got := Nanoseconds(v).Ns(); got != v {
+			t.Errorf("round trip of %v ns = %v", v, got)
+		}
+	}
+}
+
+func TestMicroseconds(t *testing.T) {
+	if got := Microseconds(1.5); got != 1500*Nanosecond {
+		t.Errorf("Microseconds(1.5) = %v", got)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	tm := 2500 * Nanosecond
+	if tm.Us() != 2.5 {
+		t.Errorf("Us() = %v", tm.Us())
+	}
+	if Second.Seconds() != 1 {
+		t.Errorf("Seconds() = %v", Second.Seconds())
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ps"},
+		{282330, "282.33ns"},
+		{1387020, "1387.02ns"},
+		{15 * Microsecond, "15.000us"},
+		{20 * Millisecond, "0.020000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+}
+
+func TestQuickNsConsistency(t *testing.T) {
+	// Property: Time -> Ns -> Nanoseconds is the identity for all times
+	// representable exactly as float64 nanoseconds.
+	f := func(raw int32) bool {
+		tm := Time(raw) * Nanosecond
+		return Nanoseconds(tm.Ns()) == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinMaxOrdering(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Time(a), Time(b)
+		lo, hi := Min(x, y), Max(x, y)
+		return lo <= hi && (lo == x || lo == y) && (hi == x || hi == y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	if MaxTime != Time(math.MaxInt64) {
+		t.Error("MaxTime changed")
+	}
+}

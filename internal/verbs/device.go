@@ -1,0 +1,9 @@
+package verbs
+
+import "breakband/internal/nic"
+
+// deviceQP is the underlying device queue pair.
+type deviceQP = nic.QP
+
+// connectDevice wires two device QPs.
+func connectDevice(a, b *deviceQP) { nic.Connect(a, b) }

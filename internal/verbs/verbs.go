@@ -1,0 +1,267 @@
+// Package verbs provides an ibverbs-flavoured API over the simulated NIC —
+// the "low-level communication framework (e.g. Verbs)" the paper names as
+// the alternative LLP beneath communication stacks. It exists alongside
+// internal/uct so systems written against verbs semantics (work requests,
+// scatter-gather entries, batched completion polling) can run on the same
+// calibrated hardware model; native Go has no verbs implementation (only cgo
+// bindings), which is part of what this repository substitutes.
+//
+// The cost model reuses the calibrated LLP constants: an inline+signaled
+// 8-byte post costs the paper's LLP_post, and polling one completion costs
+// LLP_prog.
+package verbs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"breakband/internal/config"
+	"breakband/internal/mlx"
+	"breakband/internal/node"
+	"breakband/internal/sim"
+	"breakband/internal/units"
+)
+
+// Opcodes for work requests.
+const (
+	WROpRDMAWrite = iota
+	WROpSend
+)
+
+// Send flags.
+const (
+	SendSignaled = 1 << iota
+	SendInline
+)
+
+// Completion status.
+const (
+	WCSuccess = iota
+)
+
+// ErrQPFull mirrors ENOMEM from ibv_post_send on a full send queue.
+var ErrQPFull = errors.New("verbs: send queue full")
+
+// SGE is a scatter-gather entry.
+type SGE struct {
+	Addr   uint64
+	Length uint32
+}
+
+// SendWR is a send work request (ibv_send_wr).
+type SendWR struct {
+	WRID       uint64
+	Opcode     int
+	Flags      int
+	SGE        SGE
+	RemoteAddr uint64
+	// Inline payload used when Flags&SendInline is set and the data is
+	// supplied directly (bypassing the SGE).
+	InlineData []byte
+}
+
+// RecvWR is a receive work request.
+type RecvWR struct {
+	WRID uint64
+	SGE  SGE
+}
+
+// WC is a work completion (ibv_wc).
+type WC struct {
+	WRID    uint64
+	Status  int
+	Opcode  int
+	ByteLen uint32
+	// Data carries inline-scattered receive payloads.
+	Data []byte
+}
+
+// Context is the device context for one node (ibv_context).
+type Context struct {
+	Node *node.Node
+	Cfg  *config.Config
+}
+
+// Open returns a device context.
+func Open(n *node.Node, cfg *config.Config) *Context {
+	return &Context{Node: n, Cfg: cfg}
+}
+
+// QP is a queue pair handle with its send and receive completion queues.
+type QP struct {
+	ctx *Context
+	qp  *nicQP
+
+	pi        uint16
+	completed uint16
+	sendCI    uint16
+	recvCI    uint16
+
+	// wrids maps the WQE counter to the caller's WRID for send
+	// completions; receives track FIFO order.
+	wrids   map[uint16]uint64
+	recvWRs []RecvWR
+	scratch [mlx.CQESize]byte
+}
+
+// nicQP aliases the device queue pair (kept small to avoid leaking device
+// internals into API signatures).
+type nicQP = deviceQP
+
+// CreateQP builds a queue pair with the given depths.
+func (c *Context) CreateQP(sqDepth, cqDepth int) *QP {
+	return &QP{
+		ctx:   c,
+		qp:    c.Node.NIC.CreateQP(sqDepth, cqDepth),
+		wrids: make(map[uint16]uint64),
+	}
+}
+
+// Connect wires two QPs into a reliable connection (the RTR/RTS modify-QP
+// dance collapsed to its effect).
+func Connect(a, b *QP) { connectDevice(a.qp, b.qp) }
+
+// PostSend posts one send work request (ibv_post_send). The inline+signaled
+// small-message path costs the paper's LLP_post and goes out via PIO; other
+// shapes take the DoorBell path with the NIC DMA-reading the descriptor and,
+// for non-inline requests, the payload.
+func (q *QP) PostSend(p *sim.Proc, wr *SendWR) error {
+	sw := &q.ctx.Cfg.SW
+	r := q.ctx.Node.Rand
+	if int(q.pi-q.completed) >= q.qp.SQ.Depth {
+		p.Sleep(sw.BusyPost.Sample(r))
+		return ErrQPFull
+	}
+
+	p.Sleep(sw.LLPPostEntry.Sample(r))
+	wqe := &mlx.WQE{
+		Signaled:   wr.Flags&SendSignaled != 0,
+		WQEIdx:     q.pi,
+		QPN:        q.qp.QPN,
+		RemoteAddr: wr.RemoteAddr,
+	}
+	switch wr.Opcode {
+	case WROpRDMAWrite:
+		wqe.Opcode = mlx.OpRDMAWrite
+	case WROpSend:
+		wqe.Opcode = mlx.OpSend
+	default:
+		return fmt.Errorf("verbs: unsupported opcode %d", wr.Opcode)
+	}
+
+	inline := wr.Flags&SendInline != 0 && len(wr.InlineData) <= mlx.InlineMax
+	if inline {
+		wqe.Inline = true
+		wqe.Payload = wr.InlineData
+	} else {
+		wqe.Inline = false
+		wqe.GatherAddr = wr.SGE.Addr
+		wqe.GatherLen = wr.SGE.Length
+	}
+	enc, err := wqe.Encode()
+	if err != nil {
+		return err
+	}
+	p.Sleep(sw.MDSetup.Sample(r))
+	p.Sleep(sw.BarrierMD.Sample(r))
+	var dbr [8]byte
+	binary.LittleEndian.PutUint16(dbr[:], q.pi+1)
+	q.ctx.Node.Mem.Write(q.qp.DBRAddr, dbr[:])
+	p.Sleep(sw.DBCIncrement.Sample(r))
+	p.Sleep(sw.BarrierDBC.Sample(r))
+
+	if inline {
+		// BlueFlame PIO: the whole descriptor in one MMIO write.
+		p.Sleep(sw.PIOCopy.Sample(r))
+		q.ctx.Node.RC.MMIOWrite(q.qp.BFAddr, enc[:])
+	} else {
+		// Ring write + 8-byte DoorBell; the NIC fetches by DMA.
+		p.Sleep(sw.SQRingWrite.Sample(r))
+		q.ctx.Node.Mem.Write(q.qp.SQ.EntryAddr(q.pi), enc[:])
+		p.Sleep(sw.DoorbellRing.Sample(r))
+		var db [8]byte
+		binary.LittleEndian.PutUint16(db[:], q.pi+1)
+		q.ctx.Node.RC.MMIOWrite(q.qp.DBAddr, db[:])
+	}
+	p.Sleep(sw.LLPPostExit.Sample(r))
+	q.wrids[q.pi] = wr.WRID
+	q.pi++
+	return nil
+}
+
+// PostRecv posts one receive work request (ibv_post_recv).
+func (q *QP) PostRecv(p *sim.Proc, wr *RecvWR) error {
+	p.Sleep(q.ctx.Cfg.SW.PostRecv.Sample(q.ctx.Node.Rand))
+	q.recvWRs = append(q.recvWRs, *wr)
+	q.qp.PostRecv(wr.SGE.Addr)
+	return nil
+}
+
+// PollSendCQ polls up to len(wcs) send completions (ibv_poll_cq). With
+// unsignaled requests one CQE retires a batch, but verbs reports only the
+// signaled request's WC, matching ibverbs semantics.
+func (q *QP) PollSendCQ(p *sim.Proc, wcs []WC) int {
+	sw := &q.ctx.Cfg.SW
+	r := q.ctx.Node.Rand
+	n := 0
+	for n < len(wcs) {
+		p.Sleep(sw.LLPProgBarrier.Sample(r))
+		q.ctx.Node.Mem.ReadInto(q.qp.SendCQ.EntryAddr(q.sendCI), q.scratch[:])
+		if q.scratch[mlx.CQESize-1] != q.qp.SendCQ.Gen(q.sendCI) {
+			p.Sleep(sw.LLPProgFailChk.Sample(r))
+			break
+		}
+		p.Sleep(sw.LLPProgCQERead.Sample(r))
+		cqe, err := mlx.DecodeCQE(q.scratch[:])
+		if err != nil {
+			panic(fmt.Sprintf("verbs: corrupt CQE: %v", err))
+		}
+		q.sendCI++
+		q.completed = cqe.WQECounter + 1
+		wrid := q.wrids[cqe.WQECounter]
+		delete(q.wrids, cqe.WQECounter)
+		wcs[n] = WC{WRID: wrid, Status: WCSuccess, Opcode: WROpRDMAWrite}
+		n++
+		p.Sleep(sw.LLPProgMisc.Sample(r))
+	}
+	return n
+}
+
+// PollRecvCQ polls up to len(wcs) receive completions.
+func (q *QP) PollRecvCQ(p *sim.Proc, wcs []WC) int {
+	sw := &q.ctx.Cfg.SW
+	r := q.ctx.Node.Rand
+	n := 0
+	for n < len(wcs) {
+		p.Sleep(sw.LLPProgBarrier.Sample(r))
+		q.ctx.Node.Mem.ReadInto(q.qp.RecvCQ.EntryAddr(q.recvCI), q.scratch[:])
+		if q.scratch[mlx.CQESize-1] != q.qp.RecvCQ.Gen(q.recvCI) {
+			p.Sleep(sw.LLPProgFailChk.Sample(r))
+			break
+		}
+		p.Sleep(sw.LLPProgCQERead.Sample(r))
+		cqe, err := mlx.DecodeCQE(q.scratch[:])
+		if err != nil {
+			panic(fmt.Sprintf("verbs: corrupt CQE: %v", err))
+		}
+		q.recvCI++
+		if len(q.recvWRs) == 0 {
+			panic("verbs: recv CQE without a posted receive")
+		}
+		wr := q.recvWRs[0]
+		q.recvWRs = q.recvWRs[1:]
+		data := cqe.Payload
+		if int(cqe.ByteCnt) > mlx.ScatterMax {
+			p.Sleep(units.Time(cqe.ByteCnt) * sw.MemcpyPerByte)
+			data = q.ctx.Node.Mem.Read(wr.SGE.Addr, int(cqe.ByteCnt))
+		}
+		wcs[n] = WC{WRID: wr.WRID, Status: WCSuccess, Opcode: WROpSend, ByteLen: cqe.ByteCnt, Data: data}
+		n++
+		p.Sleep(sw.LLPProgMisc.Sample(r))
+	}
+	return n
+}
+
+// Outstanding reports send slots in use.
+func (q *QP) Outstanding() int { return int(q.pi - q.completed) }

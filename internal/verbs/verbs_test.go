@@ -1,0 +1,212 @@
+package verbs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/sim"
+	"breakband/internal/units"
+)
+
+func harness(t *testing.T) (*node.System, *QP, *QP) {
+	t.Helper()
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	sys := node.NewSystem(cfg, 2)
+	c0 := Open(sys.Nodes[0], cfg)
+	c1 := Open(sys.Nodes[1], cfg)
+	q0 := c0.CreateQP(128, 1024)
+	q1 := c1.CreateQP(128, 1024)
+	Connect(q0, q1)
+	return sys, q0, q1
+}
+
+func TestRDMAWriteInline(t *testing.T) {
+	sys, q0, _ := harness(t)
+	defer sys.Shutdown()
+	dst := sys.Nodes[1].Mem.Alloc("dst", 64, 8)
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	sys.K.Spawn("test", func(p *sim.Proc) {
+		err := q0.PostSend(p, &SendWR{
+			WRID:       77,
+			Opcode:     WROpRDMAWrite,
+			Flags:      SendSignaled | SendInline,
+			InlineData: payload,
+			RemoteAddr: dst.Base,
+		})
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		wcs := make([]WC, 4)
+		for {
+			if n := q0.PollSendCQ(p, wcs); n > 0 {
+				if wcs[0].WRID != 77 || wcs[0].Status != WCSuccess {
+					t.Errorf("wc = %+v", wcs[0])
+				}
+				break
+			}
+		}
+	})
+	sys.Run()
+	if got := sys.Nodes[1].Mem.Read(dst.Base, 8); !bytes.Equal(got, payload) {
+		t.Errorf("remote = %v", got)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	sys, q0, q1 := harness(t)
+	defer sys.Shutdown()
+	rxBuf := sys.Nodes[1].Mem.Alloc("rx", 4096, 64)
+	payload := []byte{9, 8, 7}
+	var got []byte
+	sys.K.Spawn("rx", func(p *sim.Proc) {
+		q1.PostRecv(p, &RecvWR{WRID: 5, SGE: SGE{Addr: rxBuf.Base, Length: 4096}})
+		wcs := make([]WC, 1)
+		for {
+			if n := q1.PollRecvCQ(p, wcs); n > 0 {
+				if wcs[0].WRID != 5 || wcs[0].Opcode != WROpSend {
+					t.Errorf("recv wc = %+v", wcs[0])
+				}
+				got = wcs[0].Data
+				return
+			}
+		}
+	})
+	sys.K.Spawn("tx", func(p *sim.Proc) {
+		p.Sleep(units.Microsecond)
+		if err := q0.PostSend(p, &SendWR{
+			WRID: 6, Opcode: WROpSend, Flags: SendSignaled | SendInline, InlineData: payload,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sys.Run()
+	if !bytes.Equal(got, payload) {
+		t.Errorf("received %v", got)
+	}
+}
+
+func TestLargeSendViaSGE(t *testing.T) {
+	sys, q0, q1 := harness(t)
+	defer sys.Shutdown()
+	src := sys.Nodes[0].Mem.Alloc("src", 4096, 64)
+	rxBuf := sys.Nodes[1].Mem.Alloc("rx", 4096, 64)
+	payload := bytes.Repeat([]byte{0xCD}, 2048)
+	sys.Nodes[0].Mem.Write(src.Base, payload)
+	var got []byte
+	sys.K.Spawn("rx", func(p *sim.Proc) {
+		q1.PostRecv(p, &RecvWR{WRID: 1, SGE: SGE{Addr: rxBuf.Base, Length: 4096}})
+		wcs := make([]WC, 1)
+		for {
+			if n := q1.PollRecvCQ(p, wcs); n > 0 {
+				got = wcs[0].Data
+				if wcs[0].ByteLen != 2048 {
+					t.Errorf("byte len = %d", wcs[0].ByteLen)
+				}
+				return
+			}
+		}
+	})
+	sys.K.Spawn("tx", func(p *sim.Proc) {
+		p.Sleep(units.Microsecond)
+		// Non-inline: the NIC DMA-reads the payload through the SGE.
+		if err := q0.PostSend(p, &SendWR{
+			WRID: 2, Opcode: WROpSend, Flags: SendSignaled,
+			SGE: SGE{Addr: src.Base, Length: 2048},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sys.Run()
+	if !bytes.Equal(got, payload) {
+		t.Error("large payload corrupted in flight")
+	}
+}
+
+func TestInlinePostCostsLLPPost(t *testing.T) {
+	sys, q0, _ := harness(t)
+	defer sys.Shutdown()
+	dst := sys.Nodes[1].Mem.Alloc("dst", 64, 8)
+	sys.K.Spawn("test", func(p *sim.Proc) {
+		t0 := p.Now()
+		q0.PostSend(p, &SendWR{
+			Opcode: WROpRDMAWrite, Flags: SendSignaled | SendInline,
+			InlineData: []byte{1}, RemoteAddr: dst.Base,
+		})
+		if got := (p.Now() - t0).Ns(); math.Abs(got-config.TabLLPPost) > 1e-9 {
+			t.Errorf("inline post cost %.2f ns, want LLP_post %.2f", got, config.TabLLPPost)
+		}
+	})
+	sys.Run()
+}
+
+func TestUnsignaledBatchPolling(t *testing.T) {
+	sys, q0, _ := harness(t)
+	defer sys.Shutdown()
+	dst := sys.Nodes[1].Mem.Alloc("dst", 64, 8)
+	sys.K.Spawn("test", func(p *sim.Proc) {
+		// Three unsignaled then one signaled: one WC retires all four
+		// slots, but only the signaled WR is reported (ibverbs
+		// semantics).
+		for i := 0; i < 4; i++ {
+			flags := SendInline
+			if i == 3 {
+				flags |= SendSignaled
+			}
+			if err := q0.PostSend(p, &SendWR{
+				WRID: uint64(i), Opcode: WROpRDMAWrite, Flags: flags,
+				InlineData: []byte{byte(i)}, RemoteAddr: dst.Base,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wcs := make([]WC, 8)
+		total := 0
+		for q0.Outstanding() > 0 {
+			total += q0.PollSendCQ(p, wcs)
+		}
+		if total != 1 {
+			t.Errorf("WCs = %d, want 1 (only the signaled WR)", total)
+		}
+		if wcs[0].WRID != 3 {
+			t.Errorf("WC wrid = %d", wcs[0].WRID)
+		}
+	})
+	sys.Run()
+}
+
+func TestQPFull(t *testing.T) {
+	sys, q0, _ := harness(t)
+	defer sys.Shutdown()
+	dst := sys.Nodes[1].Mem.Alloc("dst", 64, 8)
+	sys.K.Spawn("test", func(p *sim.Proc) {
+		for i := 0; i < 128; i++ {
+			if err := q0.PostSend(p, &SendWR{
+				Opcode: WROpRDMAWrite, Flags: SendSignaled | SendInline,
+				InlineData: []byte{1}, RemoteAddr: dst.Base,
+			}); err != nil {
+				t.Fatalf("post %d: %v", i, err)
+			}
+		}
+		if err := q0.PostSend(p, &SendWR{
+			Opcode: WROpRDMAWrite, Flags: SendSignaled | SendInline,
+			InlineData: []byte{1}, RemoteAddr: dst.Base,
+		}); err != ErrQPFull {
+			t.Errorf("overfull post: %v", err)
+		}
+	})
+	sys.Run()
+}
+
+func TestBadOpcode(t *testing.T) {
+	sys, q0, _ := harness(t)
+	defer sys.Shutdown()
+	sys.K.Spawn("test", func(p *sim.Proc) {
+		if err := q0.PostSend(p, &SendWR{Opcode: 42}); err == nil {
+			t.Error("bad opcode accepted")
+		}
+	})
+	sys.Run()
+}
