@@ -320,7 +320,7 @@ func BenchmarkAblationSizeSweep(b *testing.B) {
 	for _, size := range []int{8, 256, 4096} {
 		b.Run("size="+itoa(size), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				pts := perftest.LatencySizeSweep(mkSys, []int{size}, 200)
+				pts := perftest.LatencySizeSweep(mkSys, []int{size}, 200, 1)
 				b.ReportMetric(pts[0].LatencyNs, "latency_ns")
 				b.ReportMetric(pts[0].SoftwarePct, "software_pct")
 			}

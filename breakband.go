@@ -16,6 +16,21 @@
 //	fmt.Println(res.Table1())
 //	fmt.Println(res.RenderValidations())
 //	fmt.Println(res.Figure("fig13"))
+//
+// Building & running (a plain Go module, no dependencies outside the
+// standard library):
+//
+//	go build ./...              # library + bbperftest, bbosu, breakband commands
+//	go vet ./...
+//	go test ./...               # add -race to exercise the parallel campaign
+//	go run ./cmd/breakband all  # regenerate every table and figure
+//
+// The measurement campaign is embarrassingly parallel: the paper's §3
+// methodology gives every sub-measurement its own freshly built system, so
+// Reproduce fans them out on a bounded worker pool sized by
+// Options.Parallelism (default runtime.GOMAXPROCS). Parallel and serial
+// campaigns are bit-identical at the same seed — every task derives its own
+// noise stream from the campaign seed and its task name.
 package breakband
 
 import (
@@ -47,6 +62,12 @@ type Options struct {
 	Samples int
 	// Windows is the message-rate window count (default 20).
 	Windows int
+	// Parallelism bounds the measurement campaign's worker pool. Zero (or
+	// negative) selects runtime.GOMAXPROCS(0); 1 forces serial execution.
+	// The pool width never changes results: each sub-measurement runs on
+	// its own fresh system with a task-derived random stream, so parallel
+	// campaigns are bit-identical to serial ones at the same seed.
+	Parallelism int
 }
 
 // configMaker returns a fresh-config constructor for these options.
@@ -86,6 +107,7 @@ func Reproduce(opts Options) *Results {
 	if opts.Windows > 0 {
 		mo.Windows = opts.Windows
 	}
+	mo.Parallelism = opts.Parallelism
 	return &Results{Opts: opts, Measured: measure.Run(opts.configMaker(), mo)}
 }
 
@@ -219,8 +241,16 @@ func (r *Results) renderFig7() string {
 	sb.WriteString("Fig 7: distribution of the observed injection overhead (ns)\n")
 	fmt.Fprintf(&sb, "Mean: %.2f  Median: %.2f  Min: %.2f  Max: %.2f  Std dev: %.4f  (n=%d)\n",
 		s.Mean, s.Median, s.Min, s.Max, s.Std, s.N)
-	fmt.Fprintf(&sb, "Paper: Mean 282.33  Median 266.30  Min 201.30  Max 34951.70  Std dev 58.4866\n")
+	sb.WriteString(Fig7PaperLine() + "\n")
 	return sb.String()
+}
+
+// Fig7PaperLine renders the paper's Figure-7 distribution statistics (the
+// reference line under every Figure-7 rendering).
+func Fig7PaperLine() string {
+	return fmt.Sprintf("Paper: Mean %.2f  Median %.2f  Min %.2f  Max %.2f  Std dev %.4f",
+		config.TabObsLLPInjection, config.TabFig7Median, config.TabFig7Min,
+		config.TabFig7Max, config.TabFig7Std)
 }
 
 // Breakdowns returns all figure datasets for programmatic use.

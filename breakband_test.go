@@ -3,21 +3,27 @@ package breakband
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
-// repro caches one deterministic reproduction for the package tests.
-var repro *Results
+// repro caches one deterministic reproduction for the package tests (the
+// tests are parallel, hence the once).
+var (
+	reproOnce sync.Once
+	repro     *Results
+)
 
 func reproduced(t *testing.T) *Results {
 	t.Helper()
-	if repro == nil {
+	reproOnce.Do(func() {
 		repro = Reproduce(Options{Samples: 150, Windows: 10})
-	}
+	})
 	return repro
 }
 
 func TestReproduceValidations(t *testing.T) {
+	t.Parallel()
 	res := reproduced(t)
 	vals := res.Validations()
 	if len(vals) != 4 {
@@ -37,6 +43,7 @@ func TestReproduceValidations(t *testing.T) {
 }
 
 func TestTable1Rendering(t *testing.T) {
+	t.Parallel()
 	res := reproduced(t)
 	out := res.Table1()
 	for _, want := range []string{
@@ -50,6 +57,7 @@ func TestTable1Rendering(t *testing.T) {
 }
 
 func TestFigures(t *testing.T) {
+	t.Parallel()
 	res := reproduced(t)
 	for _, id := range []string{
 		"fig4", "fig7", "fig8", "fig10", "fig11", "fig12",
@@ -66,6 +74,7 @@ func TestFigures(t *testing.T) {
 }
 
 func TestFig13MatchesPaperShares(t *testing.T) {
+	t.Parallel()
 	res := reproduced(t)
 	out := res.Figure("fig13")
 	// The measured table reproduces the paper's Figure-13 shares.
@@ -77,6 +86,7 @@ func TestFig13MatchesPaperShares(t *testing.T) {
 }
 
 func TestBreakdownsMap(t *testing.T) {
+	t.Parallel()
 	res := reproduced(t)
 	bd := res.Breakdowns()
 	for _, key := range []string{"fig4", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"} {
@@ -87,6 +97,7 @@ func TestBreakdownsMap(t *testing.T) {
 }
 
 func TestWhatIfScenarios(t *testing.T) {
+	t.Parallel()
 	res := reproduced(t)
 	if len(res.WhatIf()) != 5 {
 		t.Errorf("scenarios = %d", len(res.WhatIf()))
@@ -101,6 +112,7 @@ func TestPaperComponents(t *testing.T) {
 }
 
 func TestRunBenchmarks(t *testing.T) {
+	t.Parallel()
 	opts := Options{}
 	pb := RunPutBw(opts, 500)
 	if math.Abs(pb.MeanInjNs-295.73)/295.73 > 0.05 {
@@ -124,6 +136,7 @@ func TestRunBenchmarks(t *testing.T) {
 }
 
 func TestSimulateOptimizationAgreesWithModel(t *testing.T) {
+	t.Parallel()
 	opts := Options{}
 	checks := []struct {
 		comp Component
@@ -212,6 +225,7 @@ func TestMetricString(t *testing.T) {
 }
 
 func TestNoisySeedsReproducible(t *testing.T) {
+	t.Parallel()
 	a := RunPutBw(Options{Noise: true, Seed: 9}, 300)
 	b := RunPutBw(Options{Noise: true, Seed: 9}, 300)
 	if a.MeanInjNs != b.MeanInjNs {
@@ -224,6 +238,7 @@ func TestNoisySeedsReproducible(t *testing.T) {
 }
 
 func TestDirectCableLowersLatency(t *testing.T) {
+	t.Parallel()
 	switched := RunAmLat(Options{}, 200).AdjustedNs
 	direct := RunAmLat(Options{DirectCable: true}, 200).AdjustedNs
 	// The switch adds its forwarding latency once per one-way trip.

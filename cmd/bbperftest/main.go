@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bbperftest [flags] put_bw|am_lat|multi
+//	bbperftest [flags] put_bw|am_lat|multi|sweep
 //
 // Examples:
 //
@@ -12,6 +12,9 @@
 //	bbperftest -iters 5000 am_lat     # send-receive latency
 //	bbperftest -mode doorbell-gather am_lat
 //	bbperftest -cores 16 multi        # concurrent injectors, one QP each
+//	bbperftest -cores 64 sweep        # multi-core scaling sweep, one fresh
+//	                                  # system per point, points fanned out
+//	                                  # on the -parallel worker pool
 package main
 
 import (
@@ -32,14 +35,15 @@ var (
 	flagMode   = flag.String("mode", "pio-inline", "descriptor path: pio-inline, doorbell-inline, doorbell-gather")
 	flagNoise  = flag.Bool("noise", false, "enable the stochastic timing model")
 	flagSeed   = flag.Uint64("seed", 1, "random seed")
-	flagDirect = flag.Bool("direct", false, "no switch between the NICs")
-	flagCores  = flag.Int("cores", 4, "injecting cores for the multi test")
+	flagDirect   = flag.Bool("direct", false, "no switch between the NICs")
+	flagCores    = flag.Int("cores", 4, "injecting cores for the multi test (sweep: largest core count)")
+	flagParallel = flag.Int("parallel", 0, "sweep worker pool (0 = GOMAXPROCS, 1 = serial)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi")
+		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi|sweep")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -59,24 +63,41 @@ func main() {
 	if *flagNoise {
 		noise = config.NoiseOn
 	}
-	sys := node.NewSystem(config.TX2CX4(noise, *flagSeed, !*flagDirect), 2)
-	defer sys.Shutdown()
+	mkSys := func() *node.System {
+		return node.NewSystem(config.TX2CX4(noise, *flagSeed, !*flagDirect), 2)
+	}
 	opt := perftest.Options{Iters: *flagIters, Warmup: *flagWarmup, MsgSize: *flagSize, Mode: mode}
 
 	switch flag.Arg(0) {
 	case "put_bw":
+		sys := mkSys()
+		defer sys.Shutdown()
 		res := perftest.PutBw(sys, opt)
 		fmt.Println(res)
 		fmt.Printf("paper model (Equation 1): %.2f ns between messages\n", config.TabLLPInjModel)
 	case "am_lat":
+		sys := mkSys()
+		defer sys.Shutdown()
 		res := perftest.AmLat(sys, opt)
 		fmt.Println(res)
 		s := res.RTTs.Summarize()
 		fmt.Printf("round trips: %s\n", s)
 		fmt.Printf("paper model (§4.3): %.2f ns one-way\n", config.TabLLPLatencyModel)
 	case "multi":
+		sys := mkSys()
+		defer sys.Shutdown()
 		res := perftest.MultiPutBw(sys, *flagCores, opt)
 		fmt.Println(res)
+	case "sweep":
+		// Doubling core counts up to -cores; each point is an isolated
+		// fresh system, so the sweep fans out on the -parallel pool.
+		var coreCounts []int
+		for c := 1; c <= *flagCores; c *= 2 {
+			coreCounts = append(coreCounts, c)
+		}
+		for _, res := range perftest.MultiCoreSweep(mkSys, coreCounts, opt, *flagParallel) {
+			fmt.Println(res)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "bbperftest: unknown test %q\n", flag.Arg(0))
 		os.Exit(2)

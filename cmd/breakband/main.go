@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"breakband"
+	"breakband/internal/campaign"
 	"breakband/internal/config"
 	"breakband/internal/core/whatif"
 	"breakband/internal/node"
@@ -41,9 +42,10 @@ var (
 	flagNoise   = flag.Bool("noise", false, "enable the stochastic timing model")
 	flagSeed    = flag.Uint64("seed", 1, "random seed (with -noise)")
 	flagDirect  = flag.Bool("direct", false, "cable the NICs back to back (no switch)")
-	flagSamples = flag.Int("samples", 400, "samples per measured component (>=100)")
-	flagWindows = flag.Int("windows", 20, "message-rate windows")
-	flagFig7N   = flag.Int("fig7-iters", 20000, "put_bw iterations for the Figure-7 histogram")
+	flagSamples  = flag.Int("samples", 400, "samples per measured component (>=100)")
+	flagWindows  = flag.Int("windows", 20, "message-rate windows")
+	flagFig7N    = flag.Int("fig7-iters", 20000, "put_bw iterations for the Figure-7 histogram")
+	flagParallel = flag.Int("parallel", 0, "campaign/sweep worker pool (0 = GOMAXPROCS, 1 = serial)")
 )
 
 func opts() breakband.Options {
@@ -53,6 +55,7 @@ func opts() breakband.Options {
 		DirectCable: *flagDirect,
 		Samples:     *flagSamples,
 		Windows:     *flagWindows,
+		Parallelism: *flagParallel,
 	}
 }
 
@@ -150,7 +153,7 @@ func fig7() {
 	fmt.Println("Fig 7: distribution of the observed injection overhead (ns)")
 	fmt.Printf("Mean: %.2f  Median: %.2f  Min: %.2f  Max: %.2f  Std dev: %.4f  (n=%d)\n",
 		s.Mean, s.Median, s.Min, s.Max, s.Std, s.N)
-	fmt.Println("Paper: Mean 282.33  Median 266.30  Min 201.30  Max 34951.70  Std dev 58.4866")
+	fmt.Println(breakband.Fig7PaperLine())
 	h := stats.NewHistogram(150, 500, 28)
 	h.FromSample(res.InjSample)
 	fmt.Print(report.HistogramText(h, 50))
@@ -179,67 +182,70 @@ func simcheck() {
 	}
 }
 
-// ablate runs the four design-choice ablations from DESIGN.md.
+// ablate runs the design-choice ablations from DESIGN.md. Every sweep point
+// is an isolated fresh system, so all of them fan out on the -parallel pool
+// and print in deterministic order once complete.
 func ablate() {
 	o := opts()
+	par := *flagParallel
 
 	fmt.Println("X1: descriptor-delivery path (am_lat one-way latency, adjusted ns)")
-	for _, mode := range []uct.PostMode{uct.PIOInline, uct.DoorbellInline, uct.DoorbellGather} {
+	modes := []uct.PostMode{uct.PIOInline, uct.DoorbellInline, uct.DoorbellGather}
+	for i, adj := range campaign.Map(par, modes, func(_ int, mode uct.PostMode) float64 {
 		sys := o.NewSystem()
-		res := perftest.AmLat(sys, perftest.Options{Iters: 400, Mode: mode})
-		fmt.Printf("  %-17s %8.2f ns\n", mode, res.AdjustedNs)
-		sys.Shutdown()
+		defer sys.Shutdown()
+		return perftest.AmLat(sys, perftest.Options{Iters: 400, Mode: mode}).AdjustedNs
+	}) {
+		fmt.Printf("  %-17s %8.2f ns\n", modes[i], adj)
 	}
 
 	fmt.Println("X2: unsignaled completion period c (OSU message rate, ns/msg)")
-	for _, c := range []int{1, 4, 16, 64} {
+	periods := []int{1, 4, 16, 64}
+	for i, res := range campaign.Map(par, periods, func(_, c int) *osu.MessageRateResult {
 		cfg := config.TX2CX4(noiseLevel(o), seedOf(o), !o.DirectCable)
 		cfg.Bench.SignalPeriod = c
 		sys := systemOf(cfg)
-		res := osu.MessageRate(sys, osu.Options{Windows: 12})
-		fmt.Printf("  c=%-3d %8.2f ns/msg (%d busy posts)\n", c, res.MeanInjNs, res.BusyPosts)
-		sys.Shutdown()
+		defer sys.Shutdown()
+		return osu.MessageRate(sys, osu.Options{Windows: 12})
+	}) {
+		fmt.Printf("  c=%-3d %8.2f ns/msg (%d busy posts)\n", periods[i], res.MeanInjNs, res.BusyPosts)
 	}
 
 	fmt.Println("X3: multi-core injection (aggregate put_bw; fine-grained communication,")
 	fmt.Println("    one QP per core — the paper's strong-scaling limit scenario)")
-	for _, cores := range []int{1, 2, 4, 8, 16, 32, 64} {
-		sys := o.NewSystem()
-		res := perftest.MultiPutBw(sys, cores, perftest.Options{Iters: 1500})
+	coreCounts := []int{1, 2, 4, 8, 16, 32, 64}
+	for _, res := range perftest.MultiCoreSweep(o.NewSystem, coreCounts, perftest.Options{Iters: 1500}, par) {
 		fmt.Printf("  cores=%-3d %8.2f ns/msg aggregate (%d PCIe credit stalls)\n",
-			cores, res.PerMsgNs, res.LinkBlocked)
-		sys.Shutdown()
+			res.Cores, res.PerMsgNs, res.LinkBlocked)
 	}
 
 	fmt.Println("X4: switch vs direct cabling (am_lat, adjusted ns)")
-	for _, direct := range []bool{false, true} {
+	for i, adj := range campaign.Map(par, []bool{false, true}, func(_ int, direct bool) float64 {
 		oo := o
 		oo.DirectCable = direct
 		sys := oo.NewSystem()
-		res := perftest.AmLat(sys, perftest.Options{Iters: 400})
+		defer sys.Shutdown()
+		return perftest.AmLat(sys, perftest.Options{Iters: 400}).AdjustedNs
+	}) {
 		name := "switched"
-		if direct {
+		if i == 1 {
 			name = "direct"
 		}
-		fmt.Printf("  %-9s %8.2f ns\n", name, res.AdjustedNs)
-		sys.Shutdown()
+		fmt.Printf("  %-9s %8.2f ns\n", name, adj)
 	}
 
 	fmt.Println("X5: message-size sweep (paper §1: software share collapses with size)")
 	mkSys := func() *node.System {
 		return node.NewSystem(config.TX2CX4(noiseLevel(o), seedOf(o), !o.DirectCable), 2)
 	}
-	for _, pt := range perftest.LatencySizeSweep(mkSys, []int{8, 32, 256, 1024, 4096}, 300) {
+	for _, pt := range perftest.LatencySizeSweep(mkSys, []int{8, 32, 256, 1024, 4096}, 300, par) {
 		fmt.Printf("  %5dB %9.2f ns one-way (software share %.1f%%)\n",
 			pt.Bytes, pt.LatencyNs, pt.SoftwarePct)
 	}
 
 	fmt.Println("X6: poll window p (paper §4.2 bound p >= gen_completion/LLP_post = 8)")
-	for _, w := range []int{1, 2, 4, 8, 16, 32} {
-		sys := mkSys()
-		res := perftest.WindowedPutBw(sys, w, 2048)
-		fmt.Printf("  p=%-3d %9.2f ns/msg\n", w, res.PerMsgNs)
-		sys.Shutdown()
+	for _, res := range perftest.WindowedSweep(mkSys, []int{1, 2, 4, 8, 16, 32}, 2048, par) {
+		fmt.Printf("  p=%-3d %9.2f ns/msg\n", res.Window, res.PerMsgNs)
 	}
 
 	fmt.Println("Model ablation: minimum poll period p (paper §4.2 lower bound)")

@@ -1,0 +1,3 @@
+module breakband
+
+go 1.22

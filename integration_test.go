@@ -17,6 +17,7 @@ import (
 // instrument"): enabling or disabling the trace tap changes nothing about
 // simulated timing.
 func TestAnalyzerPassivity(t *testing.T) {
+	t.Parallel()
 	run := func(tapEnabled bool) (float64, float64) {
 		sys := node.NewSystem(config.TX2CX4(config.NoiseOff, 1, true), 2)
 		defer sys.Shutdown()
@@ -42,6 +43,7 @@ func TestAnalyzerPassivity(t *testing.T) {
 // costs must produce near-identical latency (the verbs path posts inline +
 // signaled, the uct am path adds only its receive dispatch).
 func TestVerbsMatchesUCTTiming(t *testing.T) {
+	t.Parallel()
 	cfg := config.TX2CX4(config.NoiseOff, 1, true)
 
 	// --- verbs ping-pong ---
@@ -113,6 +115,7 @@ func TestVerbsMatchesUCTTiming(t *testing.T) {
 // directly in the simulator — from a post's arrival at the NIC to its
 // completion commit — and checks the model formula against it.
 func TestGenCompletionEmergent(t *testing.T) {
+	t.Parallel()
 	cfg := config.TX2CX4(config.NoiseOff, 1, true)
 	sys := node.NewSystem(cfg, 2)
 	defer sys.Shutdown()

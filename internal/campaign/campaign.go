@@ -1,0 +1,108 @@
+// Package campaign is the bounded-parallel task engine behind the
+// measurement campaign and the perftest sweeps.
+//
+// The paper's §3 methodology ("we do not simultaneously measure time in any
+// other component") forces every sub-measurement to build a fresh,
+// independent system; nothing is shared between them, so they can execute
+// concurrently with results bit-identical to a serial run. The engine
+// enforces only the scheduling side of that contract: tasks run on a worker
+// pool of configurable width and Run returns when all of them finished.
+// Isolation is the task author's side: a task must build its own config,
+// random streams and simulated system, and write only to its own result
+// slot.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Task is one isolated unit of work. Name identifies the task in panics
+// (and is what callers derive per-task noise seeds from, see
+// rng.DeriveSeed); Run executes it.
+type Task struct {
+	Name string
+	Run  func()
+}
+
+// Workers resolves a Parallelism-style option: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is taken as-is.
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// taskPanic records a panicking task so the pool can re-raise it
+// deterministically.
+type taskPanic struct {
+	index int
+	name  string
+	value any
+}
+
+// Run executes tasks on a pool of Workers(parallelism) goroutines and
+// returns when every task has finished. Task results must flow through the
+// tasks' own slots; the engine imposes no ordering. If tasks panic, Run
+// panics with the first one in slice order — independent of pool width, so
+// failures reproduce identically under any parallelism.
+func Run(parallelism int, tasks []Task) {
+	workers := Workers(parallelism)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		failed *taskPanic
+	)
+	runOne := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				mu.Lock()
+				if failed == nil || i < failed.index {
+					failed = &taskPanic{index: i, name: tasks[i].Name, value: v}
+				}
+				mu.Unlock()
+			}
+		}()
+		tasks[i].Run()
+	}
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runOne(i)
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if failed != nil {
+		panic(fmt.Sprintf("campaign: task %q: %v", failed.name, failed.value))
+	}
+}
+
+// Map fans fn out over items on a Run pool and returns the results in item
+// order. fn must be safe to call concurrently and, like a Task, must not
+// share mutable state across items.
+func Map[T, R any](parallelism int, items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	tasks := make([]Task, len(items))
+	for i := range items {
+		i := i
+		tasks[i] = Task{
+			Name: fmt.Sprintf("map[%d]", i),
+			Run:  func() { out[i] = fn(i, items[i]) },
+		}
+	}
+	Run(parallelism, tasks)
+	return out
+}

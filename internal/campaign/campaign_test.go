@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestRunExecutesEveryTask(t *testing.T) {
+	for _, par := range []int{1, 3, 16} {
+		ran := make([]int32, 40)
+		var tasks []Task
+		for i := range ran {
+			i := i
+			tasks = append(tasks, Task{Name: "t", Run: func() { atomic.AddInt32(&ran[i], 1) }})
+		}
+		Run(par, tasks)
+		for i, n := range ran {
+			if n != 1 {
+				t.Fatalf("parallelism %d: task %d ran %d times", par, i, n)
+			}
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const par = 3
+	var cur, peak int32
+	var tasks []Task
+	for i := 0; i < 24; i++ {
+		tasks = append(tasks, Task{Name: "t", Run: func() {
+			n := atomic.AddInt32(&cur, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+					break
+				}
+			}
+			runtime.Gosched()
+			atomic.AddInt32(&cur, -1)
+		}})
+	}
+	Run(par, tasks)
+	if peak > par {
+		t.Errorf("observed %d concurrent tasks, pool bound is %d", peak, par)
+	}
+}
+
+func TestRunPanicsWithFirstTaskInSliceOrder(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("parallelism %d: panic not propagated", par)
+				}
+				msg, ok := v.(string)
+				if !ok || !strings.Contains(msg, `"boom-1"`) {
+					t.Errorf("parallelism %d: panic = %v, want the lowest-index task boom-1", par, v)
+				}
+			}()
+			Run(par, []Task{
+				{Name: "ok", Run: func() {}},
+				{Name: "boom-1", Run: func() { panic("first") }},
+				{Name: "ok2", Run: func() {}},
+				{Name: "boom-3", Run: func() { panic("second") }},
+			})
+		}()
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i
+	}
+	out := Map(8, in, func(i, v int) int {
+		if i != v {
+			t.Errorf("index %d paired with item %d", i, v)
+		}
+		return v * v
+	})
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}

@@ -62,6 +62,20 @@ const (
 	TabObsLLPLatency   = 1190.25
 	TabObsOverallInj   = 263.91
 	TabObsE2ELatency   = 1336.0
+	// TabGenCompletion is §4.2's completion-generation time implied by
+	// Table 1 — two PCIe+Network traversals (message out, ACK back) plus
+	// the completion write — the numerator of the poll-window lower bound
+	// p >= gen_completion / LLP_post.
+	TabGenCompletion = 2*(TabPCIe+TabNetwork) + TabRCToMem8 // 1281.56
+)
+
+// The paper's Figure-7 distribution of the observed injection overhead
+// (ns): its mean is TabObsLLPInjection above.
+const (
+	TabFig7Median = 266.30
+	TabFig7Min    = 201.30
+	TabFig7Max    = 34951.70
+	TabFig7Std    = 58.4866
 )
 
 // NoiseLevel selects the stochastic model.

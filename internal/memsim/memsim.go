@@ -29,8 +29,16 @@ func (r Region) Contains(addr uint64, n int) bool {
 }
 
 // Memory is one node's DRAM plus its allocation bookkeeping.
+//
+// The backing store is lazy: a fresh Memory owns no buffer, and the buffer
+// grows geometrically as writes land. Addresses past the backing read as
+// zeros, exactly like untouched DRAM. Regions are bump-allocated from zero,
+// so the backing stays a tiny fraction of the modelled DRAM size — which is
+// what lets the measurement campaign build hundreds of fresh systems
+// without cycling gigabytes through the allocator.
 type Memory struct {
-	buf     []byte
+	size    uint64
+	buf     []byte // lazily grown; [len(buf), size) reads as zeros
 	next    uint64
 	regions []Region
 	// writes counts committed store operations, a cheap invariant hook for
@@ -40,11 +48,11 @@ type Memory struct {
 
 // New creates a memory of the given size in bytes.
 func New(size uint64) *Memory {
-	return &Memory{buf: make([]byte, size)}
+	return &Memory{size: size}
 }
 
 // Size reports the memory size in bytes.
-func (m *Memory) Size() uint64 { return uint64(len(m.buf)) }
+func (m *Memory) Size() uint64 { return m.size }
 
 // Writes reports the number of committed store operations.
 func (m *Memory) Writes() uint64 { return m.writes }
@@ -55,7 +63,7 @@ func (m *Memory) Alloc(name string, n, align uint64) Region {
 		panic(fmt.Sprintf("memsim: bad alignment %d", align))
 	}
 	base := (m.next + align - 1) &^ (align - 1)
-	if base+n > uint64(len(m.buf)) {
+	if base+n > m.size {
 		panic(fmt.Sprintf("memsim: out of memory allocating %q (%d bytes)", name, n))
 	}
 	r := Region{Name: name, Base: base, Size: n}
@@ -72,8 +80,37 @@ func (m *Memory) Regions() []Region {
 }
 
 func (m *Memory) check(addr uint64, n int, op string) {
-	if n < 0 || addr+uint64(n) > uint64(len(m.buf)) {
-		panic(fmt.Sprintf("memsim: %s out of range addr=%#x len=%d size=%d", op, addr, n, len(m.buf)))
+	if n < 0 || addr+uint64(n) > m.size {
+		panic(fmt.Sprintf("memsim: %s out of range addr=%#x len=%d size=%d", op, addr, n, m.size))
+	}
+}
+
+// ensure grows the backing store to cover [0, end).
+func (m *Memory) ensure(end uint64) {
+	if end <= uint64(len(m.buf)) {
+		return
+	}
+	grown := uint64(4096)
+	for grown < end {
+		grown *= 2
+	}
+	if grown > m.size {
+		grown = m.size
+	}
+	nb := make([]byte, grown)
+	copy(nb, m.buf)
+	m.buf = nb
+}
+
+// readAt copies the bytes at addr into dst, treating addresses past the
+// backing store as zeros.
+func (m *Memory) readAt(addr uint64, dst []byte) {
+	var n int
+	if addr < uint64(len(m.buf)) {
+		n = copy(dst, m.buf[addr:])
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
 	}
 }
 
@@ -81,6 +118,7 @@ func (m *Memory) check(addr uint64, n int, op string) {
 // time).
 func (m *Memory) Write(addr uint64, data []byte) {
 	m.check(addr, len(data), "write")
+	m.ensure(addr + uint64(len(data)))
 	copy(m.buf[addr:], data)
 	m.writes++
 }
@@ -89,7 +127,7 @@ func (m *Memory) Write(addr uint64, data []byte) {
 func (m *Memory) Read(addr uint64, n int) []byte {
 	m.check(addr, n, "read")
 	out := make([]byte, n)
-	copy(out, m.buf[addr:])
+	m.readAt(addr, out)
 	return out
 }
 
@@ -97,5 +135,5 @@ func (m *Memory) Read(addr uint64, n int) []byte {
 // polling paths.
 func (m *Memory) ReadInto(addr uint64, dst []byte) {
 	m.check(addr, len(dst), "read")
-	copy(dst, m.buf[addr:])
+	m.readAt(addr, dst)
 }

@@ -125,3 +125,52 @@ func TestQuickAllocDisjoint(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestLazyBackingReadsZeros(t *testing.T) {
+	// The backing store is lazy: untouched addresses anywhere in the
+	// modelled DRAM read as zeros, without ever allocating the full size.
+	m := New(1 << 30)
+	if got := m.Read((1<<30)-64, 64); !bytes.Equal(got, make([]byte, 64)) {
+		t.Errorf("untouched high memory = %v, want zeros", got)
+	}
+	// ReadInto must overwrite stale destination bytes with those zeros.
+	dst := []byte{1, 2, 3, 4}
+	m.ReadInto((1<<29)+8, dst)
+	if !bytes.Equal(dst, make([]byte, 4)) {
+		t.Errorf("ReadInto left stale bytes: %v", dst)
+	}
+}
+
+func TestLazyBackingGrowsAcrossBoundary(t *testing.T) {
+	m := New(1 << 20)
+	// A write spanning far past the initial backing commits fully and
+	// reads back, with untouched neighbours still zero.
+	data := bytes.Repeat([]byte{0xab}, 100)
+	m.Write(99_000, data)
+	if got := m.Read(99_000, 100); !bytes.Equal(got, data) {
+		t.Errorf("read-back mismatch after growth")
+	}
+	if got := m.Read(98_000, 64); !bytes.Equal(got, make([]byte, 64)) {
+		t.Errorf("neighbour below the write not zero: %v", got)
+	}
+	if got := m.Read(100_000, 64); !bytes.Equal(got, make([]byte, 64)) {
+		t.Errorf("neighbour above the write not zero: %v", got)
+	}
+	if m.Size() != 1<<20 {
+		t.Errorf("Size changed to %d", m.Size())
+	}
+}
+
+func TestWriteAtEndOfMemory(t *testing.T) {
+	m := New(4096)
+	m.Write(4092, []byte{1, 2, 3, 4})
+	if !bytes.Equal(m.Read(4092, 4), []byte{1, 2, 3, 4}) {
+		t.Error("write at the last addresses lost")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range write not caught")
+		}
+	}()
+	m.Write(4094, []byte{1, 2, 3, 4})
+}

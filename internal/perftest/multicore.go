@@ -3,6 +3,7 @@ package perftest
 import (
 	"fmt"
 
+	"breakband/internal/campaign"
 	"breakband/internal/node"
 	"breakband/internal/sim"
 	"breakband/internal/uct"
@@ -92,6 +93,19 @@ func MultiPutBw(sys *node.System, cores int, opt Options) *MultiPutBwResult {
 	blockedDown, _ := n0.Link.Blocked()
 	res.LinkBlocked = blockedDown
 	return res
+}
+
+// MultiCoreSweep runs MultiPutBw for each core count, one fresh system per
+// point, fanned out on a parallelism-wide pool (<= 0 selects GOMAXPROCS);
+// mkSys must be safe to call concurrently. (The simulated cores within one
+// point still share their system's virtual clock — only distinct points run
+// on distinct OS threads.)
+func MultiCoreSweep(mkSys func() *node.System, coreCounts []int, opt Options, parallelism int) []*MultiPutBwResult {
+	return campaign.Map(parallelism, coreCounts, func(_, cores int) *MultiPutBwResult {
+		sys := mkSys()
+		defer sys.Shutdown()
+		return MultiPutBw(sys, cores, opt)
+	})
 }
 
 // String renders the result.

@@ -3,6 +3,8 @@ package perftest
 import (
 	"fmt"
 
+	"breakband/internal/campaign"
+	"breakband/internal/config"
 	"breakband/internal/mlx"
 	"breakband/internal/node"
 	"breakband/internal/sim"
@@ -25,22 +27,22 @@ type SizePoint struct {
 
 // LatencySizeSweep measures one-way latency across message sizes. Sizes at
 // or below the inline maximum use the PIO short path; larger ones the
-// buffered-copy path, as UCX selects by size.
-func LatencySizeSweep(mkSys func() *node.System, sizes []int, iters int) []SizePoint {
-	var out []SizePoint
-	for _, size := range sizes {
+// buffered-copy path, as UCX selects by size. Each size runs on its own
+// fresh system, fanned out on a parallelism-wide pool (<= 0 selects
+// GOMAXPROCS); mkSys must be safe to call concurrently.
+func LatencySizeSweep(mkSys func() *node.System, sizes []int, iters, parallelism int) []SizePoint {
+	return campaign.Map(parallelism, sizes, func(_, size int) SizePoint {
 		sys := mkSys()
+		defer sys.Shutdown()
 		res := amLatAuto(sys, size, iters)
 		sw := sys.Cfg.LLPPostMean() + sys.Cfg.LLPProgMean()
-		out = append(out, SizePoint{
+		return SizePoint{
 			Bytes:       size,
 			LatencyNs:   res,
 			SoftwareNs:  sw,
 			SoftwarePct: sw / res * 100,
-		})
-		sys.Shutdown()
-	}
-	return out
+		}
+	})
 }
 
 // amLatAuto is am_lat with automatic short/bcopy path selection by size.
@@ -133,9 +135,11 @@ func WindowedPutBw(sys *node.System, window, iters int) *WindowedResult {
 	cfg := sys.Cfg
 	n0, n1 := sys.Nodes[0], sys.Nodes[1]
 	w0 := uct.NewWorker(n0, cfg)
-	w1 := uct.NewWorker(n1, cfg)
 	ep0 := w0.NewEp(uct.PIOInline, 1)
-	ep1 := w1.NewEp(uct.PIOInline, 1)
+	// The target endpoint exists only to terminate the QP: put_bw is
+	// one-sided, so the target CPU never progresses its worker and no
+	// responder proc is spawned.
+	ep1 := uct.NewWorker(n1, cfg).NewEp(uct.PIOInline, 1)
 	uct.Connect(ep0, ep1)
 	tgt := n1.Mem.Alloc("windowed.target", 4096, 64)
 	ep0.RemoteBuf = tgt.Base
@@ -167,19 +171,24 @@ func WindowedPutBw(sys *node.System, window, iters int) *WindowedResult {
 		res.PerMsgNs = (p.Now() - start).Ns() / float64(windows*window)
 	})
 	sys.Run()
-	_ = w1
 	res.ModelMin = minPollPeriod(cfg)
 	return res
 }
 
+// WindowedSweep runs WindowedPutBw across window sizes, one fresh system
+// per point, fanned out on a parallelism-wide pool (<= 0 selects
+// GOMAXPROCS); mkSys must be safe to call concurrently.
+func WindowedSweep(mkSys func() *node.System, windows []int, iters, parallelism int) []*WindowedResult {
+	return campaign.Map(parallelism, windows, func(_, window int) *WindowedResult {
+		sys := mkSys()
+		defer sys.Shutdown()
+		return WindowedPutBw(sys, window, iters)
+	})
+}
+
 // minPollPeriod evaluates the §4.2 bound from the configured means.
-func minPollPeriod(cfg interface {
-	LLPPostMean() float64
-	LLPProgMean() float64
-}) int {
-	// gen_completion from the calibration targets (the live config values
-	// measure to these through the methodology).
-	gen := 2*(137.49+382.81) + 240.96
-	p := int(gen/cfg.LLPPostMean()) + 1
-	return p
+// gen_completion uses the Table-1 calibration targets (the live config
+// values measure to these through the methodology).
+func minPollPeriod(cfg *config.Config) int {
+	return int(config.TabGenCompletion/cfg.LLPPostMean()) + 1
 }

@@ -1,6 +1,7 @@
 package perftest
 
 import (
+	"reflect"
 	"testing"
 
 	"breakband/internal/config"
@@ -12,7 +13,7 @@ func mkDet() *node.System {
 }
 
 func TestLatencySizeSweepMonotone(t *testing.T) {
-	pts := LatencySizeSweep(mkDet, []int{8, 64, 512, 4096}, 150)
+	pts := LatencySizeSweep(mkDet, []int{8, 64, 512, 4096}, 150, 0)
 	if len(pts) != 4 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -27,7 +28,7 @@ func TestLatencySizeSweepMonotone(t *testing.T) {
 func TestLatencySizeSweepSoftwareShareFalls(t *testing.T) {
 	// The paper's §1 motivation: the software share matters for small
 	// messages and collapses for large ones.
-	pts := LatencySizeSweep(mkDet, []int{8, 4096}, 150)
+	pts := LatencySizeSweep(mkDet, []int{8, 4096}, 150, 0)
 	small, large := pts[0], pts[1]
 	if small.SoftwarePct < 15 {
 		t.Errorf("8B software share = %.1f%%, expected substantial", small.SoftwarePct)
@@ -41,23 +42,39 @@ func TestLatencySizeSweepSoftwareShareFalls(t *testing.T) {
 func TestSizeSweepPathSwitch(t *testing.T) {
 	// Crossing the inline limit (32B) moves to the buffered-copy path,
 	// which pays the descriptor and payload DMA reads: a visible jump.
-	pts := LatencySizeSweep(mkDet, []int{32, 64}, 120)
+	pts := LatencySizeSweep(mkDet, []int{32, 64}, 120, 0)
 	jump := pts[1].LatencyNs - pts[0].LatencyNs
 	if jump < 300 {
 		t.Errorf("inline->bcopy jump = %.2f ns, expected the DMA round trips", jump)
 	}
 }
 
+func TestSweepsParallelMatchesSerial(t *testing.T) {
+	// Sweep points are isolated systems, so pool width must not change a
+	// bit of the output.
+	sizes := []int{8, 64, 1024}
+	if a, b := LatencySizeSweep(mkDet, sizes, 100, 1), LatencySizeSweep(mkDet, sizes, 100, 4); !reflect.DeepEqual(a, b) {
+		t.Errorf("size sweep diverges:\nserial   %v\nparallel %v", a, b)
+	}
+	windows := []int{1, 8, 32}
+	a, b := WindowedSweep(mkDet, windows, 512, 1), WindowedSweep(mkDet, windows, 512, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("windowed sweep diverges:\nserial   %v\nparallel %v", a, b)
+	}
+	cores := []int{1, 4}
+	c, d := MultiCoreSweep(mkDet, cores, Options{Iters: 400}, 1), MultiCoreSweep(mkDet, cores, Options{Iters: 400}, 4)
+	if !reflect.DeepEqual(c, d) {
+		t.Errorf("multi-core sweep diverges:\nserial   %v\nparallel %v", c, d)
+	}
+}
+
 func TestWindowedPutBwBound(t *testing.T) {
 	results := map[int]float64{}
-	for _, w := range []int{1, 8, 32} {
-		sys := mkDet()
-		res := WindowedPutBw(sys, w, 1024)
-		results[w] = res.PerMsgNs
+	for _, res := range WindowedSweep(mkDet, []int{1, 8, 32}, 1024, 0) {
+		results[res.Window] = res.PerMsgNs
 		if res.ModelMin != 8 {
 			t.Errorf("model min window = %d, want 8 (paper §4.2)", res.ModelMin)
 		}
-		sys.Shutdown()
 	}
 	// Window 1 is the synchronous post the paper warns about: dominated
 	// by completion generation (~1.3 us), several times slower.

@@ -48,16 +48,24 @@ func New(seed uint64) *Rand {
 	return r
 }
 
-// Stream derives an independent generator from seed and a stream name. Two
-// streams with different names are statistically independent; the same
-// (seed, name) pair always yields the same stream.
-func Stream(seed uint64, name string) *Rand {
+// DeriveSeed deterministically mixes a label into a root seed (FNV-1a),
+// yielding the seed of an independent sub-experiment. The measurement
+// campaign uses it to give every task its own noise seed derived from the
+// campaign seed, so results are independent of task execution order.
+func DeriveSeed(seed uint64, name string) uint64 {
 	h := seed ^ 0xcbf29ce484222325
 	for i := 0; i < len(name); i++ {
 		h ^= uint64(name[i])
 		h *= 0x100000001b3
 	}
-	return New(h)
+	return h
+}
+
+// Stream derives an independent generator from seed and a stream name. Two
+// streams with different names are statistically independent; the same
+// (seed, name) pair always yields the same stream.
+func Stream(seed uint64, name string) *Rand {
+	return New(DeriveSeed(seed, name))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
