@@ -29,12 +29,12 @@ import (
 )
 
 var (
-	flagIters  = flag.Int("iters", 2000, "measured iterations")
-	flagWarmup = flag.Int("warmup", 200, "warmup iterations")
-	flagSize   = flag.Int("size", 8, "message size in bytes")
-	flagMode   = flag.String("mode", "pio-inline", "descriptor path: pio-inline, doorbell-inline, doorbell-gather")
-	flagNoise  = flag.Bool("noise", false, "enable the stochastic timing model")
-	flagSeed   = flag.Uint64("seed", 1, "random seed")
+	flagIters    = flag.Int("iters", 2000, "measured iterations")
+	flagWarmup   = flag.Int("warmup", 200, "warmup iterations")
+	flagSize     = flag.Int("size", 8, "message size in bytes")
+	flagMode     = flag.String("mode", "pio-inline", "descriptor path: pio-inline, doorbell-inline, doorbell-gather")
+	flagNoise    = flag.Bool("noise", false, "enable the stochastic timing model")
+	flagSeed     = flag.Uint64("seed", 1, "random seed")
 	flagDirect   = flag.Bool("direct", false, "no switch between the NICs")
 	flagCores    = flag.Int("cores", 4, "injecting cores for the multi test (sweep: largest core count)")
 	flagParallel = flag.Int("parallel", 0, "sweep worker pool (0 = GOMAXPROCS, 1 = serial)")

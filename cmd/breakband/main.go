@@ -39,9 +39,9 @@ import (
 )
 
 var (
-	flagNoise   = flag.Bool("noise", false, "enable the stochastic timing model")
-	flagSeed    = flag.Uint64("seed", 1, "random seed (with -noise)")
-	flagDirect  = flag.Bool("direct", false, "cable the NICs back to back (no switch)")
+	flagNoise    = flag.Bool("noise", false, "enable the stochastic timing model")
+	flagSeed     = flag.Uint64("seed", 1, "random seed (with -noise)")
+	flagDirect   = flag.Bool("direct", false, "cable the NICs back to back (no switch)")
 	flagSamples  = flag.Int("samples", 400, "samples per measured component (>=100)")
 	flagWindows  = flag.Int("windows", 20, "message-rate windows")
 	flagFig7N    = flag.Int("fig7-iters", 20000, "put_bw iterations for the Figure-7 histogram")

@@ -323,7 +323,7 @@ func (s *state) measureDirectCosts() {
 		prof.Calibrate(p, cfg.Prof.CalibrationSamples)
 		for i := 0; i < s.o.Samples; i++ {
 			tok := prof.Begin(p, "meas_update")
-			p.Sleep(cfg.SW.MeasUpdate.Sample(n0.Rand))
+			p.Advance(cfg.SW.MeasUpdate.Sample(n0.Rand))
 			prof.End(p, tok)
 		}
 		s.measUpdate = prof.MeanNs("meas_update")

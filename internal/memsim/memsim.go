@@ -23,9 +23,14 @@ type Region struct {
 // End reports the first address past the region.
 func (r Region) End() uint64 { return r.Base + r.Size }
 
-// Contains reports whether [addr, addr+n) lies inside the region.
+// Contains reports whether [addr, addr+n) lies inside the region. The
+// comparison is phrased subtractively: addr+uint64(n) would wrap for
+// near-MaxUint64 addresses and wrongly report containment.
 func (r Region) Contains(addr uint64, n int) bool {
-	return addr >= r.Base && addr+uint64(n) <= r.End()
+	if n < 0 || addr < r.Base || addr-r.Base > r.Size {
+		return false
+	}
+	return uint64(n) <= r.Size-(addr-r.Base)
 }
 
 // Memory is one node's DRAM plus its allocation bookkeeping.
@@ -63,7 +68,8 @@ func (m *Memory) Alloc(name string, n, align uint64) Region {
 		panic(fmt.Sprintf("memsim: bad alignment %d", align))
 	}
 	base := (m.next + align - 1) &^ (align - 1)
-	if base+n > m.size {
+	// Subtractive bounds check: base+n wraps for huge requests.
+	if base > m.size || n > m.size-base {
 		panic(fmt.Sprintf("memsim: out of memory allocating %q (%d bytes)", name, n))
 	}
 	r := Region{Name: name, Base: base, Size: n}
@@ -79,13 +85,21 @@ func (m *Memory) Regions() []Region {
 	return out
 }
 
+// check panics unless [addr, addr+n) lies inside the memory. Phrased
+// subtractively: addr+uint64(n) would wrap for near-MaxUint64 addresses and
+// wrongly pass the bounds check.
 func (m *Memory) check(addr uint64, n int, op string) {
-	if n < 0 || addr+uint64(n) > m.size {
+	if n < 0 || addr > m.size || uint64(n) > m.size-addr {
 		panic(fmt.Sprintf("memsim: %s out of range addr=%#x len=%d size=%d", op, addr, n, m.size))
 	}
 }
 
-// ensure grows the backing store to cover [0, end).
+// ensure grows the backing store to cover [0, end). The caller must have
+// bounds-checked end (end <= m.size): ensure doubles geometrically from 4
+// KiB and clamps the growth to the memory size, which can only stay >= end
+// — never clamp below a legal request — because end itself is bounded by
+// the size. The explicit guard converts any future violation of that
+// contract into a panic instead of a silent short buffer.
 func (m *Memory) ensure(end uint64) {
 	if end <= uint64(len(m.buf)) {
 		return
@@ -96,6 +110,9 @@ func (m *Memory) ensure(end uint64) {
 	}
 	if grown > m.size {
 		grown = m.size
+	}
+	if grown < end {
+		panic(fmt.Sprintf("memsim: ensure(%d) beyond memory size %d (missing bounds check?)", end, m.size))
 	}
 	nb := make([]byte, grown)
 	copy(nb, m.buf)

@@ -2,6 +2,7 @@ package memsim
 
 import (
 	"bytes"
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -173,4 +174,95 @@ func TestWriteAtEndOfMemory(t *testing.T) {
 		}
 	}()
 	m.Write(4094, []byte{1, 2, 3, 4})
+}
+
+// TestOverflowingAddressesPanic pins the address-arithmetic overflow fix:
+// addr+n used to wrap past zero for near-MaxUint64 addresses and sail
+// through the bounds check, reading or writing wildly out of range.
+func TestOverflowingAddressesPanic(t *testing.T) {
+	m := New(1 << 20)
+	for _, tc := range []struct {
+		name string
+		op   func()
+	}{
+		{"write", func() { m.Write(math.MaxUint64-2, []byte{1, 2, 3, 4}) }},
+		{"read", func() { m.Read(math.MaxUint64-2, 4) }},
+		{"readinto", func() { m.ReadInto(math.MaxUint64-2, make([]byte, 4)) }},
+		{"write-at-size", func() { m.Write(1<<20, []byte{1}) }},
+		{"read-max-addr", func() { m.Read(math.MaxUint64, 1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: overflowing access did not panic", tc.name)
+				}
+			}()
+			tc.op()
+		}()
+	}
+	// A zero-length access at the very end of memory is legal.
+	m.Write(1<<20, nil)
+	if got := m.Read(1<<20, 0); len(got) != 0 {
+		t.Errorf("zero-length read returned %v", got)
+	}
+}
+
+// TestRegionContainsOverflow pins the same wrap in Region.Contains:
+// addr+n <= End() used to hold spuriously when addr+n wrapped.
+func TestRegionContainsOverflow(t *testing.T) {
+	r := Region{Name: "r", Base: 64, Size: 128}
+	if r.Contains(math.MaxUint64-2, 8) {
+		t.Error("Contains accepted a wrapping range")
+	}
+	if r.Contains(190, 8) {
+		t.Error("Contains accepted a range past End")
+	}
+	if r.Contains(0, -1) {
+		t.Error("Contains accepted a negative length")
+	}
+	if !r.Contains(64, 128) {
+		t.Error("Contains rejected the exact region")
+	}
+	if !r.Contains(192, 0) {
+		t.Error("Contains rejected a zero-length range at End")
+	}
+	// A region spanning the top of the address space must not let End()'s
+	// own wraparound leak through Contains.
+	top := Region{Name: "top", Base: math.MaxUint64 - 63, Size: 64}
+	if !top.Contains(math.MaxUint64-63, 64) {
+		t.Error("Contains rejected the exact top-of-memory region")
+	}
+	if top.Contains(math.MaxUint64-63, 65) {
+		t.Error("Contains accepted one byte past the top region")
+	}
+}
+
+// TestAllocOverflowPanics pins the bump-allocator wrap: base+n overflowing
+// used to pass the out-of-memory check.
+func TestAllocOverflowPanics(t *testing.T) {
+	m := New(1 << 20)
+	defer func() {
+		if recover() == nil {
+			t.Error("overflowing Alloc did not panic")
+		}
+	}()
+	m.Alloc("huge", math.MaxUint64-16, 64)
+}
+
+// TestEnsureClampNearTop exercises the ensure clamp-vs-end interaction: a
+// legal write near the top of a non-power-of-two memory makes the doubling
+// loop overshoot the size; the clamp must never land below the requested
+// end. The geometry here (size 10000, doubling hits 16384 > size > end)
+// walks exactly that path.
+func TestEnsureClampNearTop(t *testing.T) {
+	m := New(10000)
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	m.Write(9996, payload) // end=10000: grown 4096->8192->16384, clamped to 10000
+	if !bytes.Equal(m.Read(9996, 4), payload) {
+		t.Error("write near the top of memory lost after clamped growth")
+	}
+	// The backing must have grown to exactly the clamp, not the overshoot.
+	if got := m.Read(9000, 4); !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Errorf("untouched bytes below the write read %v, want zeros", got)
+	}
 }

@@ -137,13 +137,13 @@ func (r *Rank) Isend(p *sim.Proc, dst int, tag int, data []byte) *Request {
 		isendTok = r.profBegin(p)
 	}
 	// MPICH-side work: datatype/contiguity checks, choosing the path.
-	p.Sleep(r.Cfg.SW.MpiIsend.Sample(r.Node.Rand))
+	p.Advance(r.Cfg.SW.MpiIsend.Sample(r.Node.Rand))
 	if r.ProfUcpSend {
 		ucpTok = r.profBegin(p)
 	}
 	ucpReq, err := ep.TagSendNB(p, tagFor(r.ID, tag), data, func(cp *sim.Proc) {
 		// MPICH send-completion callback.
-		cp.Sleep(r.Cfg.SW.MpichSendCB.Sample(r.Node.Rand))
+		cp.Advance(r.Cfg.SW.MpichSendCB.Sample(r.Node.Rand))
 		r.Stats.SendCallbacks++
 		req.done = true
 	})
@@ -160,14 +160,14 @@ func (r *Rank) Isend(p *sim.Proc, dst int, tag int, data []byte) *Request {
 func (r *Rank) Irecv(p *sim.Proc, src int, tag int) *Request {
 	r.Stats.Irecvs++
 	req := &Request{rank: r, isRecv: true}
-	p.Sleep(r.Cfg.SW.MpiIrecv.Sample(r.Node.Rand))
+	p.Advance(r.Cfg.SW.MpiIrecv.Sample(r.Node.Rand))
 	req.ucpReq = r.Worker.TagRecvNB(p, tagFor(src, tag), func(cp *sim.Proc) {
 		// MPICH receive callback (paper Table 1: 47.99 ns).
 		var tok profTok
 		if r.ProfMpichCB {
 			tok = r.profBegin(cp)
 		}
-		cp.Sleep(r.Cfg.SW.MpichRecvCB.Sample(r.Node.Rand))
+		cp.Advance(r.Cfg.SW.MpichRecvCB.Sample(r.Node.Rand))
 		r.Stats.RecvCallbacks++
 		req.done = true
 		r.profEndAs(cp, tok, r.ProfMpichCB, "mpich_recv_cb")
@@ -195,13 +195,13 @@ func (r *Rank) Wait(p *sim.Proc, req *Request) {
 		waitTok = r.profBegin(p)
 	}
 	// Entry/exit bookkeeping (request inspection, state machine).
-	p.Sleep(r.Cfg.SW.MpichWaitEnt.Sample(r.Node.Rand))
+	p.Advance(r.Cfg.SW.MpichWaitEnt.Sample(r.Node.Rand))
 	for !req.done {
 		r.Stats.WaitLoops++
 		if measured {
 			r.Stats.RecvWaitLoops++
 		}
-		p.Sleep(r.Cfg.SW.MpichWaitLoop.Sample(r.Node.Rand))
+		p.Advance(r.Cfg.SW.MpichWaitLoop.Sample(r.Node.Rand))
 		r.progressOnce(p)
 	}
 	// MPICH work after the successful ucp_worker_progress (paper §6:
@@ -210,7 +210,7 @@ func (r *Rank) Wait(p *sim.Proc, req *Request) {
 	if r.ProfAfterProg && measured {
 		afterTok = r.profBegin(p)
 	}
-	p.Sleep(r.Cfg.SW.MpichAfterPrg.Sample(r.Node.Rand))
+	p.Advance(r.Cfg.SW.MpichAfterPrg.Sample(r.Node.Rand))
 	r.profEndAs(p, afterTok, r.ProfAfterProg && measured, "mpich_after_progress")
 	r.profEndAs(p, waitTok, r.ProfWait && measured, "mpi_wait_recv")
 	if measured {
@@ -224,7 +224,7 @@ func (r *Rank) Wait(p *sim.Proc, req *Request) {
 // Waitall blocks until all requests complete (MPI_Waitall). MPICH executes
 // its progress engine until every listed operation completes.
 func (r *Rank) Waitall(p *sim.Proc, reqs []*Request) {
-	p.Sleep(r.Cfg.SW.MpichWaitEnt.Sample(r.Node.Rand))
+	p.Advance(r.Cfg.SW.MpichWaitEnt.Sample(r.Node.Rand))
 	remaining := func() int {
 		n := 0
 		for _, q := range reqs {
@@ -237,7 +237,7 @@ func (r *Rank) Waitall(p *sim.Proc, reqs []*Request) {
 	for remaining() > 0 {
 		r.Stats.WaitLoops++
 		// Per-operation bookkeeping share of the waitall loop.
-		p.Sleep(r.Cfg.SW.MpichWaitallOp.Sample(r.Node.Rand))
+		p.Advance(r.Cfg.SW.MpichWaitallOp.Sample(r.Node.Rand))
 		r.progressOnce(p)
 	}
 }

@@ -120,7 +120,7 @@ func MessageRate(sys *node.System, opt Options) *MessageRateResult {
 		start := p.Now()
 		for wnd := 0; wnd < opt.Windows; wnd++ {
 			window((wnd + 1) * opt.Window)
-			p.Sleep(cfg.SW.BenchLoop.Sample(r0.Node.Rand))
+			p.Advance(cfg.SW.BenchLoop.Sample(r0.Node.Rand))
 		}
 		res.Elapsed = p.Now() - start
 		res.BusyPosts = r0.Worker.Stats.BusyPosts - busy0
@@ -182,7 +182,7 @@ func Latency(sys *node.System, opt Options) *LatencyResult {
 			t0 := p.Now()
 			r0.Send(p, 1, i, data)
 			r0.Recv(p, 1, i)
-			p.Sleep(cfg.SW.BenchLoop.Sample(r0.Node.Rand))
+			p.Advance(cfg.SW.BenchLoop.Sample(r0.Node.Rand))
 			if i >= opt.Warmup {
 				res.RTTs.Add((p.Now() - t0).Ns())
 			}

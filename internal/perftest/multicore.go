@@ -69,8 +69,8 @@ func MultiPutBw(sys *node.System, cores int, opt Options) *MultiPutBwResult {
 				if (i+1)%cfg.Bench.PollBatch == 0 {
 					w0.Progress(p)
 				}
-				p.Sleep(cfg.SW.MeasUpdate.Sample(n0.Rand))
-				p.Sleep(cfg.SW.BenchLoop.Sample(n0.Rand))
+				p.Advance(cfg.SW.MeasUpdate.Sample(n0.Rand))
+				p.Advance(cfg.SW.BenchLoop.Sample(n0.Rand))
 			}
 			if p.Now() > end {
 				end = p.Now()

@@ -109,6 +109,10 @@ func PutBw(sys *node.System, opt Options) *PutBwResult {
 			}
 		}
 		if opt.ClearTrace {
+			// The analyzer is fed by link events: settle the lazy clock
+			// so every TLP up to the proc's current time is recorded
+			// (and cleared) before the measured window opens.
+			p.Sync()
 			n0.Tap.Clear()
 		}
 		start := p.Now()
@@ -119,8 +123,8 @@ func PutBw(sys *node.System, opt Options) *PutBwResult {
 			}
 			// Timestamp + injection-rate measurement update, then the
 			// residual loop logic.
-			p.Sleep(cfg.SW.MeasUpdate.Sample(n0.Rand))
-			p.Sleep(cfg.SW.BenchLoop.Sample(n0.Rand))
+			p.Advance(cfg.SW.MeasUpdate.Sample(n0.Rand))
+			p.Advance(cfg.SW.BenchLoop.Sample(n0.Rand))
 		}
 		res.Elapsed = p.Now() - start
 		// Drain outside the measured window.
@@ -202,6 +206,7 @@ func AmLat(sys *node.System, opt Options) *AmLatResult {
 		for i := 0; i < total; i++ {
 			if i == opt.Warmup {
 				if opt.ClearTrace {
+					p.Sync() // see PutBw: settle the trace before clearing
 					n0.Tap.Clear()
 				}
 				start = p.Now()
@@ -213,12 +218,12 @@ func AmLat(sys *node.System, opt Options) *AmLatResult {
 			// The measurement update happens inside the round trip
 			// (paper §4.3: half of it is deducted when comparing to
 			// the model).
-			p.Sleep(cfg.SW.MeasUpdate.Sample(n0.Rand))
+			p.Advance(cfg.SW.MeasUpdate.Sample(n0.Rand))
 			for !gotPong {
 				w0.Progress(p)
 			}
 			gotPong = false
-			p.Sleep(cfg.SW.BenchLoop.Sample(n0.Rand))
+			p.Advance(cfg.SW.BenchLoop.Sample(n0.Rand))
 			if i >= opt.Warmup {
 				res.RTTs.Add((p.Now() - t0).Ns())
 			}

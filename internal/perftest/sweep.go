@@ -104,12 +104,12 @@ func amLatAuto(sys *node.System, size, iters int) float64 {
 				start = p.Now()
 			}
 			post(p, ep0, amPing, msg)
-			p.Sleep(cfg.SW.MeasUpdate.Sample(n0.Rand))
+			p.Advance(cfg.SW.MeasUpdate.Sample(n0.Rand))
 			for !gotPong {
 				w0.Progress(p)
 			}
 			gotPong = false
-			p.Sleep(cfg.SW.BenchLoop.Sample(n0.Rand))
+			p.Advance(cfg.SW.BenchLoop.Sample(n0.Rand))
 		}
 		reported = (p.Now() - start).Ns() / float64(2*iters)
 	})
@@ -166,7 +166,7 @@ func WindowedPutBw(sys *node.System, window, iters int) *WindowedResult {
 			for completed < target {
 				completed += w0.Progress(p)
 			}
-			p.Sleep(cfg.SW.MeasUpdate.Sample(n0.Rand))
+			p.Advance(cfg.SW.MeasUpdate.Sample(n0.Rand))
 		}
 		res.PerMsgNs = (p.Now() - start).Ns() / float64(windows*window)
 	})

@@ -1,0 +1,16 @@
+package sim_test
+
+// The benchmark bodies live in internal/simbench so cmd/bbbench can run the
+// exact same code via testing.Benchmark and record BENCH_kernel.json; these
+// wrappers put them under `go test -bench . ./internal/sim/...`, which CI
+// smokes with -benchtime=1x so they cannot rot.
+
+import (
+	"testing"
+
+	"breakband/internal/simbench"
+)
+
+func BenchmarkSchedule(b *testing.B)      { simbench.Schedule(b) }
+func BenchmarkSleepHandoff(b *testing.B)  { simbench.SleepHandoff(b) }
+func BenchmarkPutBwEndToEnd(b *testing.B) { simbench.PutBwEndToEnd(b) }

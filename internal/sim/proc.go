@@ -11,19 +11,45 @@ type procKilled struct{ name string }
 
 // Proc is a simulated sequential thread of execution (one per software agent:
 // a CPU core running a benchmark, a progress loop, ...). Procs advance
-// virtual time with Sleep; between Sleeps their Go code executes atomically
-// with respect to the rest of the simulation.
+// virtual time with Sleep and Advance; between yields their Go code executes
+// atomically with respect to the rest of the simulation.
 //
 // Concurrency model: the kernel and all procs form a single logical thread.
 // Control is handed to a proc via its resume channel and handed back via its
 // yield channel, so exactly one goroutine is ever running. This keeps all
 // simulation state lock-free and every run bit-for-bit deterministic.
+//
+// # Batched time advancement
+//
+// A goroutine handoff is the kernel's most expensive primitive (one pooled
+// event plus two channel operations), and the software stacks above the
+// kernel advance time in long runs of pure delays — model stages that touch
+// nothing but the proc's own state. Advance accumulates such delays in a
+// proc-local lazy clock instead of yielding: Now reflects the accumulated
+// lag immediately, while the kernel's clock lags behind until the proc
+// synchronizes. Sync (or any Sleep) materializes the whole accumulated lag
+// as a single kernel event and a single handoff.
+//
+// The correctness contract: between an Advance and the next Sync the proc
+// must not interact with state outside itself — no simulated memory reads or
+// writes, no MMIO, no posting of receive credits, nothing an event callback
+// could observe or mutate. Call Sync immediately before any such
+// interaction; the proc then observes exactly the state it would have seen
+// had every Advance been a Sleep, and runs remain bit-for-bit identical.
+// Code that never calls Advance needs no Syncs: Sleep folds any pending lag
+// and always yields, preserving the original one-event-per-Sleep semantics.
 type Proc struct {
 	k      *Kernel
 	name   string
 	resume chan struct{}
 	yield  chan struct{}
 	exited chan struct{}
+	// lag is the proc-local lazy clock: virtual time the proc has advanced
+	// past the kernel clock without yielding yet.
+	lag Time
+	// wake is the preallocated resume closure, so the Sleep/Sync hot path
+	// schedules events without allocating.
+	wake   func()
 	done   bool
 	killed bool
 }
@@ -34,8 +60,9 @@ func (p *Proc) Name() string { return p.name }
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }
 
-// Now reports current virtual time.
-func (p *Proc) Now() Time { return p.k.Now() }
+// Now reports current virtual time as observed by this proc: the kernel
+// clock plus any not-yet-materialized lag from Advance.
+func (p *Proc) Now() Time { return p.k.Now() + p.lag }
 
 // Done reports whether the proc's body has returned.
 func (p *Proc) Done() bool { return p.done }
@@ -51,6 +78,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		yield:  make(chan struct{}),
 		exited: make(chan struct{}),
 	}
+	p.wake = func() { p.step() }
 	k.procs = append(k.procs, p)
 	go func() {
 		defer close(p.exited)
@@ -71,7 +99,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		p.done = true
 		p.yield <- struct{}{} // hand control back one final time
 	}()
-	k.After(0, func() { p.step() })
+	k.After(0, p.wake)
 	return p
 }
 
@@ -85,14 +113,47 @@ func (p *Proc) step() {
 	<-p.yield
 }
 
-// Sleep suspends the proc for d of virtual time. d must be >= 0; Sleep(0)
-// yields to co-timed events (useful to model "the rest of the system catches
-// up before the next instruction").
+// Sleep suspends the proc for d of virtual time (plus any pending lag from
+// earlier Advance calls). d must be >= 0; Sleep(0) yields to co-timed events
+// (useful to model "the rest of the system catches up before the next
+// instruction").
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v in proc %q", d, p.name))
 	}
-	p.k.After(d, func() { p.step() })
+	d += p.lag
+	p.lag = 0
+	p.park(d)
+}
+
+// Advance adds d to the proc's lazy clock without yielding: the delay
+// becomes visible in Now immediately and is materialized as part of the next
+// Sync or Sleep. Use it for pure delays only — see the batched-advancement
+// contract in the type documentation.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative advance %v in proc %q", d, p.name))
+	}
+	p.lag += d
+}
+
+// Sync materializes any pending lag as one kernel event and one goroutine
+// handoff, bringing the kernel clock up to the proc's local clock so every
+// event scheduled in between has fired. A proc must Sync before touching any
+// state outside itself. With no pending lag Sync is free: it does not yield.
+func (p *Proc) Sync() {
+	if p.lag == 0 {
+		return
+	}
+	d := p.lag
+	p.lag = 0
+	p.park(d)
+}
+
+// park schedules the proc's wake event d from now and hands control back to
+// the kernel until it fires.
+func (p *Proc) park(d Time) {
+	p.k.After(d, p.wake)
 	p.yield <- struct{}{} // give control back to the kernel
 	<-p.resume            // wait until the wake event fires
 	if p.killed {

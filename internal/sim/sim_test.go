@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"container/heap"
 	"runtime"
 	"sort"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"breakband/internal/rng"
 	"breakband/internal/units"
 )
 
@@ -277,4 +279,302 @@ func TestQuickEventOrderInvariant(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
+}
+
+// --- event cancellation under pooling ---
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	ref := k.At(10, func() { fired++ })
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// The slot is recycled; the stale ref must not touch its new tenant.
+	ok := false
+	k.At(20, func() { ok = true })
+	ref.Cancel()
+	if k.Pending() != 1 {
+		t.Errorf("stale Cancel changed Pending: %d", k.Pending())
+	}
+	k.Run()
+	if !ok {
+		t.Error("stale Cancel killed an unrelated event in the reused slot")
+	}
+}
+
+func TestCancelTwiceAndPending(t *testing.T) {
+	k := NewKernel()
+	ref := k.At(10, func() { t.Error("cancelled event fired") })
+	k.At(20, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", k.Pending())
+	}
+	ref.Cancel()
+	ref.Cancel() // second cancel: no-op, must not double-decrement
+	if k.Pending() != 1 {
+		t.Errorf("Pending after double cancel = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if k.Pending() != 0 {
+		t.Errorf("Pending after run = %d, want 0", k.Pending())
+	}
+}
+
+func TestCancelGenerationMismatchOnReusedSlot(t *testing.T) {
+	k := NewKernel()
+	// Fire one event so its slot returns to the pool.
+	stale := k.At(5, func() {})
+	k.Run()
+	// The next schedule reuses the slot under a bumped generation.
+	fired := false
+	fresh := k.At(10, func() { fired = true })
+	stale.Cancel() // generation mismatch: must be a no-op
+	if k.Pending() != 1 {
+		t.Fatalf("stale cancel affected Pending: %d", k.Pending())
+	}
+	k.Run()
+	if !fired {
+		t.Error("generation-mismatched Cancel killed the slot's new event")
+	}
+	fresh.Cancel() // after fire: also a no-op
+	if k.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", k.Pending())
+	}
+}
+
+func TestZeroEventRefCancel(t *testing.T) {
+	var ref EventRef
+	ref.Cancel() // must not panic
+}
+
+func TestCancelInsideOwnCallback(t *testing.T) {
+	k := NewKernel()
+	var self EventRef
+	n := 0
+	self = k.At(10, func() {
+		n++
+		self.Cancel() // the slot is already recycled: no-op
+	})
+	k.At(10, func() { n++ })
+	k.Run()
+	if n != 2 {
+		t.Errorf("fired %d events, want 2", n)
+	}
+}
+
+// --- fuzz-style schedule/cancel soak against a container/heap reference ---
+
+// refKernel reimplements the event queue exactly as the pre-optimization
+// kernel did (container/heap over *event with a dead flag), as an oracle for
+// the pooled 4-ary heap.
+type refKernel struct {
+	now    Time
+	seq    uint64
+	events refHeap
+}
+
+type refEvent struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (r *refKernel) at(at Time, fn func()) *refEvent {
+	e := &refEvent{at: at, seq: r.seq, fn: fn}
+	r.seq++
+	heap.Push(&r.events, e)
+	return e
+}
+func (r *refKernel) runUntil(deadline Time) {
+	for len(r.events) > 0 {
+		e := r.events[0]
+		if e.at > deadline {
+			return
+		}
+		heap.Pop(&r.events)
+		if e.dead {
+			continue
+		}
+		r.now = e.at
+		e.fn()
+	}
+}
+
+// TestSoakAgainstReferenceHeap drives the pooled kernel and the reference
+// through an identical randomized schedule/cancel/run workload and demands
+// identical firing sequences (event identity and timestamp) plus an always
+// consistent O(1) Pending counter.
+func TestSoakAgainstReferenceHeap(t *testing.T) {
+	rnd := rng.New(42)
+	k := NewKernel()
+	ref := &refKernel{}
+
+	var gotLog, wantLog [][2]uint64
+	type pair struct {
+		newRef EventRef
+		oldRef *refEvent
+		id     uint64
+	}
+	var live []pair
+	var nextID uint64
+
+	for round := 0; round < 200; round++ {
+		// Schedule a burst at random offsets (including co-timed events).
+		for n := rnd.Intn(20); n > 0; n-- {
+			id := nextID
+			nextID++
+			d := Time(rnd.Intn(50))
+			at := k.Now() + d
+			live = append(live, pair{
+				newRef: k.At(at, func() { gotLog = append(gotLog, [2]uint64{id, uint64(k.Now())}) }),
+				oldRef: ref.at(at, func() { wantLog = append(wantLog, [2]uint64{id, uint64(ref.now)}) }),
+				id:     id,
+			})
+		}
+		// Cancel a few random refs — some pending, some long fired, so
+		// stale handles constantly poke recycled slots.
+		for n := rnd.Intn(6); n > 0 && len(live) > 0; n-- {
+			i := rnd.Intn(len(live))
+			live[i].newRef.Cancel()
+			live[i].oldRef.dead = true
+		}
+		// Run both to the same random deadline.
+		deadline := k.Now() + Time(rnd.Intn(40))
+		k.RunUntil(deadline)
+		ref.runUntil(deadline)
+
+		if len(gotLog) != len(wantLog) {
+			t.Fatalf("round %d: fired %d events, reference fired %d", round, len(gotLog), len(wantLog))
+		}
+		// Cross-check the O(1) live counter against the reference queue.
+		wantPending := 0
+		for _, e := range ref.events {
+			if !e.dead {
+				wantPending++
+			}
+		}
+		if k.Pending() != wantPending {
+			t.Fatalf("round %d: Pending = %d, reference = %d", round, k.Pending(), wantPending)
+		}
+	}
+	k.Run()
+	ref.runUntil(units.MaxTime)
+	for i := range wantLog {
+		if gotLog[i] != wantLog[i] {
+			t.Fatalf("firing sequence diverged at %d: got id=%d t=%d, want id=%d t=%d",
+				i, gotLog[i][0], gotLog[i][1], wantLog[i][0], wantLog[i][1])
+		}
+	}
+	if len(gotLog) != len(wantLog) {
+		t.Fatalf("total fired %d vs reference %d", len(gotLog), len(wantLog))
+	}
+}
+
+// --- batched time advancement ---
+
+func TestAdvanceIsLazy(t *testing.T) {
+	k := NewKernel()
+	value := 0
+	k.At(50, func() { value = 42 })
+	var lazySaw, syncedSaw int
+	var procNow, kernelNow Time
+	k.Spawn("lazy", func(p *Proc) {
+		p.Advance(100)
+		procNow, kernelNow = p.Now(), k.Now()
+		lazySaw = value // no Sync yet: the t=50 event has not fired
+		p.Sync()
+		syncedSaw = value
+	})
+	k.Run()
+	if procNow != 100 {
+		t.Errorf("proc Now = %v, want 100", procNow)
+	}
+	if kernelNow != 0 {
+		t.Errorf("kernel Now during lazy span = %v, want 0", kernelNow)
+	}
+	if lazySaw != 0 {
+		t.Errorf("lazy read saw %d; Advance must not run co-pending events", lazySaw)
+	}
+	if syncedSaw != 42 {
+		t.Errorf("post-Sync read saw %d, want 42", syncedSaw)
+	}
+	if k.Now() != 100 {
+		t.Errorf("kernel clock = %v after run, want 100", k.Now())
+	}
+}
+
+func TestSleepFoldsPendingLag(t *testing.T) {
+	k := NewKernel()
+	var woke Time
+	k.Spawn("fold", func(p *Proc) {
+		p.Advance(30)
+		p.Sleep(20) // materializes 30+20 as one event
+		woke = p.Now()
+	})
+	fired := k.Run()
+	if woke != 50 {
+		t.Errorf("woke at %v, want 50", woke)
+	}
+	// Spawn start + one combined wake: the two advances cost one event.
+	if fired != 2 {
+		t.Errorf("fired %d events, want 2", fired)
+	}
+}
+
+func TestSyncWithoutLagDoesNotYield(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("noop", func(p *Proc) {
+		before := k.Fired()
+		p.Sync()
+		if k.Fired() != before {
+			t.Error("Sync with zero lag scheduled an event")
+		}
+	})
+	k.Run()
+}
+
+func TestSleepZeroYieldsToCoTimedEvents(t *testing.T) {
+	k := NewKernel()
+	seen := 0
+	k.Spawn("z", func(p *Proc) {
+		p.Advance(10)
+		// The event below lands at t=10 with an earlier sequence than the
+		// wake Sleep(0) schedules, so it must fire during the yield.
+		p.Sleep(0)
+		seen = seen * 10
+	})
+	k.At(10, func() { seen += 3 })
+	k.Run()
+	if seen != 30 {
+		t.Errorf("seen = %d, want 30 (event before resumed proc)", seen)
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("bad", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative advance did not panic")
+			}
+		}()
+		p.Advance(-1)
+	})
+	k.Run()
+	k.Shutdown()
 }

@@ -1,0 +1,88 @@
+// Package simbench holds the kernel microbenchmark bodies shared by the
+// `go test -bench` wrappers in internal/sim and the BENCH_kernel.json emitter
+// in cmd/bbbench. Keeping the bodies in a normal (non-test) package lets the
+// command run the exact benchmarks CI smokes, via testing.Benchmark, so the
+// recorded perf trajectory and the test-suite benchmarks can never diverge.
+package simbench
+
+import (
+	"testing"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/perftest"
+	"breakband/internal/sim"
+)
+
+// scheduleWidth is how many self-rescheduling event chains BenchmarkSchedule
+// keeps in flight, so the heap holds a realistic working set while events
+// recycle through the pool.
+const scheduleWidth = 64
+
+// Schedule measures the kernel's schedule+fire hot path: b.N events flow
+// through At/Run with a steady-state queue of scheduleWidth, exercising pool
+// reuse rather than unbounded heap growth. The schedule path must be
+// zero-allocation: the closure is shared, so every At costs only a pooled
+// slot and a heap entry.
+func Schedule(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	fired := 0
+	var reschedule func()
+	reschedule = func() {
+		fired++
+		if fired+scheduleWidth <= b.N {
+			k.After(1, reschedule)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < scheduleWidth && i < b.N; i++ {
+		k.After(1, reschedule)
+	}
+	k.Run()
+	b.StopTimer()
+	reportEventsPerSec(b, float64(fired))
+}
+
+// SleepHandoff measures the full proc suspend/resume round trip: one kernel
+// event plus two goroutine handoffs per Sleep. This is the cost the batched
+// Advance API amortizes away on the software-stack hot paths.
+func SleepHandoff(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	n := b.N
+	k.Spawn("sleeper", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+	b.StopTimer()
+	k.Shutdown()
+	reportEventsPerSec(b, float64(n))
+}
+
+// PutBwEndToEnd measures the whole stack: b.N RDMA-write injections through
+// uct over the calibrated NoiseOff system, including the PCIe/NIC/fabric
+// event chains and completion polling. This is the number the measurement
+// campaign's wall clock follows.
+func PutBwEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	sys := node.NewSystem(config.TX2CX4(config.NoiseOff, 1, true), 2)
+	defer sys.Shutdown()
+	b.ResetTimer()
+	res := perftest.PutBw(sys, perftest.Options{Iters: b.N, Warmup: 16})
+	b.StopTimer()
+	if res.Messages != b.N {
+		b.Fatalf("put_bw ran %d messages, want %d", res.Messages, b.N)
+	}
+	reportEventsPerSec(b, float64(sys.K.Fired()))
+}
+
+// reportEventsPerSec attaches an events/sec custom metric.
+func reportEventsPerSec(b *testing.B, events float64) {
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(events/sec, "events/sec")
+	}
+}

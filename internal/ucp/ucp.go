@@ -139,7 +139,7 @@ func (e *Ep) TagSendNB(p *sim.Proc, tag uint64, data []byte, cb Callback) (*Requ
 	if len(data) > MaxBcopy {
 		return nil, fmt.Errorf("ucp: eager send limited to %d bytes, got %d", MaxBcopy, len(data))
 	}
-	p.Sleep(w.Cfg.SW.UcpIsend.Sample(w.Uct.Node.Rand))
+	p.Advance(w.Cfg.SW.UcpIsend.Sample(w.Uct.Node.Rand))
 	w.Stats.Sends++
 	req := &Request{cb: cb}
 	payload := encodeEager(tag, data)
@@ -156,7 +156,7 @@ func (e *Ep) TagSendNB(p *sim.Proc, tag uint64, data []byte, cb Callback) (*Requ
 		// Busy post: schedule for execution during progress (paper §6
 		// caveat one).
 		w.Stats.BusyPosts++
-		p.Sleep(w.Cfg.SW.UcpPending.Sample(w.Uct.Node.Rand))
+		p.Advance(w.Cfg.SW.UcpPending.Sample(w.Uct.Node.Rand))
 		w.pending = append(w.pending, pendingPost{ep: e, payload: payload, req: req})
 	default:
 		return nil, err
@@ -184,7 +184,7 @@ func (w *Worker) TagRecvNB(p *sim.Proc, tag uint64, cb Callback) *Request {
 // Progress drives the pending queue and the LLP (ucp_worker_progress). It
 // returns the number of LLP operations retired.
 func (w *Worker) Progress(p *sim.Proc) int {
-	p.Sleep(w.Cfg.SW.UcpProgress.Sample(w.Uct.Node.Rand))
+	p.Advance(w.Cfg.SW.UcpProgress.Sample(w.Uct.Node.Rand))
 	// Execute deferred LLP_posts for busy posts while slots are free.
 	for len(w.pending) > 0 && w.pending[0].ep.UctEp.FreeSlots() > 0 {
 		pp := w.pending[0]
@@ -211,7 +211,7 @@ func (w *Worker) onSendComplete(p *sim.Proc, n int) {
 	done := w.inflight[:n]
 	w.inflight = w.inflight[n:]
 	for _, req := range done {
-		p.Sleep(w.Cfg.SW.UcpSendCB.Sample(w.Uct.Node.Rand))
+		p.Advance(w.Cfg.SW.UcpSendCB.Sample(w.Uct.Node.Rand))
 		req.completed = true
 		w.Stats.SendCompletions++
 		if req.cb != nil {
@@ -246,7 +246,7 @@ func (w *Worker) completeRecv(p *sim.Proc, req *Request, data []byte) {
 	if w.ProfRecvCB {
 		tok = w.Uct.Node.Prof.BeginAnon(p)
 	}
-	p.Sleep(w.Cfg.SW.UcpRecvCB.Sample(w.Uct.Node.Rand))
+	p.Advance(w.Cfg.SW.UcpRecvCB.Sample(w.Uct.Node.Rand))
 	req.data = data
 	req.completed = true
 	w.Stats.RecvCompletions++

@@ -212,7 +212,10 @@ func Connect(a, b *Ep) { nic.Connect(a.qp, b.qp) }
 func (e *Ep) PostRecvs(p *sim.Proc, n int) {
 	sw := &e.w.Cfg.SW
 	for i := 0; i < n; i++ {
-		p.Sleep(sw.PostRecv.Sample(e.w.Node.Rand))
+		p.Advance(sw.PostRecv.Sample(e.w.Node.Rand))
+		// Each credit must become visible to in-flight deliveries at its
+		// own post time, not batched at the end of the loop.
+		p.Sync()
 		e.postOneRecv()
 	}
 }
@@ -271,15 +274,16 @@ func (e *Ep) postGather(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, da
 		tok = w.profBegin(p)
 	}
 	if e.FreeSlots() == 0 {
-		p.Sleep(sw.BusyPost.Sample(r))
+		p.Advance(sw.BusyPost.Sample(r))
 		w.Stats.BusyPosts++
 		w.profEndAs(p, tok, StBusyPost.Name())
 		return ErrNoResource
 	}
 
-	p.Sleep(sw.LLPPostEntry.Sample(r))
+	p.Advance(sw.LLPPostEntry.Sample(r))
 	// Stage the payload (the bcopy memcpy).
-	p.Sleep(units.Time(len(data)) * sw.MemcpyPerByte)
+	p.Advance(units.Time(len(data)) * sw.MemcpyPerByte)
+	p.Sync()
 	w.Node.Mem.Write(e.staging, data)
 	// Build and store the gather descriptor.
 	wqe := &mlx.WQE{
@@ -297,20 +301,23 @@ func (e *Ep) postGather(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, da
 	if err != nil {
 		panic(fmt.Sprintf("uct: WQE encode: %v", err))
 	}
-	p.Sleep(sw.MDSetup.Sample(r))
-	p.Sleep(sw.SQRingWrite.Sample(r))
+	p.Advance(sw.MDSetup.Sample(r))
+	p.Advance(sw.SQRingWrite.Sample(r))
+	p.Sync()
 	w.Node.Mem.Write(e.qp.SQ.EntryAddr(e.pi), enc[:])
-	p.Sleep(sw.BarrierMD.Sample(r))
+	p.Advance(sw.BarrierMD.Sample(r))
+	// No Sync for the doorbell record: see post.
 	var dbr [8]byte
 	binary.LittleEndian.PutUint16(dbr[:], e.pi+1)
 	w.Node.Mem.Write(e.qp.DBRAddr, dbr[:])
-	p.Sleep(sw.DBCIncrement.Sample(r))
-	p.Sleep(sw.BarrierDBC.Sample(r))
-	p.Sleep(sw.DoorbellRing.Sample(r))
+	p.Advance(sw.DBCIncrement.Sample(r))
+	p.Advance(sw.BarrierDBC.Sample(r))
+	p.Advance(sw.DoorbellRing.Sample(r))
+	p.Sync()
 	var db [8]byte
 	binary.LittleEndian.PutUint16(db[:], e.pi+1)
 	w.Node.RC.MMIOWrite(e.qp.DBAddr, db[:])
-	p.Sleep(sw.LLPPostExit.Sample(r))
+	p.Advance(sw.LLPPostExit.Sample(r))
 	e.pi++
 	w.Stats.Posts++
 	w.profEndAs(p, tok, StLLPPost.Name())
@@ -333,14 +340,14 @@ func (e *Ep) post(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, data []b
 
 	if e.FreeSlots() == 0 {
 		// Busy post: fail fast; the caller must progress first.
-		p.Sleep(sw.BusyPost.Sample(r))
+		p.Advance(sw.BusyPost.Sample(r))
 		w.Stats.BusyPosts++
 		w.profEndAs(p, tok, StBusyPost.Name())
 		return ErrNoResource
 	}
 
 	// (0/1) Function-call entry, code-path branches.
-	p.Sleep(sw.LLPPostEntry.Sample(r))
+	p.Advance(sw.LLPPostEntry.Sample(r))
 
 	// (1) Prepare the message descriptor (memcpy of the inline payload).
 	stTok := w.stageBegin(p, StMDSetup)
@@ -359,25 +366,28 @@ func (e *Ep) post(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, data []b
 	if err != nil {
 		panic(fmt.Sprintf("uct: WQE encode: %v", err))
 	}
-	p.Sleep(sw.MDSetup.Sample(r))
+	p.Advance(sw.MDSetup.Sample(r))
 	w.stageEnd(p, StMDSetup, stTok)
 
 	// (2) Store barrier: the MD must be fully written before signalling.
 	stTok = w.stageBegin(p, StBarrierMD)
-	p.Sleep(sw.BarrierMD.Sample(r))
+	p.Advance(sw.BarrierMD.Sample(r))
 	w.stageEnd(p, StBarrierMD, stTok)
 
 	// (3) DoorBell-counter increment in host memory (enables the NIC's
-	// speculative reads).
+	// speculative reads). No Sync: the doorbell record is written by the
+	// CPU but read by nothing in the device model (the NIC learns the
+	// producer counter through the MMIO doorbell), so committing it while
+	// the kernel clock still lags the proc clock is unobservable.
 	var dbr [8]byte
 	binary.LittleEndian.PutUint16(dbr[:], e.pi+1)
 	w.Node.Mem.Write(e.qp.DBRAddr, dbr[:])
-	p.Sleep(sw.DBCIncrement.Sample(r))
+	p.Advance(sw.DBCIncrement.Sample(r))
 
 	// (4) Store barrier: the DBC update must be visible before the device
 	// write.
 	stTok = w.stageBegin(p, StBarrierDBC)
-	p.Sleep(sw.BarrierDBC.Sample(r))
+	p.Advance(sw.BarrierDBC.Sample(r))
 	w.stageEnd(p, StBarrierDBC, stTok)
 
 	// (5) Hand the descriptor to the NIC.
@@ -385,13 +395,15 @@ func (e *Ep) post(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, data []b
 	case PIOInline:
 		// PIO copy to Device-GRE memory, in 64-byte chunks.
 		stTok = w.stageBegin(p, StPIOCopy)
-		p.Sleep(sw.PIOCopy.Sample(r))
+		p.Advance(sw.PIOCopy.Sample(r))
 		w.stageEnd(p, StPIOCopy, stTok)
+		p.Sync()
 		w.Node.RC.MMIOWrite(e.qp.BFAddr, enc[:])
 	case DoorbellInline, DoorbellGather:
 		if e.Mode == DoorbellGather {
 			// Stage the payload in registered memory for the NIC's
 			// second DMA read.
+			p.Sync()
 			w.Node.Mem.Write(e.staging, data)
 			wqe.Inline = false
 			wqe.GatherAddr = e.staging
@@ -404,16 +416,18 @@ func (e *Ep) post(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, data []b
 		}
 		// Regular store of the WQE into the ring, then the 8-byte
 		// DoorBell MMIO write.
-		p.Sleep(sw.SQRingWrite.Sample(r))
+		p.Advance(sw.SQRingWrite.Sample(r))
+		p.Sync()
 		w.Node.Mem.Write(e.qp.SQ.EntryAddr(e.pi), enc[:])
-		p.Sleep(sw.DBRecUpdate.Sample(r))
-		p.Sleep(sw.DoorbellRing.Sample(r))
+		p.Advance(sw.DBRecUpdate.Sample(r))
+		p.Advance(sw.DoorbellRing.Sample(r))
+		p.Sync()
 		var db [8]byte
 		binary.LittleEndian.PutUint16(db[:], e.pi+1)
 		w.Node.RC.MMIOWrite(e.qp.DBAddr, db[:])
 	}
 
-	p.Sleep(sw.LLPPostExit.Sample(r))
+	p.Advance(sw.LLPPostExit.Sample(r))
 	e.pi++
 	w.Stats.Posts++
 	w.profEndAs(p, tok, StLLPPost.Name())
@@ -446,19 +460,19 @@ func (w *Worker) Progress(p *sim.Proc) int {
 
 	// Load barrier: the CQE read must not be reordered with subsequent
 	// data-structure updates (paper §4.1, aarch64 weak memory model).
-	p.Sleep(sw.LLPProgBarrier.Sample(r))
+	p.Advance(sw.LLPProgBarrier.Sample(r))
 
 	// Send completion queues first, then receive queues; one entry per
 	// call, scanning endpoints in creation order for determinism.
 	for _, e := range w.Eps {
-		if cqe := e.peekCQ(e.qp.SendCQ, e.sendCI); cqe != nil {
-			p.Sleep(sw.LLPProgCQERead.Sample(r))
+		if cqe := e.peekCQ(p, e.qp.SendCQ, e.sendCI); cqe != nil {
+			p.Advance(sw.LLPProgCQERead.Sample(r))
 			e.sendCI++
 			n := int(cqe.WQECounter - e.completed + 1)
 			e.completed = cqe.WQECounter + 1
 			w.Stats.SendCQEs++
 			w.Stats.SendsFreed += uint64(n)
-			p.Sleep(sw.LLPProgMisc.Sample(r))
+			p.Advance(sw.LLPProgMisc.Sample(r))
 			// Registered callbacks run before uct_worker_progress
 			// returns (paper §5), so the profiled scope includes them.
 			if w.onSend != nil {
@@ -469,11 +483,11 @@ func (w *Worker) Progress(p *sim.Proc) int {
 		}
 	}
 	for _, e := range w.Eps {
-		if cqe := e.peekCQ(e.qp.RecvCQ, e.recvCI); cqe != nil {
-			p.Sleep(sw.LLPProgCQERead.Sample(r))
+		if cqe := e.peekCQ(p, e.qp.RecvCQ, e.recvCI); cqe != nil {
+			p.Advance(sw.LLPProgCQERead.Sample(r))
 			e.recvCI++
 			w.Stats.RecvCQEs++
-			p.Sleep(sw.LLPProgMisc.Sample(r))
+			p.Advance(sw.LLPProgMisc.Sample(r))
 			// Every inbound send consumed one posted receive; retire
 			// its pool slot in FIFO order.
 			if len(e.recvOrder) == 0 {
@@ -485,13 +499,14 @@ func (w *Worker) Progress(p *sim.Proc) int {
 			if int(cqe.ByteCnt) > mlx.ScatterMax {
 				// Large payload: it was DMA-written to the pool
 				// slot, not scattered into the CQE.
-				p.Sleep(units.Time(cqe.ByteCnt) * sw.MemcpyPerByte)
+				p.Advance(units.Time(cqe.ByteCnt) * sw.MemcpyPerByte)
+				p.Sync()
 				data = w.Node.Mem.Read(bufAddr, int(cqe.ByteCnt))
 			}
 			// Dispatch the active-message handler (inside progress,
 			// as UCX does); the profiled scope includes it, like the
 			// send-side callbacks.
-			p.Sleep(sw.AmRxHandle.Sample(r))
+			p.Advance(sw.AmRxHandle.Sample(r))
 			if h := w.amHandlers[cqe.AmID]; h != nil {
 				h(p, data)
 			}
@@ -506,7 +521,7 @@ func (w *Worker) Progress(p *sim.Proc) int {
 
 	// Empty poll: pay the failed check and use the idle time to repost
 	// owed receive credits.
-	p.Sleep(sw.LLPProgFailChk.Sample(r))
+	p.Advance(sw.LLPProgFailChk.Sample(r))
 	w.Stats.EmptyPolls++
 	w.profEndAs(p, tok, "empty_poll")
 	for _, e := range w.Eps {
@@ -518,14 +533,20 @@ func (w *Worker) Progress(p *sim.Proc) int {
 // replenish reposts all owed receive credits.
 func (e *Ep) replenish(p *sim.Proc) {
 	for ; e.owedRecvCredits > 0; e.owedRecvCredits-- {
-		p.Sleep(e.w.Cfg.SW.PostRecv.Sample(e.w.Node.Rand))
+		p.Advance(e.w.Cfg.SW.PostRecv.Sample(e.w.Node.Rand))
+		// Visibility: each credit is posted at its own time (see
+		// PostRecvs).
+		p.Sync()
 		e.postOneRecv()
 	}
 }
 
 // peekCQ reads the CQ slot for consumer counter ci and returns the decoded
-// CQE if its generation marks it valid.
-func (e *Ep) peekCQ(ring mlx.Ring, ci uint16) *mlx.CQE {
+// CQE if its generation marks it valid. It synchronizes the proc first: the
+// read must observe every completion DMA-written up to the proc's current
+// virtual time.
+func (e *Ep) peekCQ(p *sim.Proc, ring mlx.Ring, ci uint16) *mlx.CQE {
+	p.Sync()
 	e.w.Node.Mem.ReadInto(ring.EntryAddr(ci), e.w.scratch[:])
 	if e.w.scratch[mlx.CQESize-1] != ring.Gen(ci) {
 		return nil

@@ -130,11 +130,11 @@ func (q *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 	sw := &q.ctx.Cfg.SW
 	r := q.ctx.Node.Rand
 	if int(q.pi-q.completed) >= q.qp.SQ.Depth {
-		p.Sleep(sw.BusyPost.Sample(r))
+		p.Advance(sw.BusyPost.Sample(r))
 		return ErrQPFull
 	}
 
-	p.Sleep(sw.LLPPostEntry.Sample(r))
+	p.Advance(sw.LLPPostEntry.Sample(r))
 	wqe := &mlx.WQE{
 		Signaled:   wr.Flags&SendSignaled != 0,
 		WQEIdx:     q.pi,
@@ -163,28 +163,34 @@ func (q *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 	if err != nil {
 		return err
 	}
-	p.Sleep(sw.MDSetup.Sample(r))
-	p.Sleep(sw.BarrierMD.Sample(r))
+	p.Advance(sw.MDSetup.Sample(r))
+	p.Advance(sw.BarrierMD.Sample(r))
+	// No Sync: the doorbell record is written by the CPU but read by
+	// nothing in the device model (the NIC learns the producer counter
+	// through the MMIO doorbell), so the early commit is unobservable.
 	var dbr [8]byte
 	binary.LittleEndian.PutUint16(dbr[:], q.pi+1)
 	q.ctx.Node.Mem.Write(q.qp.DBRAddr, dbr[:])
-	p.Sleep(sw.DBCIncrement.Sample(r))
-	p.Sleep(sw.BarrierDBC.Sample(r))
+	p.Advance(sw.DBCIncrement.Sample(r))
+	p.Advance(sw.BarrierDBC.Sample(r))
 
 	if inline {
 		// BlueFlame PIO: the whole descriptor in one MMIO write.
-		p.Sleep(sw.PIOCopy.Sample(r))
+		p.Advance(sw.PIOCopy.Sample(r))
+		p.Sync()
 		q.ctx.Node.RC.MMIOWrite(q.qp.BFAddr, enc[:])
 	} else {
 		// Ring write + 8-byte DoorBell; the NIC fetches by DMA.
-		p.Sleep(sw.SQRingWrite.Sample(r))
+		p.Advance(sw.SQRingWrite.Sample(r))
+		p.Sync()
 		q.ctx.Node.Mem.Write(q.qp.SQ.EntryAddr(q.pi), enc[:])
-		p.Sleep(sw.DoorbellRing.Sample(r))
+		p.Advance(sw.DoorbellRing.Sample(r))
+		p.Sync()
 		var db [8]byte
 		binary.LittleEndian.PutUint16(db[:], q.pi+1)
 		q.ctx.Node.RC.MMIOWrite(q.qp.DBAddr, db[:])
 	}
-	p.Sleep(sw.LLPPostExit.Sample(r))
+	p.Advance(sw.LLPPostExit.Sample(r))
 	q.wrids[q.pi] = wr.WRID
 	q.pi++
 	return nil
@@ -192,7 +198,9 @@ func (q *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 
 // PostRecv posts one receive work request (ibv_post_recv).
 func (q *QP) PostRecv(p *sim.Proc, wr *RecvWR) error {
-	p.Sleep(q.ctx.Cfg.SW.PostRecv.Sample(q.ctx.Node.Rand))
+	p.Advance(q.ctx.Cfg.SW.PostRecv.Sample(q.ctx.Node.Rand))
+	// The credit must be visible to in-flight deliveries at post time.
+	p.Sync()
 	q.recvWRs = append(q.recvWRs, *wr)
 	q.qp.PostRecv(wr.SGE.Addr)
 	return nil
@@ -206,13 +214,14 @@ func (q *QP) PollSendCQ(p *sim.Proc, wcs []WC) int {
 	r := q.ctx.Node.Rand
 	n := 0
 	for n < len(wcs) {
-		p.Sleep(sw.LLPProgBarrier.Sample(r))
+		p.Advance(sw.LLPProgBarrier.Sample(r))
+		p.Sync()
 		q.ctx.Node.Mem.ReadInto(q.qp.SendCQ.EntryAddr(q.sendCI), q.scratch[:])
 		if q.scratch[mlx.CQESize-1] != q.qp.SendCQ.Gen(q.sendCI) {
-			p.Sleep(sw.LLPProgFailChk.Sample(r))
+			p.Advance(sw.LLPProgFailChk.Sample(r))
 			break
 		}
-		p.Sleep(sw.LLPProgCQERead.Sample(r))
+		p.Advance(sw.LLPProgCQERead.Sample(r))
 		cqe, err := mlx.DecodeCQE(q.scratch[:])
 		if err != nil {
 			panic(fmt.Sprintf("verbs: corrupt CQE: %v", err))
@@ -223,7 +232,7 @@ func (q *QP) PollSendCQ(p *sim.Proc, wcs []WC) int {
 		delete(q.wrids, cqe.WQECounter)
 		wcs[n] = WC{WRID: wrid, Status: WCSuccess, Opcode: WROpRDMAWrite}
 		n++
-		p.Sleep(sw.LLPProgMisc.Sample(r))
+		p.Advance(sw.LLPProgMisc.Sample(r))
 	}
 	return n
 }
@@ -234,13 +243,14 @@ func (q *QP) PollRecvCQ(p *sim.Proc, wcs []WC) int {
 	r := q.ctx.Node.Rand
 	n := 0
 	for n < len(wcs) {
-		p.Sleep(sw.LLPProgBarrier.Sample(r))
+		p.Advance(sw.LLPProgBarrier.Sample(r))
+		p.Sync()
 		q.ctx.Node.Mem.ReadInto(q.qp.RecvCQ.EntryAddr(q.recvCI), q.scratch[:])
 		if q.scratch[mlx.CQESize-1] != q.qp.RecvCQ.Gen(q.recvCI) {
-			p.Sleep(sw.LLPProgFailChk.Sample(r))
+			p.Advance(sw.LLPProgFailChk.Sample(r))
 			break
 		}
-		p.Sleep(sw.LLPProgCQERead.Sample(r))
+		p.Advance(sw.LLPProgCQERead.Sample(r))
 		cqe, err := mlx.DecodeCQE(q.scratch[:])
 		if err != nil {
 			panic(fmt.Sprintf("verbs: corrupt CQE: %v", err))
@@ -253,12 +263,13 @@ func (q *QP) PollRecvCQ(p *sim.Proc, wcs []WC) int {
 		q.recvWRs = q.recvWRs[1:]
 		data := cqe.Payload
 		if int(cqe.ByteCnt) > mlx.ScatterMax {
-			p.Sleep(units.Time(cqe.ByteCnt) * sw.MemcpyPerByte)
+			p.Advance(units.Time(cqe.ByteCnt) * sw.MemcpyPerByte)
+			p.Sync()
 			data = q.ctx.Node.Mem.Read(wr.SGE.Addr, int(cqe.ByteCnt))
 		}
 		wcs[n] = WC{WRID: wr.WRID, Status: WCSuccess, Opcode: WROpSend, ByteLen: cqe.ByteCnt, Data: data}
 		n++
-		p.Sleep(sw.LLPProgMisc.Sample(r))
+		p.Advance(sw.LLPProgMisc.Sample(r))
 	}
 	return n
 }

@@ -70,9 +70,13 @@ func (t *Timer) TicksToTime(ticks uint64) units.Time {
 // by the read/record cost. The returned value is the counter at the instant
 // between the two costs, which is how back-to-back reads measure the
 // infrastructure's own overhead.
+//
+// Both costs are pure delays and the counter is derived arithmetic over the
+// proc's own clock, so Read uses the batched Advance API: profiling a region
+// costs simulated time but no goroutine handoffs at all.
 func (t *Timer) Read(p *sim.Proc) uint64 {
-	p.Sleep(t.isb.Sample(t.r))
-	v := t.Counter()
-	p.Sleep(t.read.Sample(t.r))
+	p.Advance(t.isb.Sample(t.r))
+	v := t.counterAt(p.Now())
+	p.Advance(t.read.Sample(t.r))
 	return v
 }
