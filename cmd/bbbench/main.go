@@ -60,6 +60,7 @@ func main() {
 		{"Schedule", simbench.Schedule},
 		{"SleepHandoff", simbench.SleepHandoff},
 		{"PutBwEndToEnd", simbench.PutBwEndToEnd},
+		{"WindowedPutBw", simbench.WindowedPutBw},
 	}
 
 	rep := report{
@@ -81,11 +82,13 @@ func main() {
 			Iterations:   int64(r.N),
 		}
 		rep.Benchmarks[b.name] = res
+		vsBase := "no baseline"
 		if base, ok := baseline[b.name]; ok && res.NsPerOp > 0 {
 			rep.Speedup[b.name] = base.NsPerOp / res.NsPerOp
+			vsBase = fmt.Sprintf("%.2fx vs baseline", rep.Speedup[b.name])
 		}
-		fmt.Fprintf(os.Stderr, "%-14s %10.1f ns/op  %12.0f events/sec  %3d allocs/op  (%.2fx vs baseline)\n",
-			b.name, res.NsPerOp, res.EventsPerSec, res.AllocsPerOp, rep.Speedup[b.name])
+		fmt.Fprintf(os.Stderr, "%-14s %10.1f ns/op  %12.0f events/sec  %3d allocs/op  (%s)\n",
+			b.name, res.NsPerOp, res.EventsPerSec, res.AllocsPerOp, vsBase)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

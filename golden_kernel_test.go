@@ -20,21 +20,16 @@ import (
 // fixed seed across every benchmark family and a reduced measurement
 // campaign. The fixture in testdata/golden_kernel.json was captured with the
 // pre-optimization kernel (container/heap + one goroutine handoff per
-// Sleep); the pooled 4-ary heap and the batched Advance/Sync time
-// advancement must reproduce it exactly — same virtual timestamps, same RNG
-// draws, same counters — or the optimization changed simulation semantics.
+// Sleep); the pooled 4-ary heap, the batched Advance/Sync time advancement,
+// and the pooled zero-allocation device datapath must reproduce it exactly —
+// same virtual timestamps, same RNG draws, same counters — or an
+// optimization changed simulation semantics.
 //
-// One documented exception: multiput_noiseon. MultiPutBw runs several
-// simulated cores on one node, and co-node procs draw jitter from the
-// node's single RNG stream; batching pure delays changes how those draws
-// interleave across cores (each core now samples a post's stage costs in
-// one burst instead of spread across seven yields). The draws come from the
-// same stream and distributions and the run stays fully deterministic —
-// the serial==parallel campaign tests still enforce that — but the
-// per-core draw sequences differ from the pre-batching kernel, so this one
-// entry was re-captured at the switch. Every single-proc-per-node scenario,
-// both full campaigns, and the NoiseOff multicore run are pre-rewrite
-// bit-identical.
+// multiput_noiseon was re-captured when per-core jitter streams landed:
+// each simulated core now draws from its own stream derived from the
+// campaign seed and the core identity (so co-node cores' draws no longer
+// depend on event scheduling order), which deliberately changes the NoiseOn
+// multi-core draw sequences. Every other entry is pre-rewrite bit-identical.
 //
 // Refresh (only for intentional semantic changes, never to paper over a
 // kernel regression): GOLDEN_UPDATE=1 go test -run TestGoldenKernelOutputs .

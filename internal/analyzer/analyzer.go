@@ -41,10 +41,23 @@ func (r Record) Kind() string {
 	return r.DLLPType.String()
 }
 
-// Analyzer is a passive trace recorder implementing pcie.Tap.
+// recChunk is the record count of one trace chunk. Chunked storage keeps
+// long captures append-cheap: a benchmark-length trace grows by adding
+// chunks instead of repeatedly re-copying one giant slice.
+const recChunk = 4096
+
+// Analyzer is a passive trace recorder implementing pcie.Tap. Because link
+// packets are pooled (see the pcie package borrow contract), the analyzer
+// copies the fields it keeps into its own Records at observation time and
+// never retains the packets themselves.
 type Analyzer struct {
-	name    string
-	records []Record
+	name string
+	// chunks hold the trace in capture order; chunks[:active] are full,
+	// chunks[active] is the append target. Cleared chunks keep their
+	// capacity for reuse.
+	chunks  [][]Record
+	active  int
+	n       int
 	enabled bool
 	// Limit bounds capture size; 0 means unlimited.
 	Limit int
@@ -65,42 +78,79 @@ func (a *Analyzer) Name() string { return a.name }
 // (asserted by test).
 func (a *Analyzer) SetEnabled(on bool) { a.enabled = on }
 
-// Clear discards the captured trace.
-func (a *Analyzer) Clear() { a.records = a.records[:0] }
+// Clear discards the captured trace, retaining chunk capacity for reuse.
+func (a *Analyzer) Clear() {
+	for i := range a.chunks {
+		a.chunks[i] = a.chunks[i][:0]
+	}
+	a.active = 0
+	a.n = 0
+}
 
-// ObserveTLP implements pcie.Tap.
+// Len reports the number of captured records.
+func (a *Analyzer) Len() int { return a.n }
+
+// add appends one record to the chunked trace.
+func (a *Analyzer) add(r Record) {
+	if a.active == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]Record, 0, recChunk))
+	}
+	c := append(a.chunks[a.active], r)
+	a.chunks[a.active] = c
+	if len(c) == recChunk {
+		a.active++
+	}
+	a.n++
+}
+
+// each calls fn for every captured record in capture order.
+func (a *Analyzer) each(fn func(Record)) {
+	for _, c := range a.chunks {
+		for i := range c {
+			fn(c[i])
+		}
+	}
+}
+
+// ObserveTLP implements pcie.Tap. The TLP is borrowed; the fields the trace
+// keeps are copied here.
 func (a *Analyzer) ObserveTLP(at units.Time, dir pcie.Dir, t *pcie.TLP) {
-	if !a.enabled || (a.Limit > 0 && len(a.records) >= a.Limit) {
+	if !a.enabled || (a.Limit > 0 && a.n >= a.Limit) {
 		return
 	}
-	a.records = append(a.records, Record{
+	a.add(Record{
 		At: at, Dir: dir, IsTLP: true,
 		TLPType: t.Type, Addr: t.Addr, Payload: t.PayloadBytes(), Seq: t.Seq,
 	})
 }
 
-// ObserveDLLP implements pcie.Tap.
+// ObserveDLLP implements pcie.Tap. The DLLP is borrowed; see ObserveTLP.
 func (a *Analyzer) ObserveDLLP(at units.Time, dir pcie.Dir, d *pcie.DLLP) {
-	if !a.enabled || (a.Limit > 0 && len(a.records) >= a.Limit) {
+	if !a.enabled || (a.Limit > 0 && a.n >= a.Limit) {
 		return
 	}
-	a.records = append(a.records, Record{
+	a.add(Record{
 		At: at, Dir: dir, IsTLP: false,
 		DLLPType: d.Type, AckSeq: d.AckSeq,
 	})
 }
 
-// Records returns the captured trace in time order (capture order).
-func (a *Analyzer) Records() []Record { return a.records }
+// Records returns the captured trace in time order (capture order), as one
+// freshly assembled slice.
+func (a *Analyzer) Records() []Record {
+	out := make([]Record, 0, a.n)
+	a.each(func(r Record) { out = append(out, r) })
+	return out
+}
 
 // Filter returns the records matching keep.
 func (a *Analyzer) Filter(keep func(Record) bool) []Record {
 	var out []Record
-	for _, r := range a.records {
+	a.each(func(r Record) {
 		if keep(r) {
 			out = append(out, r)
 		}
-	}
+	})
 	return out
 }
 
@@ -143,7 +193,7 @@ func (a *Analyzer) AckRoundTrips(dir pcie.Dir, typ pcie.TLPType) *stats.Sample {
 	}
 	var s stats.Sample
 	pending := map[uint64]units.Time{}
-	for _, r := range a.records {
+	a.each(func(r Record) {
 		switch {
 		case r.IsTLP && r.Dir == dir && r.TLPType == typ:
 			pending[r.Seq] = r.At
@@ -153,7 +203,7 @@ func (a *Analyzer) AckRoundTrips(dir pcie.Dir, typ pcie.TLPType) *stats.Sample {
 				delete(pending, r.AckSeq)
 			}
 		}
-	}
+	})
 	return &s
 }
 
@@ -166,19 +216,19 @@ func (a *Analyzer) PairDeltas(first, second func(Record) bool) *stats.Sample {
 	var s stats.Sample
 	var t0 units.Time
 	armed := false
-	for _, r := range a.records {
+	a.each(func(r Record) {
 		if !armed {
 			if first(r) {
 				t0 = r.At
 				armed = true
 			}
-			continue
+			return
 		}
 		if second(r) {
 			s.Add((r.At - t0).Ns())
 			armed = false
 		}
-	}
+	})
 	return &s
 }
 
@@ -187,17 +237,22 @@ func (a *Analyzer) PairDeltas(first, second func(Record) bool) *stats.Sample {
 func (a *Analyzer) FormatTrace(n int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-14s %-6s %-6s %-8s %-16s %s\n", "TIME", "DIR", "KIND", "PAYLOAD", "ADDR", "SEQ")
-	for i, r := range a.records {
-		if n > 0 && i >= n {
-			fmt.Fprintf(&b, "... (%d more records)\n", len(a.records)-n)
-			break
+	i := 0
+out:
+	for _, c := range a.chunks {
+		for _, r := range c {
+			if n > 0 && i >= n {
+				fmt.Fprintf(&b, "... (%d more records)\n", a.n-n)
+				break out
+			}
+			i++
+			addr := ""
+			if r.IsTLP {
+				addr = fmt.Sprintf("%#x", r.Addr)
+			}
+			fmt.Fprintf(&b, "%-14s %-6s %-6s %-8d %-16s %d\n",
+				r.At.String(), r.Dir.String(), r.Kind(), r.Payload, addr, r.Seq)
 		}
-		addr := ""
-		if r.IsTLP {
-			addr = fmt.Sprintf("%#x", r.Addr)
-		}
-		fmt.Fprintf(&b, "%-14s %-6s %-6s %-8d %-16s %d\n",
-			r.At.String(), r.Dir.String(), r.Kind(), r.Payload, addr, r.Seq)
 	}
 	return b.String()
 }

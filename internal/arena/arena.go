@@ -1,0 +1,133 @@
+// Package arena provides the pooled, generation-checked object arena the
+// device models share: value-typed slots stored in fixed-size chunks (so
+// pointers stay stable while the arena grows), a free list for recycling,
+// and stale-handle detection via per-slot generations.
+//
+// A pooled type embeds Slot and is allocated from an Arena bound to it with
+// New. The zero Slot marks a directly-constructed (unpooled) object:
+// Release on it is a no-op and handles to it resolve to nil, so tests may
+// build pooled types with plain literals.
+package arena
+
+// Chunk is the slot count of one arena chunk. Chunked growth keeps slot
+// pointers stable across arena expansion.
+const Chunk = 64
+
+// recycler is the arena as seen from a Slot, avoiding a generic
+// back-reference inside the non-generic Slot.
+type recycler interface {
+	recycle(id int32)
+}
+
+// Slot is the per-object bookkeeping embedded in pooled value types.
+type Slot struct {
+	id    int32
+	gen   uint32
+	live  bool
+	owner recycler
+}
+
+// Release returns the object to its arena. The owner must call it exactly
+// once; a second Release panics, and Release on an unpooled object is a
+// no-op.
+func (s *Slot) Release() {
+	if s.owner == nil {
+		return
+	}
+	if !s.live {
+		panic("arena: object released twice")
+	}
+	s.live = false
+	s.gen++
+	s.owner.recycle(s.id)
+}
+
+// Arena is a pool of value-typed T slots. Construct with New.
+type Arena[T any] struct {
+	chunks [][]T
+	used   int32
+	free   []int32
+	slot   func(*T) *Slot
+	reset  func(*T)
+}
+
+// New builds an arena for T. slot returns the embedded Slot of an object;
+// reset clears an object's payload fields before reuse (reusable buffer
+// capacity should be retained by truncating, not nilling).
+func New[T any](slot func(*T) *Slot, reset func(*T)) *Arena[T] {
+	return &Arena[T]{slot: slot, reset: reset}
+}
+
+func (a *Arena[T]) get(id int32) *T {
+	return &a.chunks[id/Chunk][id%Chunk]
+}
+
+func (a *Arena[T]) recycle(id int32) {
+	a.free = append(a.free, id)
+}
+
+// Alloc returns a reset object, reusing a released slot when available.
+func (a *Arena[T]) Alloc() *T {
+	var t *T
+	var s *Slot
+	if n := len(a.free); n > 0 {
+		t = a.get(a.free[n-1])
+		a.free = a.free[:n-1]
+		s = a.slot(t)
+	} else {
+		if int(a.used) == len(a.chunks)*Chunk {
+			a.chunks = append(a.chunks, make([]T, Chunk))
+		}
+		id := a.used
+		a.used++
+		t = a.get(id)
+		s = a.slot(t)
+		s.id = id
+		s.owner = a
+	}
+	a.reset(t)
+	s.live = true
+	return t
+}
+
+// Grow returns buf resized to n bytes (previous contents undefined),
+// reusing its capacity when possible — the reusable-buffer idiom the pooled
+// types share (TLP payloads, receive staging, WC payload slots).
+func Grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// Ref is a generation-checked handle to a pooled object: it records the
+// slot generation at handle time, so it resolves to nil once the object has
+// been released (or released and recycled). The zero Ref resolves to nil.
+type Ref[T any] struct {
+	a   *Arena[T]
+	id  int32
+	gen uint32
+}
+
+// MakeRef returns a handle to t, whose embedded Slot is s. Unpooled objects
+// yield the zero Ref.
+func MakeRef[T any](t *T, s *Slot) Ref[T] {
+	a, ok := s.owner.(*Arena[T])
+	if !ok {
+		return Ref[T]{}
+	}
+	return Ref[T]{a: a, id: s.id, gen: s.gen}
+}
+
+// Get resolves the handle, or returns nil if it is stale.
+func (r Ref[T]) Get() *T {
+	if r.a == nil {
+		return nil
+	}
+	t := r.a.get(r.id)
+	s := r.a.slot(t)
+	if !s.live || s.gen != r.gen {
+		return nil
+	}
+	return t
+}

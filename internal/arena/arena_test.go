@@ -1,0 +1,101 @@
+package arena
+
+import "testing"
+
+type thing struct {
+	v   int
+	buf []byte
+	Slot
+}
+
+func newThingArena() *Arena[thing] {
+	return New(
+		func(t *thing) *Slot { return &t.Slot },
+		func(t *thing) {
+			t.v = 0
+			t.buf = t.buf[:0]
+		})
+}
+
+func TestAllocResetAndReuse(t *testing.T) {
+	a := newThingArena()
+	x := a.Alloc()
+	x.v = 7
+	x.buf = append(x.buf, 1, 2, 3)
+	x.Release()
+	y := a.Alloc()
+	if y != x {
+		t.Error("released slot not reused")
+	}
+	if y.v != 0 || len(y.buf) != 0 {
+		t.Errorf("recycled object not reset: %+v", y)
+	}
+	if cap(y.buf) < 3 {
+		t.Error("reset dropped the reusable buffer capacity")
+	}
+}
+
+func TestRefGenerationCheck(t *testing.T) {
+	a := newThingArena()
+	x := a.Alloc()
+	ref := MakeRef(x, &x.Slot)
+	if ref.Get() != x {
+		t.Fatal("fresh ref does not resolve")
+	}
+	x.Release()
+	if ref.Get() != nil {
+		t.Error("stale ref resolved after release")
+	}
+	y := a.Alloc() // recycles x's slot under a new generation
+	if ref.Get() != nil {
+		t.Error("old-generation ref resolved against the recycled slot")
+	}
+	if MakeRef(y, &y.Slot).Get() != y {
+		t.Error("recycled slot's new ref does not resolve")
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	a := newThingArena()
+	x := a.Alloc()
+	x.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	x.Release()
+}
+
+func TestUnpooledObjectIsInert(t *testing.T) {
+	x := &thing{v: 1}
+	x.Release() // no-op
+	if MakeRef(x, &x.Slot).Get() != nil {
+		t.Error("unpooled ref should resolve to nil")
+	}
+}
+
+func TestPointerStabilityAcrossGrowth(t *testing.T) {
+	a := newThingArena()
+	first := a.Alloc()
+	first.v = 42
+	// Force several chunk growths.
+	for i := 0; i < Chunk*4; i++ {
+		a.Alloc()
+	}
+	if first.v != 42 || a.get(0) != first {
+		t.Error("slot pointer invalidated by arena growth")
+	}
+}
+
+func TestAllocIsAllocFreeOnReuse(t *testing.T) {
+	a := newThingArena()
+	x := a.Alloc()
+	x.Release()
+	if allocs := testing.AllocsPerRun(200, func() {
+		y := a.Alloc()
+		y.Release()
+	}); allocs != 0 {
+		t.Errorf("steady-state alloc/release allocates %.2f per op, want 0", allocs)
+	}
+}

@@ -2,11 +2,36 @@
 // an optional store-and-forward switch (the paper's Network = Wire + Switch
 // decomposition), plus the transport-level acknowledgement that drives
 // completion generation on the initiator (paper §2 step 4).
+//
+// # Pooled frames and the borrow contract
+//
+// Frames on the hot path are pooled: the Network owns a generation-checked
+// arena of value-typed frame slots, and the steady-state simulated-message
+// path recycles frames instead of allocating them. The rules mirror the
+// PCIe packet pool (see internal/pcie):
+//
+//   - The sending NIC allocates with Network.NewFrame, fills it (payload
+//     bytes go in via Frame.SetPayload, which copies into the slot's
+//     reusable buffer), and hands it to Send. The network owns the frame in
+//     flight.
+//   - Delivery transfers ownership to the Port: RxFrame must eventually
+//     call Frame.Release — synchronously, or from a later event if receive
+//     processing is deferred.
+//   - Anything that wants to keep frame contents past its ownership window
+//     must copy them; Payload() aliases the pooled buffer.
+//
+// Frames constructed directly (&Frame{...}, as tests do) are not pooled and
+// Release on them is a no-op.
+//
+// Frames carry their transport operation inline (TxOp / AckInfo value
+// fields) rather than as boxed interface payloads, so a frame never drags
+// heap allocations behind it.
 package fabric
 
 import (
 	"fmt"
 
+	"breakband/internal/arena"
 	"breakband/internal/sim"
 	"breakband/internal/units"
 )
@@ -28,21 +53,85 @@ func (k FrameKind) String() string {
 	return "ack"
 }
 
+// TxOp describes the transport operation of a Data frame. The fabric treats
+// it as opaque metadata (only the NICs interpret it); it is a flat value so
+// frames carry no heap-boxed payloads.
+type TxOp struct {
+	// Opcode is the transport opcode (an mlx.Opcode; kept as a raw byte so
+	// the fabric stays below the descriptor-format layer).
+	Opcode uint8
+	SrcQPN uint32
+	DstQPN uint32
+	// RAddr is the RDMA target address.
+	RAddr uint64
+	// AmID is the active-message id for sends.
+	AmID uint8
+	// Counter is the initiator-side WQE counter, echoed in the ACK.
+	Counter uint16
+}
+
+// AckInfo identifies the WQE a TransportAck retires on the initiator.
+type AckInfo struct {
+	QPN     uint32
+	Counter uint16
+}
+
 // Frame is a link-layer unit travelling between NICs.
 type Frame struct {
 	Kind FrameKind
 	Src  int // source NIC id
 	Dst  int // destination NIC id
-	// Op describes the transport operation for Data frames (opaque to the
-	// fabric; interpreted by the NICs).
-	Op any
-	// AckOf carries the initiator-side cookie being acknowledged.
-	AckOf any
+	// Op describes the transport operation for Data frames.
+	Op TxOp
+	// Ack carries the initiator-side WQE identity for TransportAck frames.
+	Ack AckInfo
 	// Bytes is the on-wire payload size used for serialization.
 	Bytes int
+
+	// payload aliases the pooled slot's reusable buffer; fill through
+	// SetPayload.
+	payload []byte
+
+	// Slot is the pool bookkeeping (zero for frames constructed
+	// directly); it provides Release.
+	arena.Slot
 }
 
-// Port receives frames delivered by the network.
+// Payload returns the frame's payload bytes. The slice aliases the pooled
+// buffer: copy what you keep.
+func (f *Frame) Payload() []byte { return f.payload }
+
+// SetPayload copies b into the frame's reusable payload buffer.
+func (f *Frame) SetPayload(b []byte) {
+	f.payload = append(f.payload[:0], b...)
+}
+
+// FrameRef is a generation-checked handle to a pooled frame; see
+// pcie.TLPRef for the pattern. The zero FrameRef resolves to nil.
+type FrameRef = arena.Ref[Frame]
+
+// Ref returns a generation-checked handle to f.
+func (f *Frame) Ref() FrameRef { return arena.MakeRef(f, &f.Slot) }
+
+// newFrameArena builds the pool of value-typed frame slots (see
+// internal/arena).
+func newFrameArena() *arena.Arena[Frame] {
+	return arena.New(
+		func(f *Frame) *arena.Slot { return &f.Slot },
+		func(f *Frame) {
+			f.Kind = 0
+			f.Src = 0
+			f.Dst = 0
+			f.Op = TxOp{}
+			f.Ack = AckInfo{}
+			f.Bytes = 0
+			f.payload = f.payload[:0]
+		})
+}
+
+// Port receives frames delivered by the network. Delivery transfers
+// ownership of the (pooled) frame to the port, which must call
+// Frame.Release exactly once when done with it.
 type Port interface {
 	RxFrame(f *Frame)
 }
@@ -86,21 +175,35 @@ type Network struct {
 	k     *sim.Kernel
 	cfg   Config
 	ports map[int]Port
-	// busyUntil serializes each endpoint's egress.
-	busyUntil map[int]units.Time
+	// busyUntil serializes each endpoint's egress, indexed by NIC id
+	// (ids are small and dense; grown on Attach).
+	busyUntil []units.Time
 	// Delivered counts frames by kind, a test hook.
-	Delivered map[FrameKind]uint64
+	Delivered [2]uint64
+
+	frames *arena.Arena[Frame]
+
+	// Continuations, bound once so the per-frame path schedules events
+	// without allocating closures.
+	deliverFn func(any)
+	sendFn    func(any)
 }
 
 // New builds an empty network.
 func New(k *sim.Kernel, cfg Config) *Network {
-	return &Network{
-		k:         k,
-		cfg:       cfg,
-		ports:     make(map[int]Port),
-		busyUntil: make(map[int]units.Time),
-		Delivered: make(map[FrameKind]uint64),
+	n := &Network{
+		k:      k,
+		cfg:    cfg,
+		ports:  make(map[int]Port),
+		frames: newFrameArena(),
 	}
+	n.deliverFn = func(a any) {
+		f := a.(*Frame)
+		n.Delivered[f.Kind]++
+		n.ports[f.Dst].RxFrame(f)
+	}
+	n.sendFn = func(a any) { n.Send(a.(*Frame)) }
+	return n
 }
 
 // Config reports the fabric configuration.
@@ -112,7 +215,15 @@ func (n *Network) Attach(id int, p Port) {
 		panic(fmt.Sprintf("fabric: duplicate port id %d", id))
 	}
 	n.ports[id] = p
+	for len(n.busyUntil) <= id {
+		n.busyUntil = append(n.busyUntil, 0)
+	}
 }
+
+// NewFrame allocates a pooled frame owned by the caller until it is handed
+// to Send. Fields are zeroed and the payload is empty with its previous
+// capacity retained.
+func (n *Network) NewFrame() *Frame { return n.frames.Alloc() }
 
 // OneWay reports the modelled one-way latency for a frame of b payload
 // bytes, including switch forwarding when configured. Exposed for tests and
@@ -127,9 +238,11 @@ func (n *Network) OneWay(b int) units.Time {
 
 // Send transmits f from its Src towards its Dst.
 func (n *Network) Send(f *Frame) {
-	dst, ok := n.ports[f.Dst]
-	if !ok {
+	if _, ok := n.ports[f.Dst]; !ok {
 		panic(fmt.Sprintf("fabric: no port %d", f.Dst))
+	}
+	if f.Src < 0 || f.Src >= len(n.busyUntil) {
+		panic(fmt.Sprintf("fabric: frame from unattached source port %d", f.Src))
 	}
 	// Egress serialization at the source NIC.
 	start := units.Max(n.k.Now(), n.busyUntil[f.Src])
@@ -139,19 +252,33 @@ func (n *Network) Send(f *Frame) {
 	if n.cfg.UseSwitch {
 		arrival += n.cfg.SwitchLatency
 	}
-	n.k.At(arrival, func() {
-		n.Delivered[f.Kind]++
-		dst.RxFrame(f)
-	})
+	n.k.AtArg(arrival, n.deliverFn, f)
+}
+
+// AckFor allocates the transport-level acknowledgement frame answering the
+// received Data frame f. The caller transmits it with SendAck (possibly
+// after its own processing delay).
+func (n *Network) AckFor(f *Frame, info AckInfo) *Frame {
+	ack := n.frames.Alloc()
+	ack.Kind = TransportAck
+	ack.Src = f.Dst
+	ack.Dst = f.Src
+	ack.Ack = info
+	return ack
+}
+
+// SendAck transmits a previously built ACK frame after the configured
+// turnaround delay.
+func (n *Network) SendAck(ack *Frame) {
+	if n.cfg.AckTurnaround > 0 {
+		n.k.AfterArg(n.cfg.AckTurnaround, n.sendFn, ack)
+		return
+	}
+	n.Send(ack)
 }
 
 // Ack emits the transport-level acknowledgement for a received Data frame
 // back to its source.
-func (n *Network) Ack(f *Frame, cookie any) {
-	ack := &Frame{Kind: TransportAck, Src: f.Dst, Dst: f.Src, AckOf: cookie, Bytes: 0}
-	if n.cfg.AckTurnaround > 0 {
-		n.k.After(n.cfg.AckTurnaround, func() { n.Send(ack) })
-		return
-	}
-	n.Send(ack)
+func (n *Network) Ack(f *Frame, info AckInfo) {
+	n.SendAck(n.AckFor(f, info))
 }

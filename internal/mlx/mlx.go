@@ -121,32 +121,44 @@ func (w *WQE) Encode() ([WQESize]byte, error) {
 	return b, nil
 }
 
-// DecodeWQE parses a 64-byte descriptor.
-func DecodeWQE(b []byte) (*WQE, error) {
+// DecodeFrom parses a 64-byte descriptor into w, overwriting every field.
+// The inline payload is copied into w's reusable Payload buffer, so a
+// caller-owned scratch WQE decodes messages without allocating in steady
+// state. On error w is left partially overwritten and must not be used.
+func (w *WQE) DecodeFrom(b []byte) error {
 	if len(b) < WQESize {
-		return nil, fmt.Errorf("mlx: short WQE (%d bytes)", len(b))
+		return fmt.Errorf("mlx: short WQE (%d bytes)", len(b))
 	}
-	w := &WQE{
-		Opcode:   Opcode(b[offOpcode]),
-		Signaled: b[offFlags]&flagSignaled != 0,
-		Inline:   b[offFlags]&flagInline != 0,
-		WQEIdx:   binary.LittleEndian.Uint16(b[offWQEIdx:]),
-		QPN:      binary.LittleEndian.Uint32(b[offQPN:]),
-		AmID:     b[offAmID],
-	}
+	w.Opcode = Opcode(b[offOpcode])
+	w.Signaled = b[offFlags]&flagSignaled != 0
+	w.Inline = b[offFlags]&flagInline != 0
+	w.WQEIdx = binary.LittleEndian.Uint16(b[offWQEIdx:])
+	w.QPN = binary.LittleEndian.Uint32(b[offQPN:])
+	w.AmID = b[offAmID]
 	if w.Opcode == OpNop || w.Opcode > OpSend {
-		return nil, fmt.Errorf("mlx: bad WQE opcode %d", b[offOpcode])
+		return fmt.Errorf("mlx: bad WQE opcode %d", b[offOpcode])
 	}
 	n := binary.LittleEndian.Uint32(b[offLen:])
 	w.RemoteAddr = binary.LittleEndian.Uint64(b[offRaddr:])
 	if w.Inline {
 		if n > InlineMax {
-			return nil, fmt.Errorf("mlx: inline length %d exceeds %d", n, InlineMax)
+			return fmt.Errorf("mlx: inline length %d exceeds %d", n, InlineMax)
 		}
-		w.Payload = append([]byte(nil), b[offPayload:offPayload+int(n)]...)
+		w.GatherAddr, w.GatherLen = 0, 0
+		w.Payload = append(w.Payload[:0], b[offPayload:offPayload+int(n)]...)
 	} else {
 		w.GatherLen = n
 		w.GatherAddr = binary.LittleEndian.Uint64(b[offGather:])
+		w.Payload = w.Payload[:0]
+	}
+	return nil
+}
+
+// DecodeWQE parses a 64-byte descriptor into a fresh WQE.
+func DecodeWQE(b []byte) (*WQE, error) {
+	w := &WQE{}
+	if err := w.DecodeFrom(b); err != nil {
+		return nil, err
 	}
 	return w, nil
 }
@@ -205,28 +217,39 @@ func (c *CQE) Encode() ([CQESize]byte, error) {
 	return b, nil
 }
 
-// DecodeCQE parses a 64-byte completion. The payload slice length is
-// min(ByteCnt, ScatterMax).
-func DecodeCQE(b []byte) (*CQE, error) {
+// DecodeFrom parses a 64-byte completion into c, overwriting every field.
+// The inline-scattered payload (length min(ByteCnt, ScatterMax)) is copied
+// into c's reusable Payload buffer, so a caller-owned scratch CQE decodes
+// completions without allocating; the buffer's contents are only valid
+// until the next DecodeFrom on the same CQE.
+func (c *CQE) DecodeFrom(b []byte) error {
 	if len(b) < CQESize {
-		return nil, fmt.Errorf("mlx: short CQE (%d bytes)", len(b))
+		return fmt.Errorf("mlx: short CQE (%d bytes)", len(b))
 	}
-	c := &CQE{
-		Op:         CQEOp(b[cqeOffOp]),
-		AmID:       b[cqeOffAmID],
-		WQECounter: binary.LittleEndian.Uint16(b[cqeOffCounter:]),
-		QPN:        binary.LittleEndian.Uint32(b[cqeOffQPN:]),
-		ByteCnt:    binary.LittleEndian.Uint32(b[cqeOffByteCnt:]),
-		Gen:        b[cqeOffGen],
-	}
+	c.Op = CQEOp(b[cqeOffOp])
+	c.AmID = b[cqeOffAmID]
+	c.WQECounter = binary.LittleEndian.Uint16(b[cqeOffCounter:])
+	c.QPN = binary.LittleEndian.Uint32(b[cqeOffQPN:])
+	c.ByteCnt = binary.LittleEndian.Uint32(b[cqeOffByteCnt:])
+	c.Gen = b[cqeOffGen]
 	if c.Op > CQERecv {
-		return nil, errors.New("mlx: bad CQE op")
+		return errors.New("mlx: bad CQE op")
 	}
 	n := int(c.ByteCnt)
 	if n > ScatterMax {
 		n = ScatterMax
 	}
-	c.Payload = append([]byte(nil), b[cqeOffScatter:cqeOffScatter+n]...)
+	c.Payload = append(c.Payload[:0], b[cqeOffScatter:cqeOffScatter+n]...)
+	return nil
+}
+
+// DecodeCQE parses a 64-byte completion into a fresh CQE. The payload slice
+// length is min(ByteCnt, ScatterMax).
+func DecodeCQE(b []byte) (*CQE, error) {
+	c := &CQE{}
+	if err := c.DecodeFrom(b); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 

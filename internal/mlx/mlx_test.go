@@ -226,3 +226,106 @@ func TestOpcodeStrings(t *testing.T) {
 		t.Error("opcode strings wrong")
 	}
 }
+
+func TestDecodeWQEIntoScratchReusesBuffer(t *testing.T) {
+	// A scratch WQE decoded twice must not leak state between decodes and
+	// must reuse its payload buffer.
+	w1 := &WQE{Opcode: OpSend, Inline: true, Signaled: true, WQEIdx: 3, QPN: 9,
+		AmID: 4, Payload: []byte{1, 2, 3, 4, 5}}
+	enc1, err := w1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := &WQE{Opcode: OpRDMAWrite, Inline: false, WQEIdx: 4, QPN: 9,
+		GatherAddr: 0x1000, GatherLen: 64, RemoteAddr: 0x2000}
+	enc2, err := w2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var scratch WQE
+	if err := scratch.DecodeFrom(enc1[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(scratch.Payload, []byte{1, 2, 3, 4, 5}) || !scratch.Inline {
+		t.Errorf("first decode = %+v", scratch)
+	}
+	buf1 := &scratch.Payload[0]
+	if err := scratch.DecodeFrom(enc2[:]); err != nil {
+		t.Fatal(err)
+	}
+	if scratch.Inline || scratch.GatherAddr != 0x1000 || scratch.GatherLen != 64 ||
+		scratch.RemoteAddr != 0x2000 || len(scratch.Payload) != 0 {
+		t.Errorf("second decode leaked state: %+v", scratch)
+	}
+	if err := scratch.DecodeFrom(enc1[:]); err != nil {
+		t.Fatal(err)
+	}
+	if scratch.GatherAddr != 0 || scratch.GatherLen != 0 {
+		t.Errorf("gather fields leaked into inline decode: %+v", scratch)
+	}
+	if &scratch.Payload[0] != buf1 {
+		t.Error("scratch decode did not reuse the payload buffer")
+	}
+}
+
+func TestDecodeCQEIntoScratchReusesBuffer(t *testing.T) {
+	c1 := &CQE{Op: CQERecv, WQECounter: 1, QPN: 2, ByteCnt: 4, AmID: 7,
+		Payload: []byte{4, 3, 2, 1}, Gen: 1}
+	enc1, err := c1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := &CQE{Op: CQEReq, WQECounter: 9, QPN: 2, Gen: 2}
+	enc2, err := c2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch CQE
+	if err := scratch.DecodeFrom(enc1[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(scratch.Payload, []byte{4, 3, 2, 1}) || scratch.AmID != 7 {
+		t.Errorf("first decode = %+v", scratch)
+	}
+	buf := &scratch.Payload[0]
+	if err := scratch.DecodeFrom(enc2[:]); err != nil {
+		t.Fatal(err)
+	}
+	if scratch.Op != CQEReq || scratch.WQECounter != 9 || len(scratch.Payload) != 0 {
+		t.Errorf("second decode leaked state: %+v", scratch)
+	}
+	if err := scratch.DecodeFrom(enc1[:]); err != nil {
+		t.Fatal(err)
+	}
+	if &scratch.Payload[0] != buf {
+		t.Error("scratch decode did not reuse the payload buffer")
+	}
+}
+
+func TestScratchDecodeIsAllocFree(t *testing.T) {
+	w := &WQE{Opcode: OpSend, Inline: true, Payload: []byte{1, 2, 3}}
+	encW, _ := w.Encode()
+	c := &CQE{Op: CQERecv, ByteCnt: 3, Payload: []byte{1, 2, 3}, Gen: 1}
+	encC, _ := c.Encode()
+	var sw WQE
+	var sc CQE
+	// Warm the payload buffers.
+	if err := sw.DecodeFrom(encW[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.DecodeFrom(encC[:]); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := sw.DecodeFrom(encW[:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.DecodeFrom(encC[:]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("scratch decode allocates %.1f times per op, want 0", allocs)
+	}
+}

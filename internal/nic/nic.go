@@ -18,6 +18,14 @@
 // the whole batch (paper §6). Inbound small sends are delivered as a single
 // DMA write of a CQE with inline-scattered payload, so the payload and its
 // completion become visible to the polling CPU together.
+//
+// The device datapath is allocation-free in steady state: TLPs and frames
+// come from the link/network pools (the NIC releases everything delivered
+// to it, per the pcie/fabric borrow contracts), DMA-read completions
+// dispatch through typed continuation records instead of closures (with
+// reads past the 256-tag space queued FIFO rather than failing), and
+// descriptors decode into per-QP scratch WQEs whose payload buffers are
+// reused.
 package nic
 
 import (
@@ -58,23 +66,6 @@ const (
 	bfOffset = 0x100 // 64-byte BlueFlame PIO buffer
 )
 
-// txOp is the transport operation carried by a data frame.
-type txOp struct {
-	opcode  mlx.Opcode
-	srcQPN  uint32
-	dstQPN  uint32
-	payload []byte
-	raddr   uint64
-	amID    uint8
-	counter uint16
-}
-
-// ackCookie identifies the WQE being acknowledged.
-type ackCookie struct {
-	qpn     uint32
-	counter uint16
-}
-
 // txRec tracks a transmitted, not-yet-acknowledged WQE.
 type txRec struct {
 	counter  uint16
@@ -104,9 +95,13 @@ type QP struct {
 	remoteQPN uint32
 
 	// Device-side state.
-	fetchNext   uint16  // next WQE counter to DMA-fetch (DoorBell path)
-	doorbellPI  uint16  // latest producer counter rung via the DoorBell
-	fetching    bool    // a descriptor fetch chain is in flight
+	fetchNext    uint16 // next WQE counter to DMA-fetch (DoorBell path)
+	fetchCounter uint16 // counter of the descriptor currently being fetched
+	doorbellPI   uint16 // latest producer counter rung via the DoorBell
+	fetching     bool   // a descriptor fetch chain is in flight
+	// fetchWQE is the caller-owned scratch the fetch chain decodes into;
+	// the fetching flag serializes its use per QP.
+	fetchWQE    mlx.WQE
 	outstanding []txRec // transmitted, awaiting transport ACK (in order)
 	sendCQPI    uint16  // producer counter of SendCQ
 	recvCQPI    uint16  // producer counter of RecvCQ
@@ -115,6 +110,32 @@ type QP struct {
 
 	// Counters for tests and reports.
 	TxFrames, RxFrames, CQEsWritten, RNRDrops uint64
+}
+
+// dmaKind selects the typed continuation an MRd completion dispatches to.
+type dmaKind uint8
+
+const (
+	dmaNone         dmaKind = iota // tag not in use
+	dmaWQEFetch                    // descriptor fetch; continues in onWQEFetched
+	dmaPayloadFetch                // gather payload fetch; continues in onPayloadFetched
+)
+
+// dmaCont is the typed continuation record for one outstanding DMA read —
+// the closure-free replacement for the old map of func(*pcie.TLP).
+type dmaCont struct {
+	kind dmaKind
+	qp   *QP
+}
+
+// dmaReq is a DMA read waiting for a free tag. The PCIe tag space allows
+// 256 outstanding reads; requests beyond that queue here (FIFO) instead of
+// failing, exactly as hardware would throttle descriptor fetches.
+type dmaReq struct {
+	addr uint64
+	n    int
+	kind dmaKind
+	qp   *QP
 }
 
 // NIC is the device model.
@@ -126,12 +147,27 @@ type NIC struct {
 	net  *fabric.Network
 	cfg  Config
 
-	qps      map[uint32]*QP
-	byBAR    map[uint64]*QP // BAR window base -> QP
-	nextQPN  uint32
-	barNext  uint64
-	nextTag  uint8
-	inflight map[uint8]func(*pcie.TLP) // outstanding MRd continuations
+	qps     map[uint32]*QP
+	byBAR   map[uint64]*QP // BAR window base -> QP
+	nextQPN uint32
+	barNext uint64
+
+	// DMA-read engine: typed continuations indexed by PCIe tag, plus the
+	// FIFO of reads blocked on tag exhaustion.
+	nextTag       uint8
+	inflight      [256]dmaCont
+	inflightReads int
+	dmaPending    []dmaReq
+
+	// bfWQE is the scratch descriptor BlueFlame PIO writes decode into
+	// (consumed synchronously by execWQE).
+	bfWQE mlx.WQE
+
+	// Continuations, bound once so the optional processing delays
+	// (TxProcess/RxProcess/AckProcess) schedule without closures.
+	txFrameFn func(any)
+	rxFrameFn func(any)
+	sendAckFn func(any)
 }
 
 var (
@@ -147,11 +183,13 @@ func New(k *sim.Kernel, id int, mem *memsim.Memory, link *pcie.Link, net *fabric
 	}
 	n := &NIC{
 		k: k, id: id, mem: mem, link: link, net: net, cfg: cfg,
-		qps:      make(map[uint32]*QP),
-		byBAR:    make(map[uint64]*QP),
-		barNext:  pcie.BARBase,
-		inflight: make(map[uint8]func(*pcie.TLP)),
+		qps:     make(map[uint32]*QP),
+		byBAR:   make(map[uint64]*QP),
+		barNext: pcie.BARBase,
 	}
+	n.txFrameFn = func(a any) { n.net.Send(a.(*fabric.Frame)) }
+	n.rxFrameFn = func(a any) { n.handleFrame(a.(*fabric.Frame)) }
+	n.sendAckFn = func(a any) { n.net.SendAck(a.(*fabric.Frame)) }
 	link.SetEndpointSide(n)
 	net.Attach(id, n)
 	return n
@@ -204,21 +242,40 @@ func (qp *QP) RecvPosted() int { return qp.recvPosted }
 
 // ---------- PCIe endpoint side ----------
 
-// RxTLP implements pcie.Receiver for downstream traffic.
+// RxTLP implements pcie.Receiver for downstream traffic. The NIC consumes
+// every delivered TLP synchronously (decoding or copying what it needs) and
+// releases it before returning.
 func (n *NIC) RxTLP(t *pcie.TLP) {
 	switch t.Type {
 	case pcie.MWr:
 		n.rxMMIO(t)
 	case pcie.CplD:
-		cont, ok := n.inflight[t.Tag]
-		if !ok {
+		rec := n.inflight[t.Tag]
+		if rec.kind == dmaNone {
 			panic(fmt.Sprintf("nic%d: CplD with unknown tag %d", n.id, t.Tag))
 		}
-		delete(n.inflight, t.Tag)
-		cont(t)
+		n.inflight[t.Tag] = dmaCont{}
+		n.inflightReads--
+		switch rec.kind {
+		case dmaWQEFetch:
+			rec.qp.onWQEFetched(t.Data)
+		case dmaPayloadFetch:
+			rec.qp.onPayloadFetched(t.Data)
+		}
+		// The freed tag (and any the continuation released) goes to the
+		// oldest queued reads, preserving issue order.
+		for n.inflightReads < len(n.inflight) && len(n.dmaPending) > 0 {
+			rq := n.dmaPending[0]
+			n.dmaPending = n.dmaPending[1:]
+			if len(n.dmaPending) == 0 {
+				n.dmaPending = nil
+			}
+			n.issueDMARead(rq.addr, rq.n, rq.kind, rq.qp)
+		}
 	default:
 		panic(fmt.Sprintf("nic%d: unexpected downstream %v", n.id, t.Type))
 	}
+	t.Release()
 }
 
 // rxMMIO decodes a device-memory write: an 8-byte DoorBell ring or a 64-byte
@@ -236,125 +293,167 @@ func (n *NIC) rxMMIO(t *pcie.TLP) {
 		}
 		qp.ringDoorbell(binary.LittleEndian.Uint16(t.Data))
 	case bfOffset:
-		wqe, err := mlx.DecodeWQE(t.Data)
-		if err != nil {
+		if err := n.bfWQE.DecodeFrom(t.Data); err != nil {
 			panic(fmt.Sprintf("nic%d: bad BlueFlame WQE: %v", n.id, err))
 		}
-		n.execWQE(qp, wqe)
+		n.execWQE(qp, &n.bfWQE)
 	default:
 		panic(fmt.Sprintf("nic%d: MWr to unknown register offset %#x", n.id, t.Addr-base))
 	}
 }
 
-// dmaRead issues an MRd and registers the completion continuation.
-func (n *NIC) dmaRead(addr uint64, len int, cont func(data []byte)) {
+// dmaRead issues an MRd with a typed completion record, or queues the
+// request when the 256-entry tag space is exhausted (or older requests are
+// already queued — FIFO order is preserved either way).
+func (n *NIC) dmaRead(addr uint64, ln int, kind dmaKind, qp *QP) {
+	if n.inflightReads == len(n.inflight) || len(n.dmaPending) > 0 {
+		n.dmaPending = append(n.dmaPending, dmaReq{addr: addr, n: ln, kind: kind, qp: qp})
+		return
+	}
+	n.issueDMARead(addr, ln, kind, qp)
+}
+
+// issueDMARead sends the MRd on a free tag. The caller guarantees one
+// exists (inflightReads < 256).
+func (n *NIC) issueDMARead(addr uint64, ln int, kind dmaKind, qp *QP) {
+	for n.inflight[n.nextTag].kind != dmaNone {
+		n.nextTag++
+	}
 	tag := n.nextTag
 	n.nextTag++
-	if _, busy := n.inflight[tag]; busy {
-		panic(fmt.Sprintf("nic%d: DMA tag space exhausted (256 outstanding reads)", n.id))
-	}
-	n.inflight[tag] = func(t *pcie.TLP) { cont(t.Data) }
-	n.link.SendUp(&pcie.TLP{Type: pcie.MRd, Addr: addr, ReadLen: len, Tag: tag})
+	n.inflight[tag] = dmaCont{kind: kind, qp: qp}
+	n.inflightReads++
+	t := n.link.NewTLP()
+	t.Type = pcie.MRd
+	t.Addr = addr
+	t.ReadLen = ln
+	t.Tag = tag
+	n.link.SendUp(t)
 }
 
 // ringDoorbell handles the 8-byte DoorBell: the NIC learns the new producer
 // counter and fetches the outstanding descriptors by DMA, strictly in order.
 func (qp *QP) ringDoorbell(newPI uint16) {
 	qp.doorbellPI = newPI
-	qp.fetchLoop()
+	qp.fetchNextWQE()
 }
 
-func (qp *QP) fetchLoop() {
+// fetchNextWQE starts the next descriptor fetch if none is in flight. The
+// drain is iterative: each completion event (onWQEFetched/onPayloadFetched)
+// executes the descriptor and calls back here to issue the next read, so a
+// deep doorbell batch costs constant stack regardless of depth.
+func (qp *QP) fetchNextWQE() {
 	if qp.fetching || qp.fetchNext == qp.doorbellPI {
 		return
 	}
 	qp.fetching = true
-	counter := qp.fetchNext
+	qp.fetchCounter = qp.fetchNext
 	qp.fetchNext++
-	qp.nic.dmaRead(qp.SQ.EntryAddr(counter), mlx.WQESize, func(data []byte) {
-		wqe, err := mlx.DecodeWQE(data)
-		if err != nil {
-			panic(fmt.Sprintf("nic%d: bad DMA WQE at counter %d: %v", qp.nic.id, counter, err))
-		}
-		if wqe.Inline {
-			qp.nic.execWQE(qp, wqe)
-			qp.fetching = false
-			qp.fetchLoop()
-			return
-		}
-		// Second round trip: fetch the payload from registered memory.
-		qp.nic.dmaRead(wqe.GatherAddr, int(wqe.GatherLen), func(payload []byte) {
-			wqe.Payload = payload
-			qp.nic.execWQE(qp, wqe)
-			qp.fetching = false
-			qp.fetchLoop()
-		})
-	})
+	qp.nic.dmaRead(qp.SQ.EntryAddr(qp.fetchCounter), mlx.WQESize, dmaWQEFetch, qp)
 }
 
-// execWQE transmits a decoded descriptor onto the fabric.
+// onWQEFetched continues the fetch chain when the descriptor CplD arrives.
+// data is borrowed from the delivered TLP; DecodeFrom copies what the WQE
+// keeps.
+func (qp *QP) onWQEFetched(data []byte) {
+	if err := qp.fetchWQE.DecodeFrom(data); err != nil {
+		panic(fmt.Sprintf("nic%d: bad DMA WQE at counter %d: %v", qp.nic.id, qp.fetchCounter, err))
+	}
+	if qp.fetchWQE.Inline {
+		qp.nic.execWQE(qp, &qp.fetchWQE)
+		qp.fetching = false
+		qp.fetchNextWQE()
+		return
+	}
+	// Second round trip: fetch the payload from registered memory.
+	qp.nic.dmaRead(qp.fetchWQE.GatherAddr, int(qp.fetchWQE.GatherLen), dmaPayloadFetch, qp)
+}
+
+// onPayloadFetched completes a gather descriptor: the payload is copied out
+// of the borrowed CplD data into the scratch WQE, which is then executed.
+func (qp *QP) onPayloadFetched(data []byte) {
+	qp.fetchWQE.Payload = append(qp.fetchWQE.Payload[:0], data...)
+	qp.nic.execWQE(qp, &qp.fetchWQE)
+	qp.fetching = false
+	qp.fetchNextWQE()
+}
+
+// execWQE transmits a decoded descriptor onto the fabric. The WQE (often a
+// scratch) is consumed synchronously: its payload is copied into the pooled
+// frame. The outstanding record is made at execution time; with a nonzero
+// TxProcess the frame itself leaves TxProcess later, which cannot be
+// observed out of order because the transport ACK consuming the record
+// travels behind the frame.
 func (n *NIC) execWQE(qp *QP, w *mlx.WQE) {
 	if w.QPN != qp.QPN {
 		panic(fmt.Sprintf("nic%d: WQE qpn %d posted to qp %d", n.id, w.QPN, qp.QPN))
 	}
-	send := func() {
-		qp.outstanding = append(qp.outstanding, txRec{counter: w.WQEIdx, signaled: w.Signaled})
-		qp.TxFrames++
-		n.net.Send(&fabric.Frame{
-			Kind:  fabric.Data,
-			Src:   n.id,
-			Dst:   qp.remoteNIC,
-			Bytes: len(w.Payload),
-			Op: &txOp{
-				opcode:  w.Opcode,
-				srcQPN:  qp.QPN,
-				dstQPN:  qp.remoteQPN,
-				payload: w.Payload,
-				raddr:   w.RemoteAddr,
-				amID:    w.AmID,
-				counter: w.WQEIdx,
-			},
-		})
+	qp.outstanding = append(qp.outstanding, txRec{counter: w.WQEIdx, signaled: w.Signaled})
+	qp.TxFrames++
+	f := n.net.NewFrame()
+	f.Kind = fabric.Data
+	f.Src = n.id
+	f.Dst = qp.remoteNIC
+	f.Bytes = len(w.Payload)
+	f.Op = fabric.TxOp{
+		Opcode:  uint8(w.Opcode),
+		SrcQPN:  qp.QPN,
+		DstQPN:  qp.remoteQPN,
+		RAddr:   w.RemoteAddr,
+		AmID:    w.AmID,
+		Counter: w.WQEIdx,
 	}
+	f.SetPayload(w.Payload)
 	if n.cfg.TxProcess > 0 {
-		n.k.After(n.cfg.TxProcess, send)
+		n.k.AfterArg(n.cfg.TxProcess, n.txFrameFn, f)
 		return
 	}
-	send()
+	n.net.Send(f)
 }
 
 // ---------- fabric port side ----------
 
-// RxFrame implements fabric.Port.
+// RxFrame implements fabric.Port. The NIC owns the delivered frame until
+// handleFrame releases it (after the optional RxProcess delay).
 func (n *NIC) RxFrame(f *fabric.Frame) {
-	handle := func() {
-		switch f.Kind {
-		case fabric.Data:
-			n.rxData(f)
-		case fabric.TransportAck:
-			n.rxAck(f.AckOf.(ackCookie))
-		}
-	}
 	if n.cfg.RxProcess > 0 {
-		n.k.After(n.cfg.RxProcess, handle)
+		n.k.AfterArg(n.cfg.RxProcess, n.rxFrameFn, f)
 		return
 	}
-	handle()
+	n.handleFrame(f)
 }
 
-// rxData handles an inbound data frame on the target NIC.
+// handleFrame dispatches a delivered frame and releases it.
+func (n *NIC) handleFrame(f *fabric.Frame) {
+	switch f.Kind {
+	case fabric.Data:
+		n.rxData(f)
+	case fabric.TransportAck:
+		n.rxAck(f.Ack)
+	}
+	f.Release()
+}
+
+// rxData handles an inbound data frame on the target NIC. The frame's
+// payload is borrowed; everything the NIC forwards is copied into pooled
+// TLPs before rxData returns.
 func (n *NIC) rxData(f *fabric.Frame) {
-	op := f.Op.(*txOp)
-	qp, ok := n.qps[op.dstQPN]
+	op := &f.Op
+	qp, ok := n.qps[op.DstQPN]
 	if !ok {
-		panic(fmt.Sprintf("nic%d: data frame for unknown qp %d", n.id, op.dstQPN))
+		panic(fmt.Sprintf("nic%d: data frame for unknown qp %d", n.id, op.DstQPN))
 	}
 	qp.RxFrames++
-	switch op.opcode {
+	payload := f.Payload()
+	switch mlx.Opcode(op.Opcode) {
 	case mlx.OpRDMAWrite:
 		// One-sided: DMA-write the payload to the remote address. No
 		// CQE, no CPU involvement on this node.
-		n.link.SendUp(&pcie.TLP{Type: pcie.MWr, Addr: op.raddr, Data: op.payload})
+		t := n.link.NewTLP()
+		t.Type = pcie.MWr
+		t.Addr = op.RAddr
+		t.SetData(payload)
+		n.link.SendUp(t)
 	case mlx.OpSend:
 		if qp.recvPosted == 0 {
 			// Receiver not ready. Real hardware would RNR-NAK and
@@ -367,66 +466,73 @@ func (n *NIC) rxData(f *fabric.Frame) {
 		qp.recvPosted--
 		bufAddr := qp.rqAddrs[0]
 		qp.rqAddrs = qp.rqAddrs[1:]
-		inline := len(op.payload) <= mlx.ScatterMax
-		cqe := &mlx.CQE{
+		inline := len(payload) <= mlx.ScatterMax
+		cqe := mlx.CQE{
 			Op:         mlx.CQERecv,
 			WQECounter: qp.recvCQPI,
 			QPN:        qp.QPN,
-			ByteCnt:    uint32(len(op.payload)),
-			AmID:       op.amID,
+			ByteCnt:    uint32(len(payload)),
+			AmID:       op.AmID,
 			Gen:        qp.RecvCQ.Gen(qp.recvCQPI),
 		}
 		if inline {
 			// CQE inline scatter: payload and completion arrive in
 			// one DMA write (paper's RC-to-MEM(xB) + poll model).
-			cqe.Payload = op.payload
+			cqe.Payload = payload
 		} else {
 			// Large payload: DMA-write to the posted buffer, then
 			// the CQE.
-			n.link.SendUp(&pcie.TLP{Type: pcie.MWr, Addr: bufAddr, Data: op.payload})
+			t := n.link.NewTLP()
+			t.Type = pcie.MWr
+			t.Addr = bufAddr
+			t.SetData(payload)
+			n.link.SendUp(t)
 		}
 		enc, err := cqe.Encode()
 		if err != nil {
 			panic(fmt.Sprintf("nic%d: CQE encode: %v", n.id, err))
 		}
-		addr := qp.RecvCQ.EntryAddr(qp.recvCQPI)
+		t := n.link.NewTLP()
+		t.Type = pcie.MWr
+		t.Addr = qp.RecvCQ.EntryAddr(qp.recvCQPI)
+		t.SetData(enc[:])
 		qp.recvCQPI++
 		qp.CQEsWritten++
-		n.link.SendUp(&pcie.TLP{Type: pcie.MWr, Addr: addr, Data: enc[:]})
+		n.link.SendUp(t)
 	default:
-		panic(fmt.Sprintf("nic%d: unexpected opcode %v", n.id, op.opcode))
+		panic(fmt.Sprintf("nic%d: unexpected opcode %v", n.id, mlx.Opcode(op.Opcode)))
 	}
 	// Transport-level acknowledgement back to the initiator (paper §2
 	// step 4).
-	ack := func() { n.net.Ack(f, ackCookie{qpn: op.srcQPN, counter: op.counter}) }
+	ack := n.net.AckFor(f, fabric.AckInfo{QPN: op.SrcQPN, Counter: op.Counter})
 	if n.cfg.AckProcess > 0 {
-		n.k.After(n.cfg.AckProcess, ack)
+		n.k.AfterArg(n.cfg.AckProcess, n.sendAckFn, ack)
 		return
 	}
-	ack()
+	n.net.SendAck(ack)
 }
 
 // rxAck handles the transport ACK on the initiator NIC: it retires the
 // oldest outstanding WQE and, if that WQE was signaled, DMA-writes the CQE
 // (paper §2 step 5). Unsignaled WQEs complete silently; the next signaled
 // CQE's counter retires them at the software level.
-func (n *NIC) rxAck(c ackCookie) {
-	qp, ok := n.qps[c.qpn]
+func (n *NIC) rxAck(c fabric.AckInfo) {
+	qp, ok := n.qps[c.QPN]
 	if !ok {
-		panic(fmt.Sprintf("nic%d: ACK for unknown qp %d", n.id, c.qpn))
+		panic(fmt.Sprintf("nic%d: ACK for unknown qp %d", n.id, c.QPN))
 	}
 	if len(qp.outstanding) == 0 {
-		panic(fmt.Sprintf("nic%d: ACK for qp %d with nothing outstanding", n.id, c.qpn))
+		panic(fmt.Sprintf("nic%d: ACK for qp %d with nothing outstanding", n.id, c.QPN))
 	}
 	rec := qp.outstanding[0]
-	if rec.counter != c.counter {
-		panic(fmt.Sprintf("nic%d: out-of-order ACK: got %d want %d", n.id, c.counter, rec.counter))
+	if rec.counter != c.Counter {
+		panic(fmt.Sprintf("nic%d: out-of-order ACK: got %d want %d", n.id, c.Counter, rec.counter))
 	}
 	qp.outstanding = qp.outstanding[1:]
 	if !rec.signaled {
 		return
 	}
-	cqe := &mlx.CQE{
+	cqe := mlx.CQE{
 		Op:         mlx.CQEReq,
 		WQECounter: rec.counter,
 		QPN:        qp.QPN,
@@ -436,8 +542,11 @@ func (n *NIC) rxAck(c ackCookie) {
 	if err != nil {
 		panic(fmt.Sprintf("nic%d: CQE encode: %v", n.id, err))
 	}
-	addr := qp.SendCQ.EntryAddr(qp.sendCQPI)
+	t := n.link.NewTLP()
+	t.Type = pcie.MWr
+	t.Addr = qp.SendCQ.EntryAddr(qp.sendCQPI)
+	t.SetData(enc[:])
 	qp.sendCQPI++
 	qp.CQEsWritten++
-	n.link.SendUp(&pcie.TLP{Type: pcie.MWr, Addr: addr, Data: enc[:]})
+	n.link.SendUp(t)
 }

@@ -3,6 +3,7 @@ package pcie
 import (
 	"fmt"
 
+	"breakband/internal/arena"
 	"breakband/internal/sim"
 	"breakband/internal/units"
 )
@@ -55,13 +56,22 @@ type channel struct {
 	dir       Dir
 	busyUntil units.Time
 	seq       uint64
-	// Sender-side credit view of the receiver's pools.
-	avail map[CreditKind]Credits
+	// Sender-side credit view of the receiver's pools, indexed by
+	// CreditKind.
+	avail [2]Credits
 	// pend holds TLPs blocked on credits, in order.
 	pend []*TLP
 	// stats
 	sentTLP, sentDLLP uint64
 	blocked           uint64
+
+	// Continuations, bound once at link construction so the steady-state
+	// per-packet path schedules events without allocating closures.
+	arriveTLPFn  func(any) // arrival: taps (Down only) + deliver
+	tapTLPFn     func(any) // Up only: tap as the packet leaves the endpoint
+	arriveDLLPFn func(any)
+	tapDLLPFn    func(any) // Up only
+	sendDLLPFn   func(any) // delayed DLLP emission (ACK / UpdateFC)
 }
 
 // Link is the full-duplex RC<->endpoint link.
@@ -74,20 +84,67 @@ type Link struct {
 	rcSide Receiver // handles Up TLPs (the Root Complex)
 	epSide Receiver // handles Down TLPs (the NIC)
 	taps   []Tap
+
+	// Packet pools; see the package borrow contract.
+	tlps  *arena.Arena[TLP]
+	dllps *arena.Arena[DLLP]
 }
 
 // NewLink builds a link; attach receivers with SetRCSide/SetEndpointSide
 // before sending.
 func NewLink(k *sim.Kernel, cfg LinkConfig) *Link {
-	l := &Link{k: k, cfg: cfg}
-	l.down = &channel{link: l, dir: Down, avail: map[CreditKind]Credits{
-		Posted: cfg.PostedCredits, NonPosted: cfg.NonPostedCredits,
-	}}
-	l.up = &channel{link: l, dir: Up, avail: map[CreditKind]Credits{
-		Posted: cfg.PostedCredits, NonPosted: cfg.NonPostedCredits,
-	}}
+	l := &Link{k: k, cfg: cfg, tlps: newTLPArena(), dllps: newDLLPArena()}
+	pools := [2]Credits{Posted: cfg.PostedCredits, NonPosted: cfg.NonPostedCredits}
+	l.down = &channel{link: l, dir: Down, avail: pools}
+	l.up = &channel{link: l, dir: Up, avail: pools}
+	// The analyzer tap sits just before the endpoint, so the two
+	// directions wire their continuations differently: downstream packets
+	// pass the tap at arrival (folded into the arrive continuation);
+	// upstream packets pass it at departure (a separate tap event) and
+	// arrive untapped.
+	down, up := l.down, l.up
+	down.arriveTLPFn = func(a any) {
+		t := a.(*TLP)
+		for _, tap := range l.taps {
+			tap.ObserveTLP(l.k.Now(), Down, t)
+		}
+		down.deliver(t)
+	}
+	down.arriveDLLPFn = func(a any) {
+		d := a.(*DLLP)
+		for _, tap := range l.taps {
+			tap.ObserveDLLP(l.k.Now(), Down, d)
+		}
+		down.deliverDLLP(d)
+		d.Release()
+	}
+	down.sendDLLPFn = func(a any) { down.sendDLLP(a.(*DLLP)) }
+	up.tapTLPFn = func(a any) {
+		t := a.(*TLP)
+		for _, tap := range l.taps {
+			tap.ObserveTLP(l.k.Now(), Up, t)
+		}
+	}
+	up.tapDLLPFn = func(a any) {
+		d := a.(*DLLP)
+		for _, tap := range l.taps {
+			tap.ObserveDLLP(l.k.Now(), Up, d)
+		}
+	}
+	up.arriveTLPFn = func(a any) { up.deliver(a.(*TLP)) }
+	up.arriveDLLPFn = func(a any) {
+		d := a.(*DLLP)
+		up.deliverDLLP(d)
+		d.Release()
+	}
+	up.sendDLLPFn = func(a any) { up.sendDLLP(a.(*DLLP)) }
 	return l
 }
+
+// NewTLP allocates a pooled TLP owned by the caller until it is handed to
+// SendDown/SendUp. Fields are zeroed and Data is empty with its previous
+// capacity retained.
+func (l *Link) NewTLP() *TLP { return l.tlps.Alloc() }
 
 // Config reports the link configuration.
 func (l *Link) Config() LinkConfig { return l.cfg }
@@ -148,40 +205,34 @@ func (c *channel) transmit(t *TLP) {
 	arrival := txDone + c.link.cfg.Prop
 
 	// The analyzer tap sits just before the endpoint: downstream packets
-	// pass it at arrival; upstream packets pass it as they leave the
-	// endpoint.
-	switch c.dir {
-	case Down:
-		k.At(arrival, func() {
-			for _, tap := range c.link.taps {
-				tap.ObserveTLP(k.Now(), Down, t)
-			}
-			c.deliver(t)
-		})
-	case Up:
-		k.At(txDone, func() {
-			for _, tap := range c.link.taps {
-				tap.ObserveTLP(k.Now(), Up, t)
-			}
-		})
-		k.At(arrival, func() { c.deliver(t) })
+	// pass it at arrival (folded into arriveTLPFn); upstream packets pass
+	// it as they leave the endpoint.
+	if c.dir == Up {
+		k.AtArg(txDone, c.tapTLPFn, t)
 	}
+	k.AtArg(arrival, c.arriveTLPFn, t)
 }
 
 // deliver hands t to the receiving side, emits the ACK DLLP, and schedules
-// the credit return.
+// the credit return. Ownership of t passes to the receiver (see the package
+// borrow contract).
 func (c *channel) deliver(t *TLP) {
 	l := c.link
 	// Data-link ACK back to the sender after the turnaround delay.
-	ack := &DLLP{Type: Ack, AckSeq: t.Seq}
-	l.k.After(l.cfg.AckDelay, func() { c.reverse().sendDLLP(ack) })
+	ack := l.dllps.Alloc()
+	ack.Type = Ack
+	ack.AckSeq = t.Seq
+	l.k.AfterArg(l.cfg.AckDelay, c.reverse().sendDLLPFn, ack)
 
 	// Credit return after the receiver has processed the TLP.
 	if l.cfg.FlowControl {
 		kind, need := creditsFor(t)
 		if need.Hdr > 0 {
-			upd := &DLLP{Type: UpdateFC, Kind: kind, Credit: need}
-			l.k.After(l.cfg.RxProcess+l.cfg.AckDelay, func() { c.reverse().sendDLLP(upd) })
+			upd := l.dllps.Alloc()
+			upd.Type = UpdateFC
+			upd.Kind = kind
+			upd.Credit = need
+			l.k.AfterArg(l.cfg.RxProcess+l.cfg.AckDelay, c.reverse().sendDLLPFn, upd)
 		}
 	}
 
@@ -215,22 +266,10 @@ func (c *channel) sendDLLP(d *DLLP) {
 	c.busyUntil = txDone
 	arrival := txDone + c.link.cfg.Prop
 
-	switch c.dir {
-	case Down:
-		k.At(arrival, func() {
-			for _, tap := range c.link.taps {
-				tap.ObserveDLLP(k.Now(), Down, d)
-			}
-			c.deliverDLLP(d)
-		})
-	case Up:
-		k.At(txDone, func() {
-			for _, tap := range c.link.taps {
-				tap.ObserveDLLP(k.Now(), Up, d)
-			}
-		})
-		k.At(arrival, func() { c.deliverDLLP(d) })
+	if c.dir == Up {
+		k.AtArg(txDone, c.tapDLLPFn, d)
 	}
+	k.AtArg(arrival, c.arriveDLLPFn, d)
 }
 
 // deliverDLLP applies a DLLP at the receiving side. ACKs retire the replay

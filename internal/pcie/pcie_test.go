@@ -308,3 +308,91 @@ func TestWireBytes(t *testing.T) {
 		t.Errorf("MRd WireBytes = %d", rd.WireBytes(24))
 	}
 }
+
+func TestTLPPoolReuse(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, simpleCfg())
+	tlp := l.NewTLP()
+	tlp.Type = MWr
+	tlp.SetData([]byte{1, 2, 3})
+	ref := tlp.Ref()
+	if ref.Get() != tlp {
+		t.Fatal("fresh ref does not resolve")
+	}
+	tlp.Release()
+	if ref.Get() != nil {
+		t.Error("stale ref resolved after release")
+	}
+	again := l.NewTLP()
+	if again != tlp {
+		t.Error("released slot not reused")
+	}
+	if len(again.Data) != 0 || again.Type != 0 {
+		t.Errorf("recycled TLP not reset: %+v", again)
+	}
+	if again.Ref().Get() != again {
+		t.Error("recycled TLP's new ref does not resolve")
+	}
+	if ref.Get() != nil {
+		t.Error("old-generation ref resolved against the recycled slot")
+	}
+}
+
+func TestTLPDoubleReleasePanics(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, simpleCfg())
+	tlp := l.NewTLP()
+	tlp.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	tlp.Release()
+}
+
+func TestUnpooledTLPReleaseIsNoop(t *testing.T) {
+	tlp := &TLP{Type: MWr}
+	tlp.Release() // must not panic
+	if tlp.Ref().Get() != nil {
+		t.Error("unpooled TLP ref should resolve to nil")
+	}
+}
+
+func TestSetDataCopiesAndGrowDataReuses(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, simpleCfg())
+	tlp := l.NewTLP()
+	src := []byte{1, 2, 3, 4}
+	tlp.SetData(src)
+	src[0] = 99
+	if tlp.Data[0] != 1 {
+		t.Error("SetData aliased the caller's buffer")
+	}
+	buf := tlp.GrowData(2)
+	if len(buf) != 2 {
+		t.Errorf("GrowData len = %d", len(buf))
+	}
+	tlp.Release()
+	reused := l.NewTLP()
+	if cap(reused.Data) < 4 {
+		t.Error("recycled TLP lost its payload capacity")
+	}
+}
+
+func TestPooledTLPRoundTripThroughLink(t *testing.T) {
+	// A pooled TLP delivered to a test receiver stays valid as long as the
+	// receiver (its owner) has not released it.
+	k, l, _, ep := testLink(simpleCfg())
+	_ = k
+	tlp := l.NewTLP()
+	tlp.Type = MWr
+	tlp.Addr = 42
+	tlp.SetData([]byte{9, 8})
+	k.At(0, func() { l.SendDown(tlp) })
+	k.Run()
+	if len(ep.got) != 1 || ep.got[0].Addr != 42 || !bytes.Equal(ep.got[0].Data, []byte{9, 8}) {
+		t.Fatalf("pooled TLP mangled in flight: %+v", ep.got)
+	}
+	ep.got[0].Release()
+}

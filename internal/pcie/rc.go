@@ -59,12 +59,40 @@ type RootComplex struct {
 	// onCommit, if set, observes each committed inbound write. The NIC's
 	// host-memory doorbell records do not need it; tests do.
 	onCommit func(addr uint64, n int)
+
+	// Continuations, bound once so the per-message path schedules events
+	// without allocating closures. Each carries the in-flight *TLP, which
+	// the RC owns (and must release) from delivery until the deferred
+	// work fires.
+	commitFn func(any) // commit an inbound DMA write to memory
+	mrdFn    func(any) // service an inbound DMA read from memory
+	genFn    func(any) // GenDelay'd downstream injection
 }
 
 // NewRootComplex builds an RC bound to a kernel, host memory and link. It
 // registers itself as the link's RC-side receiver.
 func NewRootComplex(k *sim.Kernel, mem *memsim.Memory, link *Link, cfg RCConfig) *RootComplex {
 	rc := &RootComplex{k: k, mem: mem, link: link, cfg: cfg}
+	rc.commitFn = func(a any) {
+		t := a.(*TLP)
+		rc.mem.Write(t.Addr, t.Data)
+		rc.Commits++
+		if rc.onCommit != nil {
+			rc.onCommit(t.Addr, len(t.Data))
+		}
+		t.Release()
+	}
+	rc.mrdFn = func(a any) {
+		t := a.(*TLP)
+		cpl := rc.link.NewTLP()
+		cpl.Type = CplD
+		cpl.Addr = t.Addr
+		cpl.Tag = t.Tag
+		rc.mem.ReadInto(t.Addr, cpl.GrowData(t.ReadLen))
+		rc.link.SendDown(cpl)
+		t.Release()
+	}
+	rc.genFn = func(a any) { rc.link.SendDown(a.(*TLP)) }
 	link.SetRCSide(rc)
 	return rc
 }
@@ -76,44 +104,36 @@ func (rc *RootComplex) Config() RCConfig { return rc.cfg }
 func (rc *RootComplex) OnCommit(fn func(addr uint64, n int)) { rc.onCommit = fn }
 
 // MMIOWrite issues a posted write from the CPU to device memory. The data is
-// copied, so callers may reuse their buffer. This is the hardware half of
-// both the 8-byte DoorBell ring and the 64-byte PIO copy (paper §2 steps 1
-// and the PIO fast path).
+// copied (into the pooled TLP's reusable buffer), so callers may reuse their
+// buffer. This is the hardware half of both the 8-byte DoorBell ring and the
+// 64-byte PIO copy (paper §2 steps 1 and the PIO fast path).
 func (rc *RootComplex) MMIOWrite(addr uint64, data []byte) {
 	if !IsBAR(addr) {
 		panic(fmt.Sprintf("pcie: MMIO write to non-BAR address %#x", addr))
 	}
-	payload := make([]byte, len(data))
-	copy(payload, data)
-	tlp := &TLP{Type: MWr, Addr: addr, Data: payload}
+	tlp := rc.link.NewTLP()
+	tlp.Type = MWr
+	tlp.Addr = addr
+	tlp.SetData(data)
 	if rc.cfg.GenDelay > 0 {
-		rc.k.After(rc.cfg.GenDelay, func() { rc.link.SendDown(tlp) })
+		rc.k.AfterArg(rc.cfg.GenDelay, rc.genFn, tlp)
 		return
 	}
 	rc.link.SendDown(tlp)
 }
 
-// RxTLP handles upstream traffic from the endpoint.
+// RxTLP handles upstream traffic from the endpoint. The RC owns the
+// delivered TLP until the deferred commit/completion continuation fires and
+// releases it.
 func (rc *RootComplex) RxTLP(t *TLP) {
 	switch t.Type {
 	case MWr:
 		// DMA write to host memory: visible to the CPU after the
 		// RC-to-MEM latency.
-		addr, data := t.Addr, t.Data
-		rc.k.After(rc.cfg.RCToMem(len(data)), func() {
-			rc.mem.Write(addr, data)
-			rc.Commits++
-			if rc.onCommit != nil {
-				rc.onCommit(addr, len(data))
-			}
-		})
+		rc.k.AfterArg(rc.cfg.RCToMem(len(t.Data)), rc.commitFn, t)
 	case MRd:
 		// DMA read: fetch from memory, then complete downstream.
-		addr, n, tag := t.Addr, t.ReadLen, t.Tag
-		rc.k.After(rc.cfg.MemReadLatency, func() {
-			data := rc.mem.Read(addr, n)
-			rc.link.SendDown(&TLP{Type: CplD, Addr: addr, Data: data, Tag: tag})
-		})
+		rc.k.AfterArg(rc.cfg.MemReadLatency, rc.mrdFn, t)
 	case CplD:
 		panic("pcie: RC received unexpected CplD (no outstanding host reads are modelled)")
 	}

@@ -8,11 +8,39 @@
 // multi-core ablation exercises) and preserves per-direction ordering, as
 // PCIe does. A passive tap interface lets internal/analyzer observe traffic
 // "just before the NIC", matching the paper's Lecroy analyzer placement.
+//
+// # Pooled packets and the borrow contract
+//
+// TLPs and DLLPs on the hot path are pooled: each Link owns a
+// generation-checked arena of value-typed slots, and the steady-state
+// simulated-message path recycles descriptors instead of allocating them.
+// The ownership rules are:
+//
+//   - The sender allocates a TLP with Link.NewTLP, fills it (payloads go in
+//     via TLP.SetData / TLP.GrowData, which copy into the slot's reusable
+//     buffer), and hands it to SendDown/SendUp. From that point the link
+//     owns the packet.
+//   - At delivery the link transfers ownership to the Receiver: RxTLP must
+//     eventually call TLP.Release — synchronously, or from a later event if
+//     the receiver needs the packet beyond delivery (the Root Complex holds
+//     an inbound MWr until its RC-to-MEM commit fires).
+//   - Taps are passive borrowers: they observe a packet in flight and must
+//     copy anything they keep (internal/analyzer copies scalar fields into
+//     its own Record). Retaining the *TLP or its Data slice past the
+//     observation call is a use-after-release bug waiting to happen.
+//   - DLLPs never leave the link layer; the link allocates and releases
+//     them itself. Taps borrow them under the same copy-what-you-keep rule.
+//
+// TLPs constructed directly (&TLP{...}, as tests do) are not pooled;
+// Release on them is a no-op and the contract above is vacuous. A stale
+// handle can be detected with TLP.Ref / TLPRef.Get, which checks the slot
+// generation recorded at allocation time.
 package pcie
 
 import (
 	"fmt"
 
+	"breakband/internal/arena"
 	"breakband/internal/units"
 )
 
@@ -52,12 +80,70 @@ type TLP struct {
 	Type TLPType
 	// Addr is the target address (bus address for MWr/MRd).
 	Addr uint64
-	// Data is the payload for MWr and CplD.
+	// Data is the payload for MWr and CplD. On pooled TLPs it aliases the
+	// slot's reusable buffer: fill it through SetData/GrowData (which
+	// copy) rather than assigning a foreign slice, or the arena would
+	// recycle memory it does not own.
 	Data []byte
 	// ReadLen is the requested byte count for MRd.
 	ReadLen int
 	// Tag matches an MRd to its CplD.
 	Tag uint8
+
+	// Slot is the pool bookkeeping (zero for TLPs constructed directly);
+	// it provides Release.
+	arena.Slot
+}
+
+// SetData copies b into the TLP's reusable payload buffer. The wire carries
+// a copy, so the caller may reuse b immediately.
+func (t *TLP) SetData(b []byte) {
+	t.Data = append(t.Data[:0], b...)
+}
+
+// GrowData resizes the payload buffer to n bytes (previous contents
+// undefined) and returns it, for read-into fills such as DMA-read
+// completions. The underlying buffer is reused across pool recycles, so
+// steady-state growth is free.
+func (t *TLP) GrowData(n int) []byte {
+	t.Data = arena.Grow(t.Data, n)
+	return t.Data
+}
+
+// TLPRef is a generation-checked handle to a pooled TLP, for holders that
+// want stale-handle detection rather than a borrowed pointer. The zero
+// TLPRef (and the Ref of an unpooled TLP) resolves to nil.
+type TLPRef = arena.Ref[TLP]
+
+// Ref returns a generation-checked handle to t.
+func (t *TLP) Ref() TLPRef { return arena.MakeRef(t, &t.Slot) }
+
+// newTLPArena builds the shared pool of value-typed TLP slots, mirroring
+// the kernel's event-slot pool (see internal/arena).
+func newTLPArena() *arena.Arena[TLP] {
+	return arena.New(
+		func(t *TLP) *arena.Slot { return &t.Slot },
+		func(t *TLP) {
+			t.Seq = 0
+			t.Type = 0
+			t.Addr = 0
+			t.ReadLen = 0
+			t.Tag = 0
+			t.Data = t.Data[:0]
+		})
+}
+
+// newDLLPArena builds the DLLP pool; DLLPs are allocated and released by
+// the link itself and never escape the link layer.
+func newDLLPArena() *arena.Arena[DLLP] {
+	return arena.New(
+		func(d *DLLP) *arena.Slot { return &d.Slot },
+		func(d *DLLP) {
+			d.Type = 0
+			d.AckSeq = 0
+			d.Kind = 0
+			d.Credit = Credits{}
+		})
 }
 
 // PayloadBytes reports the number of payload bytes carried.
@@ -135,6 +221,9 @@ type DLLP struct {
 	// Kind and Credit describe an UpdateFC return.
 	Kind   CreditKind
 	Credit Credits
+
+	// Slot is the pool bookkeeping (zero for DLLPs constructed directly).
+	arena.Slot
 }
 
 // Dir is a link direction.
@@ -158,13 +247,17 @@ func (d Dir) String() string {
 
 // Tap observes packets passing a fixed point on the link (just before the
 // endpoint). Implementations must be passive: they may record but not
-// mutate.
+// mutate — and because packets are pooled, they must copy anything they
+// keep rather than retain the packet or its Data slice.
 type Tap interface {
 	ObserveTLP(at units.Time, dir Dir, t *TLP)
 	ObserveDLLP(at units.Time, dir Dir, d *DLLP)
 }
 
-// Receiver consumes packets delivered by a link.
+// Receiver consumes packets delivered by a link. Delivery transfers
+// ownership of the (pooled) TLP to the receiver, which must call
+// TLP.Release exactly once when it is done with the packet — synchronously
+// inside RxTLP or from a later event.
 type Receiver interface {
 	RxTLP(t *TLP)
 }

@@ -41,6 +41,12 @@ func MultiPutBw(sys *node.System, cores int, opt Options) *MultiPutBwResult {
 	for c := 0; c < cores; c++ {
 		w0 := uct.NewWorker(n0, cfg)
 		w1 := uct.NewWorker(n1, cfg)
+		// Each simulated core draws its jitter from its own stream,
+		// derived from the campaign seed and the core identity (nil in
+		// NoiseOff). Sharing the node stream would entangle co-node
+		// cores' draw sequences with event scheduling order.
+		coreRand := cfg.Rand(fmt.Sprintf("node%d.core%d", n0.ID, c))
+		w0.SetRand(coreRand)
 		ep0 := w0.NewEp(opt.Mode, opt.SignalPeriod)
 		ep1 := w1.NewEp(opt.Mode, opt.SignalPeriod)
 		uct.Connect(ep0, ep1)
@@ -69,8 +75,8 @@ func MultiPutBw(sys *node.System, cores int, opt Options) *MultiPutBwResult {
 				if (i+1)%cfg.Bench.PollBatch == 0 {
 					w0.Progress(p)
 				}
-				p.Advance(cfg.SW.MeasUpdate.Sample(n0.Rand))
-				p.Advance(cfg.SW.BenchLoop.Sample(n0.Rand))
+				p.Advance(cfg.SW.MeasUpdate.Sample(coreRand))
+				p.Advance(cfg.SW.BenchLoop.Sample(coreRand))
 			}
 			if p.Now() > end {
 				end = p.Now()

@@ -38,6 +38,17 @@
 // consecutive pure-delay advances accumulate in the proc and materialize as
 // a single kernel event and goroutine handoff at the next synchronization
 // point. See proc.go for the contract.
+//
+// # Closure-free continuations
+//
+// The device models (internal/pcie, internal/fabric, internal/nic) schedule
+// one or more events per simulated message. Scheduling those through
+// After(d, func(){...}) would allocate a closure per message, so the kernel
+// also offers AtArg/AfterArg: the callback func(any) is bound once when the
+// component is constructed, and the per-event state (a pooled TLP, DLLP or
+// frame — always a pointer, so the any box itself is allocation-free) rides
+// in the arg word of the pooled event slot. Steady-state device traffic
+// therefore schedules continuations without capturing anything.
 package sim
 
 import (
@@ -51,9 +62,15 @@ type Time = units.Time
 
 // slot is one pooled event in the arena. The schedule-relevant ordering keys
 // (at, seq) live in the heap entry, not here, so heap sifting never chases
-// arena pointers.
+// arena pointers. An event carries either a plain callback (fn) or an
+// argument-taking callback plus its argument (afn, arg): the latter is the
+// closure-free form used by the device models, whose continuation functions
+// are bound once at construction time and receive the in-flight object
+// (a pooled TLP, DLLP or frame) through arg.
 type slot struct {
-	fn func()
+	fn  func()
+	afn func(any)
+	arg any
 	// gen is bumped every time the slot is recycled; EventRefs carry the
 	// generation they were issued with, so stale handles are no-ops.
 	gen uint32
@@ -88,6 +105,11 @@ type EventRef struct {
 // already-cancelled, or zero ref is a no-op: the slot generation recorded in
 // the ref no longer matches once the slot has been recycled, so a stale ref
 // can never kill an unrelated event that happens to reuse the slot.
+//
+// Cancelling an AtArg/AfterArg event drops the arg without any cleanup: the
+// kernel does not know how to dispose of it, so a caller cancelling an
+// event that carries a pooled object (a TLP, DLLP or frame) takes over
+// ownership and must Release the object through its own reference.
 func (r EventRef) Cancel() {
 	if r.k == nil {
 		return
@@ -98,6 +120,8 @@ func (r EventRef) Cancel() {
 	}
 	s.live = false
 	s.fn = nil
+	s.afn = nil
+	s.arg = nil
 	r.k.live--
 }
 
@@ -136,6 +160,36 @@ func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
 // it always indicates a causality bug in a component model.
 func (k *Kernel) At(at Time, fn func()) EventRef {
+	id, s := k.allocSlot(at)
+	s.fn = fn
+	return EventRef{k: k, id: id, gen: s.gen}
+}
+
+// After schedules fn to run d from now. Negative delays panic.
+func (k *Kernel) After(d Time, fn func()) EventRef {
+	return k.At(k.now+d, fn)
+}
+
+// AtArg schedules fn(arg) to run at absolute time at. It is the closure-free
+// scheduling form: fn is typically bound once when a component is built, and
+// arg carries the per-event object, so the steady-state path captures
+// nothing and allocates nothing. arg should be a pointer (or nil): storing a
+// non-pointer value in the slot's any field would heap-allocate the very box
+// this API exists to avoid.
+func (k *Kernel) AtArg(at Time, fn func(any), arg any) EventRef {
+	id, s := k.allocSlot(at)
+	s.afn = fn
+	s.arg = arg
+	return EventRef{k: k, id: id, gen: s.gen}
+}
+
+// AfterArg schedules fn(arg) to run d from now. See AtArg.
+func (k *Kernel) AfterArg(d Time, fn func(any), arg any) EventRef {
+	return k.AtArg(k.now+d, fn, arg)
+}
+
+// allocSlot takes a pooled slot, marks it live and queues it at time at.
+func (k *Kernel) allocSlot(at Time) (int32, *slot) {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past (now=%v at=%v)", k.now, at))
 	}
@@ -148,17 +202,11 @@ func (k *Kernel) At(at Time, fn func()) EventRef {
 		k.slots = append(k.slots, slot{})
 	}
 	s := &k.slots[id]
-	s.fn = fn
 	s.live = true
 	k.live++
 	k.push(heapEnt{at: at, seq: k.seq, id: id})
 	k.seq++
-	return EventRef{k: k, id: id, gen: s.gen}
-}
-
-// After schedules fn to run d from now. Negative delays panic.
-func (k *Kernel) After(d Time, fn func()) EventRef {
-	return k.At(k.now+d, fn)
+	return id, s
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -183,10 +231,13 @@ func (k *Kernel) RunUntil(deadline Time) uint64 {
 		s := &k.slots[e.id]
 		wasLive := s.live
 		fn := s.fn
+		afn, arg := s.afn, s.arg
 		// Recycle the slot before firing: the callback may cancel other
 		// events or schedule new ones (which may reuse this very slot
 		// under a fresh generation).
 		s.fn = nil
+		s.afn = nil
+		s.arg = nil
 		s.live = false
 		s.gen++
 		k.free = append(k.free, e.id)
@@ -200,7 +251,11 @@ func (k *Kernel) RunUntil(deadline Time) uint64 {
 		if k.limit > 0 && k.fired > k.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v (runaway simulation?)", k.limit, k.now))
 		}
-		fn()
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 	}
 	return fired
 }

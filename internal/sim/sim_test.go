@@ -578,3 +578,58 @@ func TestNegativeAdvancePanics(t *testing.T) {
 	k.Run()
 	k.Shutdown()
 }
+
+func TestAfterArg(t *testing.T) {
+	k := NewKernel()
+	type payload struct{ v int }
+	arg := &payload{v: 7}
+	var got *payload
+	var at Time
+	fn := func(a any) {
+		got = a.(*payload)
+		at = k.Now()
+	}
+	k.AfterArg(5, fn, arg)
+	k.Run()
+	if got != arg || at != 5 {
+		t.Errorf("AfterArg fired with %v at %v, want %v at 5", got, at, arg)
+	}
+}
+
+func TestAfterArgCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	ref := k.AfterArg(5, func(any) { fired = true }, nil)
+	ref.Cancel()
+	k.Run()
+	if fired {
+		t.Error("cancelled AfterArg event fired")
+	}
+	if k.Pending() != 0 {
+		t.Errorf("pending = %d after cancel", k.Pending())
+	}
+}
+
+func TestAfterArgInterleavesWithAfter(t *testing.T) {
+	// Arg-carrying and plain events share the pool and the (at, seq)
+	// order; a recycled slot must not leak one form's callback into the
+	// other.
+	k := NewKernel()
+	var order []int
+	one, two := 1, 2
+	k.After(1, func() { order = append(order, 0) })
+	k.AfterArg(1, func(a any) { order = append(order, *a.(*int)) }, &one)
+	k.Run()
+	k.After(1, func() { order = append(order, 3) }) // reuses the arg slot
+	k.AfterArg(1, func(a any) { order = append(order, *a.(*int)) }, &two)
+	k.Run()
+	want := []int{0, 1, 3, 2}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

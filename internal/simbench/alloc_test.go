@@ -1,0 +1,96 @@
+package simbench
+
+import (
+	"runtime"
+	"testing"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/perftest"
+	"breakband/internal/sim"
+)
+
+// deviceAllocBudget is the per-simulated-message allocation budget of the
+// steady-state device datapath (PIO post -> PCIe -> NIC -> fabric -> remote
+// PCIe -> CQE -> poll). The pooled TLP/DLLP/frame arenas, the closure-free
+// kernel continuations and the scratch WQE/CQE decode make the marginal
+// cost zero; the budget leaves headroom for amortized pool/trace growth.
+const deviceAllocBudget = 8.0
+
+// TestSchedulePathZeroAlloc pins the kernel schedule/fire hot path at zero
+// allocations per event, for both the plain and the arg-carrying form.
+func TestSchedulePathZeroAlloc(t *testing.T) {
+	k := sim.NewKernel()
+	fn := func() {}
+	afn := func(any) {}
+	arg := &struct{}{}
+	// Warm the slot pool and the heap.
+	for i := 0; i < 64; i++ {
+		k.After(1, fn)
+		k.AfterArg(1, afn, arg)
+	}
+	k.Run()
+	if allocs := testing.AllocsPerRun(500, func() {
+		k.After(1, fn)
+		k.Run()
+	}); allocs != 0 {
+		t.Errorf("After/Run allocates %.2f per event, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(500, func() {
+		k.AfterArg(1, afn, arg)
+		k.Run()
+	}); allocs != 0 {
+		t.Errorf("AfterArg/Run allocates %.2f per event, want 0", allocs)
+	}
+}
+
+// mallocsForPutBw runs a fresh NoiseOff put_bw of the given length and
+// reports the process-wide malloc count it consumed (setup included).
+func mallocsForPutBw(iters int) float64 {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	sys := node.NewSystem(config.TX2CX4(config.NoiseOff, 1, true), 2)
+	perftest.PutBw(sys, perftest.Options{Iters: iters, Warmup: 64})
+	sys.Shutdown()
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs - m0.Mallocs)
+}
+
+// TestDevicePathAllocBudget asserts the marginal per-message allocation
+// cost of the full device datapath. Comparing a long run against a short
+// one on identical fresh systems cancels construction and warmup, leaving
+// the steady-state per-message cost.
+func TestDevicePathAllocBudget(t *testing.T) {
+	const short, long = 256, 2048
+	a1 := mallocsForPutBw(short)
+	a2 := mallocsForPutBw(long)
+	perMsg := (a2 - a1) / float64(long-short)
+	if perMsg > deviceAllocBudget {
+		t.Errorf("device path allocates %.2f per message, budget %.0f", perMsg, deviceAllocBudget)
+	}
+	t.Logf("device path: %.3f allocs/message (budget %.0f)", perMsg, deviceAllocBudget)
+}
+
+// TestWindowedDevicePathAllocBudget applies the same budget to the windowed
+// pattern, which holds a full window of pooled descriptors in flight.
+func TestWindowedDevicePathAllocBudget(t *testing.T) {
+	run := func(iters int) float64 {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		sys := node.NewSystem(config.TX2CX4(config.NoiseOff, 1, true), 2)
+		perftest.WindowedPutBw(sys, 32, iters)
+		sys.Shutdown()
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs - m0.Mallocs)
+	}
+	const short, long = 320, 2240
+	a1 := run(short)
+	a2 := run(long)
+	perMsg := (a2 - a1) / float64(long-short)
+	if perMsg > deviceAllocBudget {
+		t.Errorf("windowed device path allocates %.2f per message, budget %.0f", perMsg, deviceAllocBudget)
+	}
+	t.Logf("windowed device path: %.3f allocs/message (budget %.0f)", perMsg, deviceAllocBudget)
+}

@@ -80,6 +80,29 @@ func PutBwEndToEnd(b *testing.B) {
 	reportEventsPerSec(b, float64(sys.K.Fired()))
 }
 
+// WindowedPutBw measures the windowed device path: post a window of RDMA
+// writes, then poll the window's completions before reusing it (the access
+// pattern behind the paper's §4.2 p >= gen_completion / LLP_post bound).
+// Compared to PutBwEndToEnd's poll-every-16 pattern it keeps the full
+// window in flight, so the pooled TLP/frame arenas see their deepest
+// steady-state working set.
+func WindowedPutBw(b *testing.B) {
+	b.ReportAllocs()
+	sys := node.NewSystem(config.TX2CX4(config.NoiseOff, 1, true), 2)
+	defer sys.Shutdown()
+	window := 32
+	if b.N < window {
+		window = b.N
+	}
+	b.ResetTimer()
+	res := perftest.WindowedPutBw(sys, window, b.N)
+	b.StopTimer()
+	if res.PerMsgNs <= 0 {
+		b.Fatalf("windowed put_bw reported %v ns/msg", res.PerMsgNs)
+	}
+	reportEventsPerSec(b, float64(sys.K.Fired()))
+}
+
 // reportEventsPerSec attaches an events/sec custom metric.
 func reportEventsPerSec(b *testing.B, events float64) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {

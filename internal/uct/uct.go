@@ -16,11 +16,13 @@ import (
 	"errors"
 	"fmt"
 
+	"breakband/internal/arena"
 	"breakband/internal/config"
 	"breakband/internal/mlx"
 	"breakband/internal/nic"
 	"breakband/internal/node"
 	"breakband/internal/profile"
+	"breakband/internal/rng"
 	"breakband/internal/sim"
 	"breakband/internal/units"
 )
@@ -92,7 +94,9 @@ var stageNames = map[Stage]string{
 func (s Stage) Name() string { return stageNames[s] }
 
 // AmHandler is an active-message receive callback, invoked during Progress
-// on the node that received the message.
+// on the node that received the message. data is borrowed from the worker's
+// reusable receive scratch and is only valid for the duration of the call:
+// handlers that keep the payload must copy it (internal/ucp does).
 type AmHandler func(p *sim.Proc, data []byte)
 
 // SendCompletion is invoked during Progress for each completed send-side
@@ -125,13 +129,34 @@ type Worker struct {
 
 	Stats Stats
 
+	// rand is the jitter stream for this worker's software costs. It
+	// defaults to the node's stream; SetRand decouples co-node workers
+	// (one per simulated core) so their draws are independent of
+	// scheduling order.
+	rand *rng.Rand
+
 	scratch [mlx.CQESize]byte
+	// cqe is the scratch completion peekCQ decodes into; its payload
+	// buffer is reused, so CQE data handed to AM handlers is only valid
+	// for the duration of the callback (copy what you keep).
+	cqe mlx.CQE
+	// recvBuf is the reusable staging buffer for payloads delivered to
+	// the receive pool (too large for CQE inline scatter).
+	recvBuf []byte
 }
 
-// NewWorker builds an LLP worker on a node.
+// NewWorker builds an LLP worker on a node. The worker draws its software
+// jitter from the node's stream; use SetRand to give co-node workers
+// independent streams.
 func NewWorker(n *node.Node, cfg *config.Config) *Worker {
-	return &Worker{Node: n, Cfg: cfg, amHandlers: make(map[uint8]AmHandler)}
+	return &Worker{Node: n, Cfg: cfg, amHandlers: make(map[uint8]AmHandler), rand: n.Rand}
 }
+
+// SetRand replaces the worker's jitter stream (nil collapses distributions
+// to their means, as in NoiseOff mode). The multi-core ablation derives one
+// stream per simulated core from the campaign seed and the core identity,
+// so co-node cores' draws decouple from event scheduling order.
+func (w *Worker) SetRand(r *rng.Rand) { w.rand = r }
 
 // SetAmHandler registers the receive callback for an active-message id.
 func (w *Worker) SetAmHandler(id uint8, h AmHandler) { w.amHandlers[id] = h }
@@ -212,7 +237,7 @@ func Connect(a, b *Ep) { nic.Connect(a.qp, b.qp) }
 func (e *Ep) PostRecvs(p *sim.Proc, n int) {
 	sw := &e.w.Cfg.SW
 	for i := 0; i < n; i++ {
-		p.Advance(sw.PostRecv.Sample(e.w.Node.Rand))
+		p.Advance(sw.PostRecv.Sample(e.w.rand))
 		// Each credit must become visible to in-flight deliveries at its
 		// own post time, not batched at the end of the loop.
 		p.Sync()
@@ -263,7 +288,7 @@ func (e *Ep) AmBcopy(p *sim.Proc, id uint8, data []byte) error {
 func (e *Ep) postGather(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, data []byte) error {
 	w := e.w
 	sw := &w.Cfg.SW
-	r := w.Node.Rand
+	r := w.rand
 
 	if len(data) > MaxBcopy {
 		return fmt.Errorf("uct: bcopy post limited to %d bytes, got %d", MaxBcopy, len(data))
@@ -285,8 +310,8 @@ func (e *Ep) postGather(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, da
 	p.Advance(units.Time(len(data)) * sw.MemcpyPerByte)
 	p.Sync()
 	w.Node.Mem.Write(e.staging, data)
-	// Build and store the gather descriptor.
-	wqe := &mlx.WQE{
+	// Build and store the gather descriptor (a stack value; see post).
+	wqe := mlx.WQE{
 		Opcode:     op,
 		Signaled:   e.nextSignaled(),
 		Inline:     false,
@@ -327,7 +352,7 @@ func (e *Ep) postGather(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, da
 func (e *Ep) post(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, data []byte) error {
 	w := e.w
 	sw := &w.Cfg.SW
-	r := w.Node.Rand
+	r := w.rand
 
 	if len(data) > mlx.InlineMax {
 		return fmt.Errorf("uct: short post limited to %d bytes, got %d", mlx.InlineMax, len(data))
@@ -350,9 +375,11 @@ func (e *Ep) post(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, data []b
 	p.Advance(sw.LLPPostEntry.Sample(r))
 
 	// (1) Prepare the message descriptor (memcpy of the inline payload).
+	// The WQE is a stack value: Encode copies everything into the 64-byte
+	// descriptor, so the steady-state post allocates nothing.
 	stTok := w.stageBegin(p, StMDSetup)
 	signaled := e.nextSignaled()
-	wqe := &mlx.WQE{
+	wqe := mlx.WQE{
 		Opcode:     op,
 		Signaled:   signaled,
 		Inline:     true,
@@ -450,7 +477,7 @@ func (e *Ep) nextSignaled() bool {
 // unsignaled completions) or 0 for an empty poll.
 func (w *Worker) Progress(p *sim.Proc) int {
 	sw := &w.Cfg.SW
-	r := w.Node.Rand
+	r := w.rand
 	w.Stats.Progresses++
 
 	var tok profTok
@@ -498,10 +525,13 @@ func (w *Worker) Progress(p *sim.Proc) int {
 			data := cqe.Payload
 			if int(cqe.ByteCnt) > mlx.ScatterMax {
 				// Large payload: it was DMA-written to the pool
-				// slot, not scattered into the CQE.
+				// slot, not scattered into the CQE. Read it into
+				// the worker's reusable staging buffer.
 				p.Advance(units.Time(cqe.ByteCnt) * sw.MemcpyPerByte)
 				p.Sync()
-				data = w.Node.Mem.Read(bufAddr, int(cqe.ByteCnt))
+				w.recvBuf = arena.Grow(w.recvBuf, int(cqe.ByteCnt))
+				w.Node.Mem.ReadInto(bufAddr, w.recvBuf)
+				data = w.recvBuf
 			}
 			// Dispatch the active-message handler (inside progress,
 			// as UCX does); the profiled scope includes it, like the
@@ -533,7 +563,7 @@ func (w *Worker) Progress(p *sim.Proc) int {
 // replenish reposts all owed receive credits.
 func (e *Ep) replenish(p *sim.Proc) {
 	for ; e.owedRecvCredits > 0; e.owedRecvCredits-- {
-		p.Advance(e.w.Cfg.SW.PostRecv.Sample(e.w.Node.Rand))
+		p.Advance(e.w.Cfg.SW.PostRecv.Sample(e.w.rand))
 		// Visibility: each credit is posted at its own time (see
 		// PostRecvs).
 		p.Sync()
@@ -544,18 +574,18 @@ func (e *Ep) replenish(p *sim.Proc) {
 // peekCQ reads the CQ slot for consumer counter ci and returns the decoded
 // CQE if its generation marks it valid. It synchronizes the proc first: the
 // read must observe every completion DMA-written up to the proc's current
-// virtual time.
+// virtual time. The returned CQE is the worker's scratch: it (and its
+// payload) is only valid until the next peek.
 func (e *Ep) peekCQ(p *sim.Proc, ring mlx.Ring, ci uint16) *mlx.CQE {
 	p.Sync()
 	e.w.Node.Mem.ReadInto(ring.EntryAddr(ci), e.w.scratch[:])
 	if e.w.scratch[mlx.CQESize-1] != ring.Gen(ci) {
 		return nil
 	}
-	cqe, err := mlx.DecodeCQE(e.w.scratch[:])
-	if err != nil {
+	if err := e.w.cqe.DecodeFrom(e.w.scratch[:]); err != nil {
 		panic(fmt.Sprintf("uct: corrupt CQE at ci=%d: %v", ci, err))
 	}
-	return cqe
+	return &e.w.cqe
 }
 
 // --- profiling helpers ---

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 
+	"breakband/internal/arena"
 	"breakband/internal/config"
 	"breakband/internal/mlx"
 	"breakband/internal/node"
@@ -103,6 +104,9 @@ type QP struct {
 	wrids   map[uint16]uint64
 	recvWRs []RecvWR
 	scratch [mlx.CQESize]byte
+	// cqe is the scratch completion the poll paths decode into; its
+	// payload is copied into the destination WC before the next decode.
+	cqe mlx.CQE
 }
 
 // nicQP aliases the device queue pair (kept small to avoid leaking device
@@ -135,7 +139,9 @@ func (q *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 	}
 
 	p.Advance(sw.LLPPostEntry.Sample(r))
-	wqe := &mlx.WQE{
+	// The WQE is a stack value: Encode copies everything into the 64-byte
+	// descriptor, so the post path allocates nothing.
+	wqe := mlx.WQE{
 		Signaled:   wr.Flags&SendSignaled != 0,
 		WQEIdx:     q.pi,
 		QPN:        q.qp.QPN,
@@ -222,22 +228,29 @@ func (q *QP) PollSendCQ(p *sim.Proc, wcs []WC) int {
 			break
 		}
 		p.Advance(sw.LLPProgCQERead.Sample(r))
-		cqe, err := mlx.DecodeCQE(q.scratch[:])
-		if err != nil {
+		cqe := &q.cqe
+		if err := cqe.DecodeFrom(q.scratch[:]); err != nil {
 			panic(fmt.Sprintf("verbs: corrupt CQE: %v", err))
 		}
 		q.sendCI++
 		q.completed = cqe.WQECounter + 1
 		wrid := q.wrids[cqe.WQECounter]
 		delete(q.wrids, cqe.WQECounter)
-		wcs[n] = WC{WRID: wrid, Status: WCSuccess, Opcode: WROpRDMAWrite}
+		// Keep the slot's reusable Data buffer (send completions carry no
+		// payload, but a caller sharing one wcs slice between send and
+		// recv polls must not lose the recv path's buffer).
+		wcs[n] = WC{WRID: wrid, Status: WCSuccess, Opcode: WROpRDMAWrite, Data: wcs[n].Data[:0]}
 		n++
 		p.Advance(sw.LLPProgMisc.Sample(r))
 	}
 	return n
 }
 
-// PollRecvCQ polls up to len(wcs) receive completions.
+// PollRecvCQ polls up to len(wcs) receive completions. Each WC.Data is an
+// independent payload: inline scatters are copied into the WC slot's own
+// reusable buffer (so a caller that re-polls with the same wcs slice pays
+// no steady-state allocations, and a batched poll never aliases payloads),
+// and remains valid until that slot is reused by a later poll.
 func (q *QP) PollRecvCQ(p *sim.Proc, wcs []WC) int {
 	sw := &q.ctx.Cfg.SW
 	r := q.ctx.Node.Rand
@@ -251,8 +264,8 @@ func (q *QP) PollRecvCQ(p *sim.Proc, wcs []WC) int {
 			break
 		}
 		p.Advance(sw.LLPProgCQERead.Sample(r))
-		cqe, err := mlx.DecodeCQE(q.scratch[:])
-		if err != nil {
+		cqe := &q.cqe
+		if err := cqe.DecodeFrom(q.scratch[:]); err != nil {
 			panic(fmt.Sprintf("verbs: corrupt CQE: %v", err))
 		}
 		q.recvCI++
@@ -261,11 +274,19 @@ func (q *QP) PollRecvCQ(p *sim.Proc, wcs []WC) int {
 		}
 		wr := q.recvWRs[0]
 		q.recvWRs = q.recvWRs[1:]
-		data := cqe.Payload
+		data := wcs[n].Data
 		if int(cqe.ByteCnt) > mlx.ScatterMax {
+			// Large payload: it was DMA-written to the posted buffer.
+			// Read it into this WC's own reusable buffer.
 			p.Advance(units.Time(cqe.ByteCnt) * sw.MemcpyPerByte)
 			p.Sync()
-			data = q.ctx.Node.Mem.Read(wr.SGE.Addr, int(cqe.ByteCnt))
+			data = arena.Grow(data, int(cqe.ByteCnt))
+			q.ctx.Node.Mem.ReadInto(wr.SGE.Addr, data)
+		} else {
+			// Copy the inline scatter out of the scratch CQE into this
+			// WC's own buffer: the scratch is overwritten by the next
+			// decode, possibly within this very call.
+			data = append(data[:0], cqe.Payload...)
 		}
 		wcs[n] = WC{WRID: wr.WRID, Status: WCSuccess, Opcode: WROpSend, ByteLen: cqe.ByteCnt, Data: data}
 		n++

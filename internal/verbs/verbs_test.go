@@ -210,3 +210,41 @@ func TestBadOpcode(t *testing.T) {
 	})
 	sys.Run()
 }
+
+func TestBatchedRecvPollPayloadsIndependent(t *testing.T) {
+	// Two inline completions drained by a single PollRecvCQ call must
+	// return independent payloads: the scratch CQE is reused between
+	// decodes, so each WC must carry its own copy.
+	sys, q0, q1 := harness(t)
+	defer sys.Shutdown()
+	rxBuf := sys.Nodes[1].Mem.Alloc("rx", 4096, 64)
+	var first, second []byte
+	sys.K.Spawn("rx", func(p *sim.Proc) {
+		q1.PostRecv(p, &RecvWR{WRID: 1, SGE: SGE{Addr: rxBuf.Base, Length: 4096}})
+		q1.PostRecv(p, &RecvWR{WRID: 2, SGE: SGE{Addr: rxBuf.Base, Length: 4096}})
+		// Wait until both sends have certainly landed, then drain both
+		// completions in one call.
+		p.Sleep(100 * units.Microsecond)
+		wcs := make([]WC, 2)
+		if n := q1.PollRecvCQ(p, wcs); n != 2 {
+			t.Errorf("drained %d completions in one poll, want 2", n)
+			return
+		}
+		first, second = wcs[0].Data, wcs[1].Data
+	})
+	sys.K.Spawn("tx", func(p *sim.Proc) {
+		p.Sleep(units.Microsecond)
+		for i, payload := range [][]byte{{1, 1, 1}, {2, 2, 2}} {
+			if err := q0.PostSend(p, &SendWR{
+				WRID: uint64(i), Opcode: WROpSend,
+				Flags: SendSignaled | SendInline, InlineData: payload,
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	sys.Run()
+	if !bytes.Equal(first, []byte{1, 1, 1}) || !bytes.Equal(second, []byte{2, 2, 2}) {
+		t.Errorf("batched poll aliased payloads: first=%v second=%v", first, second)
+	}
+}
