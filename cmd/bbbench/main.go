@@ -61,6 +61,7 @@ func main() {
 		{"SleepHandoff", simbench.SleepHandoff},
 		{"PutBwEndToEnd", simbench.PutBwEndToEnd},
 		{"WindowedPutBw", simbench.WindowedPutBw},
+		{"IncastPutBw", simbench.IncastPutBw},
 	}
 
 	rep := report{

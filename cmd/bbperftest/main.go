@@ -1,10 +1,11 @@
 // Command bbperftest mimics ucx_perftest for the simulated system: the
 // put_bw injection-rate test and the am_lat ping-pong latency test the paper
-// drives its §4 analysis with.
+// drives its §4 analysis with, plus the N-node congestion scenarios opened
+// by the internal/topo topology layer.
 //
 // Usage:
 //
-//	bbperftest [flags] put_bw|am_lat|multi|sweep
+//	bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall
 //
 // Examples:
 //
@@ -15,6 +16,11 @@
 //	bbperftest -cores 64 sweep        # multi-core scaling sweep, one fresh
 //	                                  # system per point, points fanned out
 //	                                  # on the -parallel worker pool
+//	bbperftest -nodes 5 -size 4096 incast
+//	                                  # 4 senders funnel into node 0 over
+//	                                  # one shared switch port
+//	bbperftest -topology fattree -nodes 8 alltoall
+//	                                  # uniform matrix over a 2-tier Clos
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"breakband/internal/config"
 	"breakband/internal/node"
 	"breakband/internal/perftest"
+	"breakband/internal/topo"
 	"breakband/internal/uct"
 )
 
@@ -38,12 +45,16 @@ var (
 	flagDirect   = flag.Bool("direct", false, "no switch between the NICs")
 	flagCores    = flag.Int("cores", 4, "injecting cores for the multi test (sweep: largest core count)")
 	flagParallel = flag.Int("parallel", 0, "sweep worker pool (0 = GOMAXPROCS, 1 = serial)")
+	flagTopology = flag.String("topology", "auto", "fabric shape: auto, backtoback, switch, fattree")
+	flagNodes    = flag.Int("nodes", 0, "system size (0 = 2 nodes, or 5 for incast / 8 for alltoall)")
+	flagRadix    = flag.Int("radix", 0, "fat-tree switch radix (0 = smallest that fits)")
+	flagCredits  = flag.Int("credits", 0, "per-link credit budget in frames (0 = default)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi|sweep")
+		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -63,12 +74,36 @@ func main() {
 	if *flagNoise {
 		noise = config.NoiseOn
 	}
+	kind, err := topo.ParseKind(*flagTopology)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbperftest:", err)
+		os.Exit(2)
+	}
+	test := flag.Arg(0)
+	nodes := *flagNodes
+	if nodes == 0 {
+		switch test {
+		case "incast":
+			nodes = 5
+		case "alltoall":
+			nodes = 8
+		default:
+			nodes = 2
+		}
+	}
+	spec := topo.Spec{Kind: kind, Radix: *flagRadix, Credits: *flagCredits}
+	if err := spec.Validate(config.TX2CX4(noise, *flagSeed, !*flagDirect).Fabric, nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "bbperftest:", err)
+		os.Exit(2)
+	}
 	mkSys := func() *node.System {
-		return node.NewSystem(config.TX2CX4(noise, *flagSeed, !*flagDirect), 2)
+		cfg := config.TX2CX4(noise, *flagSeed, !*flagDirect)
+		cfg.Topology = spec
+		return node.NewSystem(cfg, nodes)
 	}
 	opt := perftest.Options{Iters: *flagIters, Warmup: *flagWarmup, MsgSize: *flagSize, Mode: mode}
 
-	switch flag.Arg(0) {
+	switch test {
 	case "put_bw":
 		sys := mkSys()
 		defer sys.Shutdown()
@@ -98,8 +133,27 @@ func main() {
 		for _, res := range perftest.MultiCoreSweep(mkSys, coreCounts, opt, *flagParallel) {
 			fmt.Println(res)
 		}
+	case "incast":
+		sys := mkSys()
+		defer sys.Shutdown()
+		res := perftest.IncastPutBw(sys, 0, opt)
+		fmt.Println(res)
+		printHotPorts(sys)
+	case "alltoall":
+		sys := mkSys()
+		defer sys.Shutdown()
+		res := perftest.AllToAllPutBw(sys, opt)
+		fmt.Println(res)
+		printHotPorts(sys)
 	default:
-		fmt.Fprintf(os.Stderr, "bbperftest: unknown test %q\n", flag.Arg(0))
+		fmt.Fprintf(os.Stderr, "bbperftest: unknown test %q\n", test)
 		os.Exit(2)
 	}
+}
+
+// printHotPorts lists the congested egress ports of the run.
+func printHotPorts(sys *node.System) {
+	fab := sys.Topo()
+	fmt.Printf("topology %v:\n", fab.Spec())
+	fmt.Print(fab.FormatHotPorts())
 }

@@ -12,8 +12,10 @@ import (
 
 	"breakband/internal/config"
 	"breakband/internal/measure"
+	"breakband/internal/node"
 	"breakband/internal/perftest"
 	"breakband/internal/stats"
+	"breakband/internal/topo"
 )
 
 // TestGoldenKernelOutputs pins the simulation's outputs, bit for bit, at a
@@ -30,6 +32,12 @@ import (
 // campaign seed and the core identity (so co-node cores' draws no longer
 // depend on event scheduling order), which deliberately changes the NoiseOn
 // multi-core draw sequences. Every other entry is pre-rewrite bit-identical.
+//
+// The incast_* and alltoall_* entries pin the N-node congestion scenarios
+// added with the internal/topo layer (PR 4); the pre-existing two-node
+// entries were untouched by that change — the two-endpoint path routes
+// through topo's calibrated ideal tier, which reproduces fabric.Network
+// exactly.
 //
 // Refresh (only for intentional semantic changes, never to paper over a
 // kernel regression): GOLDEN_UPDATE=1 go test -run TestGoldenKernelOutputs .
@@ -124,6 +132,26 @@ func kernelFingerprint() map[string]string {
 		if nc.noise {
 			noise = config.NoiseOn
 		}
+
+		// N-node congestion scenarios over the internal/topo layer:
+		// 4-sender incast across one shared single-switch port, and
+		// the uniform all-to-all matrix over a radix-4 fat-tree.
+		icfg := config.TX2CX4(noise, 7, true)
+		icfg.Topology = topo.Spec{Kind: topo.SingleSwitch}
+		isys := node.NewSystem(icfg, 5)
+		ir := perftest.IncastPutBw(isys, 4, perftest.Options{Iters: 150, Warmup: 60, MsgSize: 4096})
+		isys.Shutdown()
+		fp["incast_"+nc.name] = fmt.Sprintf("persender=%s queue=%d stalls=%d msgs=%d",
+			g(ir.PerSenderMsgRate), ir.MaxSwitchQueue, ir.CreditStalls, ir.Messages)
+
+		acfg := config.TX2CX4(noise, 7, true)
+		acfg.Topology = topo.Spec{Kind: topo.FatTree}
+		asys := node.NewSystem(acfg, 8)
+		ar := perftest.AllToAllPutBw(asys, perftest.Options{Iters: 40, Warmup: 10, MsgSize: 1024})
+		asys.Shutdown()
+		fp["alltoall_"+nc.name] = fmt.Sprintf("agg=%s queue=%d stalls=%d msgs=%d",
+			g(ar.AggMsgRate), ar.MaxSwitchQueue, ar.CreditStalls, ar.Messages)
+
 		mk := func() *config.Config { return config.TX2CX4(noise, 7, true) }
 		res := measure.Run(mk, measure.Opts{Samples: 100, Windows: 4, Parallelism: 2})
 		fp["campaign_components_"+nc.name] = structFloats(res.Components)

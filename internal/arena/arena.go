@@ -44,12 +44,19 @@ func (s *Slot) Release() {
 
 // Arena is a pool of value-typed T slots. Construct with New.
 type Arena[T any] struct {
-	chunks [][]T
-	used   int32
-	free   []int32
-	slot   func(*T) *Slot
-	reset  func(*T)
+	chunks    [][]T
+	used      int32
+	free      []int32
+	slot      func(*T) *Slot
+	reset     func(*T)
+	onRelease func(*T)
 }
+
+// SetOnRelease registers fn to run when an object is released, just before
+// its slot recycles (the object's fields are still intact). Delivery
+// layers use it to tie resource accounting — e.g. link buffer credits —
+// to the borrow contract's ownership hand-back.
+func (a *Arena[T]) SetOnRelease(fn func(*T)) { a.onRelease = fn }
 
 // New builds an arena for T. slot returns the embedded Slot of an object;
 // reset clears an object's payload fields before reuse (reusable buffer
@@ -63,6 +70,9 @@ func (a *Arena[T]) get(id int32) *T {
 }
 
 func (a *Arena[T]) recycle(id int32) {
+	if a.onRelease != nil {
+		a.onRelease(a.get(id))
+	}
 	a.free = append(a.free, id)
 }
 
@@ -89,6 +99,12 @@ func (a *Arena[T]) Alloc() *T {
 	s.live = true
 	return t
 }
+
+// InUse reports the number of live slots: allocated and not yet released.
+// Pool-owning components expose it so tests can assert that every borrowed
+// object was returned (a leak check that turns silent pool growth into a
+// test failure).
+func (a *Arena[T]) InUse() int { return int(a.used) - len(a.free) }
 
 // Grow returns buf resized to n bytes (previous contents undefined),
 // reusing its capacity when possible — the reusable-buffer idiom the pooled

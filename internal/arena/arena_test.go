@@ -99,3 +99,50 @@ func TestAllocIsAllocFreeOnReuse(t *testing.T) {
 		t.Errorf("steady-state alloc/release allocates %.2f per op, want 0", allocs)
 	}
 }
+
+func TestInUse(t *testing.T) {
+	a := newThingArena()
+	if a.InUse() != 0 {
+		t.Fatalf("fresh arena reports %d in use", a.InUse())
+	}
+	x, y := a.Alloc(), a.Alloc()
+	if a.InUse() != 2 {
+		t.Errorf("2 live slots, InUse() = %d", a.InUse())
+	}
+	x.Release()
+	if a.InUse() != 1 {
+		t.Errorf("1 live slot, InUse() = %d", a.InUse())
+	}
+	y.Release()
+	if a.InUse() != 0 {
+		t.Errorf("all released, InUse() = %d", a.InUse())
+	}
+	// Reuse keeps the count exact.
+	a.Alloc()
+	if a.InUse() != 1 {
+		t.Errorf("after reuse, InUse() = %d", a.InUse())
+	}
+}
+
+func TestOnReleaseHook(t *testing.T) {
+	a := newThingArena()
+	var seen []*thing
+	a.SetOnRelease(func(x *thing) { seen = append(seen, x) })
+	x := a.Alloc()
+	x.v = 7
+	if len(seen) != 0 {
+		t.Fatal("hook ran before release")
+	}
+	x.Release()
+	if len(seen) != 1 || seen[0] != x {
+		t.Fatalf("hook saw %v, want the released object", seen)
+	}
+	if seen[0].v != 7 {
+		t.Error("hook should observe the object's fields before reset")
+	}
+	// Unpooled objects never enter the arena, so the hook stays silent.
+	(&thing{}).Release()
+	if len(seen) != 1 {
+		t.Error("hook ran for an unpooled object")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"breakband/internal/nic"
 	"breakband/internal/pcie"
 	"breakband/internal/rng"
+	"breakband/internal/topo"
 	"breakband/internal/units"
 )
 
@@ -205,6 +206,13 @@ type Config struct {
 	RC     pcie.RCConfig
 	Fabric fabric.Config
 	NIC    nic.Config
+
+	// Topology selects the compiled fabric shape for N-node systems (see
+	// internal/topo). The zero Spec is Auto: two nodes reproduce the
+	// paper's calibrated two-endpoint path exactly (back-to-back or
+	// single switch per Fabric.UseSwitch); more nodes share a single
+	// switch with contended ports.
+	Topology topo.Spec
 
 	// MemBytes is each node's host memory size.
 	MemBytes uint64

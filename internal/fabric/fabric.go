@@ -26,6 +26,15 @@
 // Frames carry their transport operation inline (TxOp / AckInfo value
 // fields) rather than as boxed interface payloads, so a frame never drags
 // heap allocations behind it.
+//
+// # Delivery implementations
+//
+// NICs drive the fabric through the Deliverer interface. Network is the
+// paper's calibrated two-endpoint model (one wire, at most one ideal
+// switch); internal/topo provides the multi-switch implementation with
+// routing, per-output-port queueing and credit flow control for N-node
+// congestion scenarios. Both honour the same frame pool and borrow
+// contract.
 package fabric
 
 import (
@@ -92,6 +101,12 @@ type Frame struct {
 	// SetPayload.
 	payload []byte
 
+	// HopRef is delivery-implementation bookkeeping: internal/topo
+	// records the final-hop link (index+1; 0 = none) whose buffer credit
+	// a delivered frame occupies, returning the credit when the receiver
+	// releases the frame. Senders and receivers never touch it.
+	HopRef int32
+
 	// Slot is the pool bookkeeping (zero for frames constructed
 	// directly); it provides Release.
 	arena.Slot
@@ -113,9 +128,10 @@ type FrameRef = arena.Ref[Frame]
 // Ref returns a generation-checked handle to f.
 func (f *Frame) Ref() FrameRef { return arena.MakeRef(f, &f.Slot) }
 
-// newFrameArena builds the pool of value-typed frame slots (see
-// internal/arena).
-func newFrameArena() *arena.Arena[Frame] {
+// NewFrameArena builds a pool of value-typed frame slots (see
+// internal/arena). Delivery implementations (Network here, the topology
+// fabric in internal/topo) each own one.
+func NewFrameArena() *arena.Arena[Frame] {
 	return arena.New(
 		func(f *Frame) *arena.Slot { return &f.Slot },
 		func(f *Frame) {
@@ -125,6 +141,7 @@ func newFrameArena() *arena.Arena[Frame] {
 			f.Op = TxOp{}
 			f.Ack = AckInfo{}
 			f.Bytes = 0
+			f.HopRef = 0
 			f.payload = f.payload[:0]
 		})
 }
@@ -168,6 +185,48 @@ func DefaultConfig() Config {
 	}
 }
 
+// SerTime reports the wire serialization time of a frame carrying b payload
+// bytes (header overhead included). It is the single source of the
+// serialization arithmetic shared by Send, OneWay and the internal/topo
+// switch ports, so the model and its calibration view cannot drift.
+func (c Config) SerTime(b int) units.Time {
+	return units.Time(b+c.FrameOverhead) * c.WirePerByte
+}
+
+// FlightTime reports the post-serialization flight time of the calibrated
+// two-endpoint path: the total cable propagation plus, when configured, the
+// ideal switch's forwarding latency.
+func (c Config) FlightTime() units.Time {
+	d := c.WireProp
+	if c.UseSwitch {
+		d += c.SwitchLatency
+	}
+	return d
+}
+
+// Deliverer is the delivery interface NICs drive: frame allocation from the
+// shared pool, transmission towards an attached port, and the transport-ACK
+// helpers. Network implements the paper's calibrated two-endpoint model;
+// internal/topo implements multi-switch topologies with port contention.
+type Deliverer interface {
+	// Attach registers port under NIC id (panics on duplicates).
+	Attach(id int, p Port)
+	// NewFrame allocates a pooled frame owned by the caller until Send.
+	NewFrame() *Frame
+	// Send transmits f from its Src towards its Dst.
+	Send(f *Frame)
+	// AckFor allocates the transport ACK answering the Data frame f.
+	AckFor(f *Frame, info AckInfo) *Frame
+	// SendAck transmits a previously built ACK after the configured
+	// turnaround delay.
+	SendAck(ack *Frame)
+	// Config reports the wire/switch parameter set.
+	Config() Config
+	// InUseFrames reports live frame-pool slots (0 once every in-flight
+	// frame has been delivered and released — the leak check).
+	InUseFrames() int
+}
+
 // Network connects NIC ports. With a switch, each endpoint has its own cable
 // to the switch; the modelled WireProp is the *total* cable flight time
 // end-to-end (the paper's Wire), so each of the two hops contributes half.
@@ -189,13 +248,15 @@ type Network struct {
 	sendFn    func(any)
 }
 
+var _ Deliverer = (*Network)(nil)
+
 // New builds an empty network.
 func New(k *sim.Kernel, cfg Config) *Network {
 	n := &Network{
 		k:      k,
 		cfg:    cfg,
 		ports:  make(map[int]Port),
-		frames: newFrameArena(),
+		frames: NewFrameArena(),
 	}
 	n.deliverFn = func(a any) {
 		f := a.(*Frame)
@@ -225,15 +286,16 @@ func (n *Network) Attach(id int, p Port) {
 // capacity retained.
 func (n *Network) NewFrame() *Frame { return n.frames.Alloc() }
 
+// InUseFrames reports live frame-pool slots, the pool-leak check: it must
+// return to zero once every in-flight frame has been delivered and released.
+func (n *Network) InUseFrames() int { return n.frames.InUse() }
+
 // OneWay reports the modelled one-way latency for a frame of b payload
 // bytes, including switch forwarding when configured. Exposed for tests and
-// calibration solvers.
+// calibration solvers. It is Send's arrival arithmetic (SerTime +
+// FlightTime) applied to an idle egress.
 func (n *Network) OneWay(b int) units.Time {
-	d := n.cfg.WireProp + units.Time(b+n.cfg.FrameOverhead)*n.cfg.WirePerByte
-	if n.cfg.UseSwitch {
-		d += n.cfg.SwitchLatency
-	}
-	return d
+	return n.cfg.SerTime(b) + n.cfg.FlightTime()
 }
 
 // Send transmits f from its Src towards its Dst.
@@ -244,15 +306,12 @@ func (n *Network) Send(f *Frame) {
 	if f.Src < 0 || f.Src >= len(n.busyUntil) {
 		panic(fmt.Sprintf("fabric: frame from unattached source port %d", f.Src))
 	}
-	// Egress serialization at the source NIC.
+	// Egress serialization at the source NIC, then the shared one-way
+	// flight arithmetic (the same terms OneWay reports).
 	start := units.Max(n.k.Now(), n.busyUntil[f.Src])
-	txDone := start + units.Time(f.Bytes+n.cfg.FrameOverhead)*n.cfg.WirePerByte
+	txDone := start + n.cfg.SerTime(f.Bytes)
 	n.busyUntil[f.Src] = txDone
-	arrival := txDone + n.cfg.WireProp
-	if n.cfg.UseSwitch {
-		arrival += n.cfg.SwitchLatency
-	}
-	n.k.AtArg(arrival, n.deliverFn, f)
+	n.k.AtArg(txDone+n.cfg.FlightTime(), n.deliverFn, f)
 }
 
 // AckFor allocates the transport-level acknowledgement frame answering the

@@ -148,6 +148,54 @@ func TestDuplicateAttachPanics(t *testing.T) {
 	n.Attach(0, &port{k: k})
 }
 
+func TestSparseOutOfOrderAttach(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, cfgDirect())
+	// Ids may be sparse and attached in any order; busyUntil must cover
+	// the largest id.
+	ports := map[int]*port{}
+	for _, id := range []int{5, 0, 3} {
+		p := &port{k: k, net: n}
+		ports[id] = p
+		n.Attach(id, p)
+	}
+	k.At(0, func() {
+		n.Send(&Frame{Kind: Data, Src: 5, Dst: 0, Bytes: 8})
+		n.Send(&Frame{Kind: Data, Src: 0, Dst: 3, Bytes: 8})
+	})
+	k.Run()
+	if len(ports[0].got) != 1 || len(ports[3].got) != 1 {
+		t.Errorf("sparse-order attach broke delivery: %d, %d deliveries",
+			len(ports[0].got), len(ports[3].got))
+	}
+}
+
+func TestSendFromUnattachedSourcePanics(t *testing.T) {
+	k, n, _, _ := build(cfgDirect())
+	defer func() {
+		if recover() == nil {
+			t.Error("send from unattached source did not panic")
+		}
+	}()
+	k.At(0, func() { n.Send(&Frame{Kind: Data, Src: 9, Dst: 1}) })
+	k.Run()
+}
+
+// TestOneWayMatchesSend pins the satellite dedup: Send's arrival time on an
+// idle egress must be exactly OneWay (both are SerTime + FlightTime).
+func TestOneWayMatchesSend(t *testing.T) {
+	for _, useSwitch := range []bool{false, true} {
+		cfg := cfgDirect()
+		cfg.UseSwitch = useSwitch
+		k, n, _, b := build(cfg)
+		k.At(0, func() { n.Send(&Frame{Kind: Data, Src: 0, Dst: 1, Bytes: 8}) })
+		k.Run()
+		if b.at[0] != n.OneWay(8) {
+			t.Errorf("useSwitch=%v: Send arrived at %v, OneWay reports %v", useSwitch, b.at[0], n.OneWay(8))
+		}
+	}
+}
+
 func TestFrameKindString(t *testing.T) {
 	if Data.String() != "data" || TransportAck.String() != "ack" {
 		t.Error("frame kind strings")

@@ -144,7 +144,7 @@ type NIC struct {
 	id   int
 	mem  *memsim.Memory
 	link *pcie.Link
-	net  *fabric.Network
+	net  fabric.Deliverer
 	cfg  Config
 
 	qps     map[uint32]*QP
@@ -176,8 +176,9 @@ var (
 )
 
 // New creates a NIC with the given fabric identity, attaching it to the PCIe
-// link's endpoint side and to the network.
-func New(k *sim.Kernel, id int, mem *memsim.Memory, link *pcie.Link, net *fabric.Network, cfg Config) *NIC {
+// link's endpoint side and to the network (any fabric.Deliverer: the
+// two-endpoint fabric.Network or a compiled internal/topo topology).
+func New(k *sim.Kernel, id int, mem *memsim.Memory, link *pcie.Link, net fabric.Deliverer, cfg Config) *NIC {
 	if cfg.BARStride == 0 {
 		cfg.BARStride = 0x1000
 	}

@@ -1,8 +1,10 @@
 // Package node composes the hardware substrates into complete nodes and
-// two-(or more-)node systems: per node a host memory, a PCIe link with its
-// Root Complex and NIC endpoint, a passive PCIe analyzer tap (the paper's
+// N-node systems: per node a host memory, a PCIe link with its Root
+// Complex and NIC endpoint, a passive PCIe analyzer tap (the paper's
 // Figure 3 places one before node 1's NIC; we give every node one), a
-// virtual timer and a profiler; plus the shared network fabric.
+// virtual timer and a profiler; plus the shared network fabric — a
+// compiled internal/topo topology selected by Config.Topology (two nodes
+// default to the paper's calibrated two-endpoint path, bit for bit).
 package node
 
 import (
@@ -17,6 +19,7 @@ import (
 	"breakband/internal/profile"
 	"breakband/internal/rng"
 	"breakband/internal/sim"
+	"breakband/internal/topo"
 	"breakband/internal/vtimer"
 )
 
@@ -37,27 +40,34 @@ type Node struct {
 // System is a set of nodes on a common fabric, driven by one simulation
 // kernel.
 type System struct {
-	K     *sim.Kernel
-	Cfg   *config.Config
-	Net   *fabric.Network
+	K   *sim.Kernel
+	Cfg *config.Config
+	// Net is the delivery fabric — a compiled topo.Fabric (type-assert to
+	// *topo.Fabric for port/queue statistics).
+	Net   fabric.Deliverer
 	Nodes []*Node
 }
 
-// NewSystem builds n nodes per cfg. Node 0 plays the paper's "node 1"
-// initiator role in the benchmarks.
+// NewSystem builds n nodes per cfg, wired through the topology
+// cfg.Topology compiles to. Node 0 plays the paper's "node 1" initiator
+// role in the two-node benchmarks (and the incast receiver in the
+// contention scenarios).
 func NewSystem(cfg *config.Config, n int) *System {
 	if n < 2 {
 		panic("node: a system needs at least two nodes")
 	}
 	k := sim.NewKernel()
-	sys := &System{K: k, Cfg: cfg, Net: fabric.New(k, cfg.Fabric)}
+	sys := &System{K: k, Cfg: cfg, Net: topo.NewFabric(k, cfg.Fabric, cfg.Topology, n)}
 	for i := 0; i < n; i++ {
 		sys.Nodes = append(sys.Nodes, newNode(k, sys.Net, cfg, i))
 	}
 	return sys
 }
 
-func newNode(k *sim.Kernel, net *fabric.Network, cfg *config.Config, id int) *Node {
+// Topo reports the system's compiled topology fabric.
+func (s *System) Topo() *topo.Fabric { return s.Net.(*topo.Fabric) }
+
+func newNode(k *sim.Kernel, net fabric.Deliverer, cfg *config.Config, id int) *Node {
 	mem := memsim.New(cfg.MemBytes)
 	link := pcie.NewLink(k, cfg.Link)
 	rc := pcie.NewRootComplex(k, mem, link, cfg.RC)

@@ -4,7 +4,27 @@ import (
 	"testing"
 
 	"breakband/internal/config"
+	"breakband/internal/topo"
 )
+
+// TestNewSystemMultiNode: N-node systems compile their configured topology
+// and wire every node onto it.
+func TestNewSystemMultiNode(t *testing.T) {
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	cfg.Topology = topo.Spec{Kind: topo.FatTree}
+	sys := NewSystem(cfg, 8)
+	defer sys.Shutdown()
+	if len(sys.Nodes) != 8 {
+		t.Fatalf("nodes = %d", len(sys.Nodes))
+	}
+	fab := sys.Topo()
+	if got := len(fab.Switches()); got != 6 {
+		t.Errorf("fat-tree of 8 hosts compiled %d switches, want 6", got)
+	}
+	if fab.InUseFrames() != 0 {
+		t.Errorf("fresh system has %d live frames", fab.InUseFrames())
+	}
+}
 
 func TestNewSystem(t *testing.T) {
 	cfg := config.TX2CX4(config.NoiseOff, 1, true)

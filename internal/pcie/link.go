@@ -170,6 +170,13 @@ func (l *Link) Blocked() (down, up uint64) { return l.down.blocked, l.up.blocked
 // Sent reports TLPs transmitted per direction.
 func (l *Link) Sent() (down, up uint64) { return l.down.sentTLP, l.up.sentTLP }
 
+// InUsePackets reports live TLP and DLLP pool slots — the pool-leak check:
+// both must return to zero once the event queue has drained and every
+// receiver has released what was delivered to it.
+func (l *Link) InUsePackets() (tlps, dllps int) {
+	return l.tlps.InUse(), l.dllps.InUse()
+}
+
 func (c *channel) serialize(bytes int) units.Time {
 	return units.Time(bytes) * c.link.cfg.PerByte
 }

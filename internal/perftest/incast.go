@@ -1,0 +1,245 @@
+package perftest
+
+import (
+	"fmt"
+
+	"breakband/internal/mlx"
+	"breakband/internal/node"
+	"breakband/internal/sim"
+	"breakband/internal/uct"
+	"breakband/internal/units"
+)
+
+// putAuto posts data on ep through the size-appropriate path (inline short
+// below mlx.InlineMax, buffered-copy above), spinning on progress while
+// the transmit queue is full.
+func putAuto(p *sim.Proc, w *uct.Worker, ep *uct.Ep, off uint64, msg []byte) {
+	for {
+		var err error
+		if len(msg) <= mlx.InlineMax {
+			err = ep.PutShort(p, off, msg)
+		} else {
+			err = ep.PutBcopy(p, off, msg)
+		}
+		if err == nil {
+			return
+		}
+		if err != uct.ErrNoResource {
+			panic(fmt.Sprintf("perftest: put: %v", err))
+		}
+		w.Progress(p)
+	}
+}
+
+// IncastResult reports the N-senders -> one-receiver congestion scenario.
+type IncastResult struct {
+	Senders  int
+	MsgSize  int
+	Messages int
+	Elapsed  units.Time
+	// AggMsgRate is messages per second across every sender.
+	AggMsgRate float64
+	// PerSenderMsgRate is the per-sender average — the number that
+	// collapses as the shared receiver downlink port congests.
+	PerSenderMsgRate float64
+	// PerSenderBwMBs is the matching per-sender goodput in MB/s.
+	PerSenderBwMBs float64
+	// MaxSwitchQueue is the deepest switch output-port queue of the run
+	// (the incast hotspot is the receiver's downlink port).
+	MaxSwitchQueue int
+	// CreditStalls counts egress stalls on exhausted link credits —
+	// backpressure reaching the senders.
+	CreditStalls uint64
+}
+
+// IncastPutBw runs the put_bw loop from `senders` sender nodes
+// (sys.Nodes[1..senders]) into node 0 concurrently: the classic incast.
+// All flows converge on the receiver's downlink switch port, whose
+// serialization queue and credit backpressure the topology models;
+// senders <= 0 selects every node but the receiver. With one sender it
+// doubles as the uncontended baseline on the identical path.
+func IncastPutBw(sys *node.System, senders int, opt Options) *IncastResult {
+	opt.Defaults(sys.Cfg)
+	cfg := sys.Cfg
+	if senders <= 0 || senders > len(sys.Nodes)-1 {
+		senders = len(sys.Nodes) - 1
+	}
+	recv := sys.Nodes[0]
+	wR := uct.NewWorker(recv, cfg)
+	res := &IncastResult{Senders: senders, MsgSize: opt.MsgSize}
+
+	var start, end units.Time
+	done := 0
+
+	for s := 1; s <= senders; s++ {
+		n := sys.Nodes[s]
+		w := uct.NewWorker(n, cfg)
+		ep := w.NewEp(opt.Mode, opt.SignalPeriod)
+		epR := wR.NewEp(opt.Mode, opt.SignalPeriod)
+		uct.Connect(ep, epR)
+		tgt := recv.Mem.Alloc(fmt.Sprintf("incast.target%d", s), uint64(max(opt.MsgSize, 64)), 64)
+		ep.RemoteBuf = tgt.Base
+
+		msg := make([]byte, opt.MsgSize)
+		nd, wS, epS := n, w, ep
+		sys.K.Spawn(fmt.Sprintf("incast.sender%d", s), func(p *sim.Proc) {
+			for i := 0; i < opt.Warmup; i++ {
+				putAuto(p, wS, epS, 0, msg)
+				if (i+1)%cfg.Bench.PollBatch == 0 {
+					wS.Progress(p)
+				}
+			}
+			if p.Now() > start {
+				start = p.Now() // window opens when the last sender finishes warmup
+			}
+			for i := 0; i < opt.Iters; i++ {
+				putAuto(p, wS, epS, 0, msg)
+				if (i+1)%cfg.Bench.PollBatch == 0 {
+					wS.Progress(p)
+				}
+				p.Advance(cfg.SW.MeasUpdate.Sample(nd.Rand))
+				p.Advance(cfg.SW.BenchLoop.Sample(nd.Rand))
+			}
+			if p.Now() > end {
+				end = p.Now()
+			}
+			for epS.InFlight() > 0 {
+				wS.Progress(p)
+			}
+			done++
+		})
+	}
+	sys.Run()
+	if done != senders {
+		panic(fmt.Sprintf("perftest: only %d of %d incast senders finished", done, senders))
+	}
+
+	res.Messages = senders * opt.Iters
+	res.Elapsed = end - start
+	res.AggMsgRate = float64(res.Messages) / res.Elapsed.Seconds()
+	res.PerSenderMsgRate = res.AggMsgRate / float64(senders)
+	res.PerSenderBwMBs = res.PerSenderMsgRate * float64(opt.MsgSize) / 1e6
+	res.MaxSwitchQueue = sys.Topo().MaxSwitchQueue()
+	res.CreditStalls = sys.Topo().CreditStalls()
+	return res
+}
+
+// String renders the result.
+func (r *IncastResult) String() string {
+	return fmt.Sprintf("incast put_bw: %d senders x %dB, %d msgs in %v -> %.0f msg/s/sender (%.1f MB/s/sender; max switch queue %d, %d credit stalls)",
+		r.Senders, r.MsgSize, r.Messages, r.Elapsed, r.PerSenderMsgRate, r.PerSenderBwMBs, r.MaxSwitchQueue, r.CreditStalls)
+}
+
+// AllToAllResult reports the all-to-all congestion scenario.
+type AllToAllResult struct {
+	Nodes    int
+	MsgSize  int
+	Messages int
+	Elapsed  units.Time
+	// AggMsgRate is messages per second across the whole system.
+	AggMsgRate float64
+	// PerNodeMsgRate is the per-node injection average.
+	PerNodeMsgRate float64
+	MaxSwitchQueue int
+	CreditStalls   uint64
+}
+
+// AllToAllPutBw runs opt.Iters rounds in which every node RDMA-writes one
+// message to every other node, polling a completion every
+// Bench.PollBatch posts — the uniform traffic matrix that loads every
+// tier of a multi-switch topology (cross-leaf flows share leaf-spine
+// links in the fat-tree).
+func AllToAllPutBw(sys *node.System, opt Options) *AllToAllResult {
+	opt.Defaults(sys.Cfg)
+	cfg := sys.Cfg
+	n := len(sys.Nodes)
+	res := &AllToAllResult{Nodes: n, MsgSize: opt.MsgSize}
+
+	workers := make([]*uct.Worker, n)
+	for i := range workers {
+		workers[i] = uct.NewWorker(sys.Nodes[i], cfg)
+	}
+	// eps[i][j] is node i's endpoint towards node j.
+	eps := make([][]*uct.Ep, n)
+	for i := range eps {
+		eps[i] = make([]*uct.Ep, n)
+		for j := range eps[i] {
+			if i != j {
+				eps[i][j] = workers[i].NewEp(opt.Mode, opt.SignalPeriod)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			uct.Connect(eps[i][j], eps[j][i])
+			ti := sys.Nodes[j].Mem.Alloc(fmt.Sprintf("a2a.%d.%d", i, j), uint64(max(opt.MsgSize, 64)), 64)
+			eps[i][j].RemoteBuf = ti.Base
+			tj := sys.Nodes[i].Mem.Alloc(fmt.Sprintf("a2a.%d.%d", j, i), uint64(max(opt.MsgSize, 64)), 64)
+			eps[j][i].RemoteBuf = tj.Base
+		}
+	}
+
+	var start, end units.Time
+	done := 0
+	for i := 0; i < n; i++ {
+		me := i
+		nd, w := sys.Nodes[i], workers[i]
+		msg := make([]byte, opt.MsgSize)
+		sys.K.Spawn(fmt.Sprintf("a2a.node%d", me), func(p *sim.Proc) {
+			posts := 0
+			round := func() {
+				for j := 0; j < n; j++ {
+					if j == me {
+						continue
+					}
+					putAuto(p, w, eps[me][j], 0, msg)
+					posts++
+					if posts%cfg.Bench.PollBatch == 0 {
+						w.Progress(p)
+					}
+				}
+			}
+			for r := 0; r < opt.Warmup; r++ {
+				round()
+			}
+			if p.Now() > start {
+				start = p.Now()
+			}
+			for r := 0; r < opt.Iters; r++ {
+				round()
+				p.Advance(cfg.SW.MeasUpdate.Sample(nd.Rand))
+				p.Advance(cfg.SW.BenchLoop.Sample(nd.Rand))
+			}
+			if p.Now() > end {
+				end = p.Now()
+			}
+			for j := 0; j < n; j++ {
+				if j == me {
+					continue
+				}
+				for eps[me][j].InFlight() > 0 {
+					w.Progress(p)
+				}
+			}
+			done++
+		})
+	}
+	sys.Run()
+	if done != n {
+		panic(fmt.Sprintf("perftest: only %d of %d all-to-all nodes finished", done, n))
+	}
+
+	res.Messages = n * (n - 1) * opt.Iters
+	res.Elapsed = end - start
+	res.AggMsgRate = float64(res.Messages) / res.Elapsed.Seconds()
+	res.PerNodeMsgRate = res.AggMsgRate / float64(n)
+	res.MaxSwitchQueue = sys.Topo().MaxSwitchQueue()
+	res.CreditStalls = sys.Topo().CreditStalls()
+	return res
+}
+
+// String renders the result.
+func (r *AllToAllResult) String() string {
+	return fmt.Sprintf("all-to-all put_bw: %d nodes x %dB, %d msgs in %v -> %.0f msg/s aggregate (max switch queue %d, %d credit stalls)",
+		r.Nodes, r.MsgSize, r.Messages, r.Elapsed, r.AggMsgRate, r.MaxSwitchQueue, r.CreditStalls)
+}

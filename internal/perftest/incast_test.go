@@ -1,0 +1,190 @@
+package perftest
+
+import (
+	"testing"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/topo"
+)
+
+// incastConfig builds a single-switch N-node NoiseOff configuration.
+func incastConfig(credits int) *config.Config {
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	cfg.Topology = topo.Spec{Kind: topo.SingleSwitch, Credits: credits}
+	return cfg
+}
+
+// TestIncastContention is the acceptance check for the topology layer:
+// senders funnelling 4 KiB writes into one receiver over a shared switch
+// port must see measurably lower per-sender bandwidth than a single
+// sender on the identical path, the contended steady state must sit at
+// the shared port's service rate (N serializations per delivered
+// message), and the hotspot must show up as switch-port queueing.
+func TestIncastContention(t *testing.T) {
+	const size = 4096
+	opt := Options{Iters: 400, Warmup: 250, MsgSize: size}
+	run := func(nodes, senders int) *IncastResult {
+		sys := node.NewSystem(incastConfig(0), nodes)
+		defer sys.Shutdown()
+		return IncastPutBw(sys, senders, opt)
+	}
+
+	solo := run(5, 1)
+	four := run(5, 4)
+	eight := run(9, 8)
+	t.Logf("solo:  %v", solo)
+	t.Logf("four:  %v", four)
+	t.Logf("eight: %v", eight)
+
+	if solo.PerSenderMsgRate <= 0 || four.PerSenderMsgRate <= 0 {
+		t.Fatalf("degenerate rates: solo %v, contended %v", solo, four)
+	}
+	if solo.MaxSwitchQueue > 1 {
+		t.Errorf("solo sender queued %d deep; uncontended path should not congest", solo.MaxSwitchQueue)
+	}
+
+	// N=4: measurably lower per-sender bandwidth than the same path
+	// uncontended (the solo floor is the sender's own descriptor-fetch
+	// pipeline, so the port only partially dominates at 4 senders).
+	ratio4 := four.PerSenderMsgRate / solo.PerSenderMsgRate
+	t.Logf("per-sender rate ratio: four %.3f, eight %.3f",
+		ratio4, eight.PerSenderMsgRate/solo.PerSenderMsgRate)
+	if ratio4 > 0.9 {
+		t.Errorf("4-sender incast kept %.0f%% of solo per-sender bandwidth; contention is not modelled", ratio4*100)
+	}
+	if four.MaxSwitchQueue < 2 {
+		t.Errorf("max switch queue %d under incast, want >= 2", four.MaxSwitchQueue)
+	}
+
+	// The contended steady state is the shared downlink port serving N
+	// flows: one frame serialization per sender per delivered message.
+	cfg := incastConfig(0)
+	serNs := cfg.Fabric.SerTime(size).Ns()
+	for _, c := range []struct {
+		res *IncastResult
+		n   float64
+	}{{four, 4}, {eight, 8}} {
+		gotNs := 1e9 / c.res.PerSenderMsgRate
+		wantNs := c.n * serNs
+		if gotNs < wantNs || gotNs > wantNs*1.1 {
+			t.Errorf("%d-sender per-sender interval %.1f ns, want the port service time %.1f ns (+<10%%)",
+				int(c.n), gotNs, wantNs)
+		}
+	}
+
+	// More senders, proportionally less per-sender bandwidth.
+	if r := eight.PerSenderMsgRate / four.PerSenderMsgRate; r > 0.55 {
+		t.Errorf("8-sender incast kept %.0f%% of the 4-sender rate, want ~50%%", r*100)
+	}
+}
+
+// TestIncastBackpressure: with a tiny credit budget the congestion
+// propagates to the senders as credit stalls.
+func TestIncastBackpressure(t *testing.T) {
+	sys := node.NewSystem(incastConfig(2), 5)
+	defer sys.Shutdown()
+	res := IncastPutBw(sys, 4, Options{Iters: 200, Warmup: 30, MsgSize: 4096})
+	if res.CreditStalls == 0 {
+		t.Errorf("no credit stalls with credits=2 under incast: %v", res)
+	}
+}
+
+// TestIncastSmallMessages: 8-byte incast must still run (wire serialization
+// is negligible next to the injection interval, so it stays uncongested).
+func TestIncastSmallMessages(t *testing.T) {
+	sys := node.NewSystem(incastConfig(0), 4)
+	defer sys.Shutdown()
+	res := IncastPutBw(sys, 0, Options{Iters: 150, Warmup: 20})
+	if res.Senders != 3 || res.Messages != 3*150 {
+		t.Fatalf("senders/messages: %v", res)
+	}
+	if res.PerSenderMsgRate <= 0 {
+		t.Fatalf("no progress: %v", res)
+	}
+}
+
+// TestAllToAllFatTree drives the uniform matrix over a radix-4 fat-tree
+// and requires every flow to complete deterministically.
+func TestAllToAllFatTree(t *testing.T) {
+	mk := func() *node.System {
+		cfg := config.TX2CX4(config.NoiseOff, 1, true)
+		cfg.Topology = topo.Spec{Kind: topo.FatTree}
+		return node.NewSystem(cfg, 4)
+	}
+	run := func() *AllToAllResult {
+		sys := mk()
+		defer sys.Shutdown()
+		return AllToAllPutBw(sys, Options{Iters: 60, Warmup: 10, MsgSize: 1024})
+	}
+	a, b := run(), run()
+	if a.Messages != 4*3*60 {
+		t.Fatalf("messages %d, want %d", a.Messages, 4*3*60)
+	}
+	if a.AggMsgRate <= 0 {
+		t.Fatalf("no progress: %v", a)
+	}
+	if a.Elapsed != b.Elapsed || a.MaxSwitchQueue != b.MaxSwitchQueue {
+		t.Errorf("all-to-all not deterministic: %v vs %v", a, b)
+	}
+	t.Logf("%v", a)
+}
+
+// TestScenarioPoolsDrained asserts the arena live-slot counters return to
+// zero after each perftest scenario: a frame or TLP held past delivery is
+// a borrow-contract violation that must fail tests, not grow pools.
+func TestScenarioPoolsDrained(t *testing.T) {
+	check := func(t *testing.T, sys *node.System) {
+		t.Helper()
+		if n := sys.Net.InUseFrames(); n != 0 {
+			t.Errorf("fabric frame pool: %d frames still live after the run", n)
+		}
+		for _, nd := range sys.Nodes {
+			if tlps, dllps := nd.Link.InUsePackets(); tlps != 0 || dllps != 0 {
+				t.Errorf("node%d PCIe pools: %d TLPs, %d DLLPs still live", nd.ID, tlps, dllps)
+			}
+		}
+	}
+	two := func() *node.System {
+		return node.NewSystem(config.TX2CX4(config.NoiseOff, 1, true), 2)
+	}
+
+	t.Run("put_bw", func(t *testing.T) {
+		sys := two()
+		defer sys.Shutdown()
+		PutBw(sys, Options{Iters: 100, Warmup: 20})
+		check(t, sys)
+	})
+	t.Run("am_lat", func(t *testing.T) {
+		sys := two()
+		defer sys.Shutdown()
+		AmLat(sys, Options{Iters: 50, Warmup: 10})
+		check(t, sys)
+	})
+	t.Run("windowed", func(t *testing.T) {
+		sys := two()
+		defer sys.Shutdown()
+		WindowedPutBw(sys, 16, 160)
+		check(t, sys)
+	})
+	t.Run("multi", func(t *testing.T) {
+		sys := two()
+		defer sys.Shutdown()
+		MultiPutBw(sys, 3, Options{Iters: 60, Warmup: 10})
+		check(t, sys)
+	})
+	t.Run("incast", func(t *testing.T) {
+		sys := node.NewSystem(incastConfig(0), 5)
+		defer sys.Shutdown()
+		IncastPutBw(sys, 4, Options{Iters: 80, Warmup: 10, MsgSize: 4096})
+		check(t, sys)
+	})
+	t.Run("alltoall", func(t *testing.T) {
+		cfg := config.TX2CX4(config.NoiseOff, 1, true)
+		cfg.Topology = topo.Spec{Kind: topo.FatTree}
+		sys := node.NewSystem(cfg, 8)
+		defer sys.Shutdown()
+		AllToAllPutBw(sys, Options{Iters: 30, Warmup: 5, MsgSize: 512})
+		check(t, sys)
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"breakband/internal/node"
 	"breakband/internal/perftest"
 	"breakband/internal/sim"
+	"breakband/internal/topo"
 )
 
 // scheduleWidth is how many self-rescheduling event chains BenchmarkSchedule
@@ -99,6 +100,28 @@ func WindowedPutBw(b *testing.B) {
 	b.StopTimer()
 	if res.PerMsgNs <= 0 {
 		b.Fatalf("windowed put_bw reported %v ns/msg", res.PerMsgNs)
+	}
+	reportEventsPerSec(b, float64(sys.K.Fired()))
+}
+
+// IncastPutBw measures the contended switch path: four senders funnel
+// 4 KiB buffered-copy writes through one receiver downlink port of a
+// 5-node single-switch topology (internal/topo), exercising the
+// store-and-forward queues and credit flow control under saturation.
+// b.N counts delivered messages across all senders.
+func IncastPutBw(b *testing.B) {
+	b.ReportAllocs()
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	cfg.Topology = topo.Spec{Kind: topo.SingleSwitch}
+	sys := node.NewSystem(cfg, 5)
+	defer sys.Shutdown()
+	const senders = 4
+	iters := (b.N + senders - 1) / senders
+	b.ResetTimer()
+	res := perftest.IncastPutBw(sys, senders, perftest.Options{Iters: iters, Warmup: 16, MsgSize: 4096})
+	b.StopTimer()
+	if res.Messages != senders*iters {
+		b.Fatalf("incast ran %d messages, want %d", res.Messages, senders*iters)
 	}
 	reportEventsPerSec(b, float64(sys.K.Fired()))
 }

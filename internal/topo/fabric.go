@@ -1,0 +1,569 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+
+	"breakband/internal/arena"
+	"breakband/internal/fabric"
+	"breakband/internal/sim"
+	"breakband/internal/units"
+)
+
+// Fabric is the compiled topology: a fabric.Deliverer whose frames travel
+// host egress -> switch chain -> destination host, with per-output-port
+// serialization queues and link-level credits (see the package doc). Two
+// hosts on the back-to-back or single-switch spec take the calibrated
+// ideal path instead, bit-identical with fabric.Network.
+type Fabric struct {
+	k    *sim.Kernel
+	cfg  fabric.Config
+	spec Spec
+
+	ports  map[int]fabric.Port
+	frames *arena.Arena[fabric.Frame]
+	// attached[id] is the sendable fast path: id is routed and has a
+	// port. Attached-but-unrouted ids live only in the ports map.
+	attached []bool
+
+	// Delivered counts delivered frames by kind, a test hook (mirrors
+	// fabric.Network).
+	Delivered [2]uint64
+
+	// Ideal two-endpoint tier (nil switches): one egress serialization,
+	// then a constant flight time.
+	ideal     bool
+	flight    units.Time
+	busyUntil []units.Time
+
+	// Engine tier.
+	hosts    []outPort // per-host injection egress, indexed by host id
+	switches []*Switch
+	links    []*link
+	hopProp  units.Time // per-cable flight time (WireProp / 2)
+
+	// OnDepth, when set, observes every output-port queue depth change
+	// (port is the port's compiled name, e.g. "sw0.port3"). Leave nil on
+	// hot paths; the examples use it to plot queue depth over time.
+	OnDepth func(at units.Time, port string, depth int)
+
+	deliverFn func(any)
+	sendFn    func(any)
+}
+
+var _ fabric.Deliverer = (*Fabric)(nil)
+
+// Switch is one compiled store-and-forward switch.
+type Switch struct {
+	name string
+	// route maps destination host id -> index into outs.
+	route []int32
+	outs  []outPort
+}
+
+// Name reports the switch's compiled name ("sw0", "leaf1", "spine0").
+func (s *Switch) Name() string { return s.name }
+
+// link is one directed cable: the downstream end of exactly one outPort.
+type link struct {
+	// id is the link's index in Fabric.links (frames record id+1 in
+	// their HopRef while they occupy the final hop's buffer credit).
+	id int32
+	// prop is the cable flight time, plus the switch forwarding latency
+	// when the downstream is a switch (folded into the arrival event).
+	prop    units.Time
+	credits int
+	dstSw   *Switch
+	dstHost int
+	// up is the port driving this link; returning credits kicks it.
+	up *outPort
+	// arriveFn is the link's bound continuation: the per-frame hop event
+	// carries only the *Frame, closure-free on the steady-state path.
+	arriveFn func(any)
+}
+
+// qent is one queued frame plus the inbound link whose downstream buffer
+// it occupies (nil at the host egress, where frames enter the fabric).
+type qent struct {
+	f  *fabric.Frame
+	in *link
+}
+
+// frameQ is a growable FIFO ring of queued frames. Its capacity reaches a
+// high-water mark bounded by the credit budget and is reused thereafter,
+// keeping the steady-state switch path allocation-free.
+type frameQ struct {
+	buf  []qent
+	head int
+	n    int
+}
+
+func (q *frameQ) push(e qent) {
+	if q.n == len(q.buf) {
+		nb := make([]qent, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = nb, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = e
+	q.n++
+}
+
+func (q *frameQ) pop() qent {
+	e := q.buf[q.head]
+	q.buf[q.head] = qent{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return e
+}
+
+// outPort is one serializing egress driving a link: a host NIC's injection
+// port or a switch output port. The port transmits one frame at a time;
+// everything else waits in q, so queue depth is the true congestion
+// signal.
+type outPort struct {
+	fab  *Fabric
+	name string
+	link *link
+	q    frameQ
+	// cur is the frame on the wire while busy; txDoneFn is the bound
+	// transmission-complete continuation (one closure per port, none per
+	// frame).
+	cur      qent
+	busy     bool
+	txDoneFn func()
+
+	forwarded    uint64
+	maxQueue     int
+	creditStalls uint64
+}
+
+// push enqueues e, tracks queue-depth stats, and starts transmission if
+// the port is idle.
+func (p *outPort) push(e qent) {
+	p.q.push(e)
+	if p.q.n > p.maxQueue {
+		p.maxQueue = p.q.n
+	}
+	if p.fab.OnDepth != nil {
+		p.fab.OnDepth(p.fab.k.Now(), p.name, p.q.n)
+	}
+	p.kick()
+}
+
+// kick starts the next queued transmission if the port is idle and the
+// downstream link has a buffer credit: consume the credit, put the frame
+// on the wire for its serialization time.
+func (p *outPort) kick() {
+	if p.busy || p.q.n == 0 {
+		return
+	}
+	if p.link.credits == 0 {
+		p.creditStalls++
+		return
+	}
+	e := p.q.pop()
+	if p.fab.OnDepth != nil {
+		p.fab.OnDepth(p.fab.k.Now(), p.name, p.q.n)
+	}
+	p.link.credits--
+	p.busy = true
+	p.cur = e
+	p.fab.k.At(p.fab.k.Now()+p.fab.cfg.SerTime(e.f.Bytes), p.txDoneFn)
+}
+
+// txDone fires when the tail of cur leaves the port: the frame flies the
+// cable (plus switch forwarding when the downstream is a switch), the
+// inbound credit the frame was holding returns (possibly restarting a
+// stalled upstream port), and the next queued frame starts.
+func (p *outPort) txDone() {
+	e := p.cur
+	p.cur = qent{}
+	p.busy = false
+	p.forwarded++
+	lk := p.link
+	p.fab.k.AtArg(p.fab.k.Now()+lk.prop, lk.arriveFn, e.f)
+	if e.in != nil {
+		e.in.credits++
+		e.in.up.kick()
+	}
+	p.kick()
+}
+
+// NewFabric compiles spec for the given host count on kernel k. Wire
+// parameters (serialization, propagation, switch forwarding latency) come
+// from the same fabric.Config that calibrates the two-endpoint Network.
+func NewFabric(k *sim.Kernel, cfg fabric.Config, spec Spec, hosts int) *Fabric {
+	spec = spec.resolve(cfg, hosts)
+	t := &Fabric{
+		k:        k,
+		cfg:      cfg,
+		spec:     spec,
+		ports:    make(map[int]fabric.Port),
+		frames:   fabric.NewFrameArena(),
+		attached: make([]bool, hosts),
+		hopProp:  cfg.WireProp / 2,
+	}
+	t.deliverFn = func(a any) {
+		f := a.(*fabric.Frame)
+		t.Delivered[f.Kind]++
+		t.ports[f.Dst].RxFrame(f)
+	}
+	t.sendFn = func(a any) { t.Send(a.(*fabric.Frame)) }
+	t.frames.SetOnRelease(t.frameReleased)
+
+	if hosts == 2 && spec.Kind != FatTree {
+		// Calibrated ideal tier: the paper's two-endpoint model, with the
+		// switch (when present) as a cut-through constant. Bit-identical
+		// with fabric.Network by construction — same SerTime/FlightTime
+		// helpers, same single delivery event per frame.
+		t.ideal = true
+		c := cfg
+		c.UseSwitch = spec.Kind == SingleSwitch
+		t.flight = c.FlightTime()
+		t.busyUntil = make([]units.Time, hosts)
+		return t
+	}
+
+	switch spec.Kind {
+	case SingleSwitch:
+		t.buildStar(hosts)
+	case FatTree:
+		t.buildFatTree(hosts, spec.Radix)
+	default:
+		panic(fmt.Sprintf("topo: %s cannot host %d nodes", spec, hosts))
+	}
+	return t
+}
+
+// wire makes p the driving port of a new link ending at switch sw, or at
+// host dst when sw is nil.
+func (t *Fabric) wire(p *outPort, name string, sw *Switch, dst int) {
+	lk := &link{
+		id:      int32(len(t.links)),
+		prop:    t.hopProp,
+		credits: t.spec.Credits,
+		dstSw:   sw,
+		dstHost: dst,
+		up:      p,
+	}
+	t.links = append(t.links, lk)
+	if sw != nil {
+		// Store-and-forward: the frame is fully received at txDone+prop,
+		// then the switch's forwarding latency applies before it reaches
+		// the output-port queue. Folding both into one event keeps the
+		// hop at a single kernel event.
+		lk.prop += t.cfg.SwitchLatency
+		lk.arriveFn = func(a any) { t.arriveSwitch(lk, a.(*fabric.Frame)) }
+	} else {
+		lk.arriveFn = func(a any) { t.arriveHost(lk, a.(*fabric.Frame)) }
+	}
+	p.fab = t
+	p.name = name
+	p.link = lk
+	p.txDoneFn = p.txDone
+}
+
+// arriveSwitch queues a delivered frame at its routed output port.
+func (t *Fabric) arriveSwitch(lk *link, f *fabric.Frame) {
+	sw := lk.dstSw
+	sw.outs[sw.route[f.Dst]].push(qent{f: f, in: lk})
+}
+
+// arriveHost delivers the frame. The final link's buffer credit stays
+// with the frame until the receiver releases it (ownership-based credit
+// return: the borrow contract is the buffer accounting, so deferred
+// receive processing keeps exerting backpressure — see frameReleased).
+// Frames constructed outside the pool have no release hook; their credit
+// returns at delivery.
+func (t *Fabric) arriveHost(lk *link, f *fabric.Frame) {
+	if pooled := f.Ref().Get() == f; pooled {
+		f.HopRef = lk.id + 1
+		t.Delivered[f.Kind]++
+		t.ports[f.Dst].RxFrame(f)
+		return
+	}
+	lk.credits++
+	t.Delivered[f.Kind]++
+	t.ports[f.Dst].RxFrame(f)
+	lk.up.kick()
+}
+
+// frameReleased is the frame arena's release hook: when the receiver
+// hands a delivered frame back (Frame.Release), the final-hop buffer
+// credit it was occupying returns and the upstream port restarts.
+func (t *Fabric) frameReleased(f *fabric.Frame) {
+	if f.HopRef == 0 {
+		return
+	}
+	lk := t.links[f.HopRef-1]
+	f.HopRef = 0
+	lk.credits++
+	lk.up.kick()
+}
+
+// buildStar compiles the N-host single-switch star.
+func (t *Fabric) buildStar(hosts int) {
+	sw := &Switch{name: "sw0", route: make([]int32, hosts), outs: make([]outPort, hosts)}
+	t.switches = []*Switch{sw}
+	t.hosts = make([]outPort, hosts)
+	for i := 0; i < hosts; i++ {
+		sw.route[i] = int32(i)
+		t.wire(&sw.outs[i], fmt.Sprintf("sw0.port%d", i), nil, i)
+		t.wire(&t.hosts[i], fmt.Sprintf("host%d.egress", i), sw, -1)
+	}
+}
+
+// buildFatTree compiles the two-tier folded Clos: radix/2 hosts per leaf,
+// radix/2 spines, every leaf cabled to every spine. Up-path spine
+// selection is destination-based (spine = dst mod radix/2), so routing is
+// deterministic and runs are reproducible.
+func (t *Fabric) buildFatTree(hosts, radix int) {
+	hpl := radix / 2 // hosts per leaf
+	spines := radix / 2
+	leaves := (hosts + hpl - 1) / hpl
+	// down(l) is leaf l's populated down-port count: the last leaf may
+	// hold a partial host complement, and unwired phantom ports must not
+	// exist (PortStats iterates every port).
+	down := func(l int) int {
+		return min(hpl, hosts-l*hpl)
+	}
+
+	leafSw := make([]*Switch, leaves)
+	for l := range leafSw {
+		leafSw[l] = &Switch{
+			name:  fmt.Sprintf("leaf%d", l),
+			route: make([]int32, hosts),
+			outs:  make([]outPort, down(l)+spines),
+		}
+	}
+	spineSw := make([]*Switch, spines)
+	for s := range spineSw {
+		spineSw[s] = &Switch{
+			name:  fmt.Sprintf("spine%d", s),
+			route: make([]int32, hosts),
+			outs:  make([]outPort, leaves),
+		}
+	}
+	t.switches = make([]*Switch, 0, leaves+spines)
+	for _, sw := range leafSw {
+		t.switches = append(t.switches, sw)
+	}
+	for _, sw := range spineSw {
+		t.switches = append(t.switches, sw)
+	}
+
+	t.hosts = make([]outPort, hosts)
+	for h := 0; h < hosts; h++ {
+		l, d := h/hpl, h%hpl
+		t.wire(&leafSw[l].outs[d], fmt.Sprintf("leaf%d.down%d", l, d), nil, h)
+		t.wire(&t.hosts[h], fmt.Sprintf("host%d.egress", h), leafSw[l], -1)
+	}
+	for l, lsw := range leafSw {
+		for s, ssw := range spineSw {
+			t.wire(&lsw.outs[down(l)+s], fmt.Sprintf("leaf%d.up%d", l, s), ssw, -1)
+			t.wire(&ssw.outs[l], fmt.Sprintf("spine%d.port%d", s, l), lsw, -1)
+		}
+	}
+
+	for h := 0; h < hosts; h++ {
+		hl := h / hpl
+		for l, lsw := range leafSw {
+			if l == hl {
+				lsw.route[h] = int32(h % hpl)
+			} else {
+				lsw.route[h] = int32(down(l) + h%spines)
+			}
+		}
+		for _, ssw := range spineSw {
+			ssw.route[h] = int32(hl)
+		}
+	}
+}
+
+// ---------- fabric.Deliverer ----------
+
+// Config reports the wire/switch parameter set.
+func (t *Fabric) Config() fabric.Config { return t.cfg }
+
+// Spec reports the resolved topology.
+func (t *Fabric) Spec() Spec { return t.spec }
+
+// Attach registers port under NIC id. Ids may be sparse and attached in
+// any order; only ids below the compiled host count are routable.
+func (t *Fabric) Attach(id int, p fabric.Port) {
+	if _, dup := t.ports[id]; dup {
+		panic(fmt.Sprintf("topo: %s: duplicate port id %d", t.spec, id))
+	}
+	t.ports[id] = p
+	if t.routed(id) {
+		t.attached[id] = true
+	}
+}
+
+// NewFrame allocates a pooled frame owned by the caller until it is handed
+// to Send (see the package borrow contract).
+func (t *Fabric) NewFrame() *fabric.Frame { return t.frames.Alloc() }
+
+// InUseFrames reports live frame-pool slots, the pool-leak check: it must
+// return to zero once every in-flight frame has been delivered and
+// released.
+func (t *Fabric) InUseFrames() int { return t.frames.InUse() }
+
+// routed reports whether host id has a compiled route.
+func (t *Fabric) routed(id int) bool { return id >= 0 && id < t.spec.hosts }
+
+// sendable is the hot-path check: one bounds test and one bool load.
+func (t *Fabric) sendable(id int) bool {
+	return uint(id) < uint(len(t.attached)) && t.attached[id]
+}
+
+// badPort diagnoses a failed sendable check, panicking with the port and
+// the topology named. Cold path only.
+func (t *Fabric) badPort(id int, role string) {
+	if _, ok := t.ports[id]; !ok {
+		panic(fmt.Sprintf("topo: %s: no attached %s port %d", t.spec, role, id))
+	}
+	panic(fmt.Sprintf("topo: %s: %s port %d is attached but not routed (topology has hosts 0..%d)",
+		t.spec, role, id, t.spec.hosts-1))
+}
+
+// Send transmits f from its Src towards its Dst.
+func (t *Fabric) Send(f *fabric.Frame) {
+	if !t.sendable(f.Dst) {
+		t.badPort(f.Dst, "destination")
+	}
+	if !t.sendable(f.Src) {
+		t.badPort(f.Src, "source")
+	}
+	if t.ideal {
+		// Calibrated two-endpoint path: egress serialization, then the
+		// constant flight (identical to fabric.Network.Send).
+		start := units.Max(t.k.Now(), t.busyUntil[f.Src])
+		txDone := start + t.cfg.SerTime(f.Bytes)
+		t.busyUntil[f.Src] = txDone
+		t.k.AtArg(txDone+t.flight, t.deliverFn, f)
+		return
+	}
+	t.hosts[f.Src].push(qent{f: f})
+}
+
+// AckFor allocates the transport-level acknowledgement frame answering the
+// received Data frame f (same contract as fabric.Network.AckFor).
+func (t *Fabric) AckFor(f *fabric.Frame, info fabric.AckInfo) *fabric.Frame {
+	ack := t.frames.Alloc()
+	ack.Kind = fabric.TransportAck
+	ack.Src = f.Dst
+	ack.Dst = f.Src
+	ack.Ack = info
+	return ack
+}
+
+// SendAck transmits a previously built ACK frame after the configured
+// turnaround delay.
+func (t *Fabric) SendAck(ack *fabric.Frame) {
+	if t.cfg.AckTurnaround > 0 {
+		t.k.AfterArg(t.cfg.AckTurnaround, t.sendFn, ack)
+		return
+	}
+	t.Send(ack)
+}
+
+// Ack emits the transport-level acknowledgement for a received Data frame
+// back to its source.
+func (t *Fabric) Ack(f *fabric.Frame, info fabric.AckInfo) {
+	t.SendAck(t.AckFor(f, info))
+}
+
+// ---------- observability ----------
+
+// PortStat is one egress port's counters.
+type PortStat struct {
+	// Name is the compiled port name, e.g. "host0.egress", "sw0.port3",
+	// "leaf1.up0", "spine0.port2".
+	Name string
+	// Forwarded counts frames whose transmission this port started.
+	Forwarded uint64
+	// MaxQueue is the deepest FIFO this port reached.
+	MaxQueue int
+	// CreditStalls counts drain passes that left frames queued because
+	// the downstream link was out of credits.
+	CreditStalls uint64
+}
+
+// PortStats snapshots every egress port (host injections first, then each
+// switch's output ports in port order). Empty on the ideal two-endpoint
+// tier, which has no ports to congest.
+func (t *Fabric) PortStats() []PortStat {
+	var out []PortStat
+	add := func(p *outPort) {
+		out = append(out, PortStat{
+			Name:         p.name,
+			Forwarded:    p.forwarded,
+			MaxQueue:     p.maxQueue,
+			CreditStalls: p.creditStalls,
+		})
+	}
+	for i := range t.hosts {
+		add(&t.hosts[i])
+	}
+	for _, sw := range t.switches {
+		for i := range sw.outs {
+			add(&sw.outs[i])
+		}
+	}
+	return out
+}
+
+// FormatHotPorts renders the ports that saw congestion — queueing beyond
+// one frame or any credit stall — as an aligned report, one line per
+// port. Empty when nothing congested.
+func (t *Fabric) FormatHotPorts() string {
+	var b strings.Builder
+	for _, ps := range t.PortStats() {
+		if ps.MaxQueue <= 1 && ps.CreditStalls == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-16s %8d frames, max queue %3d, %6d credit stalls\n",
+			ps.Name, ps.Forwarded, ps.MaxQueue, ps.CreditStalls)
+	}
+	return b.String()
+}
+
+// MaxSwitchQueue reports the deepest output-port queue any switch reached —
+// the headline congestion indicator of a run.
+func (t *Fabric) MaxSwitchQueue() int {
+	m := 0
+	for _, sw := range t.switches {
+		for i := range sw.outs {
+			if d := sw.outs[i].maxQueue; d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// CreditStalls sums credit-stall counts across every port.
+func (t *Fabric) CreditStalls() uint64 {
+	var n uint64
+	for i := range t.hosts {
+		n += t.hosts[i].creditStalls
+	}
+	for _, sw := range t.switches {
+		for i := range sw.outs {
+			n += sw.outs[i].creditStalls
+		}
+	}
+	return n
+}
+
+// Switches exposes the compiled switches (tests inspect routing tables).
+func (t *Fabric) Switches() []*Switch { return t.switches }
+
+// Route reports switch sw's output-port index for destination host dst.
+func (s *Switch) Route(dst int) int { return int(s.route[dst]) }
+
+// Ports reports the switch's output-port count.
+func (s *Switch) Ports() int { return len(s.outs) }

@@ -1,0 +1,517 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"breakband/internal/fabric"
+	"breakband/internal/sim"
+	"breakband/internal/units"
+)
+
+// testCfg mirrors the calibration shape with round numbers: 80 ps/B
+// serialization, 30 B frame overhead, 270 ns total wire, 108 ns switch.
+func testCfg(useSwitch bool) fabric.Config {
+	return fabric.Config{
+		WireProp:      units.Nanoseconds(270),
+		WirePerByte:   units.Time(80),
+		FrameOverhead: 30,
+		SwitchLatency: units.Nanoseconds(108),
+		UseSwitch:     useSwitch,
+	}
+}
+
+// port records deliveries and releases every frame (optionally acking data
+// frames first).
+type port struct {
+	k   *sim.Kernel
+	fab *Fabric
+	got []fabric.FrameKind
+	at  []units.Time
+	ack bool
+}
+
+func (p *port) RxFrame(f *fabric.Frame) {
+	p.got = append(p.got, f.Kind)
+	p.at = append(p.at, p.k.Now())
+	if p.ack && f.Kind == fabric.Data {
+		p.fab.Ack(f, fabric.AckInfo{QPN: f.Op.SrcQPN, Counter: f.Op.Counter})
+	}
+	f.Release()
+}
+
+func build(t *testing.T, cfg fabric.Config, spec Spec, hosts int) (*sim.Kernel, *Fabric, []*port) {
+	t.Helper()
+	k := sim.NewKernel()
+	fab := NewFabric(k, cfg, spec, hosts)
+	ports := make([]*port, hosts)
+	for i := range ports {
+		ports[i] = &port{k: k, fab: fab}
+		fab.Attach(i, ports[i])
+	}
+	return k, fab, ports
+}
+
+// sendAt schedules a pooled data frame of b payload bytes.
+func sendAt(k *sim.Kernel, fab *Fabric, at units.Time, src, dst, b int) {
+	k.At(at, func() {
+		f := fab.NewFrame()
+		f.Kind = fabric.Data
+		f.Src = src
+		f.Dst = dst
+		f.Bytes = b
+		fab.Send(f)
+	})
+}
+
+func TestSpecResolve(t *testing.T) {
+	cases := []struct {
+		spec  Spec
+		hosts int
+		want  Kind
+	}{
+		{Spec{}, 2, SingleSwitch},             // auto + UseSwitch
+		{Spec{}, 5, SingleSwitch},             // auto N>2
+		{Spec{Kind: BackToBack}, 2, BackToBack},
+		{Spec{Kind: FatTree}, 8, FatTree},
+	}
+	for _, c := range cases {
+		r := c.spec.resolve(testCfg(true), c.hosts)
+		if r.Kind != c.want {
+			t.Errorf("resolve(%v, %d hosts): kind %v, want %v", c.spec, c.hosts, r.Kind, c.want)
+		}
+		if r.Credits != DefaultCredits {
+			t.Errorf("resolve(%v): credits %d, want default %d", c.spec, r.Credits, DefaultCredits)
+		}
+	}
+	// Auto with two hosts and no switch resolves back-to-back.
+	if r := (Spec{}).resolve(testCfg(false), 2); r.Kind != BackToBack {
+		t.Errorf("auto direct: kind %v, want backtoback", r.Kind)
+	}
+	// Fat-tree default radix: smallest even k with k*k/2 >= hosts.
+	if r := (Spec{Kind: FatTree}).resolve(testCfg(true), 8); r.Radix != 4 {
+		t.Errorf("fattree(8 hosts) default radix %d, want 4", r.Radix)
+	}
+	if r := (Spec{Kind: FatTree}).resolve(testCfg(true), 9); r.Radix != 6 {
+		t.Errorf("fattree(9 hosts) default radix %d, want 6", r.Radix)
+	}
+}
+
+func TestSpecValidationPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  Spec
+		hosts int
+		msg   string
+	}{
+		{"one host", Spec{}, 1, "at least two hosts"},
+		{"backtoback n=3", Spec{Kind: BackToBack}, 3, "exactly 2 hosts"},
+		{"odd radix", Spec{Kind: FatTree, Radix: 3}, 4, "even"},
+		{"radix too small", Spec{Kind: FatTree, Radix: 2}, 4, "at most 2 hosts"},
+		{"negative credits", Spec{Credits: -1}, 2, "positive"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("no panic")
+				}
+				if !strings.Contains(fmt.Sprint(r), c.msg) {
+					t.Errorf("panic %q does not mention %q", r, c.msg)
+				}
+			}()
+			c.spec.resolve(testCfg(true), c.hosts)
+		})
+	}
+}
+
+// TestIdealTierMatchesNetwork drives the same frame schedule through
+// fabric.Network and the two-host topo fabric and requires identical
+// delivery timestamps — the bit-for-bit compatibility the golden fixture
+// relies on.
+func TestIdealTierMatchesNetwork(t *testing.T) {
+	for _, useSwitch := range []bool{false, true} {
+		cfg := testCfg(useSwitch)
+
+		type hit struct {
+			at   units.Time
+			kind fabric.FrameKind
+		}
+		run := func(send func(at units.Time, src, dst, bytes int), ack func(), done func() []hit) []hit {
+			// Schedule a mix: pipelined sends (egress serialization), a
+			// reverse-direction frame, different sizes.
+			send(0, 0, 1, 8)
+			send(0, 0, 1, 64)
+			send(units.Nanoseconds(100), 1, 0, 8)
+			send(units.Nanoseconds(400), 0, 1, 2048)
+			ack()
+			return done()
+		}
+
+		// Reference: fabric.Network.
+		kN := sim.NewKernel()
+		net := fabric.New(kN, cfg)
+		var refHits []hit
+		refPort := func(id int) fabric.Port {
+			return rxFunc(func(f *fabric.Frame) {
+				refHits = append(refHits, hit{kN.Now(), f.Kind})
+				if f.Kind == fabric.Data {
+					net.Ack(f, fabric.AckInfo{})
+				}
+				f.Release()
+			})
+		}
+		net.Attach(0, refPort(0))
+		net.Attach(1, refPort(1))
+		ref := run(func(at units.Time, src, dst, b int) {
+			kN.At(at, func() {
+				f := net.NewFrame()
+				f.Kind = fabric.Data
+				f.Src = src
+				f.Dst = dst
+				f.Bytes = b
+				net.Send(f)
+			})
+		}, func() {}, func() []hit { kN.Run(); return refHits })
+
+		// Topo two-host auto spec.
+		kT := sim.NewKernel()
+		fab := NewFabric(kT, cfg, Spec{}, 2)
+		var topoHits []hit
+		topoPort := func(id int) fabric.Port {
+			return rxFunc(func(f *fabric.Frame) {
+				topoHits = append(topoHits, hit{kT.Now(), f.Kind})
+				if f.Kind == fabric.Data {
+					fab.Ack(f, fabric.AckInfo{})
+				}
+				f.Release()
+			})
+		}
+		fab.Attach(0, topoPort(0))
+		fab.Attach(1, topoPort(1))
+		got := run(func(at units.Time, src, dst, b int) {
+			kT.At(at, func() {
+				f := fab.NewFrame()
+				f.Kind = fabric.Data
+				f.Src = src
+				f.Dst = dst
+				f.Bytes = b
+				fab.Send(f)
+			})
+		}, func() {}, func() []hit { kT.Run(); return topoHits })
+
+		if len(got) != len(ref) {
+			t.Fatalf("useSwitch=%v: %d deliveries, want %d", useSwitch, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("useSwitch=%v delivery %d: %+v, want %+v", useSwitch, i, got[i], ref[i])
+			}
+		}
+		if fab.InUseFrames() != 0 || net.InUseFrames() != 0 {
+			t.Errorf("useSwitch=%v: leaked frames (topo %d, net %d)", useSwitch, fab.InUseFrames(), net.InUseFrames())
+		}
+	}
+}
+
+// rxFunc adapts a func to fabric.Port.
+type rxFunc func(*fabric.Frame)
+
+func (fn rxFunc) RxFrame(f *fabric.Frame) { fn(f) }
+
+// TestStarUncontendedLatency pins the engine's per-hop arithmetic: one
+// 8-byte frame through an N=3 star costs two serializations, the full
+// cable flight (two half-cables) and one switch forwarding latency.
+func TestStarUncontendedLatency(t *testing.T) {
+	k, fab, ports := build(t, testCfg(true), Spec{}, 3)
+	sendAt(k, fab, 0, 0, 1, 8)
+	k.Run()
+	if len(ports[1].at) != 1 {
+		t.Fatal("no delivery")
+	}
+	ser := units.Nanoseconds(3.04) // (8+30)*80ps
+	want := 2*ser + units.Nanoseconds(270) + units.Nanoseconds(108)
+	if ports[1].at[0] != want {
+		t.Errorf("arrival %v, want %v", ports[1].at[0], want)
+	}
+	if fab.InUseFrames() != 0 {
+		t.Errorf("%d frames leaked", fab.InUseFrames())
+	}
+}
+
+// TestStarOutputPortContention: two same-instant frames from different
+// sources to one destination share the switch output port; the second is
+// serialized behind the first.
+func TestStarOutputPortContention(t *testing.T) {
+	k, fab, ports := build(t, testCfg(true), Spec{}, 3)
+	sendAt(k, fab, 0, 0, 2, 8)
+	sendAt(k, fab, 0, 1, 2, 8)
+	k.Run()
+	if len(ports[2].at) != 2 {
+		t.Fatalf("got %d deliveries, want 2", len(ports[2].at))
+	}
+	ser := units.Nanoseconds(3.04)
+	if gap := ports[2].at[1] - ports[2].at[0]; gap != ser {
+		t.Errorf("contended spacing %v, want one serialization %v", gap, ser)
+	}
+	if fab.MaxSwitchQueue() < 1 {
+		t.Error("no switch queueing observed")
+	}
+}
+
+// TestCreditBackpressure: with one credit per link, a burst from one host
+// is paced by credit returns, stalling the injection port.
+func TestCreditBackpressure(t *testing.T) {
+	const burst = 5
+	k, fab, ports := build(t, testCfg(true), Spec{Credits: 1}, 3)
+	k.At(0, func() {
+		for i := 0; i < burst; i++ {
+			f := fab.NewFrame()
+			f.Kind = fabric.Data
+			f.Src = 0
+			f.Dst = 1
+			f.Bytes = 8
+			fab.Send(f)
+		}
+	})
+	k.Run()
+	if len(ports[1].at) != burst {
+		t.Fatalf("got %d deliveries, want %d", len(ports[1].at), burst)
+	}
+	// With ample credits the injection port streams frames one
+	// serialization apart; with one credit the next frame waits for the
+	// previous one to clear the switch, so spacing must far exceed it.
+	ser := units.Nanoseconds(3.04)
+	for i := 1; i < burst; i++ {
+		if gap := ports[1].at[i] - ports[1].at[i-1]; gap <= ser {
+			t.Errorf("delivery %d only %v after %d; credits did not pace", i, gap, i-1)
+		}
+	}
+	stats := fab.PortStats()
+	var stalls uint64
+	for _, s := range stats {
+		if s.Name == "host0.egress" {
+			stalls = s.CreditStalls
+			if s.MaxQueue == 0 {
+				t.Error("host0.egress never queued under credit pressure")
+			}
+		}
+	}
+	if stalls == 0 {
+		t.Error("no credit stalls recorded")
+	}
+	if fab.InUseFrames() != 0 {
+		t.Errorf("%d frames leaked", fab.InUseFrames())
+	}
+}
+
+// TestFatTreeShapeAndRouting pins the compiled Clos: 8 hosts at radix 4
+// give 4 leaves and 2 spines, with destination-based up-path selection.
+func TestFatTreeShapeAndRouting(t *testing.T) {
+	_, fab, _ := build(t, testCfg(true), Spec{Kind: FatTree}, 8)
+	sws := fab.Switches()
+	if len(sws) != 6 {
+		t.Fatalf("%d switches, want 4 leaves + 2 spines", len(sws))
+	}
+	leaf0 := sws[0]
+	if leaf0.Name() != "leaf0" || leaf0.Ports() != 4 {
+		t.Errorf("leaf0: %q with %d ports, want 4", leaf0.Name(), leaf0.Ports())
+	}
+	// Host 1 is on leaf0 port 1; host 7 is cross-leaf via spine 7%2=1,
+	// i.e. up port index 2+1.
+	if got := leaf0.Route(1); got != 1 {
+		t.Errorf("leaf0 route to host1 = port %d, want 1 (down)", got)
+	}
+	if got := leaf0.Route(7); got != 3 {
+		t.Errorf("leaf0 route to host7 = port %d, want 3 (up to spine1)", got)
+	}
+	spine1 := sws[5]
+	if spine1.Name() != "spine1" || spine1.Ports() != 4 {
+		t.Errorf("spine1: %q with %d ports, want 4", spine1.Name(), spine1.Ports())
+	}
+	if got := spine1.Route(7); got != 3 {
+		t.Errorf("spine1 route to host7 = port %d, want 3 (leaf3)", got)
+	}
+}
+
+// TestFatTreePartialLeaf: a host count that only part-fills the last leaf
+// must compile without phantom (unwired) ports and still route to it.
+func TestFatTreePartialLeaf(t *testing.T) {
+	k, fab, ports := build(t, testCfg(true), Spec{Kind: FatTree, Radix: 4}, 5)
+	// 5 hosts at radix 4: leaves 0-1 full (2 hosts), leaf2 holds host 4
+	// alone — one down port plus two up ports.
+	sws := fab.Switches()
+	if len(sws) != 5 {
+		t.Fatalf("%d switches, want 3 leaves + 2 spines", len(sws))
+	}
+	if leaf2 := sws[2]; leaf2.Name() != "leaf2" || leaf2.Ports() != 3 {
+		t.Errorf("leaf2: %q with %d ports, want 3 (1 down + 2 up)", leaf2.Name(), leaf2.Ports())
+	}
+	for _, ps := range fab.PortStats() {
+		if ps.Name == "" {
+			t.Error("PortStats contains an unwired phantom port")
+		}
+	}
+	sendAt(k, fab, 0, 0, 4, 8) // cross-leaf into the partial leaf
+	k.Run()
+	if len(ports[4].at) != 1 {
+		t.Fatal("no delivery to the partial leaf's host")
+	}
+}
+
+// TestFatTreeLatency pins same-leaf (one switch) vs cross-leaf (three
+// switch) path latencies.
+func TestFatTreeLatency(t *testing.T) {
+	k, fab, ports := build(t, testCfg(true), Spec{Kind: FatTree}, 8)
+	sendAt(k, fab, 0, 0, 1, 8) // same leaf
+	sendAt(k, fab, 0, 2, 5, 8) // cross leaf: leaf1 -> spine -> leaf2
+	k.Run()
+	ser := units.Nanoseconds(3.04)
+	hop := units.Nanoseconds(135) // WireProp / 2
+	sw := units.Nanoseconds(108)
+	wantSame := 2*ser + 2*hop + sw
+	wantCross := 4*ser + 4*hop + 3*sw
+	if len(ports[1].at) != 1 || ports[1].at[0] != wantSame {
+		t.Errorf("same-leaf arrival %v, want %v", ports[1].at, wantSame)
+	}
+	if len(ports[5].at) != 1 || ports[5].at[0] != wantCross {
+		t.Errorf("cross-leaf arrival %v, want %v", ports[5].at, wantCross)
+	}
+}
+
+// TestSparseOutOfOrderAttach: ids need not be dense or ordered.
+func TestSparseOutOfOrderAttach(t *testing.T) {
+	k := sim.NewKernel()
+	fab := NewFabric(k, testCfg(true), Spec{}, 4)
+	ports := map[int]*port{}
+	for _, id := range []int{3, 0, 2, 1} {
+		p := &port{k: k, fab: fab}
+		ports[id] = p
+		fab.Attach(id, p)
+	}
+	sendAt(k, fab, 0, 3, 0, 8)
+	k.Run()
+	if len(ports[0].at) != 1 {
+		t.Fatal("sparse-order attach broke delivery")
+	}
+}
+
+func TestDuplicateAttachPanics(t *testing.T) {
+	k := sim.NewKernel()
+	fab := NewFabric(k, testCfg(true), Spec{}, 3)
+	fab.Attach(0, &port{k: k, fab: fab})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate attach did not panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "port id 0") || !strings.Contains(msg, "switch(") {
+			t.Errorf("panic %q does not name the port and topology", msg)
+		}
+	}()
+	fab.Attach(0, &port{k: k, fab: fab})
+}
+
+// TestSendPanicsNamePortAndTopology covers the two failure shapes: an
+// unattached destination, and a destination attached under an id the
+// topology never routed.
+func TestSendPanicsNamePortAndTopology(t *testing.T) {
+	expectPanic := func(t *testing.T, wantSub ...string) {
+		t.Helper()
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		msg := fmt.Sprint(r)
+		for _, sub := range wantSub {
+			if !strings.Contains(msg, sub) {
+				t.Errorf("panic %q does not contain %q", msg, sub)
+			}
+		}
+	}
+
+	t.Run("unattached", func(t *testing.T) {
+		k, fab, _ := build(t, testCfg(true), Spec{}, 3)
+		defer expectPanic(t, "no attached destination port 9", "switch(hosts=3")
+		k.At(0, func() { fab.Send(&fabric.Frame{Kind: fabric.Data, Src: 0, Dst: 9}) })
+		k.Run()
+	})
+
+	t.Run("attached but unrouted", func(t *testing.T) {
+		k, fab, _ := build(t, testCfg(true), Spec{}, 3)
+		fab.Attach(7, &port{k: k, fab: fab}) // beyond the 3 routed hosts
+		defer expectPanic(t, "port 7 is attached but not routed", "hosts 0..2", "switch(hosts=3")
+		k.At(0, func() { fab.Send(&fabric.Frame{Kind: fabric.Data, Src: 0, Dst: 7}) })
+		k.Run()
+	})
+
+	t.Run("unrouted source", func(t *testing.T) {
+		k, fab, _ := build(t, testCfg(true), Spec{Kind: FatTree}, 4)
+		fab.Attach(11, &port{k: k, fab: fab})
+		defer expectPanic(t, "source port 11", "fattree(radix=4")
+		k.At(0, func() { fab.Send(&fabric.Frame{Kind: fabric.Data, Src: 11, Dst: 0}) })
+		k.Run()
+	})
+}
+
+// TestAckRoundTripOverStar: the transport ACK crosses the star back to the
+// initiator, and both pooled frames return to the pool.
+func TestAckRoundTripOverStar(t *testing.T) {
+	k, fab, ports := build(t, testCfg(true), Spec{}, 4)
+	ports[2].ack = true
+	sendAt(k, fab, 0, 0, 2, 8)
+	k.Run()
+	if len(ports[0].got) != 1 || ports[0].got[0] != fabric.TransportAck {
+		t.Fatalf("no transport ack at initiator: %v", ports[0].got)
+	}
+	if fab.Delivered[fabric.Data] != 1 || fab.Delivered[fabric.TransportAck] != 1 {
+		t.Errorf("delivered counts: %v", fab.Delivered)
+	}
+	if fab.InUseFrames() != 0 {
+		t.Errorf("%d frames leaked after ack round trip", fab.InUseFrames())
+	}
+}
+
+// TestOnDepthHook observes queue growth during contention.
+func TestOnDepthHook(t *testing.T) {
+	k, fab, _ := build(t, testCfg(true), Spec{}, 4)
+	depthHits := map[string]int{}
+	fab.OnDepth = func(at units.Time, port string, depth int) {
+		if depth > depthHits[port] {
+			depthHits[port] = depth
+		}
+	}
+	for src := 0; src < 3; src++ {
+		sendAt(k, fab, 0, src, 3, 1024)
+	}
+	k.Run()
+	if depthHits["sw0.port3"] < 2 {
+		t.Errorf("incast port depth %d, want >= 2 (hits: %v)", depthHits["sw0.port3"], depthHits)
+	}
+}
+
+// TestDeterminism: two identical contended runs deliver at identical
+// times.
+func TestDeterminism(t *testing.T) {
+	run := func() []units.Time {
+		k, fab, ports := build(t, testCfg(true), Spec{Kind: FatTree, Credits: 2}, 8)
+		for src := 1; src < 8; src++ {
+			for i := 0; i < 5; i++ {
+				sendAt(k, fab, units.Time(i)*units.Nanoseconds(50), src, 0, 512)
+			}
+		}
+		k.Run()
+		return ports[0].at
+	}
+	a, b := run(), run()
+	if len(a) != 35 || len(a) != len(b) {
+		t.Fatalf("delivery counts %d vs %d, want 35", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %v vs %v: run not deterministic", i, a[i], b[i])
+		}
+	}
+}
