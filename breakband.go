@@ -31,6 +31,11 @@
 // Options.Parallelism (default runtime.GOMAXPROCS). Parallel and serial
 // campaigns are bit-identical at the same seed — every task derives its own
 // noise stream from the campaign seed and its task name.
+//
+// ARCHITECTURE.md maps every internal package to its layer and paper
+// section, documents the event/ownership/credit contracts, and catalogs
+// the runnable scenarios (put_bw, am_lat, multicore, incast, all-to-all,
+// oversubscribed) with the command that drives each.
 package breakband
 
 import (
@@ -89,6 +94,18 @@ func (o Options) configMaker() func() *config.Config {
 // with the internal benchmarks (the examples show idiomatic use).
 func (o Options) NewSystem() *node.System {
 	return node.NewSystem(o.configMaker()(), 2)
+}
+
+// NewNodeSystem builds an n-node system over the compiled topology (a
+// shared single switch by default; set Config.Topology via the internal
+// packages for fat-trees) with every NIC's receive pend budget set to
+// rxBudget (0 = unbounded) — the entry point for the congestion scenarios
+// in internal/perftest (incast, all-to-all, oversubscribed). See
+// ARCHITECTURE.md's scenario catalog.
+func (o Options) NewNodeSystem(n, rxBudget int) *node.System {
+	cfg := o.configMaker()()
+	cfg.NICRxBudget = rxBudget
+	return node.NewSystem(cfg, n)
 }
 
 // Results is a completed reproduction: the measured component table, the

@@ -62,6 +62,7 @@ func main() {
 		{"PutBwEndToEnd", simbench.PutBwEndToEnd},
 		{"WindowedPutBw", simbench.WindowedPutBw},
 		{"IncastPutBw", simbench.IncastPutBw},
+		{"OversubscribedPutBw", simbench.OversubscribedPutBw},
 	}
 
 	rep := report{

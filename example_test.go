@@ -1,0 +1,54 @@
+package breakband_test
+
+import (
+	"fmt"
+
+	"breakband"
+	"breakband/internal/perftest"
+)
+
+// Example is the facade quickstart: run the full measurement campaign and
+// render the paper's headline artifacts. (No expected output is pinned —
+// a campaign takes seconds; see examples/quickstart for the runnable
+// program and the golden fixture for the bit-exact numbers.)
+func Example() {
+	res := breakband.Reproduce(breakband.Options{})
+	fmt.Println(res.Table1())            // the Table-1 reproduction
+	fmt.Println(res.RenderValidations()) // models vs observed benchmarks
+	fmt.Println(res.Figure("fig13"))     // end-to-end latency breakdown
+}
+
+// Example_benchmarks runs the §4 microbenchmarks directly, without the
+// full campaign: put_bw reports the injection interval, am_lat the
+// half-round-trip latency.
+func Example_benchmarks() {
+	opts := breakband.Options{Seed: 1}
+	pb := breakband.RunPutBw(opts, 2000)
+	al := breakband.RunAmLat(opts, 2000)
+	fmt.Printf("put_bw: %.2f ns between messages\n", pb.MeanInjNs)
+	fmt.Printf("am_lat: %.2f ns one-way (adjusted)\n", al.AdjustedNs)
+}
+
+// Example_congestion builds an N-node system over the topology layer and
+// drives the oversubscribed incast: four senders saturate one receiver
+// whose NIC buffers at most eight frames, so overload shows up as RNR
+// NAKs and sender backoff instead of unbounded buffering. ARCHITECTURE.md
+// catalogs every scenario.
+func Example_congestion() {
+	opts := breakband.Options{Seed: 1}
+	sys := opts.NewNodeSystem(5, 8) // 5 nodes, rx budget 8
+	defer sys.Shutdown()
+	res := perftest.OversubscribedPutBw(sys, 4, perftest.Options{
+		Iters: 400, Warmup: 250, MsgSize: 4096,
+	})
+	fmt.Println(res)
+	fmt.Printf("receiver PCIe service model: %.1f ns/msg\n", res.ModelCycleNs)
+}
+
+// Example_noise turns on the stochastic timing model (lognormal software
+// jitter plus rare preemption spikes), reproducing the paper's Figure-7
+// style injection-overhead distribution at a fixed seed.
+func Example_noise() {
+	pb := breakband.RunPutBw(breakband.Options{Noise: true, Seed: 7}, 5000)
+	fmt.Printf("mean %.1f ns, spread %v\n", pb.MeanInjNs, pb.InjDist)
+}

@@ -55,8 +55,13 @@ func main() {
 	fmt.Printf("== %s queue depth over time ==\n", hotPort)
 	fmt.Println(depthChart(trace, 64, 12))
 	fmt.Println("The ramp is the senders' send queues filling; the plateau is the")
-	fmt.Println("steady state where the shared port serves one 4 KiB frame per")
-	fmt.Printf("%v and credit backpressure paces every sender.\n", cfg.Fabric.SerTime(msgSize))
+	fmt.Println("steady state. For 4 KiB writes the receiver's PCIe credit round")
+	fmt.Printf("trip (%.2fns per MWr) is slower than the port's %v wire\n",
+		perftest.PCIeWriteCycle(cfg, msgSize).Ns(), cfg.Fabric.SerTime(msgSize))
+	fmt.Println("serialization, so the receiving NIC holds delivered frames until")
+	fmt.Println("their host writes issue, final-hop credits stay pinned, and the")
+	fmt.Println("queue sits at the credit ceiling while backpressure paces every")
+	fmt.Println("sender at the PCIe drain rate.")
 	fmt.Println()
 
 	fmt.Println("== congested ports ==")

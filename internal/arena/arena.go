@@ -1,12 +1,3 @@
-// Package arena provides the pooled, generation-checked object arena the
-// device models share: value-typed slots stored in fixed-size chunks (so
-// pointers stay stable while the arena grows), a free list for recycling,
-// and stale-handle detection via per-slot generations.
-//
-// A pooled type embeds Slot and is allocated from an Arena bound to it with
-// New. The zero Slot marks a directly-constructed (unpooled) object:
-// Release on it is a no-op and handles to it resolve to nil, so tests may
-// build pooled types with plain literals.
 package arena
 
 // Chunk is the slot count of one arena chunk. Chunked growth keeps slot

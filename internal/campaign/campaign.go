@@ -1,15 +1,3 @@
-// Package campaign is the bounded-parallel task engine behind the
-// measurement campaign and the perftest sweeps.
-//
-// The paper's §3 methodology ("we do not simultaneously measure time in any
-// other component") forces every sub-measurement to build a fresh,
-// independent system; nothing is shared between them, so they can execute
-// concurrently with results bit-identical to a serial run. The engine
-// enforces only the scheduling side of that contract: tasks run on a worker
-// pool of configurable width and Run returns when all of them finished.
-// Isolation is the task author's side: a task must build its own config,
-// random streams and simulated system, and write only to its own result
-// slot.
 package campaign
 
 import (

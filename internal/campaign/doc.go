@@ -1,0 +1,34 @@
+// Package campaign is the bounded-parallel task engine behind the
+// measurement campaign and the perftest sweeps.
+//
+// The paper's §3 methodology ("we do not simultaneously measure time in any
+// other component") forces every sub-measurement to build a fresh,
+// independent system; nothing is shared between them, so they can execute
+// concurrently with results bit-identical to a serial run. The engine
+// enforces only the scheduling side of that contract: tasks run on a worker
+// pool of configurable width (Workers resolves 0 to GOMAXPROCS, 1 forces
+// serial) and Run returns when all of them have finished; Map is the
+// generic fan-out over a slice with one result slot per item.
+//
+// # Ownership rules for tasks
+//
+// Isolation is the task author's side of the contract. A task must:
+//
+//   - build its own config and simulated system (never share a
+//     node.System, sim.Kernel, or any component between tasks — the
+//     kernel is single-threaded by design);
+//   - derive its own random stream from the campaign seed and the task's
+//     *name* (rng.DeriveSeed), never from its execution order or worker
+//     index, so parallel and serial runs draw identically;
+//   - write only to its own result slot (the Task closure's captured
+//     pointer, or Map's per-index return) — results are published by the
+//     pool's completion barrier, so no further synchronization is needed;
+//   - shut its system down before returning (leaked procs outlive the
+//     task and show up in later measurements' wall clock).
+//
+// A panic inside a task is captured and re-raised on the caller's
+// goroutine after the pool drains, with the task name attached and the
+// first panicking task chosen in slice order (independent of pool width,
+// so even failures are deterministic) — a misbehaving sub-measurement
+// fails the campaign loudly instead of deadlocking it.
+package campaign

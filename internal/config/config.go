@@ -214,6 +214,14 @@ type Config struct {
 	// switch with contended ports.
 	Topology topo.Spec
 
+	// NICRxBudget bounds every NIC's receive-side pend buffering: the
+	// number of inbound data frames a NIC may hold while their host-memory
+	// writes wait for PCIe posted credits. Beyond the budget the NIC
+	// refuses frames with RNR NAKs and senders retry after a backoff
+	// (retry shape per NIC.Rnr*). Zero keeps the unbounded legacy
+	// behaviour. node.NewSystem copies a nonzero value into NIC.RxBudget.
+	NICRxBudget int
+
 	// MemBytes is each node's host memory size.
 	MemBytes uint64
 }

@@ -16,12 +16,25 @@
 //     flight.
 //   - Delivery transfers ownership to the Port: RxFrame must eventually
 //     call Frame.Release — synchronously, or from a later event if receive
-//     processing is deferred.
+//     processing is deferred. The NIC exploits the deferred form for
+//     receiver backpressure: it releases a data frame only once the PCIe
+//     writes it generated have been issued, so a receiver drowning in
+//     overload keeps frames (and, on the topology fabric, their final-hop
+//     buffer credits) until its host link catches up.
 //   - Anything that wants to keep frame contents past its ownership window
 //     must copy them; Payload() aliases the pooled buffer.
 //
 // Frames constructed directly (&Frame{...}, as tests do) are not pooled and
 // Release on them is a no-op.
+//
+// # Transport ACK and RNR NAK
+//
+// Every accepted Data frame is answered with a TransportAck retiring the
+// initiator's oldest outstanding WQE (paper §2 step 4). A frame the target
+// NIC cannot buffer is answered with an RnrNak instead — same reverse-path
+// frame shape (AckFor + a Kind retag), same queueing and credits — and the
+// initiator retries after a backoff; see internal/nic for the retry state
+// machine and ARCHITECTURE.md for the end-to-end credit picture.
 //
 // Frames carry their transport operation inline (TxOp / AckInfo value
 // fields) rather than as boxed interface payloads, so a frame never drags
@@ -45,21 +58,38 @@ import (
 	"breakband/internal/units"
 )
 
-// FrameKind distinguishes payload-carrying frames from transport ACKs.
+// FrameKind distinguishes payload-carrying frames from transport ACKs and
+// receiver-not-ready NAKs.
 type FrameKind uint8
 
 // Frame kinds.
 const (
 	Data FrameKind = iota
 	TransportAck
+	// RnrNak is the receiver-not-ready negative acknowledgement: the
+	// target NIC refused the Data frame (rx pend budget exhausted, or no
+	// receive posted for a send) and the initiator must retransmit after a
+	// backoff. It rides the reverse path exactly like a TransportAck —
+	// same AckFor shape, same credits and port queues — carrying the
+	// refused WQE's identity in the Ack field.
+	RnrNak
+
+	// NumFrameKinds sizes per-kind counter arrays.
+	NumFrameKinds = 3
 )
 
 // String implements fmt.Stringer.
 func (k FrameKind) String() string {
-	if k == Data {
+	switch k {
+	case Data:
 		return "data"
+	case TransportAck:
+		return "ack"
+	case RnrNak:
+		return "rnr-nak"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
-	return "ack"
 }
 
 // TxOp describes the transport operation of a Data frame. The fabric treats
@@ -107,6 +137,13 @@ type Frame struct {
 	// releases the frame. Senders and receivers never touch it.
 	HopRef int32
 
+	// RxPendWrites is receiver-side bookkeeping: the NIC counts the
+	// host-memory writes this delivered frame generated that are still
+	// credit-blocked on the PCIe link, deferring Release (and therefore
+	// the final-hop credit return above) until the count drains to zero.
+	// Senders and the delivery layers never touch it.
+	RxPendWrites int32
+
 	// Slot is the pool bookkeeping (zero for frames constructed
 	// directly); it provides Release.
 	arena.Slot
@@ -142,6 +179,7 @@ func NewFrameArena() *arena.Arena[Frame] {
 			f.Ack = AckInfo{}
 			f.Bytes = 0
 			f.HopRef = 0
+			f.RxPendWrites = 0
 			f.payload = f.payload[:0]
 		})
 }
@@ -215,10 +253,12 @@ type Deliverer interface {
 	NewFrame() *Frame
 	// Send transmits f from its Src towards its Dst.
 	Send(f *Frame)
-	// AckFor allocates the transport ACK answering the Data frame f.
+	// AckFor allocates the transport ACK answering the Data frame f. The
+	// caller may retag the returned frame as an RnrNak before sending it;
+	// both kinds ride the reverse path identically.
 	AckFor(f *Frame, info AckInfo) *Frame
-	// SendAck transmits a previously built ACK after the configured
-	// turnaround delay.
+	// SendAck transmits a previously built ACK (or NAK) after the
+	// configured turnaround delay.
 	SendAck(ack *Frame)
 	// Config reports the wire/switch parameter set.
 	Config() Config
@@ -238,7 +278,7 @@ type Network struct {
 	// (ids are small and dense; grown on Attach).
 	busyUntil []units.Time
 	// Delivered counts frames by kind, a test hook.
-	Delivered [2]uint64
+	Delivered [NumFrameKinds]uint64
 
 	frames *arena.Arena[Frame]
 

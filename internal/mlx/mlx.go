@@ -172,6 +172,23 @@ const (
 	CQERecv              // incoming send landed (target side)
 )
 
+// CQE status codes (the mlx5 syndrome byte, reduced to what the model can
+// produce). A nonzero status marks an error completion: the hardware gave up
+// on the WQE and software must not treat the transfer as delivered.
+const (
+	// CQEOK is a successful completion.
+	CQEOK uint8 = 0
+	// CQERnrRetryExc reports that the remote peer kept answering RNR NAK
+	// past the QP's retry budget (IBV_WC_RNR_RETRY_EXC_ERR). The CQE
+	// retires every outstanding WQE up to its counter, all failed.
+	CQERnrRetryExc uint8 = 1
+	// CQEFlushErr reports a WQE flushed without transmission because the
+	// QP was already in error state when it executed
+	// (IBV_WC_WR_FLUSH_ERR) — e.g. software posted between retry
+	// exhaustion and polling the error CQE.
+	CQEFlushErr uint8 = 2
+)
+
 // CQE is a decoded completion queue entry.
 type CQE struct {
 	Op CQEOp
@@ -181,6 +198,9 @@ type CQE struct {
 	QPN        uint32
 	ByteCnt    uint32
 	AmID       uint8
+	// Status is CQEOK for successful completions; a nonzero value (e.g.
+	// CQERnrRetryExc) marks an error completion.
+	Status uint8
 	// Payload is the inline-scattered data for small CQERecv completions.
 	Payload []byte
 	// Gen is the ring-pass generation owning the slot; consumers compare
@@ -190,13 +210,14 @@ type CQE struct {
 }
 
 // CQE layout: 0 op, 1 am id, 2 wqe counter(2), 4 qpn(4), 8 byte count(4),
-// 16.. inline scatter, 63 generation/owner byte.
+// 12 status, 16.. inline scatter, 63 generation/owner byte.
 const (
 	cqeOffOp      = 0
 	cqeOffAmID    = 1
 	cqeOffCounter = 2
 	cqeOffQPN     = 4
 	cqeOffByteCnt = 8
+	cqeOffStatus  = 12
 	cqeOffScatter = 16
 	cqeOffGen     = 63
 )
@@ -212,6 +233,7 @@ func (c *CQE) Encode() ([CQESize]byte, error) {
 	binary.LittleEndian.PutUint16(b[cqeOffCounter:], c.WQECounter)
 	binary.LittleEndian.PutUint32(b[cqeOffQPN:], c.QPN)
 	binary.LittleEndian.PutUint32(b[cqeOffByteCnt:], c.ByteCnt)
+	b[cqeOffStatus] = c.Status
 	copy(b[cqeOffScatter:], c.Payload)
 	b[cqeOffGen] = c.Gen
 	return b, nil
@@ -231,6 +253,7 @@ func (c *CQE) DecodeFrom(b []byte) error {
 	c.WQECounter = binary.LittleEndian.Uint16(b[cqeOffCounter:])
 	c.QPN = binary.LittleEndian.Uint32(b[cqeOffQPN:])
 	c.ByteCnt = binary.LittleEndian.Uint32(b[cqeOffByteCnt:])
+	c.Status = b[cqeOffStatus]
 	c.Gen = b[cqeOffGen]
 	if c.Op > CQERecv {
 		return errors.New("mlx: bad CQE op")

@@ -19,13 +19,43 @@
 // DMA write of a CQE with inline-scattered payload, so the payload and its
 // completion become visible to the polling CPU together.
 //
+// # Receive-side backpressure: deferred release and RNR NAK
+//
+// A delivered data frame is not released back to the fabric until every
+// host-memory write it generated (the RDMA payload MWr, the receive-buffer
+// MWr, the CQE MWr) has actually been issued on the PCIe link. While a
+// write sits credit-blocked in the link's pend queue the frame stays held,
+// which — because the topology fabric returns the final-hop buffer credit
+// only on release — turns receiver-side PCIe overload into hop-by-hop
+// fabric backpressure toward the senders for free.
+//
+// Config.RxBudget bounds how many frames may be held this way. A frame
+// arriving with the budget full (or an inbound send with no receive
+// posted) is refused with an RNR NAK carrying the refused WQE's counter;
+// the target QP then discards every data frame until that counter is
+// retransmitted (go-back-N: the trailing in-flight frames are out of
+// protocol). The initiator backs off exponentially
+// (Config.RnrBackoff..RnrBackoffMax), replays its whole outstanding tail
+// from the fixed per-QP retransmit ring, and — after Config.RnrRetryLimit
+// consecutive NAKs for the same WQE — fails the QP with an error CQE
+// (mlx.CQERnrRetryExc) that retires every outstanding WQE as undelivered.
+// With RxBudget zero there is no buffering NAK — held frames are bounded
+// only by the fabric's link credits — but a send arriving with no receive
+// posted is still RNR-NAKed and retried (that case used to drop silently
+// into an RNRDrops counter, stalling the sender forever). See
+// ARCHITECTURE.md for how this composes with the PCIe and topology credit
+// loops.
+//
 // The device datapath is allocation-free in steady state: TLPs and frames
 // come from the link/network pools (the NIC releases everything delivered
 // to it, per the pcie/fabric borrow contracts), DMA-read completions
 // dispatch through typed continuation records instead of closures (with
 // reads past the 256-tag space queued FIFO rather than failing), and
 // descriptors decode into per-QP scratch WQEs whose payload buffers are
-// reused.
+// reused. The overload path recycles too: NAK frames and backoff timer
+// events are pooled, the retransmit ring and the pend-mirror FIFO reuse
+// their buffers, so NAK/retry stays inside the same allocation budget as
+// the uncontended path (enforced by internal/simbench).
 package nic
 
 import (
@@ -49,11 +79,51 @@ type Config struct {
 	// RxProcess is the pipeline delay on inbound frames before DMA.
 	RxProcess units.Time
 	// AckProcess is the delay from inbound-frame handling to the
-	// transport ACK emission.
+	// transport ACK (or RNR NAK) emission.
 	AckProcess units.Time
 	// BARStride is the device-memory span reserved per QP.
 	BARStride uint64
+
+	// RxBudget bounds receive-side pend buffering: the number of inbound
+	// data frames the NIC may hold while their host-memory writes wait for
+	// PCIe posted credits. A delivered frame is only released back to the
+	// fabric (returning its final-hop buffer credit) once every MWr it
+	// generated has actually been issued on the link, so held frames
+	// backpressure the fabric hop by hop; when RxBudget frames are already
+	// held, further data frames are refused with an RNR NAK and the sender
+	// retries after a backoff. Zero means unbounded (the pre-RNR
+	// behaviour: the NIC buffers everything and the PCIe pend queue grows
+	// with overload).
+	RxBudget int
+	// RnrRetryLimit is how many RNR retransmit attempts a QP may make for
+	// the same head-of-queue WQE before the NIC gives up and writes an
+	// error CQE (mlx.CQERnrRetryExc) retiring the whole outstanding tail.
+	// The counter resets whenever the QP makes forward progress (an ACK
+	// arrives). Zero selects DefaultRnrRetryLimit; negative retries
+	// forever (IB's rnr_retry=7 semantics).
+	RnrRetryLimit int
+	// RnrBackoff is the base sender-side backoff after an RNR NAK; each
+	// consecutive NAK for the same WQE doubles it up to RnrBackoffMax.
+	// Zero selects DefaultRnrBackoff (zero backoff is not representable —
+	// real RNR timers are microseconds, and an instant retry would spin
+	// the simulation).
+	RnrBackoff units.Time
+	// RnrBackoffMax caps the exponential backoff. Zero selects
+	// DefaultRnrBackoffMax.
+	RnrBackoffMax units.Time
 }
+
+// RNR retry defaults, applied by New when the Config fields are zero.
+const (
+	DefaultRnrRetryLimit = 7
+)
+
+// Default RNR backoff window: ~2 us base (the smallest nonzero IB RNR NAK
+// timer class is in that range), doubling to a 32 us cap.
+var (
+	DefaultRnrBackoff    = units.Microseconds(2)
+	DefaultRnrBackoffMax = units.Microseconds(32)
+)
 
 // DefaultConfig returns the calibration-neutral configuration.
 func DefaultConfig() Config {
@@ -66,10 +136,19 @@ const (
 	bfOffset = 0x100 // 64-byte BlueFlame PIO buffer
 )
 
-// txRec tracks a transmitted, not-yet-acknowledged WQE.
+// txRec tracks an executed, not-yet-acknowledged WQE. It doubles as the
+// retransmission record: op and payload are everything needed to rebuild
+// the frame when an RNR NAK forces a go-back-N replay (real hardware
+// re-reads the WQE from the send queue; the model keeps the equivalent
+// state in the ring so the PIO path — whose descriptors never touch host
+// memory — replays identically). Records live in a fixed ring sized by the
+// send queue depth; payload buffers are reused across ring passes, so the
+// steady-state path allocates nothing.
 type txRec struct {
 	counter  uint16
 	signaled bool
+	op       fabric.TxOp
+	payload  []byte
 }
 
 // QP is a queue pair: a send queue, its completion queues, and a reliable
@@ -101,15 +180,52 @@ type QP struct {
 	fetching     bool   // a descriptor fetch chain is in flight
 	// fetchWQE is the caller-owned scratch the fetch chain decodes into;
 	// the fetching flag serializes its use per QP.
-	fetchWQE    mlx.WQE
-	outstanding []txRec // transmitted, awaiting transport ACK (in order)
-	sendCQPI    uint16  // producer counter of SendCQ
-	recvCQPI    uint16  // producer counter of RecvCQ
-	recvPosted  int     // receive credits posted by software
-	rqAddrs     []uint64
+	fetchWQE mlx.WQE
+	// txRing is the ring of executed, awaiting-ACK WQEs (the retransmit
+	// buffer): txRing[txHead] is the oldest outstanding record and txN the
+	// live count. Sized to the send queue depth at CreateQP.
+	txRing []txRec
+	txHead int
+	txN    int
+
+	sendCQPI   uint16 // producer counter of SendCQ
+	recvCQPI   uint16 // producer counter of RecvCQ
+	recvPosted int    // receive credits posted by software
+	rqAddrs    []uint64
+
+	// Initiator-side RNR state: awaitingRetry is set between an RNR NAK
+	// and its backoff timer firing (new WQEs executed meanwhile are parked
+	// in the ring and ride the replay); rnrRetries counts consecutive NAKs
+	// for the current head WQE and resets on any ACK.
+	awaitingRetry bool
+	rnrRetries    int
+	// Errored marks a QP that exhausted its RNR retry budget: the NIC
+	// wrote an error CQE retiring the outstanding tail and will transmit
+	// nothing more. WQEs posted afterwards are flushed with CQEFlushErr
+	// completions (counted in Flushed), as ibverbs flushes work requests
+	// on an error-state QP.
+	Errored bool
+	// Flushed counts WQEs flushed unexecuted on an errored QP.
+	Flushed uint64
+
+	// Target-side RNR state: after refusing a frame the QP is in recovery
+	// and discards every data frame until the refused counter (rxResume)
+	// is seen again — the trailing in-flight frames of a go-back-N replay
+	// window arrive out of protocol and are dropped exactly once each.
+	rxRecovery bool
+	rxResume   uint16
 
 	// Counters for tests and reports.
-	TxFrames, RxFrames, CQEsWritten, RNRDrops uint64
+	TxFrames, RxFrames, CQEsWritten uint64
+	// RNR / retry statistics. Sent/Discarded count on the target side,
+	// Recv/Retransmits/Exhausted on the initiator side; RnrStall is the
+	// initiator's accumulated backoff time.
+	RNRNaksSent    uint64
+	RxDiscarded    uint64
+	RNRNaksRecv    uint64
+	RnrRetransmits uint64
+	RetryExhausted uint64
+	RnrStall       units.Time
 }
 
 // dmaKind selects the typed continuation an MRd completion dispatches to.
@@ -163,11 +279,56 @@ type NIC struct {
 	// (consumed synchronously by execWQE).
 	bfWQE mlx.WQE
 
+	// Receive-side pend accounting. rxHeld counts delivered data frames
+	// whose host-memory writes are still credit-blocked on the PCIe link
+	// (the frame stays unreleased — and its final-hop fabric credit stays
+	// consumed — until the last write issues); rxHeldMax is the high-water
+	// mark. upPendQ mirrors the link's upstream pend queue slot for slot:
+	// one entry per credit-blocked TLP, holding the frame whose write it
+	// is (nil for TLPs not tied to a frame, e.g. descriptor-fetch MRds).
+	rxHeld    int
+	rxHeldMax int
+	upPendQ   frameFIFO
+
 	// Continuations, bound once so the optional processing delays
-	// (TxProcess/RxProcess/AckProcess) schedule without closures.
-	txFrameFn func(any)
-	rxFrameFn func(any)
-	sendAckFn func(any)
+	// (TxProcess/RxProcess/AckProcess) and the RNR backoff timer schedule
+	// without closures.
+	txFrameFn    func(any)
+	rxFrameFn    func(any)
+	sendAckFn    func(any)
+	retransmitFn func(any)
+}
+
+// frameFIFO is a growable ring of frame pointers (nil entries allowed). Its
+// capacity reaches a high-water mark bounded by the rx budget and is reused
+// thereafter, keeping the overload path allocation-free in steady state.
+type frameFIFO struct {
+	buf  []*fabric.Frame
+	head int
+	n    int
+}
+
+func (q *frameFIFO) push(f *fabric.Frame) {
+	if q.n == len(q.buf) {
+		nb := make([]*fabric.Frame, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = nb, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = f
+	q.n++
+}
+
+func (q *frameFIFO) pop() *fabric.Frame {
+	if q.n == 0 {
+		panic("nic: pend FIFO underflow (issue notification without a pended TLP)")
+	}
+	f := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return f
 }
 
 var (
@@ -182,6 +343,15 @@ func New(k *sim.Kernel, id int, mem *memsim.Memory, link *pcie.Link, net fabric.
 	if cfg.BARStride == 0 {
 		cfg.BARStride = 0x1000
 	}
+	if cfg.RnrRetryLimit == 0 {
+		cfg.RnrRetryLimit = DefaultRnrRetryLimit
+	}
+	if cfg.RnrBackoff == 0 {
+		cfg.RnrBackoff = DefaultRnrBackoff
+	}
+	if cfg.RnrBackoffMax == 0 {
+		cfg.RnrBackoffMax = DefaultRnrBackoffMax
+	}
 	n := &NIC{
 		k: k, id: id, mem: mem, link: link, net: net, cfg: cfg,
 		qps:     make(map[uint32]*QP),
@@ -191,10 +361,24 @@ func New(k *sim.Kernel, id int, mem *memsim.Memory, link *pcie.Link, net fabric.
 	n.txFrameFn = func(a any) { n.net.Send(a.(*fabric.Frame)) }
 	n.rxFrameFn = func(a any) { n.handleFrame(a.(*fabric.Frame)) }
 	n.sendAckFn = func(a any) { n.net.SendAck(a.(*fabric.Frame)) }
+	n.retransmitFn = func(a any) { n.retransmit(a.(*QP)) }
 	link.SetEndpointSide(n)
+	link.SetOnUpIssued(n.upIssued)
 	net.Attach(id, n)
 	return n
 }
+
+// RxHeld reports the data frames currently held awaiting their PCIe writes;
+// RxHeldMax is the run's high-water mark. With Config.RxBudget > 0 the
+// high-water mark never exceeds the budget.
+func (n *NIC) RxHeld() int { return n.rxHeld }
+
+// RxHeldMax reports the deepest receive-side pend buffering the NIC
+// reached.
+func (n *NIC) RxHeldMax() int { return n.rxHeldMax }
+
+// RxBudget reports the configured receive-side pend budget (0 = unbounded).
+func (n *NIC) RxBudget() int { return n.cfg.RxBudget }
 
 // ID reports the NIC's fabric identity.
 func (n *NIC) ID() int { return n.id }
@@ -218,6 +402,9 @@ func (n *NIC) CreateQP(sqDepth, cqDepth int) *QP {
 		DBRAddr: dbr.Base,
 		DBAddr:  base + dbOffset,
 		BFAddr:  base + bfOffset,
+		// The retransmit ring holds every executed-but-unacknowledged
+		// WQE; software cannot keep more than sqDepth in flight.
+		txRing: make([]txRec, sqDepth),
 	}
 	n.qps[qpn] = qp
 	n.byBAR[base] = qp
@@ -303,6 +490,38 @@ func (n *NIC) rxMMIO(t *pcie.TLP) {
 	}
 }
 
+// sendUp transmits a TLP towards the RC, mirroring the link's pend queue:
+// every credit-blocked TLP pushes one upPendQ entry carrying the inbound
+// frame whose host write it is (nil when the TLP is not part of receive
+// processing), so upIssued can pop entries in the same FIFO order the link
+// reports them.
+func (n *NIC) sendUp(t *pcie.TLP, f *fabric.Frame) {
+	if n.link.SendUp(t) {
+		return
+	}
+	n.upPendQ.push(f)
+	if f != nil {
+		f.RxPendWrites++
+	}
+}
+
+// upIssued is the link's OnUpIssued hook: a previously credit-blocked
+// upstream TLP finally transmitted. If it was the last outstanding host
+// write of a held inbound frame, the frame is released — returning its
+// final-hop fabric buffer credit, which is what makes receiver overload
+// backpressure the network instead of accumulating in the PCIe pend queue.
+func (n *NIC) upIssued(*pcie.TLP) {
+	f := n.upPendQ.pop()
+	if f == nil {
+		return
+	}
+	f.RxPendWrites--
+	if f.RxPendWrites == 0 {
+		n.rxHeld--
+		f.Release()
+	}
+}
+
 // dmaRead issues an MRd with a typed completion record, or queues the
 // request when the 256-entry tag space is exhausted (or older requests are
 // already queued — FIFO order is preserved either way).
@@ -329,7 +548,7 @@ func (n *NIC) issueDMARead(addr uint64, ln int, kind dmaKind, qp *QP) {
 	t.Addr = addr
 	t.ReadLen = ln
 	t.Tag = tag
-	n.link.SendUp(t)
+	n.sendUp(t, nil)
 }
 
 // ringDoorbell handles the 8-byte DoorBell: the NIC learns the new producer
@@ -379,24 +598,36 @@ func (qp *QP) onPayloadFetched(data []byte) {
 	qp.fetchNextWQE()
 }
 
-// execWQE transmits a decoded descriptor onto the fabric. The WQE (often a
-// scratch) is consumed synchronously: its payload is copied into the pooled
+// execWQE records a decoded descriptor in the retransmit ring and transmits
+// it onto the fabric. The WQE (often a scratch) is consumed synchronously:
+// its payload is copied into the ring record and from there into the pooled
 // frame. The outstanding record is made at execution time; with a nonzero
 // TxProcess the frame itself leaves TxProcess later, which cannot be
 // observed out of order because the transport ACK consuming the record
-// travels behind the frame.
+// travels behind the frame. While the QP is waiting out an RNR backoff the
+// frame is not transmitted: the record rides the go-back-N replay instead.
 func (n *NIC) execWQE(qp *QP, w *mlx.WQE) {
 	if w.QPN != qp.QPN {
 		panic(fmt.Sprintf("nic%d: WQE qpn %d posted to qp %d", n.id, w.QPN, qp.QPN))
 	}
-	qp.outstanding = append(qp.outstanding, txRec{counter: w.WQEIdx, signaled: w.Signaled})
-	qp.TxFrames++
-	f := n.net.NewFrame()
-	f.Kind = fabric.Data
-	f.Src = n.id
-	f.Dst = qp.remoteNIC
-	f.Bytes = len(w.Payload)
-	f.Op = fabric.TxOp{
+	if qp.Errored {
+		// The QP already failed (RNR retries exhausted) but software may
+		// not have polled the error CQE yet: flush the WQE with an error
+		// completion instead of transmitting, as ibverbs does
+		// (IBV_WC_WR_FLUSH_ERR). The completion keeps the software-side
+		// in-flight accounting consistent.
+		qp.Flushed++
+		n.writeSendCQE(qp, w.WQEIdx, mlx.CQEFlushErr)
+		return
+	}
+	if qp.txN == len(qp.txRing) {
+		panic(fmt.Sprintf("nic%d: qp %d outstanding ring overflow (%d WQEs unacknowledged)", n.id, qp.QPN, qp.txN))
+	}
+	rec := &qp.txRing[(qp.txHead+qp.txN)%len(qp.txRing)]
+	qp.txN++
+	rec.counter = w.WQEIdx
+	rec.signaled = w.Signaled
+	rec.op = fabric.TxOp{
 		Opcode:  uint8(w.Opcode),
 		SrcQPN:  qp.QPN,
 		DstQPN:  qp.remoteQPN,
@@ -404,7 +635,24 @@ func (n *NIC) execWQE(qp *QP, w *mlx.WQE) {
 		AmID:    w.AmID,
 		Counter: w.WQEIdx,
 	}
-	f.SetPayload(w.Payload)
+	rec.payload = append(rec.payload[:0], w.Payload...)
+	qp.TxFrames++
+	if qp.awaitingRetry {
+		return
+	}
+	n.txRecFrame(qp, rec)
+}
+
+// txRecFrame builds the wire frame for a ring record and transmits it (the
+// shared tail of first transmission and RNR replay).
+func (n *NIC) txRecFrame(qp *QP, rec *txRec) {
+	f := n.net.NewFrame()
+	f.Kind = fabric.Data
+	f.Src = n.id
+	f.Dst = qp.remoteNIC
+	f.Bytes = len(rec.payload)
+	f.Op = rec.op
+	f.SetPayload(rec.payload)
 	if n.cfg.TxProcess > 0 {
 		n.k.AfterArg(n.cfg.TxProcess, n.txFrameFn, f)
 		return
@@ -424,26 +672,52 @@ func (n *NIC) RxFrame(f *fabric.Frame) {
 	n.handleFrame(f)
 }
 
-// handleFrame dispatches a delivered frame and releases it.
+// handleFrame dispatches a delivered frame and releases it — immediately
+// for ACKs, NAKs, refused and discarded data frames, or once the last
+// host-memory write of an accepted data frame has been issued on the PCIe
+// link (rxData reports true for frames held that way; upIssued performs the
+// deferred release).
 func (n *NIC) handleFrame(f *fabric.Frame) {
 	switch f.Kind {
 	case fabric.Data:
-		n.rxData(f)
+		if n.rxData(f) {
+			return
+		}
 	case fabric.TransportAck:
 		n.rxAck(f.Ack)
+	case fabric.RnrNak:
+		n.rxNak(f.Ack)
 	}
 	f.Release()
 }
 
-// rxData handles an inbound data frame on the target NIC. The frame's
-// payload is borrowed; everything the NIC forwards is copied into pooled
-// TLPs before rxData returns.
-func (n *NIC) rxData(f *fabric.Frame) {
+// rxData handles an inbound data frame on the target NIC, reporting whether
+// the frame is held for deferred release. The frame's payload is borrowed;
+// everything the NIC forwards is copied into pooled TLPs before rxData
+// returns.
+//
+// Admission control runs first: a QP in RNR recovery discards every frame
+// until the refused counter returns (the go-back-N replay window), and a
+// frame that would exceed the rx pend budget — or a send with no receive
+// posted — is refused with an RNR NAK instead of being buffered.
+func (n *NIC) rxData(f *fabric.Frame) (held bool) {
 	op := &f.Op
 	qp, ok := n.qps[op.DstQPN]
 	if !ok {
 		panic(fmt.Sprintf("nic%d: data frame for unknown qp %d", n.id, op.DstQPN))
 	}
+	if qp.rxRecovery && op.Counter != qp.rxResume {
+		// Trailing in-flight frames behind the refused one: the sender
+		// replays them after the NAKed counter, so drop silently.
+		qp.RxDiscarded++
+		return false
+	}
+	needsRecv := mlx.Opcode(op.Opcode) == mlx.OpSend
+	if (n.cfg.RxBudget > 0 && n.rxHeld >= n.cfg.RxBudget) || (needsRecv && qp.recvPosted == 0) {
+		n.refuse(qp, f)
+		return false
+	}
+	qp.rxRecovery = false
 	qp.RxFrames++
 	payload := f.Payload()
 	switch mlx.Opcode(op.Opcode) {
@@ -454,16 +728,8 @@ func (n *NIC) rxData(f *fabric.Frame) {
 		t.Type = pcie.MWr
 		t.Addr = op.RAddr
 		t.SetData(payload)
-		n.link.SendUp(t)
+		n.sendUp(t, f)
 	case mlx.OpSend:
-		if qp.recvPosted == 0 {
-			// Receiver not ready. Real hardware would RNR-NAK and
-			// retry; the benchmarks always keep receives posted, so
-			// we count and drop (no ACK, so the sender would stall
-			// visibly rather than silently succeed).
-			qp.RNRDrops++
-			return
-		}
 		qp.recvPosted--
 		bufAddr := qp.rqAddrs[0]
 		qp.rqAddrs = qp.rqAddrs[1:]
@@ -487,7 +753,7 @@ func (n *NIC) rxData(f *fabric.Frame) {
 			t.Type = pcie.MWr
 			t.Addr = bufAddr
 			t.SetData(payload)
-			n.link.SendUp(t)
+			n.sendUp(t, f)
 		}
 		enc, err := cqe.Encode()
 		if err != nil {
@@ -499,44 +765,81 @@ func (n *NIC) rxData(f *fabric.Frame) {
 		t.SetData(enc[:])
 		qp.recvCQPI++
 		qp.CQEsWritten++
-		n.link.SendUp(t)
+		n.sendUp(t, f)
 	default:
 		panic(fmt.Sprintf("nic%d: unexpected opcode %v", n.id, mlx.Opcode(op.Opcode)))
+	}
+	if f.RxPendWrites > 0 {
+		// At least one host write is credit-blocked: hold the frame (and
+		// its final-hop fabric credit) until the last write issues.
+		held = true
+		n.rxHeld++
+		if n.rxHeld > n.rxHeldMax {
+			n.rxHeldMax = n.rxHeld
+		}
 	}
 	// Transport-level acknowledgement back to the initiator (paper §2
 	// step 4).
 	ack := n.net.AckFor(f, fabric.AckInfo{QPN: op.SrcQPN, Counter: op.Counter})
 	if n.cfg.AckProcess > 0 {
 		n.k.AfterArg(n.cfg.AckProcess, n.sendAckFn, ack)
-		return
+		return held
 	}
 	n.net.SendAck(ack)
+	return held
+}
+
+// refuse answers a data frame the NIC cannot buffer with an RNR NAK and
+// puts the target QP into recovery: every later frame is discarded until
+// the refused counter is retransmitted.
+func (n *NIC) refuse(qp *QP, f *fabric.Frame) {
+	qp.RNRNaksSent++
+	qp.rxRecovery = true
+	qp.rxResume = f.Op.Counter
+	nak := n.net.AckFor(f, fabric.AckInfo{QPN: f.Op.SrcQPN, Counter: f.Op.Counter})
+	nak.Kind = fabric.RnrNak
+	if n.cfg.AckProcess > 0 {
+		n.k.AfterArg(n.cfg.AckProcess, n.sendAckFn, nak)
+		return
+	}
+	n.net.SendAck(nak)
 }
 
 // rxAck handles the transport ACK on the initiator NIC: it retires the
 // oldest outstanding WQE and, if that WQE was signaled, DMA-writes the CQE
 // (paper §2 step 5). Unsignaled WQEs complete silently; the next signaled
-// CQE's counter retires them at the software level.
+// CQE's counter retires them at the software level. Any forward progress
+// resets the QP's RNR retry counter (the retry budget is per head WQE, as
+// on real RC transports).
 func (n *NIC) rxAck(c fabric.AckInfo) {
 	qp, ok := n.qps[c.QPN]
 	if !ok {
 		panic(fmt.Sprintf("nic%d: ACK for unknown qp %d", n.id, c.QPN))
 	}
-	if len(qp.outstanding) == 0 {
+	if qp.txN == 0 {
 		panic(fmt.Sprintf("nic%d: ACK for qp %d with nothing outstanding", n.id, c.QPN))
 	}
-	rec := qp.outstanding[0]
+	rec := &qp.txRing[qp.txHead]
 	if rec.counter != c.Counter {
 		panic(fmt.Sprintf("nic%d: out-of-order ACK: got %d want %d", n.id, c.Counter, rec.counter))
 	}
-	qp.outstanding = qp.outstanding[1:]
+	qp.txHead = (qp.txHead + 1) % len(qp.txRing)
+	qp.txN--
+	qp.rnrRetries = 0
 	if !rec.signaled {
 		return
 	}
+	n.writeSendCQE(qp, rec.counter, mlx.CQEOK)
+}
+
+// writeSendCQE DMA-writes a request completion with the given status to the
+// QP's send CQ.
+func (n *NIC) writeSendCQE(qp *QP, counter uint16, status uint8) {
 	cqe := mlx.CQE{
 		Op:         mlx.CQEReq,
-		WQECounter: rec.counter,
+		WQECounter: counter,
 		QPN:        qp.QPN,
+		Status:     status,
 		Gen:        qp.SendCQ.Gen(qp.sendCQPI),
 	}
 	enc, err := cqe.Encode()
@@ -549,5 +852,74 @@ func (n *NIC) rxAck(c fabric.AckInfo) {
 	t.SetData(enc[:])
 	qp.sendCQPI++
 	qp.CQEsWritten++
-	n.link.SendUp(t)
+	n.sendUp(t, nil)
+}
+
+// rxNak handles an RNR NAK on the initiator NIC. The refused WQE is always
+// the head of the outstanding ring: the transport is strictly ordered, so
+// every earlier WQE's ACK travelled the same path ahead of the NAK, and the
+// target NAKs at most once per replay round. The QP backs off exponentially
+// (base Config.RnrBackoff, doubling per consecutive NAK, capped at
+// Config.RnrBackoffMax) before replaying the whole outstanding tail; when
+// consecutive NAKs for the same WQE exceed Config.RnrRetryLimit the QP
+// fails with an error CQE instead.
+func (n *NIC) rxNak(c fabric.AckInfo) {
+	qp, ok := n.qps[c.QPN]
+	if !ok {
+		panic(fmt.Sprintf("nic%d: RNR NAK for unknown qp %d", n.id, c.QPN))
+	}
+	if qp.Errored {
+		return
+	}
+	if qp.txN == 0 {
+		panic(fmt.Sprintf("nic%d: RNR NAK for qp %d with nothing outstanding", n.id, c.QPN))
+	}
+	if head := qp.txRing[qp.txHead].counter; head != c.Counter {
+		panic(fmt.Sprintf("nic%d: RNR NAK for counter %d, head is %d", n.id, c.Counter, head))
+	}
+	qp.RNRNaksRecv++
+	qp.rnrRetries++
+	if n.cfg.RnrRetryLimit >= 0 && qp.rnrRetries > n.cfg.RnrRetryLimit {
+		n.failQP(qp)
+		return
+	}
+	shift := qp.rnrRetries - 1
+	if shift > 16 {
+		shift = 16
+	}
+	backoff := n.cfg.RnrBackoff << uint(shift)
+	if backoff > n.cfg.RnrBackoffMax {
+		backoff = n.cfg.RnrBackoffMax
+	}
+	qp.awaitingRetry = true
+	qp.RnrStall += backoff
+	n.k.AfterArg(backoff, n.retransmitFn, qp)
+}
+
+// retransmit is the backoff-timer continuation: it replays every
+// outstanding WQE from the NAKed head onwards (go-back-N — the target
+// discarded everything behind the refused frame), in order, through the
+// normal transmission path.
+func (n *NIC) retransmit(qp *QP) {
+	if qp.Errored {
+		return
+	}
+	qp.awaitingRetry = false
+	qp.RnrRetransmits++
+	for i := 0; i < qp.txN; i++ {
+		n.txRecFrame(qp, &qp.txRing[(qp.txHead+i)%len(qp.txRing)])
+	}
+}
+
+// failQP gives up on a QP whose RNR retries are exhausted: one error CQE
+// (status mlx.CQERnrRetryExc) carrying the newest outstanding counter
+// retires the entire outstanding tail as failed — errors always complete,
+// signaled or not — and the QP stops transmitting. WQEs posted afterwards
+// are flushed with CQEFlushErr completions (see execWQE).
+func (n *NIC) failQP(qp *QP) {
+	qp.Errored = true
+	qp.RetryExhausted++
+	last := qp.txRing[(qp.txHead+qp.txN-1)%len(qp.txRing)]
+	qp.txN = 0
+	n.writeSendCQE(qp, last.counter, mlx.CQERnrRetryExc)
 }

@@ -18,6 +18,7 @@ type rig struct {
 	k          *sim.Kernel
 	mem0, mem1 *memsim.Memory
 	rc0        *pcie.RootComplex
+	link1      *pcie.Link
 	nic0, nic1 *NIC
 	qp0, qp1   *QP
 }
@@ -51,7 +52,7 @@ func newRig(t *testing.T) *rig {
 	qp0 := nic0.CreateQP(64, 256)
 	qp1 := nic1.CreateQP(64, 256)
 	Connect(qp0, qp1)
-	return &rig{k: k, mem0: mem0, mem1: mem1, rc0: rc0, nic0: nic0, nic1: nic1, qp0: qp0, qp1: qp1}
+	return &rig{k: k, mem0: mem0, mem1: mem1, rc0: rc0, link1: link1, nic0: nic0, nic1: nic1, qp0: qp0, qp1: qp1}
 }
 
 // pioPost PIO-writes a WQE to qp0's BlueFlame register via the RC.
@@ -169,9 +170,59 @@ func TestSendLargePayloadUsesBuffer(t *testing.T) {
 	}
 }
 
-func TestRNRDrop(t *testing.T) {
+func TestRNRNakRetryDelivers(t *testing.T) {
 	r := newRig(t)
-	// No receive posted on qp1.
+	payload := []byte{1, 2, 3}
+	// No receive posted on qp1 yet: the send is refused with an RNR NAK
+	// and the sender backs off. A receive posted while the sender is
+	// waiting lets a later retransmission land.
+	r.k.At(0, func() {
+		r.pioPost(t, &mlx.WQE{
+			Opcode: mlx.OpSend, Inline: true, Signaled: true,
+			WQEIdx: 0, QPN: r.qp0.QPN, AmID: 7, Payload: payload,
+		})
+	})
+	r.k.At(units.Microseconds(5), func() { r.qp1.PostRecv(0) })
+	r.k.Run()
+
+	if r.qp1.RNRNaksSent == 0 || r.qp0.RNRNaksRecv == 0 {
+		t.Errorf("NAKs sent/recv = %d/%d, want > 0", r.qp1.RNRNaksSent, r.qp0.RNRNaksRecv)
+	}
+	if r.qp0.RnrRetransmits == 0 {
+		t.Errorf("no retransmission rounds ran")
+	}
+	if r.qp0.RnrStall == 0 {
+		t.Errorf("no backoff stall time accumulated")
+	}
+	if r.qp0.Errored {
+		t.Fatalf("QP errored although a receive was eventually posted")
+	}
+	// The retransmission delivered exactly once: one recv CQE with the
+	// payload, one successful send CQE.
+	cqe, err := mlx.DecodeCQE(r.mem1.Read(r.qp1.RecvCQ.EntryAddr(0), mlx.CQESize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cqe.Op != mlx.CQERecv || cqe.AmID != 7 || !bytes.Equal(cqe.Payload, payload) {
+		t.Errorf("recv CQE = %+v", cqe)
+	}
+	if r.qp1.RxFrames != 1 {
+		t.Errorf("RxFrames = %d, want exactly 1 (no duplicate delivery)", r.qp1.RxFrames)
+	}
+	scqe, err := mlx.DecodeCQE(r.mem0.Read(r.qp0.SendCQ.EntryAddr(0), mlx.CQESize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scqe.Status != mlx.CQEOK {
+		t.Errorf("send CQE status = %d, want OK", scqe.Status)
+	}
+}
+
+func TestRNRRetryExhaustionErrorCQE(t *testing.T) {
+	r := newRig(t)
+	// No receive is ever posted: every retransmission is NAKed again until
+	// the retry budget runs out and the NIC fails the WQE with an error
+	// CQE instead of retrying forever (or silently dropping).
 	r.k.At(0, func() {
 		r.pioPost(t, &mlx.WQE{
 			Opcode: mlx.OpSend, Inline: true, Signaled: true,
@@ -179,12 +230,192 @@ func TestRNRDrop(t *testing.T) {
 		})
 	})
 	r.k.Run()
-	if r.qp1.RNRDrops != 1 {
-		t.Errorf("RNR drops = %d", r.qp1.RNRDrops)
+
+	if !r.qp0.Errored || r.qp0.RetryExhausted != 1 {
+		t.Fatalf("QP not errored after exhaustion: errored=%v exhausted=%d",
+			r.qp0.Errored, r.qp0.RetryExhausted)
 	}
-	// No ACK means the WQE stays outstanding and no CQE is written.
-	if r.qp0.CQEsWritten != 0 {
-		t.Error("dropped send still completed")
+	if want := uint64(DefaultRnrRetryLimit + 1); r.qp0.RNRNaksRecv != want {
+		t.Errorf("NAKs received = %d, want %d (limit+1)", r.qp0.RNRNaksRecv, want)
+	}
+	if r.qp0.RnrRetransmits != uint64(DefaultRnrRetryLimit) {
+		t.Errorf("retransmit rounds = %d, want %d", r.qp0.RnrRetransmits, DefaultRnrRetryLimit)
+	}
+	// Exactly one CQE: the error completion retiring the failed WQE.
+	if r.qp0.CQEsWritten != 1 {
+		t.Fatalf("CQEs written = %d, want 1 error CQE", r.qp0.CQEsWritten)
+	}
+	cqe, err := mlx.DecodeCQE(r.mem0.Read(r.qp0.SendCQ.EntryAddr(0), mlx.CQESize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cqe.Op != mlx.CQEReq || cqe.Status != mlx.CQERnrRetryExc || cqe.WQECounter != 0 {
+		t.Errorf("error CQE = %+v, want CQEReq status=%d counter=0", cqe, mlx.CQERnrRetryExc)
+	}
+	// Nothing was ever delivered.
+	if r.qp1.RxFrames != 0 {
+		t.Errorf("receiver processed %d frames", r.qp1.RxFrames)
+	}
+}
+
+func TestPostAfterExhaustionFlushes(t *testing.T) {
+	r := newRig(t)
+	// WQE 0 exhausts its RNR retries (no receive is ever posted). A WQE
+	// posted afterwards — software may race the error CQE — must be
+	// flushed with an error completion, not transmitted and not panicked
+	// on.
+	r.k.At(0, func() {
+		r.pioPost(t, &mlx.WQE{
+			Opcode: mlx.OpSend, Inline: true, Signaled: true,
+			WQEIdx: 0, QPN: r.qp0.QPN, Payload: []byte{1},
+		})
+	})
+	r.k.At(units.Microseconds(500), func() {
+		r.pioPost(t, &mlx.WQE{
+			Opcode: mlx.OpSend, Inline: true, Signaled: true,
+			WQEIdx: 1, QPN: r.qp0.QPN, Payload: []byte{2},
+		})
+	})
+	r.k.Run()
+
+	if !r.qp0.Errored || r.qp0.Flushed != 1 {
+		t.Fatalf("errored=%v flushed=%d, want errored with 1 flushed WQE", r.qp0.Errored, r.qp0.Flushed)
+	}
+	if r.qp0.CQEsWritten != 2 {
+		t.Fatalf("CQEs written = %d, want the error CQE plus the flush CQE", r.qp0.CQEsWritten)
+	}
+	cqe, err := mlx.DecodeCQE(r.mem0.Read(r.qp0.SendCQ.EntryAddr(1), mlx.CQESize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cqe.Status != mlx.CQEFlushErr || cqe.WQECounter != 1 {
+		t.Errorf("flush CQE = %+v, want status=%d counter=1", cqe, mlx.CQEFlushErr)
+	}
+	// Nothing of either WQE reached the wire after the failure.
+	if r.qp1.RxFrames != 0 {
+		t.Errorf("receiver processed %d frames", r.qp1.RxFrames)
+	}
+}
+
+func TestRNRNakRacedWithInFlightFrames(t *testing.T) {
+	r := newRig(t)
+	// Three back-to-back sends with no receive posted: the first is
+	// refused, and the two frames already in flight behind it arrive
+	// during recovery and must be discarded — then replayed in order by
+	// the go-back-N retransmission once receives exist.
+	r.k.At(0, func() {
+		for i := 0; i < 3; i++ {
+			r.pioPost(t, &mlx.WQE{
+				Opcode: mlx.OpSend, Inline: true, Signaled: true,
+				WQEIdx: uint16(i), QPN: r.qp0.QPN, Payload: []byte{byte(10 + i)},
+			})
+		}
+	})
+	r.k.At(units.Microseconds(1), func() {
+		for i := 0; i < 3; i++ {
+			r.qp1.PostRecv(0)
+		}
+	})
+	r.k.Run()
+
+	if r.qp1.RxDiscarded < 2 {
+		t.Errorf("RxDiscarded = %d, want >= 2 (trailing in-flight frames)", r.qp1.RxDiscarded)
+	}
+	if r.qp0.Errored {
+		t.Fatal("QP errored; replay should have delivered")
+	}
+	// All three delivered exactly once, in order.
+	if r.qp1.RxFrames != 3 {
+		t.Fatalf("RxFrames = %d, want 3", r.qp1.RxFrames)
+	}
+	for i := 0; i < 3; i++ {
+		cqe, err := mlx.DecodeCQE(r.mem1.Read(r.qp1.RecvCQ.EntryAddr(uint16(i)), mlx.CQESize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cqe.Payload, []byte{byte(10 + i)}) {
+			t.Errorf("recv CQE %d payload = %v", i, cqe.Payload)
+		}
+	}
+}
+
+// newBudgetRig builds a rig whose receiver link has almost no posted
+// credits and a slow credit return, so host writes block and frames are
+// held against the rx budget.
+func newBudgetRig(t *testing.T, budget int) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	net := fabric.New(k, fabric.Config{
+		WireProp:      units.Nanoseconds(270),
+		WirePerByte:   units.Time(80),
+		FrameOverhead: 30,
+	})
+	rcCfg := pcie.RCConfig{
+		RCToMemBase:      units.Nanoseconds(240),
+		RCToMemBaseBytes: 64,
+		MemReadLatency:   units.Nanoseconds(150),
+	}
+	mem0 := memsim.New(1 << 20)
+	link0 := pcie.NewLink(k, pcie.DefaultLinkConfig())
+	rc0 := pcie.NewRootComplex(k, mem0, link0, rcCfg)
+	nic0 := New(k, 0, mem0, link0, net, DefaultConfig())
+
+	// Receiver side: one posted header+data credit at a time, returned
+	// only after a long RxProcess, so MWr writes park in the pend queue.
+	linkCfg := pcie.DefaultLinkConfig()
+	linkCfg.PostedCredits = pcie.Credits{Hdr: 1, Data: 4}
+	linkCfg.RxProcess = units.Microseconds(3)
+	mem1 := memsim.New(1 << 20)
+	link1 := pcie.NewLink(k, linkCfg)
+	pcie.NewRootComplex(k, mem1, link1, rcCfg)
+	cfg := DefaultConfig()
+	cfg.RxBudget = budget
+	nic1 := New(k, 1, mem1, link1, net, cfg)
+
+	qp0 := nic0.CreateQP(64, 256)
+	qp1 := nic1.CreateQP(64, 256)
+	Connect(qp0, qp1)
+	return &rig{k: k, mem0: mem0, mem1: mem1, rc0: rc0, link1: link1, nic0: nic0, nic1: nic1, qp0: qp0, qp1: qp1}
+}
+
+func TestRxBudgetBoundsHeldFramesAndPend(t *testing.T) {
+	const budget = 1
+	r := newBudgetRig(t, budget)
+	dst := r.mem1.Alloc("dst", 256, 8)
+	// Six back-to-back RDMA writes: the first one's MWr consumes the only
+	// posted credit, the second is held (budget 1), the rest must be
+	// NAKed and replayed — never buffered past the budget.
+	r.k.At(0, func() {
+		for i := 0; i < 6; i++ {
+			r.pioPost(t, &mlx.WQE{
+				Opcode: mlx.OpRDMAWrite, Inline: true, Signaled: i == 5,
+				WQEIdx: uint16(i), QPN: r.qp0.QPN,
+				Payload: []byte{byte(20 + i)}, RemoteAddr: dst.Base + uint64(i),
+			})
+		}
+	})
+	r.k.Run()
+
+	if r.nic1.RxHeldMax() > budget {
+		t.Errorf("rx held high-water %d exceeds budget %d", r.nic1.RxHeldMax(), budget)
+	}
+	if _, up := r.link1.MaxPend(); up > budget {
+		t.Errorf("receiver pend queue reached %d, budget %d", up, budget)
+	}
+	if r.qp1.RNRNaksSent == 0 {
+		t.Error("budget overflow never NAKed")
+	}
+	if r.nic1.RxHeld() != 0 {
+		t.Errorf("%d frames still held after drain", r.nic1.RxHeld())
+	}
+	// Every write eventually landed, exactly once, in order.
+	for i := 0; i < 6; i++ {
+		if got := r.mem1.Read(dst.Base+uint64(i), 1)[0]; got != byte(20+i) {
+			t.Errorf("write %d = %d, want %d", i, got, byte(20+i))
+		}
+	}
+	if r.qp1.RxFrames != 6 {
+		t.Errorf("RxFrames = %d, want 6", r.qp1.RxFrames)
 	}
 }
 

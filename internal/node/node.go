@@ -71,7 +71,13 @@ func newNode(k *sim.Kernel, net fabric.Deliverer, cfg *config.Config, id int) *N
 	mem := memsim.New(cfg.MemBytes)
 	link := pcie.NewLink(k, cfg.Link)
 	rc := pcie.NewRootComplex(k, mem, link, cfg.RC)
-	dev := nic.New(k, id, mem, link, net, cfg.NIC)
+	nc := cfg.NIC
+	if cfg.NICRxBudget > 0 {
+		// The system-level knob wins over a per-NIC setting only when
+		// set, so configs that tune cfg.NIC directly keep working.
+		nc.RxBudget = cfg.NICRxBudget
+	}
+	dev := nic.New(k, id, mem, link, net, nc)
 	tap := analyzer.New(fmt.Sprintf("node%d", id))
 	link.AddTap(tap)
 	r := cfg.Rand(fmt.Sprintf("node%d", id))

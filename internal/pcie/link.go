@@ -59,11 +59,17 @@ type channel struct {
 	// Sender-side credit view of the receiver's pools, indexed by
 	// CreditKind.
 	avail [2]Credits
-	// pend holds TLPs blocked on credits, in order.
-	pend []*TLP
+	// pend holds TLPs blocked on credits, in order. pendPosted counts the
+	// posted writes among them: per the PCIe ordering rules nothing may
+	// pass a blocked posted write (producer-consumer ordering), while
+	// posted writes and completions may pass blocked non-posted reads
+	// (deadlock avoidance).
+	pend       []*TLP
+	pendPosted int
 	// stats
 	sentTLP, sentDLLP uint64
 	blocked           uint64
+	maxPend           int
 
 	// Continuations, bound once at link construction so the steady-state
 	// per-packet path schedules events without allocating closures.
@@ -84,6 +90,11 @@ type Link struct {
 	rcSide Receiver // handles Up TLPs (the Root Complex)
 	epSide Receiver // handles Down TLPs (the NIC)
 	taps   []Tap
+	// onUpIssued, when set, observes each previously credit-blocked
+	// upstream TLP at the moment it finally transmits, in pend-FIFO order.
+	// The endpoint uses it to defer resource hand-back (fabric frame
+	// release) until its host-memory write has actually been issued.
+	onUpIssued func(*TLP)
 
 	// Packet pools; see the package borrow contract.
 	tlps  *arena.Arena[TLP]
@@ -158,17 +169,36 @@ func (l *Link) SetEndpointSide(r Receiver) { l.epSide = r }
 // AddTap registers a passive observer positioned just before the endpoint.
 func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
 
+// SetOnUpIssued registers fn to be called each time a previously
+// credit-blocked upstream TLP is popped from the pend queue and actually
+// transmitted. Calls arrive strictly in pend-queue (FIFO) order, one per
+// TLP whose SendUp returned false, so the endpoint can mirror the queue
+// with its own bookkeeping.
+func (l *Link) SetOnUpIssued(fn func(*TLP)) { l.onUpIssued = fn }
+
 // SendDown transmits a TLP from the RC towards the endpoint.
 func (l *Link) SendDown(t *TLP) { l.down.send(t) }
 
-// SendUp transmits a TLP from the endpoint towards the RC.
-func (l *Link) SendUp(t *TLP) { l.up.send(t) }
+// SendUp transmits a TLP from the endpoint towards the RC. It reports
+// whether the TLP was issued immediately: false means it is parked in the
+// pend queue waiting for posted/non-posted credits, and the registered
+// OnUpIssued hook will see it when it finally transmits.
+func (l *Link) SendUp(t *TLP) bool { return l.up.send(t) }
 
 // Blocked reports how many TLP sends stalled on credits, per direction.
 func (l *Link) Blocked() (down, up uint64) { return l.down.blocked, l.up.blocked }
 
 // Sent reports TLPs transmitted per direction.
 func (l *Link) Sent() (down, up uint64) { return l.down.sentTLP, l.up.sentTLP }
+
+// PendDepth reports the TLPs currently credit-blocked, per direction.
+func (l *Link) PendDepth() (down, up int) { return len(l.down.pend), len(l.up.pend) }
+
+// MaxPend reports the deepest credit-blocked pend queue each direction
+// reached — the headline number for receiver-side overload: with the NIC's
+// rx budget enabled the upstream value is bounded by that budget instead of
+// growing with offered load.
+func (l *Link) MaxPend() (down, up int) { return l.down.maxPend, l.up.maxPend }
 
 // InUsePackets reports live TLP and DLLP pool slots — the pool-leak check:
 // both must return to zero once the event queue has drained and every
@@ -181,23 +211,48 @@ func (c *channel) serialize(bytes int) units.Time {
 	return units.Time(bytes) * c.link.cfg.PerByte
 }
 
-// send enqueues t for transmission, blocking it on credits if necessary.
-func (c *channel) send(t *TLP) {
+// send enqueues t for transmission, blocking it on credits — or on
+// ordering — if necessary. It reports whether the TLP was issued
+// immediately (false: parked in the pend queue). Ordering follows the
+// PCIe transaction ordering rules: no TLP may pass a blocked posted
+// write, non-posted reads additionally keep FIFO order among themselves,
+// while posted writes and completions may pass blocked non-posted reads
+// (the spec's deadlock-avoidance allowance).
+func (c *channel) send(t *TLP) bool {
 	if c.link.cfg.FlowControl {
 		kind, need := creditsFor(t)
-		if need.Hdr > 0 {
-			have := c.avail[kind]
-			if have.Hdr < need.Hdr || have.Data < need.Data {
-				c.pend = append(c.pend, t)
-				c.blocked++
-				return
-			}
-			have.Hdr -= need.Hdr
-			have.Data -= need.Data
-			c.avail[kind] = have
+		ordered := c.pendPosted > 0 || (t.Type == MRd && len(c.pend) > 0)
+		if ordered || (need.Hdr > 0 && !c.take(kind, need)) {
+			c.park(t)
+			return false
 		}
 	}
 	c.transmit(t)
+	return true
+}
+
+// take consumes need from the kind pool if available.
+func (c *channel) take(kind CreditKind, need Credits) bool {
+	have := c.avail[kind]
+	if have.Hdr < need.Hdr || have.Data < need.Data {
+		return false
+	}
+	have.Hdr -= need.Hdr
+	have.Data -= need.Data
+	c.avail[kind] = have
+	return true
+}
+
+// park appends t to the pend queue.
+func (c *channel) park(t *TLP) {
+	c.pend = append(c.pend, t)
+	if t.Type == MWr {
+		c.pendPosted++
+	}
+	c.blocked++
+	if len(c.pend) > c.maxPend {
+		c.maxPend = len(c.pend)
+	}
 }
 
 // transmit serializes t onto the wire and schedules its arrival.
@@ -296,18 +351,25 @@ func (c *channel) deliverDLLP(d *DLLP) {
 
 // retryPending attempts to transmit credit-blocked TLPs in order. Ordering
 // is preserved: the scan stops at the first TLP that still lacks credits.
+// Each pended upstream TLP that transmits is reported to the OnUpIssued
+// hook, in the same FIFO order it was parked.
 func (c *channel) retryPending() {
 	for len(c.pend) > 0 {
 		t := c.pend[0]
 		kind, need := creditsFor(t)
-		have := c.avail[kind]
-		if have.Hdr < need.Hdr || have.Data < need.Data {
+		if need.Hdr > 0 && !c.take(kind, need) {
 			return
 		}
-		have.Hdr -= need.Hdr
-		have.Data -= need.Data
-		c.avail[kind] = have
 		c.pend = c.pend[1:]
+		if len(c.pend) == 0 {
+			c.pend = nil
+		}
+		if t.Type == MWr {
+			c.pendPosted--
+		}
 		c.transmit(t)
+		if c.dir == Up && c.link.onUpIssued != nil {
+			c.link.onUpIssued(t)
+		}
 	}
 }

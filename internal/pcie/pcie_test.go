@@ -135,6 +135,61 @@ func TestCreditBlockingAndUnblock(t *testing.T) {
 	}
 }
 
+func TestSmallMWrCannotPassBlockedLargeMWr(t *testing.T) {
+	// PCIe ordering: a posted write must not pass a blocked posted write,
+	// even when the smaller write's credits are available. This is the
+	// producer-consumer guarantee the NIC's recv path relies on — the CQE
+	// MWr announcing a completion must not reach host memory before the
+	// payload MWr it describes.
+	cfg := simpleCfg()
+	cfg.FlowControl = true
+	cfg.PostedCredits = Credits{Hdr: 4, Data: 8} // 8B fits, 4 KiB (256) never does at once
+	cfg.RxProcess = units.Nanoseconds(50)
+	k, l, _, ep := testLink(cfg)
+	k.At(0, func() {
+		// Consume the data pool so the big write pends.
+		l.SendDown(&TLP{Type: MWr, Addr: 0, Data: make([]byte, 128)})
+		l.SendDown(&TLP{Type: MWr, Addr: 1, Data: make([]byte, 128)}) // pends
+		l.SendDown(&TLP{Type: MWr, Addr: 2, Data: make([]byte, 8)})   // must wait behind it
+	})
+	k.Run()
+	if len(ep.got) != 3 {
+		t.Fatalf("delivered %d of 3 TLPs", len(ep.got))
+	}
+	for i, tlp := range ep.got {
+		if tlp.Addr != uint64(i) {
+			t.Fatalf("posted write passed a blocked posted write: order %v %v %v",
+				ep.got[0].Addr, ep.got[1].Addr, ep.got[2].Addr)
+		}
+	}
+}
+
+func TestPostedMayPassBlockedNonPosted(t *testing.T) {
+	// The converse allowance (PCIe deadlock avoidance): a posted write may
+	// pass non-posted reads blocked on their own credit pool.
+	cfg := simpleCfg()
+	cfg.FlowControl = true
+	cfg.PostedCredits = Credits{Hdr: 4, Data: 64}
+	cfg.NonPostedCredits = Credits{Hdr: 1}
+	cfg.RxProcess = units.Nanoseconds(50)
+	k, l, rc, _ := testLink(cfg)
+	k.At(0, func() {
+		l.SendUp(&TLP{Type: MRd, Addr: 0, ReadLen: 8, Tag: 0})
+		l.SendUp(&TLP{Type: MRd, Addr: 1, ReadLen: 8, Tag: 1}) // pends (1 NP header credit)
+		l.SendUp(&TLP{Type: MWr, Addr: 2, Data: make([]byte, 8)})
+	})
+	k.Run()
+	if len(rc.got) != 3 {
+		t.Fatalf("delivered %d of 3 TLPs", len(rc.got))
+	}
+	// The posted write (addr 2) must arrive before the blocked read
+	// (addr 1) rather than queueing behind it.
+	if rc.got[1].Addr != 2 || rc.got[2].Addr != 1 {
+		t.Fatalf("posted write queued behind a blocked non-posted read: order %v %v %v",
+			rc.got[0].Addr, rc.got[1].Addr, rc.got[2].Addr)
+	}
+}
+
 func TestQuickCreditConservation(t *testing.T) {
 	// Property: any number of MWr posts eventually all deliver (credits
 	// are always returned), in order.

@@ -35,6 +35,21 @@
 // Release on them is a no-op and the contract above is vacuous. A stale
 // handle can be detected with TLP.Ref / TLPRef.Get, which checks the slot
 // generation recorded at allocation time.
+//
+// # Pend-queue bounding
+//
+// A TLP that lacks flow-control credits parks in the sending channel's
+// pend queue. Link.SendUp reports whether the TLP issued immediately, and
+// the Link.SetOnUpIssued hook observes each parked upstream TLP at the
+// moment it finally transmits (strict FIFO order), so the endpoint can
+// defer its own resource hand-back — the NIC holds a received fabric frame
+// until its host-memory writes have issued, see internal/nic — instead of
+// letting the pend queue absorb unbounded overload. With the NIC's rx
+// budget enabled, the upstream pend depth (Link.PendDepth / Link.MaxPend)
+// is bounded by that budget rather than growing with offered load.
+//
+// ARCHITECTURE.md (repo root) places this package in the full layer map
+// and summarizes how the PCIe credit loop composes with the fabric's.
 package pcie
 
 import (

@@ -52,21 +52,29 @@ type IncastResult struct {
 	CreditStalls uint64
 }
 
-// IncastPutBw runs the put_bw loop from `senders` sender nodes
-// (sys.Nodes[1..senders]) into node 0 concurrently: the classic incast.
-// All flows converge on the receiver's downlink switch port, whose
-// serialization queue and credit backpressure the topology models;
-// senders <= 0 selects every node but the receiver. With one sender it
-// doubles as the uncontended baseline on the identical path.
-func IncastPutBw(sys *node.System, senders int, opt Options) *IncastResult {
-	opt.Defaults(sys.Cfg)
-	cfg := sys.Cfg
+// clampSenders resolves the senders argument of the incast-family
+// scenarios: <= 0 (or more than the nodes available) selects every node
+// but the receiver.
+func clampSenders(sys *node.System, senders int) int {
 	if senders <= 0 || senders > len(sys.Nodes)-1 {
 		senders = len(sys.Nodes) - 1
 	}
+	return senders
+}
+
+// incastWindow is the sender machinery shared by the incast-family
+// scenarios (IncastPutBw, OversubscribedPutBw): `senders` sender nodes
+// (sys.Nodes[1..senders]) run the put_bw loop into node 0 concurrently
+// and the system runs to completion. The measured window opens when the
+// last sender finishes warmup and closes when the last sender finishes
+// posting its measured iterations; each sender drains its in-flight tail
+// outside the window. name prefixes the spawned procs and target labels.
+// The returned endpoints (sender side, receiver worker) expose the QP
+// statistics the scenarios report.
+func incastWindow(sys *node.System, senders int, opt Options, name string) (elapsed units.Time, senderEps []*uct.Ep, recvW *uct.Worker) {
+	cfg := sys.Cfg
 	recv := sys.Nodes[0]
-	wR := uct.NewWorker(recv, cfg)
-	res := &IncastResult{Senders: senders, MsgSize: opt.MsgSize}
+	recvW = uct.NewWorker(recv, cfg)
 
 	var start, end units.Time
 	done := 0
@@ -75,14 +83,15 @@ func IncastPutBw(sys *node.System, senders int, opt Options) *IncastResult {
 		n := sys.Nodes[s]
 		w := uct.NewWorker(n, cfg)
 		ep := w.NewEp(opt.Mode, opt.SignalPeriod)
-		epR := wR.NewEp(opt.Mode, opt.SignalPeriod)
+		epR := recvW.NewEp(opt.Mode, opt.SignalPeriod)
 		uct.Connect(ep, epR)
-		tgt := recv.Mem.Alloc(fmt.Sprintf("incast.target%d", s), uint64(max(opt.MsgSize, 64)), 64)
+		tgt := recv.Mem.Alloc(fmt.Sprintf("%s.target%d", name, s), uint64(max(opt.MsgSize, 64)), 64)
 		ep.RemoteBuf = tgt.Base
+		senderEps = append(senderEps, ep)
 
 		msg := make([]byte, opt.MsgSize)
 		nd, wS, epS := n, w, ep
-		sys.K.Spawn(fmt.Sprintf("incast.sender%d", s), func(p *sim.Proc) {
+		sys.K.Spawn(fmt.Sprintf("%s.sender%d", name, s), func(p *sim.Proc) {
 			for i := 0; i < opt.Warmup; i++ {
 				putAuto(p, wS, epS, 0, msg)
 				if (i+1)%cfg.Bench.PollBatch == 0 {
@@ -111,11 +120,24 @@ func IncastPutBw(sys *node.System, senders int, opt Options) *IncastResult {
 	}
 	sys.Run()
 	if done != senders {
-		panic(fmt.Sprintf("perftest: only %d of %d incast senders finished", done, senders))
+		panic(fmt.Sprintf("perftest: only %d of %d %s senders finished", done, senders, name))
 	}
+	return end - start, senderEps, recvW
+}
+
+// IncastPutBw runs the put_bw loop from `senders` sender nodes
+// (sys.Nodes[1..senders]) into node 0 concurrently: the classic incast.
+// All flows converge on the receiver's downlink switch port, whose
+// serialization queue and credit backpressure the topology models;
+// senders <= 0 selects every node but the receiver. With one sender it
+// doubles as the uncontended baseline on the identical path.
+func IncastPutBw(sys *node.System, senders int, opt Options) *IncastResult {
+	opt.Defaults(sys.Cfg)
+	senders = clampSenders(sys, senders)
+	res := &IncastResult{Senders: senders, MsgSize: opt.MsgSize}
+	res.Elapsed, _, _ = incastWindow(sys, senders, opt, "incast")
 
 	res.Messages = senders * opt.Iters
-	res.Elapsed = end - start
 	res.AggMsgRate = float64(res.Messages) / res.Elapsed.Seconds()
 	res.PerSenderMsgRate = res.AggMsgRate / float64(senders)
 	res.PerSenderBwMBs = res.PerSenderMsgRate * float64(opt.MsgSize) / 1e6

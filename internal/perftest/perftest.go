@@ -9,6 +9,13 @@
 //   - am_lat: ping-pong latency with send-receive (active message)
 //     semantics; the benchmark reports half the round-trip time and performs
 //     its measurement update inside the round trip.
+//
+// Beyond the paper's two-node tests the package carries the scenario
+// suite over the internal/topo layer: WindowedPutBw and MultiPutBw
+// (ablations), IncastPutBw and AllToAllPutBw (congestion), and
+// OversubscribedPutBw (receiver-side backpressure with a bounded NIC rx
+// budget: RNR NAK, sender backoff, go-back-N replay). ARCHITECTURE.md
+// catalogs them with the bbperftest command that runs each.
 package perftest
 
 import (

@@ -1,13 +1,3 @@
-// Package rng provides the deterministic random-number machinery used by the
-// simulator.
-//
-// Reproducibility is a hard requirement: every experiment in the repository
-// must produce identical results for identical seeds, independent of map
-// iteration order, goroutine scheduling, or the Go version's global rand
-// state. We therefore carry explicit generator state (splitmix64 +
-// xoshiro256**-style output) and derive independent named streams from a root
-// seed, so adding a new consumer of randomness does not perturb existing
-// streams.
 package rng
 
 import (

@@ -11,8 +11,9 @@ import (
 	"breakband/internal/simbench"
 )
 
-func BenchmarkSchedule(b *testing.B)      { simbench.Schedule(b) }
-func BenchmarkSleepHandoff(b *testing.B)  { simbench.SleepHandoff(b) }
-func BenchmarkPutBwEndToEnd(b *testing.B) { simbench.PutBwEndToEnd(b) }
-func BenchmarkWindowedPutBw(b *testing.B) { simbench.WindowedPutBw(b) }
-func BenchmarkIncastPutBw(b *testing.B)   { simbench.IncastPutBw(b) }
+func BenchmarkSchedule(b *testing.B)            { simbench.Schedule(b) }
+func BenchmarkSleepHandoff(b *testing.B)        { simbench.SleepHandoff(b) }
+func BenchmarkPutBwEndToEnd(b *testing.B)       { simbench.PutBwEndToEnd(b) }
+func BenchmarkWindowedPutBw(b *testing.B)       { simbench.WindowedPutBw(b) }
+func BenchmarkIncastPutBw(b *testing.B)         { simbench.IncastPutBw(b) }
+func BenchmarkOversubscribedPutBw(b *testing.B) { simbench.OversubscribedPutBw(b) }

@@ -49,6 +49,9 @@
 // frame — always a pointer, so the any box itself is allocation-free) rides
 // in the arg word of the pooled event slot. Steady-state device traffic
 // therefore schedules continuations without capturing anything.
+//
+// ARCHITECTURE.md (repo root) summarizes this event/time contract next to
+// the ownership and credit contracts the device layers build on it.
 package sim
 
 import (

@@ -155,6 +155,41 @@ func TestIncastDevicePathAllocBudget(t *testing.T) {
 	t.Logf("incast device path: %.3f allocs/message (budget %.0f)", perMsg, deviceAllocBudget)
 }
 
+// TestOversubscribedDevicePathAllocBudget extends the device budget to the
+// RNR NAK / retry path: a bounded-receiver incast (rx budget below the
+// link credits) continuously defers frame releases, emits NAKs, runs
+// backoff timers and replays go-back-N windows. All of that must recycle —
+// pooled NAK frames, the NIC's pend-FIFO ring, the fixed retransmit ring
+// with reused payload buffers, and pooled timer events — so the marginal
+// per-message cost stays inside the same budget as the uncontended path.
+func TestOversubscribedDevicePathAllocBudget(t *testing.T) {
+	const senders = 4
+	run := func(iters int) float64 {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		cfg := config.TX2CX4(config.NoiseOff, 1, true)
+		cfg.Topology = topo.Spec{Kind: topo.SingleSwitch}
+		cfg.NICRxBudget = 8
+		sys := node.NewSystem(cfg, senders+1)
+		res := perftest.OversubscribedPutBw(sys, senders, perftest.Options{Iters: iters, Warmup: 64, MsgSize: 4096})
+		if res.RNRNaks == 0 {
+			t.Fatal("scenario exercised no NAK/retry activity")
+		}
+		sys.Shutdown()
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs - m0.Mallocs)
+	}
+	const short, long = 256, 2048
+	a1 := run(short)
+	a2 := run(long)
+	perMsg := (a2 - a1) / float64((long-short)*senders)
+	if perMsg > deviceAllocBudget {
+		t.Errorf("NAK/retry path allocates %.2f per message, budget %.0f", perMsg, deviceAllocBudget)
+	}
+	t.Logf("NAK/retry path: %.3f allocs/message (budget %.0f)", perMsg, deviceAllocBudget)
+}
+
 // TestWindowedDevicePathAllocBudget applies the same budget to the windowed
 // pattern, which holds a full window of pooled descriptors in flight.
 func TestWindowedDevicePathAllocBudget(t *testing.T) {

@@ -126,6 +126,30 @@ func IncastPutBw(b *testing.B) {
 	reportEventsPerSec(b, float64(sys.K.Fired()))
 }
 
+// OversubscribedPutBw measures the receiver-overload path with bounded rx
+// buffering: the IncastPutBw shape against an rx budget (8) below the
+// per-link fabric credits, so the run continuously exercises deferred
+// frame release, RNR NAK emission, sender backoff timers and go-back-N
+// replay on top of the contended switch path. b.N counts delivered
+// messages across all senders.
+func OversubscribedPutBw(b *testing.B) {
+	b.ReportAllocs()
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	cfg.Topology = topo.Spec{Kind: topo.SingleSwitch}
+	cfg.NICRxBudget = 8
+	sys := node.NewSystem(cfg, 5)
+	defer sys.Shutdown()
+	const senders = 4
+	iters := (b.N + senders - 1) / senders
+	b.ResetTimer()
+	res := perftest.OversubscribedPutBw(sys, senders, perftest.Options{Iters: iters, Warmup: 16, MsgSize: 4096})
+	b.StopTimer()
+	if res.Messages != senders*iters {
+		b.Fatalf("oversubscribed incast ran %d messages, want %d", res.Messages, senders*iters)
+	}
+	reportEventsPerSec(b, float64(sys.K.Fired()))
+}
+
 // reportEventsPerSec attaches an events/sec custom metric.
 func reportEventsPerSec(b *testing.B, events float64) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {

@@ -28,7 +28,7 @@ type Fabric struct {
 
 	// Delivered counts delivered frames by kind, a test hook (mirrors
 	// fabric.Network).
-	Delivered [2]uint64
+	Delivered [fabric.NumFrameKinds]uint64
 
 	// Ideal two-endpoint tier (nil switches): one egress serialization,
 	// then a constant flight time.

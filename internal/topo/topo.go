@@ -18,6 +18,13 @@
 //     exercises every tier; up-path spine selection is deterministic
 //     destination-based ECMP (spine = dst mod k/2), so runs are exactly
 //     reproducible.
+//   - Oversubscribed incast (perftest.OversubscribedPutBw): the incast
+//     shape sized so the receiver's PCIe link, not the wire, is the
+//     bottleneck, against a NIC with bounded rx buffering
+//     (config.Config.NICRxBudget) — held frames pin their final-hop
+//     credits here (see below) and overflow turns into RNR NAK / retry
+//     traffic riding the reverse path. The full catalog with run commands
+//     lives in ARCHITECTURE.md.
 //
 // # Queueing and credit model
 //
@@ -30,7 +37,12 @@
 // when it leaves the downstream element — departing the next switch's
 // output port, or, on the final hop, when the receiving port *releases*
 // the frame (the borrow contract doubles as the buffer accounting, so a
-// receiver that defers processing keeps exerting backpressure). A port
+// receiver that defers processing keeps exerting backpressure). The NIC
+// leans on exactly that: it releases a delivered data frame only when the
+// frame's host-memory writes have been issued on its PCIe link, so a
+// receiver whose PCIe is slower than the wire pins final-hop credits and
+// the congestion backs up through the switches to the senders instead of
+// pooling in an unbounded NIC buffer. A port
 // with queued frames and no credits stalls; returning credits restart it.
 // Backpressure therefore propagates hop by hop toward the senders,
 // exactly the victim-flow mechanics shared links exhibit. Up/down routing

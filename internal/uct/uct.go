@@ -112,6 +112,11 @@ type Stats struct {
 	SendCQEs   uint64
 	RecvCQEs   uint64
 	SendsFreed uint64 // send slots retired (>= SendCQEs with unsignaled batching)
+	// ErrorCQEs counts completions with a nonzero status — the NIC gave
+	// up on the operation (e.g. RNR retries exhausted) and the retired
+	// WQEs must not be treated as delivered. The endpoint's Err records
+	// the last such failure.
+	ErrorCQEs uint64
 }
 
 // Worker is the LLP progress context for one core.
@@ -200,6 +205,11 @@ type Ep struct {
 	// when the debt reaches replenishBatch, keeping the repost cost off
 	// the receive critical path, as UCX's batched receive posting does.
 	owedRecvCredits int
+
+	// Err records the first error completion the endpoint saw (e.g. the
+	// peer kept answering RNR NAK past the QP's retry budget). The failed
+	// WQEs are retired — InFlight drains — but were never delivered.
+	Err error
 }
 
 // Receive-pool geometry: slots sized for the largest bcopy message.
@@ -293,6 +303,11 @@ func (e *Ep) postGather(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, da
 	if len(data) > MaxBcopy {
 		return fmt.Errorf("uct: bcopy post limited to %d bytes, got %d", MaxBcopy, len(data))
 	}
+	if e.Err != nil {
+		// The QP failed (e.g. RNR retries exhausted); surface the error
+		// instead of posting into a flushing queue.
+		return e.Err
+	}
 
 	var tok profTok
 	if w.ProfStage == StLLPPost || w.ProfStage == StBusyPost {
@@ -356,6 +371,11 @@ func (e *Ep) post(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, data []b
 
 	if len(data) > mlx.InlineMax {
 		return fmt.Errorf("uct: short post limited to %d bytes, got %d", mlx.InlineMax, len(data))
+	}
+	if e.Err != nil {
+		// The QP failed (e.g. RNR retries exhausted); surface the error
+		// instead of posting into a flushing queue.
+		return e.Err
 	}
 
 	var tok profTok
@@ -499,6 +519,16 @@ func (w *Worker) Progress(p *sim.Proc) int {
 			e.completed = cqe.WQECounter + 1
 			w.Stats.SendCQEs++
 			w.Stats.SendsFreed += uint64(n)
+			if cqe.Status != mlx.CQEOK {
+				// Error completion: the NIC flushed the outstanding
+				// tail (retry exhaustion). The slots are freed but
+				// nothing was delivered; surface it to the caller.
+				w.Stats.ErrorCQEs++
+				if e.Err == nil {
+					e.Err = fmt.Errorf("uct: qp %d send failed with completion status %d at counter %d",
+						cqe.QPN, cqe.Status, cqe.WQECounter)
+				}
+			}
 			p.Advance(sw.LLPProgMisc.Sample(r))
 			// Registered callbacks run before uct_worker_progress
 			// returns (paper §5), so the profiled scope includes them.

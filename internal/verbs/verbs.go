@@ -39,6 +39,13 @@ const (
 // Completion status.
 const (
 	WCSuccess = iota
+	// WCRnrRetryExcErr mirrors IBV_WC_RNR_RETRY_EXC_ERR: the remote peer
+	// kept answering receiver-not-ready NAKs past the QP's retry budget,
+	// and the flushed work requests were never delivered.
+	WCRnrRetryExcErr
+	// WCFlushErr mirrors IBV_WC_WR_FLUSH_ERR: the work request was
+	// flushed unexecuted because the QP was already in error state.
+	WCFlushErr
 )
 
 // ErrQPFull mirrors ENOMEM from ibv_post_send on a full send queue.
@@ -236,10 +243,17 @@ func (q *QP) PollSendCQ(p *sim.Proc, wcs []WC) int {
 		q.completed = cqe.WQECounter + 1
 		wrid := q.wrids[cqe.WQECounter]
 		delete(q.wrids, cqe.WQECounter)
+		status := WCSuccess
+		switch cqe.Status {
+		case mlx.CQERnrRetryExc:
+			status = WCRnrRetryExcErr
+		case mlx.CQEFlushErr:
+			status = WCFlushErr
+		}
 		// Keep the slot's reusable Data buffer (send completions carry no
 		// payload, but a caller sharing one wcs slice between send and
 		// recv polls must not lose the recv path's buffer).
-		wcs[n] = WC{WRID: wrid, Status: WCSuccess, Opcode: WROpRDMAWrite, Data: wcs[n].Data[:0]}
+		wcs[n] = WC{WRID: wrid, Status: status, Opcode: WROpRDMAWrite, Data: wcs[n].Data[:0]}
 		n++
 		p.Advance(sw.LLPProgMisc.Sample(r))
 	}
