@@ -6,8 +6,12 @@
 //
 // Usage:
 //
-//	go run ./cmd/bbbench            # writes BENCH_kernel.json
-//	go run ./cmd/bbbench -o -       # print to stdout
+//	go run ./cmd/bbbench                          # writes BENCH_kernel.json
+//	go run ./cmd/bbbench -o -                     # print to stdout
+//	go run ./cmd/bbbench -filter 'HandoffFree.*'  # run a subset
+//	go run ./cmd/bbbench -maxregress 0.10         # CI gate: fail on >10%
+//	                                              # ns/op regression vs the
+//	                                              # frozen baseline
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"testing"
 
@@ -29,6 +34,11 @@ var baseline = map[string]result{
 	"Schedule":      {NsPerOp: 135.7, AllocsPerOp: 1, BytesPerOp: 48, EventsPerSec: 7367382},
 	"SleepHandoff":  {NsPerOp: 483.8, AllocsPerOp: 2, BytesPerOp: 64, EventsPerSec: 2067130},
 	"PutBwEndToEnd": {NsPerOp: 15559, AllocsPerOp: 94, BytesPerOp: 6586, EventsPerSec: 2309812},
+	// HandoffFreeStep replaces the goroutine suspend/resume that
+	// SleepHandoff measured: at PR-2 a suspension could only be bought with
+	// a handoff, so the SleepHandoff numbers are its baseline and the
+	// speedup column shows what the continuation migration saved.
+	"HandoffFreeStep": {NsPerOp: 483.8, AllocsPerOp: 2, BytesPerOp: 64, EventsPerSec: 2067130},
 }
 
 type result struct {
@@ -51,6 +61,8 @@ type report struct {
 
 func main() {
 	out := flag.String("o", "BENCH_kernel.json", "output path ('-' for stdout)")
+	filter := flag.String("filter", "", "regexp selecting which benchmarks to run (empty = all)")
+	maxRegress := flag.Float64("maxregress", 0, "fail (exit 1) when a benchmark's ns/op exceeds its baseline_pr2_prekernel entry by more than this fraction (e.g. 0.10 = 10%); <= 0 disables the gate")
 	flag.Parse()
 
 	benches := []struct {
@@ -59,10 +71,20 @@ func main() {
 	}{
 		{"Schedule", simbench.Schedule},
 		{"SleepHandoff", simbench.SleepHandoff},
+		{"HandoffFreeStep", simbench.HandoffFreeStep},
+		{"HandoffFreeCall", simbench.HandoffFreeCall},
 		{"PutBwEndToEnd", simbench.PutBwEndToEnd},
 		{"WindowedPutBw", simbench.WindowedPutBw},
 		{"IncastPutBw", simbench.IncastPutBw},
 		{"OversubscribedPutBw", simbench.OversubscribedPutBw},
+	}
+	var sel *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if sel, err = regexp.Compile(*filter); err != nil {
+			fmt.Fprintln(os.Stderr, "bbbench: bad -filter:", err)
+			os.Exit(2)
+		}
 	}
 
 	rep := report{
@@ -74,7 +96,11 @@ func main() {
 		Baseline:   baseline,
 		Speedup:    map[string]float64{},
 	}
+	var regressions []string
 	for _, b := range benches {
+		if sel != nil && !sel.MatchString(b.name) {
+			continue
+		}
 		r := testing.Benchmark(b.fn)
 		res := result{
 			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
@@ -88,8 +114,14 @@ func main() {
 		if base, ok := baseline[b.name]; ok && res.NsPerOp > 0 {
 			rep.Speedup[b.name] = base.NsPerOp / res.NsPerOp
 			vsBase = fmt.Sprintf("%.2fx vs baseline", rep.Speedup[b.name])
+			if *maxRegress > 0 && res.NsPerOp > base.NsPerOp*(1+*maxRegress) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.1f ns/op vs baseline %.1f (+%.0f%%, limit +%.0f%%)",
+					b.name, res.NsPerOp, base.NsPerOp,
+					(res.NsPerOp/base.NsPerOp-1)*100, *maxRegress*100))
+			}
 		}
-		fmt.Fprintf(os.Stderr, "%-14s %10.1f ns/op  %12.0f events/sec  %3d allocs/op  (%s)\n",
+		fmt.Fprintf(os.Stderr, "%-19s %10.1f ns/op  %12.0f events/sec  %3d allocs/op  (%s)\n",
 			b.name, res.NsPerOp, res.EventsPerSec, res.AllocsPerOp, vsBase)
 	}
 
@@ -101,11 +133,17 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bbbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *out)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bbbench:", err)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "bbbench: REGRESSION:", r)
+		}
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "wrote", *out)
 }

@@ -1,0 +1,117 @@
+package breakband
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hotPackages are the software layers migrated to run-to-completion
+// continuations (sim.Task frames). Their non-test sources must stay free of
+// blocking goroutine-proc constructs: no sim.Proc in signatures or state, no
+// Sleep/Sync calls, no Spawn of goroutine procs. Cold paths that still need
+// a blocking proc live outside these packages (or in _test.go files, which
+// the gate skips).
+var hotPackages = []string{
+	"internal/uct",
+	"internal/verbs",
+	"internal/ucp",
+	"internal/mpi",
+	"internal/vtimer",
+	"internal/osu",
+	"internal/perftest",
+}
+
+// handoffFreeAllowlist exempts specific files that intentionally keep a
+// blocking construct (documented cold paths). Keys are slash-separated paths
+// relative to the repo root.
+var handoffFreeAllowlist = map[string]string{
+	// (empty: every hot package is fully migrated)
+}
+
+// TestHotStacksHandoffFree is the regression gate for the continuation
+// migration: it tokenizes every non-test Go file in the hot packages
+// (comments and strings never trigger it) and fails if a blocking
+// goroutine-proc construct reappears — `sim.Proc`, a `.Sleep(` or `.Sync(`
+// call, or a `.Spawn(` (the continuation entry point `.SpawnTask(` is a
+// distinct token and stays legal). New cold paths belong outside the hot
+// packages or in handoffFreeAllowlist with a justification.
+func TestHotStacksHandoffFree(t *testing.T) {
+	for _, pkg := range hotPackages {
+		entries, err := os.ReadDir(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(pkg, name)
+			if why, ok := handoffFreeAllowlist[filepath.ToSlash(path)]; ok {
+				t.Logf("allowlisted %s: %s", path, why)
+				continue
+			}
+			for _, v := range scanBlockingTokens(t, path) {
+				t.Errorf("%s: %s — hot stacks must stay continuation-only (use sim.Task frames; see ARCHITECTURE.md)", v.pos, v.what)
+			}
+		}
+	}
+}
+
+// violation is one blocking construct found by the token scan.
+type violation struct {
+	pos  token.Position
+	what string
+}
+
+// scanBlockingTokens tokenizes one file and reports the forbidden blocking
+// constructs. Working on the token stream (rather than the raw text) means
+// comments and string literals cannot trip the gate, and `.SpawnTask(` is
+// naturally distinct from `.Spawn(`.
+func scanBlockingTokens(t *testing.T, path string) []violation {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	file := fset.AddFile(path, fset.Base(), len(src))
+	var s scanner.Scanner
+	s.Init(file, src, func(pos token.Position, msg string) {
+		t.Errorf("%s: scan error: %s", pos, msg)
+	}, 0)
+
+	// A sliding window of the last three (token, literal) pairs.
+	type tok struct {
+		kind token.Token
+		lit  string
+	}
+	var w [3]tok
+	var vs []violation
+	for {
+		pos, kind, lit := s.Scan()
+		if kind == token.EOF {
+			break
+		}
+		w[0], w[1], w[2] = w[1], w[2], tok{kind, lit}
+		// sim.Proc anywhere (parameter, field, conversion).
+		if w[0].kind == token.IDENT && w[0].lit == "sim" &&
+			w[1].kind == token.PERIOD &&
+			w[2].kind == token.IDENT && w[2].lit == "Proc" {
+			vs = append(vs, violation{fset.Position(pos), "references sim.Proc"})
+		}
+		// .Sleep( / .Sync( / .Spawn( method calls.
+		if w[0].kind == token.PERIOD && w[1].kind == token.IDENT && w[2].kind == token.LPAREN {
+			switch w[1].lit {
+			case "Sleep", "Sync", "Spawn":
+				vs = append(vs, violation{fset.Position(pos), fmt.Sprintf("calls .%s(", w[1].lit)})
+			}
+		}
+	}
+	return vs
+}

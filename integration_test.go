@@ -61,34 +61,36 @@ func TestVerbsMatchesUCTTiming(t *testing.T) {
 	var verbsOneWay float64
 
 	sysV.K.Spawn("verbs.responder", func(p *sim.Proc) {
+		tk := p.Task()
 		wcs := make([]verbs.WC, 1)
-		q1.PostRecv(p, &verbs.RecvWR{SGE: verbs.SGE{Addr: rx1.Base, Length: 4096}})
+		q1.PostRecv(tk, &verbs.RecvWR{SGE: verbs.SGE{Addr: rx1.Base, Length: 4096}})
 		for i := 0; i < iters; i++ {
-			for q1.PollRecvCQ(p, wcs) == 0 {
+			for q1.PollRecvCQ(tk, wcs) == 0 {
 			}
-			q1.PostRecv(p, &verbs.RecvWR{SGE: verbs.SGE{Addr: rx1.Base, Length: 4096}})
-			q1.PostSend(p, &verbs.SendWR{
+			q1.PostRecv(tk, &verbs.RecvWR{SGE: verbs.SGE{Addr: rx1.Base, Length: 4096}})
+			q1.PostSend(tk, &verbs.SendWR{
 				Opcode: verbs.WROpSend, Flags: verbs.SendSignaled | verbs.SendInline,
 				InlineData: payload,
 			})
 			// Drain the pong's send completion while idle.
-			for q1.Outstanding() > 0 && q1.PollSendCQ(p, wcs) > 0 {
+			for q1.Outstanding() > 0 && q1.PollSendCQ(tk, wcs) > 0 {
 			}
 		}
 	})
 	sysV.K.Spawn("verbs.initiator", func(p *sim.Proc) {
+		tk := p.Task()
 		wcs := make([]verbs.WC, 1)
-		q0.PostRecv(p, &verbs.RecvWR{SGE: verbs.SGE{Addr: rx0.Base, Length: 4096}})
+		q0.PostRecv(tk, &verbs.RecvWR{SGE: verbs.SGE{Addr: rx0.Base, Length: 4096}})
 		start := p.Now()
 		for i := 0; i < iters; i++ {
-			q0.PostSend(p, &verbs.SendWR{
+			q0.PostSend(tk, &verbs.SendWR{
 				Opcode: verbs.WROpSend, Flags: verbs.SendSignaled | verbs.SendInline,
 				InlineData: payload,
 			})
-			for q0.PollRecvCQ(p, wcs) == 0 {
+			for q0.PollRecvCQ(tk, wcs) == 0 {
 			}
-			q0.PostRecv(p, &verbs.RecvWR{SGE: verbs.SGE{Addr: rx0.Base, Length: 4096}})
-			for q0.Outstanding() > 0 && q0.PollSendCQ(p, wcs) > 0 {
+			q0.PostRecv(tk, &verbs.RecvWR{SGE: verbs.SGE{Addr: rx0.Base, Length: 4096}})
+			for q0.Outstanding() > 0 && q0.PollSendCQ(tk, wcs) > 0 {
 			}
 		}
 		verbsOneWay = (p.Now() - start).Ns() / float64(2*iters)

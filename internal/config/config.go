@@ -222,6 +222,12 @@ type Config struct {
 	// behaviour. node.NewSystem copies a nonzero value into NIC.RxBudget.
 	NICRxBudget int
 
+	// NICRxBudgetPerQP additionally bounds the held frames any single QP
+	// may account for, so one overloaded QP cannot monopolize the NIC-wide
+	// budget and starve sibling QPs. Zero disables the per-QP bound.
+	// node.NewSystem copies a nonzero value into NIC.RxBudgetPerQP.
+	NICRxBudgetPerQP int
+
 	// MemBytes is each node's host memory size.
 	MemBytes uint64
 }

@@ -449,24 +449,26 @@ func waitWorkload(sys *node.System, samples int, setup func(r0 *mpi.Rank)) *mpi.
 	}
 	data := make([]byte, 8)
 	sys.K.Spawn("wait_workload.sender", func(p *sim.Proc) {
-		r1.PreparePostedRecvs(p, 64)
+		t := p.Task()
+		r1.PreparePostedRecvs(t, 64)
 		for i := 0; i < samples; i++ {
 			sleepUntil(p, start+units.Time(i)*period)
-			r1.Isend(p, 0, i, data)
+			r1.Isend(t, 0, i, data)
 			// Keep the transport retiring unsignaled batches.
-			r1.Worker.Progress(p)
+			r1.Worker.Progress(t)
 		}
 	})
 	sys.K.Spawn("wait_workload.waiter", func(p *sim.Proc) {
+		t := p.Task()
 		r0.Node.Prof.Calibrate(p, cfg.Prof.CalibrationSamples)
-		r0.PreparePostedRecvs(p, 512)
+		r0.PreparePostedRecvs(t, 512)
 		for i := 0; i < samples; i++ {
 			sleepUntil(p, start+units.Time(i)*period)
-			req := r0.Irecv(p, 1, i)
+			req := r0.Irecv(t, 1, i)
 			// The message lands ~1.4 us in; wait at +3 us so the
 			// completion is already in the queue.
 			sleepUntil(p, start+units.Time(i)*period+3*units.Microsecond)
-			r0.Wait(p, req)
+			r0.Wait(t, req)
 		}
 	})
 	sys.Run()

@@ -7,6 +7,11 @@
 // the operation and calls ucp_tag_send_nb; MPI_Wait loops the progress
 // engine over ucp_worker_progress; completions bubble up through the UCT →
 // UCP → MPICH callback chain before the progress call returns (paper §5).
+//
+// Like the layers below, the blocking operations are resumable sim.Frame
+// state machines: continuation tasks use the Start*/Last* forms, blocking
+// tasks (Proc.Task) the synchronous wrappers. One task drives a Rank at a
+// time.
 package mpi
 
 import (
@@ -59,6 +64,9 @@ type Rank struct {
 	Cfg    *config.Config
 	Worker *ucp.Worker
 	eps    map[int]*ucp.Ep
+	// epList holds the connections in creation order so credit posting
+	// iterates deterministically (map order would vary run to run).
+	epList []*ucp.Ep
 
 	Stats Stats
 
@@ -77,6 +85,13 @@ type Rank struct {
 	ProfUctInWait uct.Stage // LLP stage profiled inside recv waits
 
 	inRecvWait bool
+
+	prepF    prepFrame
+	isendF   isendFrame
+	waitF    waitFrame
+	waitallF waitallFrame
+	sendF    sendFrame
+	recvF    recvFrame
 }
 
 // Comm is a communicator over a set of ranks.
@@ -97,7 +112,14 @@ func NewComm(nodes []*node.Node, cfg *config.Config, mode uct.PostMode) *Comm {
 	for i, n := range nodes {
 		u := uct.NewWorker(n, cfg)
 		w := ucp.NewWorker(u, cfg)
-		c.Ranks = append(c.Ranks, &Rank{ID: i, Node: n, Cfg: cfg, Worker: w, eps: make(map[int]*ucp.Ep)})
+		r := &Rank{ID: i, Node: n, Cfg: cfg, Worker: w, eps: make(map[int]*ucp.Ep)}
+		r.prepF.r = r
+		r.isendF.r = r
+		r.waitF.r = r
+		r.waitallF.r = r
+		r.sendF.r = r
+		r.recvF.r = r
+		c.Ranks = append(c.Ranks, r)
 	}
 	// Fully connect: one ep (and QP) per peer per rank.
 	for i, a := range c.Ranks {
@@ -110,67 +132,143 @@ func NewComm(nodes []*node.Node, cfg *config.Config, mode uct.PostMode) *Comm {
 			uct.Connect(ea.UctEp, eb.UctEp)
 			a.eps[j] = ea
 			b.eps[i] = eb
+			a.epList = append(a.epList, ea)
+			b.epList = append(b.epList, eb)
 		}
 	}
 	return c
 }
 
-// PreparePostedRecvs posts n receive credits on every connection; call it
-// from a proc on each rank before traffic flows.
-func (r *Rank) PreparePostedRecvs(p *sim.Proc, n int) {
-	for _, ep := range r.eps {
-		ep.UctEp.PostRecvs(p, n)
+// StartPreparePostedRecvs begins posting n receive credits on every
+// connection, in connection-creation order; run it on each rank before
+// traffic flows.
+func (r *Rank) StartPreparePostedRecvs(t *sim.Task, n int) {
+	r.prepF.pc = 0
+	r.prepF.i = 0
+	r.prepF.n = n
+	t.Call(&r.prepF)
+}
+
+// PreparePostedRecvs is the synchronous form of StartPreparePostedRecvs for
+// blocking tasks.
+func (r *Rank) PreparePostedRecvs(t *sim.Task, n int) {
+	t.BlockingOnly("mpi.Rank.PreparePostedRecvs")
+	r.StartPreparePostedRecvs(t, n)
+}
+
+type prepFrame struct {
+	r    *Rank
+	pc   int
+	i, n int
+}
+
+func (f *prepFrame) Step(t *sim.Task) {
+	r := f.r
+	if f.i >= len(r.epList) {
+		t.Return()
+		return
+	}
+	ep := r.epList[f.i]
+	f.i++
+	ep.UctEp.StartPostRecvs(t, f.n)
+}
+
+// StartIsend begins a nonblocking standard send of data to rank dst; the
+// request is reported by LastIsend once the frame returns.
+func (r *Rank) StartIsend(t *sim.Task, dst int, tag int, data []byte) {
+	f := &r.isendF
+	f.pc = 0
+	f.dst = dst
+	f.tag = tag
+	f.data = data
+	t.Call(f)
+}
+
+// LastIsend reports the request created by the most recently completed
+// isend frame.
+func (r *Rank) LastIsend() *Request { return r.isendF.res }
+
+// Isend is the synchronous form of StartIsend for blocking tasks.
+func (r *Rank) Isend(t *sim.Task, dst int, tag int, data []byte) *Request {
+	t.BlockingOnly("mpi.Rank.Isend")
+	r.StartIsend(t, dst, tag, data)
+	return r.isendF.res
+}
+
+type isendFrame struct {
+	r        *Rank
+	pc       int
+	dst, tag int
+	data     []byte
+
+	ep       *ucp.Ep
+	req      *Request
+	isendTok profTok
+	ucpTok   profTok
+	res      *Request
+}
+
+func (f *isendFrame) Step(t *sim.Task) {
+	r := f.r
+	switch f.pc {
+	case 0:
+		ep, ok := r.eps[f.dst]
+		if !ok {
+			panic(fmt.Sprintf("mpi: rank %d has no connection to %d", r.ID, f.dst))
+		}
+		f.ep = ep
+		r.Stats.Isends++
+		req := &Request{rank: r}
+		f.req = req
+
+		f.isendTok, f.ucpTok = profTok{}, profTok{}
+		if r.ProfIsend {
+			f.isendTok = r.profBegin(t)
+		}
+		// MPICH-side work: datatype/contiguity checks, choosing the path.
+		t.Advance(r.Cfg.SW.MpiIsend.Sample(r.Node.Rand))
+		if r.ProfUcpSend {
+			f.ucpTok = r.profBegin(t)
+		}
+		f.pc = 1
+		ep.StartTagSend(t, tagFor(r.ID, f.tag), f.data, func(ct *sim.Task) {
+			// MPICH send-completion callback.
+			ct.Advance(r.Cfg.SW.MpichSendCB.Sample(r.Node.Rand))
+			r.Stats.SendCallbacks++
+			req.done = true
+		})
+	case 1:
+		ucpReq, err := f.ep.LastSend()
+		if err != nil {
+			panic(fmt.Sprintf("mpi: isend: %v", err))
+		}
+		f.req.ucpReq = ucpReq
+		r.profEndAs(t, f.ucpTok, r.ProfUcpSend, "ucp_tag_send_nb")
+		r.profEndAs(t, f.isendTok, r.ProfIsend, "mpi_isend")
+		f.res = f.req
+		f.req = nil
+		f.data = nil
+		t.Return()
 	}
 }
 
-// Isend starts a nonblocking standard send of data to rank dst.
-func (r *Rank) Isend(p *sim.Proc, dst int, tag int, data []byte) *Request {
-	ep, ok := r.eps[dst]
-	if !ok {
-		panic(fmt.Sprintf("mpi: rank %d has no connection to %d", r.ID, dst))
-	}
-	r.Stats.Isends++
-	req := &Request{rank: r}
-
-	var isendTok, ucpTok profTok
-	if r.ProfIsend {
-		isendTok = r.profBegin(p)
-	}
-	// MPICH-side work: datatype/contiguity checks, choosing the path.
-	p.Advance(r.Cfg.SW.MpiIsend.Sample(r.Node.Rand))
-	if r.ProfUcpSend {
-		ucpTok = r.profBegin(p)
-	}
-	ucpReq, err := ep.TagSendNB(p, tagFor(r.ID, tag), data, func(cp *sim.Proc) {
-		// MPICH send-completion callback.
-		cp.Advance(r.Cfg.SW.MpichSendCB.Sample(r.Node.Rand))
-		r.Stats.SendCallbacks++
-		req.done = true
-	})
-	if err != nil {
-		panic(fmt.Sprintf("mpi: isend: %v", err))
-	}
-	req.ucpReq = ucpReq
-	r.profEndAs(p, ucpTok, r.ProfUcpSend, "ucp_tag_send_nb")
-	r.profEndAs(p, isendTok, r.ProfIsend, "mpi_isend")
-	return req
-}
-
-// Irecv starts a nonblocking receive matching (src, tag).
-func (r *Rank) Irecv(p *sim.Proc, src int, tag int) *Request {
+// Irecv starts a nonblocking receive matching (src, tag). It is pause-free,
+// so it works identically on continuation and blocking tasks and needs no
+// Start form.
+func (r *Rank) Irecv(t *sim.Task, src int, tag int) *Request {
 	r.Stats.Irecvs++
 	req := &Request{rank: r, isRecv: true}
-	p.Advance(r.Cfg.SW.MpiIrecv.Sample(r.Node.Rand))
-	req.ucpReq = r.Worker.TagRecvNB(p, tagFor(src, tag), func(cp *sim.Proc) {
+	t.Advance(r.Cfg.SW.MpiIrecv.Sample(r.Node.Rand))
+	req.ucpReq = r.Worker.TagRecvNB(t, tagFor(src, tag), func(ct *sim.Task) {
 		// MPICH receive callback (paper Table 1: 47.99 ns).
 		var tok profTok
 		if r.ProfMpichCB {
-			tok = r.profBegin(cp)
+			tok = r.profBegin(ct)
 		}
-		cp.Advance(r.Cfg.SW.MpichRecvCB.Sample(r.Node.Rand))
+		ct.Advance(r.Cfg.SW.MpichRecvCB.Sample(r.Node.Rand))
 		r.Stats.RecvCallbacks++
 		req.done = true
-		r.profEndAs(cp, tok, r.ProfMpichCB, "mpich_recv_cb")
+		r.profEndAs(ct, tok, r.ProfMpichCB, "mpich_recv_cb")
 	})
 	// An unexpected message may have completed it synchronously.
 	if req.ucpReq.Completed() {
@@ -179,93 +277,242 @@ func (r *Rank) Irecv(p *sim.Proc, src int, tag int) *Request {
 	return req
 }
 
-// Wait blocks until req completes, driving the progress engine (MPI_Wait).
-func (r *Rank) Wait(p *sim.Proc, req *Request) {
-	r.Stats.Waits++
-	measured := req.isRecv
-	if measured {
-		r.Stats.RecvWaits++
-		r.inRecvWait = true
-		if r.ProfUctInWait != uct.StNone {
-			r.Worker.Uct.ProfStage = r.ProfUctInWait
-		}
-	}
-	var waitTok profTok
-	if r.ProfWait && measured {
-		waitTok = r.profBegin(p)
-	}
-	// Entry/exit bookkeeping (request inspection, state machine).
-	p.Advance(r.Cfg.SW.MpichWaitEnt.Sample(r.Node.Rand))
-	for !req.done {
-		r.Stats.WaitLoops++
-		if measured {
-			r.Stats.RecvWaitLoops++
-		}
-		p.Advance(r.Cfg.SW.MpichWaitLoop.Sample(r.Node.Rand))
-		r.progressOnce(p)
-	}
-	// MPICH work after the successful ucp_worker_progress (paper §6:
-	// 36.89 ns).
-	var afterTok profTok
-	if r.ProfAfterProg && measured {
-		afterTok = r.profBegin(p)
-	}
-	p.Advance(r.Cfg.SW.MpichAfterPrg.Sample(r.Node.Rand))
-	r.profEndAs(p, afterTok, r.ProfAfterProg && measured, "mpich_after_progress")
-	r.profEndAs(p, waitTok, r.ProfWait && measured, "mpi_wait_recv")
-	if measured {
-		r.inRecvWait = false
-		if r.ProfUctInWait != uct.StNone {
-			r.Worker.Uct.ProfStage = uct.StNone
-		}
-	}
+// StartWait begins blocking until req completes, driving the progress
+// engine (MPI_Wait).
+func (r *Rank) StartWait(t *sim.Task, req *Request) {
+	r.waitF.pc = 0
+	r.waitF.req = req
+	t.Call(&r.waitF)
 }
 
-// Waitall blocks until all requests complete (MPI_Waitall). MPICH executes
-// its progress engine until every listed operation completes.
-func (r *Rank) Waitall(p *sim.Proc, reqs []*Request) {
-	p.Advance(r.Cfg.SW.MpichWaitEnt.Sample(r.Node.Rand))
-	remaining := func() int {
-		n := 0
-		for _, q := range reqs {
-			if !q.done {
-				n++
+// Wait is the synchronous form of StartWait for blocking tasks.
+func (r *Rank) Wait(t *sim.Task, req *Request) {
+	t.BlockingOnly("mpi.Rank.Wait")
+	r.StartWait(t, req)
+}
+
+type waitFrame struct {
+	r   *Rank
+	pc  int
+	req *Request
+
+	measured bool
+	waitTok  profTok
+	progTok  profTok
+	progProf bool
+}
+
+func (f *waitFrame) Step(t *sim.Task) {
+	r := f.r
+	for {
+		switch f.pc {
+		case 0:
+			r.Stats.Waits++
+			f.measured = f.req.isRecv
+			if f.measured {
+				r.Stats.RecvWaits++
+				r.inRecvWait = true
+				if r.ProfUctInWait != uct.StNone {
+					r.Worker.Uct.ProfStage = r.ProfUctInWait
+				}
 			}
+			f.waitTok = profTok{}
+			if r.ProfWait && f.measured {
+				f.waitTok = r.profBegin(t)
+			}
+			// Entry/exit bookkeeping (request inspection, state machine).
+			t.Advance(r.Cfg.SW.MpichWaitEnt.Sample(r.Node.Rand))
+			f.pc = 1
+		case 1:
+			if f.req.done {
+				f.pc = 3
+				continue
+			}
+			r.Stats.WaitLoops++
+			if f.measured {
+				r.Stats.RecvWaitLoops++
+			}
+			t.Advance(r.Cfg.SW.MpichWaitLoop.Sample(r.Node.Rand))
+			f.beginProgress(t)
+			f.pc = 2
+			r.Worker.StartProgress(t)
+			return
+		case 2:
+			r.profEndAs(t, f.progTok, f.progProf, "ucp_worker_progress")
+			f.pc = 1
+		case 3:
+			// MPICH work after the successful ucp_worker_progress (paper
+			// §6: 36.89 ns).
+			afterTok := profTok{}
+			if r.ProfAfterProg && f.measured {
+				afterTok = r.profBegin(t)
+			}
+			t.Advance(r.Cfg.SW.MpichAfterPrg.Sample(r.Node.Rand))
+			r.profEndAs(t, afterTok, r.ProfAfterProg && f.measured, "mpich_after_progress")
+			r.profEndAs(t, f.waitTok, r.ProfWait && f.measured, "mpi_wait_recv")
+			if f.measured {
+				r.inRecvWait = false
+				if r.ProfUctInWait != uct.StNone {
+					r.Worker.Uct.ProfStage = uct.StNone
+				}
+			}
+			f.req = nil
+			t.Return()
+			return
 		}
-		return n
-	}
-	for remaining() > 0 {
-		r.Stats.WaitLoops++
-		// Per-operation bookkeeping share of the waitall loop.
-		p.Advance(r.Cfg.SW.MpichWaitallOp.Sample(r.Node.Rand))
-		r.progressOnce(p)
 	}
 }
 
-// progressOnce runs one ucp_worker_progress pass, optionally profiled
+// beginProgress opens the optionally-profiled ucp_worker_progress scope
 // (inside receive waits only, so per-wait totals reconstruct cleanly).
-func (r *Rank) progressOnce(p *sim.Proc) int {
-	prof := r.ProfUcpProg && r.inRecvWait
-	var tok profTok
-	if prof {
-		tok = r.profBegin(p)
+func (f *waitFrame) beginProgress(t *sim.Task) {
+	r := f.r
+	f.progProf = r.ProfUcpProg && r.inRecvWait
+	f.progTok = profTok{}
+	if f.progProf {
+		f.progTok = r.profBegin(t)
 	}
-	n := r.Worker.Progress(p)
-	r.profEndAs(p, tok, prof, "ucp_worker_progress")
-	return n
 }
 
-// Send is a blocking standard send (Isend + Wait), as used by the OSU
-// latency benchmark.
-func (r *Rank) Send(p *sim.Proc, dst int, tag int, data []byte) {
-	r.Wait(p, r.Isend(p, dst, tag, data))
+// StartWaitall begins blocking until all requests complete (MPI_Waitall).
+// MPICH executes its progress engine until every listed operation completes.
+func (r *Rank) StartWaitall(t *sim.Task, reqs []*Request) {
+	r.waitallF.pc = 0
+	r.waitallF.reqs = reqs
+	t.Call(&r.waitallF)
 }
 
-// Recv is a blocking receive (Irecv + Wait).
-func (r *Rank) Recv(p *sim.Proc, src int, tag int) []byte {
-	req := r.Irecv(p, src, tag)
-	r.Wait(p, req)
+// Waitall is the synchronous form of StartWaitall for blocking tasks.
+func (r *Rank) Waitall(t *sim.Task, reqs []*Request) {
+	t.BlockingOnly("mpi.Rank.Waitall")
+	r.StartWaitall(t, reqs)
+}
+
+type waitallFrame struct {
+	r    *Rank
+	pc   int
+	reqs []*Request
+
+	progTok  profTok
+	progProf bool
+}
+
+func (f *waitallFrame) Step(t *sim.Task) {
+	r := f.r
+	for {
+		switch f.pc {
+		case 0:
+			t.Advance(r.Cfg.SW.MpichWaitEnt.Sample(r.Node.Rand))
+			f.pc = 1
+		case 1:
+			remaining := 0
+			for _, q := range f.reqs {
+				if !q.done {
+					remaining++
+				}
+			}
+			if remaining == 0 {
+				f.reqs = nil
+				t.Return()
+				return
+			}
+			r.Stats.WaitLoops++
+			// Per-operation bookkeeping share of the waitall loop.
+			t.Advance(r.Cfg.SW.MpichWaitallOp.Sample(r.Node.Rand))
+			f.progProf = r.ProfUcpProg && r.inRecvWait
+			f.progTok = profTok{}
+			if f.progProf {
+				f.progTok = r.profBegin(t)
+			}
+			f.pc = 2
+			r.Worker.StartProgress(t)
+			return
+		case 2:
+			r.profEndAs(t, f.progTok, f.progProf, "ucp_worker_progress")
+			f.pc = 1
+		}
+	}
+}
+
+// StartSend begins a blocking standard send (Isend + Wait), as used by the
+// OSU latency benchmark.
+func (r *Rank) StartSend(t *sim.Task, dst int, tag int, data []byte) {
+	r.sendF.pc = 0
+	r.sendF.dst = dst
+	r.sendF.tag = tag
+	r.sendF.data = data
+	t.Call(&r.sendF)
+}
+
+// Send is the synchronous form of StartSend for blocking tasks.
+func (r *Rank) Send(t *sim.Task, dst int, tag int, data []byte) {
+	t.BlockingOnly("mpi.Rank.Send")
+	r.Wait(t, r.Isend(t, dst, tag, data))
+}
+
+type sendFrame struct {
+	r        *Rank
+	pc       int
+	dst, tag int
+	data     []byte
+}
+
+func (f *sendFrame) Step(t *sim.Task) {
+	r := f.r
+	switch f.pc {
+	case 0:
+		f.pc = 1
+		r.StartIsend(t, f.dst, f.tag, f.data)
+	case 1:
+		f.pc = 2
+		r.StartWait(t, r.LastIsend())
+	case 2:
+		f.data = nil
+		t.Return()
+	}
+}
+
+// StartRecv begins a blocking receive (Irecv + Wait); the payload is
+// reported by LastRecv once the frame returns.
+func (r *Rank) StartRecv(t *sim.Task, src int, tag int) {
+	r.recvF.pc = 0
+	r.recvF.src = src
+	r.recvF.tag = tag
+	t.Call(&r.recvF)
+}
+
+// LastRecv reports the payload received by the most recently completed recv
+// frame.
+func (r *Rank) LastRecv() []byte { return r.recvF.data }
+
+// Recv is the synchronous form of StartRecv for blocking tasks.
+func (r *Rank) Recv(t *sim.Task, src int, tag int) []byte {
+	t.BlockingOnly("mpi.Rank.Recv")
+	req := r.Irecv(t, src, tag)
+	r.Wait(t, req)
 	return req.Data()
+}
+
+type recvFrame struct {
+	r        *Rank
+	pc       int
+	src, tag int
+	req      *Request
+	data     []byte
+}
+
+func (f *recvFrame) Step(t *sim.Task) {
+	r := f.r
+	switch f.pc {
+	case 0:
+		f.req = r.Irecv(t, f.src, f.tag)
+		f.pc = 1
+		r.StartWait(t, f.req)
+	case 1:
+		f.data = f.req.Data()
+		f.req = nil
+		t.Return()
+	}
 }
 
 // --- profiling helpers ---
@@ -275,12 +522,12 @@ type profTok struct {
 	real bool
 }
 
-func (r *Rank) profBegin(p *sim.Proc) profTok {
-	return profTok{tok: r.Node.Prof.BeginAnon(p), real: true}
+func (r *Rank) profBegin(t *sim.Task) profTok {
+	return profTok{tok: r.Node.Prof.BeginAnon(t), real: true}
 }
 
-func (r *Rank) profEndAs(p *sim.Proc, t profTok, enabled bool, name string) {
-	if t.real && enabled {
-		r.Node.Prof.EndAs(p, t.tok, name)
+func (r *Rank) profEndAs(t *sim.Task, tk profTok, enabled bool, name string) {
+	if tk.real && enabled {
+		r.Node.Prof.EndAs(t, tk.tok, name)
 	}
 }

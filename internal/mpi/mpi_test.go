@@ -28,15 +28,17 @@ func TestSendRecvRoundTrip(t *testing.T) {
 	pong := []byte{5, 6, 7, 8}
 	var got0, got1 []byte
 	sys.K.Spawn("rank1", func(p *sim.Proc) {
-		r1.PreparePostedRecvs(p, 16)
-		got1 = r1.Recv(p, 0, 1)
-		r1.Send(p, 0, 2, pong)
+		tk := p.Task()
+		r1.PreparePostedRecvs(tk, 16)
+		got1 = r1.Recv(tk, 0, 1)
+		r1.Send(tk, 0, 2, pong)
 	})
 	sys.K.Spawn("rank0", func(p *sim.Proc) {
-		r0.PreparePostedRecvs(p, 16)
+		tk := p.Task()
+		r0.PreparePostedRecvs(tk, 16)
 		p.Sleep(units.Microsecond)
-		r0.Send(p, 1, 1, ping)
-		got0 = r0.Recv(p, 1, 2)
+		r0.Send(tk, 1, 1, ping)
+		got0 = r0.Recv(tk, 1, 2)
 	})
 	sys.Run()
 	if !bytes.Equal(got1, ping) || !bytes.Equal(got0, pong) {
@@ -53,12 +55,13 @@ func TestIsendIrecvNonblocking(t *testing.T) {
 	r0, r1 := comm.Ranks[0], comm.Ranks[1]
 	const n = 8
 	sys.K.Spawn("rank1", func(p *sim.Proc) {
-		r1.PreparePostedRecvs(p, 64)
+		tk := p.Task()
+		r1.PreparePostedRecvs(tk, 64)
 		reqs := make([]*Request, n)
 		for i := range reqs {
-			reqs[i] = r1.Irecv(p, 0, i)
+			reqs[i] = r1.Irecv(tk, 0, i)
 		}
-		r1.Waitall(p, reqs)
+		r1.Waitall(tk, reqs)
 		for i, req := range reqs {
 			if !req.Done() {
 				t.Errorf("recv %d incomplete after waitall", i)
@@ -69,13 +72,14 @@ func TestIsendIrecvNonblocking(t *testing.T) {
 		}
 	})
 	sys.K.Spawn("rank0", func(p *sim.Proc) {
-		r0.PreparePostedRecvs(p, 64)
+		tk := p.Task()
+		r0.PreparePostedRecvs(tk, 64)
 		p.Sleep(units.Microsecond)
 		reqs := make([]*Request, n)
 		for i := range reqs {
-			reqs[i] = r0.Isend(p, 1, i, []byte{byte(i)})
+			reqs[i] = r0.Isend(tk, 1, i, []byte{byte(i)})
 		}
-		r0.Waitall(p, reqs)
+		r0.Waitall(tk, reqs)
 	})
 	sys.Run()
 }
@@ -87,21 +91,23 @@ func TestTagMatching(t *testing.T) {
 	// Two sends with distinct tags; receives posted in opposite order
 	// must match by tag, not arrival order.
 	sys.K.Spawn("rank1", func(p *sim.Proc) {
-		r1.PreparePostedRecvs(p, 16)
-		reqB := r1.Irecv(p, 0, 200)
-		reqA := r1.Irecv(p, 0, 100)
-		r1.Wait(p, reqB)
-		r1.Wait(p, reqA)
+		tk := p.Task()
+		r1.PreparePostedRecvs(tk, 16)
+		reqB := r1.Irecv(tk, 0, 200)
+		reqA := r1.Irecv(tk, 0, 100)
+		r1.Wait(tk, reqB)
+		r1.Wait(tk, reqA)
 		if reqA.Data()[0] != 100 || reqB.Data()[0] != 200 {
 			t.Errorf("tag matching broken: A=%v B=%v", reqA.Data(), reqB.Data())
 		}
 	})
 	sys.K.Spawn("rank0", func(p *sim.Proc) {
-		r0.PreparePostedRecvs(p, 16)
+		tk := p.Task()
+		r0.PreparePostedRecvs(tk, 16)
 		p.Sleep(units.Microsecond)
-		r0.Isend(p, 1, 100, []byte{100})
-		req := r0.Isend(p, 1, 200, []byte{200})
-		r0.Wait(p, req)
+		r0.Isend(tk, 1, 100, []byte{100})
+		req := r0.Isend(tk, 1, 200, []byte{200})
+		r0.Wait(tk, req)
 	})
 	sys.Run()
 }
@@ -111,22 +117,24 @@ func TestUnexpectedThenIrecv(t *testing.T) {
 	defer sys.Shutdown()
 	r0, r1 := comm.Ranks[0], comm.Ranks[1]
 	sys.K.Spawn("rank1", func(p *sim.Proc) {
-		r1.PreparePostedRecvs(p, 16)
+		tk := p.Task()
+		r1.PreparePostedRecvs(tk, 16)
 		// Progress until the eager message is sitting in the
 		// unexpected queue, then post the receive.
 		for r1.Worker.Stats.UnexpectedMsgs == 0 {
-			r1.Worker.Progress(p)
+			r1.Worker.Progress(tk)
 		}
-		req := r1.Irecv(p, 0, 5)
-		r1.Wait(p, req)
+		req := r1.Irecv(tk, 0, 5)
+		r1.Wait(tk, req)
 		if req.Data()[0] != 55 {
 			t.Errorf("unexpected-path data = %v", req.Data())
 		}
 	})
 	sys.K.Spawn("rank0", func(p *sim.Proc) {
-		r0.PreparePostedRecvs(p, 16)
+		tk := p.Task()
+		r0.PreparePostedRecvs(tk, 16)
 		p.Sleep(units.Microsecond)
-		r0.Send(p, 1, 5, []byte{55})
+		r0.Send(tk, 1, 5, []byte{55})
 	})
 	sys.Run()
 	if r1.Worker.Stats.UnexpectedMsgs != 1 {
@@ -139,13 +147,15 @@ func TestWaitRecvCountsLoops(t *testing.T) {
 	defer sys.Shutdown()
 	r0, r1 := comm.Ranks[0], comm.Ranks[1]
 	sys.K.Spawn("rank1", func(p *sim.Proc) {
-		r1.PreparePostedRecvs(p, 16)
-		r1.Recv(p, 0, 1)
+		tk := p.Task()
+		r1.PreparePostedRecvs(tk, 16)
+		r1.Recv(tk, 0, 1)
 	})
 	sys.K.Spawn("rank0", func(p *sim.Proc) {
-		r0.PreparePostedRecvs(p, 16)
+		tk := p.Task()
+		r0.PreparePostedRecvs(tk, 16)
 		p.Sleep(units.Microsecond)
-		r0.Send(p, 1, 1, []byte{1})
+		r0.Send(tk, 1, 1, []byte{1})
 	})
 	sys.Run()
 	if r1.Stats.RecvWaits != 1 {
@@ -161,12 +171,13 @@ func TestIsendToUnknownRankPanics(t *testing.T) {
 	defer sys.Shutdown()
 	r0 := comm.Ranks[0]
 	sys.K.Spawn("rank0", func(p *sim.Proc) {
+		tk := p.Task()
 		defer func() {
 			if recover() == nil {
 				t.Error("isend to unconnected rank did not panic")
 			}
 		}()
-		r0.Isend(p, 99, 0, []byte{1})
+		r0.Isend(tk, 99, 0, []byte{1})
 	})
 	sys.Run()
 }
@@ -199,10 +210,11 @@ func TestThreeRankRing(t *testing.T) {
 		next := (i + 1) % 3
 		prev := (i + 2) % 3
 		sys.K.Spawn("rank", func(p *sim.Proc) {
-			r.PreparePostedRecvs(p, 16)
+			tk := p.Task()
+			r.PreparePostedRecvs(tk, 16)
 			p.Sleep(units.Microsecond)
-			r.Isend(p, next, 7, []byte{byte(10 * (i + 1))})
-			data := r.Recv(p, prev, 7)
+			r.Isend(tk, next, 7, []byte{byte(10 * (i + 1))})
+			data := r.Recv(tk, prev, 7)
 			sums[i] = data[0]
 		})
 	}

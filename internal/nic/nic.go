@@ -95,6 +95,13 @@ type Config struct {
 	// behaviour: the NIC buffers everything and the PCIe pend queue grows
 	// with overload).
 	RxBudget int
+	// RxBudgetPerQP additionally bounds how many of the held frames may
+	// belong to a single QP. A frame that would push its target QP past
+	// the per-QP budget is refused with an RNR NAK even while the NIC-wide
+	// budget has room, so one overloaded QP cannot monopolize the shared
+	// pend buffering and starve its siblings. Zero disables the per-QP
+	// bound (the default; per-QP held counts are still tracked).
+	RxBudgetPerQP int
 	// RnrRetryLimit is how many RNR retransmit attempts a QP may make for
 	// the same head-of-queue WQE before the NIC gives up and writes an
 	// error CQE (mlx.CQERnrRetryExc) retiring the whole outstanding tail.
@@ -207,6 +214,13 @@ type QP struct {
 	Errored bool
 	// Flushed counts WQEs flushed unexecuted on an errored QP.
 	Flushed uint64
+
+	// Receive-side pend accounting for this QP: rxHeld counts the NIC's
+	// held frames that target this QP (its share of NIC.RxHeld), rxHeldMax
+	// the per-QP high-water mark. With Config.RxBudgetPerQP > 0 admission
+	// refuses frames that would push rxHeld past the per-QP budget.
+	rxHeld    int
+	rxHeldMax int
 
 	// Target-side RNR state: after refusing a frame the QP is in recovery
 	// and discards every data frame until the refused counter (rxResume)
@@ -380,6 +394,17 @@ func (n *NIC) RxHeldMax() int { return n.rxHeldMax }
 // RxBudget reports the configured receive-side pend budget (0 = unbounded).
 func (n *NIC) RxBudget() int { return n.cfg.RxBudget }
 
+// RxBudgetPerQP reports the configured per-QP pend budget (0 = disabled).
+func (n *NIC) RxBudgetPerQP() int { return n.cfg.RxBudgetPerQP }
+
+// RxHeld reports the held data frames currently targeting this QP — its
+// share of the NIC-wide NIC.RxHeld.
+func (q *QP) RxHeld() int { return q.rxHeld }
+
+// RxHeldMax reports the QP's held-frame high-water mark. With
+// Config.RxBudgetPerQP > 0 it never exceeds the per-QP budget.
+func (q *QP) RxHeldMax() int { return q.rxHeldMax }
+
 // ID reports the NIC's fabric identity.
 func (n *NIC) ID() int { return n.id }
 
@@ -518,6 +543,11 @@ func (n *NIC) upIssued(*pcie.TLP) {
 	f.RxPendWrites--
 	if f.RxPendWrites == 0 {
 		n.rxHeld--
+		// The frame is still alive here, so its target QP is recoverable
+		// the same way rxData resolved it at admission.
+		if qp, ok := n.qps[f.Op.DstQPN]; ok {
+			qp.rxHeld--
+		}
 		f.Release()
 	}
 }
@@ -713,7 +743,9 @@ func (n *NIC) rxData(f *fabric.Frame) (held bool) {
 		return false
 	}
 	needsRecv := mlx.Opcode(op.Opcode) == mlx.OpSend
-	if (n.cfg.RxBudget > 0 && n.rxHeld >= n.cfg.RxBudget) || (needsRecv && qp.recvPosted == 0) {
+	if (n.cfg.RxBudget > 0 && n.rxHeld >= n.cfg.RxBudget) ||
+		(n.cfg.RxBudgetPerQP > 0 && qp.rxHeld >= n.cfg.RxBudgetPerQP) ||
+		(needsRecv && qp.recvPosted == 0) {
 		n.refuse(qp, f)
 		return false
 	}
@@ -776,6 +808,10 @@ func (n *NIC) rxData(f *fabric.Frame) (held bool) {
 		n.rxHeld++
 		if n.rxHeld > n.rxHeldMax {
 			n.rxHeldMax = n.rxHeld
+		}
+		qp.rxHeld++
+		if qp.rxHeld > qp.rxHeldMax {
+			qp.rxHeldMax = qp.rxHeld
 		}
 	}
 	// Transport-level acknowledgement back to the initiator (paper §2

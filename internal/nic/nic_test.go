@@ -419,6 +419,101 @@ func TestRxBudgetBoundsHeldFramesAndPend(t *testing.T) {
 	}
 }
 
+// TestRxBudgetPerQPIsolatesSiblingQP floods one QP past its per-QP pend
+// budget on a receiver with an unbounded NIC-wide budget: the flooded QP
+// must be refused with RNR NAKs while a sibling QP on the same NIC keeps
+// delivering untouched — the per-QP bound stops one connection from
+// monopolizing the shared pend buffering.
+func TestRxBudgetPerQPIsolatesSiblingQP(t *testing.T) {
+	k := sim.NewKernel()
+	net := fabric.New(k, fabric.Config{
+		WireProp:      units.Nanoseconds(270),
+		WirePerByte:   units.Time(80),
+		FrameOverhead: 30,
+	})
+	rcCfg := pcie.RCConfig{
+		RCToMemBase:      units.Nanoseconds(240),
+		RCToMemBaseBytes: 64,
+		MemReadLatency:   units.Nanoseconds(150),
+	}
+	mem0 := memsim.New(1 << 20)
+	link0 := pcie.NewLink(k, pcie.DefaultLinkConfig())
+	rc0 := pcie.NewRootComplex(k, mem0, link0, rcCfg)
+	nic0 := New(k, 0, mem0, link0, net, DefaultConfig())
+
+	// Receiver: starved posted credits and a slow credit return hold
+	// inbound frames, but only the per-QP budget bounds them.
+	linkCfg := pcie.DefaultLinkConfig()
+	linkCfg.PostedCredits = pcie.Credits{Hdr: 1, Data: 4}
+	linkCfg.RxProcess = units.Microseconds(3)
+	mem1 := memsim.New(1 << 20)
+	link1 := pcie.NewLink(k, linkCfg)
+	pcie.NewRootComplex(k, mem1, link1, rcCfg)
+	cfg := DefaultConfig()
+	cfg.RxBudgetPerQP = 1
+	nic1 := New(k, 1, mem1, link1, net, cfg)
+
+	qpA0 := nic0.CreateQP(64, 256)
+	qpA1 := nic1.CreateQP(64, 256)
+	Connect(qpA0, qpA1)
+	qpB0 := nic0.CreateQP(64, 256)
+	qpB1 := nic1.CreateQP(64, 256)
+	Connect(qpB0, qpB1)
+
+	dstA := mem1.Alloc("dstA", 256, 8)
+	dstB := mem1.Alloc("dstB", 64, 8)
+	post := func(qp *QP, w *mlx.WQE) {
+		enc, err := w.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc0.MMIOWrite(qp.BFAddr, enc[:])
+	}
+	k.At(0, func() {
+		// Six back-to-back writes gang up on QP A; QP B sends one.
+		for i := 0; i < 6; i++ {
+			post(qpA0, &mlx.WQE{
+				Opcode: mlx.OpRDMAWrite, Inline: true, Signaled: i == 5,
+				WQEIdx: uint16(i), QPN: qpA0.QPN,
+				Payload: []byte{byte(20 + i)}, RemoteAddr: dstA.Base + uint64(i),
+			})
+		}
+		post(qpB0, &mlx.WQE{
+			Opcode: mlx.OpRDMAWrite, Inline: true, Signaled: true,
+			WQEIdx: 0, QPN: qpB0.QPN,
+			Payload: []byte{77}, RemoteAddr: dstB.Base,
+		})
+	})
+	k.Run()
+
+	if qpA1.RNRNaksSent == 0 {
+		t.Error("flooded QP was never NAKed by the per-QP budget")
+	}
+	if qpA1.RxHeldMax() > cfg.RxBudgetPerQP {
+		t.Errorf("flooded QP held high-water %d exceeds per-QP budget %d",
+			qpA1.RxHeldMax(), cfg.RxBudgetPerQP)
+	}
+	if qpB1.RNRNaksSent != 0 {
+		t.Errorf("sibling QP was NAKed %d times", qpB1.RNRNaksSent)
+	}
+	if qpB1.RxFrames != 1 {
+		t.Errorf("sibling RxFrames = %d, want 1", qpB1.RxFrames)
+	}
+	if got := mem1.Read(dstB.Base, 1)[0]; got != 77 {
+		t.Errorf("sibling write = %d, want 77", got)
+	}
+	// The flooded QP's writes all land eventually, exactly once, in order.
+	for i := 0; i < 6; i++ {
+		if got := mem1.Read(dstA.Base+uint64(i), 1)[0]; got != byte(20+i) {
+			t.Errorf("write %d = %d, want %d", i, got, byte(20+i))
+		}
+	}
+	if nic1.RxHeld() != 0 || qpA1.RxHeld() != 0 || qpB1.RxHeld() != 0 {
+		t.Errorf("held counts after drain: nic=%d qpA=%d qpB=%d",
+			nic1.RxHeld(), qpA1.RxHeld(), qpB1.RxHeld())
+	}
+}
+
 func TestDoorbellDMAFetch(t *testing.T) {
 	r := newRig(t)
 	dst := r.mem1.Alloc("dst", 64, 8)

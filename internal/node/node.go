@@ -77,6 +77,9 @@ func newNode(k *sim.Kernel, net fabric.Deliverer, cfg *config.Config, id int) *N
 		// set, so configs that tune cfg.NIC directly keep working.
 		nc.RxBudget = cfg.NICRxBudget
 	}
+	if cfg.NICRxBudgetPerQP > 0 {
+		nc.RxBudgetPerQP = cfg.NICRxBudgetPerQP
+	}
 	dev := nic.New(k, id, mem, link, net, nc)
 	tap := analyzer.New(fmt.Sprintf("node%d", id))
 	link.AddTap(tap)

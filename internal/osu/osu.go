@@ -8,6 +8,10 @@
 //     is the observed overall injection overhead.
 //   - Latency (osu_latency-style): blocking MPI Send/Recv ping-pong;
 //     reports half the round trip, the observed end-to-end latency.
+//
+// Both drivers run as continuation tasks (sim.SpawnTask): the steady state
+// executes with zero goroutine handoffs, each rank a resumable frame
+// machine over the frame-based MPI layer.
 package osu
 
 import (
@@ -77,6 +81,109 @@ type MessageRateResult struct {
 	Receiver       *mpi.Rank
 }
 
+// mrRecvFrame sinks everything at the protocol level (no per-window sync,
+// per the paper's footnote).
+type mrRecvFrame struct {
+	r     *mpi.Rank
+	total int
+	pc    int
+}
+
+func (f *mrRecvFrame) Step(t *sim.Task) {
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			f.r.StartPreparePostedRecvs(t, 512)
+			return
+		case 1:
+			if int(f.r.Worker.Stats.RecvCompletions+f.r.Worker.Stats.UnexpectedMsgs) >= f.total {
+				t.Return()
+				return
+			}
+			f.pc = 2
+			f.r.Worker.StartProgress(t)
+			return
+		case 2:
+			f.pc = 1
+		}
+	}
+}
+
+// mrSendFrame drives the isend windows: one warmup window, then the
+// measured ones, mirroring the goroutine driver statement for statement.
+type mrSendFrame struct {
+	r   *mpi.Rank
+	cfg *config.Config
+	opt *Options
+	res *MessageRateResult
+	pc  int
+
+	data    []byte
+	reqs    []*mpi.Request
+	i       int
+	wnd     int
+	tagBase int
+	warmed  bool
+	busy0   uint64
+	t0      units.Time
+	start   units.Time
+}
+
+func (f *mrSendFrame) Step(t *sim.Task) {
+	for {
+		switch f.pc {
+		case 0:
+			if f.opt.Calibrate {
+				f.r.Node.Prof.Calibrate(t, f.cfg.Prof.CalibrationSamples)
+			}
+			f.pc = 10
+			f.r.StartPreparePostedRecvs(t, 512)
+			return
+		case 10: // window start
+			f.reqs = make([]*mpi.Request, f.opt.Window)
+			f.i = 0
+			f.pc = 11
+		case 11: // post loop head
+			if f.i < len(f.reqs) {
+				f.pc = 12
+				f.r.StartIsend(t, 1, f.tagBase+f.i, f.data)
+				return
+			}
+			f.t0 = t.Now()
+			f.pc = 13
+			f.r.StartWaitall(t, f.reqs)
+			return
+		case 12:
+			f.reqs[f.i] = f.r.LastIsend()
+			f.i++
+			f.pc = 11
+		case 13: // window done
+			f.res.WaitallTotalNs += (t.Now() - f.t0).Ns()
+			if !f.warmed {
+				// The warmup window just finished: reset and start the
+				// measured region.
+				f.warmed = true
+				f.res.WaitallTotalNs = 0
+				f.busy0 = f.r.Worker.Stats.BusyPosts
+				f.start = t.Now()
+			} else {
+				t.Advance(f.cfg.SW.BenchLoop.Sample(f.r.Node.Rand))
+				f.wnd++
+			}
+			if f.wnd < f.opt.Windows {
+				f.tagBase = (f.wnd + 1) * f.opt.Window
+				f.pc = 10
+				continue
+			}
+			f.res.Elapsed = t.Now() - f.start
+			f.res.BusyPosts = f.r.Worker.Stats.BusyPosts - f.busy0
+			t.Return()
+			return
+		}
+	}
+}
+
 // MessageRate runs the message-rate benchmark from rank 0 to rank 1.
 func MessageRate(sys *node.System, opt Options) *MessageRateResult {
 	opt.defaults(sys.Cfg)
@@ -91,40 +198,8 @@ func MessageRate(sys *node.System, opt Options) *MessageRateResult {
 	totalMsgs := (opt.Windows + 1) * opt.Window // +1 warmup window
 	data := make([]byte, opt.MsgSize)
 
-	// Receiver: sink everything at the protocol level (no per-window
-	// sync, per the paper's footnote).
-	sys.K.Spawn("osu_mr.recv", func(p *sim.Proc) {
-		r1.PreparePostedRecvs(p, 512)
-		for int(r1.Worker.Stats.RecvCompletions+r1.Worker.Stats.UnexpectedMsgs) < totalMsgs {
-			r1.Worker.Progress(p)
-		}
-	})
-
-	sys.K.Spawn("osu_mr.send", func(p *sim.Proc) {
-		if opt.Calibrate {
-			r0.Node.Prof.Calibrate(p, cfg.Prof.CalibrationSamples)
-		}
-		r0.PreparePostedRecvs(p, 512)
-		window := func(tagBase int) {
-			reqs := make([]*mpi.Request, opt.Window)
-			for i := range reqs {
-				reqs[i] = r0.Isend(p, 1, tagBase+i, data)
-			}
-			t0 := p.Now()
-			r0.Waitall(p, reqs)
-			res.WaitallTotalNs += (p.Now() - t0).Ns()
-		}
-		window(0) // warmup
-		res.WaitallTotalNs = 0
-		busy0 := r0.Worker.Stats.BusyPosts
-		start := p.Now()
-		for wnd := 0; wnd < opt.Windows; wnd++ {
-			window((wnd + 1) * opt.Window)
-			p.Advance(cfg.SW.BenchLoop.Sample(r0.Node.Rand))
-		}
-		res.Elapsed = p.Now() - start
-		res.BusyPosts = r0.Worker.Stats.BusyPosts - busy0
-	})
+	sys.K.SpawnTask("osu_mr.recv", &mrRecvFrame{r: r1, total: totalMsgs})
+	sys.K.SpawnTask("osu_mr.send", &mrSendFrame{r: r0, cfg: cfg, opt: &opt, res: res, data: data})
 	sys.Run()
 
 	res.Messages = opt.Windows * opt.Window
@@ -144,6 +219,95 @@ type LatencyResult struct {
 	Rank1      *mpi.Rank
 }
 
+// latEchoFrame is rank 1 of the ping-pong: recv then send, total times.
+type latEchoFrame struct {
+	r     *mpi.Rank
+	total int
+	data  []byte
+	pc    int
+	i     int
+}
+
+func (f *latEchoFrame) Step(t *sim.Task) {
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			f.r.StartPreparePostedRecvs(t, 64)
+			return
+		case 1:
+			if f.i >= f.total {
+				t.Return()
+				return
+			}
+			f.pc = 2
+			f.r.StartRecv(t, 0, f.i)
+			return
+		case 2:
+			f.pc = 3
+			f.r.StartSend(t, 0, f.i, f.data)
+			return
+		case 3:
+			f.i++
+			f.pc = 1
+		}
+	}
+}
+
+// latPingFrame is rank 0 of the ping-pong: send then recv, timing the
+// post-warmup round trips.
+type latPingFrame struct {
+	r   *mpi.Rank
+	cfg *config.Config
+	opt *Options
+	res *LatencyResult
+	pc  int
+
+	data  []byte
+	total int
+	i     int
+	t0    units.Time
+	start units.Time
+}
+
+func (f *latPingFrame) Step(t *sim.Task) {
+	for {
+		switch f.pc {
+		case 0:
+			if f.opt.Calibrate {
+				f.r.Node.Prof.Calibrate(t, f.cfg.Prof.CalibrationSamples)
+			}
+			f.pc = 1
+			f.r.StartPreparePostedRecvs(t, 64)
+			return
+		case 1: // iteration head
+			if f.i >= f.total {
+				f.res.ReportedNs = (t.Now() - f.start).Ns() / float64(2*f.opt.Iters)
+				t.Return()
+				return
+			}
+			if f.i == f.opt.Warmup {
+				f.start = t.Now()
+			}
+			f.t0 = t.Now()
+			f.pc = 2
+			f.r.StartSend(t, 1, f.i, f.data)
+			return
+		case 2:
+			f.pc = 3
+			f.r.StartRecv(t, 1, f.i)
+			return
+		case 3:
+			t.Advance(f.cfg.SW.BenchLoop.Sample(f.r.Node.Rand))
+			if f.i >= f.opt.Warmup {
+				f.res.RTTs.Add((t.Now() - f.t0).Ns())
+			}
+			f.i++
+			f.pc = 1
+		}
+	}
+}
+
 // Latency runs the blocking ping-pong between ranks 0 and 1. Sends are
 // signaled every message here (the latency path does not batch completions),
 // while the message-rate test keeps the configured unsignaled period.
@@ -161,34 +325,8 @@ func Latency(sys *node.System, opt Options) *LatencyResult {
 	total := opt.Warmup + opt.Iters
 	data := make([]byte, opt.MsgSize)
 
-	sys.K.Spawn("osu_lat.rank1", func(p *sim.Proc) {
-		r1.PreparePostedRecvs(p, 64)
-		for i := 0; i < total; i++ {
-			r1.Recv(p, 0, i)
-			r1.Send(p, 0, i, data)
-		}
-	})
-
-	sys.K.Spawn("osu_lat.rank0", func(p *sim.Proc) {
-		if opt.Calibrate {
-			r0.Node.Prof.Calibrate(p, cfg.Prof.CalibrationSamples)
-		}
-		r0.PreparePostedRecvs(p, 64)
-		var start units.Time
-		for i := 0; i < total; i++ {
-			if i == opt.Warmup {
-				start = p.Now()
-			}
-			t0 := p.Now()
-			r0.Send(p, 1, i, data)
-			r0.Recv(p, 1, i)
-			p.Advance(cfg.SW.BenchLoop.Sample(r0.Node.Rand))
-			if i >= opt.Warmup {
-				res.RTTs.Add((p.Now() - t0).Ns())
-			}
-		}
-		res.ReportedNs = (p.Now() - start).Ns() / float64(2*opt.Iters)
-	})
+	sys.K.SpawnTask("osu_lat.rank1", &latEchoFrame{r: r1, total: total, data: data})
+	sys.K.SpawnTask("osu_lat.rank0", &latPingFrame{r: r0, cfg: &cfg, opt: &opt, res: res, data: data, total: total})
 	sys.Run()
 	return res
 }

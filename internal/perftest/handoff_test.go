@@ -1,0 +1,66 @@
+package perftest
+
+import (
+	"testing"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/topo"
+)
+
+// TestScenariosRunHandoffFree asserts the tentpole property of the
+// continuation migration at runtime: every perftest driver runs its entire
+// steady state on run-to-completion task frames, so the kernel performs ZERO
+// kernel→goroutine handoffs (sim.Kernel.Handoffs). The static gate in the
+// root package keeps blocking constructs out of the source; this test proves
+// the executions themselves never leave the scheduler loop.
+func TestScenariosRunHandoffFree(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(t *testing.T) *node.System
+	}{
+		{"put_bw", func(t *testing.T) *node.System {
+			sys := newSys(t, config.NoiseOff, 1)
+			PutBw(sys, Options{Iters: 300})
+			return sys
+		}},
+		{"am_lat", func(t *testing.T) *node.System {
+			sys := newSys(t, config.NoiseOn, 2)
+			AmLat(sys, Options{Iters: 200})
+			return sys
+		}},
+		{"multi_put_bw", func(t *testing.T) *node.System {
+			sys := newSys(t, config.NoiseOn, 3)
+			MultiPutBw(sys, 4, Options{Iters: 150})
+			return sys
+		}},
+		{"windowed_put_bw", func(t *testing.T) *node.System {
+			sys := newSys(t, config.NoiseOff, 4)
+			WindowedPutBw(sys, 32, 320)
+			return sys
+		}},
+		{"incast", func(t *testing.T) *node.System {
+			cfg := config.TX2CX4(config.NoiseOff, 5, true)
+			cfg.NICRxBudget = 16
+			sys := node.NewSystem(cfg, 4)
+			IncastPutBw(sys, 3, Options{Iters: 100, MsgSize: 64})
+			return sys
+		}},
+		{"alltoall", func(t *testing.T) *node.System {
+			cfg := config.TX2CX4(config.NoiseOff, 6, true)
+			cfg.Topology = topo.Spec{Kind: topo.FatTree}
+			sys := node.NewSystem(cfg, 4)
+			AllToAllPutBw(sys, Options{Iters: 60, MsgSize: 64})
+			return sys
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			sys := sc.run(t)
+			defer sys.Shutdown()
+			if h := sys.K.Handoffs(); h != 0 {
+				t.Errorf("%s performed %d goroutine handoffs, want 0 (a blocking proc crept back into a hot path)", sc.name, h)
+			}
+		})
+	}
+}

@@ -3,31 +3,97 @@ package perftest
 import (
 	"fmt"
 
-	"breakband/internal/mlx"
+	"breakband/internal/config"
 	"breakband/internal/node"
+	"breakband/internal/rng"
 	"breakband/internal/sim"
 	"breakband/internal/uct"
 	"breakband/internal/units"
 )
 
-// putAuto posts data on ep through the size-appropriate path (inline short
-// below mlx.InlineMax, buffered-copy above), spinning on progress while
-// the transmit queue is full.
-func putAuto(p *sim.Proc, w *uct.Worker, ep *uct.Ep, off uint64, msg []byte) {
+// winShared is the measured-window state shared by the concurrent senders
+// of a scenario: the window opens when the last sender finishes warmup and
+// closes when the last sender finishes posting.
+type winShared struct {
+	start, end units.Time
+	done       int
+}
+
+// putLoopFrame is one sender of the incast and multicore scenarios: the
+// put_bw loop (warmup, measured iterations with batched polling, in-flight
+// drain) against a shared measured window.
+type putLoopFrame struct {
+	cfg  *config.Config
+	rand *rng.Rand // jitter stream for the bench-loop advances
+	w    *uct.Worker
+	ep   *uct.Ep
+	opt  *Options
+	st   *winShared
+
+	postF postSpinFrame
+	pc    int
+	i     int
+}
+
+func (f *putLoopFrame) Step(t *sim.Task) {
+	cfg := f.cfg
 	for {
-		var err error
-		if len(msg) <= mlx.InlineMax {
-			err = ep.PutShort(p, off, msg)
-		} else {
-			err = ep.PutBcopy(p, off, msg)
-		}
-		if err == nil {
+		switch f.pc {
+		case 0: // warmup loop head
+			if f.i >= f.opt.Warmup {
+				if t.Now() > f.st.start {
+					// The window opens when the last sender finishes
+					// warmup.
+					f.st.start = t.Now()
+				}
+				f.i = 0
+				f.pc = 3
+				continue
+			}
+			f.pc = 1
+			f.postF.start(t)
+			return
+		case 1:
+			if (f.i+1)%cfg.Bench.PollBatch == 0 {
+				f.i++
+				f.pc = 0
+				f.w.StartProgress(t)
+				return
+			}
+			f.i++
+			f.pc = 0
+		case 3: // measured loop head
+			if f.i >= f.opt.Iters {
+				if t.Now() > f.st.end {
+					f.st.end = t.Now()
+				}
+				f.pc = 6
+				continue
+			}
+			f.pc = 4
+			f.postF.start(t)
+			return
+		case 4:
+			if (f.i+1)%cfg.Bench.PollBatch == 0 {
+				f.pc = 5
+				f.w.StartProgress(t)
+				return
+			}
+			f.pc = 5
+		case 5:
+			t.Advance(cfg.SW.MeasUpdate.Sample(f.rand))
+			t.Advance(cfg.SW.BenchLoop.Sample(f.rand))
+			f.i++
+			f.pc = 3
+		case 6: // drain the in-flight tail outside the window
+			if f.ep.InFlight() > 0 {
+				f.w.StartProgress(t)
+				return
+			}
+			f.st.done++
+			t.Return()
 			return
 		}
-		if err != uct.ErrNoResource {
-			panic(fmt.Sprintf("perftest: put: %v", err))
-		}
-		w.Progress(p)
 	}
 }
 
@@ -76,9 +142,7 @@ func incastWindow(sys *node.System, senders int, opt Options, name string) (elap
 	recv := sys.Nodes[0]
 	recvW = uct.NewWorker(recv, cfg)
 
-	var start, end units.Time
-	done := 0
-
+	st := &winShared{}
 	for s := 1; s <= senders; s++ {
 		n := sys.Nodes[s]
 		w := uct.NewWorker(n, cfg)
@@ -90,39 +154,15 @@ func incastWindow(sys *node.System, senders int, opt Options, name string) (elap
 		senderEps = append(senderEps, ep)
 
 		msg := make([]byte, opt.MsgSize)
-		nd, wS, epS := n, w, ep
-		sys.K.Spawn(fmt.Sprintf("%s.sender%d", name, s), func(p *sim.Proc) {
-			for i := 0; i < opt.Warmup; i++ {
-				putAuto(p, wS, epS, 0, msg)
-				if (i+1)%cfg.Bench.PollBatch == 0 {
-					wS.Progress(p)
-				}
-			}
-			if p.Now() > start {
-				start = p.Now() // window opens when the last sender finishes warmup
-			}
-			for i := 0; i < opt.Iters; i++ {
-				putAuto(p, wS, epS, 0, msg)
-				if (i+1)%cfg.Bench.PollBatch == 0 {
-					wS.Progress(p)
-				}
-				p.Advance(cfg.SW.MeasUpdate.Sample(nd.Rand))
-				p.Advance(cfg.SW.BenchLoop.Sample(nd.Rand))
-			}
-			if p.Now() > end {
-				end = p.Now()
-			}
-			for epS.InFlight() > 0 {
-				wS.Progress(p)
-			}
-			done++
-		})
+		f := &putLoopFrame{cfg: cfg, rand: n.Rand, w: w, ep: ep, opt: &opt, st: st}
+		f.postF = postSpinFrame{w: w, ep: ep, kind: postPutAuto, strict: true, msg: msg}
+		sys.K.SpawnTask(fmt.Sprintf("%s.sender%d", name, s), f)
 	}
 	sys.Run()
-	if done != senders {
-		panic(fmt.Sprintf("perftest: only %d of %d %s senders finished", done, senders, name))
+	if st.done != senders {
+		panic(fmt.Sprintf("perftest: only %d of %d %s senders finished", st.done, senders, name))
 	}
-	return end - start, senderEps, recvW
+	return st.end - st.start, senderEps, recvW
 }
 
 // IncastPutBw runs the put_bw loop from `senders` sender nodes
@@ -201,63 +241,125 @@ func AllToAllPutBw(sys *node.System, opt Options) *AllToAllResult {
 		}
 	}
 
-	var start, end units.Time
-	done := 0
+	st := &winShared{}
 	for i := 0; i < n; i++ {
-		me := i
-		nd, w := sys.Nodes[i], workers[i]
 		msg := make([]byte, opt.MsgSize)
-		sys.K.Spawn(fmt.Sprintf("a2a.node%d", me), func(p *sim.Proc) {
-			posts := 0
-			round := func() {
-				for j := 0; j < n; j++ {
-					if j == me {
-						continue
-					}
-					putAuto(p, w, eps[me][j], 0, msg)
-					posts++
-					if posts%cfg.Bench.PollBatch == 0 {
-						w.Progress(p)
-					}
-				}
-			}
-			for r := 0; r < opt.Warmup; r++ {
-				round()
-			}
-			if p.Now() > start {
-				start = p.Now()
-			}
-			for r := 0; r < opt.Iters; r++ {
-				round()
-				p.Advance(cfg.SW.MeasUpdate.Sample(nd.Rand))
-				p.Advance(cfg.SW.BenchLoop.Sample(nd.Rand))
-			}
-			if p.Now() > end {
-				end = p.Now()
-			}
-			for j := 0; j < n; j++ {
-				if j == me {
-					continue
-				}
-				for eps[me][j].InFlight() > 0 {
-					w.Progress(p)
-				}
-			}
-			done++
-		})
+		f := &a2aNodeFrame{cfg: cfg, rand: sys.Nodes[i].Rand, w: workers[i], me: i, n: n, eps: eps, opt: &opt, st: st}
+		f.postF = postSpinFrame{w: workers[i], kind: postPutAuto, strict: true, msg: msg}
+		sys.K.SpawnTask(fmt.Sprintf("a2a.node%d", i), f)
 	}
 	sys.Run()
-	if done != n {
-		panic(fmt.Sprintf("perftest: only %d of %d all-to-all nodes finished", done, n))
+	if st.done != n {
+		panic(fmt.Sprintf("perftest: only %d of %d all-to-all nodes finished", st.done, n))
 	}
 
 	res.Messages = n * (n - 1) * opt.Iters
-	res.Elapsed = end - start
+	res.Elapsed = st.end - st.start
 	res.AggMsgRate = float64(res.Messages) / res.Elapsed.Seconds()
 	res.PerNodeMsgRate = res.AggMsgRate / float64(n)
 	res.MaxSwitchQueue = sys.Topo().MaxSwitchQueue()
 	res.CreditStalls = sys.Topo().CreditStalls()
 	return res
+}
+
+// a2aNodeFrame is one node of the all-to-all: rounds of one put to every
+// peer with batched polling, then a per-peer in-flight drain.
+type a2aNodeFrame struct {
+	cfg  *config.Config
+	rand *rng.Rand
+	w    *uct.Worker
+	me   int
+	n    int
+	eps  [][]*uct.Ep
+	opt  *Options
+	st   *winShared
+
+	postF postSpinFrame
+	pc    int
+	r     int // round index (warmup, then measured)
+	j     int // peer index within a round / drain
+	retPc int // state to resume after the current round
+	posts int
+}
+
+func (f *a2aNodeFrame) Step(t *sim.Task) {
+	cfg := f.cfg
+	for {
+		switch f.pc {
+		case 0: // warmup rounds head
+			if f.r >= f.opt.Warmup {
+				if t.Now() > f.st.start {
+					f.st.start = t.Now()
+				}
+				f.r = 0
+				f.pc = 4
+				continue
+			}
+			f.retPc = 1
+			f.j = 0
+			f.pc = 2
+		case 1:
+			f.r++
+			f.pc = 0
+		case 4: // measured rounds head
+			if f.r >= f.opt.Iters {
+				if t.Now() > f.st.end {
+					f.st.end = t.Now()
+				}
+				f.j = 0
+				f.pc = 6
+				continue
+			}
+			f.retPc = 5
+			f.j = 0
+			f.pc = 2
+		case 5:
+			t.Advance(cfg.SW.MeasUpdate.Sample(f.rand))
+			t.Advance(cfg.SW.BenchLoop.Sample(f.rand))
+			f.r++
+			f.pc = 4
+		case 2: // one round: put to every peer
+			if f.j >= f.n {
+				f.pc = f.retPc
+				continue
+			}
+			if f.j == f.me {
+				f.j++
+				continue
+			}
+			f.pc = 3
+			f.postF.ep = f.eps[f.me][f.j]
+			f.postF.start(t)
+			return
+		case 3:
+			f.posts++
+			if f.posts%cfg.Bench.PollBatch == 0 {
+				f.pc = 31
+				f.w.StartProgress(t)
+				return
+			}
+			f.j++
+			f.pc = 2
+		case 31:
+			f.j++
+			f.pc = 2
+		case 6: // drain every peer's in-flight tail
+			if f.j >= f.n {
+				f.st.done++
+				t.Return()
+				return
+			}
+			if f.j == f.me {
+				f.j++
+				continue
+			}
+			if f.eps[f.me][f.j].InFlight() > 0 {
+				f.w.StartProgress(t)
+				return
+			}
+			f.j++
+		}
+	}
 }
 
 // String renders the result.

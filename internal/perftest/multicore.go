@@ -5,7 +5,6 @@ import (
 
 	"breakband/internal/campaign"
 	"breakband/internal/node"
-	"breakband/internal/sim"
 	"breakband/internal/uct"
 	"breakband/internal/units"
 )
@@ -35,9 +34,7 @@ func MultiPutBw(sys *node.System, cores int, opt Options) *MultiPutBwResult {
 	n0, n1 := sys.Nodes[0], sys.Nodes[1]
 	res := &MultiPutBwResult{Cores: cores}
 
-	var start, end units.Time
-	done := 0
-
+	st := &winShared{}
 	for c := 0; c < cores; c++ {
 		w0 := uct.NewWorker(n0, cfg)
 		w1 := uct.NewWorker(n1, cfg)
@@ -54,46 +51,17 @@ func MultiPutBw(sys *node.System, cores int, opt Options) *MultiPutBwResult {
 		ep0.RemoteBuf = tgt.Base
 
 		msg := make([]byte, opt.MsgSize)
-		core := c
-		sys.K.Spawn(fmt.Sprintf("put_bw.core%d", core), func(p *sim.Proc) {
-			post := func() {
-				for ep0.PutShort(p, 0, msg) == uct.ErrNoResource {
-					w0.Progress(p)
-				}
-			}
-			for i := 0; i < opt.Warmup; i++ {
-				post()
-				if (i+1)%cfg.Bench.PollBatch == 0 {
-					w0.Progress(p)
-				}
-			}
-			if start == 0 || p.Now() > start {
-				start = p.Now() // measured window opens when the last core finishes warmup
-			}
-			for i := 0; i < opt.Iters; i++ {
-				post()
-				if (i+1)%cfg.Bench.PollBatch == 0 {
-					w0.Progress(p)
-				}
-				p.Advance(cfg.SW.MeasUpdate.Sample(coreRand))
-				p.Advance(cfg.SW.BenchLoop.Sample(coreRand))
-			}
-			if p.Now() > end {
-				end = p.Now()
-			}
-			for ep0.InFlight() > 0 {
-				w0.Progress(p)
-			}
-			done++
-		})
+		f := &putLoopFrame{cfg: cfg, rand: coreRand, w: w0, ep: ep0, opt: &opt, st: st}
+		f.postF = postSpinFrame{w: w0, ep: ep0, kind: postPutShort, msg: msg}
+		sys.K.SpawnTask(fmt.Sprintf("put_bw.core%d", c), f)
 	}
 	sys.Run()
-	if done != cores {
-		panic(fmt.Sprintf("perftest: only %d of %d cores finished", done, cores))
+	if st.done != cores {
+		panic(fmt.Sprintf("perftest: only %d of %d cores finished", st.done, cores))
 	}
 
 	res.Messages = cores * opt.Iters
-	res.Elapsed = end - start
+	res.Elapsed = st.end - st.start
 	res.PerMsgNs = res.Elapsed.Ns() / float64(res.Messages)
 	res.AggMsgRate = float64(res.Messages) / res.Elapsed.Seconds()
 	blockedDown, _ := n0.Link.Blocked()

@@ -100,45 +100,9 @@ func PutBw(sys *node.System, opt Options) *PutBwResult {
 	}
 
 	w0.ProfStage = opt.ProfStage
-	sys.K.Spawn("put_bw", func(p *sim.Proc) {
-		if opt.Calibrate {
-			n0.Prof.Calibrate(p, cfg.Prof.CalibrationSamples)
-		}
-		post := func() {
-			for ep0.PutShort(p, 0, msg) == uct.ErrNoResource {
-				w0.Progress(p)
-			}
-		}
-		for i := 0; i < opt.Warmup; i++ {
-			post()
-			if (i+1)%cfg.Bench.PollBatch == 0 {
-				w0.Progress(p)
-			}
-		}
-		if opt.ClearTrace {
-			// The analyzer is fed by link events: settle the lazy clock
-			// so every TLP up to the proc's current time is recorded
-			// (and cleared) before the measured window opens.
-			p.Sync()
-			n0.Tap.Clear()
-		}
-		start := p.Now()
-		for i := 0; i < opt.Iters; i++ {
-			post()
-			if (i+1)%cfg.Bench.PollBatch == 0 {
-				w0.Progress(p)
-			}
-			// Timestamp + injection-rate measurement update, then the
-			// residual loop logic.
-			p.Advance(cfg.SW.MeasUpdate.Sample(n0.Rand))
-			p.Advance(cfg.SW.BenchLoop.Sample(n0.Rand))
-		}
-		res.Elapsed = p.Now() - start
-		// Drain outside the measured window.
-		for ep0.InFlight() > 0 {
-			w0.Progress(p)
-		}
-	})
+	f := &putBwFrame{cfg: cfg, n0: n0, w0: w0, ep0: ep0, opt: &opt, res: res}
+	f.postF = postSpinFrame{w: w0, ep: ep0, kind: postPutShort, msg: msg}
+	sys.K.SpawnTask("put_bw", f)
 	sys.Run()
 
 	res.Messages = opt.Iters
@@ -146,6 +110,104 @@ func PutBw(sys *node.System, opt Options) *PutBwResult {
 	res.MsgRate = float64(opt.Iters) / res.Elapsed.Seconds()
 	res.Stats = w0.Stats
 	return res
+}
+
+// putBwFrame is the single put_bw driver: warmup posts, optional trace
+// clear, the measured injection loop, then an in-flight drain outside the
+// measured window.
+type putBwFrame struct {
+	cfg *config.Config
+	n0  *node.Node
+	w0  *uct.Worker
+	ep0 *uct.Ep
+	opt *Options
+	res *PutBwResult
+
+	postF postSpinFrame
+	pc    int
+	i     int
+	start units.Time
+}
+
+func (f *putBwFrame) Step(t *sim.Task) {
+	cfg := f.cfg
+	for {
+		switch f.pc {
+		case 0:
+			if f.opt.Calibrate {
+				f.n0.Prof.Calibrate(t, cfg.Prof.CalibrationSamples)
+			}
+			f.pc = 1
+		case 1: // warmup loop head
+			if f.i >= f.opt.Warmup {
+				f.pc = 3
+				continue
+			}
+			f.pc = 2
+			f.postF.start(t)
+			return
+		case 2: // after a warmup post: batched poll
+			if (f.i+1)%cfg.Bench.PollBatch == 0 {
+				f.i++
+				f.pc = 1
+				f.w0.StartProgress(t)
+				return
+			}
+			f.i++
+			f.pc = 1
+		case 3:
+			if !f.opt.ClearTrace {
+				f.pc = 4
+				continue
+			}
+			// The analyzer is fed by link events: settle the lazy clock
+			// so every TLP up to the task's current time is recorded
+			// (and cleared) before the measured window opens.
+			f.pc = 31
+			if t.Pause() {
+				return
+			}
+		case 31:
+			f.n0.Tap.Clear()
+			f.pc = 4
+		case 4:
+			f.start = t.Now()
+			f.i = 0
+			f.pc = 5
+		case 5: // measured loop head
+			if f.i >= f.opt.Iters {
+				f.pc = 8
+				continue
+			}
+			f.pc = 6
+			f.postF.start(t)
+			return
+		case 6: // after a measured post: batched poll
+			if (f.i+1)%cfg.Bench.PollBatch == 0 {
+				f.pc = 7
+				f.w0.StartProgress(t)
+				return
+			}
+			f.pc = 7
+		case 7:
+			// Timestamp + injection-rate measurement update, then the
+			// residual loop logic.
+			t.Advance(cfg.SW.MeasUpdate.Sample(f.n0.Rand))
+			t.Advance(cfg.SW.BenchLoop.Sample(f.n0.Rand))
+			f.i++
+			f.pc = 5
+		case 8:
+			f.res.Elapsed = t.Now() - f.start
+			f.pc = 9
+		case 9: // drain outside the measured window
+			if f.ep0.InFlight() > 0 {
+				f.w0.StartProgress(t)
+				return
+			}
+			t.Return()
+			return
+		}
+	}
 }
 
 // AmLatResult reports an am_lat run.
@@ -181,67 +243,155 @@ func AmLat(sys *node.System, opt Options) *AmLatResult {
 
 	const amPing, amPong = 2, 3
 	gotPong, gotPing := false, false
-	w0.SetAmHandler(amPong, func(p *sim.Proc, data []byte) { gotPong = true })
-	w1.SetAmHandler(amPing, func(p *sim.Proc, data []byte) { gotPing = true })
+	w0.SetAmHandler(amPong, func(t *sim.Task, data []byte) { gotPong = true })
+	w1.SetAmHandler(amPing, func(t *sim.Task, data []byte) { gotPing = true })
 
 	res := &AmLatResult{Iters: opt.Iters, RTTs: &stats.Sample{}, W0: w0, W1: w1, Ep0: ep0, Ep1: ep1}
 	msg := make([]byte, opt.MsgSize)
 	total := opt.Warmup + opt.Iters
 
 	// Responder: wait for each ping, answer with a pong.
-	sys.K.Spawn("am_lat.responder", func(p *sim.Proc) {
-		ep1.PostRecvs(p, 64)
-		for i := 0; i < total; i++ {
-			for !gotPing {
-				w1.Progress(p)
-			}
-			gotPing = false
-			for ep1.AmShort(p, amPong, msg) == uct.ErrNoResource {
-				w1.Progress(p)
-			}
-		}
-	})
+	echo := &amLatEchoFrame{w: w1, ep: ep1, total: total, gotPing: &gotPing}
+	echo.postF = postSpinFrame{w: w1, ep: ep1, kind: postAmShort, id: amPong, msg: msg}
+	sys.K.SpawnTask("am_lat.responder", echo)
 
 	// Initiator: ping, update measurement, spin for the pong.
 	w0.ProfStage = opt.ProfStage
-	sys.K.Spawn("am_lat.initiator", func(p *sim.Proc) {
-		if opt.Calibrate {
-			n0.Prof.Calibrate(p, cfg.Prof.CalibrationSamples)
-		}
-		ep0.PostRecvs(p, 64)
-		var start units.Time
-		for i := 0; i < total; i++ {
-			if i == opt.Warmup {
-				if opt.ClearTrace {
-					p.Sync() // see PutBw: settle the trace before clearing
-					n0.Tap.Clear()
-				}
-				start = p.Now()
-			}
-			t0 := p.Now()
-			for ep0.AmShort(p, amPing, msg) == uct.ErrNoResource {
-				w0.Progress(p)
-			}
-			// The measurement update happens inside the round trip
-			// (paper §4.3: half of it is deducted when comparing to
-			// the model).
-			p.Advance(cfg.SW.MeasUpdate.Sample(n0.Rand))
-			for !gotPong {
-				w0.Progress(p)
-			}
-			gotPong = false
-			p.Advance(cfg.SW.BenchLoop.Sample(n0.Rand))
-			if i >= opt.Warmup {
-				res.RTTs.Add((p.Now() - t0).Ns())
-			}
-		}
-		elapsed := p.Now() - start
-		res.ReportedNs = elapsed.Ns() / float64(2*opt.Iters)
-	})
+	ping := &amLatPingFrame{cfg: cfg, n0: n0, w0: w0, opt: &opt, res: res, total: total, gotPong: &gotPong}
+	ping.postF = postSpinFrame{w: w0, ep: ep0, kind: postAmShort, id: amPing, msg: msg}
+	sys.K.SpawnTask("am_lat.initiator", ping)
 	sys.Run()
 
 	res.AdjustedNs = res.ReportedNs - cfg.SW.MeasUpdate.Mean().Ns()/2
 	return res
+}
+
+// amLatEchoFrame is the ping-pong responder: wait for each ping, answer
+// with a pong. The sweep's responder reuses it with an auto-path postF.
+type amLatEchoFrame struct {
+	w       *uct.Worker
+	ep      *uct.Ep
+	total   int
+	gotPing *bool
+
+	postF postSpinFrame
+	pc    int
+	i     int
+}
+
+func (f *amLatEchoFrame) Step(t *sim.Task) {
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			f.ep.StartPostRecvs(t, 64)
+			return
+		case 1: // iteration head
+			if f.i >= f.total {
+				t.Return()
+				return
+			}
+			f.pc = 2
+		case 2: // spin for the ping
+			if !*f.gotPing {
+				f.pc = 3
+				f.w.StartProgress(t)
+				return
+			}
+			*f.gotPing = false
+			f.pc = 4
+			f.postF.start(t)
+			return
+		case 3:
+			f.pc = 2
+		case 4:
+			f.i++
+			f.pc = 1
+		}
+	}
+}
+
+// amLatPingFrame is the ping-pong initiator: post the ping, run the
+// measurement update inside the round trip, spin for the pong. The sweep's
+// initiator reuses it with an auto-path postF.
+type amLatPingFrame struct {
+	cfg     *config.Config
+	n0      *node.Node
+	w0      *uct.Worker
+	opt     *Options
+	res     *AmLatResult
+	total   int
+	gotPong *bool
+
+	postF postSpinFrame
+	pc    int
+	i     int
+	t0    units.Time
+	start units.Time
+}
+
+func (f *amLatPingFrame) Step(t *sim.Task) {
+	cfg := f.cfg
+	for {
+		switch f.pc {
+		case 0:
+			if f.opt.Calibrate {
+				f.n0.Prof.Calibrate(t, cfg.Prof.CalibrationSamples)
+			}
+			f.pc = 1
+			f.postF.ep.StartPostRecvs(t, 64)
+			return
+		case 1: // iteration head
+			if f.i >= f.total {
+				elapsed := t.Now() - f.start
+				f.res.ReportedNs = elapsed.Ns() / float64(2*f.opt.Iters)
+				t.Return()
+				return
+			}
+			if f.i == f.opt.Warmup {
+				if f.opt.ClearTrace {
+					// See PutBw: settle the trace before clearing.
+					f.pc = 11
+					if t.Pause() {
+						return
+					}
+					continue
+				}
+				f.start = t.Now()
+			}
+			f.pc = 2
+		case 11:
+			f.n0.Tap.Clear()
+			f.start = t.Now()
+			f.pc = 2
+		case 2: // post the ping
+			f.t0 = t.Now()
+			f.pc = 3
+			f.postF.start(t)
+			return
+		case 3:
+			// The measurement update happens inside the round trip
+			// (paper §4.3: half of it is deducted when comparing to
+			// the model).
+			t.Advance(cfg.SW.MeasUpdate.Sample(f.n0.Rand))
+			f.pc = 4
+		case 4: // spin for the pong
+			if !*f.gotPong {
+				f.pc = 5
+				f.w0.StartProgress(t)
+				return
+			}
+			*f.gotPong = false
+			t.Advance(cfg.SW.BenchLoop.Sample(f.n0.Rand))
+			if f.i >= f.opt.Warmup {
+				f.res.RTTs.Add((t.Now() - f.t0).Ns())
+			}
+			f.i++
+			f.pc = 1
+		case 5:
+			f.pc = 4
+		}
+	}
 }
 
 // String renders a put_bw result like the ucx_perftest footer.

@@ -1,0 +1,87 @@
+package perftest
+
+import (
+	"fmt"
+
+	"breakband/internal/mlx"
+	"breakband/internal/sim"
+	"breakband/internal/uct"
+)
+
+// postKind selects the transport path a postSpinFrame drives.
+type postKind uint8
+
+const (
+	// postPutShort always uses the inline short put (put_bw semantics).
+	postPutShort postKind = iota
+	// postPutAuto selects short/bcopy put by size (incast family).
+	postPutAuto
+	// postAmShort always uses the inline short active message (am_lat).
+	postAmShort
+	// postAmAuto selects short/bcopy active message by size (size sweep).
+	postAmAuto
+)
+
+// postSpinFrame posts one message, spinning on worker progress while the
+// transmit queue is full — the benchmark inner loop shared by every put_bw
+// and am_lat style driver. With strict set, any error other than
+// ErrNoResource panics (the auto paths); otherwise it ends the spin like
+// the perftest loops do.
+type postSpinFrame struct {
+	w      *uct.Worker
+	ep     *uct.Ep
+	kind   postKind
+	strict bool
+	id     uint8  // active-message id (am kinds)
+	off    uint64 // remote offset (put kinds)
+	msg    []byte
+	pc     int
+}
+
+// start begins one post-with-spin as a sub-frame of t's current frame.
+func (f *postSpinFrame) start(t *sim.Task) {
+	f.pc = 0
+	t.Call(f)
+}
+
+func (f *postSpinFrame) Step(t *sim.Task) {
+	for {
+		switch f.pc {
+		case 0: // issue the post
+			f.pc = 1
+			switch f.kind {
+			case postPutShort:
+				f.ep.StartPutShort(t, f.off, f.msg)
+			case postPutAuto:
+				if len(f.msg) <= mlx.InlineMax {
+					f.ep.StartPutShort(t, f.off, f.msg)
+				} else {
+					f.ep.StartPutBcopy(t, f.off, f.msg)
+				}
+			case postAmShort:
+				f.ep.StartAmShort(t, f.id, f.msg)
+			case postAmAuto:
+				if len(f.msg) <= mlx.InlineMax {
+					f.ep.StartAmShort(t, f.id, f.msg)
+				} else {
+					f.ep.StartAmBcopy(t, f.id, f.msg)
+				}
+			}
+			return
+		case 1: // inspect the outcome
+			err := f.ep.LastPost()
+			if err == uct.ErrNoResource {
+				f.pc = 2
+				f.w.StartProgress(t)
+				return
+			}
+			if err != nil && f.strict {
+				panic(fmt.Sprintf("perftest: post: %v", err))
+			}
+			t.Return()
+			return
+		case 2: // progressed; retry the post
+			f.pc = 0
+		}
+	}
+}

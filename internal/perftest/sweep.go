@@ -1,13 +1,11 @@
 package perftest
 
 import (
-	"fmt"
-
 	"breakband/internal/campaign"
 	"breakband/internal/config"
-	"breakband/internal/mlx"
 	"breakband/internal/node"
 	"breakband/internal/sim"
+	"breakband/internal/stats"
 	"breakband/internal/uct"
 	"breakband/internal/units"
 )
@@ -45,7 +43,8 @@ func LatencySizeSweep(mkSys func() *node.System, sizes []int, iters, parallelism
 	})
 }
 
-// amLatAuto is am_lat with automatic short/bcopy path selection by size.
+// amLatAuto is am_lat with automatic short/bcopy path selection by size. It
+// reuses the am_lat driver frames with auto-path strict posting.
 func amLatAuto(sys *node.System, size, iters int) float64 {
 	cfg := sys.Cfg
 	n0, n1 := sys.Nodes[0], sys.Nodes[1]
@@ -57,64 +56,23 @@ func amLatAuto(sys *node.System, size, iters int) float64 {
 
 	const amPing, amPong = 2, 3
 	gotPong, gotPing := false, false
-	w0.SetAmHandler(amPong, func(p *sim.Proc, data []byte) { gotPong = true })
-	w1.SetAmHandler(amPing, func(p *sim.Proc, data []byte) { gotPing = true })
-
-	post := func(p *sim.Proc, ep *uct.Ep, id uint8, msg []byte) {
-		var err error
-		for {
-			if len(msg) <= mlx.InlineMax {
-				err = ep.AmShort(p, id, msg)
-			} else {
-				err = ep.AmBcopy(p, id, msg)
-			}
-			if err != uct.ErrNoResource {
-				break
-			}
-			if ep == ep0 {
-				w0.Progress(p)
-			} else {
-				w1.Progress(p)
-			}
-		}
-		if err != nil {
-			panic(fmt.Sprintf("perftest: sweep post: %v", err))
-		}
-	}
+	w0.SetAmHandler(amPong, func(t *sim.Task, data []byte) { gotPong = true })
+	w1.SetAmHandler(amPing, func(t *sim.Task, data []byte) { gotPing = true })
 
 	msg := make([]byte, size)
-	warmup := 30
-	total := warmup + iters
-	var reported float64
-	sys.K.Spawn("sweep.responder", func(p *sim.Proc) {
-		ep1.PostRecvs(p, 64)
-		for i := 0; i < total; i++ {
-			for !gotPing {
-				w1.Progress(p)
-			}
-			gotPing = false
-			post(p, ep1, amPong, msg)
-		}
-	})
-	sys.K.Spawn("sweep.initiator", func(p *sim.Proc) {
-		ep0.PostRecvs(p, 64)
-		var start units.Time
-		for i := 0; i < total; i++ {
-			if i == warmup {
-				start = p.Now()
-			}
-			post(p, ep0, amPing, msg)
-			p.Advance(cfg.SW.MeasUpdate.Sample(n0.Rand))
-			for !gotPong {
-				w0.Progress(p)
-			}
-			gotPong = false
-			p.Advance(cfg.SW.BenchLoop.Sample(n0.Rand))
-		}
-		reported = (p.Now() - start).Ns() / float64(2*iters)
-	})
+	opt := Options{Iters: iters, Warmup: 30}
+	total := opt.Warmup + opt.Iters
+	res := &AmLatResult{Iters: iters, RTTs: &stats.Sample{}}
+
+	echo := &amLatEchoFrame{w: w1, ep: ep1, total: total, gotPing: &gotPing}
+	echo.postF = postSpinFrame{w: w1, ep: ep1, kind: postAmAuto, strict: true, id: amPong, msg: msg}
+	sys.K.SpawnTask("sweep.responder", echo)
+
+	ping := &amLatPingFrame{cfg: cfg, n0: n0, w0: w0, opt: &opt, res: res, total: total, gotPong: &gotPong}
+	ping.postF = postSpinFrame{w: w0, ep: ep0, kind: postAmAuto, strict: true, id: amPing, msg: msg}
+	sys.K.SpawnTask("sweep.initiator", ping)
 	sys.Run()
-	return reported - cfg.SW.MeasUpdate.Mean().Ns()/2
+	return res.ReportedNs - cfg.SW.MeasUpdate.Mean().Ns()/2
 }
 
 // WindowedResult is one point of the poll-window ablation.
@@ -146,33 +104,76 @@ func WindowedPutBw(sys *node.System, window, iters int) *WindowedResult {
 
 	msg := make([]byte, 8)
 	res := &WindowedResult{Window: window}
-	sys.K.Spawn("windowed_put_bw", func(p *sim.Proc) {
-		windows := iters / window
-		warmup := 2
-		var start units.Time
-		completed := 0
-		for wnd := 0; wnd < windows+warmup; wnd++ {
-			if wnd == warmup {
-				start = p.Now()
-				completed = 0
-			}
-			for i := 0; i < window; i++ {
-				for ep0.PutShort(p, 0, msg) == uct.ErrNoResource {
-					w0.Progress(p)
-				}
-			}
-			// Poll the window's completions before reusing it.
-			target := completed + window
-			for completed < target {
-				completed += w0.Progress(p)
-			}
-			p.Advance(cfg.SW.MeasUpdate.Sample(n0.Rand))
-		}
-		res.PerMsgNs = (p.Now() - start).Ns() / float64(windows*window)
-	})
+	f := &windowedFrame{cfg: cfg, n0: n0, w0: w0, res: res, windows: iters / window, window: window, warmup: 2}
+	f.postF = postSpinFrame{w: w0, ep: ep0, kind: postPutShort, msg: msg}
+	sys.K.SpawnTask("windowed_put_bw", f)
 	sys.Run()
 	res.ModelMin = minPollPeriod(cfg)
 	return res
+}
+
+// windowedFrame drives the poll-window ablation: post a window, poll the
+// window's completions before reusing it.
+type windowedFrame struct {
+	cfg     *config.Config
+	n0      *node.Node
+	w0      *uct.Worker
+	res     *WindowedResult
+	windows int
+	window  int
+	warmup  int
+
+	postF     postSpinFrame
+	pc        int
+	wnd       int
+	i         int
+	completed int
+	target    int
+	start     units.Time
+}
+
+func (f *windowedFrame) Step(t *sim.Task) {
+	for {
+		switch f.pc {
+		case 0: // window head
+			if f.wnd >= f.windows+f.warmup {
+				f.res.PerMsgNs = (t.Now() - f.start).Ns() / float64(f.windows*f.window)
+				t.Return()
+				return
+			}
+			if f.wnd == f.warmup {
+				f.start = t.Now()
+				f.completed = 0
+			}
+			f.i = 0
+			f.pc = 1
+		case 1: // post loop head
+			if f.i >= f.window {
+				// Poll the window's completions before reusing it.
+				f.target = f.completed + f.window
+				f.pc = 3
+				continue
+			}
+			f.pc = 2
+			f.postF.start(t)
+			return
+		case 2:
+			f.i++
+			f.pc = 1
+		case 3: // poll loop head
+			if f.completed < f.target {
+				f.pc = 4
+				f.w0.StartProgress(t)
+				return
+			}
+			t.Advance(f.cfg.SW.MeasUpdate.Sample(f.n0.Rand))
+			f.wnd++
+			f.pc = 0
+		case 4:
+			f.completed += f.w0.LastProgress()
+			f.pc = 3
+		}
+	}
 }
 
 // WindowedSweep runs WindowedPutBw across window sizes, one fresh system

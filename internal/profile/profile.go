@@ -46,7 +46,7 @@ func (pr *Profiler) Calibration() stats.Summary { return pr.calib }
 // mean raw delta as the overhead to subtract. It returns the calibration
 // summary in nanoseconds (mean ~= the paper's 49.69 ns for the default
 // configuration).
-func (pr *Profiler) Calibrate(p *sim.Proc, n int) stats.Summary {
+func (pr *Profiler) Calibrate(p sim.Ctx, n int) stats.Summary {
 	if n <= 0 {
 		panic("profile: calibration needs at least one sample")
 	}
@@ -71,13 +71,13 @@ type Token struct {
 // time, perturbing the measured system exactly as real instrumentation does;
 // the measurement methodology therefore profiles one component at a time
 // (paper §3).
-func (pr *Profiler) Begin(p *sim.Proc, name string) Token {
+func (pr *Profiler) Begin(p sim.Ctx, name string) Token {
 	return Token{name: name, t1: pr.timer.Read(p)}
 }
 
 // End closes a measurement scope, recording the overhead-corrected duration
 // in nanoseconds. It returns the corrected duration.
-func (pr *Profiler) End(p *sim.Proc, tok Token) units.Time {
+func (pr *Profiler) End(p sim.Ctx, tok Token) units.Time {
 	t2 := pr.timer.Read(p)
 	raw := pr.timer.TicksToTime(t2 - tok.t1)
 	d := raw - pr.overhead
@@ -91,19 +91,19 @@ func (pr *Profiler) End(p *sim.Proc, tok Token) units.Time {
 // BeginAnon opens a measurement whose scope name is chosen at EndAs time,
 // for call sites whose outcome determines the category (e.g. a post attempt
 // that may turn out to be a busy post).
-func (pr *Profiler) BeginAnon(p *sim.Proc) Token {
+func (pr *Profiler) BeginAnon(p sim.Ctx) Token {
 	return Token{t1: pr.timer.Read(p)}
 }
 
 // EndAs closes a measurement under the given scope name.
-func (pr *Profiler) EndAs(p *sim.Proc, tok Token, name string) units.Time {
+func (pr *Profiler) EndAs(p sim.Ctx, tok Token, name string) units.Time {
 	tok.name = name
 	return pr.End(p, tok)
 }
 
 // Measure profiles fn as a single scope under name and returns the corrected
 // duration.
-func (pr *Profiler) Measure(p *sim.Proc, name string, fn func()) units.Time {
+func (pr *Profiler) Measure(p sim.Ctx, name string, fn func()) units.Time {
 	tok := pr.Begin(p, name)
 	fn()
 	return pr.End(p, tok)

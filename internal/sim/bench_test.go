@@ -13,6 +13,8 @@ import (
 
 func BenchmarkSchedule(b *testing.B)            { simbench.Schedule(b) }
 func BenchmarkSleepHandoff(b *testing.B)        { simbench.SleepHandoff(b) }
+func BenchmarkHandoffFreeStep(b *testing.B)     { simbench.HandoffFreeStep(b) }
+func BenchmarkHandoffFreeCall(b *testing.B)     { simbench.HandoffFreeCall(b) }
 func BenchmarkPutBwEndToEnd(b *testing.B)       { simbench.PutBwEndToEnd(b) }
 func BenchmarkWindowedPutBw(b *testing.B)       { simbench.WindowedPutBw(b) }
 func BenchmarkIncastPutBw(b *testing.B)         { simbench.IncastPutBw(b) }

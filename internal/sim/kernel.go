@@ -3,13 +3,31 @@
 //
 // The kernel owns a virtual clock (integer picoseconds) and a priority queue
 // of events. Hardware components (PCIe links, NICs, the network fabric) are
-// written in event-callback style; software stacks (UCT/UCP/MPI and the
-// benchmarks) are written in direct style as Procs — goroutines that advance
-// virtual time with Sleep and never run concurrently with each other or with
-// the kernel. At any instant exactly one goroutine is executing, so shared
-// simulation state needs no locking and runs are fully deterministic: events
-// at equal timestamps fire in scheduling order (a monotone sequence number
-// breaks ties).
+// written in event-callback style. Simulated software threads come in two
+// styles sharing one timeline:
+//
+//   - Tasks (task.go) are run-to-completion continuations: a stack of
+//     resumable Frames executed inside kernel event context. Where a thread
+//     would suspend, the frame records its program counter, schedules its
+//     own resume as one pooled event (Pause), and returns to the event
+//     loop. The hot software stacks — uct, verbs, ucp, mpi, and the osu /
+//     perftest drivers — run exclusively as tasks: no goroutine, no channel
+//     handoff, zero allocations in steady state.
+//   - Procs (proc.go) are goroutines that advance virtual time with
+//     Sleep/Sync. Each suspension costs a kernel event plus two goroutine
+//     handoffs (counted by Kernel.Handoffs), so procs are reserved for cold
+//     paths — the measurement campaign, tests, ad-hoc drivers — where
+//     direct style is worth the price. Proc.Task adapts a proc so it can
+//     call the frame-based stacks synchronously.
+//
+// Tasks and procs never run concurrently with each other or with the
+// kernel: at any instant exactly one frame Step, proc body, or event
+// callback is executing, so shared simulation state needs no locking and
+// runs are fully deterministic: events at equal timestamps fire in
+// scheduling order (a monotone sequence number breaks ties). The two styles
+// are observationally equivalent — each former Sync call site maps to one
+// Pause call site, so a converted stack schedules identical events
+// (TestTaskProcTwin soaks this; the golden fixtures pin it end to end).
 //
 // # Event-queue internals
 //
@@ -34,10 +52,12 @@
 //
 // # Batched time advancement
 //
-// Procs additionally carry a lazy local clock (Proc.Advance / Proc.Sync):
-// consecutive pure-delay advances accumulate in the proc and materialize as
-// a single kernel event and goroutine handoff at the next synchronization
-// point. See proc.go for the contract.
+// Tasks and procs carry a lazy local clock (Advance / Pause, Proc.Advance /
+// Proc.Sync): consecutive pure-delay advances accumulate locally and
+// materialize as a single kernel event at the next synchronization point.
+// The contract is identical in both styles: Advance only pure delay, and
+// synchronize (Pause/Sync) before reading or writing any state outside the
+// simulated thread. See task.go and proc.go.
 //
 // # Closure-free continuations
 //
@@ -140,8 +160,13 @@ type Kernel struct {
 
 	fired   uint64
 	procs   []*Proc
+	tasks   []*Task
 	stopped bool
 	limit   uint64 // safety valve: max events per Run (0 = unlimited)
+	// handoffs counts kernel→proc goroutine transfers (the costliest kernel
+	// primitive). Continuation tasks never increment it; the hot-stack
+	// scenarios assert it stays zero.
+	handoffs uint64
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -155,6 +180,12 @@ func (k *Kernel) Now() Time { return k.now }
 // Fired reports how many events have executed, a cheap progress/size metric
 // used by tests.
 func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Handoffs reports how many goroutine handoffs (kernel→proc control
+// transfers) have occurred. A scenario running purely on continuation tasks
+// reports zero; tests assert this for every steady-state perftest/osu
+// driver.
+func (k *Kernel) Handoffs() uint64 { return k.handoffs }
 
 // SetEventLimit installs a safety valve: Run panics after n events. Tests use
 // it to convert accidental non-termination into a diagnosable failure.

@@ -52,6 +52,8 @@ type Proc struct {
 	wake   func()
 	done   bool
 	killed bool
+	// task is the lazily-built blocking Task adapter (see Proc.Task).
+	task *Task
 }
 
 // Name reports the name the proc was spawned with.
@@ -109,6 +111,7 @@ func (p *Proc) step() {
 	if p.done || p.killed {
 		return
 	}
+	p.k.handoffs++
 	p.resume <- struct{}{}
 	<-p.yield
 }
@@ -161,11 +164,13 @@ func (p *Proc) park(d Time) {
 	}
 }
 
-// Shutdown terminates all procs that have not finished. It must be called
-// outside Run (after the event loop returns); at that point every live proc
-// is parked on its resume channel, so waking it causes it to unwind via a
-// procKilled panic. Shutdown waits for each goroutine to exit, so no
-// goroutines leak across repeated simulation runs in tests and benchmarks.
+// Shutdown terminates all procs and continuation tasks that have not
+// finished. It must be called outside Run (after the event loop returns); at
+// that point every live proc is parked on its resume channel, so waking it
+// causes it to unwind via a procKilled panic. Shutdown waits for each
+// goroutine to exit, so no goroutines leak across repeated simulation runs
+// in tests and benchmarks. Continuation tasks hold no goroutines at all:
+// they are cancelled in place (pending resume events dropped).
 func (k *Kernel) Shutdown() {
 	for _, p := range k.procs {
 		p.killed = true
@@ -176,4 +181,10 @@ func (k *Kernel) Shutdown() {
 		<-p.exited
 	}
 	k.procs = nil
+	for _, t := range k.tasks {
+		if !t.done {
+			t.Cancel()
+		}
+	}
+	k.tasks = nil
 }

@@ -214,14 +214,22 @@ func TestProcEventInterleaving(t *testing.T) {
 }
 
 func TestShutdownReleasesGoroutines(t *testing.T) {
+	// Mixed mode: every kernel shuts down parked goroutine procs AND
+	// paused continuation tasks together; neither may leak (procs hold a
+	// goroutine each, tasks hold only a pending event).
 	before := runtime.NumGoroutine()
 	for i := 0; i < 50; i++ {
 		k := NewKernel()
 		k.Spawn("sleeper", func(p *Proc) {
 			p.Sleep(units.Second) // would park ~forever
 		})
+		ticks := 0
+		task := k.SpawnTask("ticker", &tickFrame{ticks: &ticks})
 		k.RunUntil(10) // stop long before the wake event
 		k.Shutdown()
+		if !task.Done() {
+			t.Fatal("paused task not cancelled by Shutdown")
+		}
 	}
 	// Allow the runtime to reap exited goroutines.
 	deadline := time.Now().Add(2 * time.Second)

@@ -1,0 +1,236 @@
+package sim
+
+import "fmt"
+
+// Ctx is the minimal execution context shared by goroutine Procs and
+// run-to-completion Tasks: advancing the local lazy clock and reading it.
+// Pure-delay helpers that never synchronize with the kernel (the virtual
+// timer, the profiler) accept a Ctx so both execution styles drive them.
+type Ctx interface {
+	Advance(d Time)
+	Now() Time
+}
+
+// Frame is one resumable activation record of a continuation task. Step is
+// re-entered every time the task resumes with this frame on top of the
+// stack; the frame keeps its own program counter and locals across pauses.
+//
+// The canonical shape is a loop around a pc switch:
+//
+//	func (f *fooFrame) Step(t *sim.Task) {
+//		for {
+//			switch f.pc {
+//			case 0:
+//				t.Advance(cost)
+//				f.pc = 1
+//				if t.Pause() {
+//					return // resumes at case 1 when the lag event fires
+//				}
+//			case 1:
+//				touchSharedState()
+//				t.Return()
+//				return
+//			}
+//		}
+//	}
+//
+// Step must leave via return immediately after Pause reports true, after
+// Call (pushing a sub-frame), or after Return (popping itself). Pause with
+// no pending lag reports false and the loop simply continues inline —
+// exactly the "Sync with zero lag is free" semantics of the goroutine path.
+type Frame interface {
+	Step(t *Task)
+}
+
+// Task is a run-to-completion simulated thread: the continuation-style
+// replacement for a goroutine Proc on the hot software stacks. A task owns a
+// stack of Frames and executes them inside kernel event context; where a
+// Proc would park (Sleep/Sync), a task schedules its own resume through the
+// pooled AtArg/AfterArg machinery and returns to the event loop. No
+// goroutine, no channel handoff: suspending and resuming a task costs
+// exactly one pooled kernel event.
+//
+// # Equivalence with Procs
+//
+// A task advances time with the same batched lazy clock as a Proc (Advance
+// accumulates lag; Pause materializes it as one kernel event scheduled at
+// now+lag). Because each former Proc.Sync call site maps to one Pause call
+// site, a converted stack schedules the same events at the same times in
+// the same seq order as its goroutine twin — runs are bit-for-bit
+// identical. TestTaskProcTwin in this package soaks that property.
+//
+// # Blocking adapter
+//
+// A Task obtained from Proc.Task is a blocking adapter: it executes the
+// same Frames synchronously on the proc's goroutine, translating Advance to
+// Proc.Advance and Pause to Proc.Sync. Cold-path code (the measurement
+// campaign, tests) keeps its direct goroutine style while calling into the
+// frame-based hot stacks; both styles run one shared implementation.
+//
+// Like Procs, tasks never run concurrently with each other or the kernel:
+// at any instant exactly one frame Step (or one proc body) is executing.
+type Task struct {
+	k    *Kernel
+	p    *Proc // non-nil: blocking adapter bound to a goroutine proc
+	name string
+	// lag is the task-local lazy clock (continuation mode only; the
+	// blocking adapter delegates to the proc's lag).
+	lag       Time
+	stack     []Frame
+	paused    bool
+	done      bool
+	cancelled bool
+	// pending is the scheduled resume event while paused (for Cancel).
+	pending EventRef
+}
+
+// taskStep is the shared continuation entry point: the task pointer rides in
+// the pooled event slot's arg word, so scheduling a resume allocates
+// nothing.
+func taskStep(a any) { a.(*Task).step() }
+
+// SpawnTask starts a continuation task with root as its outermost frame. The
+// first Step runs when the kernel reaches the spawn event, exactly like a
+// Proc spawn; the task completes when its frame stack empties.
+func (k *Kernel) SpawnTask(name string, root Frame) *Task {
+	t := &Task{k: k, name: name}
+	t.stack = append(make([]Frame, 0, 8), root)
+	k.tasks = append(k.tasks, t)
+	k.AfterArg(0, taskStep, t)
+	return t
+}
+
+// Task returns the blocking adapter bound to this proc, creating it on first
+// use. Frame-based APIs called through it run synchronously on the proc's
+// goroutine with identical event scheduling (Pause becomes Proc.Sync).
+func (p *Proc) Task() *Task {
+	if p.task == nil {
+		p.task = &Task{k: p.k, p: p, name: p.name}
+	}
+	return p.task
+}
+
+// step runs frames until the task pauses or its stack empties. It executes
+// in kernel (event) context.
+func (t *Task) step() {
+	if t.cancelled {
+		return
+	}
+	t.paused = false
+	for !t.paused && len(t.stack) > 0 {
+		t.stack[len(t.stack)-1].Step(t)
+	}
+	if len(t.stack) == 0 {
+		t.done = true
+	}
+}
+
+// Name reports the name the task was spawned with.
+func (t *Task) Name() string { return t.name }
+
+// Kernel returns the owning kernel.
+func (t *Task) Kernel() *Kernel { return t.k }
+
+// Blocking reports whether this task is a Proc-bound blocking adapter.
+func (t *Task) Blocking() bool { return t.p != nil }
+
+// Done reports whether the task's frame stack has emptied.
+func (t *Task) Done() bool { return t.done }
+
+// Now reports current virtual time as observed by this task: the kernel
+// clock plus any not-yet-materialized lag.
+func (t *Task) Now() Time {
+	if t.p != nil {
+		return t.p.Now()
+	}
+	return t.k.now + t.lag
+}
+
+// Advance adds d to the task's lazy clock without suspending; the batched
+// time-advancement contract of Proc.Advance applies unchanged (pure delays
+// only between here and the next Pause).
+func (t *Task) Advance(d Time) {
+	if t.p != nil {
+		t.p.Advance(d)
+		return
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative advance %v in task %q", d, t.name))
+	}
+	t.lag += d
+}
+
+// Pause materializes any pending lag as one kernel event and suspends the
+// task until it fires, bringing the kernel clock up to the task's local
+// clock — the continuation replacement for Proc.Sync, and like Sync it is
+// free with no pending lag. It reports whether the task actually suspended:
+// the caller's Step must return immediately when Pause reports true, and
+// simply continue when it reports false. On a blocking adapter Pause
+// performs Proc.Sync and always reports false (the caller just ran it
+// synchronously).
+func (t *Task) Pause() bool {
+	if t.p != nil {
+		t.p.Sync()
+		return false
+	}
+	if t.lag == 0 {
+		return false
+	}
+	d := t.lag
+	t.lag = 0
+	t.paused = true
+	t.pending = t.k.AfterArg(d, taskStep, t)
+	return true
+}
+
+// BlockingOnly panics unless t is a blocking adapter. The synchronous
+// convenience wrappers on the software stacks (which return results
+// directly) guard themselves with it: a continuation task must use the
+// Start*/Last* forms, because a wrapper's result is not ready until the
+// pushed frame has run.
+func (t *Task) BlockingOnly(api string) {
+	if t.p == nil {
+		panic("sim: " + api + " called on a continuation task; use the Start form")
+	}
+}
+
+// Call pushes f as a sub-frame; it begins executing before the caller's
+// Step is re-entered, and the caller resumes (at its updated pc) once f
+// Returns. Set the pc past the call site before calling, then return from
+// Step. On a blocking adapter Call drives f synchronously to completion
+// before returning, so the caller may also simply fall through.
+func (t *Task) Call(f Frame) {
+	t.stack = append(t.stack, f)
+	if t.p == nil {
+		return
+	}
+	base := len(t.stack) - 1
+	for len(t.stack) > base {
+		t.stack[len(t.stack)-1].Step(t)
+	}
+}
+
+// Return pops the current frame: the sub-frame's way of completing back to
+// its caller (or, for the root frame, of finishing the task). The frame's
+// Step must return immediately afterwards. Results travel through fields on
+// the frame, which the caller owns.
+func (t *Task) Return() {
+	t.stack = t.stack[:len(t.stack)-1]
+}
+
+// Cancel terminates a paused continuation task mid-chain: its scheduled
+// resume event is cancelled and no further frames run. Cancelling a
+// finished task is a no-op; blocking adapters cannot be cancelled (their
+// lifetime is the proc's).
+func (t *Task) Cancel() {
+	if t.p != nil {
+		panic(fmt.Sprintf("sim: cancel of blocking task %q (shut the proc down instead)", t.name))
+	}
+	if t.done || t.cancelled {
+		return
+	}
+	t.cancelled = true
+	t.done = true
+	t.pending.Cancel()
+	t.stack = t.stack[:0]
+}

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// --- continuation task semantics ---
+
+// tickFrame advances a fixed delta and pauses, forever, counting resumes.
+type tickFrame struct {
+	pc    int
+	ticks *int
+}
+
+func (f *tickFrame) Step(t *Task) {
+	for {
+		switch f.pc {
+		case 0:
+			t.Advance(10)
+			f.pc = 1
+			if t.Pause() {
+				return
+			}
+		case 1:
+			*f.ticks++
+			f.pc = 0
+		}
+	}
+}
+
+func TestTaskCancelStopsResumes(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	task := k.SpawnTask("ticker", &tickFrame{ticks: &ticks})
+	k.RunUntil(35)
+	if ticks != 3 {
+		t.Fatalf("ticks before cancel = %d, want 3", ticks)
+	}
+	task.Cancel()
+	if !task.Done() {
+		t.Error("cancelled task not done")
+	}
+	k.RunUntil(200)
+	if ticks != 3 {
+		t.Errorf("cancelled task ticked again: %d", ticks)
+	}
+	task.Cancel() // cancelling twice is a no-op
+	k.Shutdown()
+}
+
+// callerFrame pushes a sub-frame and records whether it ever resumed after
+// the call returned.
+type callerFrame struct {
+	pc      int
+	sub     Frame
+	resumed *bool
+}
+
+func (f *callerFrame) Step(t *Task) {
+	switch f.pc {
+	case 0:
+		f.pc = 1
+		t.Call(f.sub)
+	case 1:
+		*f.resumed = true
+		t.Return()
+	}
+}
+
+// onePauseFrame advances once, pauses once, returns.
+type onePauseFrame struct {
+	pc int
+	d  Time
+}
+
+func (f *onePauseFrame) Step(t *Task) {
+	for {
+		switch f.pc {
+		case 0:
+			t.Advance(f.d)
+			f.pc = 1
+			if t.Pause() {
+				return
+			}
+		case 1:
+			t.Return()
+			return
+		}
+	}
+}
+
+func TestTaskCancelMidChain(t *testing.T) {
+	// Cancel while a sub-frame is paused: neither the sub-frame nor its
+	// caller may resume, and the scheduled resume event must be dropped.
+	k := NewKernel()
+	resumed := false
+	task := k.SpawnTask("chain", &callerFrame{
+		sub:     &onePauseFrame{d: 50},
+		resumed: &resumed,
+	})
+	k.RunUntil(20) // sub-frame is now paused until t=50
+	if task.Done() {
+		t.Fatal("task finished before its pause elapsed")
+	}
+	pending := k.Pending()
+	task.Cancel()
+	if got := k.Pending(); got != pending-1 {
+		t.Errorf("cancel dropped %d events, want 1", pending-got)
+	}
+	k.Run()
+	if resumed {
+		t.Error("caller frame resumed after mid-chain cancel")
+	}
+	if !task.Done() {
+		t.Error("cancelled task not done")
+	}
+	k.Shutdown()
+}
+
+func TestTaskCancelBlockingAdapterPanics(t *testing.T) {
+	k := NewKernel()
+	panicked := false
+	k.Spawn("holder", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p.Task().Cancel()
+	})
+	k.Run()
+	k.Shutdown()
+	if !panicked {
+		t.Error("Cancel on a blocking adapter did not panic")
+	}
+}
+
+// boomFrame pauses once, then panics on resume.
+type boomFrame struct{ pc int }
+
+func (f *boomFrame) Step(t *Task) {
+	for {
+		switch f.pc {
+		case 0:
+			t.Advance(5)
+			f.pc = 1
+			if t.Pause() {
+				return
+			}
+		case 1:
+			panic("boom: frame failure")
+		}
+	}
+}
+
+func TestTaskPanicPropagatesOutOfRun(t *testing.T) {
+	// A panic inside a frame Step executes in kernel event context, so it
+	// must surface out of Run (no swallowed errors, no deadlock), and
+	// Shutdown afterwards must still clean up without hanging.
+	k := NewKernel()
+	k.SpawnTask("boom", &boomFrame{})
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		k.Run()
+	}()
+	if got != "boom: frame failure" {
+		t.Fatalf("recovered %v, want frame panic", got)
+	}
+	k.Shutdown()
+}
+
+// --- continuation vs goroutine twin soak ---
+
+// scriptOp is one step of a generated workload: advance by adv, optionally
+// synchronize (Sync/Pause — always a matched pair across the two styles),
+// optionally record a trace mark.
+type scriptOp struct {
+	adv  Time
+	sync bool
+	mark bool
+}
+
+// twinMark is one trace entry: who recorded it, the virtual time they
+// observed, and how many events the kernel had fired.
+type twinMark struct {
+	who   int
+	at    Time
+	fired uint64
+}
+
+// scriptFrame replays a script in continuation style: one Pause site per
+// sync op, mirroring the goroutine twin's Sync call site one-for-one.
+type scriptFrame struct {
+	ops   []scriptOp
+	who   int
+	trace *[]twinMark
+	i     int
+	pc    int
+}
+
+func (f *scriptFrame) Step(t *Task) {
+	for {
+		if f.i >= len(f.ops) {
+			t.Return()
+			return
+		}
+		op := f.ops[f.i]
+		switch f.pc {
+		case 0:
+			t.Advance(op.adv)
+			f.pc = 1
+			if op.sync && t.Pause() {
+				return
+			}
+		case 1:
+			if op.mark {
+				*f.trace = append(*f.trace, twinMark{f.who, t.Now(), t.Kernel().Fired()})
+			}
+			f.i++
+			f.pc = 0
+		}
+	}
+}
+
+// genScript draws a workload from r: small advances, frequent syncs, some
+// zero-length advances (the free-Pause path), and trace marks.
+func genScript(r *rand.Rand, n int) []scriptOp {
+	ops := make([]scriptOp, n)
+	for i := range ops {
+		adv := Time(r.Intn(40))
+		if r.Intn(4) == 0 {
+			adv = 0 // exercise the lag-free Pause/Sync fast path
+		}
+		ops[i] = scriptOp{adv: adv, sync: r.Intn(3) != 0, mark: r.Intn(2) == 0}
+	}
+	return ops
+}
+
+// TestTaskProcTwin soaks the equivalence contract documented on Task: a
+// stack converted from goroutine Procs to continuation frames schedules the
+// same events at the same times in the same order, so interleaved workloads
+// produce bit-identical traces in both styles.
+func TestTaskProcTwin(t *testing.T) {
+	const workers = 3
+	for seed := int64(0); seed < 25; seed++ {
+		scripts := make([][]scriptOp, workers)
+		r := rand.New(rand.NewSource(seed))
+		for w := range scripts {
+			scripts[w] = genScript(r, 120)
+		}
+
+		run := func(continuation bool) ([]twinMark, Time, uint64) {
+			k := NewKernel()
+			var trace []twinMark
+			// Background pure events interleave with the workers in
+			// both modes; they must land at identical points.
+			for at := Time(7); at < 500; at += 61 {
+				at := at
+				k.At(at, func() {
+					trace = append(trace, twinMark{-1, k.Now(), k.Fired()})
+				})
+			}
+			for w := 0; w < workers; w++ {
+				w := w
+				if continuation {
+					k.SpawnTask("twin", &scriptFrame{ops: scripts[w], who: w, trace: &trace})
+					continue
+				}
+				k.Spawn("twin", func(p *Proc) {
+					for _, op := range scripts[w] {
+						p.Advance(op.adv)
+						if op.sync {
+							p.Sync()
+						}
+						if op.mark {
+							trace = append(trace, twinMark{w, p.Now(), k.Fired()})
+						}
+					}
+				})
+			}
+			k.Run()
+			defer k.Shutdown()
+			return trace, k.Now(), k.Fired()
+		}
+
+		ct, cNow, cFired := run(true)
+		gt, gNow, gFired := run(false)
+		if cNow != gNow || cFired != gFired {
+			t.Fatalf("seed %d: end state diverged: task (now %v, %d events) vs proc (now %v, %d events)",
+				seed, cNow, cFired, gNow, gFired)
+		}
+		if len(ct) != len(gt) {
+			t.Fatalf("seed %d: trace lengths %d vs %d", seed, len(ct), len(gt))
+		}
+		for i := range ct {
+			if ct[i] != gt[i] {
+				t.Fatalf("seed %d: trace[%d] = %+v (task) vs %+v (proc)", seed, i, ct[i], gt[i])
+			}
+		}
+	}
+}

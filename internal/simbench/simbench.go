@@ -64,6 +64,116 @@ func SleepHandoff(b *testing.B) {
 	reportEventsPerSec(b, float64(n))
 }
 
+// stepLoopFrame is the continuation twin of SleepHandoff's loop body: one
+// Advance+Pause suspend/resume round trip per iteration.
+type stepLoopFrame struct {
+	pc, i, n int
+}
+
+func (f *stepLoopFrame) Step(t *sim.Task) {
+	for {
+		switch f.pc {
+		case 0:
+			if f.i >= f.n {
+				t.Return()
+				return
+			}
+			t.Advance(1)
+			f.pc = 1
+			if t.Pause() {
+				return
+			}
+		case 1:
+			f.i++
+			f.pc = 0
+		}
+	}
+}
+
+// HandoffFreeStep measures the continuation suspend/resume round trip: one
+// pooled kernel event per Pause, zero goroutine handoffs and zero
+// allocations. It is the direct twin of SleepHandoff — the ns/op gap between
+// the two is the price the goroutine path pays per suspension, and the
+// reason the hot software stacks run on task frames.
+func HandoffFreeStep(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	f := &stepLoopFrame{n: b.N}
+	k.SpawnTask("stepper", f)
+	b.ResetTimer()
+	k.Run()
+	b.StopTimer()
+	k.Shutdown()
+	if k.Handoffs() != 0 {
+		b.Fatalf("continuation benchmark performed %d handoffs", k.Handoffs())
+	}
+	reportEventsPerSec(b, float64(b.N))
+}
+
+// pauseOnceFrame advances one tick, pauses once, and returns to its caller.
+type pauseOnceFrame struct{ pc int }
+
+func (f *pauseOnceFrame) Step(t *sim.Task) {
+	for {
+		switch f.pc {
+		case 0:
+			t.Advance(1)
+			f.pc = 1
+			if t.Pause() {
+				return
+			}
+		case 1:
+			t.Return()
+			return
+		}
+	}
+}
+
+// callLoopFrame pushes a preallocated sub-frame per iteration, measuring the
+// Call/Return activation discipline the layered stacks (osu→mpi→ucp→uct→
+// verbs) use on every operation.
+type callLoopFrame struct {
+	pc, i, n int
+	sub      pauseOnceFrame
+}
+
+func (f *callLoopFrame) Step(t *sim.Task) {
+	for {
+		switch f.pc {
+		case 0:
+			if f.i >= f.n {
+				t.Return()
+				return
+			}
+			f.pc = 1
+			f.sub.pc = 0
+			t.Call(&f.sub)
+			return
+		case 1:
+			f.i++
+			f.pc = 0
+		}
+	}
+}
+
+// HandoffFreeCall measures one sub-frame Call/Return round trip per op (with
+// one pause inside the callee), the pattern every layered Start* API runs.
+// Like the whole migrated hot path it must stay allocation-free: frames are
+// preallocated by their owners and reused.
+func HandoffFreeCall(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	k.SpawnTask("caller", &callLoopFrame{n: b.N})
+	b.ResetTimer()
+	k.Run()
+	b.StopTimer()
+	k.Shutdown()
+	if k.Handoffs() != 0 {
+		b.Fatalf("continuation benchmark performed %d handoffs", k.Handoffs())
+	}
+	reportEventsPerSec(b, float64(b.N))
+}
+
 // PutBwEndToEnd measures the whole stack: b.N RDMA-write injections through
 // uct over the calibrated NoiseOff system, including the PCIe/NIC/fabric
 // event chains and completion polling. This is the number the measurement

@@ -13,6 +13,11 @@
 //   - Registered callbacks: completions run upper-layer (MPICH) callbacks
 //     from inside the progress call chain, before uct_worker_progress
 //     returns.
+//
+// Like internal/uct, the data path is written as resumable sim.Frame state
+// machines: continuation tasks use StartTagSend/StartProgress plus the Last*
+// getters, while blocking tasks (Proc.Task) use the synchronous wrappers.
+// One task may drive a Worker (and each Ep) at a time.
 package ucp
 
 import (
@@ -40,8 +45,8 @@ const MaxEager = 32 - tagHeaderBytes
 const MaxBcopy = uct.MaxBcopy - tagHeaderBytes
 
 // Callback is an upper-layer completion callback, invoked from inside
-// progress.
-type Callback func(p *sim.Proc)
+// progress. It must be pause-free (Advance only).
+type Callback func(t *sim.Task)
 
 // Request is a nonblocking operation handle.
 type Request struct {
@@ -98,12 +103,15 @@ type Worker struct {
 	ProfRecvCB bool
 
 	Stats Stats
+
+	progF progressFrame
 }
 
 // NewWorker wraps a uct worker. It registers the send-completion and
 // active-message callbacks with the LLP.
 func NewWorker(u *uct.Worker, cfg *config.Config) *Worker {
 	w := &Worker{Uct: u, Cfg: cfg}
+	w.progF.w = w
 	u.SetSendCompletion(w.onSendComplete)
 	u.SetAmHandler(amEager, w.onEager)
 	return w
@@ -113,12 +121,16 @@ func NewWorker(u *uct.Worker, cfg *config.Config) *Worker {
 type Ep struct {
 	W     *Worker
 	UctEp *uct.Ep
+
+	sendF tagSendFrame
 }
 
 // NewEp creates a UCP endpoint over a fresh uct endpoint using the
 // configured unsignaled-completion period.
 func (w *Worker) NewEp(mode uct.PostMode) *Ep {
-	return &Ep{W: w, UctEp: w.Uct.NewEp(mode, w.Cfg.Bench.SignalPeriod)}
+	e := &Ep{W: w, UctEp: w.Uct.NewEp(mode, w.Cfg.Bench.SignalPeriod)}
+	e.sendF.e = e
+	return e
 }
 
 // encodeEager builds the eager wire payload: 8-byte tag header + data.
@@ -129,51 +141,105 @@ func encodeEager(tag uint64, data []byte) []byte {
 	return buf
 }
 
-// TagSendNB initiates a nonblocking tagged send (ucp_tag_send_nb). cb runs
-// when the operation completes. A full transmit queue does not fail the
+// StartTagSend initiates a nonblocking tagged send (ucp_tag_send_nb). cb
+// runs when the operation completes. A full transmit queue does not fail the
 // operation: it is queued as pending and posted during progress. Payloads up
 // to MaxEager go through the inline short path; larger ones (to MaxBcopy)
-// through the buffered-copy path, as UCX selects by size.
-func (e *Ep) TagSendNB(p *sim.Proc, tag uint64, data []byte, cb Callback) (*Request, error) {
+// through the buffered-copy path, as UCX selects by size. The request and
+// initiation error are reported by LastSend once the frame returns.
+func (e *Ep) StartTagSend(t *sim.Task, tag uint64, data []byte, cb Callback) {
+	f := &e.sendF
+	f.pc = 0
+	f.tag = tag
+	f.data = data
+	f.cb = cb
+	t.Call(f)
+}
+
+// LastSend reports the outcome of the most recently completed tag-send
+// frame.
+func (e *Ep) LastSend() (*Request, error) { return e.sendF.res, e.sendF.err }
+
+// TagSendNB is the synchronous form of StartTagSend for blocking tasks.
+func (e *Ep) TagSendNB(t *sim.Task, tag uint64, data []byte, cb Callback) (*Request, error) {
+	t.BlockingOnly("ucp.Ep.TagSendNB")
+	e.StartTagSend(t, tag, data, cb)
+	return e.sendF.res, e.sendF.err
+}
+
+// tagSendFrame runs the eager tagged-send initiation.
+type tagSendFrame struct {
+	e    *Ep
+	pc   int
+	tag  uint64
+	data []byte
+	cb   Callback
+
+	payload []byte
+	req     *Request
+	res     *Request
+	err     error
+}
+
+func (f *tagSendFrame) Step(t *sim.Task) {
+	e := f.e
 	w := e.W
-	if len(data) > MaxBcopy {
-		return nil, fmt.Errorf("ucp: eager send limited to %d bytes, got %d", MaxBcopy, len(data))
+	for {
+		switch f.pc {
+		case 0:
+			if len(f.data) > MaxBcopy {
+				f.res, f.err = nil, fmt.Errorf("ucp: eager send limited to %d bytes, got %d", MaxBcopy, len(f.data))
+				t.Return()
+				return
+			}
+			t.Advance(w.Cfg.SW.UcpIsend.Sample(w.Uct.Node.Rand))
+			w.Stats.Sends++
+			f.req = &Request{cb: f.cb}
+			f.payload = encodeEager(f.tag, f.data)
+			f.pc = 1
+			if len(f.data) <= MaxEager {
+				e.UctEp.StartAmShort(t, amEager, f.payload)
+			} else {
+				e.UctEp.StartAmBcopy(t, amEager, f.payload)
+			}
+			return
+		case 1:
+			switch err := e.UctEp.LastPost(); err {
+			case nil:
+				w.inflight = append(w.inflight, f.req)
+			case uct.ErrNoResource:
+				// Busy post: schedule for execution during progress
+				// (paper §6 caveat one).
+				w.Stats.BusyPosts++
+				t.Advance(w.Cfg.SW.UcpPending.Sample(w.Uct.Node.Rand))
+				w.pending = append(w.pending, pendingPost{ep: e, payload: f.payload, req: f.req})
+			default:
+				f.res, f.err = nil, err
+				t.Return()
+				return
+			}
+			f.res, f.err = f.req, nil
+			f.req = nil
+			f.data = nil
+			f.payload = nil
+			t.Return()
+			return
+		}
 	}
-	p.Advance(w.Cfg.SW.UcpIsend.Sample(w.Uct.Node.Rand))
-	w.Stats.Sends++
-	req := &Request{cb: cb}
-	payload := encodeEager(tag, data)
-	var err error
-	if len(data) <= MaxEager {
-		err = e.UctEp.AmShort(p, amEager, payload)
-	} else {
-		err = e.UctEp.AmBcopy(p, amEager, payload)
-	}
-	switch err {
-	case nil:
-		w.inflight = append(w.inflight, req)
-	case uct.ErrNoResource:
-		// Busy post: schedule for execution during progress (paper §6
-		// caveat one).
-		w.Stats.BusyPosts++
-		p.Advance(w.Cfg.SW.UcpPending.Sample(w.Uct.Node.Rand))
-		w.pending = append(w.pending, pendingPost{ep: e, payload: payload, req: req})
-	default:
-		return nil, err
-	}
-	return req, nil
 }
 
 // TagRecvNB posts a nonblocking tagged receive (matching is exact-tag; the
-// benchmarks and examples do not use wildcards).
-func (w *Worker) TagRecvNB(p *sim.Proc, tag uint64, cb Callback) *Request {
+// benchmarks and examples do not use wildcards). It is pause-free, so it
+// works identically on continuation and blocking tasks and needs no Start
+// form.
+func (w *Worker) TagRecvNB(t *sim.Task, tag uint64, cb Callback) *Request {
 	w.Stats.Recvs++
 	req := &Request{cb: cb, tag: tag}
 	// Check the unexpected queue first.
 	for i, m := range w.unexpected {
 		if m.tag == tag {
 			w.unexpected = append(w.unexpected[:i], w.unexpected[i+1:]...)
-			w.completeRecv(p, req, m.data)
+			w.completeRecv(t, req, m.data)
 			return req
 		}
 	}
@@ -181,47 +247,96 @@ func (w *Worker) TagRecvNB(p *sim.Proc, tag uint64, cb Callback) *Request {
 	return req
 }
 
-// Progress drives the pending queue and the LLP (ucp_worker_progress). It
-// returns the number of LLP operations retired.
-func (w *Worker) Progress(p *sim.Proc) int {
-	p.Advance(w.Cfg.SW.UcpProgress.Sample(w.Uct.Node.Rand))
-	// Execute deferred LLP_posts for busy posts while slots are free.
-	for len(w.pending) > 0 && w.pending[0].ep.UctEp.FreeSlots() > 0 {
-		pp := w.pending[0]
-		post := pp.ep.UctEp.AmShort
-		if len(pp.payload) > tagHeaderBytes+MaxEager {
-			post = pp.ep.UctEp.AmBcopy
+// StartProgress begins one ucp_worker_progress: drive the pending queue,
+// then the LLP. The number of LLP operations retired is reported by
+// LastProgress once the frame returns.
+func (w *Worker) StartProgress(t *sim.Task) {
+	w.progF.pc = 0
+	t.Call(&w.progF)
+}
+
+// LastProgress reports the LLP operation count retired by the most recently
+// completed progress frame.
+func (w *Worker) LastProgress() int { return w.progF.n }
+
+// Progress is the synchronous form of StartProgress for blocking tasks.
+func (w *Worker) Progress(t *sim.Task) int {
+	t.BlockingOnly("ucp.Worker.Progress")
+	w.StartProgress(t)
+	return w.progF.n
+}
+
+// progressFrame executes deferred LLP_posts for busy posts while slots are
+// free, then runs one LLP progress.
+type progressFrame struct {
+	w  *Worker
+	pc int
+	n  int
+}
+
+func (f *progressFrame) Step(t *sim.Task) {
+	w := f.w
+	for {
+		switch f.pc {
+		case 0:
+			t.Advance(w.Cfg.SW.UcpProgress.Sample(w.Uct.Node.Rand))
+			f.pc = 1
+		case 1:
+			if len(w.pending) == 0 || w.pending[0].ep.UctEp.FreeSlots() == 0 {
+				f.pc = 3
+				continue
+			}
+			pp := w.pending[0]
+			f.pc = 2
+			if len(pp.payload) > tagHeaderBytes+MaxEager {
+				pp.ep.UctEp.StartAmBcopy(t, amEager, pp.payload)
+			} else {
+				pp.ep.UctEp.StartAmShort(t, amEager, pp.payload)
+			}
+			return
+		case 2:
+			pp := w.pending[0]
+			if pp.ep.UctEp.LastPost() != nil {
+				// Raced with another consumer of the slot.
+				f.pc = 3
+				continue
+			}
+			w.pending = w.pending[1:]
+			w.inflight = append(w.inflight, pp.req)
+			w.Stats.PendingExecuted++
+			f.pc = 1
+		case 3:
+			f.pc = 4
+			w.Uct.StartProgress(t)
+			return
+		case 4:
+			f.n = w.Uct.LastProgress()
+			t.Return()
+			return
 		}
-		if err := post(p, amEager, pp.payload); err != nil {
-			break // raced with another consumer of the slot
-		}
-		w.pending = w.pending[1:]
-		w.inflight = append(w.inflight, pp.req)
-		w.Stats.PendingExecuted++
 	}
-	return w.Uct.Progress(p)
 }
 
 // onSendComplete retires the n oldest in-flight sends (one signaled CQE
 // covers a whole unsignaled batch).
-func (w *Worker) onSendComplete(p *sim.Proc, n int) {
+func (w *Worker) onSendComplete(t *sim.Task, n int) {
 	if n > len(w.inflight) {
 		panic(fmt.Sprintf("ucp: completion for %d sends with only %d in flight", n, len(w.inflight)))
 	}
 	done := w.inflight[:n]
 	w.inflight = w.inflight[n:]
 	for _, req := range done {
-		p.Advance(w.Cfg.SW.UcpSendCB.Sample(w.Uct.Node.Rand))
+		t.Advance(w.Cfg.SW.UcpSendCB.Sample(w.Uct.Node.Rand))
 		req.completed = true
 		w.Stats.SendCompletions++
 		if req.cb != nil {
-			req.cb(p)
+			req.cb(t)
 		}
 	}
 }
 
 // onEager handles an arriving eager message inside uct progress.
-func (w *Worker) onEager(p *sim.Proc, payload []byte) {
+func (w *Worker) onEager(t *sim.Task, payload []byte) {
 	if len(payload) < tagHeaderBytes {
 		panic("ucp: short eager payload")
 	}
@@ -230,7 +345,7 @@ func (w *Worker) onEager(p *sim.Proc, payload []byte) {
 	for i, req := range w.expected {
 		if req.tag == tag {
 			w.expected = append(w.expected[:i], w.expected[i+1:]...)
-			w.completeRecv(p, req, data)
+			w.completeRecv(t, req, data)
 			return
 		}
 	}
@@ -241,19 +356,19 @@ func (w *Worker) onEager(p *sim.Proc, payload []byte) {
 // completeRecv runs the UCP receive callback (its cost is the paper's
 // "Callback for a completed MPI_Irecv in UCP") and then the registered
 // upper-layer callback.
-func (w *Worker) completeRecv(p *sim.Proc, req *Request, data []byte) {
+func (w *Worker) completeRecv(t *sim.Task, req *Request, data []byte) {
 	var tok profile.Token
 	if w.ProfRecvCB {
-		tok = w.Uct.Node.Prof.BeginAnon(p)
+		tok = w.Uct.Node.Prof.BeginAnon(t)
 	}
-	p.Advance(w.Cfg.SW.UcpRecvCB.Sample(w.Uct.Node.Rand))
+	t.Advance(w.Cfg.SW.UcpRecvCB.Sample(w.Uct.Node.Rand))
 	req.data = data
 	req.completed = true
 	w.Stats.RecvCompletions++
 	if req.cb != nil {
-		req.cb(p)
+		req.cb(t)
 	}
 	if w.ProfRecvCB {
-		w.Uct.Node.Prof.EndAs(p, tok, "ucp_recv_cb")
+		w.Uct.Node.Prof.EndAs(t, tok, "ucp_recv_cb")
 	}
 }

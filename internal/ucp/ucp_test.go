@@ -32,23 +32,25 @@ func TestTagSendRecv(t *testing.T) {
 	payload := []byte{1, 2, 3}
 	var sendDone, recvDone bool
 	sys.K.Spawn("rx", func(p *sim.Proc) {
-		e1.UctEp.PostRecvs(p, 8)
-		req := w1.TagRecvNB(p, 42, func(cp *sim.Proc) { recvDone = true })
+		tk := p.Task()
+		e1.UctEp.PostRecvs(tk, 8)
+		req := w1.TagRecvNB(tk, 42, func(cp *sim.Task) { recvDone = true })
 		for !req.Completed() {
-			w1.Progress(p)
+			w1.Progress(tk)
 		}
 		if !bytes.Equal(req.Data(), payload) {
 			t.Errorf("received %v", req.Data())
 		}
 	})
 	sys.K.Spawn("tx", func(p *sim.Proc) {
+		tk := p.Task()
 		p.Sleep(units.Microsecond)
-		req, err := e0.TagSendNB(p, 42, payload, func(cp *sim.Proc) { sendDone = true })
+		req, err := e0.TagSendNB(tk, 42, payload, func(cp *sim.Task) { sendDone = true })
 		if err != nil {
 			t.Fatalf("send: %v", err)
 		}
 		for !req.Completed() {
-			w0.Progress(p)
+			w0.Progress(tk)
 		}
 	})
 	sys.Run()
@@ -61,14 +63,15 @@ func TestUnexpectedMessage(t *testing.T) {
 	sys, w0, w1, e0, e1 := harness(t, 1)
 	defer sys.Shutdown()
 	sys.K.Spawn("rx", func(p *sim.Proc) {
-		e1.UctEp.PostRecvs(p, 8)
+		tk := p.Task()
+		e1.UctEp.PostRecvs(tk, 8)
 		// Drive progress without a posted receive: the message must
 		// land in the unexpected queue.
 		for w1.Stats.UnexpectedMsgs == 0 {
-			w1.Progress(p)
+			w1.Progress(tk)
 		}
 		// A matching receive posted afterwards completes immediately.
-		req := w1.TagRecvNB(p, 9, nil)
+		req := w1.TagRecvNB(tk, 9, nil)
 		if !req.Completed() {
 			t.Error("late receive did not match the unexpected queue")
 		}
@@ -77,12 +80,13 @@ func TestUnexpectedMessage(t *testing.T) {
 		}
 	})
 	sys.K.Spawn("tx", func(p *sim.Proc) {
+		tk := p.Task()
 		p.Sleep(units.Microsecond)
-		if _, err := e0.TagSendNB(p, 9, []byte{0xFF}, nil); err != nil {
+		if _, err := e0.TagSendNB(tk, 9, []byte{0xFF}, nil); err != nil {
 			t.Fatal(err)
 		}
 		for w0.Uct.Stats.SendCQEs == 0 {
-			w0.Progress(p)
+			w0.Progress(tk)
 		}
 	})
 	sys.Run()
@@ -98,16 +102,18 @@ func TestPendingBusyPosts(t *testing.T) {
 	n := depth + 64
 	var completed int
 	sys.K.Spawn("rx", func(p *sim.Proc) {
-		e1.UctEp.PostRecvs(p, 512)
+		tk := p.Task()
+		e1.UctEp.PostRecvs(tk, 512)
 		for int(w1.Stats.RecvCompletions+w1.Stats.UnexpectedMsgs) < n {
-			w1.Progress(p)
+			w1.Progress(tk)
 		}
 	})
 	sys.K.Spawn("tx", func(p *sim.Proc) {
+		tk := p.Task()
 		p.Sleep(units.Microsecond)
 		reqs := make([]*Request, 0, n)
 		for i := 0; i < n; i++ {
-			req, err := e0.TagSendNB(p, uint64(i), []byte{byte(i)}, func(cp *sim.Proc) { completed++ })
+			req, err := e0.TagSendNB(tk, uint64(i), []byte{byte(i)}, func(cp *sim.Task) { completed++ })
 			if err != nil {
 				t.Fatalf("send %d: %v", i, err)
 			}
@@ -127,7 +133,7 @@ func TestPendingBusyPosts(t *testing.T) {
 			if all {
 				break
 			}
-			w0.Progress(p)
+			w0.Progress(tk)
 		}
 	})
 	sys.Run()
@@ -145,20 +151,22 @@ func TestUnsignaledBatchCompletion(t *testing.T) {
 	const n = 16
 	var completions int
 	sys.K.Spawn("rx", func(p *sim.Proc) {
-		e1.UctEp.PostRecvs(p, 64)
+		tk := p.Task()
+		e1.UctEp.PostRecvs(tk, 64)
 		for int(w1.Stats.RecvCompletions+w1.Stats.UnexpectedMsgs) < n {
-			w1.Progress(p)
+			w1.Progress(tk)
 		}
 	})
 	sys.K.Spawn("tx", func(p *sim.Proc) {
+		tk := p.Task()
 		p.Sleep(units.Microsecond)
 		for i := 0; i < n; i++ {
-			if _, err := e0.TagSendNB(p, uint64(i), []byte{1}, func(cp *sim.Proc) { completions++ }); err != nil {
+			if _, err := e0.TagSendNB(tk, uint64(i), []byte{1}, func(cp *sim.Task) { completions++ }); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for completions < n {
-			w0.Progress(p)
+			w0.Progress(tk)
 		}
 	})
 	sys.Run()
@@ -172,7 +180,8 @@ func TestEagerSizeLimit(t *testing.T) {
 	sys, _, _, e0, _ := harness(t, 1)
 	defer sys.Shutdown()
 	sys.K.Spawn("tx", func(p *sim.Proc) {
-		if _, err := e0.TagSendNB(p, 1, make([]byte, MaxBcopy+1), nil); err == nil {
+		tk := p.Task()
+		if _, err := e0.TagSendNB(tk, 1, make([]byte, MaxBcopy+1), nil); err == nil {
 			t.Error("oversized eager send accepted")
 		}
 	})
@@ -187,23 +196,25 @@ func TestBcopyPathSendRecv(t *testing.T) {
 		payload[i] = byte(i)
 	}
 	sys.K.Spawn("rx", func(p *sim.Proc) {
-		e1.UctEp.PostRecvs(p, 8)
-		req := w1.TagRecvNB(p, 3, nil)
+		tk := p.Task()
+		e1.UctEp.PostRecvs(tk, 8)
+		req := w1.TagRecvNB(tk, 3, nil)
 		for !req.Completed() {
-			w1.Progress(p)
+			w1.Progress(tk)
 		}
 		if !bytes.Equal(req.Data(), payload) {
 			t.Error("bcopy payload corrupted")
 		}
 	})
 	sys.K.Spawn("tx", func(p *sim.Proc) {
+		tk := p.Task()
 		p.Sleep(units.Microsecond)
-		req, err := e0.TagSendNB(p, 3, payload, nil)
+		req, err := e0.TagSendNB(tk, 3, payload, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for !req.Completed() {
-			w0.Progress(p)
+			w0.Progress(tk)
 		}
 	})
 	sys.Run()

@@ -9,6 +9,18 @@
 // queue entry behind a load memory barrier. Busy posts (attempts against a
 // full transmit queue) fail fast with ErrNoResource, exactly the semantic
 // the paper's injection model builds on.
+//
+// # Execution model
+//
+// The data path is written as resumable sim.Frame state machines driven by a
+// sim.Task, so steady-state traffic runs to completion on the kernel with no
+// goroutine handoffs. Continuation callers use the Start* methods plus the
+// Last* result getters; cold-path code holding a goroutine Proc calls the
+// synchronous wrappers (PutShort, Progress, ...) through Proc.Task, which
+// drives the same frames inline with identical event scheduling. Every
+// frame is preallocated on its owning Worker or Ep, so the steady state
+// allocates nothing; the corollary is that a Worker and each Ep may be
+// driven by at most one task at a time.
 package uct
 
 import (
@@ -96,12 +108,14 @@ func (s Stage) Name() string { return stageNames[s] }
 // AmHandler is an active-message receive callback, invoked during Progress
 // on the node that received the message. data is borrowed from the worker's
 // reusable receive scratch and is only valid for the duration of the call:
-// handlers that keep the payload must copy it (internal/ucp does).
-type AmHandler func(p *sim.Proc, data []byte)
+// handlers that keep the payload must copy it (internal/ucp does). Handlers
+// run inside the progress frame and must be pause-free (Advance only).
+type AmHandler func(t *sim.Task, data []byte)
 
 // SendCompletion is invoked during Progress for each completed send-side
-// operation (UCP registers it to drive its request machinery).
-type SendCompletion func(p *sim.Proc, count int)
+// operation (UCP registers it to drive its request machinery). It must be
+// pause-free (Advance only).
+type SendCompletion func(t *sim.Task, count int)
 
 // Stats counts LLP events; the §6 methodology needs the busy-post count.
 type Stats struct {
@@ -141,20 +155,26 @@ type Worker struct {
 	rand *rng.Rand
 
 	scratch [mlx.CQESize]byte
-	// cqe is the scratch completion peekCQ decodes into; its payload
+	// cqe is the scratch completion readCQ decodes into; its payload
 	// buffer is reused, so CQE data handed to AM handlers is only valid
 	// for the duration of the callback (copy what you keep).
 	cqe mlx.CQE
 	// recvBuf is the reusable staging buffer for payloads delivered to
 	// the receive pool (too large for CQE inline scatter).
 	recvBuf []byte
+
+	// Preallocated frames (one progress chain per worker at a time).
+	progF progressFrame
+	replF replenishFrame
 }
 
 // NewWorker builds an LLP worker on a node. The worker draws its software
 // jitter from the node's stream; use SetRand to give co-node workers
 // independent streams.
 func NewWorker(n *node.Node, cfg *config.Config) *Worker {
-	return &Worker{Node: n, Cfg: cfg, amHandlers: make(map[uint8]AmHandler), rand: n.Rand}
+	w := &Worker{Node: n, Cfg: cfg, amHandlers: make(map[uint8]AmHandler), rand: n.Rand}
+	w.progF.w = w
+	return w
 }
 
 // SetRand replaces the worker's jitter stream (nil collapses distributions
@@ -210,6 +230,14 @@ type Ep struct {
 	// peer kept answering RNR NAK past the QP's retry budget). The failed
 	// WQEs are retired — InFlight drains — but were never delivered.
 	Err error
+
+	// lastPost is the result of the most recent post frame (see LastPost).
+	lastPost error
+
+	// Preallocated frames (one in-flight operation per endpoint at a time).
+	postF   postFrame
+	gatherF gatherFrame
+	recvsF  recvsFrame
 }
 
 // Receive-pool geometry: slots sized for the largest bcopy message.
@@ -232,6 +260,9 @@ func (w *Worker) NewEp(mode PostMode, signalPeriod int) *Ep {
 	st := w.Node.Mem.Alloc(fmt.Sprintf("uct.ep%d.staging", qp.QPN), MaxBcopy, 64)
 	pool := w.Node.Mem.Alloc(fmt.Sprintf("uct.ep%d.rxpool", qp.QPN), MaxBcopy*recvPoolSlots, 64)
 	ep := &Ep{w: w, qp: qp, Mode: mode, SignalPeriod: signalPeriod, staging: st.Base, recvPool: pool.Base}
+	ep.postF.e = ep
+	ep.gatherF.e = ep
+	ep.recvsF.e = ep
 	w.Eps = append(w.Eps, ep)
 	return ep
 }
@@ -242,16 +273,48 @@ func (e *Ep) QP() *nic.QP { return e.qp }
 // Connect wires two endpoints' QPs into a reliable connection.
 func Connect(a, b *Ep) { nic.Connect(a.qp, b.qp) }
 
-// PostRecvs posts n receive credits, each with its own pool slot for
-// payloads too large for CQE inline scatter.
-func (e *Ep) PostRecvs(p *sim.Proc, n int) {
-	sw := &e.w.Cfg.SW
-	for i := 0; i < n; i++ {
-		p.Advance(sw.PostRecv.Sample(e.w.rand))
-		// Each credit must become visible to in-flight deliveries at its
-		// own post time, not batched at the end of the loop.
-		p.Sync()
-		e.postOneRecv()
+// StartPostRecvs begins posting n receive credits, each with its own pool
+// slot for payloads too large for CQE inline scatter.
+func (e *Ep) StartPostRecvs(t *sim.Task, n int) {
+	e.recvsF.pc = 0
+	e.recvsF.n = n
+	e.recvsF.i = 0
+	t.Call(&e.recvsF)
+}
+
+// PostRecvs is the synchronous form of StartPostRecvs for blocking tasks.
+func (e *Ep) PostRecvs(t *sim.Task, n int) {
+	t.BlockingOnly("uct.Ep.PostRecvs")
+	e.StartPostRecvs(t, n)
+}
+
+// recvsFrame posts n receive credits; each credit must become visible to
+// in-flight deliveries at its own post time, not batched at the end.
+type recvsFrame struct {
+	e    *Ep
+	pc   int
+	n, i int
+}
+
+func (f *recvsFrame) Step(t *sim.Task) {
+	e := f.e
+	for {
+		switch f.pc {
+		case 0:
+			if f.i >= f.n {
+				t.Return()
+				return
+			}
+			t.Advance(e.w.Cfg.SW.PostRecv.Sample(e.w.rand))
+			f.pc = 1
+			if t.Pause() {
+				return
+			}
+		case 1:
+			e.postOneRecv()
+			f.i++
+			f.pc = 0
+		}
 	}
 }
 
@@ -268,217 +331,365 @@ func (e *Ep) InFlight() int { return int(e.pi - e.completed) }
 // FreeSlots reports available send slots.
 func (e *Ep) FreeSlots() int { return e.qp.SQ.Depth - e.InFlight() }
 
-// PutShort performs an RDMA write of data (<= mlx.InlineMax bytes) to the
-// peer's RemoteBuf + off. It returns ErrNoResource on a full queue (a busy
-// post costing SW.BusyPost, per Table 1).
-func (e *Ep) PutShort(p *sim.Proc, off uint64, data []byte) error {
-	return e.post(p, mlx.OpRDMAWrite, 0, e.RemoteBuf+off, data)
+// LastPost reports the outcome of the most recently completed post frame
+// (StartPutShort/StartAmShort/StartPutBcopy/StartAmBcopy). Valid once the
+// frame has returned to its caller.
+func (e *Ep) LastPost() error { return e.lastPost }
+
+// StartPutShort begins an RDMA write of data (<= mlx.InlineMax bytes) to the
+// peer's RemoteBuf + off. The outcome is reported by LastPost:
+// ErrNoResource on a full queue (a busy post costing SW.BusyPost, per
+// Table 1).
+func (e *Ep) StartPutShort(t *sim.Task, off uint64, data []byte) {
+	e.startPost(t, mlx.OpRDMAWrite, 0, e.RemoteBuf+off, data)
 }
 
-// AmShort sends an active message (send-receive semantics).
-func (e *Ep) AmShort(p *sim.Proc, id uint8, data []byte) error {
-	return e.post(p, mlx.OpSend, id, 0, data)
+// StartAmShort begins sending an active message (send-receive semantics).
+func (e *Ep) StartAmShort(t *sim.Task, id uint8, data []byte) {
+	e.startPost(t, mlx.OpSend, id, 0, data)
 }
 
-// PutBcopy performs an RDMA write of a payload too large for the inline
+// StartPutBcopy begins an RDMA write of a payload too large for the inline
 // path (up to MaxBcopy bytes): the payload is copied into registered staging
 // memory and the NIC gathers it by DMA — UCX's buffered-copy protocol.
-func (e *Ep) PutBcopy(p *sim.Proc, off uint64, data []byte) error {
-	return e.postGather(p, mlx.OpRDMAWrite, 0, e.RemoteBuf+off, data)
+func (e *Ep) StartPutBcopy(t *sim.Task, off uint64, data []byte) {
+	e.startGather(t, mlx.OpRDMAWrite, 0, e.RemoteBuf+off, data)
 }
 
-// AmBcopy sends a large active message through the buffered-copy path.
-func (e *Ep) AmBcopy(p *sim.Proc, id uint8, data []byte) error {
-	return e.postGather(p, mlx.OpSend, id, 0, data)
+// StartAmBcopy begins sending a large active message through the
+// buffered-copy path.
+func (e *Ep) StartAmBcopy(t *sim.Task, id uint8, data []byte) {
+	e.startGather(t, mlx.OpSend, id, 0, data)
 }
 
-// postGather is the buffered-copy descriptor path: stage the payload, write
-// a gather WQE into the send queue ring, and ring the 8-byte DoorBell. The
-// NIC fetches the descriptor and the payload by DMA (paper §2 steps 2-3).
-func (e *Ep) postGather(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, data []byte) error {
+// PutShort is the synchronous form of StartPutShort for blocking tasks.
+func (e *Ep) PutShort(t *sim.Task, off uint64, data []byte) error {
+	t.BlockingOnly("uct.Ep.PutShort")
+	e.StartPutShort(t, off, data)
+	return e.lastPost
+}
+
+// AmShort is the synchronous form of StartAmShort for blocking tasks.
+func (e *Ep) AmShort(t *sim.Task, id uint8, data []byte) error {
+	t.BlockingOnly("uct.Ep.AmShort")
+	e.StartAmShort(t, id, data)
+	return e.lastPost
+}
+
+// PutBcopy is the synchronous form of StartPutBcopy for blocking tasks.
+func (e *Ep) PutBcopy(t *sim.Task, off uint64, data []byte) error {
+	t.BlockingOnly("uct.Ep.PutBcopy")
+	e.StartPutBcopy(t, off, data)
+	return e.lastPost
+}
+
+// AmBcopy is the synchronous form of StartAmBcopy for blocking tasks.
+func (e *Ep) AmBcopy(t *sim.Task, id uint8, data []byte) error {
+	t.BlockingOnly("uct.Ep.AmBcopy")
+	e.StartAmBcopy(t, id, data)
+	return e.lastPost
+}
+
+func (e *Ep) startPost(t *sim.Task, op mlx.Opcode, amID uint8, raddr uint64, data []byte) {
+	f := &e.postF
+	f.pc = 0
+	f.op = op
+	f.amID = amID
+	f.raddr = raddr
+	f.data = data
+	t.Call(f)
+}
+
+func (e *Ep) startGather(t *sim.Task, op mlx.Opcode, amID uint8, raddr uint64, data []byte) {
+	f := &e.gatherF
+	f.pc = 0
+	f.op = op
+	f.amID = amID
+	f.raddr = raddr
+	f.data = data
+	t.Call(f)
+}
+
+// postFrame is the short (inline-capable) descriptor path: the paper's §4.1
+// LLP_post sequence as a resumable state machine.
+type postFrame struct {
+	e     *Ep
+	pc    int
+	op    mlx.Opcode
+	amID  uint8
+	raddr uint64
+	data  []byte
+	tok   profTok
+	wqe   mlx.WQE
+	enc   [mlx.WQESize]byte
+}
+
+// finish records the post outcome and pops the frame.
+func (f *postFrame) finish(t *sim.Task, err error) {
+	f.e.lastPost = err
+	f.data = nil
+	t.Return()
+}
+
+func (f *postFrame) Step(t *sim.Task) {
+	e := f.e
 	w := e.w
 	sw := &w.Cfg.SW
 	r := w.rand
+	for {
+		switch f.pc {
+		case 0:
+			if len(f.data) > mlx.InlineMax {
+				f.finish(t, fmt.Errorf("uct: short post limited to %d bytes, got %d", mlx.InlineMax, len(f.data)))
+				return
+			}
+			if e.Err != nil {
+				// The QP failed (e.g. RNR retries exhausted); surface the
+				// error instead of posting into a flushing queue.
+				f.finish(t, e.Err)
+				return
+			}
 
-	if len(data) > MaxBcopy {
-		return fmt.Errorf("uct: bcopy post limited to %d bytes, got %d", MaxBcopy, len(data))
-	}
-	if e.Err != nil {
-		// The QP failed (e.g. RNR retries exhausted); surface the error
-		// instead of posting into a flushing queue.
-		return e.Err
-	}
+			f.tok = profTok{}
+			if w.ProfStage == StLLPPost || w.ProfStage == StBusyPost {
+				f.tok = w.profBegin(t)
+			}
 
-	var tok profTok
-	if w.ProfStage == StLLPPost || w.ProfStage == StBusyPost {
-		tok = w.profBegin(p)
-	}
-	if e.FreeSlots() == 0 {
-		p.Advance(sw.BusyPost.Sample(r))
-		w.Stats.BusyPosts++
-		w.profEndAs(p, tok, StBusyPost.Name())
-		return ErrNoResource
-	}
+			if e.FreeSlots() == 0 {
+				// Busy post: fail fast; the caller must progress first.
+				t.Advance(sw.BusyPost.Sample(r))
+				w.Stats.BusyPosts++
+				w.profEndAs(t, f.tok, StBusyPost.Name())
+				f.finish(t, ErrNoResource)
+				return
+			}
 
-	p.Advance(sw.LLPPostEntry.Sample(r))
-	// Stage the payload (the bcopy memcpy).
-	p.Advance(units.Time(len(data)) * sw.MemcpyPerByte)
-	p.Sync()
-	w.Node.Mem.Write(e.staging, data)
-	// Build and store the gather descriptor (a stack value; see post).
-	wqe := mlx.WQE{
-		Opcode:     op,
-		Signaled:   e.nextSignaled(),
-		Inline:     false,
-		WQEIdx:     e.pi,
-		QPN:        e.qp.QPN,
-		AmID:       amID,
-		GatherAddr: e.staging,
-		GatherLen:  uint32(len(data)),
-		RemoteAddr: raddr,
-	}
-	enc, err := wqe.Encode()
-	if err != nil {
-		panic(fmt.Sprintf("uct: WQE encode: %v", err))
-	}
-	p.Advance(sw.MDSetup.Sample(r))
-	p.Advance(sw.SQRingWrite.Sample(r))
-	p.Sync()
-	w.Node.Mem.Write(e.qp.SQ.EntryAddr(e.pi), enc[:])
-	p.Advance(sw.BarrierMD.Sample(r))
-	// No Sync for the doorbell record: see post.
-	var dbr [8]byte
-	binary.LittleEndian.PutUint16(dbr[:], e.pi+1)
-	w.Node.Mem.Write(e.qp.DBRAddr, dbr[:])
-	p.Advance(sw.DBCIncrement.Sample(r))
-	p.Advance(sw.BarrierDBC.Sample(r))
-	p.Advance(sw.DoorbellRing.Sample(r))
-	p.Sync()
-	var db [8]byte
-	binary.LittleEndian.PutUint16(db[:], e.pi+1)
-	w.Node.RC.MMIOWrite(e.qp.DBAddr, db[:])
-	p.Advance(sw.LLPPostExit.Sample(r))
-	e.pi++
-	w.Stats.Posts++
-	w.profEndAs(p, tok, StLLPPost.Name())
-	return nil
-}
+			// (0/1) Function-call entry, code-path branches.
+			t.Advance(sw.LLPPostEntry.Sample(r))
 
-func (e *Ep) post(p *sim.Proc, op mlx.Opcode, amID uint8, raddr uint64, data []byte) error {
-	w := e.w
-	sw := &w.Cfg.SW
-	r := w.rand
-
-	if len(data) > mlx.InlineMax {
-		return fmt.Errorf("uct: short post limited to %d bytes, got %d", mlx.InlineMax, len(data))
-	}
-	if e.Err != nil {
-		// The QP failed (e.g. RNR retries exhausted); surface the error
-		// instead of posting into a flushing queue.
-		return e.Err
-	}
-
-	var tok profTok
-	if w.ProfStage == StLLPPost || w.ProfStage == StBusyPost {
-		tok = w.profBegin(p)
-	}
-
-	if e.FreeSlots() == 0 {
-		// Busy post: fail fast; the caller must progress first.
-		p.Advance(sw.BusyPost.Sample(r))
-		w.Stats.BusyPosts++
-		w.profEndAs(p, tok, StBusyPost.Name())
-		return ErrNoResource
-	}
-
-	// (0/1) Function-call entry, code-path branches.
-	p.Advance(sw.LLPPostEntry.Sample(r))
-
-	// (1) Prepare the message descriptor (memcpy of the inline payload).
-	// The WQE is a stack value: Encode copies everything into the 64-byte
-	// descriptor, so the steady-state post allocates nothing.
-	stTok := w.stageBegin(p, StMDSetup)
-	signaled := e.nextSignaled()
-	wqe := mlx.WQE{
-		Opcode:     op,
-		Signaled:   signaled,
-		Inline:     true,
-		WQEIdx:     e.pi,
-		QPN:        e.qp.QPN,
-		AmID:       amID,
-		Payload:    data,
-		RemoteAddr: raddr,
-	}
-	enc, err := wqe.Encode()
-	if err != nil {
-		panic(fmt.Sprintf("uct: WQE encode: %v", err))
-	}
-	p.Advance(sw.MDSetup.Sample(r))
-	w.stageEnd(p, StMDSetup, stTok)
-
-	// (2) Store barrier: the MD must be fully written before signalling.
-	stTok = w.stageBegin(p, StBarrierMD)
-	p.Advance(sw.BarrierMD.Sample(r))
-	w.stageEnd(p, StBarrierMD, stTok)
-
-	// (3) DoorBell-counter increment in host memory (enables the NIC's
-	// speculative reads). No Sync: the doorbell record is written by the
-	// CPU but read by nothing in the device model (the NIC learns the
-	// producer counter through the MMIO doorbell), so committing it while
-	// the kernel clock still lags the proc clock is unobservable.
-	var dbr [8]byte
-	binary.LittleEndian.PutUint16(dbr[:], e.pi+1)
-	w.Node.Mem.Write(e.qp.DBRAddr, dbr[:])
-	p.Advance(sw.DBCIncrement.Sample(r))
-
-	// (4) Store barrier: the DBC update must be visible before the device
-	// write.
-	stTok = w.stageBegin(p, StBarrierDBC)
-	p.Advance(sw.BarrierDBC.Sample(r))
-	w.stageEnd(p, StBarrierDBC, stTok)
-
-	// (5) Hand the descriptor to the NIC.
-	switch e.Mode {
-	case PIOInline:
-		// PIO copy to Device-GRE memory, in 64-byte chunks.
-		stTok = w.stageBegin(p, StPIOCopy)
-		p.Advance(sw.PIOCopy.Sample(r))
-		w.stageEnd(p, StPIOCopy, stTok)
-		p.Sync()
-		w.Node.RC.MMIOWrite(e.qp.BFAddr, enc[:])
-	case DoorbellInline, DoorbellGather:
-		if e.Mode == DoorbellGather {
-			// Stage the payload in registered memory for the NIC's
-			// second DMA read.
-			p.Sync()
-			w.Node.Mem.Write(e.staging, data)
-			wqe.Inline = false
-			wqe.GatherAddr = e.staging
-			wqe.GatherLen = uint32(len(data))
-			wqe.Payload = nil
-			enc, err = wqe.Encode()
+			// (1) Prepare the message descriptor (memcpy of the inline
+			// payload). The WQE and its 64-byte encoding live in the
+			// preallocated frame, so the steady-state post allocates
+			// nothing.
+			stTok := w.stageBegin(t, StMDSetup)
+			f.wqe = mlx.WQE{
+				Opcode:     f.op,
+				Signaled:   e.nextSignaled(),
+				Inline:     true,
+				WQEIdx:     e.pi,
+				QPN:        e.qp.QPN,
+				AmID:       f.amID,
+				Payload:    f.data,
+				RemoteAddr: f.raddr,
+			}
+			enc, err := f.wqe.Encode()
 			if err != nil {
 				panic(fmt.Sprintf("uct: WQE encode: %v", err))
 			}
-		}
-		// Regular store of the WQE into the ring, then the 8-byte
-		// DoorBell MMIO write.
-		p.Advance(sw.SQRingWrite.Sample(r))
-		p.Sync()
-		w.Node.Mem.Write(e.qp.SQ.EntryAddr(e.pi), enc[:])
-		p.Advance(sw.DBRecUpdate.Sample(r))
-		p.Advance(sw.DoorbellRing.Sample(r))
-		p.Sync()
-		var db [8]byte
-		binary.LittleEndian.PutUint16(db[:], e.pi+1)
-		w.Node.RC.MMIOWrite(e.qp.DBAddr, db[:])
-	}
+			f.enc = enc
+			t.Advance(sw.MDSetup.Sample(r))
+			w.stageEnd(t, StMDSetup, stTok)
 
-	p.Advance(sw.LLPPostExit.Sample(r))
-	e.pi++
-	w.Stats.Posts++
-	w.profEndAs(p, tok, StLLPPost.Name())
-	return nil
+			// (2) Store barrier: the MD must be fully written before
+			// signalling.
+			stTok = w.stageBegin(t, StBarrierMD)
+			t.Advance(sw.BarrierMD.Sample(r))
+			w.stageEnd(t, StBarrierMD, stTok)
+
+			// (3) DoorBell-counter increment in host memory (enables the
+			// NIC's speculative reads). No Pause: the doorbell record is
+			// written by the CPU but read by nothing in the device model
+			// (the NIC learns the producer counter through the MMIO
+			// doorbell), so committing it while the kernel clock still
+			// lags the task clock is unobservable.
+			var dbr [8]byte
+			binary.LittleEndian.PutUint16(dbr[:], e.pi+1)
+			w.Node.Mem.Write(e.qp.DBRAddr, dbr[:])
+			t.Advance(sw.DBCIncrement.Sample(r))
+
+			// (4) Store barrier: the DBC update must be visible before the
+			// device write.
+			stTok = w.stageBegin(t, StBarrierDBC)
+			t.Advance(sw.BarrierDBC.Sample(r))
+			w.stageEnd(t, StBarrierDBC, stTok)
+
+			// (5) Hand the descriptor to the NIC.
+			switch e.Mode {
+			case PIOInline:
+				// PIO copy to Device-GRE memory, in 64-byte chunks.
+				stTok = w.stageBegin(t, StPIOCopy)
+				t.Advance(sw.PIOCopy.Sample(r))
+				w.stageEnd(t, StPIOCopy, stTok)
+				f.pc = 1
+				if t.Pause() {
+					return
+				}
+			case DoorbellGather:
+				// Stage the payload in registered memory for the NIC's
+				// second DMA read.
+				f.pc = 2
+				if t.Pause() {
+					return
+				}
+			case DoorbellInline:
+				t.Advance(sw.SQRingWrite.Sample(r))
+				f.pc = 3
+				if t.Pause() {
+					return
+				}
+			}
+		case 1: // PIO: the whole descriptor in one MMIO write.
+			w.Node.RC.MMIOWrite(e.qp.BFAddr, f.enc[:])
+			f.pc = 5
+		case 2: // Gather: stage the payload, rebuild the descriptor.
+			w.Node.Mem.Write(e.staging, f.data)
+			f.wqe.Inline = false
+			f.wqe.GatherAddr = e.staging
+			f.wqe.GatherLen = uint32(len(f.data))
+			f.wqe.Payload = nil
+			enc, err := f.wqe.Encode()
+			if err != nil {
+				panic(fmt.Sprintf("uct: WQE encode: %v", err))
+			}
+			f.enc = enc
+			t.Advance(sw.SQRingWrite.Sample(r))
+			f.pc = 3
+			if t.Pause() {
+				return
+			}
+		case 3: // Regular store of the WQE into the ring, then the
+			// 8-byte DoorBell MMIO write.
+			w.Node.Mem.Write(e.qp.SQ.EntryAddr(e.pi), f.enc[:])
+			t.Advance(sw.DBRecUpdate.Sample(r))
+			t.Advance(sw.DoorbellRing.Sample(r))
+			f.pc = 4
+			if t.Pause() {
+				return
+			}
+		case 4:
+			var db [8]byte
+			binary.LittleEndian.PutUint16(db[:], e.pi+1)
+			w.Node.RC.MMIOWrite(e.qp.DBAddr, db[:])
+			f.pc = 5
+		case 5:
+			t.Advance(sw.LLPPostExit.Sample(r))
+			e.pi++
+			w.Stats.Posts++
+			w.profEndAs(t, f.tok, StLLPPost.Name())
+			f.finish(t, nil)
+			return
+		}
+	}
+}
+
+// gatherFrame is the buffered-copy descriptor path: stage the payload, write
+// a gather WQE into the send queue ring, and ring the 8-byte DoorBell. The
+// NIC fetches the descriptor and the payload by DMA (paper §2 steps 2-3).
+type gatherFrame struct {
+	e     *Ep
+	pc    int
+	op    mlx.Opcode
+	amID  uint8
+	raddr uint64
+	data  []byte
+	tok   profTok
+	wqe   mlx.WQE
+	enc   [mlx.WQESize]byte
+}
+
+func (f *gatherFrame) finish(t *sim.Task, err error) {
+	f.e.lastPost = err
+	f.data = nil
+	t.Return()
+}
+
+func (f *gatherFrame) Step(t *sim.Task) {
+	e := f.e
+	w := e.w
+	sw := &w.Cfg.SW
+	r := w.rand
+	for {
+		switch f.pc {
+		case 0:
+			if len(f.data) > MaxBcopy {
+				f.finish(t, fmt.Errorf("uct: bcopy post limited to %d bytes, got %d", MaxBcopy, len(f.data)))
+				return
+			}
+			if e.Err != nil {
+				f.finish(t, e.Err)
+				return
+			}
+
+			f.tok = profTok{}
+			if w.ProfStage == StLLPPost || w.ProfStage == StBusyPost {
+				f.tok = w.profBegin(t)
+			}
+			if e.FreeSlots() == 0 {
+				t.Advance(sw.BusyPost.Sample(r))
+				w.Stats.BusyPosts++
+				w.profEndAs(t, f.tok, StBusyPost.Name())
+				f.finish(t, ErrNoResource)
+				return
+			}
+
+			t.Advance(sw.LLPPostEntry.Sample(r))
+			// Stage the payload (the bcopy memcpy).
+			t.Advance(units.Time(len(f.data)) * sw.MemcpyPerByte)
+			f.pc = 1
+			if t.Pause() {
+				return
+			}
+		case 1:
+			w.Node.Mem.Write(e.staging, f.data)
+			// Build and store the gather descriptor.
+			f.wqe = mlx.WQE{
+				Opcode:     f.op,
+				Signaled:   e.nextSignaled(),
+				Inline:     false,
+				WQEIdx:     e.pi,
+				QPN:        e.qp.QPN,
+				AmID:       f.amID,
+				GatherAddr: e.staging,
+				GatherLen:  uint32(len(f.data)),
+				RemoteAddr: f.raddr,
+			}
+			enc, err := f.wqe.Encode()
+			if err != nil {
+				panic(fmt.Sprintf("uct: WQE encode: %v", err))
+			}
+			f.enc = enc
+			t.Advance(sw.MDSetup.Sample(r))
+			t.Advance(sw.SQRingWrite.Sample(r))
+			f.pc = 2
+			if t.Pause() {
+				return
+			}
+		case 2:
+			w.Node.Mem.Write(e.qp.SQ.EntryAddr(e.pi), f.enc[:])
+			t.Advance(sw.BarrierMD.Sample(r))
+			// No Pause for the doorbell record: see postFrame.
+			var dbr [8]byte
+			binary.LittleEndian.PutUint16(dbr[:], e.pi+1)
+			w.Node.Mem.Write(e.qp.DBRAddr, dbr[:])
+			t.Advance(sw.DBCIncrement.Sample(r))
+			t.Advance(sw.BarrierDBC.Sample(r))
+			t.Advance(sw.DoorbellRing.Sample(r))
+			f.pc = 3
+			if t.Pause() {
+				return
+			}
+		case 3:
+			var db [8]byte
+			binary.LittleEndian.PutUint16(db[:], e.pi+1)
+			w.Node.RC.MMIOWrite(e.qp.DBAddr, db[:])
+			t.Advance(sw.LLPPostExit.Sample(r))
+			e.pi++
+			w.Stats.Posts++
+			w.profEndAs(t, f.tok, StLLPPost.Name())
+			f.finish(t, nil)
+			return
+		}
+	}
 }
 
 // nextSignaled applies the unsignaled-completion policy.
@@ -491,29 +702,82 @@ func (e *Ep) nextSignaled() bool {
 	return false
 }
 
-// Progress polls the completion queues, dequeuing at most one entry (the
-// paper's LLP_prog is "dequeuing one entry of the completion queue"). It
-// returns the number of operations retired (one CQE can retire several with
-// unsignaled completions) or 0 for an empty poll.
-func (w *Worker) Progress(p *sim.Proc) int {
+// StartProgress begins one completion-queue poll, dequeuing at most one
+// entry (the paper's LLP_prog is "dequeuing one entry of the completion
+// queue"). The number of operations retired — one CQE can retire several
+// with unsignaled completions, 0 means an empty poll — is reported by
+// LastProgress once the frame returns.
+func (w *Worker) StartProgress(t *sim.Task) {
+	w.progF.pc = 0
+	t.Call(&w.progF)
+}
+
+// Progress is the synchronous form of StartProgress for blocking tasks.
+func (w *Worker) Progress(t *sim.Task) int {
+	t.BlockingOnly("uct.Worker.Progress")
+	w.StartProgress(t)
+	return w.progF.n
+}
+
+// LastProgress reports the operation count retired by the most recently
+// completed progress frame.
+func (w *Worker) LastProgress() int { return w.progF.n }
+
+// progressFrame polls the send CQs first, then the receive CQs, scanning
+// endpoints in creation order for determinism. Before each CQ read the task
+// pauses (free unless lag is pending): the read must observe every
+// completion DMA-written up to the task's current virtual time.
+type progressFrame struct {
+	w  *Worker
+	pc int
+	i  int // endpoint scan index
+	n  int // result: operations retired
+
+	tok profTok
+	// Recv-path locals preserved across the large-payload pause.
+	amID    uint8
+	byteCnt uint32
+	bufAddr uint64
+	data    []byte
+}
+
+func (f *progressFrame) Step(t *sim.Task) {
+	w := f.w
 	sw := &w.Cfg.SW
 	r := w.rand
-	w.Stats.Progresses++
-
-	var tok profTok
-	if w.ProfStage == StLLPProg {
-		tok = w.profBegin(p)
-	}
-
-	// Load barrier: the CQE read must not be reordered with subsequent
-	// data-structure updates (paper §4.1, aarch64 weak memory model).
-	p.Advance(sw.LLPProgBarrier.Sample(r))
-
-	// Send completion queues first, then receive queues; one entry per
-	// call, scanning endpoints in creation order for determinism.
-	for _, e := range w.Eps {
-		if cqe := e.peekCQ(p, e.qp.SendCQ, e.sendCI); cqe != nil {
-			p.Advance(sw.LLPProgCQERead.Sample(r))
+	for {
+		switch f.pc {
+		case 0:
+			w.Stats.Progresses++
+			f.tok = profTok{}
+			if w.ProfStage == StLLPProg {
+				f.tok = w.profBegin(t)
+			}
+			// Load barrier: the CQE read must not be reordered with
+			// subsequent data-structure updates (paper §4.1, aarch64 weak
+			// memory model).
+			t.Advance(sw.LLPProgBarrier.Sample(r))
+			f.i = 0
+			f.pc = 1
+		case 1: // about to read ep i's send CQ
+			if f.i >= len(w.Eps) {
+				f.i = 0
+				f.pc = 3
+				continue
+			}
+			f.pc = 2
+			if t.Pause() {
+				return
+			}
+		case 2:
+			e := w.Eps[f.i]
+			cqe := e.readCQ(e.qp.SendCQ, e.sendCI)
+			if cqe == nil {
+				f.i++
+				f.pc = 1
+				continue
+			}
+			t.Advance(sw.LLPProgCQERead.Sample(r))
 			e.sendCI++
 			n := int(cqe.WQECounter - e.completed + 1)
 			e.completed = cqe.WQECounter + 1
@@ -529,85 +793,150 @@ func (w *Worker) Progress(p *sim.Proc) int {
 						cqe.QPN, cqe.Status, cqe.WQECounter)
 				}
 			}
-			p.Advance(sw.LLPProgMisc.Sample(r))
+			t.Advance(sw.LLPProgMisc.Sample(r))
 			// Registered callbacks run before uct_worker_progress
 			// returns (paper §5), so the profiled scope includes them.
 			if w.onSend != nil {
-				w.onSend(p, n)
+				w.onSend(t, n)
 			}
-			w.profEndAs(p, tok, StLLPProg.Name())
-			return n
-		}
-	}
-	for _, e := range w.Eps {
-		if cqe := e.peekCQ(p, e.qp.RecvCQ, e.recvCI); cqe != nil {
-			p.Advance(sw.LLPProgCQERead.Sample(r))
+			w.profEndAs(t, f.tok, StLLPProg.Name())
+			f.n = n
+			t.Return()
+			return
+		case 3: // about to read ep i's recv CQ
+			if f.i >= len(w.Eps) {
+				f.pc = 6
+				continue
+			}
+			f.pc = 4
+			if t.Pause() {
+				return
+			}
+		case 4:
+			e := w.Eps[f.i]
+			cqe := e.readCQ(e.qp.RecvCQ, e.recvCI)
+			if cqe == nil {
+				f.i++
+				f.pc = 3
+				continue
+			}
+			t.Advance(sw.LLPProgCQERead.Sample(r))
 			e.recvCI++
 			w.Stats.RecvCQEs++
-			p.Advance(sw.LLPProgMisc.Sample(r))
+			t.Advance(sw.LLPProgMisc.Sample(r))
 			// Every inbound send consumed one posted receive; retire
 			// its pool slot in FIFO order.
 			if len(e.recvOrder) == 0 {
 				panic("uct: recv CQE with no posted receive tracked")
 			}
-			bufAddr := e.recvOrder[0]
+			f.bufAddr = e.recvOrder[0]
 			e.recvOrder = e.recvOrder[1:]
-			data := cqe.Payload
+			f.amID = cqe.AmID
+			f.byteCnt = cqe.ByteCnt
+			f.data = cqe.Payload
 			if int(cqe.ByteCnt) > mlx.ScatterMax {
-				// Large payload: it was DMA-written to the pool
-				// slot, not scattered into the CQE. Read it into
-				// the worker's reusable staging buffer.
-				p.Advance(units.Time(cqe.ByteCnt) * sw.MemcpyPerByte)
-				p.Sync()
-				w.recvBuf = arena.Grow(w.recvBuf, int(cqe.ByteCnt))
-				w.Node.Mem.ReadInto(bufAddr, w.recvBuf)
-				data = w.recvBuf
+				// Large payload: it was DMA-written to the pool slot,
+				// not scattered into the CQE. Read it into the
+				// worker's reusable staging buffer.
+				t.Advance(units.Time(cqe.ByteCnt) * sw.MemcpyPerByte)
+				f.pc = 5
+				if t.Pause() {
+					return
+				}
+				continue
 			}
-			// Dispatch the active-message handler (inside progress,
+			f.pc = 7
+		case 5:
+			w.recvBuf = arena.Grow(w.recvBuf, int(f.byteCnt))
+			w.Node.Mem.ReadInto(f.bufAddr, w.recvBuf)
+			f.data = w.recvBuf
+			f.pc = 7
+		case 7: // dispatch the active-message handler (inside progress,
 			// as UCX does); the profiled scope includes it, like the
 			// send-side callbacks.
-			p.Advance(sw.AmRxHandle.Sample(r))
-			if h := w.amHandlers[cqe.AmID]; h != nil {
-				h(p, data)
+			e := w.Eps[f.i]
+			t.Advance(sw.AmRxHandle.Sample(r))
+			if h := w.amHandlers[f.amID]; h != nil {
+				h(t, f.data)
 			}
-			w.profEndAs(p, tok, StLLPProg.Name())
+			w.profEndAs(t, f.tok, StLLPProg.Name())
 			e.owedRecvCredits++
+			f.n = 1
+			f.data = nil
 			if e.owedRecvCredits >= replenishBatch {
-				e.replenish(p)
+				w.replF.e = e
+				w.replF.pc = 0
+				f.pc = 8
+				t.Call(&w.replF)
+				return
 			}
-			return 1
+			t.Return()
+			return
+		case 8:
+			t.Return()
+			return
+		case 6:
+			// Empty poll: pay the failed check and use the idle time to
+			// repost owed receive credits.
+			t.Advance(sw.LLPProgFailChk.Sample(r))
+			w.Stats.EmptyPolls++
+			w.profEndAs(t, f.tok, "empty_poll")
+			f.n = 0
+			f.i = 0
+			f.pc = 9
+		case 9:
+			if f.i >= len(w.Eps) {
+				t.Return()
+				return
+			}
+			e := w.Eps[f.i]
+			f.i++
+			if e.owedRecvCredits == 0 {
+				continue
+			}
+			w.replF.e = e
+			w.replF.pc = 0
+			t.Call(&w.replF)
+			return
 		}
 	}
-
-	// Empty poll: pay the failed check and use the idle time to repost
-	// owed receive credits.
-	p.Advance(sw.LLPProgFailChk.Sample(r))
-	w.Stats.EmptyPolls++
-	w.profEndAs(p, tok, "empty_poll")
-	for _, e := range w.Eps {
-		e.replenish(p)
-	}
-	return 0
 }
 
-// replenish reposts all owed receive credits.
-func (e *Ep) replenish(p *sim.Proc) {
-	for ; e.owedRecvCredits > 0; e.owedRecvCredits-- {
-		p.Advance(e.w.Cfg.SW.PostRecv.Sample(e.w.rand))
-		// Visibility: each credit is posted at its own time (see
-		// PostRecvs).
-		p.Sync()
-		e.postOneRecv()
+// replenishFrame reposts all owed receive credits of one endpoint;
+// visibility: each credit is posted at its own time (see recvsFrame).
+type replenishFrame struct {
+	e  *Ep
+	pc int
+}
+
+func (f *replenishFrame) Step(t *sim.Task) {
+	e := f.e
+	for {
+		switch f.pc {
+		case 0:
+			if e.owedRecvCredits == 0 {
+				t.Return()
+				return
+			}
+			t.Advance(e.w.Cfg.SW.PostRecv.Sample(e.w.rand))
+			f.pc = 1
+			if t.Pause() {
+				return
+			}
+		case 1:
+			e.postOneRecv()
+			e.owedRecvCredits--
+			f.pc = 0
+		}
 	}
 }
 
-// peekCQ reads the CQ slot for consumer counter ci and returns the decoded
-// CQE if its generation marks it valid. It synchronizes the proc first: the
-// read must observe every completion DMA-written up to the proc's current
-// virtual time. The returned CQE is the worker's scratch: it (and its
-// payload) is only valid until the next peek.
-func (e *Ep) peekCQ(p *sim.Proc, ring mlx.Ring, ci uint16) *mlx.CQE {
-	p.Sync()
+// readCQ reads the CQ slot for consumer counter ci and returns the decoded
+// CQE if its generation marks it valid. The caller must have paused
+// immediately beforehand: the read must observe every completion DMA-written
+// up to the task's current virtual time. The returned CQE is the worker's
+// scratch: it (and its payload) is only valid until the next read.
+func (e *Ep) readCQ(ring mlx.Ring, ci uint16) *mlx.CQE {
 	e.w.Node.Mem.ReadInto(ring.EntryAddr(ci), e.w.scratch[:])
 	if e.w.scratch[mlx.CQESize-1] != ring.Gen(ci) {
 		return nil
@@ -629,25 +958,25 @@ type profTok struct {
 	real bool
 }
 
-func (w *Worker) profBegin(p *sim.Proc) profTok {
-	return profTok{tok: w.Node.Prof.BeginAnon(p), real: true}
+func (w *Worker) profBegin(t *sim.Task) profTok {
+	return profTok{tok: w.Node.Prof.BeginAnon(t), real: true}
 }
 
-func (w *Worker) profEndAs(p *sim.Proc, t profTok, name string) {
-	if t.real {
-		w.Node.Prof.EndAs(p, t.tok, name)
+func (w *Worker) profEndAs(t *sim.Task, tk profTok, name string) {
+	if tk.real {
+		w.Node.Prof.EndAs(t, tk.tok, name)
 	}
 }
 
-func (w *Worker) stageBegin(p *sim.Proc, st Stage) profTok {
+func (w *Worker) stageBegin(t *sim.Task, st Stage) profTok {
 	if w.ProfStage != st {
 		return profTok{}
 	}
-	return w.profBegin(p)
+	return w.profBegin(t)
 }
 
-func (w *Worker) stageEnd(p *sim.Proc, st Stage, t profTok) {
+func (w *Worker) stageEnd(t *sim.Task, st Stage, tk profTok) {
 	if w.ProfStage == st {
-		w.profEndAs(p, t, st.Name())
+		w.profEndAs(t, tk, st.Name())
 	}
 }

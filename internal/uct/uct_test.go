@@ -30,11 +30,12 @@ func TestPutShortDeliversPayload(t *testing.T) {
 	e0.RemoteBuf = dst.Base
 	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
 	sys.K.Spawn("test", func(p *sim.Proc) {
-		if err := e0.PutShort(p, 0, payload); err != nil {
+		tk := p.Task()
+		if err := e0.PutShort(tk, 0, payload); err != nil {
 			t.Errorf("put: %v", err)
 		}
 		for e0.InFlight() > 0 {
-			w0.Progress(p)
+			w0.Progress(tk)
 		}
 	})
 	sys.Run()
@@ -51,24 +52,26 @@ func TestAmShortInvokesHandler(t *testing.T) {
 	defer sys.Shutdown()
 	var got []byte
 	var gotAt units.Time
-	w1.SetAmHandler(7, func(p *sim.Proc, data []byte) {
+	w1.SetAmHandler(7, func(p *sim.Task, data []byte) {
 		got = append([]byte(nil), data...)
 		gotAt = p.Now()
 	})
 	payload := []byte{0xA, 0xB, 0xC}
 	sys.K.Spawn("rx", func(p *sim.Proc) {
-		e1.PostRecvs(p, 8)
+		tk := p.Task()
+		e1.PostRecvs(tk, 8)
 		for got == nil {
-			w1.Progress(p)
+			w1.Progress(tk)
 		}
 	})
 	sys.K.Spawn("tx", func(p *sim.Proc) {
+		tk := p.Task()
 		p.Sleep(units.Microsecond) // let receives post
-		if err := e0.AmShort(p, 7, payload); err != nil {
+		if err := e0.AmShort(tk, 7, payload); err != nil {
 			t.Errorf("am: %v", err)
 		}
 		for e0.InFlight() > 0 {
-			w0.Progress(p)
+			w0.Progress(tk)
 		}
 	})
 	sys.Run()
@@ -87,28 +90,29 @@ func TestBusyPostOnFullQueue(t *testing.T) {
 	e0.RemoteBuf = dst.Base
 	depth := e0.QP().SQ.Depth
 	sys.K.Spawn("test", func(p *sim.Proc) {
+		tk := p.Task()
 		for i := 0; i < depth; i++ {
-			if err := e0.PutShort(p, 0, []byte{1}); err != nil {
+			if err := e0.PutShort(tk, 0, []byte{1}); err != nil {
 				t.Fatalf("post %d failed: %v", i, err)
 			}
 		}
 		if e0.FreeSlots() != 0 {
 			t.Errorf("FreeSlots = %d after filling", e0.FreeSlots())
 		}
-		if err := e0.PutShort(p, 0, []byte{1}); err != ErrNoResource {
+		if err := e0.PutShort(tk, 0, []byte{1}); err != ErrNoResource {
 			t.Errorf("overfull post returned %v, want ErrNoResource", err)
 		}
 		if w0.Stats.BusyPosts != 1 {
 			t.Errorf("busy posts = %d", w0.Stats.BusyPosts)
 		}
 		// Progress must free a slot and let the post succeed.
-		for w0.Progress(p) == 0 {
+		for w0.Progress(tk) == 0 {
 		}
-		if err := e0.PutShort(p, 0, []byte{1}); err != nil {
+		if err := e0.PutShort(tk, 0, []byte{1}); err != nil {
 			t.Errorf("post after progress: %v", err)
 		}
 		for e0.InFlight() > 0 {
-			w0.Progress(p)
+			w0.Progress(tk)
 		}
 	})
 	sys.Run()
@@ -122,11 +126,12 @@ func TestBusyPostCost(t *testing.T) {
 	e0.RemoteBuf = dst.Base
 	depth := e0.QP().SQ.Depth
 	sys.K.Spawn("test", func(p *sim.Proc) {
+		tk := p.Task()
 		for i := 0; i < depth; i++ {
-			e0.PutShort(p, 0, []byte{1})
+			e0.PutShort(tk, 0, []byte{1})
 		}
 		t0 := p.Now()
-		e0.PutShort(p, 0, []byte{1})
+		e0.PutShort(tk, 0, []byte{1})
 		if d := p.Now() - t0; d != cfg.SW.BusyPost.Mean() {
 			t.Errorf("busy post cost %v, want %v", d, cfg.SW.BusyPost.Mean())
 		}
@@ -140,8 +145,9 @@ func TestLLPPostCostMatchesTable(t *testing.T) {
 	dst := sys.Nodes[1].Mem.Alloc("dst", 64, 8)
 	e0.RemoteBuf = dst.Base
 	sys.K.Spawn("test", func(p *sim.Proc) {
+		tk := p.Task()
 		t0 := p.Now()
-		e0.PutShort(p, 0, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+		e0.PutShort(tk, 0, []byte{1, 2, 3, 4, 5, 6, 7, 8})
 		got := (p.Now() - t0).Ns()
 		if math.Abs(got-config.TabLLPPost) > 1e-9 {
 			t.Errorf("LLP_post wall time = %v, want %v", got, config.TabLLPPost)
@@ -162,15 +168,16 @@ func TestUnsignaledPeriod(t *testing.T) {
 	dst := sys.Nodes[1].Mem.Alloc("dst", 64, 8)
 	e0.RemoteBuf = dst.Base
 	var freed int
-	w0.SetSendCompletion(func(p *sim.Proc, n int) { freed += n })
+	w0.SetSendCompletion(func(p *sim.Task, n int) { freed += n })
 	sys.K.Spawn("test", func(p *sim.Proc) {
+		tk := p.Task()
 		for i := 0; i < 8; i++ {
-			if err := e0.PutShort(p, 0, []byte{1}); err != nil {
+			if err := e0.PutShort(tk, 0, []byte{1}); err != nil {
 				t.Fatalf("post %d: %v", i, err)
 			}
 		}
 		for e0.InFlight() > 0 {
-			w0.Progress(p)
+			w0.Progress(tk)
 		}
 	})
 	sys.Run()
@@ -189,7 +196,8 @@ func TestOversizedPostRejected(t *testing.T) {
 	sys, _, _, e0, _ := harness(t)
 	defer sys.Shutdown()
 	sys.K.Spawn("test", func(p *sim.Proc) {
-		if err := e0.PutShort(p, 0, make([]byte, 33)); err == nil || err == ErrNoResource {
+		tk := p.Task()
+		if err := e0.PutShort(tk, 0, make([]byte, 33)); err == nil || err == ErrNoResource {
 			t.Errorf("oversized post returned %v", err)
 		}
 	})
@@ -209,11 +217,12 @@ func TestDoorbellModesDeliver(t *testing.T) {
 		e0.RemoteBuf = dst.Base
 		payload := []byte{5, 6, 7, 8}
 		sys.K.Spawn("test", func(p *sim.Proc) {
-			if err := e0.PutShort(p, 0, payload); err != nil {
+			tk := p.Task()
+			if err := e0.PutShort(tk, 0, payload); err != nil {
 				t.Errorf("%v post: %v", mode, err)
 			}
 			for e0.InFlight() > 0 {
-				w0.Progress(p)
+				w0.Progress(tk)
 			}
 		})
 		sys.Run()
@@ -231,11 +240,12 @@ func TestStageProfiling(t *testing.T) {
 		e0.RemoteBuf = dst.Base
 		w0.ProfStage = st
 		sys.K.Spawn("test", func(p *sim.Proc) {
+			tk := p.Task()
 			sys.Nodes[0].Prof.Calibrate(p, 100)
 			for i := 0; i < 50; i++ {
-				e0.PutShort(p, 0, []byte{1})
+				e0.PutShort(tk, 0, []byte{1})
 				for e0.InFlight() > 0 {
-					w0.Progress(p)
+					w0.Progress(tk)
 				}
 			}
 		})
@@ -263,13 +273,14 @@ func TestDeterminism(t *testing.T) {
 		e0.RemoteBuf = dst.Base
 		var end units.Time
 		sys.K.Spawn("test", func(p *sim.Proc) {
+			tk := p.Task()
 			for i := 0; i < 200; i++ {
-				for e0.PutShort(p, 0, []byte{1}) == ErrNoResource {
-					w0.Progress(p)
+				for e0.PutShort(tk, 0, []byte{1}) == ErrNoResource {
+					w0.Progress(tk)
 				}
 			}
 			for e0.InFlight() > 0 {
-				w0.Progress(p)
+				w0.Progress(tk)
 			}
 			end = p.Now()
 		})

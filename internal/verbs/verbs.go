@@ -9,6 +9,11 @@
 // The cost model reuses the calibrated LLP constants: an inline+signaled
 // 8-byte post costs the paper's LLP_post, and polling one completion costs
 // LLP_prog.
+//
+// The verbs data path is written as resumable sim.Frame state machines like
+// internal/uct: continuation tasks use the Start*/Last* forms, blocking
+// tasks (Proc.Task) the synchronous wrappers. One task drives a QP at a
+// time.
 package verbs
 
 import (
@@ -114,6 +119,14 @@ type QP struct {
 	// cqe is the scratch completion the poll paths decode into; its
 	// payload is copied into the destination WC before the next decode.
 	cqe mlx.CQE
+
+	// lastPost is the most recent send-post outcome (see LastPostSend).
+	lastPost error
+
+	sendF     sendFrame
+	recvF     recvFrame
+	pollSendF pollFrame
+	pollRecvF pollFrame
 }
 
 // nicQP aliases the device queue pair (kept small to avoid leaking device
@@ -133,180 +146,335 @@ func (c *Context) CreateQP(sqDepth, cqDepth int) *QP {
 // dance collapsed to its effect).
 func Connect(a, b *QP) { connectDevice(a.qp, b.qp) }
 
-// PostSend posts one send work request (ibv_post_send). The inline+signaled
-// small-message path costs the paper's LLP_post and goes out via PIO; other
-// shapes take the DoorBell path with the NIC DMA-reading the descriptor and,
-// for non-inline requests, the payload.
-func (q *QP) PostSend(p *sim.Proc, wr *SendWR) error {
+// StartPostSend begins posting one send work request (ibv_post_send). The
+// inline+signaled small-message path costs the paper's LLP_post and goes out
+// via PIO; other shapes take the DoorBell path with the NIC DMA-reading the
+// descriptor and, for non-inline requests, the payload. The outcome is
+// reported by LastPostSend once the frame returns.
+func (q *QP) StartPostSend(t *sim.Task, wr *SendWR) {
+	q.sendF.q = q
+	q.sendF.pc = 0
+	q.sendF.wr = wr
+	t.Call(&q.sendF)
+}
+
+// LastPostSend reports the outcome of the most recently completed send-post
+// frame.
+func (q *QP) LastPostSend() error { return q.lastPost }
+
+// PostSend is the synchronous form of StartPostSend for blocking tasks.
+func (q *QP) PostSend(t *sim.Task, wr *SendWR) error {
+	t.BlockingOnly("verbs.QP.PostSend")
+	q.StartPostSend(t, wr)
+	return q.lastPost
+}
+
+type sendFrame struct {
+	q      *QP
+	pc     int
+	wr     *SendWR
+	inline bool
+	enc    [mlx.WQESize]byte
+}
+
+func (f *sendFrame) finish(t *sim.Task, err error) {
+	f.q.lastPost = err
+	f.wr = nil
+	t.Return()
+}
+
+func (f *sendFrame) Step(t *sim.Task) {
+	q := f.q
 	sw := &q.ctx.Cfg.SW
 	r := q.ctx.Node.Rand
-	if int(q.pi-q.completed) >= q.qp.SQ.Depth {
-		p.Advance(sw.BusyPost.Sample(r))
-		return ErrQPFull
-	}
+	for {
+		switch f.pc {
+		case 0:
+			wr := f.wr
+			if int(q.pi-q.completed) >= q.qp.SQ.Depth {
+				t.Advance(sw.BusyPost.Sample(r))
+				f.finish(t, ErrQPFull)
+				return
+			}
 
-	p.Advance(sw.LLPPostEntry.Sample(r))
-	// The WQE is a stack value: Encode copies everything into the 64-byte
-	// descriptor, so the post path allocates nothing.
-	wqe := mlx.WQE{
-		Signaled:   wr.Flags&SendSignaled != 0,
-		WQEIdx:     q.pi,
-		QPN:        q.qp.QPN,
-		RemoteAddr: wr.RemoteAddr,
-	}
-	switch wr.Opcode {
-	case WROpRDMAWrite:
-		wqe.Opcode = mlx.OpRDMAWrite
-	case WROpSend:
-		wqe.Opcode = mlx.OpSend
-	default:
-		return fmt.Errorf("verbs: unsupported opcode %d", wr.Opcode)
-	}
+			t.Advance(sw.LLPPostEntry.Sample(r))
+			// The WQE is a stack value: Encode copies everything into the
+			// frame's 64-byte descriptor, so the post path allocates
+			// nothing.
+			wqe := mlx.WQE{
+				Signaled:   wr.Flags&SendSignaled != 0,
+				WQEIdx:     q.pi,
+				QPN:        q.qp.QPN,
+				RemoteAddr: wr.RemoteAddr,
+			}
+			switch wr.Opcode {
+			case WROpRDMAWrite:
+				wqe.Opcode = mlx.OpRDMAWrite
+			case WROpSend:
+				wqe.Opcode = mlx.OpSend
+			default:
+				f.finish(t, fmt.Errorf("verbs: unsupported opcode %d", wr.Opcode))
+				return
+			}
 
-	inline := wr.Flags&SendInline != 0 && len(wr.InlineData) <= mlx.InlineMax
-	if inline {
-		wqe.Inline = true
-		wqe.Payload = wr.InlineData
-	} else {
-		wqe.Inline = false
-		wqe.GatherAddr = wr.SGE.Addr
-		wqe.GatherLen = wr.SGE.Length
-	}
-	enc, err := wqe.Encode()
-	if err != nil {
-		return err
-	}
-	p.Advance(sw.MDSetup.Sample(r))
-	p.Advance(sw.BarrierMD.Sample(r))
-	// No Sync: the doorbell record is written by the CPU but read by
-	// nothing in the device model (the NIC learns the producer counter
-	// through the MMIO doorbell), so the early commit is unobservable.
-	var dbr [8]byte
-	binary.LittleEndian.PutUint16(dbr[:], q.pi+1)
-	q.ctx.Node.Mem.Write(q.qp.DBRAddr, dbr[:])
-	p.Advance(sw.DBCIncrement.Sample(r))
-	p.Advance(sw.BarrierDBC.Sample(r))
+			f.inline = wr.Flags&SendInline != 0 && len(wr.InlineData) <= mlx.InlineMax
+			if f.inline {
+				wqe.Inline = true
+				wqe.Payload = wr.InlineData
+			} else {
+				wqe.Inline = false
+				wqe.GatherAddr = wr.SGE.Addr
+				wqe.GatherLen = wr.SGE.Length
+			}
+			enc, err := wqe.Encode()
+			if err != nil {
+				f.finish(t, err)
+				return
+			}
+			f.enc = enc
+			t.Advance(sw.MDSetup.Sample(r))
+			t.Advance(sw.BarrierMD.Sample(r))
+			// No Pause: the doorbell record is written by the CPU but read
+			// by nothing in the device model (the NIC learns the producer
+			// counter through the MMIO doorbell), so the early commit is
+			// unobservable.
+			var dbr [8]byte
+			binary.LittleEndian.PutUint16(dbr[:], q.pi+1)
+			q.ctx.Node.Mem.Write(q.qp.DBRAddr, dbr[:])
+			t.Advance(sw.DBCIncrement.Sample(r))
+			t.Advance(sw.BarrierDBC.Sample(r))
 
-	if inline {
-		// BlueFlame PIO: the whole descriptor in one MMIO write.
-		p.Advance(sw.PIOCopy.Sample(r))
-		p.Sync()
-		q.ctx.Node.RC.MMIOWrite(q.qp.BFAddr, enc[:])
-	} else {
-		// Ring write + 8-byte DoorBell; the NIC fetches by DMA.
-		p.Advance(sw.SQRingWrite.Sample(r))
-		p.Sync()
-		q.ctx.Node.Mem.Write(q.qp.SQ.EntryAddr(q.pi), enc[:])
-		p.Advance(sw.DoorbellRing.Sample(r))
-		p.Sync()
-		var db [8]byte
-		binary.LittleEndian.PutUint16(db[:], q.pi+1)
-		q.ctx.Node.RC.MMIOWrite(q.qp.DBAddr, db[:])
+			if f.inline {
+				// BlueFlame PIO: the whole descriptor in one MMIO write.
+				t.Advance(sw.PIOCopy.Sample(r))
+				f.pc = 1
+			} else {
+				// Ring write + 8-byte DoorBell; the NIC fetches by DMA.
+				t.Advance(sw.SQRingWrite.Sample(r))
+				f.pc = 2
+			}
+			if t.Pause() {
+				return
+			}
+		case 1:
+			q.ctx.Node.RC.MMIOWrite(q.qp.BFAddr, f.enc[:])
+			f.pc = 4
+		case 2:
+			q.ctx.Node.Mem.Write(q.qp.SQ.EntryAddr(q.pi), f.enc[:])
+			t.Advance(sw.DoorbellRing.Sample(r))
+			f.pc = 3
+			if t.Pause() {
+				return
+			}
+		case 3:
+			var db [8]byte
+			binary.LittleEndian.PutUint16(db[:], q.pi+1)
+			q.ctx.Node.RC.MMIOWrite(q.qp.DBAddr, db[:])
+			f.pc = 4
+		case 4:
+			t.Advance(sw.LLPPostExit.Sample(r))
+			q.wrids[q.pi] = f.wr.WRID
+			q.pi++
+			f.finish(t, nil)
+			return
+		}
 	}
-	p.Advance(sw.LLPPostExit.Sample(r))
-	q.wrids[q.pi] = wr.WRID
-	q.pi++
+}
+
+// StartPostRecv begins posting one receive work request (ibv_post_recv).
+func (q *QP) StartPostRecv(t *sim.Task, wr *RecvWR) {
+	q.recvF.q = q
+	q.recvF.pc = 0
+	q.recvF.wr = *wr
+	t.Call(&q.recvF)
+}
+
+// PostRecv is the synchronous form of StartPostRecv for blocking tasks.
+func (q *QP) PostRecv(t *sim.Task, wr *RecvWR) error {
+	t.BlockingOnly("verbs.QP.PostRecv")
+	q.StartPostRecv(t, wr)
 	return nil
 }
 
-// PostRecv posts one receive work request (ibv_post_recv).
-func (q *QP) PostRecv(p *sim.Proc, wr *RecvWR) error {
-	p.Advance(q.ctx.Cfg.SW.PostRecv.Sample(q.ctx.Node.Rand))
-	// The credit must be visible to in-flight deliveries at post time.
-	p.Sync()
-	q.recvWRs = append(q.recvWRs, *wr)
-	q.qp.PostRecv(wr.SGE.Addr)
-	return nil
+type recvFrame struct {
+	q  *QP
+	pc int
+	wr RecvWR
 }
 
-// PollSendCQ polls up to len(wcs) send completions (ibv_poll_cq). With
-// unsignaled requests one CQE retires a batch, but verbs reports only the
-// signaled request's WC, matching ibverbs semantics.
-func (q *QP) PollSendCQ(p *sim.Proc, wcs []WC) int {
-	sw := &q.ctx.Cfg.SW
-	r := q.ctx.Node.Rand
-	n := 0
-	for n < len(wcs) {
-		p.Advance(sw.LLPProgBarrier.Sample(r))
-		p.Sync()
-		q.ctx.Node.Mem.ReadInto(q.qp.SendCQ.EntryAddr(q.sendCI), q.scratch[:])
-		if q.scratch[mlx.CQESize-1] != q.qp.SendCQ.Gen(q.sendCI) {
-			p.Advance(sw.LLPProgFailChk.Sample(r))
-			break
+func (f *recvFrame) Step(t *sim.Task) {
+	q := f.q
+	switch f.pc {
+	case 0:
+		t.Advance(q.ctx.Cfg.SW.PostRecv.Sample(q.ctx.Node.Rand))
+		// The credit must be visible to in-flight deliveries at post time.
+		f.pc = 1
+		if t.Pause() {
+			return
 		}
-		p.Advance(sw.LLPProgCQERead.Sample(r))
-		cqe := &q.cqe
-		if err := cqe.DecodeFrom(q.scratch[:]); err != nil {
-			panic(fmt.Sprintf("verbs: corrupt CQE: %v", err))
-		}
-		q.sendCI++
-		q.completed = cqe.WQECounter + 1
-		wrid := q.wrids[cqe.WQECounter]
-		delete(q.wrids, cqe.WQECounter)
-		status := WCSuccess
-		switch cqe.Status {
-		case mlx.CQERnrRetryExc:
-			status = WCRnrRetryExcErr
-		case mlx.CQEFlushErr:
-			status = WCFlushErr
-		}
-		// Keep the slot's reusable Data buffer (send completions carry no
-		// payload, but a caller sharing one wcs slice between send and
-		// recv polls must not lose the recv path's buffer).
-		wcs[n] = WC{WRID: wrid, Status: status, Opcode: WROpRDMAWrite, Data: wcs[n].Data[:0]}
-		n++
-		p.Advance(sw.LLPProgMisc.Sample(r))
+		f.Step(t)
+	case 1:
+		q.recvWRs = append(q.recvWRs, f.wr)
+		q.qp.PostRecv(f.wr.SGE.Addr)
+		t.Return()
 	}
-	return n
 }
 
-// PollRecvCQ polls up to len(wcs) receive completions. Each WC.Data is an
-// independent payload: inline scatters are copied into the WC slot's own
-// reusable buffer (so a caller that re-polls with the same wcs slice pays
-// no steady-state allocations, and a batched poll never aliases payloads),
-// and remains valid until that slot is reused by a later poll.
-func (q *QP) PollRecvCQ(p *sim.Proc, wcs []WC) int {
+// StartPollSendCQ begins polling up to len(wcs) send completions
+// (ibv_poll_cq). With unsignaled requests one CQE retires a batch, but verbs
+// reports only the signaled request's WC, matching ibverbs semantics. The
+// completion count is reported by LastPoll once the frame returns.
+func (q *QP) StartPollSendCQ(t *sim.Task, wcs []WC) {
+	q.pollSendF.q = q
+	q.pollSendF.pc = 0
+	q.pollSendF.recv = false
+	q.pollSendF.wcs = wcs
+	q.pollSendF.n = 0
+	t.Call(&q.pollSendF)
+}
+
+// StartPollRecvCQ begins polling up to len(wcs) receive completions. Each
+// WC.Data is an independent payload: inline scatters are copied into the WC
+// slot's own reusable buffer (so a caller that re-polls with the same wcs
+// slice pays no steady-state allocations, and a batched poll never aliases
+// payloads), and remains valid until that slot is reused by a later poll.
+func (q *QP) StartPollRecvCQ(t *sim.Task, wcs []WC) {
+	q.pollRecvF.q = q
+	q.pollRecvF.pc = 0
+	q.pollRecvF.recv = true
+	q.pollRecvF.wcs = wcs
+	q.pollRecvF.n = 0
+	t.Call(&q.pollRecvF)
+}
+
+// LastPoll reports the completion count of the most recently completed poll
+// frame for the given direction (recv selects the receive-CQ frame).
+func (q *QP) LastPoll(recv bool) int {
+	if recv {
+		return q.pollRecvF.n
+	}
+	return q.pollSendF.n
+}
+
+// PollSendCQ is the synchronous form of StartPollSendCQ for blocking tasks.
+func (q *QP) PollSendCQ(t *sim.Task, wcs []WC) int {
+	t.BlockingOnly("verbs.QP.PollSendCQ")
+	q.StartPollSendCQ(t, wcs)
+	return q.pollSendF.n
+}
+
+// PollRecvCQ is the synchronous form of StartPollRecvCQ for blocking tasks.
+func (q *QP) PollRecvCQ(t *sim.Task, wcs []WC) int {
+	t.BlockingOnly("verbs.QP.PollRecvCQ")
+	q.StartPollRecvCQ(t, wcs)
+	return q.pollRecvF.n
+}
+
+type pollFrame struct {
+	q    *QP
+	pc   int
+	recv bool
+	wcs  []WC
+	n    int
+
+	// Recv-path locals preserved across the large-payload pause.
+	wr      RecvWR
+	byteCnt uint32
+}
+
+func (f *pollFrame) finish(t *sim.Task) {
+	f.wcs = nil
+	t.Return()
+}
+
+func (f *pollFrame) Step(t *sim.Task) {
+	q := f.q
 	sw := &q.ctx.Cfg.SW
 	r := q.ctx.Node.Rand
-	n := 0
-	for n < len(wcs) {
-		p.Advance(sw.LLPProgBarrier.Sample(r))
-		p.Sync()
-		q.ctx.Node.Mem.ReadInto(q.qp.RecvCQ.EntryAddr(q.recvCI), q.scratch[:])
-		if q.scratch[mlx.CQESize-1] != q.qp.RecvCQ.Gen(q.recvCI) {
-			p.Advance(sw.LLPProgFailChk.Sample(r))
-			break
-		}
-		p.Advance(sw.LLPProgCQERead.Sample(r))
-		cqe := &q.cqe
-		if err := cqe.DecodeFrom(q.scratch[:]); err != nil {
-			panic(fmt.Sprintf("verbs: corrupt CQE: %v", err))
-		}
-		q.recvCI++
-		if len(q.recvWRs) == 0 {
-			panic("verbs: recv CQE without a posted receive")
-		}
-		wr := q.recvWRs[0]
-		q.recvWRs = q.recvWRs[1:]
-		data := wcs[n].Data
-		if int(cqe.ByteCnt) > mlx.ScatterMax {
-			// Large payload: it was DMA-written to the posted buffer.
-			// Read it into this WC's own reusable buffer.
-			p.Advance(units.Time(cqe.ByteCnt) * sw.MemcpyPerByte)
-			p.Sync()
-			data = arena.Grow(data, int(cqe.ByteCnt))
-			q.ctx.Node.Mem.ReadInto(wr.SGE.Addr, data)
-		} else {
+	for {
+		switch f.pc {
+		case 0: // loop head: one CQ peek per iteration
+			if f.n >= len(f.wcs) {
+				f.finish(t)
+				return
+			}
+			t.Advance(sw.LLPProgBarrier.Sample(r))
+			f.pc = 1
+			if t.Pause() {
+				return
+			}
+		case 1:
+			ring, ci := q.qp.SendCQ, q.sendCI
+			if f.recv {
+				ring, ci = q.qp.RecvCQ, q.recvCI
+			}
+			q.ctx.Node.Mem.ReadInto(ring.EntryAddr(ci), q.scratch[:])
+			if q.scratch[mlx.CQESize-1] != ring.Gen(ci) {
+				t.Advance(sw.LLPProgFailChk.Sample(r))
+				f.finish(t)
+				return
+			}
+			t.Advance(sw.LLPProgCQERead.Sample(r))
+			cqe := &q.cqe
+			if err := cqe.DecodeFrom(q.scratch[:]); err != nil {
+				panic(fmt.Sprintf("verbs: corrupt CQE: %v", err))
+			}
+			if !f.recv {
+				q.sendCI++
+				q.completed = cqe.WQECounter + 1
+				wrid := q.wrids[cqe.WQECounter]
+				delete(q.wrids, cqe.WQECounter)
+				status := WCSuccess
+				switch cqe.Status {
+				case mlx.CQERnrRetryExc:
+					status = WCRnrRetryExcErr
+				case mlx.CQEFlushErr:
+					status = WCFlushErr
+				}
+				// Keep the slot's reusable Data buffer (send completions
+				// carry no payload, but a caller sharing one wcs slice
+				// between send and recv polls must not lose the recv
+				// path's buffer).
+				f.wcs[f.n] = WC{WRID: wrid, Status: status, Opcode: WROpRDMAWrite, Data: f.wcs[f.n].Data[:0]}
+				f.n++
+				t.Advance(sw.LLPProgMisc.Sample(r))
+				f.pc = 0
+				continue
+			}
+			q.recvCI++
+			if len(q.recvWRs) == 0 {
+				panic("verbs: recv CQE without a posted receive")
+			}
+			f.wr = q.recvWRs[0]
+			q.recvWRs = q.recvWRs[1:]
+			if int(cqe.ByteCnt) > mlx.ScatterMax {
+				// Large payload: it was DMA-written to the posted buffer.
+				// Read it into this WC's own reusable buffer.
+				f.byteCnt = cqe.ByteCnt
+				t.Advance(units.Time(cqe.ByteCnt) * sw.MemcpyPerByte)
+				f.pc = 2
+				if t.Pause() {
+					return
+				}
+				continue
+			}
 			// Copy the inline scatter out of the scratch CQE into this
 			// WC's own buffer: the scratch is overwritten by the next
 			// decode, possibly within this very call.
-			data = append(data[:0], cqe.Payload...)
+			data := append(f.wcs[f.n].Data[:0], cqe.Payload...)
+			f.wcs[f.n] = WC{WRID: f.wr.WRID, Status: WCSuccess, Opcode: WROpSend, ByteLen: cqe.ByteCnt, Data: data}
+			f.n++
+			t.Advance(sw.LLPProgMisc.Sample(r))
+			f.pc = 0
+		case 2:
+			data := arena.Grow(f.wcs[f.n].Data, int(f.byteCnt))
+			q.ctx.Node.Mem.ReadInto(f.wr.SGE.Addr, data)
+			f.wcs[f.n] = WC{WRID: f.wr.WRID, Status: WCSuccess, Opcode: WROpSend, ByteLen: f.byteCnt, Data: data}
+			f.n++
+			t.Advance(sw.LLPProgMisc.Sample(r))
+			f.pc = 0
 		}
-		wcs[n] = WC{WRID: wr.WRID, Status: WCSuccess, Opcode: WROpSend, ByteLen: cqe.ByteCnt, Data: data}
-		n++
-		p.Advance(sw.LLPProgMisc.Sample(r))
 	}
-	return n
 }
 
 // Outstanding reports send slots in use.

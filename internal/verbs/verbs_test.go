@@ -29,7 +29,8 @@ func TestRDMAWriteInline(t *testing.T) {
 	dst := sys.Nodes[1].Mem.Alloc("dst", 64, 8)
 	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
 	sys.K.Spawn("test", func(p *sim.Proc) {
-		err := q0.PostSend(p, &SendWR{
+		tk := p.Task()
+		err := q0.PostSend(tk, &SendWR{
 			WRID:       77,
 			Opcode:     WROpRDMAWrite,
 			Flags:      SendSignaled | SendInline,
@@ -41,7 +42,7 @@ func TestRDMAWriteInline(t *testing.T) {
 		}
 		wcs := make([]WC, 4)
 		for {
-			if n := q0.PollSendCQ(p, wcs); n > 0 {
+			if n := q0.PollSendCQ(tk, wcs); n > 0 {
 				if wcs[0].WRID != 77 || wcs[0].Status != WCSuccess {
 					t.Errorf("wc = %+v", wcs[0])
 				}
@@ -62,10 +63,11 @@ func TestSendRecv(t *testing.T) {
 	payload := []byte{9, 8, 7}
 	var got []byte
 	sys.K.Spawn("rx", func(p *sim.Proc) {
-		q1.PostRecv(p, &RecvWR{WRID: 5, SGE: SGE{Addr: rxBuf.Base, Length: 4096}})
+		tk := p.Task()
+		q1.PostRecv(tk, &RecvWR{WRID: 5, SGE: SGE{Addr: rxBuf.Base, Length: 4096}})
 		wcs := make([]WC, 1)
 		for {
-			if n := q1.PollRecvCQ(p, wcs); n > 0 {
+			if n := q1.PollRecvCQ(tk, wcs); n > 0 {
 				if wcs[0].WRID != 5 || wcs[0].Opcode != WROpSend {
 					t.Errorf("recv wc = %+v", wcs[0])
 				}
@@ -75,8 +77,9 @@ func TestSendRecv(t *testing.T) {
 		}
 	})
 	sys.K.Spawn("tx", func(p *sim.Proc) {
+		tk := p.Task()
 		p.Sleep(units.Microsecond)
-		if err := q0.PostSend(p, &SendWR{
+		if err := q0.PostSend(tk, &SendWR{
 			WRID: 6, Opcode: WROpSend, Flags: SendSignaled | SendInline, InlineData: payload,
 		}); err != nil {
 			t.Fatal(err)
@@ -97,10 +100,11 @@ func TestLargeSendViaSGE(t *testing.T) {
 	sys.Nodes[0].Mem.Write(src.Base, payload)
 	var got []byte
 	sys.K.Spawn("rx", func(p *sim.Proc) {
-		q1.PostRecv(p, &RecvWR{WRID: 1, SGE: SGE{Addr: rxBuf.Base, Length: 4096}})
+		tk := p.Task()
+		q1.PostRecv(tk, &RecvWR{WRID: 1, SGE: SGE{Addr: rxBuf.Base, Length: 4096}})
 		wcs := make([]WC, 1)
 		for {
-			if n := q1.PollRecvCQ(p, wcs); n > 0 {
+			if n := q1.PollRecvCQ(tk, wcs); n > 0 {
 				got = wcs[0].Data
 				if wcs[0].ByteLen != 2048 {
 					t.Errorf("byte len = %d", wcs[0].ByteLen)
@@ -110,9 +114,10 @@ func TestLargeSendViaSGE(t *testing.T) {
 		}
 	})
 	sys.K.Spawn("tx", func(p *sim.Proc) {
+		tk := p.Task()
 		p.Sleep(units.Microsecond)
 		// Non-inline: the NIC DMA-reads the payload through the SGE.
-		if err := q0.PostSend(p, &SendWR{
+		if err := q0.PostSend(tk, &SendWR{
 			WRID: 2, Opcode: WROpSend, Flags: SendSignaled,
 			SGE: SGE{Addr: src.Base, Length: 2048},
 		}); err != nil {
@@ -130,8 +135,9 @@ func TestInlinePostCostsLLPPost(t *testing.T) {
 	defer sys.Shutdown()
 	dst := sys.Nodes[1].Mem.Alloc("dst", 64, 8)
 	sys.K.Spawn("test", func(p *sim.Proc) {
+		tk := p.Task()
 		t0 := p.Now()
-		q0.PostSend(p, &SendWR{
+		q0.PostSend(tk, &SendWR{
 			Opcode: WROpRDMAWrite, Flags: SendSignaled | SendInline,
 			InlineData: []byte{1}, RemoteAddr: dst.Base,
 		})
@@ -147,6 +153,7 @@ func TestUnsignaledBatchPolling(t *testing.T) {
 	defer sys.Shutdown()
 	dst := sys.Nodes[1].Mem.Alloc("dst", 64, 8)
 	sys.K.Spawn("test", func(p *sim.Proc) {
+		tk := p.Task()
 		// Three unsignaled then one signaled: one WC retires all four
 		// slots, but only the signaled WR is reported (ibverbs
 		// semantics).
@@ -155,7 +162,7 @@ func TestUnsignaledBatchPolling(t *testing.T) {
 			if i == 3 {
 				flags |= SendSignaled
 			}
-			if err := q0.PostSend(p, &SendWR{
+			if err := q0.PostSend(tk, &SendWR{
 				WRID: uint64(i), Opcode: WROpRDMAWrite, Flags: flags,
 				InlineData: []byte{byte(i)}, RemoteAddr: dst.Base,
 			}); err != nil {
@@ -165,7 +172,7 @@ func TestUnsignaledBatchPolling(t *testing.T) {
 		wcs := make([]WC, 8)
 		total := 0
 		for q0.Outstanding() > 0 {
-			total += q0.PollSendCQ(p, wcs)
+			total += q0.PollSendCQ(tk, wcs)
 		}
 		if total != 1 {
 			t.Errorf("WCs = %d, want 1 (only the signaled WR)", total)
@@ -182,15 +189,16 @@ func TestQPFull(t *testing.T) {
 	defer sys.Shutdown()
 	dst := sys.Nodes[1].Mem.Alloc("dst", 64, 8)
 	sys.K.Spawn("test", func(p *sim.Proc) {
+		tk := p.Task()
 		for i := 0; i < 128; i++ {
-			if err := q0.PostSend(p, &SendWR{
+			if err := q0.PostSend(tk, &SendWR{
 				Opcode: WROpRDMAWrite, Flags: SendSignaled | SendInline,
 				InlineData: []byte{1}, RemoteAddr: dst.Base,
 			}); err != nil {
 				t.Fatalf("post %d: %v", i, err)
 			}
 		}
-		if err := q0.PostSend(p, &SendWR{
+		if err := q0.PostSend(tk, &SendWR{
 			Opcode: WROpRDMAWrite, Flags: SendSignaled | SendInline,
 			InlineData: []byte{1}, RemoteAddr: dst.Base,
 		}); err != ErrQPFull {
@@ -204,7 +212,8 @@ func TestBadOpcode(t *testing.T) {
 	sys, q0, _ := harness(t)
 	defer sys.Shutdown()
 	sys.K.Spawn("test", func(p *sim.Proc) {
-		if err := q0.PostSend(p, &SendWR{Opcode: 42}); err == nil {
+		tk := p.Task()
+		if err := q0.PostSend(tk, &SendWR{Opcode: 42}); err == nil {
 			t.Error("bad opcode accepted")
 		}
 	})
@@ -220,22 +229,24 @@ func TestBatchedRecvPollPayloadsIndependent(t *testing.T) {
 	rxBuf := sys.Nodes[1].Mem.Alloc("rx", 4096, 64)
 	var first, second []byte
 	sys.K.Spawn("rx", func(p *sim.Proc) {
-		q1.PostRecv(p, &RecvWR{WRID: 1, SGE: SGE{Addr: rxBuf.Base, Length: 4096}})
-		q1.PostRecv(p, &RecvWR{WRID: 2, SGE: SGE{Addr: rxBuf.Base, Length: 4096}})
+		tk := p.Task()
+		q1.PostRecv(tk, &RecvWR{WRID: 1, SGE: SGE{Addr: rxBuf.Base, Length: 4096}})
+		q1.PostRecv(tk, &RecvWR{WRID: 2, SGE: SGE{Addr: rxBuf.Base, Length: 4096}})
 		// Wait until both sends have certainly landed, then drain both
 		// completions in one call.
 		p.Sleep(100 * units.Microsecond)
 		wcs := make([]WC, 2)
-		if n := q1.PollRecvCQ(p, wcs); n != 2 {
+		if n := q1.PollRecvCQ(tk, wcs); n != 2 {
 			t.Errorf("drained %d completions in one poll, want 2", n)
 			return
 		}
 		first, second = wcs[0].Data, wcs[1].Data
 	})
 	sys.K.Spawn("tx", func(p *sim.Proc) {
+		tk := p.Task()
 		p.Sleep(units.Microsecond)
 		for i, payload := range [][]byte{{1, 1, 1}, {2, 2, 2}} {
-			if err := q0.PostSend(p, &SendWR{
+			if err := q0.PostSend(tk, &SendWR{
 				WRID: uint64(i), Opcode: WROpSend,
 				Flags: SendSignaled | SendInline, InlineData: payload,
 			}); err != nil {
