@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub
+//	bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|lossy|flap
 //
 // Examples:
 //
@@ -25,6 +25,15 @@
 //	                                  # saturating incast against a bounded
 //	                                  # receiver: RNR NAKs, sender backoff
 //	                                  # and go-back-N replay
+//	bbperftest lossy                  # sequence-verified stream swept over
+//	                                  # the default drop-rate ladder
+//	bbperftest -droprate 1e-3 -corruptrate 1e-3 lossy
+//	                                  # one lossy point with per-link and
+//	                                  # per-QP recovery counters
+//	bbperftest -flapdown 100 -flapup 200 flap
+//	                                  # fat-tree incast loses a leaf uplink
+//	                                  # mid-run: ECMP failover, timeout
+//	                                  # replay, restore to steady state
 package main
 
 import (
@@ -33,10 +42,12 @@ import (
 	"os"
 
 	"breakband/internal/config"
+	"breakband/internal/faults"
 	"breakband/internal/node"
 	"breakband/internal/perftest"
 	"breakband/internal/topo"
 	"breakband/internal/uct"
+	"breakband/internal/units"
 )
 
 var (
@@ -54,12 +65,17 @@ var (
 	flagRadix    = flag.Int("radix", 0, "fat-tree switch radix (0 = smallest that fits)")
 	flagCredits  = flag.Int("credits", 0, "per-link credit budget in frames (0 = default)")
 	flagRxBudget = flag.Int("rxbudget", 0, "NIC receive pend budget in frames; overflow is RNR-NAKed (0 = unbounded, oversub: 8)")
+	flagDropRate = flag.Float64("droprate", 0, "lossy: per-frame Bernoulli drop probability (0 with -corruptrate 0 = sweep the default ladder)")
+	flagCorrupt  = flag.Float64("corruptrate", 0, "lossy: per-frame Bernoulli corruption probability")
+	flagFlapPort = flag.String("flapport", "leaf1.up0", "flap: switch port to take down")
+	flagFlapDown = flag.Float64("flapdown", 100, "flap: link-down time in microseconds")
+	flagFlapUp   = flag.Float64("flapup", 200, "flap: link-restore time in microseconds")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub")
+		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|lossy|flap")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -85,11 +101,17 @@ func main() {
 		os.Exit(2)
 	}
 	test := flag.Arg(0)
+	if test == "flap" && kind == topo.Auto {
+		// A flap needs redundant paths to fail over across.
+		kind = topo.FatTree
+	}
 	nodes := *flagNodes
 	if nodes == 0 {
 		switch test {
 		case "incast", "oversub":
 			nodes = 5
+		case "flap":
+			nodes = 6
 		case "alltoall":
 			nodes = 8
 		default:
@@ -105,11 +127,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bbperftest:", err)
 		os.Exit(2)
 	}
-	mkSys := func() *node.System {
+	mkCfg := func() *config.Config {
 		cfg := config.TX2CX4(noise, *flagSeed, !*flagDirect)
 		cfg.Topology = spec
 		cfg.NICRxBudget = rxBudget
-		return node.NewSystem(cfg, nodes)
+		cfg.Faults.DropRate = *flagDropRate
+		cfg.Faults.CorruptRate = *flagCorrupt
+		if test == "flap" {
+			cfg.Faults.Flaps = []faults.Flap{{
+				Port: *flagFlapPort,
+				Down: units.Microseconds(*flagFlapDown),
+				Up:   units.Microseconds(*flagFlapUp),
+			}}
+		}
+		return cfg
+	}
+	mkSys := func() *node.System {
+		return node.NewSystem(mkCfg(), nodes)
 	}
 	opt := perftest.Options{Iters: *flagIters, Warmup: *flagWarmup, MsgSize: *flagSize, Mode: mode}
 
@@ -170,9 +204,52 @@ func main() {
 		fmt.Printf("receiver PCIe service model: %.1f ns/msg (%.0f msg/s aggregate ceiling)\n",
 			res.ModelCycleNs, 1e9/res.ModelCycleNs)
 		printHotPorts(sys)
+	case "lossy":
+		if *flagDropRate == 0 && *flagCorrupt == 0 {
+			// No explicit rates: sweep the default drop-rate ladder, one
+			// fresh system per point.
+			for _, res := range perftest.LossySweep(mkCfg(), []float64{0, 1e-4, 1e-3, 1e-2}, opt) {
+				fmt.Println(res)
+			}
+			break
+		}
+		sys := mkSys()
+		defer sys.Shutdown()
+		res := perftest.LossyPutBw(sys, opt)
+		fmt.Println(res)
+		printFaultPorts(sys)
+	case "flap":
+		if *flagSize == 8 {
+			// Match the incast-family default: 4 KiB puts congest the
+			// shared port so the flap's dip and recovery are visible.
+			opt.MsgSize = 4096
+		}
+		sys := mkSys()
+		defer sys.Shutdown()
+		// nodes-2 symmetric cross-leaf senders: the receiver's leaf-mate
+		// stays idle so pre/dip/post rates compare like for like.
+		res := perftest.FlapIncastPutBw(sys, nodes-2, opt)
+		fmt.Println(res)
+		printFaultPorts(sys)
+		printHotPorts(sys)
 	default:
 		fmt.Fprintf(os.Stderr, "bbperftest: unknown test %q\n", test)
 		os.Exit(2)
+	}
+}
+
+// printFaultPorts lists the per-link fault counters of the run.
+func printFaultPorts(sys *node.System) {
+	if sys.Faults == nil {
+		return
+	}
+	fmt.Println("fault injection:")
+	for _, l := range sys.Faults.Links() {
+		if l.Dropped == 0 && l.Corrupted == 0 && l.Flaps == 0 {
+			continue
+		}
+		fmt.Printf("  %-16s %6d dropped, %6d corrupted, %3d flaps\n",
+			l.Name, l.Dropped, l.Corrupted, l.Flaps)
 	}
 }
 

@@ -11,11 +11,13 @@ import (
 	"testing"
 
 	"breakband/internal/config"
+	"breakband/internal/faults"
 	"breakband/internal/measure"
 	"breakband/internal/node"
 	"breakband/internal/perftest"
 	"breakband/internal/stats"
 	"breakband/internal/topo"
+	"breakband/internal/units"
 )
 
 // TestGoldenKernelOutputs pins the simulation's outputs, bit for bit, at a
@@ -51,6 +53,14 @@ import (
 // non-posted reads keep FIFO) shifted the alltoall_* MaxSwitchQueue stat
 // by exactly one — every rate, message and stall number in those entries
 // is unchanged — and they were re-captured with it.
+//
+// The lossy_* and flap_* entries pin the fault-injection / transport-
+// reliability layer (PR 7): a Bernoulli-lossy two-node stream recovered by
+// PSN sequence checking, ACK timeouts and go-back-N replay, and a fat-tree
+// incast that loses a leaf uplink mid-run and fails over via ECMP. Every
+// pre-existing entry was verified byte-identical when they were added —
+// with no fault schedule the injector is never compiled, the NIC arms no
+// timers, and frames carry the same bytes as before.
 //
 // Refresh (only for intentional semantic changes, never to paper over a
 // kernel regression): GOLDEN_UPDATE=1 go test -run TestGoldenKernelOutputs .
@@ -178,6 +188,35 @@ func kernelFingerprint() map[string]string {
 		fp["oversub_"+nc.name] = fmt.Sprintf("persender=%s held=%d pend=%d naks=%d replays=%d stall=%s msgs=%d",
 			g(or.PerSenderMsgRate), or.MaxRxHeld, or.MaxUpPend, or.RNRNaks,
 			or.Retransmits, g(or.RetryStall.Ns()), or.Messages)
+
+		// Transport reliability under injected faults (PR 7): a lossy
+		// two-node stream (Bernoulli drop + corruption, PSN recovery) and
+		// the fat-tree flap incast (ECMP failover, timeout replay,
+		// restore). Faults-disabled entries above are untouched — with no
+		// schedule the injector is never compiled and the NIC never arms a
+		// timer.
+		lcfg := config.TX2CX4(noise, 7, true)
+		lcfg.Faults.DropRate = 0.02
+		lcfg.Faults.CorruptRate = 0.02
+		lsys := node.NewSystem(lcfg, 2)
+		lr := perftest.LossyPutBw(lsys, perftest.Options{Iters: 400, MsgSize: 32})
+		lsys.Shutdown()
+		fp["lossy_"+nc.name] = fmt.Sprintf("delivered=%d elapsed=%s drops=%d corrupt=%d timeouts=%d naks=%d replays=%d",
+			lr.Delivered, g(lr.Elapsed.Ns()), lr.WireDropped, lr.WireCorrupted,
+			lr.SenderStats.AckTimeouts, lr.SenderStats.SeqNaksRecv, lr.SenderStats.Retransmits)
+
+		fcfg := config.TX2CX4(noise, 7, true)
+		fcfg.Topology = topo.Spec{Kind: topo.FatTree, Radix: 4}
+		fcfg.Faults.Flaps = []faults.Flap{{
+			Port: "leaf1.up0",
+			Down: units.Microseconds(15), Up: units.Microseconds(25),
+		}}
+		fsys := node.NewSystem(fcfg, 6)
+		fr := perftest.FlapIncastPutBw(fsys, 4, perftest.Options{Iters: 150, Warmup: 1, MsgSize: 4096})
+		fsys.Shutdown()
+		fp["flap_"+nc.name] = fmt.Sprintf("elapsed=%s pre=%s dip=%s post=%s drops=%d timeouts=%d replays=%d",
+			g(fr.Elapsed.Ns()), g(fr.PreRate), g(fr.DipRate), g(fr.PostRate),
+			fr.WireDropped, fr.AckTimeouts, fr.Retransmits)
 
 		mk := func() *config.Config { return config.TX2CX4(noise, 7, true) }
 		res := measure.Run(mk, measure.Opts{Samples: 100, Windows: 4, Parallelism: 2})

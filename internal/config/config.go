@@ -16,6 +16,7 @@ package config
 
 import (
 	"breakband/internal/fabric"
+	"breakband/internal/faults"
 	"breakband/internal/nic"
 	"breakband/internal/pcie"
 	"breakband/internal/rng"
@@ -227,6 +228,14 @@ type Config struct {
 	// budget and starve sibling QPs. Zero disables the per-QP bound.
 	// node.NewSystem copies a nonzero value into NIC.RxBudgetPerQP.
 	NICRxBudgetPerQP int
+
+	// Faults is the deterministic fault-injection schedule (drop/corrupt
+	// rates, scripted drops, link flaps — see internal/faults). The zero
+	// value injects nothing and adds no cost anywhere. When any fault is
+	// enabled, node.NewSystem compiles the schedule against Seed, adopts
+	// it into the fabric, and — unless NIC.AckTimeout is already set —
+	// arms the NICs' ACK-timeout recovery with nic.DefaultAckTimeout.
+	Faults faults.Config
 
 	// MemBytes is each node's host memory size.
 	MemBytes uint64

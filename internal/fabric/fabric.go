@@ -54,6 +54,7 @@ import (
 	"fmt"
 
 	"breakband/internal/arena"
+	"breakband/internal/faults"
 	"breakband/internal/sim"
 	"breakband/internal/units"
 )
@@ -73,9 +74,15 @@ const (
 	// same AckFor shape, same credits and port queues — carrying the
 	// refused WQE's identity in the Ack field.
 	RnrNak
+	// SeqNak is the sequence-error negative acknowledgement: the target
+	// NIC saw a PSN gap (a data frame was lost on a faulty link) and asks
+	// the initiator to replay from the expected PSN, carried in the Ack
+	// field. Unlike an RNR NAK it implies no backoff — the receiver is
+	// ready, the wire lost a frame — so the initiator replays immediately.
+	SeqNak
 
 	// NumFrameKinds sizes per-kind counter arrays.
-	NumFrameKinds = 3
+	NumFrameKinds = 4
 )
 
 // String implements fmt.Stringer.
@@ -87,6 +94,8 @@ func (k FrameKind) String() string {
 		return "ack"
 	case RnrNak:
 		return "rnr-nak"
+	case SeqNak:
+		return "seq-nak"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -110,9 +119,18 @@ type TxOp struct {
 }
 
 // AckInfo identifies the WQE a TransportAck retires on the initiator.
+// ACKs are cumulative (IB coalesced-ACK semantics): Counter retires every
+// outstanding WQE up to and including it, so a lost ACK is absorbed by the
+// next one. For an RnrNak, Counter is the refused WQE; for a SeqNak it is
+// the target's expected PSN (everything before it is implicitly acked).
 type AckInfo struct {
 	QPN     uint32
 	Counter uint16
+	// Timer is the RNR NAK's advertised minimum retry delay — IB's 5-bit
+	// RNR timer field, carried as a duration. Zero means unadvertised: the
+	// initiator falls back to its configured RnrBackoff base. Only RnrNak
+	// frames set it.
+	Timer units.Time
 }
 
 // Frame is a link-layer unit travelling between NICs.
@@ -126,6 +144,16 @@ type Frame struct {
 	Ack AckInfo
 	// Bytes is the on-wire payload size used for serialization.
 	Bytes int
+	// PSN is the per-QP packet sequence number the sending NIC stamps on
+	// Data frames (the transport's BTH PSN; one packet per WQE in this
+	// model, so it equals Op.Counter). The target NIC sequence-checks it:
+	// duplicates are suppressed and re-acked, gaps answered with a SeqNak.
+	PSN uint16
+	// Corrupted marks a frame whose CRC a fault injector damaged in
+	// flight. The delivery layers discard it at the next store-and-forward
+	// check (switch ingress or destination port) — the NIC never sees it,
+	// and PSN/timeout recovery takes over.
+	Corrupted bool
 
 	// payload aliases the pooled slot's reusable buffer; fill through
 	// SetPayload.
@@ -178,6 +206,8 @@ func NewFrameArena() *arena.Arena[Frame] {
 			f.Op = TxOp{}
 			f.Ack = AckInfo{}
 			f.Bytes = 0
+			f.PSN = 0
+			f.Corrupted = false
 			f.HopRef = 0
 			f.RxPendWrites = 0
 			f.payload = f.payload[:0]
@@ -282,6 +312,11 @@ type Network struct {
 
 	frames *arena.Arena[Frame]
 
+	// flts holds per-egress fault state indexed by NIC id (nil entries —
+	// and a nil slice when no injector was adopted — cost one branch on
+	// the hot path and nothing else).
+	flts []*faults.Link
+
 	// Continuations, bound once so the per-frame path schedules events
 	// without allocating closures.
 	deliverFn func(any)
@@ -300,6 +335,12 @@ func New(k *sim.Kernel, cfg Config) *Network {
 	}
 	n.deliverFn = func(a any) {
 		f := a.(*Frame)
+		if f.Corrupted {
+			// The CRC check at the destination port discards the frame
+			// before the NIC sees it; transport recovery takes over.
+			f.Release()
+			return
+		}
 		n.Delivered[f.Kind]++
 		n.ports[f.Dst].RxFrame(f)
 	}
@@ -351,7 +392,68 @@ func (n *Network) Send(f *Frame) {
 	start := units.Max(n.k.Now(), n.busyUntil[f.Src])
 	txDone := start + n.cfg.SerTime(f.Bytes)
 	n.busyUntil[f.Src] = txDone
+	if n.flts != nil && f.Src < len(n.flts) {
+		if fl := n.flts[f.Src]; fl != nil {
+			switch fl.Decide() {
+			case faults.Drop:
+				// Lost on the wire: the egress still serialized it (the
+				// transmitter cannot know), but it never arrives.
+				f.Release()
+				return
+			case faults.Corrupt:
+				f.Corrupted = true
+			}
+		}
+	}
 	n.k.AtArg(txDone+n.cfg.FlightTime(), n.deliverFn, f)
+}
+
+// EgressName is the compiled port name of NIC id's injection egress — the
+// name fault schedules use, shared with internal/topo's host ports.
+func EgressName(id int) string { return fmt.Sprintf("host%d.egress", id) }
+
+// InjectFaults adopts a fault injector: every attached egress gets its
+// per-link Bernoulli state, and scripted drops resolve against the
+// "host<N>.egress" names. The two-endpoint network has no redundant paths
+// or switch ports, so flap schedules (and scripted names it cannot
+// resolve) panic with the port named — the same contract as the attach
+// panics. Call after every NIC has attached.
+func (n *Network) InjectFaults(inj *faults.Injector) {
+	for _, name := range inj.ScriptPorts() {
+		if !n.egressKnown(name) {
+			panic(fmt.Sprintf("fabric: fault injection on unknown port %q (two-endpoint network has only host<N>.egress ports)", name))
+		}
+	}
+	if len(inj.Config().Flaps) > 0 {
+		panic(fmt.Sprintf("fabric: link flap on %q: the two-endpoint network has no redundant paths to fail over", inj.Config().Flaps[0].Port))
+	}
+	n.flts = make([]*faults.Link, len(n.busyUntil))
+	for id := range n.ports {
+		name := EgressName(id)
+		if inj.Bernoulli() || len(inj.FlapsFor(name)) > 0 || scripted(inj, name) {
+			n.flts[id] = inj.Link(name)
+		}
+	}
+}
+
+// egressKnown reports whether name is an attached NIC's egress.
+func (n *Network) egressKnown(name string) bool {
+	for id := range n.ports {
+		if EgressName(id) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// scripted reports whether the injector's schedule names the port.
+func scripted(inj *faults.Injector, name string) bool {
+	for _, p := range inj.ScriptPorts() {
+		if p == name {
+			return true
+		}
+	}
+	return false
 }
 
 // AckFor allocates the transport-level acknowledgement frame answering the

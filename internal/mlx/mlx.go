@@ -187,6 +187,12 @@ const (
 	// (IBV_WC_WR_FLUSH_ERR) — e.g. software posted between retry
 	// exhaustion and polling the error CQE.
 	CQEFlushErr uint8 = 2
+	// CQERetryExc reports transport-retry exhaustion
+	// (IBV_WC_RETRY_EXC_ERR): the QP spent its retry budget on ACK
+	// timeouts and sequence-error NAKs without forward progress — the
+	// peer, or every path to it, is effectively unreachable. Distinct
+	// from CQERnrRetryExc, where the peer was reachable but never ready.
+	CQERetryExc uint8 = 3
 )
 
 // CQE is a decoded completion queue entry.

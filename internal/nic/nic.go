@@ -118,11 +118,37 @@ type Config struct {
 	// RnrBackoffMax caps the exponential backoff. Zero selects
 	// DefaultRnrBackoffMax.
 	RnrBackoffMax units.Time
+	// RnrNakTimer is the IB-style advertised retry delay the target stamps
+	// into the RNR NAKs it sends (AckInfo.Timer). Initiators receiving an
+	// advertised timer use it as their backoff base in place of their own
+	// RnrBackoff. Zero advertises nothing — initiators fall back to
+	// RnrBackoff, bit-identical with the pre-adaptive behaviour.
+	RnrNakTimer units.Time
+
+	// AckTimeout is the per-QP local ACK-timeout: how long the initiator
+	// waits without transport progress before assuming its unacked tail
+	// (or the ACKs for it) was lost and replaying it. Consecutive
+	// unanswered timeouts double the wait up to AckTimeoutMax, and each
+	// counts against RetryCnt. Zero disables the timer entirely — the
+	// lossless-fabric default: no timer events are ever scheduled and
+	// behaviour is identical to the pre-reliability NIC.
+	AckTimeout units.Time
+	// AckTimeoutMax caps the exponential timeout backoff. Zero selects
+	// 16 x AckTimeout.
+	AckTimeoutMax units.Time
+	// RetryCnt is how many transport retries (ACK timeouts plus sequence
+	// NAKs) a QP may spend on the same head WQE before the NIC gives up
+	// and fails the QP with an error CQE (mlx.CQERetryExc). Resets on any
+	// forward progress. Zero selects DefaultRetryCnt; negative retries
+	// forever.
+	RetryCnt int
 }
 
 // RNR retry defaults, applied by New when the Config fields are zero.
 const (
 	DefaultRnrRetryLimit = 7
+	// DefaultRetryCnt mirrors IB's retry_cnt=7.
+	DefaultRetryCnt = 7
 )
 
 // Default RNR backoff window: ~2 us base (the smallest nonzero IB RNR NAK
@@ -130,6 +156,11 @@ const (
 var (
 	DefaultRnrBackoff    = units.Microseconds(2)
 	DefaultRnrBackoffMax = units.Microseconds(32)
+	// DefaultAckTimeout is the ACK-timeout base a lossy-fabric run should
+	// start from (internal/node applies it when fault injection is on):
+	// comfortably above a healthy round trip, far below a human-visible
+	// stall. Note the zero Config value means disabled, not this default.
+	DefaultAckTimeout = units.Microseconds(100)
 )
 
 // DefaultConfig returns the calibration-neutral configuration.
@@ -206,6 +237,18 @@ type QP struct {
 	// for the current head WQE and resets on any ACK.
 	awaitingRetry bool
 	rnrRetries    int
+	// Initiator-side loss-recovery state (all dormant with AckTimeout
+	// zero): retries counts transport retries — ACK timeouts plus sequence
+	// NAKs — charged against Config.RetryCnt, resetting on progress.
+	// ackArmed marks the QP's single lazy timeout event as scheduled;
+	// ackWait is when the QP last saw transport progress (the timeout
+	// deadline is ackWait plus the current effective timeout); tmoStreak
+	// counts consecutive unanswered timeouts, doubling the wait.
+	retries   int
+	ackArmed  bool
+	ackEv     sim.EventRef
+	ackWait   units.Time
+	tmoStreak int
 	// Errored marks a QP that exhausted its RNR retry budget: the NIC
 	// wrote an error CQE retiring the outstanding tail and will transmit
 	// nothing more. WQEs posted afterwards are flushed with CQEFlushErr
@@ -222,12 +265,18 @@ type QP struct {
 	rxHeld    int
 	rxHeldMax int
 
-	// Target-side RNR state: after refusing a frame the QP is in recovery
-	// and discards every data frame until the refused counter (rxResume)
-	// is seen again — the trailing in-flight frames of a go-back-N replay
-	// window arrive out of protocol and are dropped exactly once each.
+	// Target-side recovery state: after refusing a frame (RNR) or seeing
+	// a sequence gap the QP discards every data frame until the expected
+	// PSN (rxResume, always the current rxPSN) is retransmitted — the
+	// trailing in-flight frames of a go-back-N replay window arrive out
+	// of protocol and are dropped exactly once each.
 	rxRecovery bool
 	rxResume   uint16
+	// rxPSN is the next expected packet sequence number: frames below it
+	// are duplicates (suppressed and cumulatively re-ACKed), frames above
+	// it are a gap (discarded, answered with one SeqNak per recovery
+	// round).
+	rxPSN uint16
 
 	// Counters for tests and reports.
 	TxFrames, RxFrames, CQEsWritten uint64
@@ -240,6 +289,16 @@ type QP struct {
 	RnrRetransmits uint64
 	RetryExhausted uint64
 	RnrStall       units.Time
+	// Loss-recovery statistics. SeqNaksSent/DupRxFrames count on the
+	// target side (sequence gaps NAKed; duplicate deliveries suppressed),
+	// SeqNaksRecv/AckTimeouts/Retransmits on the initiator side
+	// (Retransmits counts individual frame replays from every recovery
+	// path: RNR, sequence NAK and ACK timeout).
+	SeqNaksSent uint64
+	SeqNaksRecv uint64
+	DupRxFrames uint64
+	AckTimeouts uint64
+	Retransmits uint64
 }
 
 // dmaKind selects the typed continuation an MRd completion dispatches to.
@@ -305,12 +364,13 @@ type NIC struct {
 	upPendQ   frameFIFO
 
 	// Continuations, bound once so the optional processing delays
-	// (TxProcess/RxProcess/AckProcess) and the RNR backoff timer schedule
-	// without closures.
+	// (TxProcess/RxProcess/AckProcess) and the RNR backoff / ACK-timeout
+	// timers schedule without closures.
 	txFrameFn    func(any)
 	rxFrameFn    func(any)
 	sendAckFn    func(any)
 	retransmitFn func(any)
+	ackTimeoutFn func(any)
 }
 
 // frameFIFO is a growable ring of frame pointers (nil entries allowed). Its
@@ -366,6 +426,12 @@ func New(k *sim.Kernel, id int, mem *memsim.Memory, link *pcie.Link, net fabric.
 	if cfg.RnrBackoffMax == 0 {
 		cfg.RnrBackoffMax = DefaultRnrBackoffMax
 	}
+	if cfg.RetryCnt == 0 {
+		cfg.RetryCnt = DefaultRetryCnt
+	}
+	if cfg.AckTimeoutMax == 0 {
+		cfg.AckTimeoutMax = 16 * cfg.AckTimeout
+	}
 	n := &NIC{
 		k: k, id: id, mem: mem, link: link, net: net, cfg: cfg,
 		qps:     make(map[uint32]*QP),
@@ -376,6 +442,7 @@ func New(k *sim.Kernel, id int, mem *memsim.Memory, link *pcie.Link, net fabric.
 	n.rxFrameFn = func(a any) { n.handleFrame(a.(*fabric.Frame)) }
 	n.sendAckFn = func(a any) { n.net.SendAck(a.(*fabric.Frame)) }
 	n.retransmitFn = func(a any) { n.retransmit(a.(*QP)) }
+	n.ackTimeoutFn = func(a any) { n.ackTimeout(a.(*QP)) }
 	link.SetEndpointSide(n)
 	link.SetOnUpIssued(n.upIssued)
 	net.Attach(id, n)
@@ -407,6 +474,40 @@ func (q *QP) RxHeldMax() int { return q.rxHeldMax }
 
 // ID reports the NIC's fabric identity.
 func (n *NIC) ID() int { return n.id }
+
+// Stats aggregates transport counters across the NIC's QPs, the
+// fault/recovery observability surface (bbperftest reports it).
+type Stats struct {
+	TxFrames, RxFrames, CQEsWritten uint64
+	// Target side.
+	RNRNaksSent, SeqNaksSent, RxDiscarded, DupRxFrames uint64
+	// Initiator side.
+	RNRNaksRecv, SeqNaksRecv, AckTimeouts uint64
+	RnrRetransmits, Retransmits           uint64
+	RetryExhausted, Flushed               uint64
+}
+
+// Stats sums the per-QP transport counters.
+func (n *NIC) Stats() Stats {
+	var s Stats
+	for _, qp := range n.qps {
+		s.TxFrames += qp.TxFrames
+		s.RxFrames += qp.RxFrames
+		s.CQEsWritten += qp.CQEsWritten
+		s.RNRNaksSent += qp.RNRNaksSent
+		s.SeqNaksSent += qp.SeqNaksSent
+		s.RxDiscarded += qp.RxDiscarded
+		s.DupRxFrames += qp.DupRxFrames
+		s.RNRNaksRecv += qp.RNRNaksRecv
+		s.SeqNaksRecv += qp.SeqNaksRecv
+		s.AckTimeouts += qp.AckTimeouts
+		s.RnrRetransmits += qp.RnrRetransmits
+		s.Retransmits += qp.Retransmits
+		s.RetryExhausted += qp.RetryExhausted
+		s.Flushed += qp.Flushed
+	}
+	return s
+}
 
 // CreateQP allocates a queue pair with the given ring depths (powers of
 // two). Ring memory and the doorbell record are allocated from host memory;
@@ -667,6 +768,13 @@ func (n *NIC) execWQE(qp *QP, w *mlx.WQE) {
 	}
 	rec.payload = append(rec.payload[:0], w.Payload...)
 	qp.TxFrames++
+	if n.cfg.AckTimeout > 0 {
+		if qp.txN == 1 {
+			// First outstanding WQE: the progress clock starts now.
+			qp.ackWait = n.k.Now()
+		}
+		n.armAckTimer(qp)
+	}
 	if qp.awaitingRetry {
 		return
 	}
@@ -682,6 +790,7 @@ func (n *NIC) txRecFrame(qp *QP, rec *txRec) {
 	f.Dst = qp.remoteNIC
 	f.Bytes = len(rec.payload)
 	f.Op = rec.op
+	f.PSN = rec.counter
 	f.SetPayload(rec.payload)
 	if n.cfg.TxProcess > 0 {
 		n.k.AfterArg(n.cfg.TxProcess, n.txFrameFn, f)
@@ -717,6 +826,8 @@ func (n *NIC) handleFrame(f *fabric.Frame) {
 		n.rxAck(f.Ack)
 	case fabric.RnrNak:
 		n.rxNak(f.Ack)
+	case fabric.SeqNak:
+		n.rxSeqNak(f.Ack)
 	}
 	f.Release()
 }
@@ -726,20 +837,38 @@ func (n *NIC) handleFrame(f *fabric.Frame) {
 // everything the NIC forwards is copied into pooled TLPs before rxData
 // returns.
 //
-// Admission control runs first: a QP in RNR recovery discards every frame
-// until the refused counter returns (the go-back-N replay window), and a
-// frame that would exceed the rx pend budget — or a send with no receive
-// posted — is refused with an RNR NAK instead of being buffered.
+// Sequence checking runs first (IB RC BTH PSN semantics): a frame below
+// the expected PSN is a duplicate — already delivered, replayed because an
+// acknowledgement was lost — and is suppressed with a cumulative re-ACK; a
+// frame above it is a gap — something before it was lost — and is
+// discarded, answered with one sequence-error NAK per recovery round (the
+// trailing frames of a go-back-N replay window drop silently). Then
+// admission control: a frame that would exceed the rx pend budget — or a
+// send with no receive posted — is refused with an RNR NAK instead of
+// being buffered.
 func (n *NIC) rxData(f *fabric.Frame) (held bool) {
 	op := &f.Op
 	qp, ok := n.qps[op.DstQPN]
 	if !ok {
 		panic(fmt.Sprintf("nic%d: data frame for unknown qp %d", n.id, op.DstQPN))
 	}
-	if qp.rxRecovery && op.Counter != qp.rxResume {
-		// Trailing in-flight frames behind the refused one: the sender
-		// replays them after the NAKed counter, so drop silently.
+	if d := int16(f.PSN - qp.rxPSN); d != 0 {
+		if d < 0 {
+			// Duplicate: the payload already reached the application
+			// exactly once; only the acknowledgement needs repair.
+			qp.DupRxFrames++
+			n.emitAck(n.net.AckFor(f, fabric.AckInfo{QPN: op.SrcQPN, Counter: qp.rxPSN - 1}))
+			return false
+		}
 		qp.RxDiscarded++
+		if !qp.rxRecovery {
+			qp.SeqNaksSent++
+			qp.rxRecovery = true
+			qp.rxResume = qp.rxPSN
+			nak := n.net.AckFor(f, fabric.AckInfo{QPN: op.SrcQPN, Counter: qp.rxPSN})
+			nak.Kind = fabric.SeqNak
+			n.emitAck(nak)
+		}
 		return false
 	}
 	needsRecv := mlx.Opcode(op.Opcode) == mlx.OpSend
@@ -750,6 +879,7 @@ func (n *NIC) rxData(f *fabric.Frame) (held bool) {
 		return false
 	}
 	qp.rxRecovery = false
+	qp.rxPSN++
 	qp.RxFrames++
 	payload := f.Payload()
 	switch mlx.Opcode(op.Opcode) {
@@ -816,56 +946,87 @@ func (n *NIC) rxData(f *fabric.Frame) (held bool) {
 	}
 	// Transport-level acknowledgement back to the initiator (paper §2
 	// step 4).
-	ack := n.net.AckFor(f, fabric.AckInfo{QPN: op.SrcQPN, Counter: op.Counter})
+	n.emitAck(n.net.AckFor(f, fabric.AckInfo{QPN: op.SrcQPN, Counter: op.Counter}))
+	return held
+}
+
+// emitAck transmits a built acknowledgement (ACK or NAK) frame after the
+// configured AckProcess delay.
+func (n *NIC) emitAck(ack *fabric.Frame) {
 	if n.cfg.AckProcess > 0 {
 		n.k.AfterArg(n.cfg.AckProcess, n.sendAckFn, ack)
-		return held
+		return
 	}
 	n.net.SendAck(ack)
-	return held
 }
 
 // refuse answers a data frame the NIC cannot buffer with an RNR NAK and
 // puts the target QP into recovery: every later frame is discarded until
-// the refused counter is retransmitted.
+// the refused counter is retransmitted. The NAK advertises
+// Config.RnrNakTimer (when set) as the initiator's backoff base.
 func (n *NIC) refuse(qp *QP, f *fabric.Frame) {
 	qp.RNRNaksSent++
 	qp.rxRecovery = true
 	qp.rxResume = f.Op.Counter
-	nak := n.net.AckFor(f, fabric.AckInfo{QPN: f.Op.SrcQPN, Counter: f.Op.Counter})
+	nak := n.net.AckFor(f, fabric.AckInfo{QPN: f.Op.SrcQPN, Counter: f.Op.Counter, Timer: n.cfg.RnrNakTimer})
 	nak.Kind = fabric.RnrNak
-	if n.cfg.AckProcess > 0 {
-		n.k.AfterArg(n.cfg.AckProcess, n.sendAckFn, nak)
-		return
-	}
-	n.net.SendAck(nak)
+	n.emitAck(nak)
 }
 
-// rxAck handles the transport ACK on the initiator NIC: it retires the
-// oldest outstanding WQE and, if that WQE was signaled, DMA-writes the CQE
-// (paper §2 step 5). Unsignaled WQEs complete silently; the next signaled
-// CQE's counter retires them at the software level. Any forward progress
-// resets the QP's RNR retry counter (the retry budget is per head WQE, as
-// on real RC transports).
+// rxAck handles a transport ACK on the initiator NIC. ACKs are cumulative
+// (IB coalesced-ACK semantics): the carried counter retires every
+// outstanding WQE up to and including it, DMA-writing a CQE for each
+// signaled one (paper §2 step 5); unsignaled WQEs complete silently and
+// the next signaled CQE's counter retires them at the software level. On a
+// lossless fabric each ACK retires exactly the head record, byte-identical
+// with the old one-ACK-one-WQE path; under loss a cumulative re-ACK after
+// a timeout replay retires the whole duplicated stretch at once, and an
+// ACK for an already-retired counter (a duplicated acknowledgement) is
+// stale and retires nothing. Any forward progress resets the QP's retry
+// accounting — the retry budgets are per head WQE, as on real RC
+// transports.
 func (n *NIC) rxAck(c fabric.AckInfo) {
 	qp, ok := n.qps[c.QPN]
 	if !ok {
 		panic(fmt.Sprintf("nic%d: ACK for unknown qp %d", n.id, c.QPN))
 	}
-	if qp.txN == 0 {
-		panic(fmt.Sprintf("nic%d: ACK for qp %d with nothing outstanding", n.id, c.QPN))
-	}
-	rec := &qp.txRing[qp.txHead]
-	if rec.counter != c.Counter {
-		panic(fmt.Sprintf("nic%d: out-of-order ACK: got %d want %d", n.id, c.Counter, rec.counter))
-	}
-	qp.txHead = (qp.txHead + 1) % len(qp.txRing)
-	qp.txN--
-	qp.rnrRetries = 0
-	if !rec.signaled {
+	if qp.Errored {
 		return
 	}
-	n.writeSendCQE(qp, rec.counter, mlx.CQEOK)
+	if n.retireThrough(qp, c.Counter) > 0 {
+		qp.rnrRetries = 0
+		qp.retries = 0
+		qp.tmoStreak = 0
+		qp.ackWait = n.k.Now()
+	}
+}
+
+// retireThrough retires every outstanding record whose counter is at or
+// before the acknowledged counter (wraparound-safe), writing OK CQEs for
+// the signaled ones, and reports how many records it retired.
+func (n *NIC) retireThrough(qp *QP, counter uint16) int {
+	retired := 0
+	for qp.txN > 0 {
+		rec := &qp.txRing[qp.txHead]
+		if int16(counter-rec.counter) < 0 {
+			break
+		}
+		cnt, signaled := rec.counter, rec.signaled
+		qp.txHead = (qp.txHead + 1) % len(qp.txRing)
+		qp.txN--
+		retired++
+		if signaled {
+			n.writeSendCQE(qp, cnt, mlx.CQEOK)
+		}
+	}
+	if qp.ackArmed && qp.txN == 0 {
+		// The whole tail is acknowledged: nothing is left for the timer
+		// to watch, so cancel it rather than let a dead no-op event pin
+		// the simulation end-time a timeout into the future.
+		qp.ackArmed = false
+		qp.ackEv.Cancel()
+	}
+	return retired
 }
 
 // writeSendCQE DMA-writes a request completion with the given status to the
@@ -891,14 +1052,18 @@ func (n *NIC) writeSendCQE(qp *QP, counter uint16, status uint8) {
 	n.sendUp(t, nil)
 }
 
-// rxNak handles an RNR NAK on the initiator NIC. The refused WQE is always
-// the head of the outstanding ring: the transport is strictly ordered, so
-// every earlier WQE's ACK travelled the same path ahead of the NAK, and the
-// target NAKs at most once per replay round. The QP backs off exponentially
-// (base Config.RnrBackoff, doubling per consecutive NAK, capped at
-// Config.RnrBackoffMax) before replaying the whole outstanding tail; when
-// consecutive NAKs for the same WQE exceed Config.RnrRetryLimit the QP
-// fails with an error CQE instead.
+// rxNak handles an RNR NAK on the initiator NIC. On a lossless fabric the
+// refused WQE is always the head of the outstanding ring (the transport is
+// strictly ordered and the target NAKs at most once per replay round); a
+// NAK implicitly acknowledges everything before the refused counter, and
+// one whose counter is no longer the head — its replay round was
+// superseded while the NAK travelled — is stale and ignored. The QP backs
+// off exponentially before replaying the whole outstanding tail: the base
+// is the NAK's advertised IB-style timer field when the target set one,
+// else Config.RnrBackoff (bit-identical with the pre-adaptive default),
+// doubling per consecutive NAK up to Config.RnrBackoffMax (but never below
+// the advertised base). When consecutive NAKs for the same WQE exceed
+// Config.RnrRetryLimit the QP fails with an error CQE instead.
 func (n *NIC) rxNak(c fabric.AckInfo) {
 	qp, ok := n.qps[c.QPN]
 	if !ok {
@@ -907,32 +1072,71 @@ func (n *NIC) rxNak(c fabric.AckInfo) {
 	if qp.Errored {
 		return
 	}
-	if qp.txN == 0 {
-		panic(fmt.Sprintf("nic%d: RNR NAK for qp %d with nothing outstanding", n.id, c.QPN))
-	}
-	if head := qp.txRing[qp.txHead].counter; head != c.Counter {
-		panic(fmt.Sprintf("nic%d: RNR NAK for counter %d, head is %d", n.id, c.Counter, head))
+	n.retireThrough(qp, c.Counter-1)
+	if qp.txN == 0 || qp.txRing[qp.txHead].counter != c.Counter {
+		return
 	}
 	qp.RNRNaksRecv++
 	qp.rnrRetries++
 	if n.cfg.RnrRetryLimit >= 0 && qp.rnrRetries > n.cfg.RnrRetryLimit {
-		n.failQP(qp)
+		n.failQP(qp, mlx.CQERnrRetryExc)
 		return
 	}
 	shift := qp.rnrRetries - 1
 	if shift > 16 {
 		shift = 16
 	}
-	backoff := n.cfg.RnrBackoff << uint(shift)
+	base := n.cfg.RnrBackoff
+	if c.Timer > 0 {
+		base = c.Timer
+	}
+	backoff := base << uint(shift)
 	if backoff > n.cfg.RnrBackoffMax {
 		backoff = n.cfg.RnrBackoffMax
+	}
+	if backoff < base {
+		backoff = base
 	}
 	qp.awaitingRetry = true
 	qp.RnrStall += backoff
 	n.k.AfterArg(backoff, n.retransmitFn, qp)
 }
 
-// retransmit is the backoff-timer continuation: it replays every
+// rxSeqNak handles a sequence-error NAK on the initiator NIC: the target
+// saw a gap at the carried counter, so everything before it arrived (the
+// NAK acknowledges cumulatively) and the frame carrying that counter was
+// lost on the wire. Unlike RNR there is no receiver-not-ready condition to
+// wait out — the tail replays immediately. A SeqNak whose counter is not
+// the (post-retirement) head is stale: a newer replay round already
+// covered the loss. Each accepted SeqNak counts against Config.RetryCnt.
+func (n *NIC) rxSeqNak(c fabric.AckInfo) {
+	qp, ok := n.qps[c.QPN]
+	if !ok {
+		panic(fmt.Sprintf("nic%d: sequence NAK for unknown qp %d", n.id, c.QPN))
+	}
+	if qp.Errored {
+		return
+	}
+	n.retireThrough(qp, c.Counter-1)
+	if qp.txN == 0 || qp.txRing[qp.txHead].counter != c.Counter {
+		return
+	}
+	qp.SeqNaksRecv++
+	qp.retries++
+	if n.cfg.RetryCnt >= 0 && qp.retries > n.cfg.RetryCnt {
+		n.failQP(qp, mlx.CQERetryExc)
+		return
+	}
+	if qp.awaitingRetry {
+		// An RNR backoff already owns the tail; its replay covers this
+		// loss too.
+		return
+	}
+	qp.ackWait = n.k.Now()
+	n.replayTail(qp)
+}
+
+// retransmit is the RNR backoff-timer continuation: it replays every
 // outstanding WQE from the NAKed head onwards (go-back-N — the target
 // discarded everything behind the refused frame), in order, through the
 // normal transmission path.
@@ -942,20 +1146,93 @@ func (n *NIC) retransmit(qp *QP) {
 	}
 	qp.awaitingRetry = false
 	qp.RnrRetransmits++
+	qp.ackWait = n.k.Now()
+	n.replayTail(qp)
+}
+
+// replayTail replays every outstanding ring record in order, the shared
+// go-back-N tail of all three recovery paths (RNR backoff expiry, sequence
+// NAK, ACK timeout).
+func (n *NIC) replayTail(qp *QP) {
 	for i := 0; i < qp.txN; i++ {
+		qp.Retransmits++
 		n.txRecFrame(qp, &qp.txRing[(qp.txHead+i)%len(qp.txRing)])
 	}
 }
 
-// failQP gives up on a QP whose RNR retries are exhausted: one error CQE
-// (status mlx.CQERnrRetryExc) carrying the newest outstanding counter
+// armAckTimer lazily schedules the QP's single ACK-timeout event. The
+// timer is deliberately approximate: it fires a full timeout after arming
+// and re-arms for the remainder if the QP made progress meanwhile, so the
+// steady-state cost is one pooled event per timeout window — not one per
+// WQE — and zero with AckTimeout disabled.
+func (n *NIC) armAckTimer(qp *QP) {
+	if n.cfg.AckTimeout == 0 || qp.ackArmed || qp.Errored {
+		return
+	}
+	qp.ackArmed = true
+	qp.ackEv = n.k.AfterArg(n.cfg.AckTimeout, n.ackTimeoutFn, qp)
+}
+
+// effTimeout is the QP's current effective ACK timeout: the configured
+// base doubling per consecutive unanswered timeout, capped at
+// AckTimeoutMax.
+func (n *NIC) effTimeout(qp *QP) units.Time {
+	eff := n.cfg.AckTimeout << uint(qp.tmoStreak)
+	if eff > n.cfg.AckTimeoutMax || eff <= 0 {
+		eff = n.cfg.AckTimeoutMax
+	}
+	return eff
+}
+
+// ackTimeout is the ACK-timeout continuation. The QP timed out when its
+// last transport progress (ackWait) is at least one effective timeout ago
+// with WQEs still outstanding: the unacked tail — or every acknowledgement
+// for it — was lost, so replay the tail (go-back-N; the target's PSN check
+// suppresses any duplicates this creates) and charge a retry. Exhausting
+// Config.RetryCnt fails the QP with mlx.CQERetryExc. A QP sitting in an
+// RNR backoff is not timed out — the backoff owns the tail — but the timer
+// keeps watching in case the NAKed replay itself is lost.
+func (n *NIC) ackTimeout(qp *QP) {
+	qp.ackArmed = false
+	if qp.Errored || qp.txN == 0 {
+		return
+	}
+	eff := n.effTimeout(qp)
+	if deadline := qp.ackWait + eff; n.k.Now() < deadline {
+		qp.ackArmed = true
+		qp.ackEv = n.k.AtArg(deadline, n.ackTimeoutFn, qp)
+		return
+	}
+	if qp.awaitingRetry {
+		qp.ackArmed = true
+		qp.ackEv = n.k.AfterArg(eff, n.ackTimeoutFn, qp)
+		return
+	}
+	qp.AckTimeouts++
+	qp.retries++
+	if n.cfg.RetryCnt >= 0 && qp.retries > n.cfg.RetryCnt {
+		n.failQP(qp, mlx.CQERetryExc)
+		return
+	}
+	if qp.tmoStreak < 16 {
+		qp.tmoStreak++
+	}
+	qp.ackWait = n.k.Now()
+	n.replayTail(qp)
+	qp.ackArmed = true
+	qp.ackEv = n.k.AfterArg(n.effTimeout(qp), n.ackTimeoutFn, qp)
+}
+
+// failQP gives up on a QP whose retry budget is exhausted: one error CQE
+// (status mlx.CQERnrRetryExc for RNR exhaustion, mlx.CQERetryExc for
+// transport-retry exhaustion) carrying the newest outstanding counter
 // retires the entire outstanding tail as failed — errors always complete,
 // signaled or not — and the QP stops transmitting. WQEs posted afterwards
 // are flushed with CQEFlushErr completions (see execWQE).
-func (n *NIC) failQP(qp *QP) {
+func (n *NIC) failQP(qp *QP, status uint8) {
 	qp.Errored = true
 	qp.RetryExhausted++
 	last := qp.txRing[(qp.txHead+qp.txN-1)%len(qp.txRing)]
 	qp.txN = 0
-	n.writeSendCQE(qp, last.counter, mlx.CQERnrRetryExc)
+	n.writeSendCQE(qp, last.counter, status)
 }

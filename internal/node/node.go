@@ -13,6 +13,7 @@ import (
 	"breakband/internal/analyzer"
 	"breakband/internal/config"
 	"breakband/internal/fabric"
+	"breakband/internal/faults"
 	"breakband/internal/memsim"
 	"breakband/internal/nic"
 	"breakband/internal/pcie"
@@ -46,6 +47,9 @@ type System struct {
 	// *topo.Fabric for port/queue statistics).
 	Net   fabric.Deliverer
 	Nodes []*Node
+	// Faults is the compiled fault injector, nil unless cfg.Faults enables
+	// anything (per-link counters for reports live here).
+	Faults *faults.Injector
 }
 
 // NewSystem builds n nodes per cfg, wired through the topology
@@ -58,6 +62,14 @@ func NewSystem(cfg *config.Config, n int) *System {
 	}
 	k := sim.NewKernel()
 	sys := &System{K: k, Cfg: cfg, Net: topo.NewFabric(k, cfg.Fabric, cfg.Topology, n)}
+	if cfg.Faults.Enabled() {
+		inj, err := faults.NewInjector(cfg.Seed, cfg.Faults)
+		if err != nil {
+			panic(fmt.Sprintf("node: %v", err))
+		}
+		sys.Faults = inj
+		sys.Topo().InjectFaults(inj)
+	}
 	for i := 0; i < n; i++ {
 		sys.Nodes = append(sys.Nodes, newNode(k, sys.Net, cfg, i))
 	}
@@ -79,6 +91,13 @@ func newNode(k *sim.Kernel, net fabric.Deliverer, cfg *config.Config, id int) *N
 	}
 	if cfg.NICRxBudgetPerQP > 0 {
 		nc.RxBudgetPerQP = cfg.NICRxBudgetPerQP
+	}
+	if cfg.Faults.Enabled() && nc.AckTimeout == 0 {
+		// A lossy fabric needs the timeout recovery armed; a config that
+		// sets NIC.AckTimeout explicitly keeps its value. Without faults
+		// the timer stays disabled and the NIC is byte-identical with the
+		// pre-reliability model.
+		nc.AckTimeout = nic.DefaultAckTimeout
 	}
 	dev := nic.New(k, id, mem, link, net, nc)
 	tap := analyzer.New(fmt.Sprintf("node%d", id))

@@ -29,6 +29,10 @@ type putLoopFrame struct {
 	ep   *uct.Ep
 	opt  *Options
 	st   *winShared
+	// marks, when set, collects each measured iteration's completion
+	// time — the flap-incast scenario splits the run into pre/dip/post
+	// windows from them. Nil on the hot scenarios.
+	marks *[]units.Time
 
 	postF postSpinFrame
 	pc    int
@@ -83,6 +87,9 @@ func (f *putLoopFrame) Step(t *sim.Task) {
 		case 5:
 			t.Advance(cfg.SW.MeasUpdate.Sample(f.rand))
 			t.Advance(cfg.SW.BenchLoop.Sample(f.rand))
+			if f.marks != nil {
+				*f.marks = append(*f.marks, t.Now())
+			}
 			f.i++
 			f.pc = 3
 		case 6: // drain the in-flight tail outside the window

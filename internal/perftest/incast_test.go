@@ -4,8 +4,10 @@ import (
 	"testing"
 
 	"breakband/internal/config"
+	"breakband/internal/faults"
 	"breakband/internal/node"
 	"breakband/internal/topo"
+	"breakband/internal/units"
 )
 
 // incastConfig builds a single-switch N-node NoiseOff configuration.
@@ -199,6 +201,30 @@ func TestScenarioPoolsDrained(t *testing.T) {
 		sys := node.NewSystem(oversubConfig(1), 4)
 		defer sys.Shutdown()
 		OversubscribedPutBw(sys, 3, Options{Iters: 40, Warmup: 5, MsgSize: 4096})
+		check(t, sys)
+	})
+	t.Run("lossy", func(t *testing.T) {
+		// Dropped frames, corrupt-discarded frames and retransmissions
+		// must all hand their buffers back.
+		cfg := config.TX2CX4(config.NoiseOff, 1, true)
+		cfg.Faults.DropRate = 0.02
+		cfg.Faults.CorruptRate = 0.02
+		sys := node.NewSystem(cfg, 2)
+		defer sys.Shutdown()
+		LossyPutBw(sys, Options{Iters: 300, MsgSize: 64})
+		check(t, sys)
+	})
+	t.Run("flap", func(t *testing.T) {
+		// Frames drained from a dead port's queue release too.
+		cfg := config.TX2CX4(config.NoiseOff, 1, true)
+		cfg.Topology = topo.Spec{Kind: topo.FatTree, Radix: 4}
+		cfg.Faults.Flaps = []faults.Flap{{
+			Port: "leaf1.up0",
+			Down: units.Microseconds(50), Up: units.Microseconds(150),
+		}}
+		sys := node.NewSystem(cfg, 6)
+		defer sys.Shutdown()
+		FlapIncastPutBw(sys, 4, Options{Iters: 150, Warmup: 1, MsgSize: 4096})
 		check(t, sys)
 	})
 	t.Run("alltoall", func(t *testing.T) {

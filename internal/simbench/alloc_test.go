@@ -212,3 +212,35 @@ func TestWindowedDevicePathAllocBudget(t *testing.T) {
 	}
 	t.Logf("windowed device path: %.3f allocs/message (budget %.0f)", perMsg, deviceAllocBudget)
 }
+
+// TestLossyRetransmitAllocBudget applies the device budget to the lossy
+// transport path: Bernoulli drops and corruptions force ACK timeouts,
+// sequence NAKs and go-back-N replays, all of which must run on pooled
+// frames and the per-QP recycled timer event — loss recovery is steady
+// state for this subsystem, not an exceptional slow path.
+func TestLossyRetransmitAllocBudget(t *testing.T) {
+	run := func(iters int) float64 {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		cfg := config.TX2CX4(config.NoiseOff, 1, true)
+		cfg.Faults.DropRate = 5e-3
+		cfg.Faults.CorruptRate = 5e-3
+		sys := node.NewSystem(cfg, 2)
+		res := perftest.LossyPutBw(sys, perftest.Options{Iters: iters, MsgSize: 32})
+		if res.Failed || res.SenderStats.Retransmits == 0 {
+			t.Fatalf("scenario exercised no loss recovery: %v", res)
+		}
+		sys.Shutdown()
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs - m0.Mallocs)
+	}
+	const short, long = 512, 4096
+	a1 := run(short)
+	a2 := run(long)
+	perMsg := (a2 - a1) / float64(long-short)
+	if perMsg > deviceAllocBudget {
+		t.Errorf("lossy retransmit path allocates %.2f per message, budget %.0f", perMsg, deviceAllocBudget)
+	}
+	t.Logf("lossy retransmit path: %.3f allocs/message (budget %.0f)", perMsg, deviceAllocBudget)
+}

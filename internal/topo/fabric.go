@@ -6,6 +6,7 @@ import (
 
 	"breakband/internal/arena"
 	"breakband/internal/fabric"
+	"breakband/internal/faults"
 	"breakband/internal/sim"
 	"breakband/internal/units"
 )
@@ -35,12 +36,22 @@ type Fabric struct {
 	ideal     bool
 	flight    units.Time
 	busyUntil []units.Time
+	// flts is the ideal tier's per-egress fault state, indexed by host id
+	// (nil without an injector; the engine tier hangs fault state off its
+	// output ports instead).
+	flts []*faults.Link
 
 	// Engine tier.
 	hosts    []outPort // per-host injection egress, indexed by host id
 	switches []*Switch
 	links    []*link
 	hopProp  units.Time // per-cable flight time (WireProp / 2)
+
+	// Fat-tree shape, kept for ECMP failover rerouting (zero/nil on other
+	// topologies).
+	ftHpl    int
+	ftSpines int
+	ftLeaves []*Switch
 
 	// OnDepth, when set, observes every output-port queue depth change
 	// (port is the port's compiled name, e.g. "sw0.port3"). Leave nil on
@@ -134,14 +145,30 @@ type outPort struct {
 	busy     bool
 	txDoneFn func()
 
+	// flt is the port's fault-injection state (nil when no injector was
+	// adopted or the schedule never touches this port: one pointer test on
+	// the transmit path). down marks a flapped-dead link: the port
+	// transmits nothing, queued and arriving frames are dropped, and —
+	// on fat-tree up-links — ECMP routes divert around it.
+	flt  *faults.Link
+	down bool
+
 	forwarded    uint64
 	maxQueue     int
 	creditStalls uint64
 }
 
 // push enqueues e, tracks queue-depth stats, and starts transmission if
-// the port is idle.
+// the port is idle. Pushing at a dead (flapped-down) port drops the frame
+// on the spot.
 func (p *outPort) push(e qent) {
+	if p.down {
+		if p.flt != nil {
+			p.flt.CountDrop()
+		}
+		p.drop(e)
+		return
+	}
 	p.q.push(e)
 	if p.q.n > p.maxQueue {
 		p.maxQueue = p.q.n
@@ -154,9 +181,10 @@ func (p *outPort) push(e qent) {
 
 // kick starts the next queued transmission if the port is idle and the
 // downstream link has a buffer credit: consume the credit, put the frame
-// on the wire for its serialization time.
+// on the wire for its serialization time. Dead ports transmit nothing
+// (their credits sit quarantined until the link comes back).
 func (p *outPort) kick() {
-	if p.busy || p.q.n == 0 {
+	if p.busy || p.down || p.q.n == 0 {
 		return
 	}
 	if p.link.credits == 0 {
@@ -173,21 +201,92 @@ func (p *outPort) kick() {
 	p.fab.k.At(p.fab.k.Now()+p.fab.cfg.SerTime(e.f.Bytes), p.txDoneFn)
 }
 
+// drop loses e at this port: the inbound buffer credit it held returns
+// (so upstream ports are not wedged on a dead path) and the frame is
+// released — pooled frames go back to the arena, so pool-drain checks
+// hold under faults.
+func (p *outPort) drop(e qent) {
+	if e.in != nil {
+		e.in.credits++
+		e.in.up.kick()
+	}
+	e.f.Release()
+}
+
 // txDone fires when the tail of cur leaves the port: the frame flies the
 // cable (plus switch forwarding when the downstream is a switch), the
 // inbound credit the frame was holding returns (possibly restarting a
-// stalled upstream port), and the next queued frame starts.
+// stalled upstream port), and the next queued frame starts. The fault
+// decision sits here — after serialization, which a lost frame still
+// consumes — so a drop vanishes from the wire (its downstream buffer
+// credit returns at once) and a corruption flies on to die at the next
+// store-and-forward CRC check.
 func (p *outPort) txDone() {
 	e := p.cur
 	p.cur = qent{}
 	p.busy = false
 	p.forwarded++
 	lk := p.link
+	if p.down {
+		// The link died mid-transmission: the frame is lost.
+		if p.flt != nil {
+			p.flt.CountDrop()
+		}
+		lk.credits++
+		p.drop(e)
+		return
+	}
+	if p.flt != nil {
+		switch p.flt.Decide() {
+		case faults.Drop:
+			lk.credits++
+			p.drop(e)
+			p.kick()
+			return
+		case faults.Corrupt:
+			e.f.Corrupted = true
+		}
+	}
 	p.fab.k.AtArg(p.fab.k.Now()+lk.prop, lk.arriveFn, e.f)
 	if e.in != nil {
 		e.in.credits++
 		e.in.up.kick()
 	}
+	p.kick()
+}
+
+// setDown flaps the port's link dead: queued frames drop (their inbound
+// credits return), nothing further transmits, and — where the topology
+// has redundant paths — routes divert around the port.
+func (p *outPort) setDown() {
+	if p.down {
+		return
+	}
+	p.down = true
+	if p.flt != nil {
+		p.flt.CountFlap()
+	}
+	for p.q.n > 0 {
+		e := p.q.pop()
+		if p.flt != nil {
+			p.flt.CountDrop()
+		}
+		p.drop(e)
+	}
+	if p.fab.OnDepth != nil {
+		p.fab.OnDepth(p.fab.k.Now(), p.name, 0)
+	}
+	p.fab.rehashRoutes()
+}
+
+// setUp restores a flapped port: routes rehash back to the default ECMP
+// spread and any traffic that arrived meanwhile starts draining.
+func (p *outPort) setUp() {
+	if !p.down {
+		return
+	}
+	p.down = false
+	p.fab.rehashRoutes()
 	p.kick()
 }
 
@@ -207,6 +306,11 @@ func NewFabric(k *sim.Kernel, cfg fabric.Config, spec Spec, hosts int) *Fabric {
 	}
 	t.deliverFn = func(a any) {
 		f := a.(*fabric.Frame)
+		if f.Corrupted {
+			// Destination CRC check on the ideal tier.
+			f.Release()
+			return
+		}
 		t.Delivered[f.Kind]++
 		t.ports[f.Dst].RxFrame(f)
 	}
@@ -265,8 +369,16 @@ func (t *Fabric) wire(p *outPort, name string, sw *Switch, dst int) {
 	p.txDoneFn = p.txDone
 }
 
-// arriveSwitch queues a delivered frame at its routed output port.
+// arriveSwitch queues a delivered frame at its routed output port. The
+// switch is store-and-forward: a frame that arrived with a bad CRC is
+// discarded here, its buffer credit returning immediately.
 func (t *Fabric) arriveSwitch(lk *link, f *fabric.Frame) {
+	if f.Corrupted {
+		lk.credits++
+		f.Release()
+		lk.up.kick()
+		return
+	}
 	sw := lk.dstSw
 	sw.outs[sw.route[f.Dst]].push(qent{f: f, in: lk})
 }
@@ -278,6 +390,13 @@ func (t *Fabric) arriveSwitch(lk *link, f *fabric.Frame) {
 // Frames constructed outside the pool have no release hook; their credit
 // returns at delivery.
 func (t *Fabric) arriveHost(lk *link, f *fabric.Frame) {
+	if f.Corrupted {
+		// Destination-port CRC check: the NIC never sees the frame.
+		lk.credits++
+		f.Release()
+		lk.up.kick()
+		return
+	}
 	if pooled := f.Ref().Get() == f; pooled {
 		f.HopRef = lk.id + 1
 		t.Delivered[f.Kind]++
@@ -353,6 +472,7 @@ func (t *Fabric) buildFatTree(hosts, radix int) {
 	for _, sw := range spineSw {
 		t.switches = append(t.switches, sw)
 	}
+	t.ftHpl, t.ftSpines, t.ftLeaves = hpl, spines, leafSw
 
 	t.hosts = make([]outPort, hosts)
 	for h := 0; h < hosts; h++ {
@@ -378,6 +498,108 @@ func (t *Fabric) buildFatTree(hosts, radix int) {
 		}
 		for _, ssw := range spineSw {
 			ssw.route[h] = int32(hl)
+		}
+	}
+}
+
+// rehashRoutes recomputes fat-tree cross-leaf routing around dead paths:
+// each (leaf, destination) pair keeps its default ECMP spine (dst mod
+// spines) while both hops of that path are live, and otherwise diverts to
+// the first live spine cyclically after it. With every spine path dead the
+// default stands and frames drop at the dead port. Restoring a link
+// rehashes back, so recovered fabrics route exactly as never-faulted ones.
+// Topologies without redundant paths never reroute.
+func (t *Fabric) rehashRoutes() {
+	if len(t.ftLeaves) == 0 {
+		return
+	}
+	spines := t.ftSpines
+	spineSw := t.switches[len(t.ftLeaves):]
+	for l, lsw := range t.ftLeaves {
+		downN := len(lsw.outs) - spines
+		for h := 0; h < t.spec.hosts; h++ {
+			hl := h / t.ftHpl
+			if hl == l {
+				continue
+			}
+			base := h % spines
+			pick := base
+			for i := 0; i < spines; i++ {
+				s := (base + i) % spines
+				if !lsw.outs[downN+s].down && !spineSw[s].outs[hl].down {
+					pick = s
+					break
+				}
+			}
+			lsw.route[h] = int32(downN + pick)
+		}
+	}
+}
+
+// InjectFaults adopts a compiled fault schedule. Call after NewFabric and
+// before the run starts. Scripted drops and flaps naming a port the
+// compiled topology does not have panic with the port named — the same
+// contract as the attach panics; a fault schedule that silently never
+// fires is a test that silently passes. The ideal two-endpoint tier has
+// only the host egresses and no redundant paths, so flaps are rejected
+// there.
+func (t *Fabric) InjectFaults(inj *faults.Injector) {
+	if t.ideal {
+		t.injectIdeal(inj)
+		return
+	}
+	byName := make(map[string]*outPort)
+	for i := range t.hosts {
+		byName[t.hosts[i].name] = &t.hosts[i]
+	}
+	for _, sw := range t.switches {
+		for i := range sw.outs {
+			byName[sw.outs[i].name] = &sw.outs[i]
+		}
+	}
+	for _, name := range inj.ScriptPorts() {
+		if _, ok := byName[name]; !ok {
+			panic(fmt.Sprintf("topo: %s: fault injection on unknown port %q (no such compiled port)", t.spec, name))
+		}
+	}
+	if inj.Bernoulli() {
+		for _, p := range byName {
+			p.flt = inj.Link(p.name)
+		}
+	}
+	for _, name := range inj.ScriptPorts() {
+		p := byName[name]
+		p.flt = inj.Link(name)
+		for _, fl := range inj.FlapsFor(name) {
+			t.k.At(fl.Down, p.setDown)
+			t.k.At(fl.Up, p.setUp)
+		}
+	}
+}
+
+// injectIdeal is InjectFaults for the calibrated two-endpoint tier, which
+// mirrors fabric.Network: per-egress fault state consulted at Send time.
+func (t *Fabric) injectIdeal(inj *faults.Injector) {
+	if len(inj.Config().Flaps) > 0 {
+		panic(fmt.Sprintf("topo: %s: link flaps need a switched topology (no redundant paths to fail over)", t.spec))
+	}
+	known := make(map[string]bool)
+	for id := range t.busyUntil {
+		known[fabric.EgressName(id)] = true
+	}
+	for _, name := range inj.ScriptPorts() {
+		if !known[name] {
+			panic(fmt.Sprintf("topo: %s: fault injection on unknown port %q (ideal tier has only host egresses)", t.spec, name))
+		}
+	}
+	t.flts = make([]*faults.Link, len(t.busyUntil))
+	scripted := make(map[string]bool)
+	for _, name := range inj.ScriptPorts() {
+		scripted[name] = true
+	}
+	for id := range t.flts {
+		if name := fabric.EgressName(id); inj.Bernoulli() || scripted[name] {
+			t.flts[id] = inj.Link(name)
 		}
 	}
 }
@@ -443,6 +665,18 @@ func (t *Fabric) Send(f *fabric.Frame) {
 		start := units.Max(t.k.Now(), t.busyUntil[f.Src])
 		txDone := start + t.cfg.SerTime(f.Bytes)
 		t.busyUntil[f.Src] = txDone
+		if t.flts != nil {
+			if fl := t.flts[f.Src]; fl != nil {
+				switch fl.Decide() {
+				case faults.Drop:
+					// Lost after consuming its serialization slot.
+					f.Release()
+					return
+				case faults.Corrupt:
+					f.Corrupted = true
+				}
+			}
+		}
 		t.k.AtArg(txDone+t.flight, t.deliverFn, f)
 		return
 	}
@@ -490,6 +724,11 @@ type PortStat struct {
 	// CreditStalls counts drain passes that left frames queued because
 	// the downstream link was out of credits.
 	CreditStalls uint64
+	// Dropped, Corrupted and Flaps count injected faults on the port's
+	// link (all zero without fault injection).
+	Dropped   uint64
+	Corrupted uint64
+	Flaps     uint64
 }
 
 // PortStats snapshots every egress port (host injections first, then each
@@ -498,12 +737,18 @@ type PortStat struct {
 func (t *Fabric) PortStats() []PortStat {
 	var out []PortStat
 	add := func(p *outPort) {
-		out = append(out, PortStat{
+		ps := PortStat{
 			Name:         p.name,
 			Forwarded:    p.forwarded,
 			MaxQueue:     p.maxQueue,
 			CreditStalls: p.creditStalls,
-		})
+		}
+		if p.flt != nil {
+			ps.Dropped = p.flt.Dropped
+			ps.Corrupted = p.flt.Corrupted
+			ps.Flaps = p.flt.Flaps
+		}
+		out = append(out, ps)
 	}
 	for i := range t.hosts {
 		add(&t.hosts[i])
@@ -522,11 +767,16 @@ func (t *Fabric) PortStats() []PortStat {
 func (t *Fabric) FormatHotPorts() string {
 	var b strings.Builder
 	for _, ps := range t.PortStats() {
-		if ps.MaxQueue <= 1 && ps.CreditStalls == 0 {
+		faulted := ps.Dropped > 0 || ps.Corrupted > 0 || ps.Flaps > 0
+		if ps.MaxQueue <= 1 && ps.CreditStalls == 0 && !faulted {
 			continue
 		}
-		fmt.Fprintf(&b, "  %-16s %8d frames, max queue %3d, %6d credit stalls\n",
+		fmt.Fprintf(&b, "  %-16s %8d frames, max queue %3d, %6d credit stalls",
 			ps.Name, ps.Forwarded, ps.MaxQueue, ps.CreditStalls)
+		if faulted {
+			fmt.Fprintf(&b, ", %d dropped, %d corrupted, %d flaps", ps.Dropped, ps.Corrupted, ps.Flaps)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

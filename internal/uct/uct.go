@@ -209,7 +209,11 @@ type Ep struct {
 	// RemoteBuf is the peer buffer targeted by PutShort.
 	RemoteBuf uint64
 
-	// staging holds payloads for the DoorbellGather path.
+	// staging holds payloads for the gather (bcopy) paths: one MaxBcopy
+	// bounce buffer per send-queue slot, mirroring UCX's bounce-buffer
+	// mpool. A slot's buffer is owned from post until its completion is
+	// polled, so concurrent in-flight bcopy sends — and NIC retransmit
+	// re-gathers after loss — each read their own stable payload.
 	staging uint64
 
 	// Receive buffer pool: posted receives rotate through fixed slots;
@@ -257,7 +261,7 @@ func (w *Worker) NewEp(mode PostMode, signalPeriod int) *Ep {
 		signalPeriod = 1
 	}
 	qp := w.Node.NIC.CreateQP(w.Cfg.Bench.SQDepth, w.Cfg.Bench.CQDepth)
-	st := w.Node.Mem.Alloc(fmt.Sprintf("uct.ep%d.staging", qp.QPN), MaxBcopy, 64)
+	st := w.Node.Mem.Alloc(fmt.Sprintf("uct.ep%d.staging", qp.QPN), MaxBcopy*uint64(w.Cfg.Bench.SQDepth), 64)
 	pool := w.Node.Mem.Alloc(fmt.Sprintf("uct.ep%d.rxpool", qp.QPN), MaxBcopy*recvPoolSlots, 64)
 	ep := &Ep{w: w, qp: qp, Mode: mode, SignalPeriod: signalPeriod, staging: st.Base, recvPool: pool.Base}
 	ep.postF.e = ep
@@ -269,6 +273,12 @@ func (w *Worker) NewEp(mode PostMode, signalPeriod int) *Ep {
 
 // QP exposes the underlying queue pair (tests, trace filtering).
 func (e *Ep) QP() *nic.QP { return e.qp }
+
+// stagingSlot is the bounce buffer owned by the send-queue slot about to
+// be posted (e.pi has not been advanced yet).
+func (e *Ep) stagingSlot() uint64 {
+	return e.staging + uint64(int(e.pi)%e.qp.SQ.Depth)*MaxBcopy
+}
 
 // Connect wires two endpoints' QPs into a reliable connection.
 func Connect(a, b *Ep) { nic.Connect(a.qp, b.qp) }
@@ -542,9 +552,9 @@ func (f *postFrame) Step(t *sim.Task) {
 			w.Node.RC.MMIOWrite(e.qp.BFAddr, f.enc[:])
 			f.pc = 5
 		case 2: // Gather: stage the payload, rebuild the descriptor.
-			w.Node.Mem.Write(e.staging, f.data)
+			w.Node.Mem.Write(e.stagingSlot(), f.data)
 			f.wqe.Inline = false
-			f.wqe.GatherAddr = e.staging
+			f.wqe.GatherAddr = e.stagingSlot()
 			f.wqe.GatherLen = uint32(len(f.data))
 			f.wqe.Payload = nil
 			enc, err := f.wqe.Encode()
@@ -640,7 +650,7 @@ func (f *gatherFrame) Step(t *sim.Task) {
 				return
 			}
 		case 1:
-			w.Node.Mem.Write(e.staging, f.data)
+			w.Node.Mem.Write(e.stagingSlot(), f.data)
 			// Build and store the gather descriptor.
 			f.wqe = mlx.WQE{
 				Opcode:     f.op,
@@ -649,7 +659,7 @@ func (f *gatherFrame) Step(t *sim.Task) {
 				WQEIdx:     e.pi,
 				QPN:        e.qp.QPN,
 				AmID:       f.amID,
-				GatherAddr: e.staging,
+				GatherAddr: e.stagingSlot(),
 				GatherLen:  uint32(len(f.data)),
 				RemoteAddr: f.raddr,
 			}

@@ -51,6 +51,11 @@ const (
 	// WCFlushErr mirrors IBV_WC_WR_FLUSH_ERR: the work request was
 	// flushed unexecuted because the QP was already in error state.
 	WCFlushErr
+	// WCRetryExcErr mirrors IBV_WC_RETRY_EXC_ERR: the transport retry
+	// budget (ACK timeouts plus sequence-error NAKs) was exhausted
+	// without forward progress and the flushed work requests were never
+	// acknowledged.
+	WCRetryExcErr
 )
 
 // ErrQPFull mirrors ENOMEM from ibv_post_send on a full send queue.
@@ -430,6 +435,8 @@ func (f *pollFrame) Step(t *sim.Task) {
 					status = WCRnrRetryExcErr
 				case mlx.CQEFlushErr:
 					status = WCFlushErr
+				case mlx.CQERetryExc:
+					status = WCRetryExcErr
 				}
 				// Keep the slot's reusable Data buffer (send completions
 				// carry no payload, but a caller sharing one wcs slice
