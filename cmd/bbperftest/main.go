@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|lossy|flap
+//	bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|lossy|flap|chaos
 //
 // Examples:
 //
@@ -34,6 +34,10 @@
 //	                                  # fat-tree incast loses a leaf uplink
 //	                                  # mid-run: ECMP failover, timeout
 //	                                  # replay, restore to steady state
+//	bbperftest -seeds 5 chaos         # seeded chaos soak ladder: randomized
+//	                                  # wire faults, link flaps, endpoint
+//	                                  # crashes and host pauses over a
+//	                                  # fat-tree, five invariants per seed
 package main
 
 import (
@@ -70,12 +74,13 @@ var (
 	flagFlapPort = flag.String("flapport", "leaf1.up0", "flap: switch port to take down")
 	flagFlapDown = flag.Float64("flapdown", 100, "flap: link-down time in microseconds")
 	flagFlapUp   = flag.Float64("flapup", 200, "flap: link-restore time in microseconds")
+	flagSeeds    = flag.Int("seeds", 5, "chaos: seed-ladder length (seeds -seed .. -seed+N-1)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|lossy|flap")
+		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|lossy|flap|chaos")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -232,6 +237,26 @@ func main() {
 		fmt.Println(res)
 		printFaultPorts(sys)
 		printHotPorts(sys)
+	case "chaos":
+		// Seeded chaos soak ladder: each seed derives its own randomized
+		// fault schedule (wire loss, flaps, endpoint crashes, host pauses)
+		// and must hold all five soak invariants. Builds its own fat-tree
+		// systems internally, one per seed.
+		seeds := make([]uint64, *flagSeeds)
+		for i := range seeds {
+			seeds[i] = *flagSeed + uint64(i)
+		}
+		failed := 0
+		for _, res := range perftest.ChaosLadder(config.TX2CX4(noise, *flagSeed, !*flagDirect), seeds, perftest.ChaosOptions{}) {
+			fmt.Println(res)
+			if !res.Passed() {
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "bbperftest: chaos: %d of %d seed(s) violated invariants\n", failed, len(seeds))
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "bbperftest: unknown test %q\n", test)
 		os.Exit(2)
@@ -250,6 +275,9 @@ func printFaultPorts(sys *node.System) {
 		}
 		fmt.Printf("  %-16s %6d dropped, %6d corrupted, %3d flaps\n",
 			l.Name, l.Dropped, l.Corrupted, l.Flaps)
+	}
+	for _, nf := range sys.Faults.NodeFaultRecords() {
+		fmt.Printf("  node%-12d %6d crash(es), %6d pause(s)\n", nf.Node, nf.Crashes, nf.Pauses)
 	}
 }
 

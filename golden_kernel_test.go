@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"sort"
 	"strconv"
+	"strings"
 	"testing"
 
 	"breakband/internal/config"
@@ -61,6 +62,14 @@ import (
 // pre-existing entry was verified byte-identical when they were added —
 // with no fault schedule the injector is never compiled, the NIC arms no
 // timers, and frames carry the same bytes as before.
+//
+// The chaos_* entries pin the endpoint failure model (PR 8): a seeded
+// randomized schedule of wire loss, uplink flaps, NIC crashes and host
+// pauses over an 8-node fat-tree, with error CQEs flushing posted work and
+// per-request errors propagating through uct/ucp/mpi to the soak's
+// invariant checks. Every pre-existing entry was verified byte-identical
+// when they were added — endpoint faults only exist when a schedule names
+// them, and the soak builds its own system.
 //
 // Refresh (only for intentional semantic changes, never to paper over a
 // kernel regression): GOLDEN_UPDATE=1 go test -run TestGoldenKernelOutputs .
@@ -217,6 +226,22 @@ func kernelFingerprint() map[string]string {
 		fp["flap_"+nc.name] = fmt.Sprintf("elapsed=%s pre=%s dip=%s post=%s drops=%d timeouts=%d replays=%d",
 			g(fr.Elapsed.Ns()), g(fr.PreRate), g(fr.DipRate), g(fr.PostRate),
 			fr.WireDropped, fr.AckTimeouts, fr.Retransmits)
+
+		// Endpoint failure + chaos soak (PR 8): a seeded fault schedule
+		// (wire loss, uplink flaps, NIC crashes, host pauses) over an
+		// 8-node fat-tree with mixed pair traffic. Pins the crash/flush
+		// CQE machinery, per-request error propagation, and the soak's
+		// deterministic termination point. Faults-free entries above are
+		// untouched: endpoint faults only compile when scheduled.
+		ccfg := config.TX2CX4(noise, 7, true)
+		cr := perftest.ChaosSoak(ccfg, 7, perftest.ChaosOptions{Total: 120})
+		delivered := make([]string, len(cr.Pairs))
+		for i, p := range cr.Pairs {
+			delivered[i] = fmt.Sprintf("%d", p.Delivered)
+		}
+		fp["chaos_"+nc.name] = fmt.Sprintf("pass=%v delivered=%s events=%d end=%s crashes=%d pauses=%d flaps=%d drops=%d qpfails=%d flushed=%d",
+			cr.Passed(), strings.Join(delivered, ","), cr.Events, g(cr.EndTime.Ns()),
+			cr.Crashes, cr.Pauses, cr.Flaps, cr.WireDropped, cr.QPFails, cr.FlushedRecvs)
 
 		mk := func() *config.Config { return config.TX2CX4(noise, 7, true) }
 		res := measure.Run(mk, measure.Opts{Samples: 100, Windows: 4, Parallelism: 2})

@@ -229,12 +229,16 @@ type Config struct {
 	// node.NewSystem copies a nonzero value into NIC.RxBudgetPerQP.
 	NICRxBudgetPerQP int
 
-	// Faults is the deterministic fault-injection schedule (drop/corrupt
-	// rates, scripted drops, link flaps — see internal/faults). The zero
-	// value injects nothing and adds no cost anywhere. When any fault is
-	// enabled, node.NewSystem compiles the schedule against Seed, adopts
-	// it into the fabric, and — unless NIC.AckTimeout is already set —
-	// arms the NICs' ACK-timeout recovery with nic.DefaultAckTimeout.
+	// Faults is the deterministic fault-injection schedule: link faults
+	// (drop/corrupt rates, scripted drops, link flaps) and endpoint faults
+	// (scheduled NIC crashes with optional restart, host pause windows
+	// that stall the node's PCIe upstream issue path) — see
+	// internal/faults. The zero value injects nothing and adds no cost
+	// anywhere. When any fault is enabled, node.NewSystem compiles the
+	// schedule against Seed, adopts link faults into the fabric, arms the
+	// endpoint faults as kernel events, and — unless NIC.AckTimeout is
+	// already set — arms the NICs' ACK-timeout recovery with
+	// nic.DefaultAckTimeout (peers discover a dead NIC through it).
 	Faults faults.Config
 
 	// MemBytes is each node's host memory size.

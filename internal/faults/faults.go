@@ -25,6 +25,30 @@ type Flap struct {
 	Up   units.Time
 }
 
+// Crash schedules an endpoint failure: the named node's NIC goes dark at At.
+// Inbound frames are discarded, every QP fails locally with a fatal error
+// CQE, posted receives are flushed, and peers discover the death through
+// their own ACK-timeout → retry-exhaustion path. RestartAt, when nonzero,
+// brings the NIC back up at that time with its QP table wiped: recovery
+// requires fresh-epoch QPs (software reconnects; the dead generation's QPs
+// stay errored forever).
+type Crash struct {
+	Node      int
+	At        units.Time
+	RestartAt units.Time // zero: the node stays dead
+}
+
+// Pause stalls the named node's host between At and Resume: the endpoint→RC
+// PCIe issue path parks every upstream TLP (the model of a GC pause, an OS
+// scheduling stall, or SMI jitter). The NIC keeps receiving but cannot
+// complete host-memory writes, so its bounded rx buffering fills and the
+// node answers with RNR NAKs until the host resumes.
+type Pause struct {
+	Node   int
+	At     units.Time
+	Resume units.Time
+}
+
 // Config declares a deterministic fault schedule. The zero Config injects
 // nothing and costs nothing (Enabled reports false and the delivery layers
 // keep their fault hooks nil).
@@ -41,11 +65,16 @@ type Config struct {
 	DropNth []ScriptedDrop
 	// Flaps lists link down/up windows.
 	Flaps []Flap
+	// Crashes lists endpoint NIC failures (with optional restart).
+	Crashes []Crash
+	// Pauses lists host PCIe-issue stall windows.
+	Pauses []Pause
 }
 
 // Enabled reports whether the config injects any fault at all.
 func (c *Config) Enabled() bool {
-	return c.DropRate > 0 || c.CorruptRate > 0 || len(c.DropNth) > 0 || len(c.Flaps) > 0
+	return c.DropRate > 0 || c.CorruptRate > 0 || len(c.DropNth) > 0 ||
+		len(c.Flaps) > 0 || len(c.Crashes) > 0 || len(c.Pauses) > 0
 }
 
 // Validate checks the schedule: rates must lie in [0, 1], scripted drops
@@ -75,6 +104,22 @@ func (c *Config) Validate() error {
 		}
 		if f.Down >= f.Up {
 			return fmt.Errorf("faults: flap on %q: down %v >= up %v", f.Port, f.Down, f.Up)
+		}
+	}
+	for _, cr := range c.Crashes {
+		if cr.Node < 0 {
+			return fmt.Errorf("faults: crash on negative node %d", cr.Node)
+		}
+		if cr.RestartAt != 0 && cr.RestartAt <= cr.At {
+			return fmt.Errorf("faults: crash on node %d: restart %v <= crash %v", cr.Node, cr.RestartAt, cr.At)
+		}
+	}
+	for _, p := range c.Pauses {
+		if p.Node < 0 {
+			return fmt.Errorf("faults: pause on negative node %d", p.Node)
+		}
+		if p.Resume <= p.At {
+			return fmt.Errorf("faults: pause on node %d: resume %v <= pause %v", p.Node, p.Resume, p.At)
 		}
 	}
 	return nil
@@ -162,6 +207,16 @@ type Injector struct {
 	seed  uint64
 	cfg   Config
 	links map[string]*Link
+	nodes map[int]*NodeFaults
+}
+
+// NodeFaults is one node's endpoint fault record: how many times its NIC
+// crashed and how many host pause windows it served. The node layer counts
+// into it as the scheduled events actually fire.
+type NodeFaults struct {
+	Node    int
+	Crashes uint64
+	Pauses  uint64
 }
 
 // NewInjector validates cfg and builds the injector. The seed is the
@@ -170,7 +225,7 @@ func NewInjector(seed uint64, cfg Config) (*Injector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Injector{seed: seed, cfg: cfg, links: make(map[string]*Link)}, nil
+	return &Injector{seed: seed, cfg: cfg, links: make(map[string]*Link), nodes: make(map[int]*NodeFaults)}, nil
 }
 
 // MustInjector is NewInjector for callers whose Config was already
@@ -260,6 +315,59 @@ func (i *Injector) Totals() (dropped, corrupted, flaps uint64) {
 		dropped += l.Dropped
 		corrupted += l.Corrupted
 		flaps += l.Flaps
+	}
+	return
+}
+
+// Node returns (creating on first use) the endpoint fault record for the
+// given node id.
+func (i *Injector) Node(id int) *NodeFaults {
+	if n, ok := i.nodes[id]; ok {
+		return n
+	}
+	n := &NodeFaults{Node: id}
+	i.nodes[id] = n
+	return n
+}
+
+// CrashesFor reports the crash schedule for the given node, in config order.
+func (i *Injector) CrashesFor(node int) []Crash {
+	var out []Crash
+	for _, c := range i.cfg.Crashes {
+		if c.Node == node {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// PausesFor reports the pause windows for the given node, in config order.
+func (i *Injector) PausesFor(node int) []Pause {
+	var out []Pause
+	for _, p := range i.cfg.Pauses {
+		if p.Node == node {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NodeFaultRecords snapshots every instantiated per-node record, sorted by
+// node id — the per-node crash/pause report.
+func (i *Injector) NodeFaultRecords() []*NodeFaults {
+	out := make([]*NodeFaults, 0, len(i.nodes))
+	for _, n := range i.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
+	return out
+}
+
+// NodeTotals sums the per-node endpoint fault counters.
+func (i *Injector) NodeTotals() (crashes, pauses uint64) {
+	for _, n := range i.nodes {
+		crashes += n.Crashes
+		pauses += n.Pauses
 	}
 	return
 }

@@ -22,6 +22,10 @@ func TestValidateRejects(t *testing.T) {
 		{"script_zero_ordinal", Config{DropNth: []ScriptedDrop{{Port: "x", N: 0}}}, "1-based"},
 		{"flap_no_port", Config{Flaps: []Flap{{Down: 1, Up: 2}}}, "without a port name"},
 		{"flap_down_after_up", Config{Flaps: []Flap{{Port: "x", Down: 5, Up: 5}}}, ">= up"},
+		{"crash_negative_node", Config{Crashes: []Crash{{Node: -1, At: 1}}}, "negative node"},
+		{"crash_restart_before_crash", Config{Crashes: []Crash{{Node: 0, At: 5, RestartAt: 5}}}, "restart"},
+		{"pause_negative_node", Config{Pauses: []Pause{{Node: -2, At: 1, Resume: 2}}}, "negative node"},
+		{"pause_resume_before_pause", Config{Pauses: []Pause{{Node: 0, At: 5, Resume: 5}}}, "resume"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -179,5 +183,45 @@ func TestInjectorBookkeeping(t *testing.T) {
 	links := inj.Links()
 	if len(links) != 2 || links[0].Name != "a" || links[1].Name != "b" {
 		t.Errorf("Links = %v", links)
+	}
+}
+
+func TestEndpointFaultBookkeeping(t *testing.T) {
+	cfg := Config{
+		Crashes: []Crash{
+			{Node: 3, At: units.Microseconds(5)},
+			{Node: 1, At: units.Microseconds(2), RestartAt: units.Microseconds(9)},
+			{Node: 3, At: units.Microseconds(20)},
+		},
+		Pauses: []Pause{{Node: 2, At: 1, Resume: units.Microseconds(1)}},
+	}
+	inj := MustInjector(1, cfg)
+	if !cfg.Enabled() {
+		t.Error("endpoint-only schedule reports disabled")
+	}
+	if cr := inj.CrashesFor(3); len(cr) != 2 || cr[0].At != units.Microseconds(5) {
+		t.Errorf("CrashesFor(3) = %v, want both node-3 crashes in config order", cr)
+	}
+	if cr := inj.CrashesFor(0); len(cr) != 0 {
+		t.Errorf("CrashesFor(0) = %v, want none", cr)
+	}
+	if pa := inj.PausesFor(2); len(pa) != 1 || pa[0].Resume != units.Microseconds(1) {
+		t.Errorf("PausesFor(2) = %v", pa)
+	}
+
+	// Simulate the node layer counting delivered faults.
+	inj.Node(3).Crashes += 2
+	inj.Node(1).Crashes++
+	inj.Node(2).Pauses++
+	if n := inj.Node(3); n.Crashes != 2 {
+		t.Error("Node is not idempotent per id")
+	}
+	recs := inj.NodeFaultRecords()
+	if len(recs) != 3 || recs[0].Node != 1 || recs[1].Node != 2 || recs[2].Node != 3 {
+		t.Fatalf("NodeFaultRecords = %v, want sorted by node id", recs)
+	}
+	crashes, pauses := inj.NodeTotals()
+	if crashes != 3 || pauses != 1 {
+		t.Errorf("NodeTotals = %d/%d, want 3/1", crashes, pauses)
 	}
 }

@@ -193,6 +193,10 @@ const (
 	// peer, or every path to it, is effectively unreachable. Distinct
 	// from CQERnrRetryExc, where the peer was reachable but never ready.
 	CQERetryExc uint8 = 3
+	// CQEFatalErr reports that the local device itself died
+	// (IBV_WC_FATAL_ERR): the NIC crashed with this WQE outstanding, and
+	// the driver synthesized the completion while failing the QP.
+	CQEFatalErr uint8 = 4
 )
 
 // CQE is a decoded completion queue entry.

@@ -31,10 +31,27 @@ type Request struct {
 	ucpReq *ucp.Request
 	done   bool
 	isRecv bool
+	src    int // receive source rank (error attribution)
+	err    error
 }
 
 // Done reports completion (for test assertions; applications use Wait).
 func (r *Request) Done() bool { return r.done }
+
+// Err reports the failure that terminated the request — the MPI analogue of
+// a non-MPI_SUCCESS status in MPI_Wait. Nil on success or while in flight.
+// Requests fail when their endpoint's QP enters the error state: the send
+// was flushed undelivered, or the posted receive was cancelled because the
+// peer died.
+func (r *Request) Err() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.ucpReq != nil {
+		return r.ucpReq.Err()
+	}
+	return nil
+}
 
 // Data returns the payload of a completed receive.
 func (r *Request) Data() []byte {
@@ -240,7 +257,11 @@ func (f *isendFrame) Step(t *sim.Task) {
 	case 1:
 		ucpReq, err := f.ep.LastSend()
 		if err != nil {
-			panic(fmt.Sprintf("mpi: isend: %v", err))
+			// Initiation failed (the endpoint's QP is in the error
+			// state): the request terminates immediately with the error
+			// instead of panicking — MPI_Wait reports it as a status.
+			f.req.err = err
+			f.req.done = true
 		}
 		f.req.ucpReq = ucpReq
 		r.profEndAs(t, f.ucpTok, r.ProfUcpSend, "ucp_tag_send_nb")
@@ -257,7 +278,7 @@ func (f *isendFrame) Step(t *sim.Task) {
 // Start form.
 func (r *Rank) Irecv(t *sim.Task, src int, tag int) *Request {
 	r.Stats.Irecvs++
-	req := &Request{rank: r, isRecv: true}
+	req := &Request{rank: r, isRecv: true, src: src}
 	t.Advance(r.Cfg.SW.MpiIrecv.Sample(r.Node.Rand))
 	req.ucpReq = r.Worker.TagRecvNB(t, tagFor(src, tag), func(ct *sim.Task) {
 		// MPICH receive callback (paper Table 1: 47.99 ns).
@@ -273,8 +294,63 @@ func (r *Rank) Irecv(t *sim.Task, src int, tag int) *Request {
 	// An unexpected message may have completed it synchronously.
 	if req.ucpReq.Completed() {
 		req.done = true
+		return req
+	}
+	// Late post against a dead peer: short-circuit with the endpoint error
+	// instead of waiting for a match that will never arrive (mirrors the
+	// CQEFlushErr contract for posts against an errored QP). A message
+	// already delivered before the failure still matches above.
+	if ep, ok := r.eps[src]; ok && ep.Err() != nil {
+		r.Worker.CancelRecv(t, req.ucpReq, ep.Err())
+		req.done = true
 	}
 	return req
+}
+
+// checkFailed tests a pending request against its endpoint's health and
+// terminates it if the transport has failed: a posted receive whose source
+// endpoint errored is cancelled (the MPICH receive callback still runs, so
+// the request machinery observes completion). It reports whether the
+// request terminated. Healthy endpoints cost one map lookup and schedule
+// nothing.
+func (r *Rank) checkFailed(t *sim.Task, req *Request) bool {
+	if req.done {
+		return true
+	}
+	if !req.isRecv {
+		return false
+	}
+	ep, ok := r.eps[req.src]
+	if !ok || ep.Err() == nil {
+		return false
+	}
+	r.Worker.CancelRecv(t, req.ucpReq, ep.Err())
+	req.done = true
+	return true
+}
+
+// CheckFailed is the public form of the wait loop's failure test, for
+// callers that drive the progress engine themselves (chaos harnesses,
+// failure detectors): it terminates a pending receive whose source endpoint
+// has errored and reports whether the request is finished (by success or
+// failure).
+func (r *Rank) CheckFailed(t *sim.Task, req *Request) bool {
+	return r.checkFailed(t, req)
+}
+
+// CancelRecv abandons a pending receive with the given error, as when an
+// application-level deadline expires while the peer is unreachable. The
+// request terminates (Err reports err) and its buffer slot is released; a
+// receive that already completed is left alone and false is returned.
+func (r *Rank) CancelRecv(t *sim.Task, req *Request, err error) bool {
+	if req.done || !req.isRecv {
+		return false
+	}
+	if !r.Worker.CancelRecv(t, req.ucpReq, err) {
+		return false
+	}
+	req.done = true
+	return true
 }
 
 // StartWait begins blocking until req completes, driving the progress
@@ -324,7 +400,7 @@ func (f *waitFrame) Step(t *sim.Task) {
 			t.Advance(r.Cfg.SW.MpichWaitEnt.Sample(r.Node.Rand))
 			f.pc = 1
 		case 1:
-			if f.req.done {
+			if r.checkFailed(t, f.req) {
 				f.pc = 3
 				continue
 			}
@@ -407,7 +483,7 @@ func (f *waitallFrame) Step(t *sim.Task) {
 		case 1:
 			remaining := 0
 			for _, q := range f.reqs {
-				if !q.done {
+				if !r.checkFailed(t, q) {
 					remaining++
 				}
 			}

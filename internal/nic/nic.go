@@ -233,9 +233,11 @@ type QP struct {
 
 	// Initiator-side RNR state: awaitingRetry is set between an RNR NAK
 	// and its backoff timer firing (new WQEs executed meanwhile are parked
-	// in the ring and ride the replay); rnrRetries counts consecutive NAKs
-	// for the current head WQE and resets on any ACK.
+	// in the ring and ride the replay); rnrEv is the pooled backoff event
+	// so QP death can cancel it; rnrRetries counts consecutive NAKs for
+	// the current head WQE and resets on any ACK.
 	awaitingRetry bool
+	rnrEv         sim.EventRef
 	rnrRetries    int
 	// Initiator-side loss-recovery state (all dormant with AckTimeout
 	// zero): retries counts transport retries — ACK timeouts plus sequence
@@ -249,14 +251,19 @@ type QP struct {
 	ackEv     sim.EventRef
 	ackWait   units.Time
 	tmoStreak int
-	// Errored marks a QP that exhausted its RNR retry budget: the NIC
-	// wrote an error CQE retiring the outstanding tail and will transmit
-	// nothing more. WQEs posted afterwards are flushed with CQEFlushErr
-	// completions (counted in Flushed), as ibverbs flushes work requests
-	// on an error-state QP.
+	// Errored marks a QP that entered the error state — retry-budget
+	// exhaustion or a local NIC crash: the NIC wrote an error CQE retiring
+	// the outstanding tail and will transmit nothing more. WQEs posted
+	// afterwards are flushed with CQEFlushErr completions (counted in
+	// Flushed), as ibverbs flushes work requests on an error-state QP.
 	Errored bool
 	// Flushed counts WQEs flushed unexecuted on an errored QP.
 	Flushed uint64
+	// QPFails counts transitions into the error state (at most one per
+	// QP); FlushedRecvs counts posted receives flushed with error CQEs
+	// when the local NIC crashed.
+	QPFails      uint64
+	FlushedRecvs uint64
 
 	// Receive-side pend accounting for this QP: rxHeld counts the NIC's
 	// held frames that target this QP (its share of NIC.RxHeld), rxHeldMax
@@ -340,6 +347,18 @@ type NIC struct {
 	byBAR   map[uint64]*QP // BAR window base -> QP
 	nextQPN uint32
 	barNext uint64
+
+	// Endpoint-failure state. dead marks a crashed NIC (inbound frames
+	// discard, WQEs flush, nothing transmits); everCrashed stays set across
+	// a restart so frames addressed to a wiped pre-crash QP generation
+	// discard instead of panicking. retired accumulates the counters of
+	// QPs wiped by Restart so Stats survives the generation change;
+	// crashDiscards counts frames discarded because the NIC was dark (or
+	// addressed a wiped QP).
+	dead          bool
+	everCrashed   bool
+	retired       Stats
+	crashDiscards uint64
 
 	// DMA-read engine: typed continuations indexed by PCIe tag, plus the
 	// FIFO of reads blocked on tag exhaustion.
@@ -485,27 +504,40 @@ type Stats struct {
 	RNRNaksRecv, SeqNaksRecv, AckTimeouts uint64
 	RnrRetransmits, Retransmits           uint64
 	RetryExhausted, Flushed               uint64
+	// Endpoint-failure counters: QP error-state transitions, frames
+	// discarded because the NIC was dark (or addressed a wiped pre-crash
+	// QP), and posted receives flushed by a local crash.
+	QPFails, CrashDiscards, FlushedRecvs uint64
 }
 
-// Stats sums the per-QP transport counters.
+// addQP folds one QP's counters into the aggregate.
+func (s *Stats) addQP(qp *QP) {
+	s.TxFrames += qp.TxFrames
+	s.RxFrames += qp.RxFrames
+	s.CQEsWritten += qp.CQEsWritten
+	s.RNRNaksSent += qp.RNRNaksSent
+	s.SeqNaksSent += qp.SeqNaksSent
+	s.RxDiscarded += qp.RxDiscarded
+	s.DupRxFrames += qp.DupRxFrames
+	s.RNRNaksRecv += qp.RNRNaksRecv
+	s.SeqNaksRecv += qp.SeqNaksRecv
+	s.AckTimeouts += qp.AckTimeouts
+	s.RnrRetransmits += qp.RnrRetransmits
+	s.Retransmits += qp.Retransmits
+	s.RetryExhausted += qp.RetryExhausted
+	s.Flushed += qp.Flushed
+	s.QPFails += qp.QPFails
+	s.FlushedRecvs += qp.FlushedRecvs
+}
+
+// Stats sums the per-QP transport counters (including QP generations wiped
+// by a crash-restart) plus the NIC-level crash discards.
 func (n *NIC) Stats() Stats {
-	var s Stats
+	s := n.retired
 	for _, qp := range n.qps {
-		s.TxFrames += qp.TxFrames
-		s.RxFrames += qp.RxFrames
-		s.CQEsWritten += qp.CQEsWritten
-		s.RNRNaksSent += qp.RNRNaksSent
-		s.SeqNaksSent += qp.SeqNaksSent
-		s.RxDiscarded += qp.RxDiscarded
-		s.DupRxFrames += qp.DupRxFrames
-		s.RNRNaksRecv += qp.RNRNaksRecv
-		s.SeqNaksRecv += qp.SeqNaksRecv
-		s.AckTimeouts += qp.AckTimeouts
-		s.RnrRetransmits += qp.RnrRetransmits
-		s.Retransmits += qp.Retransmits
-		s.RetryExhausted += qp.RetryExhausted
-		s.Flushed += qp.Flushed
+		s.addQP(qp)
 	}
+	s.CrashDiscards = n.crashDiscards
 	return s
 }
 
@@ -689,11 +721,26 @@ func (qp *QP) ringDoorbell(newPI uint16) {
 	qp.fetchNextWQE()
 }
 
+// flushRungWQEs is the dead-device descriptor path: the driver flushes the
+// rung-but-unfetched descriptors with error completions so software's
+// in-flight accounting still terminates.
+func (qp *QP) flushRungWQEs() {
+	for qp.fetchNext != qp.doorbellPI {
+		qp.Flushed++
+		qp.nic.hostWriteSendCQE(qp, qp.fetchNext, mlx.CQEFlushErr)
+		qp.fetchNext++
+	}
+}
+
 // fetchNextWQE starts the next descriptor fetch if none is in flight. The
 // drain is iterative: each completion event (onWQEFetched/onPayloadFetched)
 // executes the descriptor and calls back here to issue the next read, so a
 // deep doorbell batch costs constant stack regardless of depth.
 func (qp *QP) fetchNextWQE() {
+	if qp.nic.dead {
+		qp.flushRungWQEs()
+		return
+	}
 	if qp.fetching || qp.fetchNext == qp.doorbellPI {
 		return
 	}
@@ -714,6 +761,16 @@ func (qp *QP) onWQEFetched(data []byte) {
 		qp.nic.execWQE(qp, &qp.fetchWQE)
 		qp.fetching = false
 		qp.fetchNextWQE()
+		return
+	}
+	if qp.nic.dead {
+		// The NIC died while this descriptor's fetch was in flight: no
+		// payload read is possible, so the driver flushes it (and whatever
+		// else was rung) instead of gathering.
+		qp.Flushed++
+		qp.nic.hostWriteSendCQE(qp, qp.fetchCounter, mlx.CQEFlushErr)
+		qp.fetching = false
+		qp.flushRungWQEs()
 		return
 	}
 	// Second round trip: fetch the payload from registered memory.
@@ -742,13 +799,18 @@ func (n *NIC) execWQE(qp *QP, w *mlx.WQE) {
 		panic(fmt.Sprintf("nic%d: WQE qpn %d posted to qp %d", n.id, w.QPN, qp.QPN))
 	}
 	if qp.Errored {
-		// The QP already failed (RNR retries exhausted) but software may
-		// not have polled the error CQE yet: flush the WQE with an error
-		// completion instead of transmitting, as ibverbs does
-		// (IBV_WC_WR_FLUSH_ERR). The completion keeps the software-side
-		// in-flight accounting consistent.
+		// The QP already failed (retry exhaustion or a NIC crash) but
+		// software may not have polled the error CQE yet: flush the WQE
+		// with an error completion instead of transmitting, as ibverbs
+		// does (IBV_WC_WR_FLUSH_ERR). The completion keeps the
+		// software-side in-flight accounting consistent. On a dead NIC the
+		// flush CQE is driver-synthesized straight into host memory.
 		qp.Flushed++
-		n.writeSendCQE(qp, w.WQEIdx, mlx.CQEFlushErr)
+		if n.dead {
+			n.hostWriteSendCQE(qp, w.WQEIdx, mlx.CQEFlushErr)
+		} else {
+			n.writeSendCQE(qp, w.WQEIdx, mlx.CQEFlushErr)
+		}
 		return
 	}
 	if qp.txN == len(qp.txRing) {
@@ -817,6 +879,13 @@ func (n *NIC) RxFrame(f *fabric.Frame) {
 // link (rxData reports true for frames held that way; upIssued performs the
 // deferred release).
 func (n *NIC) handleFrame(f *fabric.Frame) {
+	if n.dead {
+		// The NIC is dark: whatever arrives is dropped on the floor. Peers
+		// discover the death through their own ACK-timeout path.
+		n.crashDiscards++
+		f.Release()
+		return
+	}
 	switch f.Kind {
 	case fabric.Data:
 		if n.rxData(f) {
@@ -850,6 +919,12 @@ func (n *NIC) rxData(f *fabric.Frame) (held bool) {
 	op := &f.Op
 	qp, ok := n.qps[op.DstQPN]
 	if !ok {
+		if n.everCrashed {
+			// A frame addressed to a QP generation wiped by crash-restart:
+			// stale traffic from before the death, silently discarded.
+			n.crashDiscards++
+			return false
+		}
 		panic(fmt.Sprintf("nic%d: data frame for unknown qp %d", n.id, op.DstQPN))
 	}
 	if d := int16(f.PSN - qp.rxPSN); d != 0 {
@@ -988,6 +1063,10 @@ func (n *NIC) refuse(qp *QP, f *fabric.Frame) {
 func (n *NIC) rxAck(c fabric.AckInfo) {
 	qp, ok := n.qps[c.QPN]
 	if !ok {
+		if n.everCrashed {
+			n.crashDiscards++
+			return
+		}
 		panic(fmt.Sprintf("nic%d: ACK for unknown qp %d", n.id, c.QPN))
 	}
 	if qp.Errored {
@@ -1067,6 +1146,10 @@ func (n *NIC) writeSendCQE(qp *QP, counter uint16, status uint8) {
 func (n *NIC) rxNak(c fabric.AckInfo) {
 	qp, ok := n.qps[c.QPN]
 	if !ok {
+		if n.everCrashed {
+			n.crashDiscards++
+			return
+		}
 		panic(fmt.Sprintf("nic%d: RNR NAK for unknown qp %d", n.id, c.QPN))
 	}
 	if qp.Errored {
@@ -1099,7 +1182,7 @@ func (n *NIC) rxNak(c fabric.AckInfo) {
 	}
 	qp.awaitingRetry = true
 	qp.RnrStall += backoff
-	n.k.AfterArg(backoff, n.retransmitFn, qp)
+	qp.rnrEv = n.k.AfterArg(backoff, n.retransmitFn, qp)
 }
 
 // rxSeqNak handles a sequence-error NAK on the initiator NIC: the target
@@ -1112,6 +1195,10 @@ func (n *NIC) rxNak(c fabric.AckInfo) {
 func (n *NIC) rxSeqNak(c fabric.AckInfo) {
 	qp, ok := n.qps[c.QPN]
 	if !ok {
+		if n.everCrashed {
+			n.crashDiscards++
+			return
+		}
 		panic(fmt.Sprintf("nic%d: sequence NAK for unknown qp %d", n.id, c.QPN))
 	}
 	if qp.Errored {
@@ -1223,16 +1310,149 @@ func (n *NIC) ackTimeout(qp *QP) {
 	qp.ackEv = n.k.AfterArg(n.effTimeout(qp), n.ackTimeoutFn, qp)
 }
 
+// cancelQPTimers cancels the QP's pooled recovery timers — the armed ACK
+// timeout and any in-flight RNR backoff. Timer hygiene on QP death: a dead
+// timer must never fire on a failed QP (the continuations do guard Errored,
+// but a cancelled event also stops pinning the simulation end-time a
+// timeout into the future).
+func (n *NIC) cancelQPTimers(qp *QP) {
+	if qp.ackArmed {
+		qp.ackArmed = false
+		qp.ackEv.Cancel()
+	}
+	if qp.awaitingRetry {
+		qp.awaitingRetry = false
+		qp.rnrEv.Cancel()
+	}
+}
+
 // failQP gives up on a QP whose retry budget is exhausted: one error CQE
 // (status mlx.CQERnrRetryExc for RNR exhaustion, mlx.CQERetryExc for
 // transport-retry exhaustion) carrying the newest outstanding counter
 // retires the entire outstanding tail as failed — errors always complete,
-// signaled or not — and the QP stops transmitting. WQEs posted afterwards
-// are flushed with CQEFlushErr completions (see execWQE).
+// signaled or not — and the QP stops transmitting. Pending recovery timers
+// are cancelled. WQEs posted afterwards are flushed with CQEFlushErr
+// completions (see execWQE).
 func (n *NIC) failQP(qp *QP, status uint8) {
 	qp.Errored = true
+	qp.QPFails++
 	qp.RetryExhausted++
+	n.cancelQPTimers(qp)
 	last := qp.txRing[(qp.txHead+qp.txN-1)%len(qp.txRing)]
 	qp.txN = 0
 	n.writeSendCQE(qp, last.counter, status)
+}
+
+// ---------- endpoint failure model ----------
+
+// Dead reports whether the NIC is currently crashed.
+func (n *NIC) Dead() bool { return n.dead }
+
+// Crash takes the NIC dark: every QP enters the error state — outstanding
+// WQEs retire with one fatal error CQE, posted receives flush with error
+// recv CQEs, recovery timers are cancelled — and from this moment inbound
+// frames are discarded and nothing transmits. Local software observes the
+// death through the error completions (the driver's async-event path
+// synthesizes them straight into host memory; the dead device issues no
+// PCIe traffic); remote peers observe silence and fail their own QPs
+// through the ACK-timeout → retry-exhaustion path. Crashing a dead NIC is
+// a no-op.
+func (n *NIC) Crash() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	n.everCrashed = true
+	for _, qp := range n.qps {
+		n.crashQP(qp)
+	}
+}
+
+// Restart brings a crashed NIC back up with its QP table wiped: the dead
+// generation's counters fold into the retired accumulator, frames still in
+// flight toward wiped QPNs discard on arrival, and recovery requires
+// fresh-epoch QPs (CreateQP/Connect again — QPNs and BAR windows never
+// reuse, so no stale frame can alias a new QP).
+func (n *NIC) Restart() {
+	if !n.dead {
+		return
+	}
+	for _, qp := range n.qps {
+		n.retired.addQP(qp)
+	}
+	n.qps = make(map[uint32]*QP)
+	n.dead = false
+}
+
+// crashQP is the local-death path for one QP: error state, cancelled
+// timers, a fatal error CQE for any outstanding tail, and flush CQEs for
+// every posted receive. CQEs are written synchronously to host memory —
+// this is the driver reacting to the device loss, not the device.
+func (n *NIC) crashQP(qp *QP) {
+	if !qp.Errored {
+		qp.Errored = true
+		qp.QPFails++
+		n.cancelQPTimers(qp)
+		if qp.txN > 0 {
+			last := qp.txRing[(qp.txHead+qp.txN-1)%len(qp.txRing)]
+			qp.txN = 0
+			n.hostWriteSendCQE(qp, last.counter, mlx.CQEFatalErr)
+		}
+	} else {
+		n.cancelQPTimers(qp)
+	}
+	if !qp.fetching {
+		// Descriptors rung but not yet fetched would otherwise never
+		// complete: no further doorbell is coming once software sees the
+		// error. With a fetch in flight the flush instead happens from the
+		// completion's dead guard, keeping flush CQEs in counter order.
+		qp.flushRungWQEs()
+	}
+	for qp.recvPosted > 0 {
+		qp.recvPosted--
+		qp.rqAddrs = qp.rqAddrs[1:]
+		qp.FlushedRecvs++
+		n.hostWriteRecvFlushCQE(qp)
+	}
+	if len(qp.rqAddrs) == 0 {
+		qp.rqAddrs = nil
+	}
+}
+
+// hostWriteSendCQE writes a request completion straight into host memory,
+// bypassing the (dead) device's PCIe path.
+func (n *NIC) hostWriteSendCQE(qp *QP, counter uint16, status uint8) {
+	cqe := mlx.CQE{
+		Op:         mlx.CQEReq,
+		WQECounter: counter,
+		QPN:        qp.QPN,
+		Status:     status,
+		Gen:        qp.SendCQ.Gen(qp.sendCQPI),
+	}
+	enc, err := cqe.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("nic%d: CQE encode: %v", n.id, err))
+	}
+	n.mem.Write(qp.SendCQ.EntryAddr(qp.sendCQPI), enc[:])
+	qp.sendCQPI++
+	qp.CQEsWritten++
+}
+
+// hostWriteRecvFlushCQE writes one flushed-receive error completion
+// straight into host memory.
+func (n *NIC) hostWriteRecvFlushCQE(qp *QP) {
+	cqe := mlx.CQE{
+		Op:         mlx.CQERecv,
+		WQECounter: qp.recvCQPI,
+		QPN:        qp.QPN,
+		Status:     mlx.CQEFlushErr,
+		Gen:        qp.RecvCQ.Gen(qp.recvCQPI),
+	}
+	enc, err := cqe.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("nic%d: CQE encode: %v", n.id, err))
+	}
+	n.mem.Write(qp.RecvCQ.EntryAddr(qp.recvCQPI), enc[:])
+	qp.recvCQPI++
+	qp.CQEsWritten++
 }

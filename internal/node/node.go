@@ -73,7 +73,43 @@ func NewSystem(cfg *config.Config, n int) *System {
 	for i := 0; i < n; i++ {
 		sys.Nodes = append(sys.Nodes, newNode(k, sys.Net, cfg, i))
 	}
+	if sys.Faults != nil {
+		sys.scheduleEndpointFaults()
+	}
 	return sys
+}
+
+// scheduleEndpointFaults arms the configured endpoint faults as kernel
+// events: NIC crashes (with optional restart) and host pause windows on the
+// node's PCIe upstream issue path. Fault schedules naming nonexistent nodes
+// panic at build time, like unknown ports in topo.InjectFaults. The
+// injector's per-node records count each fault as it actually fires.
+func (s *System) scheduleEndpointFaults() {
+	cfg := s.Faults.Config()
+	for _, c := range cfg.Crashes {
+		if c.Node >= len(s.Nodes) {
+			panic(fmt.Sprintf("node: crash scheduled on unknown node %d (%d nodes)", c.Node, len(s.Nodes)))
+		}
+		nd, rec := s.Nodes[c.Node], s.Faults.Node(c.Node)
+		s.K.At(c.At, func() {
+			rec.Crashes++
+			nd.NIC.Crash()
+		})
+		if c.RestartAt != 0 {
+			s.K.At(c.RestartAt, func() { nd.NIC.Restart() })
+		}
+	}
+	for _, p := range cfg.Pauses {
+		if p.Node >= len(s.Nodes) {
+			panic(fmt.Sprintf("node: pause scheduled on unknown node %d (%d nodes)", p.Node, len(s.Nodes)))
+		}
+		nd, rec := s.Nodes[p.Node], s.Faults.Node(p.Node)
+		s.K.At(p.At, func() {
+			rec.Pauses++
+			nd.Link.PauseUp()
+		})
+		s.K.At(p.Resume, func() { nd.Link.ResumeUp() })
+	}
 }
 
 // Topo reports the system's compiled topology fabric.

@@ -66,6 +66,10 @@ type channel struct {
 	// (deadlock avoidance).
 	pend       []*TLP
 	pendPosted int
+	// stalled parks every send unconditionally — the host-pause fault
+	// model (the issue path is frozen; credits and ordering are evaluated
+	// again when the channel resumes).
+	stalled bool
 	// stats
 	sentTLP, sentDLLP uint64
 	blocked           uint64
@@ -185,6 +189,24 @@ func (l *Link) SendDown(t *TLP) { l.down.send(t) }
 // OnUpIssued hook will see it when it finally transmits.
 func (l *Link) SendUp(t *TLP) bool { return l.up.send(t) }
 
+// PauseUp freezes the endpoint→RC issue path: every subsequent SendUp parks
+// in the pend queue (OnUpIssued fires when it finally transmits), and
+// UpdateFC arrivals drain nothing until ResumeUp. This is the host-pause
+// fault model — the NIC's host-memory writes stall exactly as they would
+// under a GC pause or OS jitter window, so its bounded rx buffering fills
+// and backpressure (RNR NAK) propagates to peers.
+func (l *Link) PauseUp() { l.up.stalled = true }
+
+// ResumeUp unfreezes the endpoint→RC issue path and drains whatever parked
+// during the pause, in FIFO order under the usual credit/ordering rules.
+func (l *Link) ResumeUp() {
+	l.up.stalled = false
+	l.up.retryPending()
+}
+
+// UpPaused reports whether the endpoint→RC issue path is currently frozen.
+func (l *Link) UpPaused() bool { return l.up.stalled }
+
 // Blocked reports how many TLP sends stalled on credits, per direction.
 func (l *Link) Blocked() (down, up uint64) { return l.down.blocked, l.up.blocked }
 
@@ -219,6 +241,10 @@ func (c *channel) serialize(bytes int) units.Time {
 // while posted writes and completions may pass blocked non-posted reads
 // (the spec's deadlock-avoidance allowance).
 func (c *channel) send(t *TLP) bool {
+	if c.stalled {
+		c.park(t)
+		return false
+	}
 	if c.link.cfg.FlowControl {
 		kind, need := creditsFor(t)
 		ordered := c.pendPosted > 0 || (t.Type == MRd && len(c.pend) > 0)
@@ -352,24 +378,41 @@ func (c *channel) deliverDLLP(d *DLLP) {
 // retryPending attempts to transmit credit-blocked TLPs in order. Ordering
 // is preserved: the scan stops at the first TLP that still lacks credits.
 // Each pended upstream TLP that transmits is reported to the OnUpIssued
-// hook, in the same FIFO order it was parked.
+// hook, in the same FIFO order it was parked. A stalled (host-paused)
+// channel drains nothing — an UpdateFC arriving mid-pause must not sneak
+// TLPs past the frozen issue path.
 func (c *channel) retryPending() {
+	if c.stalled {
+		return
+	}
 	for len(c.pend) > 0 {
 		t := c.pend[0]
+		if !c.link.cfg.FlowControl {
+			// Stall-parked TLPs on an ideal (no flow control) link need no
+			// credits; taking some here would leak them forever.
+			c.popTransmit(t)
+			continue
+		}
 		kind, need := creditsFor(t)
 		if need.Hdr > 0 && !c.take(kind, need) {
 			return
 		}
-		c.pend = c.pend[1:]
-		if len(c.pend) == 0 {
-			c.pend = nil
-		}
-		if t.Type == MWr {
-			c.pendPosted--
-		}
-		c.transmit(t)
-		if c.dir == Up && c.link.onUpIssued != nil {
-			c.link.onUpIssued(t)
-		}
+		c.popTransmit(t)
+	}
+}
+
+// popTransmit removes the head pend entry (t) and puts it on the wire,
+// reporting upstream issues to the OnUpIssued hook.
+func (c *channel) popTransmit(t *TLP) {
+	c.pend = c.pend[1:]
+	if len(c.pend) == 0 {
+		c.pend = nil
+	}
+	if t.Type == MWr {
+		c.pendPosted--
+	}
+	c.transmit(t)
+	if c.dir == Up && c.link.onUpIssued != nil {
+		c.link.onUpIssued(t)
 	}
 }

@@ -1,0 +1,68 @@
+package perftest
+
+import (
+	"reflect"
+	"testing"
+
+	"breakband/internal/config"
+	"breakband/internal/topo"
+)
+
+// TestChaosScheduleDeterminism: the schedule is a pure function of
+// (seed, topology) — two derivations must agree exactly, and different
+// seeds must actually differ.
+func TestChaosScheduleDeterminism(t *testing.T) {
+	cfg := config.TX2CX4(config.NoiseOff, 1, true)
+	cfg.Topology = topo.Spec{Kind: topo.FatTree}
+	a := ChaosSchedule(7, cfg, 8)
+	b := ChaosSchedule(7, cfg, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("schedule not deterministic:\n%+v\n%+v", a, b)
+	}
+	c := ChaosSchedule(8, cfg, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("seeds 7 and 8 derived identical schedules")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("derived schedule invalid: %v", err)
+	}
+}
+
+// TestChaosSoakSingle exercises one seed verbosely (the debugging entry
+// point: go test -run TestChaosSoakSingle -v).
+func TestChaosSoakSingle(t *testing.T) {
+	res := ChaosSoak(config.TX2CX4(config.NoiseOff, 1, true), 1, ChaosOptions{})
+	t.Logf("%v", res)
+	if !res.Passed() {
+		t.Fatalf("seed 1 violated invariants:\n%v", res)
+	}
+}
+
+// TestChaosSoakSeedLadder is the acceptance soak: every seed on the ladder
+// must hold all five invariants, and across the ladder every fault class
+// must actually have fired (so the soak is known to exercise the machinery,
+// not dodge it).
+func TestChaosSoakSeedLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos ladder is a long soak")
+	}
+	seeds := make([]uint64, 20)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	var crashes, pauses, flaps, drops uint64
+	for _, res := range ChaosLadder(config.TX2CX4(config.NoiseOff, 1, true), seeds, ChaosOptions{}) {
+		t.Logf("%v", res)
+		if !res.Passed() {
+			t.Errorf("seed %d violated invariants:\n%v", res.Seed, res)
+		}
+		crashes += res.Crashes
+		pauses += res.Pauses
+		flaps += res.Flaps
+		drops += res.WireDropped
+	}
+	if crashes == 0 || pauses == 0 || flaps == 0 || drops == 0 {
+		t.Errorf("ladder did not exercise every fault class: %d crashes, %d pauses, %d flaps, %d wire drops",
+			crashes, pauses, flaps, drops)
+	}
+}

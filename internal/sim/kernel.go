@@ -76,6 +76,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"breakband/internal/units"
 )
@@ -296,6 +297,45 @@ func (k *Kernel) RunUntil(deadline Time) uint64 {
 
 // Pending reports the number of live events still queued.
 func (k *Kernel) Pending() int { return k.live }
+
+// StuckTasks reports the continuation tasks that are still live — neither
+// done nor cancelled — at the moment of the call. After a clean Run (event
+// queue drained) the slice is empty: a paused task always holds a scheduled
+// resume event, so live tasks can only survive a drain if something
+// cancelled their wake-up, and they survive a RunUntil/Stop/event-limit
+// exit whenever they are deadlocked or livelocked (e.g. polling a
+// completion that can never arrive). Blocking Proc adapters are not
+// tracked here; Kernel.Shutdown owns those.
+func (k *Kernel) StuckTasks() []*Task {
+	var out []*Task
+	for _, t := range k.tasks {
+		if t.done || t.cancelled {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// StallReport is the kernel's quiescence watchdog: it renders one line per
+// stuck task naming the task and its pause site (the frame type on top of
+// its stack plus the stack depth), or "" when every task terminated. Run a
+// bounded simulation (RunUntil or SetEventLimit plus recover), then consult
+// the report — a non-empty report turns a silent truncated run into stall
+// attribution: exactly which simulated threads are blocked, and in which
+// layer's frame they stopped.
+func (k *Kernel) StallReport() string {
+	stuck := k.StuckTasks()
+	if len(stuck) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: %d stuck task(s) at t=%v (%d event(s) still pending):\n", len(stuck), k.now, k.live)
+	for _, t := range stuck {
+		fmt.Fprintf(&b, "  - %s\n", t.StallSite())
+	}
+	return b.String()
+}
 
 // --- 4-ary min-heap over heapEnt, ordered by (at, seq) ---
 

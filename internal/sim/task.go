@@ -128,6 +128,17 @@ func (t *Task) step() {
 // Name reports the name the task was spawned with.
 func (t *Task) Name() string { return t.name }
 
+// StallSite describes where a live task currently sits: its name, the type
+// of the frame on top of its stack (the pause site — frame types are
+// layer-specific, so %T names the blocked layer directly), and the stack
+// depth. The kernel's StallReport renders one StallSite per stuck task.
+func (t *Task) StallSite() string {
+	if len(t.stack) == 0 {
+		return fmt.Sprintf("%s: empty frame stack", t.name)
+	}
+	return fmt.Sprintf("%s: paused in %T (stack depth %d)", t.name, t.stack[len(t.stack)-1], len(t.stack))
+}
+
 // Kernel returns the owning kernel.
 func (t *Task) Kernel() *Kernel { return t.k }
 

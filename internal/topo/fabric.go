@@ -781,6 +781,38 @@ func (t *Fabric) FormatHotPorts() string {
 	return b.String()
 }
 
+// PortNames enumerates every compiled output-port name in deterministic
+// order (host injection egresses first, then each switch's output ports in
+// port order) — the exact names InjectFaults accepts for scripted drops and
+// flaps. Fault-schedule generators (the chaos soak) derive valid targets
+// from it instead of hand-assembling name strings; it is empty on the ideal
+// two-endpoint tier, where flaps are rejected anyway.
+func (t *Fabric) PortNames() []string {
+	var out []string
+	for i := range t.hosts {
+		out = append(out, t.hosts[i].name)
+	}
+	for _, sw := range t.switches {
+		for i := range sw.outs {
+			out = append(out, sw.outs[i].name)
+		}
+	}
+	return out
+}
+
+// SwitchPortNames enumerates only the switch output-port names (the
+// flappable, redundantly-routed links on a fat-tree), in the same order
+// PortStats reports them.
+func (t *Fabric) SwitchPortNames() []string {
+	var out []string
+	for _, sw := range t.switches {
+		for i := range sw.outs {
+			out = append(out, sw.outs[i].name)
+		}
+	}
+	return out
+}
+
 // MaxSwitchQueue reports the deepest output-port queue any switch reached —
 // the headline congestion indicator of a run.
 func (t *Fabric) MaxSwitchQueue() int {

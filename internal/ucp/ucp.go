@@ -51,17 +51,32 @@ type Callback func(t *sim.Task)
 // Request is a nonblocking operation handle.
 type Request struct {
 	completed bool
+	err       error
 	cb        Callback
 	// recv-side fields
 	tag  uint64
 	data []byte
 }
 
-// Completed reports whether the operation has finished.
+// Completed reports whether the operation has finished — successfully or
+// with an error (every request terminates; inspect Err to distinguish).
 func (r *Request) Completed() bool { return r.completed }
+
+// Err reports the failure that terminated the request, nil on success (or
+// while still in flight). A send fails when its endpoint's QP enters the
+// error state (retry exhaustion against a dead peer, a local NIC crash); a
+// receive fails when it is cancelled against an errored endpoint.
+func (r *Request) Err() error { return r.err }
 
 // Data returns the received payload (valid once a receive completes).
 func (r *Request) Data() []byte { return r.data }
+
+// inflightSend pairs a posted-but-uncompleted send with the endpoint that
+// carries it, so error completions can be attributed to the right requests.
+type inflightSend struct {
+	req *Request
+	ep  *uct.Ep
+}
 
 type pendingPost struct {
 	ep      *Ep
@@ -82,6 +97,10 @@ type Stats struct {
 	SendCompletions uint64
 	RecvCompletions uint64
 	UnexpectedMsgs  uint64
+	// SendFailures and RecvFailures count requests terminated with an
+	// error instead of a delivery (endpoint failure propagation).
+	SendFailures uint64
+	RecvFailures uint64
 }
 
 // Worker is the UCP progress context on one core.
@@ -90,8 +109,9 @@ type Worker struct {
 	Cfg *config.Config
 
 	// inflight tracks successfully posted, uncompleted sends in post
-	// order (the reliable connection completes in order).
-	inflight []*Request
+	// order (the reliable connection completes in order), each tagged
+	// with its carrying endpoint for error attribution.
+	inflight []inflightSend
 	pending  []pendingPost
 
 	expected   []*Request
@@ -132,6 +152,11 @@ func (w *Worker) NewEp(mode uct.PostMode) *Ep {
 	e.sendF.e = e
 	return e
 }
+
+// Err reports the transport failure recorded on the underlying endpoint
+// (nil while healthy). Once set, sends short-circuit with the error and
+// posted receives from this peer can be cancelled — see CancelRecv.
+func (e *Ep) Err() error { return e.UctEp.Err }
 
 // encodeEager builds the eager wire payload: 8-byte tag header + data.
 func encodeEager(tag uint64, data []byte) []byte {
@@ -206,7 +231,7 @@ func (f *tagSendFrame) Step(t *sim.Task) {
 		case 1:
 			switch err := e.UctEp.LastPost(); err {
 			case nil:
-				w.inflight = append(w.inflight, f.req)
+				w.inflight = append(w.inflight, inflightSend{req: f.req, ep: e.UctEp})
 			case uct.ErrNoResource:
 				// Busy post: schedule for execution during progress
 				// (paper §6 caveat one).
@@ -296,15 +321,23 @@ func (f *progressFrame) Step(t *sim.Task) {
 			return
 		case 2:
 			pp := w.pending[0]
-			if pp.ep.UctEp.LastPost() != nil {
+			switch err := pp.ep.UctEp.LastPost(); {
+			case err == nil:
+				w.pending = w.pending[1:]
+				w.inflight = append(w.inflight, inflightSend{req: pp.req, ep: pp.ep.UctEp})
+				w.Stats.PendingExecuted++
+				f.pc = 1
+			case err == uct.ErrNoResource:
 				// Raced with another consumer of the slot.
 				f.pc = 3
-				continue
+			default:
+				// The endpoint failed while the post sat in the pending
+				// queue; it will never be transmitted. Terminate the
+				// request with the error instead of retrying forever.
+				w.pending = w.pending[1:]
+				w.failSend(t, pp.req, err)
+				f.pc = 1
 			}
-			w.pending = w.pending[1:]
-			w.inflight = append(w.inflight, pp.req)
-			w.Stats.PendingExecuted++
-			f.pc = 1
 		case 3:
 			f.pc = 4
 			w.Uct.StartProgress(t)
@@ -318,21 +351,70 @@ func (f *progressFrame) Step(t *sim.Task) {
 }
 
 // onSendComplete retires the n oldest in-flight sends (one signaled CQE
-// covers a whole unsignaled batch).
-func (w *Worker) onSendComplete(t *sim.Task, n int) {
+// covers a whole unsignaled batch). A successful completion retires the
+// globally oldest n — the reliable connection completes in order. An error
+// completion (the endpoint's QP failed and flushed its queue) retires the
+// oldest n posted on that endpoint, terminating each with the error: the
+// other endpoints' in-flight sends are unaffected.
+func (w *Worker) onSendComplete(t *sim.Task, ep *uct.Ep, n int, err error) {
+	if err != nil {
+		for i := 0; i < len(w.inflight) && n > 0; {
+			if w.inflight[i].ep != ep {
+				i++
+				continue
+			}
+			req := w.inflight[i].req
+			w.inflight = append(w.inflight[:i], w.inflight[i+1:]...)
+			n--
+			w.failSend(t, req, err)
+		}
+		return
+	}
 	if n > len(w.inflight) {
 		panic(fmt.Sprintf("ucp: completion for %d sends with only %d in flight", n, len(w.inflight)))
 	}
 	done := w.inflight[:n]
 	w.inflight = w.inflight[n:]
-	for _, req := range done {
+	for _, s := range done {
 		t.Advance(w.Cfg.SW.UcpSendCB.Sample(w.Uct.Node.Rand))
-		req.completed = true
+		s.req.completed = true
 		w.Stats.SendCompletions++
-		if req.cb != nil {
-			req.cb(t)
+		if s.req.cb != nil {
+			s.req.cb(t)
 		}
 	}
+}
+
+// failSend terminates a send request with an error; the upper-layer
+// callback still runs so MPI request machinery observes the completion.
+func (w *Worker) failSend(t *sim.Task, req *Request, err error) {
+	req.err = err
+	req.completed = true
+	w.Stats.SendFailures++
+	if req.cb != nil {
+		req.cb(t)
+	}
+}
+
+// CancelRecv terminates a posted-but-unmatched receive with an error (the
+// source endpoint died and nothing will arrive). It reports false if the
+// request is no longer expected — it already completed, possibly with data
+// that arrived before the failure. Mirrors the CQEFlushErr contract: flushed
+// operations complete with an error instead of hanging.
+func (w *Worker) CancelRecv(t *sim.Task, req *Request, err error) bool {
+	for i, q := range w.expected {
+		if q == req {
+			w.expected = append(w.expected[:i], w.expected[i+1:]...)
+			req.err = err
+			req.completed = true
+			w.Stats.RecvFailures++
+			if req.cb != nil {
+				req.cb(t)
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // onEager handles an arriving eager message inside uct progress.

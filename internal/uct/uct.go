@@ -114,8 +114,12 @@ type AmHandler func(t *sim.Task, data []byte)
 
 // SendCompletion is invoked during Progress for each completed send-side
 // operation (UCP registers it to drive its request machinery). It must be
-// pause-free (Advance only).
-type SendCompletion func(t *sim.Task, count int)
+// pause-free (Advance only). ep is the endpoint whose CQ produced the
+// completion; err is nil for a successful CQE and the endpoint failure for
+// an error CQE — the count operations are retired either way, but on error
+// nothing was delivered and the upper layer must fail the covered requests
+// rather than complete them.
+type SendCompletion func(t *sim.Task, ep *Ep, count int, err error)
 
 // Stats counts LLP events; the §6 methodology needs the busy-post count.
 type Stats struct {
@@ -793,21 +797,24 @@ func (f *progressFrame) Step(t *sim.Task) {
 			e.completed = cqe.WQECounter + 1
 			w.Stats.SendCQEs++
 			w.Stats.SendsFreed += uint64(n)
+			var cqErr error
 			if cqe.Status != mlx.CQEOK {
 				// Error completion: the NIC flushed the outstanding
-				// tail (retry exhaustion). The slots are freed but
+				// tail (retry exhaustion, a crashed local NIC, or a
+				// flushing errored QP). The slots are freed but
 				// nothing was delivered; surface it to the caller.
 				w.Stats.ErrorCQEs++
+				cqErr = fmt.Errorf("uct: qp %d send failed with completion status %d at counter %d",
+					cqe.QPN, cqe.Status, cqe.WQECounter)
 				if e.Err == nil {
-					e.Err = fmt.Errorf("uct: qp %d send failed with completion status %d at counter %d",
-						cqe.QPN, cqe.Status, cqe.WQECounter)
+					e.Err = cqErr
 				}
 			}
 			t.Advance(sw.LLPProgMisc.Sample(r))
 			// Registered callbacks run before uct_worker_progress
 			// returns (paper §5), so the profiled scope includes them.
 			if w.onSend != nil {
-				w.onSend(t, n)
+				w.onSend(t, e, n, cqErr)
 			}
 			w.profEndAs(t, f.tok, StLLPProg.Name())
 			f.n = n
@@ -833,6 +840,26 @@ func (f *progressFrame) Step(t *sim.Task) {
 			t.Advance(sw.LLPProgCQERead.Sample(r))
 			e.recvCI++
 			w.Stats.RecvCQEs++
+			if cqe.Status != mlx.CQEOK {
+				// Flushed receive: the QP entered the error state (the
+				// local NIC crashed) and the posted credit was retired
+				// undelivered. Record the failure, skip the AM dispatch,
+				// and do not replenish — nothing will arrive on this QP
+				// again.
+				w.Stats.ErrorCQEs++
+				if e.Err == nil {
+					e.Err = fmt.Errorf("uct: qp %d recv flushed with completion status %d",
+						cqe.QPN, cqe.Status)
+				}
+				if len(e.recvOrder) > 0 {
+					e.recvOrder = e.recvOrder[1:]
+				}
+				t.Advance(sw.LLPProgMisc.Sample(r))
+				w.profEndAs(t, f.tok, StLLPProg.Name())
+				f.n = 1
+				t.Return()
+				return
+			}
 			t.Advance(sw.LLPProgMisc.Sample(r))
 			// Every inbound send consumed one posted receive; retire
 			// its pool slot in FIFO order.

@@ -168,7 +168,7 @@ func TestUnsignaledPeriod(t *testing.T) {
 	dst := sys.Nodes[1].Mem.Alloc("dst", 64, 8)
 	e0.RemoteBuf = dst.Base
 	var freed int
-	w0.SetSendCompletion(func(p *sim.Task, n int) { freed += n })
+	w0.SetSendCompletion(func(p *sim.Task, _ *Ep, n int, _ error) { freed += n })
 	sys.K.Spawn("test", func(p *sim.Proc) {
 		tk := p.Task()
 		for i := 0; i < 8; i++ {

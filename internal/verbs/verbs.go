@@ -56,7 +56,25 @@ const (
 	// without forward progress and the flushed work requests were never
 	// acknowledged.
 	WCRetryExcErr
+	// WCFatalErr mirrors IBV_WC_FATAL_ERR: the local device itself died
+	// (NIC crash) and the work request can never execute.
+	WCFatalErr
 )
+
+// wcStatus maps a device CQE status byte to the verbs completion status.
+func wcStatus(s uint8) int {
+	switch s {
+	case mlx.CQERnrRetryExc:
+		return WCRnrRetryExcErr
+	case mlx.CQEFlushErr:
+		return WCFlushErr
+	case mlx.CQERetryExc:
+		return WCRetryExcErr
+	case mlx.CQEFatalErr:
+		return WCFatalErr
+	}
+	return WCSuccess
+}
 
 // ErrQPFull mirrors ENOMEM from ibv_post_send on a full send queue.
 var ErrQPFull = errors.New("verbs: send queue full")
@@ -429,15 +447,7 @@ func (f *pollFrame) Step(t *sim.Task) {
 				q.completed = cqe.WQECounter + 1
 				wrid := q.wrids[cqe.WQECounter]
 				delete(q.wrids, cqe.WQECounter)
-				status := WCSuccess
-				switch cqe.Status {
-				case mlx.CQERnrRetryExc:
-					status = WCRnrRetryExcErr
-				case mlx.CQEFlushErr:
-					status = WCFlushErr
-				case mlx.CQERetryExc:
-					status = WCRetryExcErr
-				}
+				status := wcStatus(cqe.Status)
 				// Keep the slot's reusable Data buffer (send completions
 				// carry no payload, but a caller sharing one wcs slice
 				// between send and recv polls must not lose the recv
@@ -454,6 +464,15 @@ func (f *pollFrame) Step(t *sim.Task) {
 			}
 			f.wr = q.recvWRs[0]
 			q.recvWRs = q.recvWRs[1:]
+			if st := wcStatus(cqe.Status); st != WCSuccess {
+				// Flushed receive (QP errored / NIC crashed): the work
+				// request retires unexecuted, carrying no payload.
+				f.wcs[f.n] = WC{WRID: f.wr.WRID, Status: st, Opcode: WROpSend, Data: f.wcs[f.n].Data[:0]}
+				f.n++
+				t.Advance(sw.LLPProgMisc.Sample(r))
+				f.pc = 0
+				continue
+			}
 			if int(cqe.ByteCnt) > mlx.ScatterMax {
 				// Large payload: it was DMA-written to the posted buffer.
 				// Read it into this WC's own reusable buffer.
