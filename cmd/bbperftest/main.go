@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|lossy|flap|chaos
+//	bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|saturate|lossy|flap|chaos
 //
 // Examples:
 //
@@ -25,6 +25,14 @@
 //	                                  # saturating incast against a bounded
 //	                                  # receiver: RNR NAKs, sender backoff
 //	                                  # and go-back-N replay
+//	bbperftest -nodes 5 saturate      # offered load stepped across the
+//	                                  # predicted incast bottleneck: knee
+//	                                  # point, per-port utilization and
+//	                                  # queue depths, per-layer stall shares
+//	bbperftest -trace out.json incast # export the run's event trace as
+//	                                  # Chrome trace-event JSON (and print
+//	                                  # transport recovery counters, which
+//	                                  # every command reports)
 //	bbperftest lossy                  # sequence-verified stream swept over
 //	                                  # the default drop-rate ladder
 //	bbperftest -droprate 1e-3 -corruptrate 1e-3 lossy
@@ -50,6 +58,7 @@ import (
 	"breakband/internal/node"
 	"breakband/internal/perftest"
 	"breakband/internal/topo"
+	"breakband/internal/trace"
 	"breakband/internal/uct"
 	"breakband/internal/units"
 )
@@ -75,12 +84,13 @@ var (
 	flagFlapDown = flag.Float64("flapdown", 100, "flap: link-down time in microseconds")
 	flagFlapUp   = flag.Float64("flapup", 200, "flap: link-restore time in microseconds")
 	flagSeeds    = flag.Int("seeds", 5, "chaos: seed-ladder length (seeds -seed .. -seed+N-1)")
+	flagTrace    = flag.String("trace", "", "write the run's event trace as Chrome trace-event JSON to this file (enables tracing)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|lossy|flap|chaos")
+		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|saturate|lossy|flap|chaos")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -113,7 +123,7 @@ func main() {
 	nodes := *flagNodes
 	if nodes == 0 {
 		switch test {
-		case "incast", "oversub":
+		case "incast", "oversub", "saturate":
 			nodes = 5
 		case "flap":
 			nodes = 6
@@ -136,6 +146,12 @@ func main() {
 		cfg := config.TX2CX4(noise, *flagSeed, !*flagDirect)
 		cfg.Topology = spec
 		cfg.NICRxBudget = rxBudget
+		if *flagTrace != "" || test == "saturate" {
+			// The tracer rides the kernel: lifecycle spans and policy
+			// decisions from every layer, feeding the -trace export and the
+			// saturate command's stall attribution.
+			cfg.TraceCapacity = 1 << 20
+		}
 		cfg.Faults.DropRate = *flagDropRate
 		cfg.Faults.CorruptRate = *flagCorrupt
 		if test == "flap" {
@@ -153,12 +169,22 @@ func main() {
 	opt := perftest.Options{Iters: *flagIters, Warmup: *flagWarmup, MsgSize: *flagSize, Mode: mode}
 
 	switch test {
+	case "sweep", "chaos", "saturate":
+		if *flagTrace != "" {
+			// These commands build many systems internally; there is no
+			// single run to export.
+			fmt.Fprintf(os.Stderr, "bbperftest: -trace applies to single-system commands; ignored for %s\n", test)
+		}
+	}
+
+	switch test {
 	case "put_bw":
 		sys := mkSys()
 		defer sys.Shutdown()
 		res := perftest.PutBw(sys, opt)
 		fmt.Println(res)
 		fmt.Printf("paper model (Equation 1): %.2f ns between messages\n", config.TabLLPInjModel)
+		report(sys)
 	case "am_lat":
 		sys := mkSys()
 		defer sys.Shutdown()
@@ -167,11 +193,13 @@ func main() {
 		s := res.RTTs.Summarize()
 		fmt.Printf("round trips: %s\n", s)
 		fmt.Printf("paper model (§4.3): %.2f ns one-way\n", config.TabLLPLatencyModel)
+		report(sys)
 	case "multi":
 		sys := mkSys()
 		defer sys.Shutdown()
 		res := perftest.MultiPutBw(sys, *flagCores, opt)
 		fmt.Println(res)
+		report(sys)
 	case "sweep":
 		// Doubling core counts up to -cores; each point is an isolated
 		// fresh system, so the sweep fans out on the -parallel pool.
@@ -188,12 +216,14 @@ func main() {
 		res := perftest.IncastPutBw(sys, 0, opt)
 		fmt.Println(res)
 		printHotPorts(sys)
+		report(sys)
 	case "alltoall":
 		sys := mkSys()
 		defer sys.Shutdown()
 		res := perftest.AllToAllPutBw(sys, opt)
 		fmt.Println(res)
 		printHotPorts(sys)
+		report(sys)
 	case "oversub":
 		if *flagSize == 8 {
 			// The receiver PCIe link only becomes the bottleneck once one
@@ -209,6 +239,7 @@ func main() {
 		fmt.Printf("receiver PCIe service model: %.1f ns/msg (%.0f msg/s aggregate ceiling)\n",
 			res.ModelCycleNs, 1e9/res.ModelCycleNs)
 		printHotPorts(sys)
+		report(sys)
 	case "lossy":
 		if *flagDropRate == 0 && *flagCorrupt == 0 {
 			// No explicit rates: sweep the default drop-rate ladder, one
@@ -223,6 +254,7 @@ func main() {
 		res := perftest.LossyPutBw(sys, opt)
 		fmt.Println(res)
 		printFaultPorts(sys)
+		report(sys)
 	case "flap":
 		if *flagSize == 8 {
 			// Match the incast-family default: 4 KiB puts congest the
@@ -237,6 +269,19 @@ func main() {
 		fmt.Println(res)
 		printFaultPorts(sys)
 		printHotPorts(sys)
+		report(sys)
+	case "saturate":
+		if *flagSize == 8 {
+			// Match the incast-family default: 4 KiB puts make the receiver
+			// path (wire vs PCIe write cycle) the contended stage.
+			opt.MsgSize = 4096
+		}
+		// Offered load stepped across the predicted bottleneck (1.0 = the
+		// analytic saturation point); each step is a fresh system fanned
+		// out on the -parallel pool.
+		loads := []float64{0.6, 0.8, 1.0, 1.2, 1.4}
+		res := perftest.SaturationSweep(mkSys, 0, loads, opt, *flagParallel)
+		fmt.Print(res.Format())
 	case "chaos":
 		// Seeded chaos soak ladder: each seed derives its own randomized
 		// fault schedule (wire loss, flaps, endpoint crashes, host pauses)
@@ -263,6 +308,83 @@ func main() {
 	}
 }
 
+// report appends the uniform observability tail every command shares: the
+// per-QP and per-node transport recovery counters, endpoint fault records,
+// and the -trace export.
+func report(sys *node.System) {
+	printRecovery(sys)
+	dumpTrace(sys)
+}
+
+// printRecovery lists the transport recovery work of the run: per-node
+// aggregates with a per-QP breakdown (nodes and QPs with no recovery
+// activity are skipped, so healthy runs print nothing), plus the per-node
+// crash and pause records when fault injection is armed.
+func printRecovery(sys *node.System) {
+	header := func() {
+		fmt.Println("transport recovery:")
+	}
+	printed := false
+	for _, nd := range sys.Nodes {
+		st := nd.NIC.Stats()
+		if st.AckTimeouts == 0 && st.SeqNaksRecv == 0 && st.Retransmits == 0 &&
+			st.RNRNaksRecv == 0 && st.RNRNaksSent == 0 && st.CrashDiscards == 0 {
+			continue
+		}
+		if !printed {
+			header()
+			printed = true
+		}
+		fmt.Printf("  node%-4d %5d ack timeout(s), %5d seq NAK(s), %5d RNR NAK(s) recv / %d sent, %5d retransmit(s), %d crash discard(s)\n",
+			nd.ID, st.AckTimeouts, st.SeqNaksRecv, st.RNRNaksRecv, st.RNRNaksSent, st.Retransmits, st.CrashDiscards)
+		for _, qp := range nd.NIC.QPs() {
+			if qp.AckTimeouts == 0 && qp.SeqNaksRecv == 0 && qp.Retransmits == 0 && qp.RNRNaksRecv == 0 {
+				continue
+			}
+			fmt.Printf("    qp%-5d %5d ack timeout(s), %5d seq NAK(s), %5d RNR NAK(s), %5d retransmit(s)\n",
+				qp.QPN, qp.AckTimeouts, qp.SeqNaksRecv, qp.RNRNaksRecv, qp.Retransmits)
+		}
+	}
+	if sys.Faults != nil {
+		for _, nf := range sys.Faults.NodeFaultRecords() {
+			if nf.Crashes == 0 && nf.Pauses == 0 {
+				continue
+			}
+			if !printed {
+				header()
+				printed = true
+			}
+			fmt.Printf("  node%-4d %d crash(es), %d pause(s)\n", nf.Node, nf.Crashes, nf.Pauses)
+		}
+	}
+}
+
+// dumpTrace writes the captured event trace as Chrome trace-event JSON
+// (load in chrome://tracing or Perfetto) when -trace is set.
+func dumpTrace(sys *node.System) {
+	if *flagTrace == "" {
+		return
+	}
+	tr := sys.Tracer()
+	if tr == nil {
+		fmt.Fprintln(os.Stderr, "bbperftest: -trace set but tracing is disabled")
+		return
+	}
+	f, err := os.Create(*flagTrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbperftest:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events := tr.Events()
+	if err := trace.WriteChrome(f, tr, events); err != nil {
+		fmt.Fprintln(os.Stderr, "bbperftest:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: wrote %d event(s) to %s (%d overwritten in the ring)\n",
+		len(events), *flagTrace, tr.Overwritten())
+}
+
 // printFaultPorts lists the per-link fault counters of the run.
 func printFaultPorts(sys *node.System) {
 	if sys.Faults == nil {
@@ -275,9 +397,6 @@ func printFaultPorts(sys *node.System) {
 		}
 		fmt.Printf("  %-16s %6d dropped, %6d corrupted, %3d flaps\n",
 			l.Name, l.Dropped, l.Corrupted, l.Flaps)
-	}
-	for _, nf := range sys.Faults.NodeFaultRecords() {
-		fmt.Printf("  node%-12d %6d crash(es), %6d pause(s)\n", nf.Node, nf.Crashes, nf.Pauses)
 	}
 }
 

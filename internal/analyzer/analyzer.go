@@ -61,6 +61,12 @@ type Analyzer struct {
 	enabled bool
 	// Limit bounds capture size; 0 means unlimited.
 	Limit int
+	// ring, when non-nil, switches capture into circular mode (SetRing):
+	// length grows to capacity, then ringHead marks the oldest record and
+	// new captures overwrite it.
+	ring        []Record
+	ringHead    int
+	overwritten uint64
 }
 
 var _ pcie.Tap = (*Analyzer)(nil)
@@ -73,25 +79,67 @@ func New(name string) *Analyzer {
 // Name reports the analyzer's label.
 func (a *Analyzer) Name() string { return a.name }
 
+// full reports whether capture must stop: only the chunked store honours
+// Limit — a ring never fills, it wraps.
+func (a *Analyzer) full() bool {
+	return a.ring == nil && a.Limit > 0 && a.n >= a.Limit
+}
+
 // SetEnabled starts or stops capture. A disabled analyzer records nothing,
 // and — because taps are passive — has zero effect on timing either way
 // (asserted by test).
 func (a *Analyzer) SetEnabled(on bool) { a.enabled = on }
 
-// Clear discards the captured trace, retaining chunk capacity for reuse.
+// Clear discards the captured trace, retaining chunk (and ring) capacity
+// for reuse.
 func (a *Analyzer) Clear() {
 	for i := range a.chunks {
 		a.chunks[i] = a.chunks[i][:0]
 	}
 	a.active = 0
 	a.n = 0
+	if a.ring != nil {
+		a.ring = a.ring[:0]
+	}
+	a.ringHead = 0
+	a.overwritten = 0
 }
 
-// Len reports the number of captured records.
+// SetRing switches capture into circular mode: the analyzer retains only
+// the most recent n records, overwriting the oldest once the buffer fills —
+// the hardware analyzer's circular capture buffer, which lets a soak run of
+// any length keep the trace tail in bounded memory. SetRing(0) returns to
+// unbounded chunked capture. Switching modes discards the current trace.
+func (a *Analyzer) SetRing(n int) {
+	a.Clear()
+	if n > 0 {
+		a.ring = make([]Record, 0, n)
+	} else {
+		a.ring = nil
+	}
+}
+
+// Overwritten reports how many records the ring has discarded to make room
+// (always 0 in chunked mode).
+func (a *Analyzer) Overwritten() uint64 { return a.overwritten }
+
+// Len reports the number of records currently held.
 func (a *Analyzer) Len() int { return a.n }
 
-// add appends one record to the chunked trace.
+// add appends one record to the trace: into the circular buffer in ring
+// mode, else onto the chunked store.
 func (a *Analyzer) add(r Record) {
+	if a.ring != nil {
+		if len(a.ring) < cap(a.ring) {
+			a.ring = append(a.ring, r)
+			a.n++
+			return
+		}
+		a.ring[a.ringHead] = r
+		a.ringHead = (a.ringHead + 1) % cap(a.ring)
+		a.overwritten++
+		return
+	}
 	if a.active == len(a.chunks) {
 		a.chunks = append(a.chunks, make([]Record, 0, recChunk))
 	}
@@ -103,8 +151,18 @@ func (a *Analyzer) add(r Record) {
 	a.n++
 }
 
-// each calls fn for every captured record in capture order.
+// each calls fn for every held record in capture order (oldest first — in a
+// wrapped ring that is ringHead onward, then the records before it).
 func (a *Analyzer) each(fn func(Record)) {
+	if a.ring != nil {
+		for i := a.ringHead; i < len(a.ring); i++ {
+			fn(a.ring[i])
+		}
+		for i := 0; i < a.ringHead; i++ {
+			fn(a.ring[i])
+		}
+		return
+	}
 	for _, c := range a.chunks {
 		for i := range c {
 			fn(c[i])
@@ -115,7 +173,7 @@ func (a *Analyzer) each(fn func(Record)) {
 // ObserveTLP implements pcie.Tap. The TLP is borrowed; the fields the trace
 // keeps are copied here.
 func (a *Analyzer) ObserveTLP(at units.Time, dir pcie.Dir, t *pcie.TLP) {
-	if !a.enabled || (a.Limit > 0 && a.n >= a.Limit) {
+	if !a.enabled || a.full() {
 		return
 	}
 	a.add(Record{
@@ -126,7 +184,7 @@ func (a *Analyzer) ObserveTLP(at units.Time, dir pcie.Dir, t *pcie.TLP) {
 
 // ObserveDLLP implements pcie.Tap. The DLLP is borrowed; see ObserveTLP.
 func (a *Analyzer) ObserveDLLP(at units.Time, dir pcie.Dir, d *pcie.DLLP) {
-	if !a.enabled || (a.Limit > 0 && a.n >= a.Limit) {
+	if !a.enabled || a.full() {
 		return
 	}
 	a.add(Record{
@@ -238,21 +296,21 @@ func (a *Analyzer) FormatTrace(n int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-14s %-6s %-6s %-8s %-16s %s\n", "TIME", "DIR", "KIND", "PAYLOAD", "ADDR", "SEQ")
 	i := 0
-out:
-	for _, c := range a.chunks {
-		for _, r := range c {
-			if n > 0 && i >= n {
+	a.each(func(r Record) {
+		if n > 0 && i >= n {
+			if i == n {
 				fmt.Fprintf(&b, "... (%d more records)\n", a.n-n)
-				break out
 			}
 			i++
-			addr := ""
-			if r.IsTLP {
-				addr = fmt.Sprintf("%#x", r.Addr)
-			}
-			fmt.Fprintf(&b, "%-14s %-6s %-6s %-8d %-16s %d\n",
-				r.At.String(), r.Dir.String(), r.Kind(), r.Payload, addr, r.Seq)
+			return
 		}
-	}
+		i++
+		addr := ""
+		if r.IsTLP {
+			addr = fmt.Sprintf("%#x", r.Addr)
+		}
+		fmt.Fprintf(&b, "%-14s %-6s %-6s %-8d %-16s %d\n",
+			r.At.String(), r.Dir.String(), r.Kind(), r.Payload, addr, r.Seq)
+	})
 	return b.String()
 }

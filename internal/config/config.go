@@ -243,6 +243,15 @@ type Config struct {
 
 	// MemBytes is each node's host memory size.
 	MemBytes uint64
+
+	// TraceCapacity, when positive, enables fabric-wide event tracing:
+	// node.NewSystem installs a trace.Tracer whose ring holds this many
+	// events on the kernel before any layer is built, so every layer
+	// captures it at construction. The ring overwrites oldest-first when
+	// full. Zero (the default) disables tracing entirely — no TIDs are
+	// stamped, no events emitted, and the hot paths are byte-identical
+	// with the untraced build.
+	TraceCapacity int
 }
 
 func dist(noise NoiseLevel, ns, cv float64) rng.Dist {

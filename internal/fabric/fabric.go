@@ -155,6 +155,13 @@ type Frame struct {
 	// and PSN/timeout recovery takes over.
 	Corrupted bool
 
+	// TID is the frame's trace id (internal/trace), stamped by the sending
+	// NIC when tracing is enabled. Zero means untraced: every trace emit
+	// site checks it, so with tracing disabled the field stays zero and
+	// costs nothing. Each transmission gets a fresh id — a replayed WQE is
+	// a new flight.
+	TID uint32
+
 	// payload aliases the pooled slot's reusable buffer; fill through
 	// SetPayload.
 	payload []byte
@@ -208,6 +215,7 @@ func NewFrameArena() *arena.Arena[Frame] {
 			f.Bytes = 0
 			f.PSN = 0
 			f.Corrupted = false
+			f.TID = 0
 			f.HopRef = 0
 			f.RxPendWrites = 0
 			f.payload = f.payload[:0]

@@ -61,12 +61,14 @@ package nic
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"breakband/internal/fabric"
 	"breakband/internal/memsim"
 	"breakband/internal/mlx"
 	"breakband/internal/pcie"
 	"breakband/internal/sim"
+	"breakband/internal/trace"
 	"breakband/internal/units"
 )
 
@@ -342,6 +344,12 @@ type NIC struct {
 	link *pcie.Link
 	net  fabric.Deliverer
 	cfg  Config
+	// tr is the kernel's event tracer, captured at construction (nil when
+	// tracing is disabled — every emit site is behind one pointer test).
+	// The NIC is the trace authority for frame identity: it stamps a fresh
+	// TID on every transmission (replays included), so each flight is
+	// distinguishable downstream.
+	tr *trace.Tracer
 
 	qps     map[uint32]*QP
 	byBAR   map[uint64]*QP // BAR window base -> QP
@@ -452,7 +460,7 @@ func New(k *sim.Kernel, id int, mem *memsim.Memory, link *pcie.Link, net fabric.
 		cfg.AckTimeoutMax = 16 * cfg.AckTimeout
 	}
 	n := &NIC{
-		k: k, id: id, mem: mem, link: link, net: net, cfg: cfg,
+		k: k, id: id, mem: mem, link: link, net: net, cfg: cfg, tr: k.Tracer(),
 		qps:     make(map[uint32]*QP),
 		byBAR:   make(map[uint64]*QP),
 		barNext: pcie.BARBase,
@@ -539,6 +547,18 @@ func (n *NIC) Stats() Stats {
 	}
 	s.CrashDiscards = n.crashDiscards
 	return s
+}
+
+// QPs returns the live queue pairs in QPN order — the per-QP breakdown of
+// the transport counters the aggregate Stats sums. Generations wiped by a
+// crash-restart are only visible in the aggregate.
+func (n *NIC) QPs() []*QP {
+	out := make([]*QP, 0, len(n.qps))
+	for _, qp := range n.qps {
+		out = append(out, qp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].QPN < out[j].QPN })
+	return out
 }
 
 // CreateQP allocates a queue pair with the given ring depths (powers of
@@ -680,6 +700,9 @@ func (n *NIC) upIssued(*pcie.TLP) {
 		// the same way rxData resolved it at admission.
 		if qp, ok := n.qps[f.Op.DstQPN]; ok {
 			qp.rxHeld--
+		}
+		if n.tr != nil && f.TID != 0 {
+			n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvRelease, TID: f.TID, Node: int16(n.id)})
 		}
 		f.Release()
 	}
@@ -854,6 +877,11 @@ func (n *NIC) txRecFrame(qp *QP, rec *txRec) {
 	f.Op = rec.op
 	f.PSN = rec.counter
 	f.SetPayload(rec.payload)
+	if n.tr != nil {
+		f.TID = n.tr.NextTID()
+		n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvInject, TID: f.TID,
+			Node: int16(n.id), Arg: trace.ArgMsg(qp.QPN, len(rec.payload), uint32(rec.counter))})
+	}
 	if n.cfg.TxProcess > 0 {
 		n.k.AfterArg(n.cfg.TxProcess, n.txFrameFn, f)
 		return
@@ -883,6 +911,10 @@ func (n *NIC) handleFrame(f *fabric.Frame) {
 		// The NIC is dark: whatever arrives is dropped on the floor. Peers
 		// discover the death through their own ACK-timeout path.
 		n.crashDiscards++
+		if n.tr != nil && f.TID != 0 {
+			n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvDrop, TID: f.TID, Node: int16(n.id)})
+			n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvRelease, TID: f.TID, Node: int16(n.id)})
+		}
 		f.Release()
 		return
 	}
@@ -897,6 +929,13 @@ func (n *NIC) handleFrame(f *fabric.Frame) {
 		n.rxNak(f.Ack)
 	case fabric.SeqNak:
 		n.rxSeqNak(f.Ack)
+	}
+	// ACK-class frames are never TID-stamped, so this release emit covers
+	// exactly the data frames that were not held for deferred release:
+	// refused, discarded and duplicate flights (already marked dead) plus
+	// accepted frames whose host writes all issued immediately.
+	if n.tr != nil && f.TID != 0 {
+		n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvRelease, TID: f.TID, Node: int16(n.id)})
 	}
 	f.Release()
 }
@@ -923,6 +962,7 @@ func (n *NIC) rxData(f *fabric.Frame) (held bool) {
 			// A frame addressed to a QP generation wiped by crash-restart:
 			// stale traffic from before the death, silently discarded.
 			n.crashDiscards++
+			n.traceDrop(f)
 			return false
 		}
 		panic(fmt.Sprintf("nic%d: data frame for unknown qp %d", n.id, op.DstQPN))
@@ -932,10 +972,12 @@ func (n *NIC) rxData(f *fabric.Frame) (held bool) {
 			// Duplicate: the payload already reached the application
 			// exactly once; only the acknowledgement needs repair.
 			qp.DupRxFrames++
+			n.traceDrop(f)
 			n.emitAck(n.net.AckFor(f, fabric.AckInfo{QPN: op.SrcQPN, Counter: qp.rxPSN - 1}))
 			return false
 		}
 		qp.RxDiscarded++
+		n.traceDrop(f)
 		if !qp.rxRecovery {
 			qp.SeqNaksSent++
 			qp.rxRecovery = true
@@ -1002,6 +1044,10 @@ func (n *NIC) rxData(f *fabric.Frame) (held bool) {
 		t.SetData(enc[:])
 		qp.recvCQPI++
 		qp.CQEsWritten++
+		if n.tr != nil {
+			n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvCQE,
+				Node: int16(n.id), Arg: trace.ArgQP(qp.QPN, uint64(cqe.WQECounter))})
+		}
 		n.sendUp(t, f)
 	default:
 		panic(fmt.Sprintf("nic%d: unexpected opcode %v", n.id, mlx.Opcode(op.Opcode)))
@@ -1035,12 +1081,25 @@ func (n *NIC) emitAck(ack *fabric.Frame) {
 	n.net.SendAck(ack)
 }
 
+// traceDrop marks a delivered-but-discarded data frame's flight dead in the
+// trace (duplicate, sequence gap, or stale post-crash traffic) so the
+// attribution cannot mistake its release for a message completion.
+func (n *NIC) traceDrop(f *fabric.Frame) {
+	if n.tr != nil && f.TID != 0 {
+		n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvDrop, TID: f.TID, Node: int16(n.id)})
+	}
+}
+
 // refuse answers a data frame the NIC cannot buffer with an RNR NAK and
 // puts the target QP into recovery: every later frame is discarded until
 // the refused counter is retransmitted. The NAK advertises
 // Config.RnrNakTimer (when set) as the initiator's backoff base.
 func (n *NIC) refuse(qp *QP, f *fabric.Frame) {
 	qp.RNRNaksSent++
+	if n.tr != nil && f.TID != 0 {
+		n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvRefuse, TID: f.TID,
+			Node: int16(n.id), Arg: trace.ArgMsg(f.Op.SrcQPN, 0, uint32(f.PSN))})
+	}
 	qp.rxRecovery = true
 	qp.rxResume = f.Op.Counter
 	nak := n.net.AckFor(f, fabric.AckInfo{QPN: f.Op.SrcQPN, Counter: f.Op.Counter, Timer: n.cfg.RnrNakTimer})
@@ -1128,6 +1187,10 @@ func (n *NIC) writeSendCQE(qp *QP, counter uint16, status uint8) {
 	t.SetData(enc[:])
 	qp.sendCQPI++
 	qp.CQEsWritten++
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvCQE,
+			Node: int16(n.id), Arg: trace.ArgQP(qp.QPN, uint64(counter))})
+	}
 	n.sendUp(t, nil)
 }
 
@@ -1182,6 +1245,10 @@ func (n *NIC) rxNak(c fabric.AckInfo) {
 	}
 	qp.awaitingRetry = true
 	qp.RnrStall += backoff
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvNakRx,
+			Node: int16(n.id), Arg: trace.ArgQP(qp.QPN, uint64(backoff))})
+	}
 	qp.rnrEv = n.k.AfterArg(backoff, n.retransmitFn, qp)
 }
 
@@ -1210,6 +1277,10 @@ func (n *NIC) rxSeqNak(c fabric.AckInfo) {
 	}
 	qp.SeqNaksRecv++
 	qp.retries++
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvSeqNakRx,
+			Node: int16(n.id), Arg: trace.ArgQP(qp.QPN, uint64(c.Counter))})
+	}
 	if n.cfg.RetryCnt >= 0 && qp.retries > n.cfg.RetryCnt {
 		n.failQP(qp, mlx.CQERetryExc)
 		return
@@ -1241,6 +1312,13 @@ func (n *NIC) retransmit(qp *QP) {
 // go-back-N tail of all three recovery paths (RNR backoff expiry, sequence
 // NAK, ACK timeout).
 func (n *NIC) replayTail(qp *QP) {
+	if n.tr != nil {
+		// One retransmission decision per recovery round (RNR backoff
+		// expiry, sequence NAK, ACK timeout); it also closes the open
+		// backoff window in the attribution.
+		n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvRetx,
+			Node: int16(n.id), Arg: trace.ArgQP(qp.QPN, uint64(qp.txN))})
+	}
 	for i := 0; i < qp.txN; i++ {
 		qp.Retransmits++
 		n.txRecFrame(qp, &qp.txRing[(qp.txHead+i)%len(qp.txRing)])
@@ -1297,6 +1375,10 @@ func (n *NIC) ackTimeout(qp *QP) {
 	}
 	qp.AckTimeouts++
 	qp.retries++
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvAckTimeout,
+			Node: int16(n.id), Arg: trace.ArgQP(qp.QPN, uint64(eff))})
+	}
 	if n.cfg.RetryCnt >= 0 && qp.retries > n.cfg.RetryCnt {
 		n.failQP(qp, mlx.CQERetryExc)
 		return
@@ -1337,6 +1419,10 @@ func (n *NIC) failQP(qp *QP, status uint8) {
 	qp.Errored = true
 	qp.QPFails++
 	qp.RetryExhausted++
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvFlush,
+			Node: int16(n.id), Arg: trace.ArgQP(qp.QPN, uint64(qp.txN))})
+	}
 	n.cancelQPTimers(qp)
 	last := qp.txRing[(qp.txHead+qp.txN-1)%len(qp.txRing)]
 	qp.txN = 0
@@ -1363,6 +1449,9 @@ func (n *NIC) Crash() {
 	}
 	n.dead = true
 	n.everCrashed = true
+	if n.tr != nil {
+		n.tr.Emit(trace.Event{At: n.k.Now(), Kind: trace.EvCrash, Node: int16(n.id)})
+	}
 	for _, qp := range n.qps {
 		n.crashQP(qp)
 	}

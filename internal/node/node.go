@@ -21,6 +21,7 @@ import (
 	"breakband/internal/rng"
 	"breakband/internal/sim"
 	"breakband/internal/topo"
+	"breakband/internal/trace"
 	"breakband/internal/vtimer"
 )
 
@@ -61,6 +62,11 @@ func NewSystem(cfg *config.Config, n int) *System {
 		panic("node: a system needs at least two nodes")
 	}
 	k := sim.NewKernel()
+	if cfg.TraceCapacity > 0 {
+		// The tracer must be on the kernel before any layer is built:
+		// fabric, NICs and links capture the pointer at construction.
+		k.SetTracer(trace.New(cfg.TraceCapacity))
+	}
 	sys := &System{K: k, Cfg: cfg, Net: topo.NewFabric(k, cfg.Fabric, cfg.Topology, n)}
 	if cfg.Faults.Enabled() {
 		inj, err := faults.NewInjector(cfg.Seed, cfg.Faults)
@@ -115,9 +121,14 @@ func (s *System) scheduleEndpointFaults() {
 // Topo reports the system's compiled topology fabric.
 func (s *System) Topo() *topo.Fabric { return s.Net.(*topo.Fabric) }
 
+// Tracer reports the system's event tracer (nil when Config.TraceCapacity
+// is zero).
+func (s *System) Tracer() *trace.Tracer { return s.K.Tracer() }
+
 func newNode(k *sim.Kernel, net fabric.Deliverer, cfg *config.Config, id int) *Node {
 	mem := memsim.New(cfg.MemBytes)
 	link := pcie.NewLink(k, cfg.Link)
+	link.SetTraceNode(id)
 	rc := pcie.NewRootComplex(k, mem, link, cfg.RC)
 	nc := cfg.NIC
 	if cfg.NICRxBudget > 0 {

@@ -5,6 +5,7 @@ import (
 
 	"breakband/internal/arena"
 	"breakband/internal/sim"
+	"breakband/internal/trace"
 	"breakband/internal/units"
 )
 
@@ -99,6 +100,11 @@ type Link struct {
 	// The endpoint uses it to defer resource hand-back (fabric frame
 	// release) until its host-memory write has actually been issued.
 	onUpIssued func(*TLP)
+	// tr is the kernel tracer (nil when tracing is disabled); trNode is the
+	// owning node's identity, set by the system builder, so upstream
+	// pend/issue events localize PCIe pressure to a host.
+	tr     *trace.Tracer
+	trNode int16
 
 	// Packet pools; see the package borrow contract.
 	tlps  *arena.Arena[TLP]
@@ -108,7 +114,7 @@ type Link struct {
 // NewLink builds a link; attach receivers with SetRCSide/SetEndpointSide
 // before sending.
 func NewLink(k *sim.Kernel, cfg LinkConfig) *Link {
-	l := &Link{k: k, cfg: cfg, tlps: newTLPArena(), dllps: newDLLPArena()}
+	l := &Link{k: k, cfg: cfg, tlps: newTLPArena(), dllps: newDLLPArena(), tr: k.Tracer()}
 	pools := [2]Credits{Posted: cfg.PostedCredits, NonPosted: cfg.NonPostedCredits}
 	l.down = &channel{link: l, dir: Down, avail: pools}
 	l.up = &channel{link: l, dir: Up, avail: pools}
@@ -172,6 +178,11 @@ func (l *Link) SetEndpointSide(r Receiver) { l.epSide = r }
 
 // AddTap registers a passive observer positioned just before the endpoint.
 func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// SetTraceNode tags this link's trace events with the owning node's
+// identity. The system builder calls it once at construction; without it
+// (or with tracing disabled) pend/issue events carry node 0.
+func (l *Link) SetTraceNode(node int) { l.trNode = int16(node) }
 
 // SetOnUpIssued registers fn to be called each time a previously
 // credit-blocked upstream TLP is popped from the pend queue and actually
@@ -278,6 +289,12 @@ func (c *channel) park(t *TLP) {
 	c.blocked++
 	if len(c.pend) > c.maxPend {
 		c.maxPend = len(c.pend)
+	}
+	// Upstream pend is the receiver-overload signal the attribution cares
+	// about: a host write waiting out PCIe credits. Arg carries the depth.
+	if l := c.link; c.dir == Up && l.tr != nil {
+		l.tr.Emit(trace.Event{At: l.k.Now(), Kind: trace.EvPend,
+			Node: l.trNode, Arg: uint64(len(c.pend))})
 	}
 }
 
@@ -412,6 +429,10 @@ func (c *channel) popTransmit(t *TLP) {
 		c.pendPosted--
 	}
 	c.transmit(t)
+	if l := c.link; c.dir == Up && l.tr != nil {
+		l.tr.Emit(trace.Event{At: l.k.Now(), Kind: trace.EvIssue,
+			Node: l.trNode, Arg: uint64(len(c.pend))})
+	}
 	if c.dir == Up && c.link.onUpIssued != nil {
 		c.link.onUpIssued(t)
 	}

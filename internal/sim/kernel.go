@@ -78,6 +78,7 @@ import (
 	"fmt"
 	"strings"
 
+	"breakband/internal/trace"
 	"breakband/internal/units"
 )
 
@@ -168,6 +169,13 @@ type Kernel struct {
 	// primitive). Continuation tasks never increment it; the hot-stack
 	// scenarios assert it stays zero.
 	handoffs uint64
+
+	// tracer is the optional flight recorder shared by every component on
+	// this kernel's timeline (nil = tracing disabled). It lives on the
+	// kernel so layers built at different times observe one ring; each
+	// component captures the pointer at construction and guards every emit
+	// with a single nil test, keeping the disabled path byte-identical.
+	tracer *trace.Tracer
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -191,6 +199,15 @@ func (k *Kernel) Handoffs() uint64 { return k.handoffs }
 // SetEventLimit installs a safety valve: Run panics after n events. Tests use
 // it to convert accidental non-termination into a diagnosable failure.
 func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
+
+// SetTracer installs the system-wide flight recorder. It must be called
+// before components are constructed: layers capture the pointer once at
+// build time, so a tracer installed later is not observed.
+func (k *Kernel) SetTracer(tr *trace.Tracer) { k.tracer = tr }
+
+// Tracer reports the installed flight recorder (nil = tracing disabled).
+// Components call this once in their constructors.
+func (k *Kernel) Tracer() *trace.Tracer { return k.tracer }
 
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
 // it always indicates a causality bug in a component model.

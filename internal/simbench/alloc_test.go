@@ -10,6 +10,7 @@ import (
 	"breakband/internal/perftest"
 	"breakband/internal/sim"
 	"breakband/internal/topo"
+	"breakband/internal/trace"
 )
 
 // deviceAllocBudget is the per-simulated-message allocation budget of the
@@ -243,4 +244,97 @@ func TestLossyRetransmitAllocBudget(t *testing.T) {
 		t.Errorf("lossy retransmit path allocates %.2f per message, budget %.0f", perMsg, deviceAllocBudget)
 	}
 	t.Logf("lossy retransmit path: %.3f allocs/message (budget %.0f)", perMsg, deviceAllocBudget)
+}
+
+// tracedAllocBudget is the per-message allocation budget of the device
+// datapath with event tracing ENABLED. The tracer's ring is allocated once
+// at construction and overwrite never grows it, port names are interned at
+// fabric build time, and every emit site writes a value event into the
+// preallocated ring — so turning tracing on must not move the marginal
+// per-message cost at all: the budget is the same as the untraced path.
+const tracedAllocBudget = deviceAllocBudget
+
+// TestTracerEmitZeroAlloc pins Tracer.Emit at zero allocations per event,
+// including after the ring has wrapped: overwrite recycles slots, it never
+// grows the buffer.
+func TestTracerEmitZeroAlloc(t *testing.T) {
+	tr := trace.New(1024)
+	e := trace.Event{Kind: trace.EvQueue, TID: 1}
+	for i := 0; i < 2048; i++ {
+		tr.Emit(e)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { tr.Emit(e) }); allocs != 0 {
+		t.Errorf("Emit allocates %.2f per event on a wrapped ring, want 0", allocs)
+	}
+}
+
+// TestTracedSwitchPathZeroAlloc re-runs the contended switch path with the
+// kernel tracer installed and frames TID-stamped: every hop now records
+// route/queue/stall/txstart/deliver events, and the steady-state cost must
+// stay exactly zero allocations per frame-hop — emits are value writes into
+// the construction-time ring.
+func TestTracedSwitchPathZeroAlloc(t *testing.T) {
+	k := sim.NewKernel()
+	tr := trace.New(1 << 12)
+	k.SetTracer(tr)
+	fab := topo.NewFabric(k, fabric.DefaultConfig(), topo.Spec{Kind: topo.SingleSwitch}, 5)
+	for i := 0; i < 5; i++ {
+		fab.Attach(i, releasePort{})
+	}
+	send := func(src int) {
+		f := fab.NewFrame()
+		f.Kind = fabric.Data
+		f.Src = src
+		f.Dst = 0
+		f.Bytes = 4096
+		f.TID = tr.NextTID()
+		fab.Send(f)
+	}
+	for r := 0; r < 32; r++ {
+		for s := 1; s < 5; s++ {
+			send(s)
+		}
+	}
+	k.Run()
+	if allocs := testing.AllocsPerRun(200, func() {
+		for s := 1; s < 5; s++ {
+			send(s)
+		}
+		k.Run()
+	}); allocs != 0 {
+		t.Errorf("traced switch path allocates %.2f per 4-frame round, want 0 per frame-hop", allocs)
+	}
+	if tr.Emitted() == 0 {
+		t.Fatal("tracer recorded nothing; the gate is not exercising emits")
+	}
+}
+
+// TestTracedDevicePathAllocBudget runs the full put_bw datapath with
+// tracing enabled and asserts the marginal per-message cost stays inside
+// the same budget as the untraced device path (TestDevicePathAllocBudget):
+// enabling observability must not buy per-message garbage.
+func TestTracedDevicePathAllocBudget(t *testing.T) {
+	run := func(iters int) float64 {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		cfg := config.TX2CX4(config.NoiseOff, 1, true)
+		cfg.TraceCapacity = 1 << 15
+		sys := node.NewSystem(cfg, 2)
+		perftest.PutBw(sys, perftest.Options{Iters: iters, Warmup: 64})
+		if sys.Tracer() == nil || sys.Tracer().Emitted() == 0 {
+			t.Fatal("tracing did not capture anything")
+		}
+		sys.Shutdown()
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs - m0.Mallocs)
+	}
+	const short, long = 256, 2048
+	a1 := run(short)
+	a2 := run(long)
+	perMsg := (a2 - a1) / float64(long-short)
+	if perMsg > tracedAllocBudget {
+		t.Errorf("traced device path allocates %.2f per message, budget %.0f", perMsg, tracedAllocBudget)
+	}
+	t.Logf("traced device path: %.3f allocs/message (budget %.0f)", perMsg, tracedAllocBudget)
 }

@@ -8,6 +8,7 @@ import (
 	"breakband/internal/fabric"
 	"breakband/internal/faults"
 	"breakband/internal/sim"
+	"breakband/internal/trace"
 	"breakband/internal/units"
 )
 
@@ -57,6 +58,15 @@ type Fabric struct {
 	// (port is the port's compiled name, e.g. "sw0.port3"). Leave nil on
 	// hot paths; the examples use it to plot queue depth over time.
 	OnDepth func(at units.Time, port string, depth int)
+
+	// tr is the kernel's flight recorder (nil = tracing disabled; every
+	// emit site below is behind one pointer test). Frame lifecycle events
+	// are emitted only for frames carrying a trace id (Frame.TID != 0,
+	// stamped by the sending NIC).
+	tr *trace.Tracer
+	// idealPorts holds the interned host-egress port ids of the ideal
+	// two-endpoint tier (nil when tracing is disabled or ports exist).
+	idealPorts []int32
 
 	deliverFn func(any)
 	sendFn    func(any)
@@ -153,9 +163,18 @@ type outPort struct {
 	flt  *faults.Link
 	down bool
 
+	// trID is the port's interned trace id (-1 when tracing is disabled);
+	// isUp marks a fat-tree leaf uplink, where pushing a frame records the
+	// ECMP route decision.
+	trID int32
+	isUp bool
+
 	forwarded    uint64
 	maxQueue     int
 	creditStalls uint64
+	// busyTime accumulates wire-serialization occupancy; divided by a
+	// measurement window it is the port's utilization.
+	busyTime units.Time
 }
 
 // push enqueues e, tracks queue-depth stats, and starts transmission if
@@ -176,6 +195,14 @@ func (p *outPort) push(e qent) {
 	if p.fab.OnDepth != nil {
 		p.fab.OnDepth(p.fab.k.Now(), p.name, p.q.n)
 	}
+	if tr := p.fab.tr; tr != nil && e.f.TID != 0 {
+		at := p.fab.k.Now()
+		if p.isUp {
+			tr.Emit(trace.Event{At: at, Kind: trace.EvRoute, TID: e.f.TID,
+				Port: p.trID, Node: -1, Arg: trace.ArgMsg(0, 0, uint32(e.f.Dst))})
+		}
+		tr.Emit(trace.Event{At: at, Kind: trace.EvQueue, TID: e.f.TID, Port: p.trID, Node: -1})
+	}
 	p.kick()
 }
 
@@ -189,16 +216,28 @@ func (p *outPort) kick() {
 	}
 	if p.link.credits == 0 {
 		p.creditStalls++
+		if tr := p.fab.tr; tr != nil {
+			if f := p.q.buf[p.q.head].f; f.TID != 0 {
+				tr.Emit(trace.Event{At: p.fab.k.Now(), Kind: trace.EvStall,
+					TID: f.TID, Port: p.trID, Node: -1})
+			}
+		}
 		return
 	}
 	e := p.q.pop()
 	if p.fab.OnDepth != nil {
 		p.fab.OnDepth(p.fab.k.Now(), p.name, p.q.n)
 	}
+	if tr := p.fab.tr; tr != nil && e.f.TID != 0 {
+		tr.Emit(trace.Event{At: p.fab.k.Now(), Kind: trace.EvTxStart, TID: e.f.TID,
+			Port: p.trID, Node: -1, Arg: trace.ArgMsg(0, e.f.Bytes, uint32(e.f.PSN))})
+	}
 	p.link.credits--
 	p.busy = true
 	p.cur = e
-	p.fab.k.At(p.fab.k.Now()+p.fab.cfg.SerTime(e.f.Bytes), p.txDoneFn)
+	ser := p.fab.cfg.SerTime(e.f.Bytes)
+	p.busyTime += ser
+	p.fab.k.At(p.fab.k.Now()+ser, p.txDoneFn)
 }
 
 // drop loses e at this port: the inbound buffer credit it held returns
@@ -206,6 +245,10 @@ func (p *outPort) kick() {
 // released — pooled frames go back to the arena, so pool-drain checks
 // hold under faults.
 func (p *outPort) drop(e qent) {
+	if tr := p.fab.tr; tr != nil && e.f.TID != 0 {
+		tr.Emit(trace.Event{At: p.fab.k.Now(), Kind: trace.EvDrop,
+			TID: e.f.TID, Port: p.trID, Node: -1})
+	}
 	if e.in != nil {
 		e.in.credits++
 		e.in.up.kick()
@@ -303,13 +346,22 @@ func NewFabric(k *sim.Kernel, cfg fabric.Config, spec Spec, hosts int) *Fabric {
 		frames:   fabric.NewFrameArena(),
 		attached: make([]bool, hosts),
 		hopProp:  cfg.WireProp / 2,
+		tr:       k.Tracer(),
 	}
 	t.deliverFn = func(a any) {
 		f := a.(*fabric.Frame)
 		if f.Corrupted {
 			// Destination CRC check on the ideal tier.
+			if t.tr != nil && f.TID != 0 {
+				t.tr.Emit(trace.Event{At: t.k.Now(), Kind: trace.EvDrop,
+					TID: f.TID, Port: -1, Node: int16(f.Dst)})
+			}
 			f.Release()
 			return
+		}
+		if t.tr != nil && f.TID != 0 {
+			t.tr.Emit(trace.Event{At: t.k.Now(), Kind: trace.EvDeliver,
+				TID: f.TID, Port: -1, Node: int16(f.Dst)})
 		}
 		t.Delivered[f.Kind]++
 		t.ports[f.Dst].RxFrame(f)
@@ -327,6 +379,12 @@ func NewFabric(k *sim.Kernel, cfg fabric.Config, spec Spec, hosts int) *Fabric {
 		c.UseSwitch = spec.Kind == SingleSwitch
 		t.flight = c.FlightTime()
 		t.busyUntil = make([]units.Time, hosts)
+		if t.tr != nil {
+			t.idealPorts = make([]int32, hosts)
+			for i := range t.idealPorts {
+				t.idealPorts[i] = t.tr.Port(fabric.EgressName(i))
+			}
+		}
 		return t
 	}
 
@@ -367,6 +425,10 @@ func (t *Fabric) wire(p *outPort, name string, sw *Switch, dst int) {
 	p.name = name
 	p.link = lk
 	p.txDoneFn = p.txDone
+	p.trID = -1
+	if t.tr != nil {
+		p.trID = t.tr.Port(name)
+	}
 }
 
 // arriveSwitch queues a delivered frame at its routed output port. The
@@ -374,6 +436,10 @@ func (t *Fabric) wire(p *outPort, name string, sw *Switch, dst int) {
 // discarded here, its buffer credit returning immediately.
 func (t *Fabric) arriveSwitch(lk *link, f *fabric.Frame) {
 	if f.Corrupted {
+		if t.tr != nil && f.TID != 0 {
+			t.tr.Emit(trace.Event{At: t.k.Now(), Kind: trace.EvDrop,
+				TID: f.TID, Port: lk.up.trID, Node: -1})
+		}
 		lk.credits++
 		f.Release()
 		lk.up.kick()
@@ -392,10 +458,18 @@ func (t *Fabric) arriveSwitch(lk *link, f *fabric.Frame) {
 func (t *Fabric) arriveHost(lk *link, f *fabric.Frame) {
 	if f.Corrupted {
 		// Destination-port CRC check: the NIC never sees the frame.
+		if t.tr != nil && f.TID != 0 {
+			t.tr.Emit(trace.Event{At: t.k.Now(), Kind: trace.EvDrop,
+				TID: f.TID, Port: lk.up.trID, Node: -1})
+		}
 		lk.credits++
 		f.Release()
 		lk.up.kick()
 		return
+	}
+	if t.tr != nil && f.TID != 0 {
+		t.tr.Emit(trace.Event{At: t.k.Now(), Kind: trace.EvDeliver,
+			TID: f.TID, Port: -1, Node: int16(f.Dst)})
 	}
 	if pooled := f.Ref().Get() == f; pooled {
 		f.HopRef = lk.id + 1
@@ -483,6 +557,7 @@ func (t *Fabric) buildFatTree(hosts, radix int) {
 	for l, lsw := range leafSw {
 		for s, ssw := range spineSw {
 			t.wire(&lsw.outs[down(l)+s], fmt.Sprintf("leaf%d.up%d", l, s), ssw, -1)
+			lsw.outs[down(l)+s].isUp = true
 			t.wire(&ssw.outs[l], fmt.Sprintf("spine%d.port%d", s, l), lsw, -1)
 		}
 	}
@@ -670,12 +745,24 @@ func (t *Fabric) Send(f *fabric.Frame) {
 				switch fl.Decide() {
 				case faults.Drop:
 					// Lost after consuming its serialization slot.
+					if t.tr != nil && f.TID != 0 {
+						t.tr.Emit(trace.Event{At: t.k.Now(), Kind: trace.EvDrop,
+							TID: f.TID, Port: t.idealPorts[f.Src], Node: -1})
+					}
 					f.Release()
 					return
 				case faults.Corrupt:
 					f.Corrupted = true
 				}
 			}
+		}
+		if t.tr != nil && f.TID != 0 {
+			// The egress queue is implicit (busyUntil): record the wait for
+			// the wire as queue -> txstart so attribution sees it.
+			t.tr.Emit(trace.Event{At: t.k.Now(), Kind: trace.EvQueue,
+				TID: f.TID, Port: t.idealPorts[f.Src], Node: -1})
+			t.tr.Emit(trace.Event{At: start, Kind: trace.EvTxStart, TID: f.TID,
+				Port: t.idealPorts[f.Src], Node: -1, Arg: trace.ArgMsg(0, f.Bytes, uint32(f.PSN))})
 		}
 		t.k.AtArg(txDone+t.flight, t.deliverFn, f)
 		return
@@ -724,6 +811,9 @@ type PortStat struct {
 	// CreditStalls counts drain passes that left frames queued because
 	// the downstream link was out of credits.
 	CreditStalls uint64
+	// Busy is the accumulated wire-serialization occupancy; divided by a
+	// measurement window it is the port's utilization.
+	Busy units.Time
 	// Dropped, Corrupted and Flaps count injected faults on the port's
 	// link (all zero without fault injection).
 	Dropped   uint64
@@ -742,6 +832,7 @@ func (t *Fabric) PortStats() []PortStat {
 			Forwarded:    p.forwarded,
 			MaxQueue:     p.maxQueue,
 			CreditStalls: p.creditStalls,
+			Busy:         p.busyTime,
 		}
 		if p.flt != nil {
 			ps.Dropped = p.flt.Dropped

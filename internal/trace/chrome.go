@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"breakband/internal/units"
+)
+
+// chromeEvent is one record of the Chrome trace-event JSON format
+// (the "JSON Array Format" accepted by chrome://tracing and Perfetto).
+// Timestamps and durations are in microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	chromePidFabric = 0 // one row per fabric port
+	chromePidNodes  = 1 // one row per node for NIC/PCIe decisions
+)
+
+func chromeTs(t units.Time) float64 { return t.Us() }
+
+// WriteChrome exports a trace window as Chrome trace-event JSON. Frame
+// flights become async spans (one per trace id), port serializations become
+// duration slices on per-port rows, and policy decisions become instant
+// events on per-node rows. tr supplies port-name resolution; events is
+// typically tr.Events() but may be any filtered window.
+func WriteChrome(w io.Writer, tr *Tracer, events []Event) error {
+	out := make([]chromeEvent, 0, len(events)+8)
+
+	meta := func(pid int, name string) {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(chromePidFabric, "fabric ports")
+	meta(chromePidNodes, "nodes")
+
+	// txstart events carry the frame size; recover each slice's duration
+	// from the next lifecycle event of the same flight (queue at the next
+	// hop, or deliver). Simpler and exact: pair txstart with the following
+	// event of the same TID.
+	nextAt := make(map[uint32]units.Time) // walked backwards below
+	durs := make([]units.Time, len(events))
+	for i := len(events) - 1; i >= 0; i-- {
+		e := &events[i]
+		if e.TID == 0 {
+			continue
+		}
+		switch e.Kind {
+		case EvTxStart:
+			if at, ok := nextAt[e.TID]; ok {
+				durs[i] = at - e.At
+			}
+			nextAt[e.TID] = e.At
+		case EvQueue, EvDeliver, EvStall, EvInject, EvRelease, EvRefuse, EvDrop:
+			nextAt[e.TID] = e.At
+		}
+	}
+
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case EvInject:
+			out = append(out, chromeEvent{
+				Name: "msg", Cat: "frame", Ph: "b",
+				Ts: chromeTs(e.At), Pid: chromePidNodes, Tid: int(e.Node),
+				ID: fmt.Sprintf("f%d", e.TID),
+				Args: map[string]any{
+					"qpn": MsgQPN(e.Arg), "psn": MsgPSN(e.Arg), "bytes": MsgBytes(e.Arg),
+				},
+			})
+		case EvRelease, EvRefuse, EvDrop:
+			if e.TID != 0 {
+				out = append(out, chromeEvent{
+					Name: "msg", Cat: "frame", Ph: "e",
+					Ts: chromeTs(e.At), Pid: chromePidNodes, Tid: int(e.Node),
+					ID:   fmt.Sprintf("f%d", e.TID),
+					Args: map[string]any{"end": e.Kind.String()},
+				})
+			}
+		case EvTxStart:
+			out = append(out, chromeEvent{
+				Name: "tx", Cat: "port", Ph: "X",
+				Ts: chromeTs(e.At), Dur: durs[i].Us(),
+				Pid: chromePidFabric, Tid: int(e.Port),
+				Args: map[string]any{"bytes": MsgBytes(e.Arg), "tid": e.TID},
+			})
+		case EvStall, EvQueue, EvRoute:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Cat: "port", Ph: "i",
+				Ts: chromeTs(e.At), Pid: chromePidFabric, Tid: int(e.Port),
+				Args: map[string]any{"tid": e.TID},
+			})
+		default: // decision kinds: nakrx, retx, acktimeout, pend, crash, ...
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Cat: "decision", Ph: "i",
+				Ts: chromeTs(e.At), Pid: chromePidNodes, Tid: int(e.Node),
+				Args: map[string]any{"arg": e.Arg},
+			})
+		}
+	}
+
+	// Name the port rows after the interned port names.
+	seen := map[int32]bool{}
+	for i := range events {
+		e := &events[i]
+		if e.Port >= 0 && !seen[e.Port] {
+			seen[e.Port] = true
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M",
+				Pid: chromePidFabric, Tid: int(e.Port),
+				Args: map[string]any{"name": tr.PortName(e.Port)},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -36,6 +36,7 @@ import (
 	"breakband/internal/profile"
 	"breakband/internal/rng"
 	"breakband/internal/sim"
+	"breakband/internal/trace"
 	"breakband/internal/units"
 )
 
@@ -811,6 +812,11 @@ func (f *progressFrame) Step(t *sim.Task) {
 				}
 			}
 			t.Advance(sw.LLPProgMisc.Sample(r))
+			if tr := t.Kernel().Tracer(); tr != nil {
+				// Software-visible completion: n sends retired by one CQE.
+				tr.Emit(trace.Event{At: t.Now(), Kind: trace.EvComp,
+					Node: int16(w.Node.ID), Arg: trace.ArgQP(e.qp.QPN, uint64(n))})
+			}
 			// Registered callbacks run before uct_worker_progress
 			// returns (paper §5), so the profiled scope includes them.
 			if w.onSend != nil {
@@ -893,6 +899,11 @@ func (f *progressFrame) Step(t *sim.Task) {
 			// send-side callbacks.
 			e := w.Eps[f.i]
 			t.Advance(sw.AmRxHandle.Sample(r))
+			if tr := t.Kernel().Tracer(); tr != nil {
+				// Software-visible receive: the AM payload reached its handler.
+				tr.Emit(trace.Event{At: t.Now(), Kind: trace.EvComp,
+					Node: int16(w.Node.ID), Arg: trace.ArgQP(e.qp.QPN, 1)})
+			}
 			if h := w.amHandlers[f.amID]; h != nil {
 				h(t, f.data)
 			}
