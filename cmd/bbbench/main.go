@@ -77,6 +77,7 @@ func main() {
 		{"WindowedPutBw", simbench.WindowedPutBw},
 		{"IncastPutBw", simbench.IncastPutBw},
 		{"OversubscribedPutBw", simbench.OversubscribedPutBw},
+		{"WorkloadInject", simbench.WorkloadInject},
 	}
 	var sel *regexp.Regexp
 	if *filter != "" {

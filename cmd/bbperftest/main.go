@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|saturate|lossy|flap|chaos
+//	bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|saturate|lossy|flap|chaos|workload
 //
 // Examples:
 //
@@ -46,6 +46,17 @@
 //	                                  # wire faults, link flaps, endpoint
 //	                                  # crashes and host pauses over a
 //	                                  # fat-tree, five invariants per seed
+//	bbperftest -workload spec.yaml workload
+//	                                  # declarative open-loop traffic: client
+//	                                  # cohorts with Poisson/Gamma/Weibull
+//	                                  # arrivals, per-cohort goodput, latency
+//	                                  # percentiles and stall attribution
+//	bbperftest -workload spec.yaml -record t.trace workload
+//	                                  # record every offered message; replay
+//	                                  # it bit-identically with -replay
+//	bbperftest -workload spec.yaml saturate
+//	                                  # the spec's first cohort drives the
+//	                                  # saturation knee-finder
 package main
 
 import (
@@ -61,6 +72,7 @@ import (
 	"breakband/internal/trace"
 	"breakband/internal/uct"
 	"breakband/internal/units"
+	"breakband/internal/workload"
 )
 
 var (
@@ -85,12 +97,15 @@ var (
 	flagFlapUp   = flag.Float64("flapup", 200, "flap: link-restore time in microseconds")
 	flagSeeds    = flag.Int("seeds", 5, "chaos: seed-ladder length (seeds -seed .. -seed+N-1)")
 	flagTrace    = flag.String("trace", "", "write the run's event trace as Chrome trace-event JSON to this file (enables tracing)")
+	flagWorkload = flag.String("workload", "", "workload: YAML spec file describing cohorts and arrival processes (also drives saturate)")
+	flagRecord   = flag.String("record", "", "workload: record every offered message to this trace file")
+	flagReplay   = flag.String("replay", "", "workload: replay a recorded trace instead of generating arrivals")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|saturate|lossy|flap|chaos")
+		fmt.Fprintln(os.Stderr, "usage: bbperftest [flags] put_bw|am_lat|multi|sweep|incast|alltoall|oversub|saturate|lossy|flap|chaos|workload")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -271,17 +286,73 @@ func main() {
 		printHotPorts(sys)
 		report(sys)
 	case "saturate":
+		// Offered load stepped across the predicted bottleneck (1.0 = the
+		// analytic saturation point); each step is a fresh system fanned
+		// out on the -parallel pool.
+		loads := []float64{0.6, 0.8, 1.0, 1.2, 1.4}
+		if *flagWorkload != "" {
+			// A workload spec drives the knee-finder: its first cohort's
+			// source population and mean message size shape the incast.
+			wspec, err := workload.LoadSpec(*flagWorkload)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bbperftest:", err)
+				os.Exit(2)
+			}
+			res, err := perftest.WorkloadSaturation(wspec, noise, *flagSeed, loads, opt, *flagParallel)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bbperftest:", err)
+				os.Exit(2)
+			}
+			fmt.Print(res.Format())
+			break
+		}
 		if *flagSize == 8 {
 			// Match the incast-family default: 4 KiB puts make the receiver
 			// path (wire vs PCIe write cycle) the contended stage.
 			opt.MsgSize = 4096
 		}
-		// Offered load stepped across the predicted bottleneck (1.0 = the
-		// analytic saturation point); each step is a fresh system fanned
-		// out on the -parallel pool.
-		loads := []float64{0.6, 0.8, 1.0, 1.2, 1.4}
 		res := perftest.SaturationSweep(mkSys, 0, loads, opt, *flagParallel)
 		fmt.Print(res.Format())
+	case "workload":
+		if *flagWorkload == "" {
+			fmt.Fprintln(os.Stderr, "bbperftest: the workload command needs -workload spec.yaml")
+			os.Exit(2)
+		}
+		wspec, err := workload.LoadSpec(*flagWorkload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbperftest:", err)
+			os.Exit(2)
+		}
+		wopt := workload.RunOpt{Record: *flagRecord != ""}
+		if *flagReplay != "" {
+			tr, err := workload.ReadTraceFile(*flagReplay)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bbperftest:", err)
+				os.Exit(2)
+			}
+			wopt.Replay = tr
+		}
+		cfg := wspec.BuildConfig(noise, *flagSeed)
+		// Trace the run so the report can attribute per-layer stalls
+		// (and feed the -trace export).
+		cfg.TraceCapacity = 1 << 20
+		sys := node.NewSystem(cfg, wspec.Nodes)
+		defer sys.Shutdown()
+		res, err := workload.Run(wspec, sys, wopt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbperftest:", err)
+			os.Exit(1)
+		}
+		fmt.Print(perftest.FormatWorkload(res, sys))
+		if *flagRecord != "" {
+			if err := res.Trace.WriteFile(*flagRecord); err != nil {
+				fmt.Fprintln(os.Stderr, "bbperftest:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: recorded %d message(s) to %s\n", len(res.Trace.Recs), *flagRecord)
+		}
+		printHotPorts(sys)
+		report(sys)
 	case "chaos":
 		// Seeded chaos soak ladder: each seed derives its own randomized
 		// fault schedule (wire loss, flaps, endpoint crashes, host pauses)
@@ -341,8 +412,12 @@ func printRecovery(sys *node.System) {
 			if qp.AckTimeouts == 0 && qp.SeqNaksRecv == 0 && qp.Retransmits == 0 && qp.RNRNaksRecv == 0 {
 				continue
 			}
-			fmt.Printf("    qp%-5d %5d ack timeout(s), %5d seq NAK(s), %5d RNR NAK(s), %5d retransmit(s)\n",
-				qp.QPN, qp.AckTimeouts, qp.SeqNaksRecv, qp.RNRNaksRecv, qp.Retransmits)
+			label := ""
+			if qp.Label != "" {
+				label = " [" + qp.Label + "]"
+			}
+			fmt.Printf("    qp%-5d %5d ack timeout(s), %5d seq NAK(s), %5d RNR NAK(s), %5d retransmit(s)%s\n",
+				qp.QPN, qp.AckTimeouts, qp.SeqNaksRecv, qp.RNRNaksRecv, qp.Retransmits, label)
 		}
 	}
 	if sys.Faults != nil {

@@ -3,6 +3,7 @@ package breakband
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -19,6 +20,7 @@ import (
 	"breakband/internal/stats"
 	"breakband/internal/topo"
 	"breakband/internal/units"
+	"breakband/internal/workload"
 )
 
 // TestGoldenKernelOutputs pins the simulation's outputs, bit for bit, at a
@@ -243,6 +245,30 @@ func kernelFingerprint() map[string]string {
 			cr.Passed(), strings.Join(delivered, ","), cr.Events, g(cr.EndTime.Ns()),
 			cr.Crashes, cr.Pauses, cr.Flaps, cr.WireDropped, cr.QPFails, cr.FlushedRecvs)
 
+		// Declarative open-loop workloads (PR 10): a compact two-cohort
+		// mixed-tenant spec over the 8-node fat-tree pins the per-client
+		// RNG streams, the envelope operational time change, every size
+		// distribution draw path and the paced continuation injectors —
+		// plus the recorded trace bytes, hashed. Pre-existing entries are
+		// untouched: the workload layer builds its own systems.
+		wspec := goldenWorkloadSpec()
+		wlsys := node.NewSystem(wspec.BuildConfig(noise, 7), wspec.Nodes)
+		wres, werr := workload.Run(wspec, wlsys, workload.RunOpt{Record: true})
+		wlsys.Shutdown()
+		if werr != nil {
+			panic(fmt.Sprintf("golden workload run: %v", werr))
+		}
+		parts := make([]string, len(wres.Cohorts))
+		for i := range wres.Cohorts {
+			c := &wres.Cohorts[i]
+			parts[i] = fmt.Sprintf("%s:offered=%d delivered=%d bytes=%d first=%s last=%s lat=%s",
+				c.Name, c.Offered, c.Delivered, c.Bytes, g(c.FirstAt.Ns()), g(c.LastDone.Ns()),
+				summaryString(c.Latency.Summarize()))
+		}
+		h := fnv.New64a()
+		h.Write(wres.Trace.Encode())
+		fp["workload_"+nc.name] = fmt.Sprintf("%s trace=%016x", strings.Join(parts, " | "), h.Sum64())
+
 		mk := func() *config.Config { return config.TX2CX4(noise, 7, true) }
 		res := measure.Run(mk, measure.Opts{Samples: 100, Windows: 4, Parallelism: 2})
 		fp["campaign_components_"+nc.name] = structFloats(res.Components)
@@ -251,6 +277,38 @@ func kernelFingerprint() map[string]string {
 			g(res.Observed.OverallInjectionNs), g(res.Observed.E2ELatencyNs), g(res.BusyPerOp))
 	}
 	return fp
+}
+
+// goldenWorkloadSpec is the fingerprint's two-cohort mixed-tenant workload:
+// bursty Weibull small-put traffic with a mid-run surge envelope against a
+// steady Gamma stream of lognormal-sized transfers flowing the other way.
+func goldenWorkloadSpec() *workload.Spec {
+	return &workload.Spec{
+		Name:     "golden-mixed",
+		Nodes:    8,
+		Topology: "fattree",
+		Cohorts: []workload.Cohort{{
+			Name:     "bursty",
+			Clients:  24,
+			Src:      []int{4, 5, 6, 7},
+			Dst:      []int{0, 1},
+			Duration: units.Microseconds(120),
+			Arrival:  workload.ArrivalSpec{Process: workload.ProcWeibull, Rate: 25e3, Shape: 0.7},
+			Size: workload.SizeSpec{Dist: workload.SizeDistChoice, Choices: []workload.SizeChoice{
+				{Bytes: 32, Weight: 3}, {Bytes: 256, Weight: 1}}},
+			Envelope: []workload.EnvelopeWindow{{
+				From: units.Microseconds(40), To: units.Microseconds(80), Factor: 3}},
+		}, {
+			Name:     "steady",
+			Clients:  8,
+			Src:      []int{0, 1},
+			Dst:      []int{4, 5, 6, 7},
+			Start:    units.Microseconds(20),
+			Duration: units.Microseconds(80),
+			Arrival:  workload.ArrivalSpec{Process: workload.ProcGamma, Rate: 10e3, Shape: 4},
+			Size:     workload.SizeSpec{Dist: workload.SizeDistLogNormal, Mean: 1024, CV: 0.5},
+		}},
+	}
 }
 
 // g renders a float64 with shortest round-trip precision.

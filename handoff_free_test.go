@@ -24,6 +24,7 @@ var hotPackages = []string{
 	"internal/vtimer",
 	"internal/osu",
 	"internal/perftest",
+	"internal/workload",
 }
 
 // handoffFreeAllowlist exempts specific files that intentionally keep a

@@ -197,6 +197,10 @@ type QP struct {
 	nic *NIC
 	// QPN is the queue pair number, unique per NIC.
 	QPN uint32
+	// Label optionally names the QP's owner for reports — e.g. a workload
+	// cohort ("wl/storm"). Upper layers set it through uct.Ep.SetLabel;
+	// the NIC never reads it.
+	Label string
 	// SQ is the send queue ring in host memory (used by the DoorBell+DMA
 	// path; the PIO path bypasses it).
 	SQ mlx.Ring
@@ -662,7 +666,20 @@ func (n *NIC) rxMMIO(t *pcie.TLP) {
 		if err := n.bfWQE.DecodeFrom(t.Data); err != nil {
 			panic(fmt.Sprintf("nic%d: bad BlueFlame WQE: %v", n.id, err))
 		}
-		n.execWQE(qp, &n.bfWQE)
+		// A BlueFlame write consumes one producer slot without a DoorBell
+		// ring; keep both cursors in step so a later DoorBell post (a gather
+		// descriptor sharing this QP) fetches only slots the PIO path has not
+		// already delivered. When an older descriptor fetch is still in
+		// flight the hint cannot be consumed in order, so fall back to
+		// fetching the ring copy software stored alongside the PIO write.
+		newPI := n.bfWQE.WQEIdx + 1
+		qp.doorbellPI = newPI
+		if !qp.fetching && qp.fetchNext == n.bfWQE.WQEIdx {
+			qp.fetchNext = newPI
+			n.execWQE(qp, &n.bfWQE)
+		} else {
+			qp.fetchNextWQE()
+		}
 	default:
 		panic(fmt.Sprintf("nic%d: MWr to unknown register offset %#x", n.id, t.Addr-base))
 	}

@@ -8,6 +8,7 @@ import (
 	"breakband/internal/node"
 	"breakband/internal/topo"
 	"breakband/internal/units"
+	"breakband/internal/workload"
 )
 
 // incastConfig builds a single-switch N-node NoiseOff configuration.
@@ -234,5 +235,39 @@ func TestScenarioPoolsDrained(t *testing.T) {
 		defer sys.Shutdown()
 		AllToAllPutBw(sys, Options{Iters: 30, Warmup: 5, MsgSize: 512})
 		check(t, sys)
+	})
+	// Spec-compiled open-loop injectors must drain too: every generated
+	// message's frames and TLPs return to their pools once the cohorts
+	// finish, clean and under transport loss alike.
+	wlSpec := func() *workload.Spec {
+		return &workload.Spec{
+			Name:     "pools",
+			Nodes:    8,
+			Topology: "fattree",
+			Cohorts: []workload.Cohort{{
+				Name:     "storm",
+				Clients:  32,
+				Src:      []int{1, 2, 3, 4, 5, 6, 7},
+				Dst:      []int{0},
+				Duration: units.Microseconds(100),
+				Arrival:  workload.ArrivalSpec{Process: workload.ProcPoisson, Rate: 40e3},
+				Size: workload.SizeSpec{Dist: workload.SizeDistChoice, Choices: []workload.SizeChoice{
+					{Bytes: 32, Weight: 3}, {Bytes: 256, Weight: 1}}},
+			}},
+		}
+	}
+	runWl := func(t *testing.T, spec *workload.Spec) {
+		sys := node.NewSystem(spec.BuildConfig(config.NoiseOff, 1), spec.Nodes)
+		defer sys.Shutdown()
+		if _, err := workload.Run(spec, sys, workload.RunOpt{}); err != nil {
+			t.Fatal(err)
+		}
+		check(t, sys)
+	}
+	t.Run("workload", func(t *testing.T) { runWl(t, wlSpec()) })
+	t.Run("workload_lossy", func(t *testing.T) {
+		spec := wlSpec()
+		spec.Faults = workload.FaultSpec{DropRate: 0.02, CorruptRate: 0.02}
+		runWl(t, spec)
 	})
 }

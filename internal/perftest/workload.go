@@ -1,0 +1,91 @@
+package perftest
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/workload"
+)
+
+// FormatWorkload renders a workload run for the CLI: per-cohort delivery,
+// goodput and latency percentiles, transport-recovery counters, and — when
+// the system was traced — the PR-9 stall-attribution breakdown of where
+// message time went.
+func FormatWorkload(res *workload.Result, sys *node.System) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s (seed %d): %d cohort(s), %d message(s) in %v\n",
+		res.Name, res.Seed, len(res.Cohorts), totalOffered(res), res.Elapsed)
+	for i := range res.Cohorts {
+		c := &res.Cohorts[i]
+		fmt.Fprintf(&b, "  %-12s offered %6d  delivered %6d  failed %4d  goodput %8.2f MB/s (%.0f msg/s)\n",
+			c.Name, c.Offered, c.Delivered, c.Failed, c.Goodput()/1e6, msgRate(c))
+		if c.Latency.N() > 0 {
+			s := c.Latency.Summarize()
+			fmt.Fprintf(&b, "  %-12s latency p50 %.0fns  p95 %.0fns  p99 %.0fns  max %.0fns  mean %.0fns\n",
+				"", s.Median, s.P95, s.P99, s.Max, s.Mean)
+		}
+		if r := c.Recovery; r.Any() {
+			fmt.Fprintf(&b, "  %-12s recovery: %d ack timeout(s), %d seq NAK(s), %d RNR NAK(s), %d retransmit(s)\n",
+				"", r.AckTimeouts, r.SeqNaksRecv, r.RNRNaksRecv, r.Retransmits)
+		}
+	}
+	if rep := StallReport(sys); rep != nil && len(rep.Msgs) > 0 {
+		sh := rep.Shares()
+		fmt.Fprintf(&b, "  stall attribution (%d traced msg(s)): ideal %.1f%%  queue %.1f%%  stall %.1f%%  pend %.1f%%  backoff %.1f%%  waste %.1f%%\n",
+			len(rep.Msgs), 100*sh[0], 100*sh[1], 100*sh[2], 100*sh[3], 100*sh[4], 100*sh[5])
+	}
+	return b.String()
+}
+
+func totalOffered(res *workload.Result) int {
+	n := 0
+	for i := range res.Cohorts {
+		n += res.Cohorts[i].Offered
+	}
+	return n
+}
+
+func msgRate(c *workload.CohortResult) float64 {
+	span := c.LastDone - c.FirstAt
+	if span <= 0 {
+		return 0
+	}
+	return float64(c.Delivered) / span.Seconds()
+}
+
+// WorkloadSaturation connects a workload spec to the saturation knee-finder:
+// the spec's first cohort shapes the canonical incast — its distinct source
+// nodes set the sender count and its mean message size the sweep's size —
+// over the spec's topology, credits and rx budget. loads are offered-load
+// fractions of the predicted bottleneck (SaturationSweep semantics: paced
+// senders on nodes 1..senders into node 0).
+func WorkloadSaturation(spec *workload.Spec, noise config.NoiseLevel, seed uint64, loads []float64, opt Options, parallelism int) (*SaturationResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &spec.Cohorts[0]
+	senders := 0
+	seen := map[int]bool{}
+	for _, s := range c.Src {
+		if s != 0 && !seen[s] {
+			seen[s] = true
+			senders++
+		}
+	}
+	if senders == 0 {
+		return nil, fmt.Errorf("perftest: workload %q cohort %q has no non-receiver source nodes", spec.Name, c.Name)
+	}
+	opt.MsgSize = int(math.Round(c.Size.MeanBytes()))
+	if opt.MsgSize < 1 {
+		opt.MsgSize = 1
+	}
+	mkSys := func() *node.System {
+		cfg := spec.BuildConfig(noise, seed)
+		cfg.TraceCapacity = 1 << 20
+		return node.NewSystem(cfg, spec.Nodes)
+	}
+	return SaturationSweep(mkSys, senders, loads, opt, parallelism), nil
+}

@@ -1,0 +1,76 @@
+package rng
+
+import "math"
+
+// Variate generators for the open-loop arrival processes of
+// internal/workload. All three return *standard* (scale-1) draws; callers
+// rescale to their target mean. Every generator consumes a deterministic
+// number-of-draws-per-call sequence from its stream for a given parameter
+// set, so per-client streams replay identically regardless of scheduling
+// order.
+
+// Exp returns a standard exponential variate (mean 1) by inverse transform.
+// The argument to Log is 1-U in (0, 1], so the result is always finite.
+func (r *Rand) Exp() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// Gamma returns a standard gamma variate with the given shape (scale 1,
+// mean = shape). It panics if shape <= 0. Shape >= 1 uses the
+// Marsaglia-Tsang squeeze; shape < 1 boosts through Gamma(shape+1) * U^(1/shape).
+func (r *Rand) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost: if X ~ Gamma(shape+1) and U uniform, X*U^(1/shape) ~ Gamma(shape).
+		// Draw the boost uniform first so the per-call draw order is fixed.
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Weibull returns a standard Weibull variate with the given shape (scale 1)
+// by inverse transform: (-ln(1-U))^(1/shape). Its mean is
+// Gamma(1 + 1/shape); callers dividing by WeibullMean get a mean-1 draw.
+// It panics if shape <= 0.
+func (r *Rand) Weibull(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Weibull with non-positive shape")
+	}
+	return math.Pow(-math.Log(1-r.Float64()), 1/shape)
+}
+
+// WeibullMean reports the mean of a standard (scale-1) Weibull with the
+// given shape.
+func WeibullMean(shape float64) float64 {
+	return math.Gamma(1 + 1/shape)
+}
+
+// WeibullCV reports the coefficient of variation of a Weibull with the
+// given shape (scale-invariant).
+func WeibullCV(shape float64) float64 {
+	m1 := math.Gamma(1 + 1/shape)
+	m2 := math.Gamma(1 + 2/shape)
+	return math.Sqrt(m2/(m1*m1) - 1)
+}

@@ -1,0 +1,102 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// sampleStats draws n variates and reports their sample mean and CV.
+func sampleStats(n int, draw func() float64) (mean, cv float64) {
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := draw()
+		sum += x
+		sumsq += x * x
+	}
+	mean = sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	return mean, math.Sqrt(variance) / mean
+}
+
+func TestExpMoments(t *testing.T) {
+	r := Stream(7, "variates/exp")
+	mean, cv := sampleStats(200_000, r.Exp)
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("Exp mean %.4f, want 1 +- 0.01", mean)
+	}
+	if math.Abs(cv-1) > 0.02 {
+		t.Errorf("Exp cv %.4f, want 1 +- 0.02", cv)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	for _, shape := range []float64{0.5, 1, 2, 4.5} {
+		r := Stream(7, "variates/gamma")
+		mean, cv := sampleStats(200_000, func() float64 { return r.Gamma(shape) })
+		if want := shape; math.Abs(mean-want)/want > 0.02 {
+			t.Errorf("Gamma(%g) mean %.4f, want %.4f +- 2%%", shape, mean, want)
+		}
+		if want := 1 / math.Sqrt(shape); math.Abs(cv-want)/want > 0.03 {
+			t.Errorf("Gamma(%g) cv %.4f, want %.4f +- 3%%", shape, cv, want)
+		}
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	for _, shape := range []float64{0.8, 1, 1.5, 3} {
+		r := Stream(7, "variates/weibull")
+		mean, cv := sampleStats(200_000, func() float64 { return r.Weibull(shape) })
+		if want := WeibullMean(shape); math.Abs(mean-want)/want > 0.02 {
+			t.Errorf("Weibull(%g) mean %.4f, want %.4f +- 2%%", shape, mean, want)
+		}
+		if want := WeibullCV(shape); math.Abs(cv-want)/want > 0.03 {
+			t.Errorf("Weibull(%g) cv %.4f, want %.4f +- 3%%", shape, cv, want)
+		}
+	}
+}
+
+// TestWeibullShape1IsExp: Weibull with shape 1 is the exponential; both the
+// analytic helpers and the sampler must agree.
+func TestWeibullShape1IsExp(t *testing.T) {
+	if m := WeibullMean(1); math.Abs(m-1) > 1e-12 {
+		t.Errorf("WeibullMean(1) = %v, want 1", m)
+	}
+	if cv := WeibullCV(1); math.Abs(cv-1) > 1e-9 {
+		t.Errorf("WeibullCV(1) = %v, want 1", cv)
+	}
+}
+
+func TestVariatePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"gamma":   func() { New(1).Gamma(0) },
+		"weibull": func() { New(1).Weibull(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with non-positive shape did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestVariatesDeterministic pins that the same (seed, stream) replays the
+// same draw sequence — the property every per-client workload stream rides.
+func TestVariatesDeterministic(t *testing.T) {
+	draw := func() []float64 {
+		r := Stream(42, "workload/storm/17")
+		out := make([]float64, 0, 30)
+		for i := 0; i < 10; i++ {
+			out = append(out, r.Exp(), r.Gamma(2.5), r.Weibull(1.5))
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -19,3 +19,4 @@ func BenchmarkPutBwEndToEnd(b *testing.B)       { simbench.PutBwEndToEnd(b) }
 func BenchmarkWindowedPutBw(b *testing.B)       { simbench.WindowedPutBw(b) }
 func BenchmarkIncastPutBw(b *testing.B)         { simbench.IncastPutBw(b) }
 func BenchmarkOversubscribedPutBw(b *testing.B) { simbench.OversubscribedPutBw(b) }
+func BenchmarkWorkloadInject(b *testing.B)      { simbench.WorkloadInject(b) }

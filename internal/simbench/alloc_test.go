@@ -11,6 +11,7 @@ import (
 	"breakband/internal/sim"
 	"breakband/internal/topo"
 	"breakband/internal/trace"
+	"breakband/internal/workload"
 )
 
 // deviceAllocBudget is the per-simulated-message allocation budget of the
@@ -244,6 +245,40 @@ func TestLossyRetransmitAllocBudget(t *testing.T) {
 		t.Errorf("lossy retransmit path allocates %.2f per message, budget %.0f", perMsg, deviceAllocBudget)
 	}
 	t.Logf("lossy retransmit path: %.3f allocs/message (budget %.0f)", perMsg, deviceAllocBudget)
+}
+
+// TestWorkloadInjectAllocBudget applies the device budget to the workload
+// injection path: open-loop arrival generation (per-client clocks, the
+// min-heap, size draws) plus the full device datapath per message. The
+// generation machinery is itself allocation-free (workload's own zero-alloc
+// gate); the marginal cost here must stay inside the same budget as the
+// hand-written scenarios.
+func TestWorkloadInjectAllocBudget(t *testing.T) {
+	run := func(n int) (float64, int) {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		spec := benchWorkloadSpec(n)
+		sys := node.NewSystem(spec.BuildConfig(config.NoiseOff, 1), spec.Nodes)
+		res, err := workload.Run(spec, sys, workload.RunOpt{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Shutdown()
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs - m0.Mallocs), res.Cohorts[0].Delivered
+	}
+	const short, long = 512, 4096
+	a1, n1 := run(short)
+	a2, n2 := run(long)
+	if n2 <= n1 {
+		t.Fatalf("long run delivered %d <= short run's %d", n2, n1)
+	}
+	perMsg := (a2 - a1) / float64(n2-n1)
+	if perMsg > deviceAllocBudget {
+		t.Errorf("workload injection path allocates %.2f per message, budget %.0f", perMsg, deviceAllocBudget)
+	}
+	t.Logf("workload injection path: %.3f allocs/message (budget %.0f)", perMsg, deviceAllocBudget)
 }
 
 // tracedAllocBudget is the per-message allocation budget of the device

@@ -13,6 +13,8 @@ import (
 	"breakband/internal/perftest"
 	"breakband/internal/sim"
 	"breakband/internal/topo"
+	"breakband/internal/units"
+	"breakband/internal/workload"
 )
 
 // scheduleWidth is how many self-rescheduling event chains BenchmarkSchedule
@@ -256,6 +258,50 @@ func OversubscribedPutBw(b *testing.B) {
 	b.StopTimer()
 	if res.Messages != senders*iters {
 		b.Fatalf("oversubscribed incast ran %d messages, want %d", res.Messages, senders*iters)
+	}
+	reportEventsPerSec(b, float64(sys.K.Fired()))
+}
+
+// benchWorkloadSpec compiles the canonical open-loop Poisson incast sized to
+// an expected n arrivals: 64 clients on seven source nodes of the 8-node
+// fat-tree, 64-byte puts into node 0.
+func benchWorkloadSpec(n int) *workload.Spec {
+	const clients, rate = 64, 40e3
+	aggPs := clients * rate / float64(units.Second) // arrivals per picosecond
+	return &workload.Spec{
+		Name:     "bench",
+		Nodes:    8,
+		Topology: "fattree",
+		Cohorts: []workload.Cohort{{
+			Name:     "storm",
+			Clients:  clients,
+			Src:      []int{1, 2, 3, 4, 5, 6, 7},
+			Dst:      []int{0},
+			Duration: units.Time(float64(n)/aggPs) + 1,
+			Arrival:  workload.ArrivalSpec{Process: workload.ProcPoisson, Rate: rate},
+			Size:     workload.SizeSpec{Dist: workload.SizeDistFixed, Bytes: 64},
+		}},
+	}
+}
+
+// WorkloadInject measures the declarative-workload injection path end to end:
+// an open-loop Poisson incast compiled from a workload spec — per-client
+// arrival clocks, the min-heap scheduler, paced continuation injectors and
+// completion rings — over the 8-node fat-tree. b.N sizes the cohort horizon
+// to b.N expected arrivals.
+func WorkloadInject(b *testing.B) {
+	b.ReportAllocs()
+	spec := benchWorkloadSpec(b.N)
+	sys := node.NewSystem(spec.BuildConfig(config.NoiseOff, 1), spec.Nodes)
+	defer sys.Shutdown()
+	b.ResetTimer()
+	res, err := workload.Run(spec, sys, workload.RunOpt{})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Cohorts[0].Delivered == 0 {
+		b.Fatal("workload delivered nothing")
 	}
 	reportEventsPerSec(b, float64(sys.K.Fired()))
 }

@@ -279,6 +279,10 @@ func (w *Worker) NewEp(mode PostMode, signalPeriod int) *Ep {
 // QP exposes the underlying queue pair (tests, trace filtering).
 func (e *Ep) QP() *nic.QP { return e.qp }
 
+// SetLabel names the endpoint's QP for per-owner reporting (e.g. a workload
+// cohort): recovery breakdowns group by it.
+func (e *Ep) SetLabel(s string) { e.qp.Label = s }
+
 // stagingSlot is the bounce buffer owned by the send-queue slot about to
 // be posted (e.pi has not been advanced yet).
 func (e *Ep) stagingSlot() uint64 {
@@ -553,7 +557,12 @@ func (f *postFrame) Step(t *sim.Task) {
 					return
 				}
 			}
-		case 1: // PIO: the whole descriptor in one MMIO write.
+		case 1: // PIO: the whole descriptor in one MMIO write. The ring copy
+			// is stored first — BlueFlame is a fetch-skipping hint, and the
+			// NIC falls back to fetching the ring slot when it cannot consume
+			// the hint in order (e.g. a gather descriptor on the same QP is
+			// still being fetched).
+			w.Node.Mem.Write(e.qp.SQ.EntryAddr(e.pi), f.enc[:])
 			w.Node.RC.MMIOWrite(e.qp.BFAddr, f.enc[:])
 			f.pc = 5
 		case 2: // Gather: stage the payload, rebuild the descriptor.

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"breakband/internal/rng"
+	"breakband/internal/units"
+)
+
+// TestArrivalGenerationZeroAlloc pins the injection-side generation loop —
+// heap min, size draw, envelope-walked arrival clock, heap fix — at exactly
+// zero allocations per arrival. Client state is stored by value in one flat
+// slice, the heap operates on preallocated index slots, and every draw
+// mutates the client's embedded stream in place, so a million-client cohort
+// generates arrivals without a single heap object.
+func TestArrivalGenerationZeroAlloc(t *testing.T) {
+	const clients = 1024
+	c := &Cohort{
+		Name:     "gate",
+		Clients:  clients,
+		Start:    0,
+		Duration: units.MaxTime / 2,
+		Arrival:  ArrivalSpec{Process: ProcWeibull, Rate: 1e6, Shape: 0.7},
+		Size: SizeSpec{Dist: SizeDistChoice, Choices: []SizeChoice{
+			{Bytes: 32, Weight: 3}, {Bytes: 256, Weight: 1}}},
+		Envelope: []EnvelopeWindow{
+			{From: 10 * units.Microsecond, To: 20 * units.Microsecond, Factor: 3},
+			{From: 40 * units.Microsecond, To: 50 * units.Microsecond, Factor: 0.5},
+		},
+	}
+	clock := newArrivalClock(c)
+	sizes := newSizeGen(&c.Size)
+	h := &clientHeap{
+		clients: make([]clientState, clients),
+		slots:   make([]int32, clients),
+	}
+	for i := range h.clients {
+		cs := &h.clients[i]
+		cs.id = int32(i)
+		cs.rand = *rng.Stream(1, fmt.Sprintf("alloc-gate/%d", i))
+		cs.next = clock.next(0, &cs.rand)
+		h.slots[i] = int32(i)
+	}
+	h.init()
+
+	sink := 0
+	if allocs := testing.AllocsPerRun(10_000, func() {
+		cs := &h.clients[h.min()]
+		sink += sizes.draw(&cs.rand)
+		cs.next = clock.next(cs.next, &cs.rand)
+		h.fix()
+	}); allocs != 0 {
+		t.Errorf("arrival generation allocates %.2f per arrival, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("size generator drew nothing")
+	}
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"breakband/internal/config"
+	"breakband/internal/node"
+	"breakband/internal/units"
+)
+
+// incastSpec is the ISSUE's acceptance shape: an open-loop Poisson incast
+// over the 8-node fat-tree.
+func incastSpec() *Spec {
+	return &Spec{
+		Name:     "incast8",
+		Nodes:    8,
+		Topology: "fattree",
+		Cohorts: []Cohort{{
+			Name:     "storm",
+			Clients:  64,
+			Src:      []int{1, 2, 3, 4, 5, 6, 7},
+			Dst:      []int{0},
+			Duration: 200 * units.Microsecond,
+			Arrival:  ArrivalSpec{Process: ProcPoisson, Rate: 40e3}, // ~2.5M msg/s aggregate
+			Size:     SizeSpec{Dist: SizeDistFixed, Bytes: 64},
+		}},
+	}
+}
+
+func runSpec(t *testing.T, spec *Spec, noise config.NoiseLevel, seed uint64, opt RunOpt) *Result {
+	t.Helper()
+	cfg := spec.BuildConfig(noise, seed)
+	sys := node.NewSystem(cfg, spec.Nodes)
+	defer sys.Shutdown()
+	res, err := Run(spec, sys, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestIncastRunDelivers(t *testing.T) {
+	res := runSpec(t, incastSpec(), config.NoiseOff, 7, RunOpt{Record: true})
+	c := &res.Cohorts[0]
+	if c.Offered == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if c.Delivered != c.Offered || c.Failed != 0 {
+		t.Fatalf("delivered %d + failed %d of %d offered", c.Delivered, c.Failed, c.Offered)
+	}
+	if c.Bytes != uint64(64*c.Delivered) {
+		t.Fatalf("bytes %d, want %d", c.Bytes, 64*c.Delivered)
+	}
+	if c.Goodput() <= 0 {
+		t.Fatal("zero goodput")
+	}
+	if got := c.Latency.N(); got != c.Delivered {
+		t.Fatalf("latency samples %d, want %d", got, c.Delivered)
+	}
+	if len(res.Trace.Recs) != c.Offered {
+		t.Fatalf("trace records %d, want %d", len(res.Trace.Recs), c.Offered)
+	}
+}
+
+// TestRecordReplayBitIdentical is the acceptance assertion: a recorded run
+// replays byte-identically — the replay re-records the exact trace bytes
+// and reproduces every per-cohort statistic.
+func TestRecordReplayBitIdentical(t *testing.T) {
+	spec := incastSpec()
+	orig := runSpec(t, spec, config.NoiseOff, 7, RunOpt{Record: true})
+	enc := orig.Trace.Encode()
+
+	dec, err := DecodeTrace(enc)
+	if err != nil {
+		t.Fatalf("DecodeTrace: %v", err)
+	}
+	rep := runSpec(t, spec, config.NoiseOff, 7, RunOpt{Record: true, Replay: dec})
+	if !bytes.Equal(rep.Trace.Encode(), enc) {
+		t.Fatal("replayed re-recording differs from the original trace")
+	}
+	a, b := &orig.Cohorts[0], &rep.Cohorts[0]
+	if a.Offered != b.Offered || a.Delivered != b.Delivered || a.Failed != b.Failed ||
+		a.Bytes != b.Bytes || a.FirstAt != b.FirstAt || a.LastDone != b.LastDone {
+		t.Fatalf("replay stats differ: %+v vs %+v", a, b)
+	}
+	if a.Latency.Mean() != b.Latency.Mean() || a.Latency.Max() != b.Latency.Max() {
+		t.Fatal("replay latency distribution differs")
+	}
+}
+
+func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
+	res := runSpec(t, incastSpec(), config.NoiseOff, 3, RunOpt{Record: true})
+	enc := res.Trace.Encode()
+	dec, err := DecodeTrace(enc)
+	if err != nil {
+		t.Fatalf("DecodeTrace: %v", err)
+	}
+	if !bytes.Equal(dec.Encode(), enc) {
+		t.Fatal("encode(decode(x)) != x")
+	}
+	if err := dec.CompatibleWith(incastSpec()); err != nil {
+		t.Fatalf("CompatibleWith: %v", err)
+	}
+}

@@ -1,0 +1,767 @@
+package workload
+
+// A minimal YAML-subset reader for workload specs. The repo takes no
+// third-party dependencies, so instead of a full YAML implementation this
+// file parses the disciplined subset the spec schema needs:
+//
+//   - maps as "key: value" lines, nested by indentation (spaces only)
+//   - lists as "- item" lines, including the "- key: value" map-item
+//     shorthand with the remaining keys indented to align
+//   - inline maps {k: v, ...} and inline lists [a, b, ...]
+//   - scalars: numbers (including exponents), booleans, bare and
+//     single/double-quoted strings, durations like "150us"
+//   - comments with '#' and blank lines anywhere
+//
+// Anchors, multi-document streams, flow folding and block scalars are out of
+// scope and rejected with errors. The parser never panics on any input
+// (fuzz-enforced); every error carries a line number.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"breakband/internal/units"
+)
+
+// LoadSpec reads, parses and validates a workload spec file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %v", err)
+	}
+	s, err := ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %v", path, err)
+	}
+	return s, nil
+}
+
+// ParseSpec parses a YAML workload spec and validates it. It never panics;
+// malformed input returns an error.
+func ParseSpec(data []byte) (*Spec, error) {
+	tree, err := parseYAML(string(data))
+	if err != nil {
+		return nil, err
+	}
+	s, err := decodeSpec(tree)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Tree layer: indentation-structured text -> map[string]any / []any / scalar.
+
+// scalar is a raw unparsed scalar with its source line for error reporting.
+type scalar struct {
+	text string
+	line int
+}
+
+type yamlLine struct {
+	indent int
+	text   string
+	num    int
+}
+
+func parseYAML(src string) (any, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty spec")
+	}
+	v, next, err := parseBlock(lines, 0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("line %d: unexpected content %q (bad indentation?)", lines[next].num, lines[next].text)
+	}
+	return v, nil
+}
+
+func splitLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for num, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		trimmed := strings.TrimRight(line, " \r")
+		body := strings.TrimLeft(trimmed, " ")
+		if body == "" {
+			continue
+		}
+		indent := len(trimmed) - len(body)
+		if strings.ContainsRune(trimmed[:indent], '\t') || strings.HasPrefix(body, "\t") {
+			return nil, fmt.Errorf("line %d: tabs are not allowed in indentation", num+1)
+		}
+		if body == "---" {
+			if len(out) > 0 {
+				return nil, fmt.Errorf("line %d: multi-document streams are not supported", num+1)
+			}
+			continue
+		}
+		out = append(out, yamlLine{indent: indent, text: body, num: num + 1})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing '# ...' comment that is not inside quotes.
+func stripComment(line string) string {
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		switch c := line[i]; {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || line[i-1] == ' ' || line[i-1] == '\t'):
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// parseBlock parses the block starting at lines[i], whose entries sit at
+// exactly the given indent. Returns the value and the index one past it.
+func parseBlock(lines []yamlLine, i, indent int) (any, int, error) {
+	if i >= len(lines) {
+		return nil, i, fmt.Errorf("unexpected end of spec")
+	}
+	if lines[i].indent != indent {
+		return nil, i, fmt.Errorf("line %d: unexpected indentation", lines[i].num)
+	}
+	if isListItem(lines[i].text) {
+		return parseListBlock(lines, i, indent)
+	}
+	return parseMapBlock(lines, i, indent)
+}
+
+func isListItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func parseListBlock(lines []yamlLine, i, indent int) (any, int, error) {
+	var list []any
+	for i < len(lines) && lines[i].indent == indent && isListItem(lines[i].text) {
+		ln := lines[i]
+		rest := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		if rest == "" {
+			// "-" alone: the item is the nested block below.
+			v, next, err := parseNested(lines, i+1, indent, ln.num)
+			if err != nil {
+				return nil, i, err
+			}
+			list = append(list, v)
+			i = next
+			continue
+		}
+		if key, val, ok := splitKey(rest); ok {
+			// "- key: value" map-item shorthand: remaining keys align
+			// under the key (indent of '-' + 2).
+			item, next, err := parseMapItem(lines, i+1, indent+2, key, val, ln.num)
+			if err != nil {
+				return nil, i, err
+			}
+			list = append(list, item)
+			i = next
+			continue
+		}
+		v, err := parseValue(rest, ln.num)
+		if err != nil {
+			return nil, i, err
+		}
+		list = append(list, v)
+		i++
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("line %d: unexpected indentation", lines[i].num)
+	}
+	return list, i, nil
+}
+
+func parseMapBlock(lines []yamlLine, i, indent int) (any, int, error) {
+	m := map[string]any{}
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if isListItem(ln.text) {
+			return nil, i, fmt.Errorf("line %d: list item amid map entries", ln.num)
+		}
+		key, val, ok := splitKey(ln.text)
+		if !ok {
+			return nil, i, fmt.Errorf("line %d: expected \"key: value\", got %q", ln.num, ln.text)
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, fmt.Errorf("line %d: duplicate key %q", ln.num, key)
+		}
+		var v any
+		var err error
+		if val == "" {
+			v, i, err = parseNested(lines, i+1, indent, ln.num)
+		} else {
+			v, err = parseValue(val, ln.num)
+			i++
+		}
+		if err != nil {
+			return nil, i, err
+		}
+		m[key] = v
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, fmt.Errorf("line %d: unexpected indentation", lines[i].num)
+	}
+	return m, i, nil
+}
+
+// parseMapItem parses a map started inline by a "- key: value" list item:
+// the first entry is given, the rest follow at itemIndent.
+func parseMapItem(lines []yamlLine, i, itemIndent int, key, val string, num int) (any, int, error) {
+	m := map[string]any{}
+	var v any
+	var err error
+	if val == "" {
+		v, i, err = parseNested(lines, i, itemIndent-2, num)
+		// The nested block of the first key sits deeper than the item
+		// body; parseNested anchored at the '-' indent handles it only
+		// when no sibling keys follow. Keep it simple: require a value.
+		if err == nil {
+			return nil, i, fmt.Errorf("line %d: %q: a \"- key:\" item needs an inline value for its first key", num, key)
+		}
+		return nil, i, err
+	}
+	v, err = parseValue(val, num)
+	if err != nil {
+		return nil, i, err
+	}
+	m[key] = v
+	for i < len(lines) && lines[i].indent == itemIndent && !isListItem(lines[i].text) {
+		ln := lines[i]
+		k, val, ok := splitKey(ln.text)
+		if !ok {
+			return nil, i, fmt.Errorf("line %d: expected \"key: value\", got %q", ln.num, ln.text)
+		}
+		if _, dup := m[k]; dup {
+			return nil, i, fmt.Errorf("line %d: duplicate key %q", ln.num, k)
+		}
+		if val == "" {
+			v, i, err = parseNested(lines, i+1, itemIndent, ln.num)
+		} else {
+			v, err = parseValue(val, ln.num)
+			i++
+		}
+		if err != nil {
+			return nil, i, err
+		}
+		m[k] = v
+	}
+	return m, i, nil
+}
+
+// parseNested parses the indented block following a "key:" (or "-") line at
+// parentIndent.
+func parseNested(lines []yamlLine, i, parentIndent, parentNum int) (any, int, error) {
+	if i >= len(lines) || lines[i].indent <= parentIndent {
+		return nil, i, fmt.Errorf("line %d: expected an indented block", parentNum)
+	}
+	return parseBlock(lines, i, lines[i].indent)
+}
+
+// splitKey splits "key: value" (or "key:") at the first top-level colon.
+// Returns ok=false when the text is not a map entry.
+func splitKey(text string) (key, val string, ok bool) {
+	var quote byte
+	depth := 0
+	for i := 0; i < len(text); i++ {
+		switch c := text[i]; {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '{' || c == '[':
+			depth++
+		case c == '}' || c == ']':
+			depth--
+		case c == ':' && depth == 0 && (i+1 == len(text) || text[i+1] == ' '):
+			key = strings.TrimSpace(text[:i])
+			if key == "" || strings.ContainsAny(key, "{}[],") {
+				return "", "", false
+			}
+			return unquote(key), strings.TrimSpace(text[i+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+// parseValue parses an inline value: scalar, {map} or [list].
+func parseValue(text string, num int) (any, error) {
+	switch {
+	case strings.HasPrefix(text, "{"):
+		if !strings.HasSuffix(text, "}") {
+			return nil, fmt.Errorf("line %d: unterminated inline map %q", num, text)
+		}
+		return parseInlineMap(text[1:len(text)-1], num)
+	case strings.HasPrefix(text, "["):
+		if !strings.HasSuffix(text, "]") {
+			return nil, fmt.Errorf("line %d: unterminated inline list %q", num, text)
+		}
+		return parseInlineList(text[1:len(text)-1], num)
+	case strings.HasPrefix(text, "&") || strings.HasPrefix(text, "*") || strings.HasPrefix(text, "|") || strings.HasPrefix(text, ">"):
+		return nil, fmt.Errorf("line %d: anchors and block scalars are not supported (%q)", num, text)
+	default:
+		return scalar{text: unquote(text), line: num}, nil
+	}
+}
+
+func parseInlineMap(body string, num int) (any, error) {
+	m := map[string]any{}
+	for _, part := range splitTop(body) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := splitKey(part)
+		if !ok || val == "" {
+			return nil, fmt.Errorf("line %d: expected \"key: value\" in inline map, got %q", num, part)
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", num, key)
+		}
+		v, err := parseValue(val, num)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+func parseInlineList(body string, num int) (any, error) {
+	list := []any{}
+	for _, part := range splitTop(body) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := parseValue(part, num)
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, v)
+	}
+	return list, nil
+}
+
+// splitTop splits on commas outside quotes/brackets.
+func splitTop(s string) []string {
+	var parts []string
+	var quote byte
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '{' || c == '[':
+			depth++
+		case c == '}' || c == ']':
+			depth--
+		case c == ',' && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Decode layer: generic tree -> Spec, with strict unknown-key checking.
+
+type decodeError struct {
+	path string
+	msg  string
+}
+
+func (e *decodeError) Error() string { return fmt.Sprintf("%s: %s", e.path, e.msg) }
+
+func errAt(path, format string, args ...any) error {
+	return &decodeError{path: path, msg: fmt.Sprintf(format, args...)}
+}
+
+func asMap(v any, path string) (map[string]any, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, errAt(path, "expected a mapping")
+	}
+	return m, nil
+}
+
+func asList(v any, path string) ([]any, error) {
+	l, ok := v.([]any)
+	if !ok {
+		return nil, errAt(path, "expected a list")
+	}
+	return l, nil
+}
+
+func asScalar(v any, path string) (scalar, error) {
+	s, ok := v.(scalar)
+	if !ok {
+		return scalar{}, errAt(path, "expected a scalar value")
+	}
+	return s, nil
+}
+
+func checkKeys(m map[string]any, path string, allowed ...string) error {
+	for k := range m {
+		found := false
+		for _, a := range allowed {
+			if k == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return errAt(path, "unknown key %q (allowed: %s)", k, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}
+
+func decStr(m map[string]any, key, path string, dst *string) error {
+	v, ok := m[key]
+	if !ok {
+		return nil
+	}
+	s, err := asScalar(v, path+"."+key)
+	if err != nil {
+		return err
+	}
+	*dst = s.text
+	return nil
+}
+
+func decInt(m map[string]any, key, path string, dst *int) error {
+	v, ok := m[key]
+	if !ok {
+		return nil
+	}
+	s, err := asScalar(v, path+"."+key)
+	if err != nil {
+		return err
+	}
+	n, err := strconv.ParseInt(s.text, 10, 64)
+	if err != nil || n != int64(int(n)) {
+		return errAt(path+"."+key, "line %d: %q is not an integer", s.line, s.text)
+	}
+	*dst = int(n)
+	return nil
+}
+
+func decUint(m map[string]any, key, path string, dst *uint64) error {
+	v, ok := m[key]
+	if !ok {
+		return nil
+	}
+	s, err := asScalar(v, path+"."+key)
+	if err != nil {
+		return err
+	}
+	n, err := strconv.ParseUint(s.text, 10, 64)
+	if err != nil {
+		return errAt(path+"."+key, "line %d: %q is not an unsigned integer", s.line, s.text)
+	}
+	*dst = n
+	return nil
+}
+
+func decFloat(m map[string]any, key, path string, dst *float64) error {
+	v, ok := m[key]
+	if !ok {
+		return nil
+	}
+	s, err := asScalar(v, path+"."+key)
+	if err != nil {
+		return err
+	}
+	f, err := strconv.ParseFloat(s.text, 64)
+	if err != nil || math.IsNaN(f) {
+		return errAt(path+"."+key, "line %d: %q is not a number", s.line, s.text)
+	}
+	*dst = f
+	return nil
+}
+
+func decTime(m map[string]any, key, path string, dst *units.Time) error {
+	v, ok := m[key]
+	if !ok {
+		return nil
+	}
+	s, err := asScalar(v, path+"."+key)
+	if err != nil {
+		return err
+	}
+	d, err := parseTime(s.text)
+	if err != nil {
+		return errAt(path+"."+key, "line %d: %v", s.line, err)
+	}
+	*dst = d
+	return nil
+}
+
+func decIntList(m map[string]any, key, path string, dst *[]int) error {
+	v, ok := m[key]
+	if !ok {
+		return nil
+	}
+	l, err := asList(v, path+"."+key)
+	if err != nil {
+		return err
+	}
+	out := make([]int, 0, len(l))
+	for i, e := range l {
+		p := fmt.Sprintf("%s.%s[%d]", path, key, i)
+		s, err := asScalar(e, p)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(s.text, 10, 64)
+		if err != nil || n != int64(int(n)) {
+			return errAt(p, "line %d: %q is not an integer", s.line, s.text)
+		}
+		out = append(out, int(n))
+	}
+	*dst = out
+	return nil
+}
+
+// parseTime parses a duration scalar: a float with a unit suffix (ps, ns,
+// us, ms, s), or the bare "0".
+func parseTime(s string) (units.Time, error) {
+	if s == "0" {
+		return 0, nil
+	}
+	unit := units.Time(0)
+	var num string
+	switch {
+	case strings.HasSuffix(s, "ps"):
+		unit, num = units.Picosecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ns"):
+		unit, num = units.Nanosecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		unit, num = units.Microsecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ms"):
+		unit, num = units.Millisecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		unit, num = units.Second, s[:len(s)-1]
+	default:
+		return 0, fmt.Errorf("duration %q needs a unit suffix (ps, ns, us, ms or s)", s)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("duration %q is not a number with a unit", s)
+	}
+	ps := f * float64(unit)
+	if ps > float64(math.MaxInt64) || ps < float64(math.MinInt64) {
+		return 0, fmt.Errorf("duration %q overflows the picosecond clock", s)
+	}
+	return units.Time(math.Round(ps)), nil
+}
+
+func decodeSpec(tree any) (*Spec, error) {
+	m, err := asMap(tree, "spec")
+	if err != nil {
+		return nil, err
+	}
+	if err := checkKeys(m, "spec", "name", "nodes", "topology", "radix",
+		"credits", "rxbudget", "seed", "faults", "cohorts"); err != nil {
+		return nil, err
+	}
+	s := &Spec{}
+	for _, step := range []func() error{
+		func() error { return decStr(m, "name", "spec", &s.Name) },
+		func() error { return decInt(m, "nodes", "spec", &s.Nodes) },
+		func() error { return decStr(m, "topology", "spec", &s.Topology) },
+		func() error { return decInt(m, "radix", "spec", &s.Radix) },
+		func() error { return decInt(m, "credits", "spec", &s.Credits) },
+		func() error { return decInt(m, "rxbudget", "spec", &s.RxBudget) },
+		func() error { return decUint(m, "seed", "spec", &s.Seed) },
+	} {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := m["faults"]; ok {
+		fm, err := asMap(v, "spec.faults")
+		if err != nil {
+			return nil, err
+		}
+		if err := checkKeys(fm, "spec.faults", "droprate", "corruptrate"); err != nil {
+			return nil, err
+		}
+		if err := decFloat(fm, "droprate", "spec.faults", &s.Faults.DropRate); err != nil {
+			return nil, err
+		}
+		if err := decFloat(fm, "corruptrate", "spec.faults", &s.Faults.CorruptRate); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := m["cohorts"]; ok {
+		list, err := asList(v, "spec.cohorts")
+		if err != nil {
+			return nil, err
+		}
+		for i, e := range list {
+			c, err := decodeCohort(e, fmt.Sprintf("spec.cohorts[%d]", i))
+			if err != nil {
+				return nil, err
+			}
+			s.Cohorts = append(s.Cohorts, *c)
+		}
+	}
+	return s, nil
+}
+
+func decodeCohort(v any, path string) (*Cohort, error) {
+	m, err := asMap(v, path)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkKeys(m, path, "name", "clients", "src", "dst", "start",
+		"duration", "arrival", "size", "envelope"); err != nil {
+		return nil, err
+	}
+	c := &Cohort{}
+	for _, step := range []func() error{
+		func() error { return decStr(m, "name", path, &c.Name) },
+		func() error { return decInt(m, "clients", path, &c.Clients) },
+		func() error { return decIntList(m, "src", path, &c.Src) },
+		func() error { return decIntList(m, "dst", path, &c.Dst) },
+		func() error { return decTime(m, "start", path, &c.Start) },
+		func() error { return decTime(m, "duration", path, &c.Duration) },
+	} {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := m["arrival"]; ok {
+		am, err := asMap(v, path+".arrival")
+		if err != nil {
+			return nil, err
+		}
+		if err := checkKeys(am, path+".arrival", "process", "rate", "shape"); err != nil {
+			return nil, err
+		}
+		if err := decStr(am, "process", path+".arrival", &c.Arrival.Process); err != nil {
+			return nil, err
+		}
+		if err := decFloat(am, "rate", path+".arrival", &c.Arrival.Rate); err != nil {
+			return nil, err
+		}
+		if err := decFloat(am, "shape", path+".arrival", &c.Arrival.Shape); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := m["size"]; ok {
+		if err := decodeSize(v, path+".size", &c.Size); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := m["envelope"]; ok {
+		list, err := asList(v, path+".envelope")
+		if err != nil {
+			return nil, err
+		}
+		for i, e := range list {
+			p := fmt.Sprintf("%s.envelope[%d]", path, i)
+			em, err := asMap(e, p)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkKeys(em, p, "from", "to", "factor"); err != nil {
+				return nil, err
+			}
+			var w EnvelopeWindow
+			if err := decTime(em, "from", p, &w.From); err != nil {
+				return nil, err
+			}
+			if err := decTime(em, "to", p, &w.To); err != nil {
+				return nil, err
+			}
+			if err := decFloat(em, "factor", p, &w.Factor); err != nil {
+				return nil, err
+			}
+			c.Envelope = append(c.Envelope, w)
+		}
+	}
+	return c, nil
+}
+
+func decodeSize(v any, path string, s *SizeSpec) error {
+	m, err := asMap(v, path)
+	if err != nil {
+		return err
+	}
+	if err := checkKeys(m, path, "dist", "bytes", "min", "max", "mean", "cv", "choices"); err != nil {
+		return err
+	}
+	for _, step := range []func() error{
+		func() error { return decStr(m, "dist", path, &s.Dist) },
+		func() error { return decInt(m, "bytes", path, &s.Bytes) },
+		func() error { return decInt(m, "min", path, &s.Min) },
+		func() error { return decInt(m, "max", path, &s.Max) },
+		func() error { return decFloat(m, "mean", path, &s.Mean) },
+		func() error { return decFloat(m, "cv", path, &s.CV) },
+	} {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	if v, ok := m["choices"]; ok {
+		list, err := asList(v, path+".choices")
+		if err != nil {
+			return err
+		}
+		for i, e := range list {
+			p := fmt.Sprintf("%s.choices[%d]", path, i)
+			cm, err := asMap(e, p)
+			if err != nil {
+				return err
+			}
+			if err := checkKeys(cm, p, "bytes", "weight"); err != nil {
+				return err
+			}
+			var c SizeChoice
+			if err := decInt(cm, "bytes", p, &c.Bytes); err != nil {
+				return err
+			}
+			if err := decFloat(cm, "weight", p, &c.Weight); err != nil {
+				return err
+			}
+			s.Choices = append(s.Choices, c)
+		}
+	}
+	return nil
+}
